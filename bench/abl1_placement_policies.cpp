@@ -1,0 +1,104 @@
+// A1 — ablation of the cache placement policy (DESIGN.md).
+//
+// The paper's platform uses random-modulo placement (Hernandez, DAC 2016).
+// This bench compares the three placements the library implements — the
+// deterministic modulo baseline, random modulo, and fully hashed random
+// placement — on two axes:
+//   (a) run-to-run distribution on one fixed binary (seeds resampled),
+//   (b) sensitivity to the *memory layout* (link offset sweep), the effect
+//       random placement exists to neutralize.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/campaign.hpp"
+#include "apps/tvca.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/platform.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+// Replacement is held at the RAND platform's random policy for every row so
+// the sweep isolates the *placement* choice.
+spta::sim::PlatformConfig WithPlacement(spta::sim::Placement p) {
+  auto cfg = spta::sim::RandLeon3Config();
+  cfg.il1.placement = p;
+  cfg.dl1.placement = p;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spta;
+  bench::Banner("abl1_placement_policies",
+                "design-choice ablation (Section II cache modifications)",
+                "random placement makes the memory layout irrelevant and "
+                "turns layout risk into a measurable distribution");
+
+  const apps::TvcaApp app;
+  const auto frame = app.BuildFrame(4242);
+  const std::size_t runs = bench::RunCount(300);
+
+  TextTable dist({"placement", "mean", "stddev", "min", "max",
+                  "max/min"});
+  for (const auto placement :
+       {sim::Placement::kModulo, sim::Placement::kRandomModulo,
+        sim::Placement::kHashRandom}) {
+    sim::Platform platform(WithPlacement(placement), 1);
+    const auto samples =
+        analysis::RunFixedTraceCampaign(platform, frame.trace, runs, 77);
+    const auto times = analysis::ExtractTimes(samples);
+    const auto s = stats::Summarize(times);
+    dist.AddRow({sim::ToString(placement), FormatF(s.mean, 0),
+                 FormatF(s.stddev, 1), FormatF(s.min, 0), FormatF(s.max, 0),
+                 FormatF(s.max / s.min, 4)});
+  }
+  std::printf("(a) run-to-run distribution, one binary, %zu seeds\n", runs);
+  dist.Render(std::cout);
+
+  // (b) layout sensitivity: rebuild the TVCA binary with 8 different link
+  // maps (inter-array padding) and compare mean L1 miss counts. A
+  // deterministic cache's conflict pattern follows the relative alignment
+  // of the data objects; random placement re-randomizes it per run, so the
+  // layout should not matter. Misses (not cycles) isolate the cache effect
+  // from DRAM row alignment.
+  std::printf("\n(b) layout sweep (8 link maps, mean DL1+IL1 misses)\n");
+  TextTable layout({"placement", "min misses", "max misses",
+                    "layout spread"});
+  for (const auto placement :
+       {sim::Placement::kModulo, sim::Placement::kRandomModulo,
+        sim::Placement::kHashRandom}) {
+    double lo = 1e300;
+    double hi = 0.0;
+    for (std::uint64_t layout_seed = 1; layout_seed <= 8; ++layout_seed) {
+      apps::TvcaConfig tc;
+      tc.layout_seed = layout_seed;
+      const apps::TvcaApp relinked(tc);
+      const auto relinked_frame = relinked.BuildFrame(4242);
+      sim::Platform platform(WithPlacement(placement), 1);
+      const auto samples = analysis::RunFixedTraceCampaign(
+          platform, relinked_frame.trace, 40, 99);
+      double misses = 0.0;
+      for (const auto& s : samples) {
+        misses += static_cast<double>(s.detail.dl1.misses +
+                                      s.detail.il1.misses);
+      }
+      misses /= static_cast<double>(samples.size());
+      lo = std::min(lo, misses);
+      hi = std::max(hi, misses);
+    }
+    layout.AddRow({sim::ToString(placement), FormatF(lo, 1), FormatF(hi, 1),
+                   FormatF((hi - lo) / lo, 4)});
+  }
+  layout.Render(std::cout);
+  std::printf(
+      "\nexpected shape: layout spread shrinks from modulo to random-modulo "
+      "to hash-random. Random modulo keeps *within*-tag-group alignment "
+      "deterministic (that is the no-self-conflict guarantee), so a little "
+      "layout sensitivity remains; hash placement is fully layout-blind but "
+      "pays for it with self-conflicts (highest mean misses).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// A3 — ablation of the FPU hardware change (Section II, "FPU").
+//
+// FDIV/FSQRT latency depends on the operated values; the platform change
+// fixes both at their worst-case latency during analysis. This bench
+// quantifies (a) the value-dependent jitter MBTA would otherwise have to
+// control by hand, (b) the upper-bounding property of the analysis-phase
+// mode, and (c) its average-time cost.
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/tvca.hpp"
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "common/table.hpp"
+#include "sim/platform.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace spta;
+  bench::Banner("abl3_fpu_jitter", "Section II FPU modification",
+                "worst-case-fixed FDIV/FSQRT at analysis upper-bounds every "
+                "operation-phase execution, at a small average cost");
+
+  const apps::TvcaApp app;
+  const std::size_t inputs = bench::RunCount(200);
+
+  sim::Platform analysis_p(sim::RandLeon3Config(), 1);
+  sim::Platform operation_p(sim::RandLeon3OperationConfig(), 1);
+
+  // The FP-heavy task in its maneuver mode (stabilization integrator with
+  // FSQRT + 4 FDIVs per step).
+  apps::TvcaScenario maneuver;
+  maneuver.maneuver_y = true;
+
+  std::vector<double> op_times;
+  std::vector<double> an_times;
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < inputs; ++i) {
+    const auto t = app.BuildTaskTrace(apps::TvcaTask::kActuatorY,
+                                      DeriveSeed(1000, i), maneuver);
+    const Seed seed = DeriveSeed(2000, i);
+    const double op =
+        static_cast<double>(operation_p.Run(t, seed).cycles);
+    const double an =
+        static_cast<double>(analysis_p.Run(t, seed).cycles);
+    op_times.push_back(op);
+    an_times.push_back(an);
+    if (an < op) ++violations;
+  }
+
+  const auto op_s = stats::Summarize(op_times);
+  const auto an_s = stats::Summarize(an_times);
+  TextTable table({"FPU mode", "mean", "min", "max", "spread"});
+  table.AddRow({"variable (operation)", FormatF(op_s.mean, 0),
+                FormatF(op_s.min, 0), FormatF(op_s.max, 0),
+                FormatF((op_s.max - op_s.min) / op_s.min, 4)});
+  table.AddRow({"worst-case fixed (analysis)", FormatF(an_s.mean, 0),
+                FormatF(an_s.min, 0), FormatF(an_s.max, 0),
+                FormatF((an_s.max - an_s.min) / an_s.min, 4)});
+  table.Render(std::cout);
+
+  std::printf(
+      "\nupper-bound violations (analysis < operation, matched input+seed): "
+      "%zu of %zu (must be 0)\n",
+      violations, inputs);
+  std::printf("average cost of the worst-case mode: +%.2f%%\n",
+              100.0 * (an_s.mean / op_s.mean - 1.0));
+  std::printf(
+      "expected shape: 0 violations; the analysis-mode average sits only "
+      "slightly above operation mode — most full-precision operands already "
+      "exercise the divider's worst path, so the upper-bounding guarantee "
+      "is nearly free (the paper reports no noticeable average impact).\n");
+  return violations == 0 ? 0 : 1;
+}

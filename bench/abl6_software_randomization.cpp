@@ -1,0 +1,111 @@
+// A6 — extension: software randomization on the DETERMINISTIC platform.
+//
+// The paper's platform randomizes in hardware. The companion line of work
+// (PROXIMA's software randomization for COTS processors) achieves the same
+// statistical effect without touching the silicon: the *software* re-links
+// / relocates code and data at a random layout on every run, so the
+// deterministic cache's conflict pattern becomes a random variable.
+//
+// This bench runs TVCA on the stock DET platform under three protocols:
+//   fixed layout        — industrial status quo: one layout, re-runs tell
+//                         you nothing about other layouts;
+//   per-run relayout    — software randomization: every run draws a fresh
+//                         link map (layout_seed), enabling MBPTA;
+//   hardware RAND       — the paper's platform, for reference.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/campaign.hpp"
+#include "apps/tvca.hpp"
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "common/table.hpp"
+#include "mbpta/iid_gate.hpp"
+#include "mbpta/mbpta.hpp"
+#include "sim/platform.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace spta;
+  bench::Banner(
+      "abl6_software_randomization",
+      "extension: software randomization (PROXIMA line of work)",
+      "randomizing the memory layout in software makes the deterministic "
+      "platform MBPTA-analyzable; hardware randomization achieves the same "
+      "with one binary");
+
+  const std::size_t runs = bench::RunCount(1000);
+  const std::uint64_t scenario_seed = 777;
+
+  TextTable table({"protocol", "runs", "mean", "stddev", "max",
+                   "iid @5%", "pWCET@1e-12"});
+  const auto add_row = [&](const char* name, std::vector<double>& times) {
+    const auto s = stats::Summarize(times);
+    std::string iid = "-";
+    std::string pwcet = "-";
+    if (s.max > s.min) {
+      const auto gate = mbpta::RunIidGate(times);
+      iid = gate.Passed() ? "pass" : "REJECTED";
+      mbpta::MbptaOptions opts;
+      opts.require_iid = false;
+      const auto est = mbpta::AnalyzeSample(times, opts);
+      if (est.curve) pwcet = FormatF(est.PwcetAt(1e-12), 0);
+    }
+    table.AddRow({name, std::to_string(times.size()), FormatF(s.mean, 0),
+                  FormatF(s.stddev, 1), FormatF(s.max, 0), iid, pwcet});
+  };
+
+  // Protocol 1: DET platform, one fixed binary (layout_seed = 0).
+  {
+    const apps::TvcaApp app;
+    const auto frame = app.BuildFrame(scenario_seed);
+    sim::Platform det(sim::DetLeon3Config(), 1);
+    std::vector<double> times;
+    for (std::size_t r = 0; r < runs; ++r) {
+      times.push_back(
+          static_cast<double>(det.Run(frame.trace, r).cycles));
+    }
+    add_row("DET, fixed layout", times);
+  }
+
+  // Protocol 2: DET platform, fresh link map per run (software rand.).
+  {
+    sim::Platform det(sim::DetLeon3Config(), 1);
+    std::vector<double> times;
+    for (std::size_t r = 0; r < runs; ++r) {
+      apps::TvcaConfig cfg;
+      cfg.layout_seed = DeriveSeed(31, r) | 1;  // nonzero
+      const apps::TvcaApp relinked(cfg);
+      const auto frame = relinked.BuildFrame(scenario_seed);
+      times.push_back(
+          static_cast<double>(det.Run(frame.trace, r).cycles));
+    }
+    add_row("DET, per-run software relayout", times);
+  }
+
+  // Protocol 3: hardware-randomized platform, one binary.
+  {
+    const apps::TvcaApp app;
+    const auto frame = app.BuildFrame(scenario_seed);
+    sim::Platform rnd(sim::RandLeon3Config(), 1);
+    std::vector<double> times;
+    for (std::size_t r = 0; r < runs; ++r) {
+      times.push_back(static_cast<double>(
+          rnd.Run(frame.trace, DeriveSeed(63, r)).cycles));
+    }
+    add_row("RAND (hardware), fixed layout", times);
+  }
+
+  table.Render(std::cout);
+  std::printf(
+      "\nexpected shape: the fixed-layout DET row has zero spread (one "
+      "layout = one time, MBPTA inapplicable: re-runs cannot reveal other "
+      "layouts). Per-run software relayout turns the hidden layout risk "
+      "into a measurable — heavy-tailed — distribution: under LRU a few "
+      "layouts thrash badly, so the pWCET is honest but large. Hardware "
+      "randomization additionally randomizes replacement, smoothing those "
+      "pathologies into a much tighter distribution and a smaller pWCET — "
+      "the quantitative argument for doing it in silicon.\n");
+  return 0;
+}

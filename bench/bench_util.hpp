@@ -1,0 +1,34 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper. The run
+// count defaults to the paper's 3,000 (or a bench-appropriate number) and
+// can be scaled down for smoke runs via the SPTA_BENCH_RUNS environment
+// variable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace spta::bench {
+
+/// Returns the configured number of measurement runs: SPTA_BENCH_RUNS if
+/// set and positive, otherwise `default_runs`.
+inline std::size_t RunCount(std::size_t default_runs) {
+  const char* env = std::getenv("SPTA_BENCH_RUNS");
+  if (env != nullptr) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return default_runs;
+}
+
+/// Standard banner so bench outputs are self-describing.
+inline void Banner(const char* experiment, const char* paper_artifact,
+                   const char* claim) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("paper claim: %s\n\n", claim);
+}
+
+}  // namespace spta::bench

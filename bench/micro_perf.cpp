@@ -1,0 +1,188 @@
+// P1 — google-benchmark microbenchmarks of the library's hot paths:
+// simulator throughput (instructions/second through the timing models),
+// PRNG output rates, the statistical tests and the EVT fits. These guard
+// the usability of the toolkit (a 3,000-run campaign must stay in the
+// seconds-to-minutes range).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analysis/campaign.hpp"
+#include "analysis/reuse.hpp"
+#include "apps/tvca.hpp"
+#include "evt/block_maxima.hpp"
+#include "evt/gumbel.hpp"
+#include "mbpta/mbpta.hpp"
+#include "prng/hw_prng.hpp"
+#include "prng/xoshiro.hpp"
+#include "sim/cache.hpp"
+#include "sim/platform.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/ljung_box.hpp"
+#include "swcet/hybrid.hpp"
+#include "swcet/static_bound.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/interpreter.hpp"
+#include "apps/kernels.hpp"
+
+namespace {
+
+using namespace spta;
+
+void BM_HwPrngNext(benchmark::State& state) {
+  prng::HwPrng gen(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_HwPrngNext);
+
+void BM_XoshiroNext(benchmark::State& state) {
+  prng::Xoshiro128pp gen(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_XoshiroNext);
+
+void BM_CacheAccess(benchmark::State& state) {
+  const auto placement = static_cast<sim::Placement>(state.range(0));
+  sim::Cache cache(
+      sim::CacheConfig{16 * 1024, 32, 4, placement,
+                       sim::Replacement::kRandom},
+      1);
+  prng::Xoshiro128pp rng(7);
+  std::vector<Address> addrs(4096);
+  for (auto& a : addrs) a = 0x40000000 + 4ULL * rng.UniformBelow(65536);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(addrs[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_CacheAccess)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PlatformRunBlend(benchmark::State& state) {
+  trace::BlendSpec spec;
+  spec.count = 10000;
+  const trace::Trace t = trace::BlendTrace(spec, 3);
+  sim::Platform platform(sim::RandLeon3Config(), 1);
+  Seed seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform.Run(t, seed++).cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spec.count));
+}
+BENCHMARK(BM_PlatformRunBlend);
+
+void BM_TvcaFrameBuild(benchmark::State& state) {
+  const apps::TvcaApp app;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app.BuildFrame(seed++).trace.records.size());
+  }
+}
+BENCHMARK(BM_TvcaFrameBuild);
+
+void BM_TvcaFrameSimulate(benchmark::State& state) {
+  const apps::TvcaApp app;
+  const auto frame = app.BuildFrame(1);
+  sim::Platform platform(sim::RandLeon3Config(), 1);
+  Seed seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform.Run(frame.trace, seed++).cycles);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(frame.trace.records.size()));
+}
+BENCHMARK(BM_TvcaFrameSimulate);
+
+std::vector<double> BenchSample(std::size_t n) {
+  prng::Xoshiro128pp rng(5);
+  evt::GumbelDist d{1e6, 2e3};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = d.Quantile(std::max(rng.UniformUnit(), 1e-12));
+  return xs;
+}
+
+void BM_LjungBox(benchmark::State& state) {
+  const auto xs = BenchSample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::LjungBoxTest(xs, 20).p_value);
+  }
+}
+BENCHMARK(BM_LjungBox)->Arg(1000)->Arg(3000);
+
+void BM_TwoSampleKs(benchmark::State& state) {
+  const auto xs = BenchSample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SplitSampleKs(xs).p_value);
+  }
+}
+BENCHMARK(BM_TwoSampleKs)->Arg(1000)->Arg(3000);
+
+void BM_GumbelMleFit(benchmark::State& state) {
+  const auto xs = BenchSample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evt::FitGumbelMle(xs).beta);
+  }
+}
+BENCHMARK(BM_GumbelMleFit)->Arg(100)->Arg(1000);
+
+void BM_FullMbptaAnalysis(benchmark::State& state) {
+  const auto xs = BenchSample(3000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mbpta::AnalyzeSample(xs).usable);
+  }
+}
+BENCHMARK(BM_FullMbptaAnalysis);
+
+void BM_ReuseProfile(benchmark::State& state) {
+  trace::BlendSpec spec;
+  spec.count = static_cast<std::size_t>(state.range(0));
+  const trace::Trace t = trace::BlendTrace(spec, 9);
+  for (auto _ : state) {
+    const analysis::ReuseProfile profile(t, 32);
+    benchmark::DoNotOptimize(profile.cold_misses());
+  }
+}
+BENCHMARK(BM_ReuseProfile)->Arg(10000)->Arg(100000);
+
+void BM_StaticBound(benchmark::State& state) {
+  static const trace::Program p = apps::MakeBubbleSortProgram(64);
+  trace::Interpreter interp(p);
+  for (int i = 0; i < 64; ++i) {
+    interp.WriteInt(0, static_cast<std::size_t>(i), 64 - i);
+  }
+  const trace::Trace t = interp.Run();
+  const std::vector<const trace::Trace*> traces = {&t};
+  const auto bounds = swcet::DeriveLoopBounds(p, traces, 1.2);
+  const auto cfg = sim::DetLeon3Config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        swcet::ComputeStaticBound(p, bounds, cfg).wcet_bound);
+  }
+}
+BENCHMARK(BM_StaticBound);
+
+void BM_HybridBound(benchmark::State& state) {
+  static const trace::Program p = apps::MakeBubbleSortProgram(64);
+  trace::Interpreter interp(p);
+  for (int i = 0; i < 64; ++i) {
+    interp.WriteInt(0, static_cast<std::size_t>(i), 64 - i);
+  }
+  const trace::Trace t = interp.Run();
+  const std::vector<const trace::Trace*> traces = {&t};
+  const auto cfg = sim::DetLeon3Config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        swcet::HybridStructuralBound(p, traces, cfg).wcet_bound);
+  }
+}
+BENCHMARK(BM_HybridBound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

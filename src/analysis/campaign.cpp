@@ -1,0 +1,83 @@
+#include "analysis/campaign.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace spta::analysis {
+
+std::vector<RunSample> RunTvcaCampaign(sim::Platform& platform,
+                                       const apps::TvcaApp& app,
+                                       const CampaignConfig& config) {
+  SPTA_REQUIRE(config.runs >= 1);
+  std::vector<RunSample> samples;
+  samples.reserve(config.runs);
+
+  // Frame cache: building a frame trace (interpretation) is more expensive
+  // than simulating it, and campaigns with a fixed test-vector suite reuse
+  // scenarios many times.
+  std::unordered_map<std::uint64_t, apps::TvcaFrame> frame_cache;
+
+  for (std::size_t r = 0; r < config.runs; ++r) {
+    const std::uint64_t scenario_index =
+        config.distinct_scenarios == 0 ? r : r % config.distinct_scenarios;
+    const std::uint64_t scenario_seed =
+        DeriveSeed(config.master_seed, scenario_index);
+    auto it = frame_cache.find(scenario_seed);
+    if (it == frame_cache.end()) {
+      it = frame_cache.emplace(scenario_seed, app.BuildFrame(scenario_seed))
+               .first;
+    }
+    const apps::TvcaFrame& frame = it->second;
+
+    const Seed run_seed =
+        DeriveSeed(DeriveSeed(config.master_seed, "run"), r);
+    RunSample s;
+    s.detail = platform.Run(frame.trace, run_seed);
+    s.cycles = static_cast<double>(s.detail.cycles);
+    s.path_id = frame.path_id;
+    samples.push_back(s);
+    // Unbounded caching is fine for the fixed-suite case; for fresh-input
+    // campaigns every scenario is distinct, so drop it again to bound
+    // memory.
+    if (config.distinct_scenarios == 0) frame_cache.erase(it);
+  }
+  return samples;
+}
+
+std::vector<RunSample> RunFixedTraceCampaign(sim::Platform& platform,
+                                             const trace::Trace& t,
+                                             std::size_t runs,
+                                             std::uint64_t master_seed) {
+  SPTA_REQUIRE(runs >= 1);
+  std::vector<RunSample> samples;
+  samples.reserve(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    RunSample s;
+    s.detail = platform.Run(t, DeriveSeed(master_seed, r));
+    s.cycles = static_cast<double>(s.detail.cycles);
+    s.path_id = static_cast<std::uint32_t>(t.path_signature);
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+std::vector<double> ExtractTimes(std::span<const RunSample> samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.cycles);
+  return out;
+}
+
+std::vector<mbpta::PathObservation> ToPathObservations(
+    std::span<const RunSample> samples) {
+  std::vector<mbpta::PathObservation> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    out.push_back({s.path_id, s.cycles});
+  }
+  return out;
+}
+
+}  // namespace spta::analysis

@@ -1,0 +1,60 @@
+// Measurement campaigns: the glue between workload, platform and analysis.
+//
+// A campaign reproduces the paper's measurement protocol end to end: for
+// each run, draw the workload inputs (a new frame scenario), reset the
+// platform (flush caches/TLBs, reset bus/DRAM — "reset the FPGA, reload
+// the executable") and, on the randomized platform, install a fresh PRNG
+// seed; then execute and record the end-to-end execution time and the
+// application path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/tvca.hpp"
+#include "mbpta/per_path.hpp"
+#include "sim/platform.hpp"
+#include "trace/record.hpp"
+
+namespace spta::analysis {
+
+struct CampaignConfig {
+  std::size_t runs = 1000;
+  std::uint64_t master_seed = 20170327;  // DATE'17 conference date
+  /// When > 0, inputs cycle through this many distinct scenarios (the
+  /// analysis-time test-vector suite); 0 means every run draws fresh
+  /// inputs (operation-like).
+  std::size_t distinct_scenarios = 0;
+};
+
+/// One measurement.
+struct RunSample {
+  double cycles = 0.0;
+  std::uint32_t path_id = 0;
+  sim::RunResult detail;
+};
+
+/// Executes a TVCA campaign on `platform`. Frame traces are cached per
+/// scenario, so re-running the same scenario under a different platform
+/// seed costs only simulation time.
+std::vector<RunSample> RunTvcaCampaign(sim::Platform& platform,
+                                       const apps::TvcaApp& app,
+                                       const CampaignConfig& config);
+
+/// Executes `runs` measurements of one fixed trace under per-run reseeding
+/// (isolates platform randomization jitter from input jitter).
+std::vector<RunSample> RunFixedTraceCampaign(sim::Platform& platform,
+                                             const trace::Trace& t,
+                                             std::size_t runs,
+                                             std::uint64_t master_seed);
+
+/// Extracts the execution-time series (collection order preserved).
+std::vector<double> ExtractTimes(std::span<const RunSample> samples);
+
+/// Converts samples to the per-path observation form used by
+/// mbpta::AnalyzePerPath.
+std::vector<mbpta::PathObservation> ToPathObservations(
+    std::span<const RunSample> samples);
+
+}  // namespace spta::analysis

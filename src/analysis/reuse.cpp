@@ -1,0 +1,109 @@
+#include "analysis/reuse.hpp"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace spta::analysis {
+namespace {
+
+// Fenwick tree over access timestamps: a set bit marks "a line's most
+// recent access happened at this time". Stack distance is then a range
+// count — the textbook O(N log N) reuse-distance algorithm.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void Add(std::size_t i, int delta) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  // Sum of [0, i].
+  std::int64_t Prefix(std::size_t i) const {
+    std::int64_t s = 0;
+    for (++i; i > 0; i -= i & (~i + 1)) {
+      s += tree_[i];
+    }
+    return s;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+ReuseProfile::ReuseProfile(const trace::Trace& t, std::uint32_t line_bytes) {
+  SPTA_REQUIRE(line_bytes >= 4 && std::has_single_bit(line_bytes));
+  const auto shift = static_cast<unsigned>(std::countr_zero(line_bytes));
+
+  // First count data accesses to size the Fenwick tree.
+  std::size_t n = 0;
+  for (const auto& rec : t.records) {
+    n += rec.op == trace::OpClass::kLoad || rec.op == trace::OpClass::kStore;
+  }
+  Fenwick bit(n + 1);
+  std::unordered_map<std::uint64_t, std::size_t> last_time;
+  last_time.reserve(n / 4 + 16);
+
+  std::size_t now = 0;
+  for (const auto& rec : t.records) {
+    if (rec.op != trace::OpClass::kLoad &&
+        rec.op != trace::OpClass::kStore) {
+      continue;
+    }
+    const std::uint64_t line = rec.mem_addr >> shift;
+    ++accesses_;
+    const auto it = last_time.find(line);
+    if (it == last_time.end()) {
+      ++cold_;
+    } else {
+      // Distinct lines accessed strictly after the previous touch.
+      const std::size_t prev = it->second;
+      const auto distance = static_cast<std::size_t>(
+          bit.Prefix(now) - bit.Prefix(prev));
+      if (histogram_.size() <= distance) {
+        histogram_.resize(distance + 1, 0);
+      }
+      ++histogram_[distance];
+      bit.Add(prev, -1);
+    }
+    bit.Add(now, +1);
+    last_time[line] = now;
+    ++now;
+  }
+}
+
+std::uint64_t ReuseProfile::CountAtDistance(std::size_t d) const {
+  return d < histogram_.size() ? histogram_[d] : 0;
+}
+
+std::uint64_t ReuseProfile::PredictedLruMisses(std::size_t lines) const {
+  SPTA_REQUIRE(lines >= 1);
+  std::uint64_t misses = cold_;
+  for (std::size_t d = lines; d < histogram_.size(); ++d) {
+    misses += histogram_[d];
+  }
+  return misses;
+}
+
+std::size_t ReuseProfile::WorkingSetLines(double target) const {
+  SPTA_REQUIRE(target > 0.0 && target <= 1.0);
+  if (accesses_ == 0) return 0;
+  const double max_hit_ratio =
+      1.0 - static_cast<double>(cold_) / static_cast<double>(accesses_);
+  if (max_hit_ratio < target) return 0;
+  std::uint64_t hits = 0;
+  for (std::size_t d = 0; d < histogram_.size(); ++d) {
+    hits += histogram_[d];
+    const double ratio =
+        static_cast<double>(hits) / static_cast<double>(accesses_);
+    if (ratio >= target) return d + 1;
+  }
+  return histogram_.size() + 1;
+}
+
+}  // namespace spta::analysis

@@ -1,0 +1,53 @@
+// Reuse-distance (stack-distance) profiling of memory traces.
+//
+// The classic analytical model of LRU caches: the stack distance of an
+// access is the number of DISTINCT cache lines touched since the previous
+// access to the same line. Under full associativity with LRU, an access
+// hits iff its stack distance is < the cache's line capacity — so the
+// reuse-distance histogram predicts miss counts for every cache size at
+// once. Used to cross-validate the cache simulator (tests) and to reason
+// about working-set sizes when sizing workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace spta::analysis {
+
+/// Reuse-distance histogram of the data (load/store) accesses of a trace.
+class ReuseProfile {
+ public:
+  /// Profiles `t` with the given cache-line granularity (power of two).
+  ReuseProfile(const trace::Trace& t, std::uint32_t line_bytes = 32);
+
+  /// Number of data accesses profiled.
+  std::uint64_t accesses() const { return accesses_; }
+
+  /// Cold (first-touch) accesses = distinct lines.
+  std::uint64_t cold_misses() const { return cold_; }
+
+  /// Accesses with stack distance exactly `d` (d = 0 means the line was
+  /// re-touched with no distinct line in between).
+  std::uint64_t CountAtDistance(std::size_t d) const;
+
+  /// Predicted misses of a fully associative LRU cache holding `lines`
+  /// cache lines: cold misses + accesses with distance >= lines.
+  std::uint64_t PredictedLruMisses(std::size_t lines) const;
+
+  /// Smallest line capacity for which the predicted hit ratio reaches
+  /// `target` (1.0 returns the capacity covering every reuse), or 0 when
+  /// even infinite capacity cannot reach it (cold misses dominate).
+  std::size_t WorkingSetLines(double target = 0.99) const;
+
+  /// The raw histogram (index = distance).
+  const std::vector<std::uint64_t>& histogram() const { return histogram_; }
+
+ private:
+  std::vector<std::uint64_t> histogram_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t cold_ = 0;
+};
+
+}  // namespace spta::analysis

@@ -1,0 +1,84 @@
+#include "analysis/sample_io.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace spta::analysis {
+namespace {
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+std::vector<mbpta::PathObservation> ReadSamplesCsv(std::istream& in) {
+  std::vector<mbpta::PathObservation> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto comma = trimmed.find(',');
+    const std::string first =
+        Trim(comma == std::string::npos ? trimmed : trimmed.substr(0, comma));
+    double cycles = 0.0;
+    if (!ParseDouble(first, &cycles)) {
+      // Tolerate one header line (non-numeric first field).
+      if (out.empty()) continue;
+      SPTA_REQUIRE_MSG(false, "samples CSV line " << line_no
+                                                  << ": bad number '"
+                                                  << first << "'");
+    }
+    mbpta::PathObservation obs;
+    obs.time = cycles;
+    if (comma != std::string::npos) {
+      const std::string second = Trim(trimmed.substr(comma + 1));
+      if (!second.empty()) {
+        double path = 0.0;
+        SPTA_REQUIRE_MSG(ParseDouble(second, &path),
+                         "samples CSV line " << line_no << ": bad path id '"
+                                             << second << "'");
+        SPTA_REQUIRE_MSG(path >= 0.0, "samples CSV line "
+                                          << line_no << ": negative path id");
+        obs.path_id = static_cast<std::uint64_t>(path);
+      }
+    }
+    out.push_back(obs);
+  }
+  return out;
+}
+
+void WriteSamplesCsv(std::ostream& out,
+                     std::span<const RunSample> samples) {
+  out << "cycles,path_id\n";
+  for (const auto& s : samples) {
+    out << static_cast<std::uint64_t>(s.cycles) << ',' << s.path_id << '\n';
+  }
+}
+
+void WriteObservationsCsv(std::ostream& out,
+                          std::span<const mbpta::PathObservation> obs) {
+  out << "cycles,path_id\n";
+  for (const auto& o : obs) {
+    out << static_cast<std::uint64_t>(o.time) << ',' << o.path_id << '\n';
+  }
+}
+
+}  // namespace spta::analysis

@@ -1,0 +1,37 @@
+// CSV import/export of measurement samples.
+//
+// Lets the MBPTA pipeline analyze execution times collected OUTSIDE the
+// bundled simulator (a real board, another simulator, a tracing probe):
+// the chronovise-style standalone use of the library. The format is one
+// observation per line:
+//
+//   cycles[,path_id]          # header line optional
+//
+// and the writer emits `cycles,path_id` with a header.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/campaign.hpp"
+#include "mbpta/per_path.hpp"
+
+namespace spta::analysis {
+
+/// Parses observations from `in`. Accepts an optional header line, blank
+/// lines and `#` comments; a missing path column means path 0. Aborts
+/// (precondition) on malformed numeric fields, reporting the line number.
+std::vector<mbpta::PathObservation> ReadSamplesCsv(std::istream& in);
+
+/// Writes `samples` as `cycles,path_id` CSV with a header.
+void WriteSamplesCsv(std::ostream& out,
+                     std::span<const RunSample> samples);
+
+/// Writes raw observations (same format).
+void WriteObservationsCsv(std::ostream& out,
+                          std::span<const mbpta::PathObservation> obs);
+
+}  // namespace spta::analysis

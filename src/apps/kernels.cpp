@@ -1,0 +1,714 @@
+#include "apps/kernels.hpp"
+
+#include "common/assert.hpp"
+
+namespace spta::apps {
+
+using trace::BlockId;
+using trace::Program;
+using trace::ProgramBuilder;
+using trace::RegId;
+
+namespace {
+// Register conventions used by every kernel:
+//   r1..r5   loop counters / bounds
+//   r6..r12  integer temporaries
+//   r20+     kernel results
+//   f1..f12  FP temporaries
+constexpr RegId kI = 1, kJ = 2, kK = 3, kN = 4, kM = 5;
+constexpr RegId kT0 = 6, kT1 = 7, kT2 = 8, kT3 = 9, kT4 = 10;
+constexpr RegId kF0 = 1, kF1 = 2, kF2 = 3, kF3 = 4, kF4 = 5, kF5 = 6;
+}  // namespace
+
+Program MakeMatMulProgram(int n, std::uint64_t link_offset) {
+  SPTA_REQUIRE(n >= 1);
+  ProgramBuilder b("matmul");
+  const auto a = b.AddFpArray("A", static_cast<std::size_t>(n) * n);
+  const auto bb = b.AddFpArray("B", static_cast<std::size_t>(n) * n);
+  const auto c = b.AddFpArray("C", static_cast<std::size_t>(n) * n);
+
+  const BlockId entry = b.NewBlock();
+  const BlockId loop_i = b.NewBlock();
+  const BlockId body_i = b.NewBlock();
+  const BlockId loop_j = b.NewBlock();
+  const BlockId body_j = b.NewBlock();
+  const BlockId loop_k = b.NewBlock();
+  const BlockId body_k = b.NewBlock();
+  const BlockId end_k = b.NewBlock();
+  const BlockId end_i = b.NewBlock();
+  const BlockId exit = b.NewBlock();
+
+  b.SetEntry(entry);
+  b.SwitchTo(entry);
+  b.IConst(kN, n);
+  b.IConst(kI, 0);
+  b.Jump(loop_i);
+
+  b.SwitchTo(loop_i);
+  b.ICmpLt(kT0, kI, kN);
+  b.BranchIfZero(kT0, exit, body_i);
+
+  b.SwitchTo(body_i);
+  b.IConst(kJ, 0);
+  b.Jump(loop_j);
+
+  b.SwitchTo(loop_j);
+  b.ICmpLt(kT0, kJ, kN);
+  b.BranchIfZero(kT0, end_i, body_j);
+
+  b.SwitchTo(body_j);
+  b.FConst(kF0, 0.0);
+  b.IConst(kK, 0);
+  b.Jump(loop_k);
+
+  b.SwitchTo(loop_k);
+  b.ICmpLt(kT0, kK, kN);
+  b.BranchIfZero(kT0, end_k, body_k);
+
+  b.SwitchTo(body_k);
+  b.IMul(kT1, kI, kN);
+  b.IAdd(kT2, kT1, kK);
+  b.LoadF(kF1, a, kT2);  // A[i*n+k]
+  b.IMul(kT1, kK, kN);
+  b.IAdd(kT2, kT1, kJ);
+  b.LoadF(kF2, bb, kT2);  // B[k*n+j]
+  b.FMul(kF3, kF1, kF2);
+  b.FAdd(kF0, kF0, kF3);
+  b.IAddImm(kK, kK, 1);
+  b.Jump(loop_k);
+
+  b.SwitchTo(end_k);
+  b.IMul(kT1, kI, kN);
+  b.IAdd(kT2, kT1, kJ);
+  b.StoreF(c, kT2, kF0);  // C[i*n+j] = sum
+  b.IAddImm(kJ, kJ, 1);
+  b.Jump(loop_j);
+
+  b.SwitchTo(end_i);
+  b.IAddImm(kI, kI, 1);
+  b.Jump(loop_i);
+
+  b.SwitchTo(exit);
+  b.Halt();
+
+  return b.Build(link_offset);
+}
+
+Program MakeFirProgram(int taps, int samples, std::uint64_t link_offset) {
+  SPTA_REQUIRE(taps >= 1 && samples >= 1);
+  ProgramBuilder b("fir");
+  const auto coef = b.AddFpArray("coef", static_cast<std::size_t>(taps));
+  const auto in =
+      b.AddFpArray("in", static_cast<std::size_t>(samples + taps));
+  const auto out = b.AddFpArray("out", static_cast<std::size_t>(samples));
+
+  const BlockId entry = b.NewBlock();
+  const BlockId loop_i = b.NewBlock();
+  const BlockId body_i = b.NewBlock();
+  const BlockId loop_j = b.NewBlock();
+  const BlockId body_j = b.NewBlock();
+  const BlockId end_j = b.NewBlock();
+  const BlockId exit = b.NewBlock();
+
+  b.SetEntry(entry);
+  b.SwitchTo(entry);
+  b.IConst(kN, samples);
+  b.IConst(kM, taps);
+  b.IConst(kI, 0);
+  b.Jump(loop_i);
+
+  b.SwitchTo(loop_i);
+  b.ICmpLt(kT0, kI, kN);
+  b.BranchIfZero(kT0, exit, body_i);
+
+  b.SwitchTo(body_i);
+  b.FConst(kF0, 0.0);
+  b.IConst(kJ, 0);
+  b.Jump(loop_j);
+
+  b.SwitchTo(loop_j);
+  b.ICmpLt(kT0, kJ, kM);
+  b.BranchIfZero(kT0, end_j, body_j);
+
+  b.SwitchTo(body_j);
+  b.LoadF(kF1, coef, kJ);
+  b.IAdd(kT1, kI, kJ);
+  b.LoadF(kF2, in, kT1);  // in[i+j]
+  b.FMul(kF3, kF1, kF2);
+  b.FAdd(kF0, kF0, kF3);
+  b.IAddImm(kJ, kJ, 1);
+  b.Jump(loop_j);
+
+  b.SwitchTo(end_j);
+  b.StoreF(out, kI, kF0);
+  b.IAddImm(kI, kI, 1);
+  b.Jump(loop_i);
+
+  b.SwitchTo(exit);
+  b.Halt();
+
+  return b.Build(link_offset);
+}
+
+Program MakeCrcProgram(int words, std::uint64_t link_offset) {
+  SPTA_REQUIRE(words >= 1);
+  ProgramBuilder b("crc");
+  const auto table = b.AddIntArray("table", 256);
+  const auto msg = b.AddIntArray("msg", static_cast<std::size_t>(words));
+
+  constexpr RegId kCrc = 20;
+  constexpr RegId kMask = 11;
+
+  const BlockId entry = b.NewBlock();
+  const BlockId loop = b.NewBlock();
+  const BlockId body = b.NewBlock();
+  const BlockId exit = b.NewBlock();
+
+  b.SetEntry(entry);
+  b.SwitchTo(entry);
+  b.IConst(kN, words);
+  b.IConst(kI, 0);
+  b.IConst(kCrc, 0x1d0f);
+  b.IConst(kMask, 0xff);
+  b.Jump(loop);
+
+  b.SwitchTo(loop);
+  b.ICmpLt(kT0, kI, kN);
+  b.BranchIfZero(kT0, exit, body);
+
+  b.SwitchTo(body);
+  b.LoadI(kT1, msg, kI);     // w = msg[i]
+  b.IXor(kT2, kCrc, kT1);    // x = crc ^ w
+  b.IAnd(kT3, kT2, kMask);   // idx = x & 0xff
+  b.LoadI(kT4, table, kT3);  // t = table[idx]
+  b.IShr(kT2, kCrc, 8);      // crc >> 8
+  b.IXor(kCrc, kT2, kT4);    // crc = (crc >> 8) ^ t
+  b.IAddImm(kI, kI, 1);
+  b.Jump(loop);
+
+  b.SwitchTo(exit);
+  b.Halt();
+
+  return b.Build(link_offset);
+}
+
+Program MakeAttitudeProgram(int steps, std::uint64_t link_offset) {
+  SPTA_REQUIRE(steps >= 1);
+  ProgramBuilder b("attitude");
+  // state[0..3] = quaternion, state[4..6] = body rates estimate,
+  // state[7] = accumulated correction energy.
+  const auto state = b.AddFpArray("state", 8);
+  const auto rates =
+      b.AddFpArray("rates", static_cast<std::size_t>(steps) * 3);
+
+  constexpr RegId kQ0 = 1, kQ1 = 2, kQ2 = 3, kQ3 = 4;
+  constexpr RegId kWx = 7, kWy = 8, kWz = 9;
+  constexpr RegId kTmp = 10, kTmp2 = 11, kNorm = 12, kHalfDt = 13;
+  constexpr RegId kThresh = 14;
+  constexpr RegId kZero = 15;  // integer register pinned to 0
+
+  const BlockId entry = b.NewBlock();
+  const BlockId loop = b.NewBlock();
+  const BlockId body = b.NewBlock();
+  const BlockId correct = b.NewBlock();
+  const BlockId renorm = b.NewBlock();
+  const BlockId exit = b.NewBlock();
+
+  b.SetEntry(entry);
+  b.SwitchTo(entry);
+  b.IConst(kN, steps);
+  b.IConst(kI, 0);
+  b.IConst(kZero, 0);
+  b.LoadF(kQ0, state, kI, 0);
+  b.LoadF(kQ1, state, kI, 1);
+  b.LoadF(kQ2, state, kI, 2);
+  b.LoadF(kQ3, state, kI, 3);
+  b.FConst(kHalfDt, 0.5 * 0.01);
+  b.FConst(kThresh, 0.25);  // |w|^2 threshold for the correction path
+  b.Jump(loop);
+
+  b.SwitchTo(loop);
+  b.ICmpLt(kT0, kI, kN);
+  b.BranchIfZero(kT0, exit, body);
+
+  b.SwitchTo(body);
+  // Load the body rates for this step: rates[3*i + {0,1,2}].
+  b.IConst(kT1, 3);
+  b.IMul(kT2, kI, kT1);
+  b.IMove(kT3, kT2);
+  b.LoadF(kWx, rates, kT3, 0);
+  b.LoadF(kWy, rates, kT3, 1);
+  b.LoadF(kWz, rates, kT3, 2);
+  // Quaternion derivative (first-order): q += 0.5*dt * (w ⊗ q), abridged.
+  b.FMul(kTmp, kWx, kQ1);
+  b.FMul(kTmp2, kTmp, kHalfDt);
+  b.FAdd(kQ0, kQ0, kTmp2);
+  b.FMul(kTmp, kWy, kQ2);
+  b.FMul(kTmp2, kTmp, kHalfDt);
+  b.FAdd(kQ1, kQ1, kTmp2);
+  b.FMul(kTmp, kWz, kQ3);
+  b.FMul(kTmp2, kTmp, kHalfDt);
+  b.FAdd(kQ2, kQ2, kTmp2);
+  b.FMul(kTmp, kWx, kQ0);
+  b.FMul(kTmp2, kTmp, kHalfDt);
+  b.FSub(kQ3, kQ3, kTmp2);
+  // Rate magnitude check: large maneuvers take the correction path.
+  b.FMul(kTmp, kWx, kWx);
+  b.FMul(kTmp2, kWy, kWy);
+  b.FAdd(kTmp, kTmp, kTmp2);
+  b.FMul(kTmp2, kWz, kWz);
+  b.FAdd(kTmp, kTmp, kTmp2);
+  b.FCmpLt(kT0, kThresh, kTmp);  // 1 if |w|^2 > thresh
+  b.BranchIfZero(kT0, renorm, correct);
+
+  b.SwitchTo(correct);
+  // Data-dependent extra work: damped correction with divide + sqrt.
+  b.FSqrt(kTmp2, kTmp);          // |w|
+  b.FConst(kTmp, 1.0);
+  b.FAdd(kTmp, kTmp, kTmp2);     // 1 + |w|
+  b.FDiv(kTmp2, kHalfDt, kTmp);  // halfdt / (1+|w|)
+  b.FMul(kQ0, kQ0, kTmp);        // stiffen the quaternion
+  b.FMul(kQ1, kQ1, kTmp);
+  b.LoadF(kTmp, state, kZero, 7);  // accumulate correction energy
+  b.FAdd(kTmp, kTmp, kTmp2);
+  b.StoreF(state, kZero, kTmp, 7);
+  b.Jump(renorm);
+
+  b.SwitchTo(renorm);
+  // Renormalize: q /= sqrt(q0^2+q1^2+q2^2+q3^2) — FSQRT + 4 FDIVs whose
+  // latency depends on the operand values (jittery on the DET platform).
+  b.FMul(kNorm, kQ0, kQ0);
+  b.FMul(kTmp, kQ1, kQ1);
+  b.FAdd(kNorm, kNorm, kTmp);
+  b.FMul(kTmp, kQ2, kQ2);
+  b.FAdd(kNorm, kNorm, kTmp);
+  b.FMul(kTmp, kQ3, kQ3);
+  b.FAdd(kNorm, kNorm, kTmp);
+  b.FSqrt(kNorm, kNorm);
+  b.FDiv(kQ0, kQ0, kNorm);
+  b.FDiv(kQ1, kQ1, kNorm);
+  b.FDiv(kQ2, kQ2, kNorm);
+  b.FDiv(kQ3, kQ3, kNorm);
+  b.IAddImm(kI, kI, 1);
+  b.Jump(loop);
+
+  b.SwitchTo(exit);
+  // Write back the quaternion.
+  b.IConst(kI, 0);
+  b.StoreF(state, kI, kQ0, 0);
+  b.StoreF(state, kI, kQ1, 1);
+  b.StoreF(state, kI, kQ2, 2);
+  b.StoreF(state, kI, kQ3, 3);
+  b.Halt();
+
+  return b.Build(link_offset);
+}
+
+Program MakeBubbleSortProgram(int n, std::uint64_t link_offset) {
+  SPTA_REQUIRE(n >= 2);
+  ProgramBuilder b("bubble-sort");
+  const auto keys = b.AddIntArray("keys", static_cast<std::size_t>(n));
+
+  const BlockId entry = b.NewBlock();
+  const BlockId outer = b.NewBlock();
+  const BlockId outer_body = b.NewBlock();
+  const BlockId inner = b.NewBlock();
+  const BlockId inner_body = b.NewBlock();
+  const BlockId do_swap = b.NewBlock();
+  const BlockId no_swap = b.NewBlock();
+  const BlockId outer_end = b.NewBlock();
+  const BlockId exit = b.NewBlock();
+
+  // r1 = i, r2 = j, r4 = n, r5 = n-1, r7 = inner limit, r8/r9 = elements.
+  b.SetEntry(entry);
+  b.SwitchTo(entry);
+  b.IConst(kN, n);
+  b.IAddImm(kM, kN, -1);
+  b.IConst(kI, 0);
+  b.Jump(outer);
+
+  b.SwitchTo(outer);
+  b.ICmpLt(kT0, kI, kM);
+  b.BranchIfZero(kT0, exit, outer_body);
+
+  b.SwitchTo(outer_body);
+  b.IConst(kJ, 0);
+  b.ISub(kT1, kM, kI);  // n-1-i
+  b.Jump(inner);
+
+  b.SwitchTo(inner);
+  b.ICmpLt(kT0, kJ, kT1);
+  b.BranchIfZero(kT0, outer_end, inner_body);
+
+  b.SwitchTo(inner_body);
+  b.LoadI(kT2, keys, kJ, 0);  // keys[j]
+  b.LoadI(kT3, keys, kJ, 1);  // keys[j+1]
+  b.ICmpLt(kT0, kT3, kT2);    // out of order?
+  b.BranchIfZero(kT0, no_swap, do_swap);
+
+  b.SwitchTo(do_swap);
+  b.StoreI(keys, kJ, kT3, 0);
+  b.StoreI(keys, kJ, kT2, 1);
+  b.Jump(no_swap);
+
+  b.SwitchTo(no_swap);
+  b.IAddImm(kJ, kJ, 1);
+  b.Jump(inner);
+
+  b.SwitchTo(outer_end);
+  b.IAddImm(kI, kI, 1);
+  b.Jump(outer);
+
+  b.SwitchTo(exit);
+  b.Halt();
+
+  return b.Build(link_offset);
+}
+
+Program MakeBinarySearchProgram(int n, int queries,
+                                std::uint64_t link_offset) {
+  SPTA_REQUIRE(n >= 1 && queries >= 1);
+  ProgramBuilder b("binary-search");
+  const auto table = b.AddIntArray("table", static_cast<std::size_t>(n));
+  const auto query =
+      b.AddIntArray("queries", static_cast<std::size_t>(queries));
+  const auto results =
+      b.AddIntArray("results", static_cast<std::size_t>(queries));
+
+  const BlockId entry = b.NewBlock();
+  const BlockId qloop = b.NewBlock();
+  const BlockId qbody = b.NewBlock();
+  const BlockId sloop = b.NewBlock();
+  const BlockId sbody = b.NewBlock();
+  const BlockId go_right = b.NewBlock();
+  const BlockId not_less = b.NewBlock();
+  const BlockId go_left = b.NewBlock();
+  const BlockId found = b.NewBlock();
+  const BlockId sdone = b.NewBlock();
+  const BlockId exit = b.NewBlock();
+
+  // r1 = query index, r2 = lo, r3 = hi (inclusive), r4 = n, r5 = queries,
+  // r7 = mid, r8 = table[mid], r10 = key, r12 = result.
+  constexpr RegId kKey = 11, kResult = 12;
+  b.SetEntry(entry);
+  b.SwitchTo(entry);
+  b.IConst(kN, n);  // reuse kB0 alias: r4
+  b.IConst(kM, queries);
+  b.IConst(kI, 0);
+  b.Jump(qloop);
+
+  b.SwitchTo(qloop);
+  b.ICmpLt(kT0, kI, kM);
+  b.BranchIfZero(kT0, exit, qbody);
+
+  b.SwitchTo(qbody);
+  b.LoadI(kKey, query, kI);
+  b.IConst(kJ, 0);          // lo
+  b.IAddImm(kK, kN, -1);    // hi
+  b.IConst(kResult, -1);
+  b.Jump(sloop);
+
+  b.SwitchTo(sloop);
+  b.ICmpLt(kT0, kK, kJ);  // hi < lo -> done
+  b.BranchIfZero(kT0, sbody, sdone);
+
+  b.SwitchTo(sbody);
+  b.IAdd(kT1, kJ, kK);
+  b.IShr(kT1, kT1, 1);      // mid
+  b.LoadI(kT2, table, kT1);
+  b.ICmpLt(kT0, kT2, kKey);  // table[mid] < key?
+  b.BranchIfZero(kT0, not_less, go_right);
+
+  b.SwitchTo(go_right);
+  b.IAddImm(kJ, kT1, 1);
+  b.Jump(sloop);
+
+  b.SwitchTo(not_less);
+  b.ICmpLt(kT0, kKey, kT2);  // key < table[mid]?
+  b.BranchIfZero(kT0, found, go_left);
+
+  b.SwitchTo(go_left);
+  b.IAddImm(kK, kT1, -1);
+  b.Jump(sloop);
+
+  b.SwitchTo(found);
+  b.IMove(kResult, kT1);
+  b.Jump(sdone);
+
+  b.SwitchTo(sdone);
+  b.StoreI(results, kI, kResult);
+  b.IAddImm(kI, kI, 1);
+  b.Jump(qloop);
+
+  b.SwitchTo(exit);
+  b.Halt();
+
+  return b.Build(link_offset);
+}
+
+Program MakeInterpolationProgram(int table_size, int queries,
+                                 std::uint64_t link_offset) {
+  SPTA_REQUIRE(table_size >= 2 && queries >= 1);
+  ProgramBuilder b("interpolation");
+  const auto bx =
+      b.AddFpArray("breakpoints", static_cast<std::size_t>(table_size));
+  const auto by = b.AddFpArray("values", static_cast<std::size_t>(table_size));
+  const auto query = b.AddFpArray("queries", static_cast<std::size_t>(queries));
+  const auto out = b.AddFpArray("outputs", static_cast<std::size_t>(queries));
+
+  const BlockId entry = b.NewBlock();
+  const BlockId qloop = b.NewBlock();
+  const BlockId qbody = b.NewBlock();
+  const BlockId clamp_lo = b.NewBlock();
+  const BlockId check_hi = b.NewBlock();
+  const BlockId clamp_hi = b.NewBlock();
+  const BlockId scan = b.NewBlock();
+  const BlockId scan_inc = b.NewBlock();
+  const BlockId interp = b.NewBlock();
+  const BlockId store = b.NewBlock();
+  const BlockId exit = b.NewBlock();
+
+  // r1 = query index, r2 = scan index, r4 = table_size, r5 = queries,
+  // r15 = 0; f1 = key, f2..f7 = temps, f8 = result.
+  constexpr RegId kFKey = 1, kFA = 2, kFB = 3, kFC = 4, kFD = 5, kFT = 6,
+                  kFU = 7, kFOut = 8;
+  constexpr RegId kZero = 15;
+  b.SetEntry(entry);
+  b.SwitchTo(entry);
+  b.IConst(kN, table_size);
+  b.IConst(kM, queries);
+  b.IConst(kZero, 0);
+  b.IConst(kI, 0);
+  b.Jump(qloop);
+
+  b.SwitchTo(qloop);
+  b.ICmpLt(kT0, kI, kM);
+  b.BranchIfZero(kT0, exit, qbody);
+
+  b.SwitchTo(qbody);
+  b.LoadF(kFKey, query, kI);
+  b.LoadF(kFA, bx, kZero, 0);  // first breakpoint
+  b.FCmpLt(kT0, kFKey, kFA);
+  b.BranchIfZero(kT0, check_hi, clamp_lo);
+
+  b.SwitchTo(clamp_lo);
+  b.LoadF(kFOut, by, kZero, 0);
+  b.Jump(store);
+
+  b.SwitchTo(check_hi);
+  b.IAddImm(kT1, kN, -1);
+  b.LoadF(kFB, bx, kT1);  // last breakpoint
+  b.FCmpLt(kT0, kFB, kFKey);
+  b.BranchIfZero(kT0, scan, clamp_hi);
+
+  b.SwitchTo(clamp_hi);
+  b.LoadF(kFOut, by, kT1);
+  b.Jump(store);
+
+  // Linear scan for the first breakpoint >= key (bounded: the clamp
+  // checks guarantee termination before the table end). `scan` tests the
+  // current index; `scan_inc` bumps it and loops back.
+  b.SwitchTo(scan);
+  b.IConst(kJ, 1);
+  b.LoadF(kFA, bx, kJ);
+  b.FCmpLt(kT0, kFA, kFKey);  // bx[j] < key: keep scanning
+  b.BranchIfZero(kT0, interp, scan_inc);
+
+  b.SwitchTo(scan_inc);
+  b.IAddImm(kJ, kJ, 1);
+  b.LoadF(kFA, bx, kJ);
+  b.FCmpLt(kT0, kFA, kFKey);
+  b.BranchIfZero(kT0, interp, scan_inc);
+
+  b.SwitchTo(interp);
+  b.LoadF(kFA, bx, kJ, -1);  // x0
+  b.LoadF(kFB, bx, kJ, 0);   // x1
+  b.LoadF(kFC, by, kJ, -1);  // y0
+  b.LoadF(kFD, by, kJ, 0);   // y1
+  b.FSub(kFT, kFKey, kFA);
+  b.FSub(kFU, kFB, kFA);
+  b.FDiv(kFT, kFT, kFU);   // t = (key-x0)/(x1-x0), value-dependent FDIV
+  b.FSub(kFU, kFD, kFC);
+  b.FMul(kFT, kFT, kFU);
+  b.FAdd(kFOut, kFC, kFT);
+  b.Jump(store);
+
+  b.SwitchTo(store);
+  b.StoreF(out, kI, kFOut);
+  b.IAddImm(kI, kI, 1);
+  b.Jump(qloop);
+
+  b.SwitchTo(exit);
+  b.Halt();
+
+  return b.Build(link_offset);
+}
+
+Program MakeLuSolveProgram(int n, std::uint64_t link_offset) {
+  SPTA_REQUIRE(n >= 2);
+  ProgramBuilder b("lu-solve");
+  const auto mat = b.AddFpArray("A", static_cast<std::size_t>(n) * n);
+  const auto rhs = b.AddFpArray("b", static_cast<std::size_t>(n));
+
+  const BlockId entry = b.NewBlock();
+  // LU factorization loops.
+  const BlockId k_loop = b.NewBlock();
+  const BlockId k_body = b.NewBlock();
+  const BlockId i_loop = b.NewBlock();
+  const BlockId i_body = b.NewBlock();
+  const BlockId j_loop = b.NewBlock();
+  const BlockId j_body = b.NewBlock();
+  const BlockId i_end = b.NewBlock();
+  const BlockId k_end = b.NewBlock();
+  // Forward substitution.
+  const BlockId f_loop = b.NewBlock();
+  const BlockId f_body = b.NewBlock();
+  const BlockId fj_loop = b.NewBlock();
+  const BlockId fj_body = b.NewBlock();
+  const BlockId fj_work = b.NewBlock();
+  const BlockId f_end = b.NewBlock();
+  // Backward substitution.
+  const BlockId b_init = b.NewBlock();
+  const BlockId b_loop = b.NewBlock();
+  const BlockId b_body = b.NewBlock();
+  const BlockId bj_loop = b.NewBlock();
+  const BlockId bj_body = b.NewBlock();
+  const BlockId b_end = b.NewBlock();
+  const BlockId exit = b.NewBlock();
+
+  // r1 = k, r2 = i, r3 = j, r4 = n, r7..r10 temps; f1..f5 temps.
+  b.SetEntry(entry);
+  b.SwitchTo(entry);
+  b.IConst(kN, n);
+  b.IConst(kI, 0);  // k
+  b.Jump(k_loop);
+
+  b.SwitchTo(k_loop);
+  b.ICmpLt(kT0, kI, kN);
+  b.BranchIfZero(kT0, f_loop, k_body);
+
+  b.SwitchTo(k_body);
+  b.IAddImm(kJ, kI, 1);  // i = k+1
+  b.Jump(i_loop);
+
+  b.SwitchTo(i_loop);
+  b.ICmpLt(kT0, kJ, kN);
+  b.BranchIfZero(kT0, k_end, i_body);
+
+  b.SwitchTo(i_body);
+  // A[i][k] /= A[k][k]
+  b.IMul(kT1, kJ, kN);
+  b.IAdd(kT1, kT1, kI);   // i*n+k
+  b.LoadF(kF2, mat, kT1);
+  b.IMul(kT2, kI, kN);
+  b.IAdd(kT2, kT2, kI);   // k*n+k
+  b.LoadF(kF3, mat, kT2);
+  b.FDiv(kF2, kF2, kF3);  // multiplier (value-dependent FDIV)
+  b.StoreF(mat, kT1, kF2);
+  b.IAddImm(kK, kI, 1);   // j = k+1
+  b.Jump(j_loop);
+
+  b.SwitchTo(j_loop);
+  b.ICmpLt(kT0, kK, kN);
+  b.BranchIfZero(kT0, i_end, j_body);
+
+  b.SwitchTo(j_body);
+  // A[i][j] -= A[i][k] * A[k][j]
+  b.IMul(kT3, kI, kN);
+  b.IAdd(kT3, kT3, kK);   // k*n+j
+  b.LoadF(kF4, mat, kT3);
+  b.FMul(kF5, kF2, kF4);
+  b.IMul(kT3, kJ, kN);
+  b.IAdd(kT3, kT3, kK);   // i*n+j
+  b.LoadF(kF4, mat, kT3);
+  b.FSub(kF4, kF4, kF5);
+  b.StoreF(mat, kT3, kF4);
+  b.IAddImm(kK, kK, 1);
+  b.Jump(j_loop);
+
+  b.SwitchTo(i_end);
+  b.IAddImm(kJ, kJ, 1);
+  b.Jump(i_loop);
+
+  b.SwitchTo(k_end);
+  b.IAddImm(kI, kI, 1);
+  b.Jump(k_loop);
+
+  // Forward substitution (y overwrites b): for i = 1..n-1,
+  //   b[i] -= sum_{j<i} A[i][j] * b[j].
+  b.SwitchTo(f_loop);
+  b.IConst(kJ, 1);  // i
+  b.Jump(f_body);
+
+  b.SwitchTo(f_body);
+  b.ICmpLt(kT0, kJ, kN);
+  b.BranchIfZero(kT0, b_init, fj_loop);
+
+  b.SwitchTo(fj_loop);
+  b.IConst(kK, 0);        // j
+  b.LoadF(kF2, rhs, kJ);  // acc = b[i]
+  b.Jump(fj_body);
+
+  b.SwitchTo(fj_body);
+  b.ICmpLt(kT0, kK, kJ);
+  b.BranchIfZero(kT0, f_end, fj_work);
+
+  b.SwitchTo(fj_work);
+  b.IMul(kT1, kJ, kN);
+  b.IAdd(kT1, kT1, kK);   // i*n+j
+  b.LoadF(kF3, mat, kT1);
+  b.LoadF(kF4, rhs, kK);
+  b.FMul(kF5, kF3, kF4);
+  b.FSub(kF2, kF2, kF5);
+  b.IAddImm(kK, kK, 1);
+  b.Jump(fj_body);
+
+  b.SwitchTo(f_end);
+  b.StoreF(rhs, kJ, kF2);
+  b.IAddImm(kJ, kJ, 1);
+  b.Jump(f_body);
+
+  // Backward substitution: for i = n-1..0,
+  //   b[i] = (b[i] - sum_{j>i} A[i][j]*b[j]) / A[i][i].
+  b.SwitchTo(b_init);
+  b.IAddImm(kJ, kN, -1);  // i = n-1
+  b.Jump(b_loop);
+
+  b.SwitchTo(b_loop);
+  b.BranchIfNeg(kJ, exit, b_body);
+
+  b.SwitchTo(b_body);
+  b.IAddImm(kK, kJ, 1);   // j = i+1
+  b.LoadF(kF2, rhs, kJ);  // acc = b[i]
+  b.Jump(bj_loop);
+
+  b.SwitchTo(bj_loop);
+  b.ICmpLt(kT0, kK, kN);
+  b.BranchIfZero(kT0, b_end, bj_body);
+
+  b.SwitchTo(bj_body);
+  b.IMul(kT1, kJ, kN);
+  b.IAdd(kT1, kT1, kK);   // i*n+j
+  b.LoadF(kF3, mat, kT1);
+  b.LoadF(kF4, rhs, kK);
+  b.FMul(kF5, kF3, kF4);
+  b.FSub(kF2, kF2, kF5);
+  b.IAddImm(kK, kK, 1);
+  b.Jump(bj_loop);
+
+  b.SwitchTo(b_end);
+  b.IMul(kT1, kJ, kN);
+  b.IAdd(kT1, kT1, kJ);   // i*n+i
+  b.LoadF(kF3, mat, kT1);
+  b.FDiv(kF2, kF2, kF3);  // divide by the pivot (value-dependent FDIV)
+  b.StoreF(rhs, kJ, kF2);
+  b.IAddImm(kJ, kJ, -1);
+  b.Jump(b_loop);
+
+  b.SwitchTo(exit);
+  b.Halt();
+
+  return b.Build(link_offset);
+}
+
+}  // namespace spta::apps

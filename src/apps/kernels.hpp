@@ -1,0 +1,64 @@
+// Reusable IR workload kernels.
+//
+// These are the building blocks of the TVCA model and of the ablation
+// benches: dense linear algebra, FIR filtering, CRC integrity checks and a
+// quaternion-style attitude integrator — the kind of code a model-based
+// control-application generator emits. Each factory returns a validated,
+// laid-out Program; inputs are poked through the named arrays.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/program.hpp"
+
+namespace spta::apps {
+
+/// Dense n x n FP matrix multiply C = A*B (triple loop).
+/// Arrays: 0 = A (n*n doubles), 1 = B, 2 = C.
+trace::Program MakeMatMulProgram(int n, std::uint64_t link_offset = 0);
+
+/// FIR filter: `samples` outputs of a `taps`-tap filter.
+/// Arrays: 0 = coefficients (taps), 1 = input (samples+taps), 2 = output.
+trace::Program MakeFirProgram(int taps, int samples,
+                              std::uint64_t link_offset = 0);
+
+/// Table-driven CRC over `words` 32-bit words.
+/// Arrays: 0 = lookup table (256 ints), 1 = message (words ints).
+/// Result register: r20 holds the final CRC.
+trace::Program MakeCrcProgram(int words, std::uint64_t link_offset = 0);
+
+/// Quaternion-style attitude integrator: `steps` integration steps, each
+/// with a vector update and an FSQRT-based renormalization, plus a
+/// data-dependent "large error" correction branch.
+/// Arrays: 0 = state (8 doubles), 1 = rates (3*steps doubles).
+trace::Program MakeAttitudeProgram(int steps, std::uint64_t link_offset = 0);
+
+/// Bubble sort over `n` int32 keys — the classic WCET benchmark with a
+/// data-dependent branch (swap / no swap) in the innermost loop.
+/// Arrays: 0 = keys (n ints). Sorts ascending in place.
+trace::Program MakeBubbleSortProgram(int n, std::uint64_t link_offset = 0);
+
+/// `queries` binary searches over a sorted table of `n` int32 keys; the
+/// path per query depends on where the probe lands.
+/// Arrays: 0 = table (n ints, must be sorted ascending), 1 = queries
+/// (`queries` ints), 2 = results (`queries` ints: index or -1).
+trace::Program MakeBinarySearchProgram(int n, int queries,
+                                       std::uint64_t link_offset = 0);
+
+/// Piecewise-linear table interpolation (sensor linearization): `queries`
+/// lookups into a `table_size`-breakpoint curve with clamping at both
+/// ends (three paths per query: below / inside / above).
+/// Arrays: 0 = breakpoints x (table_size doubles, ascending),
+///         1 = values y (table_size doubles), 2 = queries (doubles),
+///         3 = outputs (doubles).
+trace::Program MakeInterpolationProgram(int table_size, int queries,
+                                        std::uint64_t link_offset = 0);
+
+/// In-place LU decomposition (Doolittle, no pivoting) of an n x n system
+/// followed by forward/backward substitution — FDIV-heavy dense linear
+/// algebra, the core of onboard estimators.
+/// Arrays: 0 = A (n*n doubles, overwritten with LU), 1 = b (n doubles,
+/// overwritten with the solution x).
+trace::Program MakeLuSolveProgram(int n, std::uint64_t link_offset = 0);
+
+}  // namespace spta::apps

@@ -1,0 +1,88 @@
+#include "apps/payload.hpp"
+
+#include <cmath>
+
+#include "apps/kernels.hpp"
+#include "apps/scheduler.hpp"
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "prng/xoshiro.hpp"
+#include "trace/interpreter.hpp"
+
+namespace spta::apps {
+
+PayloadApp::PayloadApp(const PayloadConfig& config)
+    : config_(config),
+      crc_(MakeCrcProgram(config.telemetry_words)),
+      sort_(MakeBubbleSortProgram(config.event_queue)),
+      calib_(MakeInterpolationProgram(config.calib_table,
+                                      config.calib_queries)),
+      fir_(MakeFirProgram(config.fir_taps, config.fir_samples)) {
+  SPTA_REQUIRE(config.telemetry_words >= 1 && config.event_queue >= 2);
+  // Each stage is its own linked region within the payload partition.
+  trace::Program* programs[] = {&crc_, &sort_, &calib_, &fir_};
+  for (std::size_t i = 0; i < 4; ++i) {
+    programs[i]->AssignLayout(config.code_base + 0x10000ULL * i,
+                              config.data_base + 0x40000ULL * i);
+  }
+}
+
+trace::Trace PayloadApp::BuildFrame(std::uint64_t seed) const {
+  prng::Xoshiro128pp rng(DeriveSeed(seed, "payload"));
+
+  trace::Interpreter crc(crc_);
+  for (int i = 0; i < 256; ++i) {
+    crc.WriteInt(0, static_cast<std::size_t>(i),
+                 static_cast<std::int32_t>(rng.Next() & 0x7fffffff));
+  }
+  for (int i = 0; i < config_.telemetry_words; ++i) {
+    crc.WriteInt(1, static_cast<std::size_t>(i),
+                 static_cast<std::int32_t>(rng.Next() & 0xffff));
+  }
+
+  trace::Interpreter sort(sort_);
+  for (int i = 0; i < config_.event_queue; ++i) {
+    sort.WriteInt(0, static_cast<std::size_t>(i),
+                  static_cast<std::int32_t>(rng.UniformBelow(1 << 20)));
+  }
+
+  trace::Interpreter calib(calib_);
+  for (int i = 0; i < config_.calib_table; ++i) {
+    calib.WriteFp(0, static_cast<std::size_t>(i), 0.5 * i);
+    calib.WriteFp(1, static_cast<std::size_t>(i),
+                  20.0 + 5.0 * std::sin(0.1 * i));
+  }
+  for (int q = 0; q < config_.calib_queries; ++q) {
+    calib.WriteFp(2, static_cast<std::size_t>(q),
+                  rng.UniformReal(-2.0,
+                                  0.5 * config_.calib_table + 2.0));
+  }
+
+  trace::Interpreter fir(fir_);
+  for (int k = 0; k < config_.fir_taps; ++k) {
+    fir.WriteFp(0, static_cast<std::size_t>(k),
+                1.0 / config_.fir_taps);
+  }
+  for (int i = 0; i < config_.fir_samples + config_.fir_taps; ++i) {
+    fir.WriteFp(1, static_cast<std::size_t>(i), rng.Normal());
+  }
+
+  const trace::Trace t_crc = crc.Run();
+  const trace::Trace t_sort = sort.Run();
+  const trace::Trace t_calib = calib.Run();
+  const trace::Trace t_fir = fir.Run();
+
+  FrameComposer::Options opts;
+  opts.dispatch_overhead_instructions = 128;
+  opts.kernel_code_base = config_.code_base + 0xf0000;
+  opts.kernel_data_base = config_.data_base + 0x100000;
+  const FrameComposer composer(opts);
+  return composer.ComposeMajorFrame({
+      {&t_crc, 1, /*priority=*/1, /*minor=*/0},
+      {&t_sort, 1, 2, 0},
+      {&t_calib, 1, 3, 0},
+      {&t_fir, 1, 4, 0},
+  });
+}
+
+}  // namespace spta::apps

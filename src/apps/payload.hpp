@@ -1,0 +1,52 @@
+// Payload application model: the "other" software on the multicore.
+//
+// Integrated architectures (the avionics case studies the paper cites) put
+// payload processing — telemetry integrity, event triage, sensor
+// calibration, signal conditioning — on the cores the control partition
+// does not use. This model composes those stages from the kernel suite
+// into a periodic payload frame, linked into its own address region so it
+// only interacts with the control application through the shared bus, L2
+// and DRAM.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/program.hpp"
+#include "trace/record.hpp"
+
+namespace spta::apps {
+
+struct PayloadConfig {
+  int telemetry_words = 4096;  ///< CRC'd telemetry block (words).
+  int event_queue = 96;        ///< Events triaged (sorted) per frame.
+  int calib_table = 128;       ///< Calibration curve breakpoints.
+  int calib_queries = 96;      ///< Samples calibrated per frame.
+  int fir_taps = 24;
+  int fir_samples = 256;
+  /// Base of the payload's address region (must not overlap the control
+  /// application's region).
+  Address code_base = 0x70000000;
+  Address data_base = 0x70400000;
+};
+
+class PayloadApp {
+ public:
+  PayloadApp() : PayloadApp(PayloadConfig{}) {}
+  explicit PayloadApp(const PayloadConfig& config);
+
+  /// Builds one payload frame trace with inputs drawn from `seed`
+  /// (deterministic per seed): CRC -> event sort -> calibration -> FIR,
+  /// composed with dispatcher overhead like the control frame.
+  trace::Trace BuildFrame(std::uint64_t seed) const;
+
+  const PayloadConfig& config() const { return config_; }
+
+ private:
+  PayloadConfig config_;
+  trace::Program crc_;
+  trace::Program sort_;
+  trace::Program calib_;
+  trace::Program fir_;
+};
+
+}  // namespace spta::apps

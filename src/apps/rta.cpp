@@ -1,0 +1,46 @@
+#include "apps/rta.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace spta::apps {
+
+std::vector<RtaResult> ResponseTimeAnalysis(
+    const std::vector<PeriodicTaskSpec>& tasks,
+    const std::vector<Cycles>& wcet) {
+  SPTA_REQUIRE(!tasks.empty());
+  SPTA_REQUIRE(tasks.size() == wcet.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    SPTA_REQUIRE(wcet[i] >= 1);
+    SPTA_REQUIRE(tasks[i].period > 0 && tasks[i].deadline > 0);
+  }
+
+  std::vector<RtaResult> out(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    out[i].name = tasks[i].name;
+    Cycles r = wcet[i];
+    bool converged = false;
+    // Fixed-point iteration; bounded by the deadline, so it terminates.
+    for (int iter = 0; iter < 10000; ++iter) {
+      Cycles next = wcet[i];
+      for (std::size_t j = 0; j < tasks.size(); ++j) {
+        if (j == i || tasks[j].priority >= tasks[i].priority) continue;
+        const Cycles releases = (r + tasks[j].period - 1) / tasks[j].period;
+        next += releases * wcet[j];
+      }
+      if (next == r) {
+        converged = true;
+        break;
+      }
+      r = next;
+      if (r > tasks[i].deadline) break;  // already unschedulable
+    }
+    out[i].response_time = r;
+    out[i].converged = converged;
+    out[i].schedulable = converged && r <= tasks[i].deadline;
+  }
+  return out;
+}
+
+}  // namespace spta::apps

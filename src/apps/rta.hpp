@@ -1,0 +1,32 @@
+// Classic response-time analysis (RTA) for fixed-priority preemptive
+// scheduling (Joseph & Pandya / Audsley).
+//
+// Downstream use of MBPTA: the pWCET at the standard-mandated cutoff
+// probability becomes the execution-time budget C_i, and RTA converts the
+// budgets into a schedulability verdict. Cross-checked in tests against
+// SimulateFixedPriority.
+#pragma once
+
+#include <vector>
+
+#include "apps/scheduler.hpp"
+#include "common/types.hpp"
+
+namespace spta::apps {
+
+/// RTA outcome for one task.
+struct RtaResult {
+  std::string name;
+  Cycles response_time = 0;  ///< Fixed point R_i (0 if diverged).
+  bool schedulable = false;  ///< R_i <= deadline.
+  bool converged = false;    ///< Fixed point found within the deadline.
+};
+
+/// Computes response times R_i = C_i + sum_{j in hp(i)} ceil(R_i/T_j)*C_j
+/// by fixed-point iteration. Requires distinct priorities, wcet[i] >= 1.
+/// Iteration stops (converged=false) once R exceeds the deadline.
+std::vector<RtaResult> ResponseTimeAnalysis(
+    const std::vector<PeriodicTaskSpec>& tasks,
+    const std::vector<Cycles>& wcet);
+
+}  // namespace spta::apps

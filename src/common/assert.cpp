@@ -1,0 +1,32 @@
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spta {
+
+void ContractFailure(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace detail {
+
+std::string FormatCheckMessage(const char* kind, const char* expr,
+                               const std::string& detail) {
+  std::string out = "spta ";
+  out += kind;
+  out += " violated: ";
+  out += expr;
+  if (!detail.empty()) {
+    out += " [";
+    out += detail;
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace spta

@@ -1,0 +1,76 @@
+// Runtime contract checking for the SpacePTA libraries.
+//
+// The simulator and the statistical analysis are used to produce evidence for
+// certification arguments, so internal invariant violations must never be
+// silently ignored: SPTA_CHECK / SPTA_REQUIRE abort with a precise message in
+// every build type (they are NOT compiled out in release builds).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace spta {
+
+/// Aborts the process after printing `file:line: message` to stderr.
+/// Used by the SPTA_CHECK family; exposed for tests via death assertions.
+[[noreturn]] void ContractFailure(const char* file, int line,
+                                  const std::string& message);
+
+namespace detail {
+
+/// Formats the textual expansion of a failed check plus optional context.
+std::string FormatCheckMessage(const char* kind, const char* expr,
+                               const std::string& detail);
+
+}  // namespace detail
+
+}  // namespace spta
+
+/// Internal invariant: a violation indicates a bug inside the library.
+#define SPTA_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::spta::ContractFailure(                                               \
+          __FILE__, __LINE__,                                                \
+          ::spta::detail::FormatCheckMessage("invariant", #cond, ""));       \
+    }                                                                        \
+  } while (false)
+
+/// Internal invariant with a streamed detail message:
+///   SPTA_CHECK_MSG(a < b, "a=" << a << " b=" << b);
+#define SPTA_CHECK_MSG(cond, stream_expr)                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream spta_check_oss_;                                    \
+      spta_check_oss_ << stream_expr;                                        \
+      ::spta::ContractFailure(                                               \
+          __FILE__, __LINE__,                                                \
+          ::spta::detail::FormatCheckMessage("invariant", #cond,             \
+                                             spta_check_oss_.str()));        \
+    }                                                                        \
+  } while (false)
+
+/// Precondition on a public API argument: a violation indicates caller error.
+#define SPTA_REQUIRE(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::spta::ContractFailure(                                               \
+          __FILE__, __LINE__,                                                \
+          ::spta::detail::FormatCheckMessage("precondition", #cond, ""));    \
+    }                                                                        \
+  } while (false)
+
+/// Precondition with a streamed detail message.
+#define SPTA_REQUIRE_MSG(cond, stream_expr)                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream spta_req_oss_;                                      \
+      spta_req_oss_ << stream_expr;                                          \
+      ::spta::ContractFailure(                                               \
+          __FILE__, __LINE__,                                                \
+          ::spta::detail::FormatCheckMessage("precondition", #cond,          \
+                                             spta_req_oss_.str()));          \
+    }                                                                        \
+  } while (false)

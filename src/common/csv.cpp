@@ -1,0 +1,80 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace spta {
+
+std::string CsvQuote(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void CsvWriter::Header(std::initializer_list<std::string> columns) {
+  SPTA_REQUIRE(!header_written_ && rows_written_ == 0 && !row_open_);
+  BeginRow();
+  for (const auto& c : columns) RawField(c);
+  out_ << '\n';
+  row_open_ = false;
+  header_written_ = true;
+}
+
+void CsvWriter::BeginRow() {
+  SPTA_REQUIRE(!row_open_);
+  row_open_ = true;
+  first_in_row_ = true;
+}
+
+void CsvWriter::RawField(const std::string& value) {
+  SPTA_REQUIRE(row_open_);
+  if (!first_in_row_) out_ << ',';
+  out_ << CsvQuote(value);
+  first_in_row_ = false;
+}
+
+void CsvWriter::Field(const std::string& value) { RawField(value); }
+
+void CsvWriter::Field(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  RawField(buf);
+}
+
+void CsvWriter::Field(std::uint64_t value) {
+  RawField(std::to_string(value));
+}
+
+void CsvWriter::Field(std::int64_t value) {
+  RawField(std::to_string(value));
+}
+
+void CsvWriter::EndRow() {
+  SPTA_REQUIRE(row_open_);
+  out_ << '\n';
+  row_open_ = false;
+  ++rows_written_;
+}
+
+void CsvWriter::Row(const std::vector<std::string>& fields) {
+  BeginRow();
+  for (const auto& f : fields) RawField(f);
+  EndRow();
+}
+
+}  // namespace spta

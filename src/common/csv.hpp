@@ -1,0 +1,53 @@
+// Minimal CSV emission used by the benchmark harnesses to dump the series
+// behind each reproduced table/figure in a machine-readable form.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spta {
+
+/// Streams rows of comma-separated values with RFC-4180-style quoting of
+/// fields that contain commas, quotes or newlines.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Emits a header row. May be called once, before any data row.
+  void Header(std::initializer_list<std::string> columns);
+
+  /// Starts a new row; fields are appended with Field().
+  void BeginRow();
+
+  /// Appends one field to the current row.
+  void Field(const std::string& value);
+  void Field(double value, int precision = 6);
+  void Field(std::uint64_t value);
+  void Field(std::int64_t value);
+
+  /// Terminates the current row with a newline.
+  void EndRow();
+
+  /// Convenience: emits an entire row of preformatted fields.
+  void Row(const std::vector<std::string>& fields);
+
+  /// Number of data rows fully emitted so far (header excluded).
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  void RawField(const std::string& value);
+
+  std::ostream& out_;
+  bool row_open_ = false;
+  bool first_in_row_ = true;
+  bool header_written_ = false;
+  std::size_t rows_written_ = 0;
+};
+
+/// Quotes a single CSV field if needed (exposed for tests).
+std::string CsvQuote(const std::string& field);
+
+}  // namespace spta

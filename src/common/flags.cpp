@@ -1,0 +1,88 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace spta {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    SPTA_REQUIRE_MSG(arg.size() > 2, "malformed flag '" << arg << "'");
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` unless the next token is another flag (boolean form).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  SPTA_REQUIRE_MSG(end != it->second.c_str() && *end == '\0',
+                   "flag --" << name << " expects an integer, got '"
+                             << it->second << "'");
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  SPTA_REQUIRE_MSG(end != it->second.c_str() && *end == '\0',
+                   "flag --" << name << " expects a number, got '"
+                             << it->second << "'");
+  return v;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0") return false;
+  SPTA_REQUIRE_MSG(false, "flag --" << name << " expects a boolean, got '"
+                                    << it->second << "'");
+  return fallback;
+}
+
+std::vector<std::string> Flags::UnknownFlags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const auto& k : known) found |= k == name;
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace spta

@@ -1,0 +1,46 @@
+// Minimal command-line flag parsing for the CLI tools (no dependencies).
+//
+// Syntax: positional arguments and `--key value` pairs (plus `--key=value`
+// and boolean `--key`). Unknown-flag detection is the caller's job via
+// CheckOnly().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spta {
+
+class Flags {
+ public:
+  /// Parses argv[1..argc). Aborts (precondition) on a malformed flag
+  /// (`--` with no name).
+  Flags(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True when --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Typed access with defaults. GetInt/GetDouble abort on non-numeric
+  /// values (precondition: the operator passed garbage).
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  /// Returns the flag names that are present but NOT in `known` — for
+  /// catching operator typos.
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace spta

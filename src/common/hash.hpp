@@ -1,0 +1,29 @@
+// Deterministic, seedable mixing functions.
+//
+// These are used (a) to derive independent sub-seeds from a campaign master
+// seed and (b) as the parametric hash inside hash-based random cache
+// placement. They are fully specified here (no std::hash, whose value is
+// implementation-defined) so that simulation results are bit-reproducible
+// across compilers and platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace spta {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix (Stafford variant 13).
+/// Bijective on uint64, so distinct inputs never collide.
+std::uint64_t Mix64(std::uint64_t x);
+
+/// Combines a running hash with a new value (order-sensitive).
+std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value);
+
+/// Derives the `index`-th independent sub-seed from `master`.
+/// Guaranteed deterministic; used to give every platform component and every
+/// measurement run its own seed without correlation.
+std::uint64_t DeriveSeed(std::uint64_t master, std::uint64_t index);
+
+/// Derives a sub-seed from a master seed and a component name tag.
+std::uint64_t DeriveSeed(std::uint64_t master, const char* tag);
+
+}  // namespace spta

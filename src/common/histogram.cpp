@@ -1,0 +1,90 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace spta {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  SPTA_REQUIRE_MSG(lo < hi, "lo=" << lo << " hi=" << hi);
+  SPTA_REQUIRE(bins > 0);
+}
+
+Histogram Histogram::FromSample(std::span<const double> sample,
+                                std::size_t bins) {
+  SPTA_REQUIRE(!sample.empty());
+  auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (lo == hi) hi = lo + 1.0;  // degenerate constant sample
+  // Nudge hi so the max lands inside the last bin rather than overflow.
+  hi = std::nextafter(hi, hi + 1.0);
+  Histogram h(lo, hi, bins);
+  h.AddAll(sample);
+  return h;
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  std::size_t bin;
+  if (value < lo_) {
+    ++underflow_;
+    bin = 0;
+  } else if (value >= hi_) {
+    ++overflow_;
+    bin = counts_.size() - 1;
+  } else {
+    double frac = (value - lo_) / (hi_ - lo_);
+    bin = std::min(counts_.size() - 1,
+                   static_cast<std::size_t>(frac * counts_.size()));
+  }
+  ++counts_[bin];
+}
+
+void Histogram::AddAll(std::span<const double> values) {
+  for (double v : values) Add(v);
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  SPTA_REQUIRE(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  SPTA_REQUIRE(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  SPTA_REQUIRE(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::Density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::Ascii(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream oss;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        static_cast<double>(counts_[b]) * width / peak);
+    oss << "[" << FormatG(bin_lo(b), 6) << ", " << FormatG(bin_hi(b), 6)
+        << ") " << std::string(bar, '#') << " " << counts_[b] << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace spta

@@ -1,0 +1,56 @@
+// Simple fixed-bin histogram for execution-time distributions.
+//
+// Used by reports and the DET-vs-RAND comparison to summarize the shape of a
+// sample without storing it, and by tests to compare distributions cheaply.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spta {
+
+/// Equal-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin and counted in underflow()/overflow() as well.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins covering [lo, hi). Requires lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Convenience: builds a histogram spanning [min(sample), max(sample)].
+  static Histogram FromSample(std::span<const double> sample,
+                              std::size_t bins);
+
+  /// Records one observation.
+  void Add(double value);
+
+  /// Records many observations.
+  void AddAll(std::span<const double> values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  /// Inclusive lower edge of `bin`.
+  double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of `bin`.
+  double bin_hi(std::size_t bin) const;
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Fraction of observations in `bin` (0 if the histogram is empty).
+  double Density(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart, `width` characters for the largest bin.
+  std::string Ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace spta

@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace spta {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SPTA_REQUIRE(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  SPTA_REQUIRE_MSG(cells.size() == headers_.size(),
+                   "row has " << cells.size() << " cells, expected "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Render(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-") << std::string(widths[c], '-') << "-|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream oss;
+  Render(oss);
+  return oss.str();
+}
+
+std::string FormatG(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+std::string FormatF(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatProb(double p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0e", p);
+  // Normalize e.g. "1e-012" (some libcs) to "1e-12".
+  std::string s = buf;
+  auto epos = s.find('e');
+  if (epos != std::string::npos) {
+    std::string mant = s.substr(0, epos);
+    std::string exp = s.substr(epos + 1);
+    bool neg = !exp.empty() && exp[0] == '-';
+    if (neg || (!exp.empty() && exp[0] == '+')) exp.erase(0, 1);
+    while (exp.size() > 1 && exp[0] == '0') exp.erase(0, 1);
+    s = mant + "e" + (neg ? "-" : "") + exp;
+  }
+  return s;
+}
+
+}  // namespace spta

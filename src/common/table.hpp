@@ -1,0 +1,45 @@
+// Fixed-width text table rendering for benchmark/report output.
+//
+// The bench binaries print paper tables/figures as aligned text so the
+// reproduction can be compared against the paper by eye, plus CSV (csv.hpp)
+// for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spta {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to `out`.
+  void Render(std::ostream& out) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string ToString() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant digits.
+std::string FormatG(double value, int precision = 6);
+
+/// Formats a double in fixed notation with `decimals` decimal places.
+std::string FormatF(double value, int decimals = 2);
+
+/// Formats a probability as a power-of-ten style string, e.g. "1e-12".
+std::string FormatProb(double p);
+
+}  // namespace spta

@@ -1,0 +1,15 @@
+#include "common/types.hpp"
+
+namespace spta {
+
+const char* ToString(Phase phase) {
+  switch (phase) {
+    case Phase::kAnalysis:
+      return "analysis";
+    case Phase::kOperation:
+      return "operation";
+  }
+  return "unknown";
+}
+
+}  // namespace spta

@@ -1,0 +1,31 @@
+// Fundamental value types shared across the SpacePTA libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace spta {
+
+/// Simulated time, in processor clock cycles.
+using Cycles = std::uint64_t;
+
+/// Physical/virtual byte address inside the simulated platform.
+using Address = std::uint64_t;
+
+/// Identifier of a core in the multicore platform (0-based).
+using CoreId = std::uint32_t;
+
+/// Seed material for any of the platform or workload PRNGs.
+using Seed = std::uint64_t;
+
+/// Whether the platform operates in the MBPTA *analysis* phase (jittery
+/// resources forced to their upper-bounding configuration) or in the
+/// *operation* phase (nominal, value-dependent behaviour).
+enum class Phase : std::uint8_t {
+  kAnalysis,
+  kOperation,
+};
+
+/// Returns a short human-readable name ("analysis" / "operation").
+const char* ToString(Phase phase);
+
+}  // namespace spta

@@ -1,0 +1,40 @@
+#include "evt/ad_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace spta::evt {
+
+AdResult AndersonDarlingGumbel(std::span<const double> xs,
+                               const GumbelDist& dist) {
+  SPTA_REQUIRE(xs.size() >= 8);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const double dn = static_cast<double>(n);
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // log F(x_(i)) computed via the stable LogCdf; log(1 - F(x_(n-1-i)))
+    // via log1p(-exp(logF)) guarded against logF == 0.
+    const double log_f = dist.LogCdf(sorted[i]);
+    const double log_f_rev = dist.LogCdf(sorted[n - 1 - i]);
+    double log_sf_rev;
+    if (log_f_rev > -1e-300) {
+      // F == 1 numerically: 1-F underflows; clamp to a representable tail.
+      log_sf_rev = -745.0;  // ~log(DBL_MIN)
+    } else {
+      log_sf_rev = std::log(-std::expm1(log_f_rev));
+    }
+    sum += (2.0 * static_cast<double>(i) + 1.0) * (log_f + log_sf_rev);
+  }
+  AdResult r;
+  r.a_squared = -dn - sum / dn;
+  r.adjusted = r.a_squared * (1.0 + 0.2 / std::sqrt(dn));
+  return r;
+}
+
+}  // namespace spta::evt

@@ -1,0 +1,30 @@
+// Anderson-Darling goodness-of-fit test for a fitted Gumbel tail.
+//
+// The AD statistic weights the tails more heavily than KS or chi-square —
+// exactly where a pWCET model must not be wrong. Critical values follow
+// Stephens' tables for the Gumbel case with both parameters estimated
+// (case 3), using the small-sample adjustment A* = A^2 * (1 + 0.2/sqrt(n)).
+#pragma once
+
+#include <span>
+
+#include "evt/gumbel.hpp"
+
+namespace spta::evt {
+
+struct AdResult {
+  double a_squared = 0.0;  ///< Raw Anderson-Darling statistic.
+  double adjusted = 0.0;   ///< Stephens small-sample adjusted statistic.
+  double critical_5pct = 0.757;  ///< Case-3 Gumbel critical value at 5%.
+
+  /// True when the adjusted statistic is below the 5% critical value
+  /// (fit NOT rejected).
+  bool NotRejected() const { return adjusted < critical_5pct; }
+};
+
+/// Computes the AD statistic of `xs` against the fitted `dist`.
+/// Requires xs.size() >= 8.
+AdResult AndersonDarlingGumbel(std::span<const double> xs,
+                               const GumbelDist& dist);
+
+}  // namespace spta::evt

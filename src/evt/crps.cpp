@@ -1,0 +1,41 @@
+#include "evt/crps.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace spta::evt {
+
+double CrpsNumeric(const std::function<double(double)>& quantile,
+                   std::span<const double> xs, int nodes) {
+  SPTA_REQUIRE(!xs.empty());
+  SPTA_REQUIRE(nodes >= 16);
+  // Precompute the quantile grid once; reuse across observations.
+  std::vector<double> q(static_cast<std::size_t>(nodes));
+  std::vector<double> alpha(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    alpha[static_cast<std::size_t>(i)] =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(nodes);
+    q[static_cast<std::size_t>(i)] =
+        quantile(alpha[static_cast<std::size_t>(i)]);
+  }
+  double total = 0.0;
+  for (const double y : xs) {
+    double crps = 0.0;
+    for (int i = 0; i < nodes; ++i) {
+      const double a = alpha[static_cast<std::size_t>(i)];
+      const double qi = q[static_cast<std::size_t>(i)];
+      const double indicator = y < qi ? 1.0 : 0.0;
+      crps += 2.0 * (indicator - a) * (qi - y);
+    }
+    total += crps / static_cast<double>(nodes);
+  }
+  return total / static_cast<double>(xs.size());
+}
+
+double CrpsGumbel(const GumbelDist& dist, std::span<const double> xs) {
+  return CrpsNumeric([&](double p) { return dist.Quantile(p); }, xs);
+}
+
+}  // namespace spta::evt

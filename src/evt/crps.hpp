@@ -1,0 +1,27 @@
+// Continuous Ranked Probability Score (CRPS) for tail-model selection.
+//
+// CRPS measures the distance between a forecast CDF and observed values
+// (lower = better); unlike p-value tests it ranks competing models on a
+// continuous scale, which is how tools in the chronovise line select
+// between candidate tail fits. Computed via the quantile-score identity
+//   CRPS(F, y) = integral_0^1 2*(1{y < F^-1(a)} - a)*(F^-1(a) - y) da
+// with midpoint quadrature over the probability axis — model-agnostic,
+// needing only the quantile function.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "evt/gumbel.hpp"
+
+namespace spta::evt {
+
+/// Average CRPS of the quantile function `quantile` over observations
+/// `xs`, with `nodes` quadrature nodes. Requires a non-empty sample.
+double CrpsNumeric(const std::function<double(double)>& quantile,
+                   std::span<const double> xs, int nodes = 512);
+
+/// Convenience: CRPS of a fitted Gumbel.
+double CrpsGumbel(const GumbelDist& dist, std::span<const double> xs);
+
+}  // namespace spta::evt

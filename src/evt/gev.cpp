@@ -1,0 +1,115 @@
+#include "evt/gev.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <limits>
+
+#include "common/assert.hpp"
+#include "stats/optimize.hpp"
+#include "stats/special.hpp"
+
+namespace spta::evt {
+
+double GevDist::Cdf(double x) const {
+  if (xi == 0.0) {
+    return std::exp(-std::exp(-(x - mu) / sigma));
+  }
+  const double t = 1.0 + xi * (x - mu) / sigma;
+  if (t <= 0.0) {
+    // Outside the support: lower end for xi > 0, upper end for xi < 0.
+    return xi > 0.0 ? 0.0 : 1.0;
+  }
+  return std::exp(-std::pow(t, -1.0 / xi));
+}
+
+double GevDist::Quantile(double p) const {
+  SPTA_REQUIRE_MSG(p > 0.0 && p < 1.0, "p=" << p);
+  const double y = -std::log(p);  // exp(1) variate under H0
+  if (xi == 0.0) return mu - sigma * std::log(y);
+  return mu + sigma * (std::pow(y, -xi) - 1.0) / xi;
+}
+
+bool GevDist::IsEffectivelyGumbel(double tol) const {
+  return std::fabs(xi) < tol;
+}
+
+double GevDist::LogLikelihood(std::span<const double> xs) const {
+  if (sigma <= 0.0) return -std::numeric_limits<double>::infinity();
+  double ll = 0.0;
+  for (double x : xs) {
+    const double z = (x - mu) / sigma;
+    if (std::fabs(xi) < 1e-12) {
+      ll += -std::log(sigma) - z - std::exp(-z);
+      continue;
+    }
+    const double t = 1.0 + xi * z;
+    if (t <= 0.0) return -std::numeric_limits<double>::infinity();
+    ll += -std::log(sigma) - (1.0 + 1.0 / xi) * std::log(t) -
+          std::pow(t, -1.0 / xi);
+  }
+  return ll;
+}
+
+GevDist FitGevMle(std::span<const double> xs) {
+  SPTA_REQUIRE(xs.size() >= 10);
+  const GevDist start = FitGevPwm(xs);
+  const auto objective = [&](const std::vector<double>& p) {
+    GevDist d{p[0], p[1], p[2]};
+    if (d.sigma <= 0.0) return std::numeric_limits<double>::infinity();
+    return -d.LogLikelihood(xs);
+  };
+  const auto result = stats::NelderMead(
+      objective, {start.mu, start.sigma, start.xi},
+      {0.1 * start.sigma, 0.1 * start.sigma, 0.05});
+  GevDist fit{result.x[0], result.x[1], result.x[2]};
+  // Never return something worse than the starting point.
+  if (fit.sigma <= 0.0 || fit.LogLikelihood(xs) < start.LogLikelihood(xs)) {
+    return start;
+  }
+  return fit;
+}
+
+GevDist FitGevPwm(std::span<const double> xs) {
+  SPTA_REQUIRE(xs.size() >= 3);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double b0 = 0.0;
+  double b1 = 0.0;
+  double b2 = 0.0;
+  for (std::size_t j = 0; j < sorted.size(); ++j) {
+    const double i = static_cast<double>(j);  // 0-based order index
+    b0 += sorted[j];
+    b1 += sorted[j] * i / (n - 1.0);
+    b2 += sorted[j] * i * (i - 1.0) / ((n - 1.0) * (n - 2.0));
+  }
+  b0 /= n;
+  b1 /= n;
+  b2 /= n;
+  const double lambda2 = 2.0 * b1 - b0;
+  SPTA_CHECK_MSG(lambda2 > 0.0, "degenerate sample: lambda2=" << lambda2);
+
+  // Hosking's estimator for the shape (their k = -xi):
+  const double c =
+      (2.0 * b1 - b0) / (3.0 * b2 - b0) - std::log(2.0) / std::log(3.0);
+  const double k = 7.8590 * c + 2.9554 * c * c;
+
+  GevDist d;
+  if (std::fabs(k) < 1e-8) {
+    // Gumbel limit.
+    d.xi = 0.0;
+    d.sigma = lambda2 / std::log(2.0);
+    d.mu = b0 - stats::kEulerGamma * d.sigma;
+    return d;
+  }
+  const double gamma_1pk = std::tgamma(1.0 + k);
+  d.xi = -k;
+  d.sigma = lambda2 * k / (gamma_1pk * (1.0 - std::pow(2.0, -k)));
+  d.mu = b0 + d.sigma * (gamma_1pk - 1.0) / k;
+  SPTA_CHECK_MSG(d.sigma > 0.0, "PWM fit produced sigma=" << d.sigma);
+  return d;
+}
+
+}  // namespace spta::evt

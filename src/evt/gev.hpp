@@ -1,0 +1,44 @@
+// Generalized extreme value (GEV) distribution and PWM fitting.
+//
+// The GEV generalizes the Gumbel with a shape parameter xi; MBPTA practice
+// checks that the fitted shape is ~0 (light tail) before trusting a Gumbel
+// projection. We fit by probability-weighted moments (Hosking, Wallis &
+// Wood 1985), the standard robust estimator for small block-maxima samples.
+#pragma once
+
+#include <span>
+
+namespace spta::evt {
+
+/// GEV distribution. For xi != 0:
+///   F(x) = exp(-(1 + xi*(x-mu)/sigma)^(-1/xi))  on its support;
+/// xi == 0 degenerates to the Gumbel.
+struct GevDist {
+  double mu = 0.0;     ///< Location.
+  double sigma = 1.0;  ///< Scale (> 0).
+  double xi = 0.0;     ///< Shape: > 0 heavy tail, < 0 bounded tail.
+
+  /// CDF value in [0, 1] (handles points outside the support).
+  double Cdf(double x) const;
+
+  /// Quantile for p in (0, 1).
+  double Quantile(double p) const;
+
+  /// True when |xi| is small enough to treat the model as Gumbel.
+  bool IsEffectivelyGumbel(double tol = 1e-3) const;
+
+  /// Log-likelihood of `xs` under this distribution (-inf when any point
+  /// falls outside the support).
+  double LogLikelihood(std::span<const double> xs) const;
+};
+
+/// Fits a GEV by PWM / L-moments. Requires xs.size() >= 3 and a
+/// non-constant sample.
+GevDist FitGevPwm(std::span<const double> xs);
+
+/// Fits a GEV by maximum likelihood: Nelder-Mead from the PWM starting
+/// point; guaranteed to return a fit with likelihood >= the PWM fit's.
+/// Requires xs.size() >= 10 and a non-constant sample.
+GevDist FitGevMle(std::span<const double> xs);
+
+}  // namespace spta::evt

@@ -1,0 +1,97 @@
+#include "evt/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "stats/special.hpp"
+
+namespace spta::evt {
+
+std::vector<std::pair<double, double>> QqPoints(std::span<const double> xs,
+                                                const GumbelDist& dist) {
+  SPTA_REQUIRE(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / n;
+    pts.emplace_back(dist.Quantile(p), sorted[i]);
+  }
+  return pts;
+}
+
+ChiSquareGofResult ChiSquareGof(std::span<const double> xs,
+                                const GumbelDist& dist, std::size_t bins,
+                                std::size_t fitted_params) {
+  SPTA_REQUIRE(bins >= 3);
+  SPTA_REQUIRE_MSG(xs.size() / bins >= 5,
+                   "need >= 5 expected per bin; n=" << xs.size()
+                                                    << " bins=" << bins);
+  SPTA_REQUIRE(bins > fitted_params + 1);
+  const double n = static_cast<double>(xs.size());
+  const double expected = n / static_cast<double>(bins);
+  std::vector<std::size_t> counts(bins, 0);
+  for (double x : xs) {
+    double u = dist.Cdf(x);
+    u = std::min(std::max(u, 0.0), std::nextafter(1.0, 0.0));
+    const auto b = std::min(
+        bins - 1, static_cast<std::size_t>(u * static_cast<double>(bins)));
+    ++counts[b];
+  }
+  double stat = 0.0;
+  for (std::size_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    stat += d * d / expected;
+  }
+  ChiSquareGofResult r;
+  r.statistic = stat;
+  r.bins = bins;
+  r.df = static_cast<double>(bins - 1 - fitted_params);
+  r.p_value = stats::ChiSquareSf(stat, r.df);
+  return r;
+}
+
+ExceedanceCheckResult ExceedanceCheck(std::span<const double> xs,
+                                      const GumbelDist& dist, double level) {
+  SPTA_REQUIRE(level > 0.0 && level < 1.0);
+  SPTA_REQUIRE(!xs.empty());
+  ExceedanceCheckResult r;
+  r.quantile_level = level;
+  r.bound = dist.Quantile(level);
+  const double n = static_cast<double>(xs.size());
+  const double p = 1.0 - level;
+  r.expected = static_cast<std::size_t>(std::llround(n * p));
+  r.observed = static_cast<std::size_t>(
+      std::count_if(xs.begin(), xs.end(),
+                    [&](double x) { return x > r.bound; }));
+  const double sigma = std::sqrt(n * p * (1.0 - p));
+  r.z_score = sigma > 0.0
+                  ? (static_cast<double>(r.observed) - n * p) / sigma
+                  : 0.0;
+  r.consistent = std::fabs(r.z_score) <= 3.0;
+  return r;
+}
+
+double Ppcc(std::span<const double> xs, const GumbelDist& dist) {
+  const auto pts = QqPoints(xs, dist);
+  SPTA_REQUIRE(pts.size() >= 3);
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  const double n = static_cast<double>(pts.size());
+  for (const auto& [x, y] : pts) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  SPTA_REQUIRE_MSG(vx > 0.0 && vy > 0.0, "degenerate QQ points");
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace spta::evt

@@ -1,0 +1,62 @@
+// Goodness-of-fit diagnostics for EVT tail models.
+//
+// MBPTA's credibility rests on the fitted tail actually matching the block
+// maxima: we provide QQ points, a chi-square binned test, the one-sample KS
+// test against the fitted CDF, and an upper-tail exceedance-count check.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "evt/gumbel.hpp"
+
+namespace spta::evt {
+
+/// QQ plot points: (theoretical quantile, observed order statistic) for the
+/// fitted Gumbel using plotting positions p_i = (i - 0.5)/n. A good fit
+/// lies near the diagonal.
+std::vector<std::pair<double, double>> QqPoints(std::span<const double> xs,
+                                                const GumbelDist& dist);
+
+/// Result of a chi-square binned GOF test.
+struct ChiSquareGofResult {
+  double statistic = 0.0;
+  std::size_t bins = 0;
+  double df = 0.0;      ///< bins - 1 - fitted_params.
+  double p_value = 0.0;
+  bool NotRejected(double alpha = 0.05) const { return p_value >= alpha; }
+};
+
+/// Chi-square GOF of `xs` against the fitted Gumbel using equiprobable bins
+/// (expected count = n/bins in each). `fitted_params` (default 2: mu, beta)
+/// is subtracted from the degrees of freedom. Requires n/bins >= 5.
+ChiSquareGofResult ChiSquareGof(std::span<const double> xs,
+                                const GumbelDist& dist, std::size_t bins = 10,
+                                std::size_t fitted_params = 2);
+
+/// Result of the exceedance-count check at a fitted quantile.
+struct ExceedanceCheckResult {
+  double quantile_level = 0.0;   ///< e.g. 0.99.
+  double bound = 0.0;            ///< dist.Quantile(level).
+  std::size_t expected = 0;      ///< round(n * (1-level)).
+  std::size_t observed = 0;      ///< # observations above the bound.
+  /// Normal-approximation z-score of the observed count.
+  double z_score = 0.0;
+  /// True when |z| <= 3 (observed exceedances consistent with the model).
+  bool consistent = false;
+};
+
+/// Counts observations above the fitted `level`-quantile and compares with
+/// the binomial expectation — a direct check that the model does not
+/// underestimate the tail.
+ExceedanceCheckResult ExceedanceCheck(std::span<const double> xs,
+                                      const GumbelDist& dist,
+                                      double level = 0.99);
+
+/// Probability-plot correlation coefficient (PPCC): the Pearson
+/// correlation of the QQ points. 1.0 = perfect fit; values below ~0.98
+/// on a few hundred points indicate a poor distributional match.
+double Ppcc(std::span<const double> xs, const GumbelDist& dist);
+
+}  // namespace spta::evt

@@ -1,0 +1,83 @@
+#include "evt/gpd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace spta::evt {
+
+double GpdDist::Cdf(double y) const { return 1.0 - Sf(y); }
+
+double GpdDist::Sf(double y) const {
+  if (y <= 0.0) return 1.0;
+  if (xi == 0.0) return std::exp(-y / sigma);
+  const double t = 1.0 + xi * y / sigma;
+  if (t <= 0.0) return 0.0;  // beyond the upper endpoint (xi < 0)
+  return std::pow(t, -1.0 / xi);
+}
+
+double GpdDist::Quantile(double p) const {
+  SPTA_REQUIRE_MSG(p > 0.0 && p < 1.0, "p=" << p);
+  if (xi == 0.0) return -sigma * std::log(1.0 - p);
+  return sigma * (std::pow(1.0 - p, -xi) - 1.0) / xi;
+}
+
+GpdDist FitGpdPwm(std::span<const double> excesses) {
+  SPTA_REQUIRE(excesses.size() >= 2);
+  std::vector<double> sorted(excesses.begin(), excesses.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double a0 = 0.0;
+  double a1 = 0.0;
+  for (std::size_t j = 0; j < sorted.size(); ++j) {
+    a0 += sorted[j];
+    // Hosking-Wallis alpha_1 = M(1,0,1) uses decreasing weights (n-1-j)/(n-1).
+    a1 += sorted[j] * (n - 1.0 - static_cast<double>(j)) / (n - 1.0);
+  }
+  a0 /= n;
+  a1 /= n;
+  const double denom = a0 - 2.0 * a1;
+  SPTA_CHECK_MSG(denom != 0.0, "degenerate excesses for GPD PWM");
+  // Hosking-Wallis k (their convention), xi = -k.
+  const double k = a0 / denom - 2.0;
+  GpdDist d;
+  d.xi = -k;
+  d.sigma = 2.0 * a0 * a1 / denom;
+  SPTA_CHECK_MSG(d.sigma > 0.0, "PWM fit produced sigma=" << d.sigma);
+  return d;
+}
+
+double PotModel::Exceedance(double x) const {
+  if (x < threshold) return zeta;  // model only valid above the threshold
+  return zeta * gpd.Sf(x - threshold);
+}
+
+double PotModel::QuantileForExceedance(double p) const {
+  SPTA_REQUIRE_MSG(p > 0.0 && p < zeta, "p=" << p << " zeta=" << zeta);
+  // Solve zeta * Sf(y) = p  =>  Sf(y) = p/zeta  =>  y = Quantile(1 - p/zeta).
+  return threshold + gpd.Quantile(1.0 - p / zeta);
+}
+
+PotModel FitPot(std::span<const double> sample, double tail_fraction) {
+  SPTA_REQUIRE(tail_fraction > 0.0 && tail_fraction < 1.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n_exc = static_cast<std::size_t>(
+      tail_fraction * static_cast<double>(sorted.size()));
+  SPTA_REQUIRE_MSG(n_exc >= 20, "too few excesses: " << n_exc);
+  const std::size_t cut = sorted.size() - n_exc;
+  PotModel m;
+  m.threshold = sorted[cut - 1];
+  std::vector<double> excesses;
+  excesses.reserve(n_exc);
+  for (std::size_t i = cut; i < sorted.size(); ++i) {
+    excesses.push_back(sorted[i] - m.threshold);
+  }
+  m.zeta = static_cast<double>(n_exc) / static_cast<double>(sorted.size());
+  m.gpd = FitGpdPwm(excesses);
+  m.n_excesses = n_exc;
+  return m;
+}
+
+}  // namespace spta::evt

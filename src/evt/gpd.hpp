@@ -1,0 +1,53 @@
+// Generalized Pareto distribution (GPD) and peaks-over-threshold fitting.
+//
+// The alternative EVT route to block maxima: model the excesses over a high
+// threshold with a GPD (Pickands-Balkema-de Haan). Provided both as a
+// cross-check on the Gumbel projection and for the EVT-sensitivity ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace spta::evt {
+
+/// GPD over excesses y = x - threshold >= 0. For xi != 0:
+///   F(y) = 1 - (1 + xi*y/sigma)^(-1/xi); xi == 0 is the exponential.
+struct GpdDist {
+  double sigma = 1.0;  ///< Scale (> 0).
+  double xi = 0.0;     ///< Shape.
+
+  /// CDF of an excess y >= 0.
+  double Cdf(double y) const;
+
+  /// Survival function P[Y > y].
+  double Sf(double y) const;
+
+  /// Quantile of the excess distribution for p in (0, 1).
+  double Quantile(double p) const;
+};
+
+/// Fits a GPD to non-negative excesses by probability-weighted moments
+/// (Hosking & Wallis 1987). Requires xs.size() >= 2, non-constant.
+GpdDist FitGpdPwm(std::span<const double> excesses);
+
+/// Peaks-over-threshold model for a full sample: threshold, exceedance
+/// fraction zeta_u = P[X > u], and the fitted GPD of the excesses.
+struct PotModel {
+  double threshold = 0.0;
+  double zeta = 0.0;  ///< Empirical P[X > threshold].
+  GpdDist gpd;
+  std::size_t n_excesses = 0;
+
+  /// Per-observation exceedance probability P[X > x] for x >= threshold.
+  double Exceedance(double x) const;
+
+  /// Value with per-observation exceedance probability p (the pWCET at p).
+  /// Requires 0 < p < zeta.
+  double QuantileForExceedance(double p) const;
+};
+
+/// Builds a PoT model using the `tail_fraction` largest observations as
+/// excesses (e.g. 0.1 keeps the top 10%). Requires at least 20 excesses.
+PotModel FitPot(std::span<const double> sample, double tail_fraction);
+
+}  // namespace spta::evt

@@ -1,0 +1,113 @@
+#include "evt/gumbel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace spta::evt {
+
+double GumbelDist::Cdf(double x) const {
+  return std::exp(LogCdf(x));
+}
+
+double GumbelDist::LogCdf(double x) const {
+  return -std::exp(-(x - mu) / beta);
+}
+
+double GumbelDist::Pdf(double x) const {
+  const double z = (x - mu) / beta;
+  return std::exp(-z - std::exp(-z)) / beta;
+}
+
+double GumbelDist::Quantile(double p) const {
+  SPTA_REQUIRE_MSG(p > 0.0 && p < 1.0, "p=" << p);
+  return mu - beta * std::log(-std::log(p));
+}
+
+double GumbelDist::Mean() const { return mu + stats::kEulerGamma * beta; }
+
+double GumbelDist::LogLikelihood(std::span<const double> xs) const {
+  double ll = 0.0;
+  for (double x : xs) {
+    const double z = (x - mu) / beta;
+    ll += -std::log(beta) - z - std::exp(-z);
+  }
+  return ll;
+}
+
+namespace {
+
+// Profile MLE score for beta:
+//   g(beta) = beta - mean(x) + sum(x_i w_i)/sum(w_i),  w_i = exp(-x_i/beta).
+// Shifting the exponent by the sample MINIMUM keeps every exponent <= 0
+// (weights decrease in x), so nothing overflows even for tiny beta; weights
+// of large observations harmlessly underflow to zero. The MLE beta is the
+// root of g: g(0+) = min - mean < 0, g(inf) -> +inf.
+double GumbelBetaScore(std::span<const double> xs, double x_mean, double x_min,
+                       double beta) {
+  double sum_w = 0.0;
+  double sum_xw = 0.0;
+  for (double x : xs) {
+    const double w = std::exp(-(x - x_min) / beta);
+    sum_w += w;
+    sum_xw += x * w;
+  }
+  return beta - x_mean + sum_xw / sum_w;
+}
+
+}  // namespace
+
+GumbelDist FitGumbelMle(std::span<const double> xs) {
+  SPTA_REQUIRE(xs.size() >= 2);
+  const double x_mean = stats::Mean(xs);
+  const double sd = stats::StdDev(xs);
+  SPTA_REQUIRE_MSG(sd > 0.0, "constant sample cannot be Gumbel-fitted");
+  const double x_min = stats::Min(xs);
+
+  // Moment estimate beta0 = sd*sqrt(6)/pi brackets the MLE well; widen the
+  // bracket geometrically until the score changes sign.
+  const double beta0 = sd * std::sqrt(6.0) / M_PI;
+  double lo = beta0 / 64.0;
+  double hi = beta0 * 64.0;
+  auto score = [&](double b) { return GumbelBetaScore(xs, x_mean, x_min, b); };
+  int guard = 0;
+  while (score(lo) * score(hi) > 0.0 && guard++ < 20) {
+    lo /= 4.0;
+    hi *= 4.0;
+  }
+  GumbelDist d;
+  d.beta = stats::SolveBisection(score, lo, hi, beta0 * 1e-12);
+  // Closed-form mu given beta: mu = -beta*log(mean(exp(-x/beta))), with the
+  // same min-shift applied.
+  double sum_w = 0.0;
+  for (double x : xs) sum_w += std::exp(-(x - x_min) / d.beta);
+  d.mu = x_min -
+         d.beta * std::log(sum_w / static_cast<double>(xs.size()));
+  return d;
+}
+
+GumbelDist FitGumbelPwm(std::span<const double> xs) {
+  SPTA_REQUIRE(xs.size() >= 2);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double b0 = 0.0;
+  double b1 = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    b0 += sorted[i];
+    b1 += sorted[i] * static_cast<double>(i) / (n - 1.0);
+  }
+  b0 /= n;
+  b1 /= n;
+  GumbelDist d;
+  d.beta = (2.0 * b1 - b0) / std::log(2.0);
+  SPTA_CHECK_MSG(d.beta > 0.0, "degenerate sample: beta=" << d.beta);
+  d.mu = b0 - stats::kEulerGamma * d.beta;
+  return d;
+}
+
+}  // namespace spta::evt

@@ -1,0 +1,46 @@
+// Gumbel (type-I extreme value) distribution and fitting.
+//
+// MBPTA (Cucu-Grosjean et al., ECRTS 2012) models block maxima of execution
+// times with a Gumbel distribution; the fitted tail, reprojected to per-run
+// probabilities, is the pWCET curve of paper Figure 2.
+#pragma once
+
+#include <span>
+
+namespace spta::evt {
+
+/// Gumbel distribution G(x) = exp(-exp(-(x-mu)/beta)), beta > 0.
+struct GumbelDist {
+  double mu = 0.0;    ///< Location parameter.
+  double beta = 1.0;  ///< Scale parameter (> 0).
+
+  /// CDF value in [0, 1].
+  double Cdf(double x) const;
+
+  /// log(CDF), computed without underflow (= -exp(-(x-mu)/beta)).
+  double LogCdf(double x) const;
+
+  /// Probability density.
+  double Pdf(double x) const;
+
+  /// Quantile for probability p in (0, 1).
+  double Quantile(double p) const;
+
+  /// Mean = mu + gamma*beta.
+  double Mean() const;
+
+  /// Log-likelihood of a sample under this distribution.
+  double LogLikelihood(std::span<const double> xs) const;
+};
+
+/// Fits a Gumbel by maximum likelihood (profile equation for beta solved by
+/// bracketed bisection, then closed-form mu). Requires xs.size() >= 2 and a
+/// non-constant sample.
+GumbelDist FitGumbelMle(std::span<const double> xs);
+
+/// Fits a Gumbel by probability-weighted moments (Hosking): closed-form,
+/// robust, used both as a cross-check and as the bisection starting bracket.
+/// Requires xs.size() >= 2 and a non-constant sample.
+GumbelDist FitGumbelPwm(std::span<const double> xs);
+
+}  // namespace spta::evt

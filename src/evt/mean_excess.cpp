@@ -1,0 +1,65 @@
+#include "evt/mean_excess.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "stats/descriptive.hpp"
+
+namespace spta::evt {
+
+std::vector<MeanExcessPoint> MeanExcessFunction(std::span<const double> xs,
+                                                std::size_t points,
+                                                double tail_start,
+                                                double tail_end) {
+  SPTA_REQUIRE(points >= 2);
+  SPTA_REQUIRE(tail_end > 0.0 && tail_end < tail_start && tail_start < 1.0);
+  SPTA_REQUIRE(xs.size() >= 10);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  SPTA_REQUIRE_MSG(sorted.front() < sorted.back(), "constant sample");
+
+  std::vector<MeanExcessPoint> out;
+  out.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    const double frac =
+        tail_start +
+        (tail_end - tail_start) * static_cast<double>(k) /
+            static_cast<double>(points - 1);
+    const double u = stats::QuantileSorted(sorted, 1.0 - frac);
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (auto it = std::upper_bound(sorted.begin(), sorted.end(), u);
+         it != sorted.end(); ++it) {
+      sum += *it - u;
+      ++count;
+    }
+    if (count == 0) continue;
+    out.push_back({u, sum / static_cast<double>(count), count});
+  }
+  return out;
+}
+
+double MeanExcessSlope(std::span<const MeanExcessPoint> points) {
+  SPTA_REQUIRE(points.size() >= 2);
+  // Weighted least squares with weight = number of exceedances (points
+  // deep in the tail are noisier).
+  double sw = 0.0;
+  double swx = 0.0;
+  double swy = 0.0;
+  double swxx = 0.0;
+  double swxy = 0.0;
+  for (const auto& p : points) {
+    const double w = static_cast<double>(p.exceedances);
+    sw += w;
+    swx += w * p.threshold;
+    swy += w * p.mean_excess;
+    swxx += w * p.threshold * p.threshold;
+    swxy += w * p.threshold * p.mean_excess;
+  }
+  const double denom = sw * swxx - swx * swx;
+  SPTA_REQUIRE_MSG(denom != 0.0, "degenerate thresholds");
+  return (sw * swxy - swx * swy) / denom;
+}
+
+}  // namespace spta::evt

@@ -1,0 +1,35 @@
+// Mean-excess (mean residual life) diagnostics for PoT threshold choice.
+//
+// For a GPD tail with shape xi < 1, the mean excess e(u) = E[X - u | X > u]
+// is LINEAR in u: slope xi/(1-xi). Practitioners pick the PoT threshold
+// where the empirical mean-excess plot turns linear; an estimated slope
+// near 0 supports the exponential/Gumbel (light-tail) model MBPTA uses.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace spta::evt {
+
+/// One point of the empirical mean-excess function.
+struct MeanExcessPoint {
+  double threshold = 0.0;
+  double mean_excess = 0.0;
+  std::size_t exceedances = 0;
+};
+
+/// Evaluates the empirical mean-excess function at `points` thresholds
+/// spread over the upper part of the sample: thresholds are the
+/// (1 - tail_start)…(1 - tail_end) empirical quantiles. Requires a
+/// non-constant sample, points >= 2 and 0 < tail_end < tail_start < 1.
+std::vector<MeanExcessPoint> MeanExcessFunction(std::span<const double> xs,
+                                                std::size_t points = 20,
+                                                double tail_start = 0.5,
+                                                double tail_end = 0.02);
+
+/// Least-squares slope of the mean-excess points (exceedance-weighted).
+/// Slope ~ 0: exponential tail; > 0: heavy; < 0: bounded.
+double MeanExcessSlope(std::span<const MeanExcessPoint> points);
+
+}  // namespace spta::evt

@@ -1,0 +1,53 @@
+#include "evt/pwcet.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "evt/block_maxima.hpp"
+
+namespace spta::evt {
+
+PwcetCurve::PwcetCurve(GumbelDist tail, std::size_t block_size,
+                       std::size_t sample_size)
+    : tail_(tail), block_size_(block_size), sample_size_(sample_size) {
+  SPTA_REQUIRE(block_size >= 1);
+  SPTA_REQUIRE(tail.beta > 0.0);
+}
+
+PwcetCurve PwcetCurve::FitFromSample(std::span<const double> exec_times,
+                                     std::size_t block_size) {
+  const auto maxima = BlockMaxima(exec_times, block_size);
+  SPTA_REQUIRE_MSG(maxima.size() >= 10,
+                   "only " << maxima.size() << " block maxima; need >= 10");
+  return PwcetCurve(FitGumbelMle(maxima), block_size, exec_times.size());
+}
+
+double PwcetCurve::QuantileForExceedance(double p) const {
+  SPTA_REQUIRE_MSG(p > 0.0 && p < 1.0, "p=" << p);
+  // Want v with 1 - G(v)^(1/b) = p, i.e. G(v) = (1-p)^b.
+  // Gumbel quantile: v = mu - beta*log(-log q) with q = (1-p)^b, so
+  // -log q = -b*log(1-p) = -b*log1p(-p), computed without cancellation.
+  const double neg_log_q = -static_cast<double>(block_size_) * std::log1p(-p);
+  SPTA_CHECK(neg_log_q > 0.0);
+  return tail_.mu - tail_.beta * std::log(neg_log_q);
+}
+
+double PwcetCurve::ExceedanceAt(double value) const {
+  // p = 1 - G(v)^(1/b) = -expm1(logG(v)/b); logG(v) = -exp(-(v-mu)/beta).
+  const double log_g = tail_.LogCdf(value);
+  return -std::expm1(log_g / static_cast<double>(block_size_));
+}
+
+std::vector<std::pair<double, double>> PwcetCurve::CurvePoints(
+    int max_exp10) const {
+  SPTA_REQUIRE(max_exp10 >= 1);
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(static_cast<std::size_t>(max_exp10));
+  for (int e = 1; e <= max_exp10; ++e) {
+    const double p = std::pow(10.0, -e);
+    pts.emplace_back(p, QuantileForExceedance(p));
+  }
+  return pts;
+}
+
+}  // namespace spta::evt

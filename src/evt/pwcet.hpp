@@ -1,0 +1,52 @@
+// Probabilistic WCET curve: the central MBPTA artifact (paper Figure 2).
+//
+// A PwcetCurve is a Gumbel tail fitted on block maxima of size b from n
+// observations, reprojected to *per-run* exceedance probabilities:
+//   P[run > v] = 1 - G(v)^(1/b)
+// so that pWCET(p) = G^{-1}((1-p)^b). Both directions are computed with
+// log1p/expm1 so probabilities down to 1e-16 and beyond stay accurate.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "evt/gumbel.hpp"
+
+namespace spta::evt {
+
+/// Immutable fitted pWCET model.
+class PwcetCurve {
+ public:
+  /// Wraps an already-fitted Gumbel over block maxima of size `block_size`
+  /// obtained from `sample_size` per-run observations.
+  PwcetCurve(GumbelDist tail, std::size_t block_size, std::size_t sample_size);
+
+  /// Fits from raw per-run execution times: extracts block maxima of
+  /// `block_size` and fits a Gumbel by MLE.
+  static PwcetCurve FitFromSample(std::span<const double> exec_times,
+                                  std::size_t block_size);
+
+  /// Execution-time bound whose per-run exceedance probability is `p`.
+  /// Requires 0 < p < 1. Monotonically decreasing in p.
+  double QuantileForExceedance(double p) const;
+
+  /// Per-run exceedance probability of bound `value`.
+  double ExceedanceAt(double value) const;
+
+  /// Series of (exceedance-probability, pWCET) points for probabilities
+  /// 10^-1 .. 10^-max_exp10 (one point per decade), ready to plot against
+  /// the observed tail.
+  std::vector<std::pair<double, double>> CurvePoints(int max_exp10 = 16) const;
+
+  const GumbelDist& tail() const { return tail_; }
+  std::size_t block_size() const { return block_size_; }
+  std::size_t sample_size() const { return sample_size_; }
+
+ private:
+  GumbelDist tail_;
+  std::size_t block_size_;
+  std::size_t sample_size_;
+};
+
+}  // namespace spta::evt

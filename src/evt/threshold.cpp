@@ -1,0 +1,60 @@
+#include "evt/threshold.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace spta::evt {
+
+const ThresholdPoint& ThresholdSweepResult::chosen_point() const {
+  SPTA_REQUIRE_MSG(chosen >= 0, "sweep produced no usable choice");
+  return points[static_cast<std::size_t>(chosen)];
+}
+
+ThresholdSweepResult SweepThresholds(std::span<const double> sample,
+                                     double reference_prob,
+                                     double max_fraction, double min_fraction,
+                                     int steps) {
+  SPTA_REQUIRE(steps >= 3);
+  SPTA_REQUIRE(0.0 < min_fraction && min_fraction < max_fraction &&
+               max_fraction < 1.0);
+  SPTA_REQUIRE(reference_prob > 0.0 && reference_prob < min_fraction);
+  SPTA_REQUIRE(static_cast<double>(sample.size()) * min_fraction >= 20.0);
+
+  ThresholdSweepResult result;
+  const double log_hi = std::log(max_fraction);
+  const double log_lo = std::log(min_fraction);
+  for (int i = 0; i < steps; ++i) {
+    const double frac = std::exp(
+        log_hi + (log_lo - log_hi) * static_cast<double>(i) /
+                     static_cast<double>(steps - 1));
+    const PotModel pot = FitPot(sample, frac);
+    ThresholdPoint pt;
+    pt.tail_fraction = frac;
+    pt.threshold = pot.threshold;
+    pt.xi = pot.gpd.xi;
+    pt.q_deep = pot.QuantileForExceedance(reference_prob);
+    pt.excesses = pot.n_excesses;
+    result.points.push_back(pt);
+  }
+
+  // Plateau heuristic: the candidate whose deep quantile varies least
+  // against its immediate neighbors.
+  if (result.points.size() >= 3) {
+    double best_var = 1e300;
+    for (std::size_t i = 1; i + 1 < result.points.size(); ++i) {
+      const double a = result.points[i - 1].q_deep;
+      const double b = result.points[i].q_deep;
+      const double c = result.points[i + 1].q_deep;
+      const double var =
+          std::fabs(a - b) + std::fabs(c - b);
+      if (var < best_var) {
+        best_var = var;
+        result.chosen = static_cast<int>(i);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace spta::evt

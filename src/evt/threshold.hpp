@@ -1,0 +1,47 @@
+// PoT threshold selection by stability sweep.
+//
+// The peaks-over-threshold route needs a threshold high enough that the
+// GPD approximation holds and low enough to keep data. Standard practice
+// sweeps candidate thresholds and looks for the region where the fitted
+// shape and a deep quantile stabilize; this module automates the sweep and
+// a simple plateau pick.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "evt/gpd.hpp"
+
+namespace spta::evt {
+
+/// One threshold candidate.
+struct ThresholdPoint {
+  double tail_fraction = 0.0;  ///< Fraction of the sample kept as excesses.
+  double threshold = 0.0;
+  double xi = 0.0;             ///< Fitted GPD shape.
+  double q_deep = 0.0;         ///< PoT quantile at the reference prob.
+  std::size_t excesses = 0;
+};
+
+struct ThresholdSweepResult {
+  std::vector<ThresholdPoint> points;
+  /// Index of the chosen point (most stable neighborhood), or -1 if the
+  /// sweep produced fewer than 3 usable points.
+  int chosen = -1;
+
+  const ThresholdPoint& chosen_point() const;
+};
+
+/// Sweeps tail fractions between `max_fraction` and `min_fraction`
+/// (logarithmically, `steps` candidates), fitting a GPD at each and
+/// evaluating the quantile at `reference_prob`. The chosen point minimizes
+/// the local variation of the deep quantile across its neighbors (the
+/// plateau heuristic). Requires enough data for >= 20 excesses at
+/// min_fraction.
+ThresholdSweepResult SweepThresholds(std::span<const double> sample,
+                                     double reference_prob = 1e-9,
+                                     double max_fraction = 0.25,
+                                     double min_fraction = 0.02,
+                                     int steps = 8);
+
+}  // namespace spta::evt

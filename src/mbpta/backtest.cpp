@@ -1,0 +1,73 @@
+#include "mbpta/backtest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "evt/block_maxima.hpp"
+
+namespace spta::mbpta {
+
+bool BacktestResult::AllConsistent() const {
+  return std::all_of(points.begin(), points.end(),
+                     [](const BacktestPoint& p) { return p.consistent; });
+}
+
+BacktestResult BacktestPwcet(std::span<const double> analysis,
+                             std::span<const double> validation,
+                             std::span<const double> probs,
+                             const MbptaOptions& options) {
+  SPTA_REQUIRE(!analysis.empty() && !validation.empty());
+  MbptaOptions opts = options;
+  opts.require_iid = false;  // caller gates separately
+  const MbptaResult fit = AnalyzeSample(analysis, opts);
+  SPTA_REQUIRE_MSG(fit.curve.has_value(),
+                   "analysis sample is degenerate; nothing to backtest");
+
+  BacktestResult result;
+  result.analysis_runs = analysis.size();
+  result.validation_runs = validation.size();
+  const double n = static_cast<double>(validation.size());
+  for (const double p : probs) {
+    SPTA_REQUIRE(p > 0.0 && p < 1.0);
+    // Need a handful of expected exceedances for the test to have power.
+    if (p * n < 2.0) continue;
+    BacktestPoint pt;
+    pt.nominal_prob = p;
+    pt.bound = fit.curve->QuantileForExceedance(p);
+    pt.expected = static_cast<std::size_t>(std::llround(p * n));
+    pt.observed = static_cast<std::size_t>(
+        std::count_if(validation.begin(), validation.end(),
+                      [&](double t) { return t > pt.bound; }));
+    const double sigma = std::sqrt(n * p * (1.0 - p));
+    pt.z_score =
+        sigma > 0.0 ? (static_cast<double>(pt.observed) - n * p) / sigma
+                    : 0.0;
+    pt.consistent = pt.z_score <= 3.0;  // one-sided: over-estimation is OK
+    result.points.push_back(pt);
+  }
+  return result;
+}
+
+BacktestResult SplitBacktest(std::span<const double> times,
+                             const MbptaOptions& options) {
+  SPTA_REQUIRE(times.size() >= 2 * options.min_blocks);
+  const std::size_t half = times.size() / 2;
+  const double n_valid = static_cast<double>(times.size() - half);
+  const std::size_t block =
+      options.block_size != 0
+          ? options.block_size
+          : evt::SuggestBlockSize(half, options.min_blocks);
+  const double p_max = 3.0 / static_cast<double>(block);
+  std::vector<double> grid;
+  for (const double expected : {25.0, 10.0, 4.0}) {
+    const double p = expected / n_valid;
+    if (p < p_max && p < 1.0) grid.push_back(p);
+  }
+  SPTA_REQUIRE_MSG(!grid.empty(),
+                   "validation half too small for any observable target");
+  return BacktestPwcet(times.subspan(0, half), times.subspan(half), grid,
+                       options);
+}
+
+}  // namespace spta::mbpta

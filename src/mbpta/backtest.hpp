@@ -1,0 +1,57 @@
+// pWCET backtesting: out-of-sample validation of the projection.
+//
+// The avionics MBPTA case studies validate estimates by splitting the
+// measurements: fit on the analysis half, then count how often the
+// held-out half exceeds the fitted quantiles. At observable probabilities
+// the observed exceedance frequency must be statistically consistent with
+// (or below) the nominal probability — a direct, evidence-based check that
+// the projection does not under-estimate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mbpta/mbpta.hpp"
+
+namespace spta::mbpta {
+
+/// Outcome at one nominal exceedance probability.
+struct BacktestPoint {
+  double nominal_prob = 0.0;   ///< Per-run probability the bound targets.
+  double bound = 0.0;          ///< Fitted pWCET at that probability.
+  std::size_t expected = 0;    ///< round(nominal * validation size).
+  std::size_t observed = 0;    ///< Held-out runs above the bound.
+  double z_score = 0.0;        ///< Normal-approx z of observed vs nominal.
+  /// Consistent = observed not significantly ABOVE nominal (one-sided,
+  /// z <= 3); being below nominal is conservative and fine.
+  bool consistent = false;
+};
+
+struct BacktestResult {
+  std::vector<BacktestPoint> points;
+  std::size_t analysis_runs = 0;
+  std::size_t validation_runs = 0;
+  /// True when every tested probability is consistent.
+  bool AllConsistent() const;
+};
+
+/// Fits MBPTA on `analysis` (i.i.d. gate not enforced here — run it
+/// separately) and backtests the quantiles at `probs` against
+/// `validation`. Probabilities below ~10/validation.size() carry little
+/// power and are skipped. Requires non-empty inputs and a fittable
+/// analysis sample.
+BacktestResult BacktestPwcet(std::span<const double> analysis,
+                             std::span<const double> validation,
+                             std::span<const double> probs,
+                             const MbptaOptions& options = {});
+
+/// Convenience: split `times` in half (first = analysis) and backtest at
+/// an adaptive grid of observable tail probabilities — targets with ~25,
+/// ~10 and ~4 expected exceedances in the validation half, clamped to the
+/// region where a block-maxima model makes per-run statements at all
+/// (p <= ~3/block: larger p reprojects into the LEFT tail of the maxima
+/// distribution, which the Gumbel tail fit never claimed to model).
+BacktestResult SplitBacktest(std::span<const double> times,
+                             const MbptaOptions& options = {});
+
+}  // namespace spta::mbpta

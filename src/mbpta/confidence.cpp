@@ -1,0 +1,47 @@
+#include "mbpta/confidence.hpp"
+
+#include "common/assert.hpp"
+#include "evt/block_maxima.hpp"
+#include "evt/gumbel.hpp"
+#include "evt/pwcet.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+
+namespace spta::mbpta {
+
+PwcetConfidence BootstrapPwcetCi(std::span<const double> times,
+                                 double exceedance_prob,
+                                 std::size_t block_size,
+                                 std::size_t replicates, double level,
+                                 std::uint64_t seed) {
+  SPTA_REQUIRE(exceedance_prob > 0.0 && exceedance_prob < 1.0);
+  const auto maxima = evt::BlockMaxima(times, block_size);
+  SPTA_REQUIRE_MSG(maxima.size() >= 10,
+                   "only " << maxima.size() << " block maxima");
+  SPTA_REQUIRE_MSG(stats::Max(maxima) > stats::Min(maxima),
+                   "degenerate (constant) maxima sample");
+
+  const auto statistic = [&](std::span<const double> resampled) {
+    // A bootstrap replicate can be (nearly) constant; fall back to its max
+    // (the quantile of a point mass) rather than aborting the fit.
+    if (stats::Max(resampled) <= stats::Min(resampled)) {
+      return stats::Max(resampled);
+    }
+    const evt::PwcetCurve curve(evt::FitGumbelMle(resampled), block_size,
+                                times.size());
+    return curve.QuantileForExceedance(exceedance_prob);
+  };
+  const auto ci =
+      stats::BootstrapCi(maxima, statistic, replicates, level, seed);
+
+  PwcetConfidence out;
+  out.exceedance_prob = exceedance_prob;
+  out.point = ci.point;
+  out.lower = ci.lower;
+  out.upper = ci.upper;
+  out.level = level;
+  out.replicates = replicates;
+  return out;
+}
+
+}  // namespace spta::mbpta

@@ -1,0 +1,59 @@
+#include "mbpta/convergence.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace spta::mbpta {
+
+ConvergenceResult CheckConvergence(std::span<const double> times,
+                                   const ConvergenceOptions& options) {
+  SPTA_REQUIRE(options.initial_runs >= options.mbpta.min_blocks);
+  SPTA_REQUIRE(options.step_runs >= 1);
+  SPTA_REQUIRE(times.size() >= options.initial_runs);
+
+  ConvergenceResult result;
+  int stable = 0;
+  double prev = 0.0;
+  bool have_prev = false;
+
+  for (std::size_t n = options.initial_runs; n <= times.size();
+       n += options.step_runs) {
+    ConvergencePoint pt;
+    pt.runs = n;
+    // The i.i.d. gate is evaluated on the full sample by the caller; for
+    // prefix re-estimation only the fit matters.
+    MbptaOptions opts = options.mbpta;
+    opts.require_iid = false;
+    const MbptaResult est = AnalyzeSample(times.subspan(0, n), opts);
+    if (est.curve.has_value()) {
+      pt.usable = true;
+      pt.pwcet = est.curve->QuantileForExceedance(options.reference_prob);
+      if (have_prev && prev > 0.0) {
+        pt.rel_delta = std::fabs(pt.pwcet - prev) / prev;
+        if (pt.rel_delta <= options.rel_tolerance) {
+          ++stable;
+          if (stable >= options.stable_steps_required &&
+              !result.converged) {
+            result.converged = true;
+            result.runs_required = n;
+          }
+        } else {
+          stable = 0;
+          // Later instability invalidates an earlier tentative convergence
+          // only if we have not yet locked it in; MBPTA practice stops
+          // collecting at the first stable point, so we keep it.
+        }
+      }
+      prev = pt.pwcet;
+      have_prev = true;
+    } else {
+      stable = 0;
+      have_prev = false;
+    }
+    result.points.push_back(pt);
+  }
+  return result;
+}
+
+}  // namespace spta::mbpta

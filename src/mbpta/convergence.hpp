@@ -1,0 +1,50 @@
+// MBPTA convergence criterion.
+//
+// The protocol collects runs until the pWCET estimate stabilizes ("We
+// execute TVCA 3,000 times ... which satisfied the convergence criteria
+// defined in the MBPTA process"). We implement it as: re-estimate the
+// pWCET at a reference cutoff probability on growing sample prefixes; the
+// sample has converged once the relative change stays below a tolerance
+// for a number of consecutive steps.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mbpta/mbpta.hpp"
+
+namespace spta::mbpta {
+
+struct ConvergenceOptions {
+  std::size_t initial_runs = 250;
+  std::size_t step_runs = 250;
+  /// Reference per-run exceedance probability at which stability is judged.
+  double reference_prob = 1e-12;
+  /// Relative-change tolerance between consecutive estimates.
+  double rel_tolerance = 0.02;
+  /// Number of consecutive in-tolerance steps required.
+  int stable_steps_required = 2;
+  MbptaOptions mbpta;
+};
+
+/// One prefix re-estimate.
+struct ConvergencePoint {
+  std::size_t runs = 0;
+  double pwcet = 0.0;      ///< Estimate at reference_prob (0 if unusable).
+  double rel_delta = 0.0;  ///< |pwcet - prev| / prev (0 for the first).
+  bool usable = false;
+};
+
+struct ConvergenceResult {
+  std::vector<ConvergencePoint> points;
+  bool converged = false;
+  /// Smallest prefix length at which the criterion was met (0 if never).
+  std::size_t runs_required = 0;
+};
+
+/// Applies the criterion over prefixes of the time-ordered sample.
+ConvergenceResult CheckConvergence(std::span<const double> times,
+                                   const ConvergenceOptions& options = {});
+
+}  // namespace spta::mbpta

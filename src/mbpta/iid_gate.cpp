@@ -1,0 +1,17 @@
+#include "mbpta/iid_gate.hpp"
+
+#include "common/assert.hpp"
+
+namespace spta::mbpta {
+
+IidGateResult RunIidGate(std::span<const double> times,
+                         const IidGateOptions& options) {
+  SPTA_REQUIRE(times.size() >= 4);
+  IidGateResult r;
+  r.alpha = options.alpha;
+  r.independence = stats::LjungBoxTest(times, options.ljung_box_lags);
+  r.identical_distribution = stats::SplitSampleKs(times);
+  return r;
+}
+
+}  // namespace spta::mbpta

@@ -1,0 +1,40 @@
+// The MBPTA i.i.d. admissibility gate.
+//
+// Before EVT may be applied, the execution-time observations must be
+// independent and identically distributed. Following the paper (Section
+// III): independence via Ljung-Box, identical distribution via a two-sample
+// Kolmogorov-Smirnov test between sample halves, both at a 5% significance
+// level — "i.i.d. is rejected only if the value for any of the tests is
+// lower than 0.05".
+#pragma once
+
+#include <span>
+
+#include "stats/ks_test.hpp"
+#include "stats/ljung_box.hpp"
+
+namespace spta::mbpta {
+
+struct IidGateOptions {
+  std::size_t ljung_box_lags = 20;
+  double alpha = 0.05;
+};
+
+struct IidGateResult {
+  stats::LjungBoxResult independence;
+  stats::KsResult identical_distribution;
+  double alpha = 0.05;
+
+  /// True when neither test rejects at `alpha` — MBPTA may proceed.
+  bool Passed() const {
+    return independence.p_value >= alpha &&
+           identical_distribution.p_value >= alpha;
+  }
+};
+
+/// Runs both tests on the time-ordered sample. Requires enough data for the
+/// requested lags and a non-constant sample.
+IidGateResult RunIidGate(std::span<const double> times,
+                         const IidGateOptions& options = {});
+
+}  // namespace spta::mbpta

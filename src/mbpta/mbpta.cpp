@@ -1,0 +1,48 @@
+#include "mbpta/mbpta.hpp"
+
+#include "common/assert.hpp"
+#include "evt/block_maxima.hpp"
+#include "evt/crps.hpp"
+#include "stats/descriptive.hpp"
+
+namespace spta::mbpta {
+
+double MbptaResult::PwcetAt(double p) const {
+  SPTA_REQUIRE_MSG(curve.has_value(), "no fitted pWCET model");
+  return curve->QuantileForExceedance(p);
+}
+
+MbptaResult AnalyzeSample(std::span<const double> times,
+                          const MbptaOptions& options) {
+  SPTA_REQUIRE(times.size() >= options.min_blocks);
+  MbptaResult r;
+  r.sample_size = times.size();
+  r.iid = RunIidGate(times, options.iid);
+
+  r.block_size = options.block_size != 0
+                     ? options.block_size
+                     : evt::SuggestBlockSize(times.size(), options.min_blocks);
+  const auto maxima = evt::BlockMaxima(times, r.block_size);
+
+  // A degenerate (constant) maxima sample admits no EVT fit: the platform
+  // is effectively jitterless and the high watermark IS the WCET.
+  if (stats::Max(maxima) > stats::Min(maxima)) {
+    r.curve = evt::PwcetCurve(evt::FitGumbelMle(maxima), r.block_size,
+                              times.size());
+    r.gev_check = evt::FitGevPwm(maxima);
+    if (maxima.size() >= 50) {
+      r.gof = evt::ChiSquareGof(maxima, r.curve->tail(), /*bins=*/10);
+    }
+    if (maxima.size() >= 8) {
+      r.ad = evt::AndersonDarlingGumbel(maxima, r.curve->tail());
+    }
+    r.ppcc = evt::Ppcc(maxima, r.curve->tail());
+    r.crps = evt::CrpsGumbel(r.curve->tail(), maxima);
+  }
+
+  r.usable = r.curve.has_value() &&
+             (!options.require_iid || r.iid.Passed());
+  return r;
+}
+
+}  // namespace spta::mbpta

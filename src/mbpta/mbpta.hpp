@@ -1,0 +1,63 @@
+// The MBPTA estimation pipeline (Cucu-Grosjean et al., ECRTS 2012, as
+// applied in the paper): i.i.d. gate -> block maxima -> Gumbel tail fit ->
+// goodness-of-fit diagnostics -> pWCET curve.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "evt/ad_test.hpp"
+#include "evt/gev.hpp"
+#include "evt/gof.hpp"
+#include "evt/pwcet.hpp"
+#include "mbpta/iid_gate.hpp"
+
+namespace spta::mbpta {
+
+struct MbptaOptions {
+  /// Block size for maxima extraction; 0 = automatic (largest block size
+  /// that still yields at least `min_blocks` maxima).
+  std::size_t block_size = 0;
+  std::size_t min_blocks = 30;
+  IidGateOptions iid;
+  /// When true (default), a failed i.i.d. gate marks the result unusable.
+  bool require_iid = true;
+};
+
+/// Complete outcome of one MBPTA analysis.
+struct MbptaResult {
+  IidGateResult iid;
+  std::size_t block_size = 0;
+  std::size_t sample_size = 0;
+  /// The fitted pWCET model (absent if the sample was degenerate).
+  std::optional<evt::PwcetCurve> curve;
+  /// GEV shape cross-check on the block maxima (xi should be ~<= 0 for a
+  /// trustworthy light-tailed Gumbel projection).
+  evt::GevDist gev_check;
+  /// Chi-square GOF of the Gumbel fit on the block maxima (absent when the
+  /// maxima sample is too small to bin).
+  std::optional<evt::ChiSquareGofResult> gof;
+  /// Anderson-Darling GOF on the block maxima (tail-weighted; absent for
+  /// very small maxima samples).
+  std::optional<evt::AdResult> ad;
+  /// Probability-plot correlation coefficient of the Gumbel fit on the
+  /// block maxima (0 when no fit).
+  double ppcc = 0.0;
+  /// CRPS of the Gumbel fit on the block maxima (0 when no fit); lower is
+  /// better, comparable across candidate fits of the same sample.
+  double crps = 0.0;
+
+  /// True when the analysis produced a defensible pWCET model: fit present,
+  /// i.i.d. passed (if required).
+  bool usable = false;
+
+  /// pWCET at per-run exceedance probability p. Requires usable.
+  double PwcetAt(double p) const;
+};
+
+/// Runs the full pipeline on a time-ordered execution-time sample.
+/// Requires at least `min_blocks` observations.
+MbptaResult AnalyzeSample(std::span<const double> times,
+                          const MbptaOptions& options = {});
+
+}  // namespace spta::mbpta

@@ -1,0 +1,27 @@
+#include "mbpta/path_coverage.hpp"
+
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace spta::mbpta {
+
+PathCoverageResult EstimatePathCoverage(
+    std::span<const PathObservation> observations) {
+  SPTA_REQUIRE(!observations.empty());
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const auto& obs : observations) ++counts[obs.path_id];
+
+  PathCoverageResult r;
+  r.runs = observations.size();
+  r.observed_paths = counts.size();
+  for (const auto& [path, count] : counts) {
+    if (count == 1) ++r.singleton_paths;
+  }
+  r.missing_mass = static_cast<double>(r.singleton_paths) /
+                   static_cast<double>(r.runs);
+  r.coverage = 1.0 - r.missing_mass;
+  return r;
+}
+
+}  // namespace spta::mbpta

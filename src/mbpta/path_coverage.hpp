@@ -1,0 +1,37 @@
+// Path-coverage estimation for per-path MBPTA.
+//
+// Per-path analysis can only bound the paths it has SEEN. The Good-Turing
+// missing-mass estimator quantifies the residual risk: the expected
+// probability that the next run takes a never-observed path is estimated
+// by (number of paths seen exactly once) / (number of runs). Certification
+// argumentation (INDIN 2013) wants exactly this number alongside the
+// pWCET.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mbpta/per_path.hpp"
+
+namespace spta::mbpta {
+
+struct PathCoverageResult {
+  std::size_t runs = 0;
+  std::size_t observed_paths = 0;
+  std::size_t singleton_paths = 0;  ///< Paths seen exactly once.
+  /// Good-Turing estimate of P[next run takes an unseen path].
+  double missing_mass = 0.0;
+  /// 1 - missing_mass.
+  double coverage = 1.0;
+
+  /// True when the unseen-path probability estimate is below `target`
+  /// (e.g. the cutoff probability the pWCET is quoted at — otherwise the
+  /// per-path envelope's guarantee is weaker than its number suggests).
+  bool SufficientFor(double target) const { return missing_mass <= target; }
+};
+
+/// Computes the estimator over the observations' path ids.
+PathCoverageResult EstimatePathCoverage(
+    std::span<const PathObservation> observations);
+
+}  // namespace spta::mbpta

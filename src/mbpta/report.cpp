@@ -1,0 +1,96 @@
+#include "mbpta/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace spta::mbpta {
+
+std::vector<double> DefaultCutoffs() {
+  std::vector<double> cutoffs;
+  for (int e = 3; e <= 15; e += 3) {
+    cutoffs.push_back(std::pow(10.0, -e));
+  }
+  return cutoffs;
+}
+
+std::string RenderReport(const MbptaResult& result,
+                         const std::string& title) {
+  std::ostringstream oss;
+  oss << "=== " << title << " ===\n";
+  oss << "runs: " << result.sample_size
+      << "  block size: " << result.block_size << "\n";
+  oss << "i.i.d. gate (alpha=" << FormatG(result.iid.alpha, 3) << "): "
+      << (result.iid.Passed() ? "PASSED" : "REJECTED") << "\n";
+  oss << "  Ljung-Box (independence):      p=" <<
+      FormatF(result.iid.independence.p_value, 3) << "\n";
+  oss << "  KS two-sample (identical dist): p="
+      << FormatF(result.iid.identical_distribution.p_value, 3) << "\n";
+  if (result.curve.has_value()) {
+    const auto& tail = result.curve->tail();
+    oss << "Gumbel tail: mu=" << FormatG(tail.mu, 8)
+        << " beta=" << FormatG(tail.beta, 8) << "\n";
+    oss << "GEV shape cross-check: xi=" << FormatG(result.gev_check.xi, 4)
+        << (result.gev_check.IsEffectivelyGumbel(0.1)
+                ? " (Gumbel-compatible)"
+                : " (NOT Gumbel-compatible)")
+        << "\n";
+    if (result.gof.has_value()) {
+      oss << "Chi-square GOF: p=" << FormatF(result.gof->p_value, 3)
+          << (result.gof->NotRejected() ? " (not rejected)" : " (rejected)")
+          << "\n";
+    }
+    if (result.ad.has_value()) {
+      oss << "Anderson-Darling GOF: A*=" << FormatF(result.ad->adjusted, 3)
+          << " vs 5% critical " << FormatF(result.ad->critical_5pct, 3)
+          << (result.ad->NotRejected() ? " (not rejected)" : " (rejected)")
+          << "\n";
+    }
+    oss << "PPCC: " << FormatF(result.ppcc, 4)
+        << "  CRPS: " << FormatG(result.crps, 4) << "\n";
+    TextTable t({"exceedance prob", "pWCET (cycles)"});
+    for (double p : DefaultCutoffs()) {
+      t.AddRow({FormatProb(p),
+                FormatF(result.curve->QuantileForExceedance(p), 0)});
+    }
+    t.Render(oss);
+  } else {
+    oss << "no EVT fit (degenerate sample)\n";
+  }
+  oss << "verdict: " << (result.usable ? "usable" : "NOT usable") << "\n";
+  return oss.str();
+}
+
+std::string RenderReport(const PerPathResult& result,
+                         const std::string& title) {
+  std::ostringstream oss;
+  oss << "=== " << title << " ===\n";
+  oss << "total runs: " << result.total_samples
+      << "  paths: " << result.paths.size()
+      << "  analyzed: " << result.analyzed_count() << "\n";
+  TextTable paths({"path", "runs", "analyzed", "iid", "HWM",
+                   "pWCET@1e-12"});
+  for (const auto& p : result.paths) {
+    std::string pwcet = "-";
+    std::string iid = "-";
+    if (p.analyzed && p.result.curve.has_value()) {
+      pwcet = FormatF(p.result.curve->QuantileForExceedance(1e-12), 0);
+      iid = p.result.iid.Passed() ? "pass" : "FAIL";
+    }
+    paths.AddRow({std::to_string(p.path_id), std::to_string(p.samples),
+                  p.analyzed ? "yes" : "no", iid, FormatF(p.high_watermark, 0),
+                  pwcet});
+  }
+  paths.Render(oss);
+  if (result.analyzed_count() >= 1) {
+    TextTable env({"exceedance prob", "envelope pWCET (cycles)"});
+    for (double p : DefaultCutoffs()) {
+      env.AddRow({FormatProb(p), FormatF(result.EnvelopeAt(p), 0)});
+    }
+    env.Render(oss);
+  }
+  return oss.str();
+}
+
+}  // namespace spta::mbpta

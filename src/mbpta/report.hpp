@@ -1,0 +1,26 @@
+// Human-readable MBPTA analysis report (the library's equivalent of the
+// output an enhanced commercial timing-analysis tool would show).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mbpta/mbpta.hpp"
+#include "mbpta/per_path.hpp"
+
+namespace spta::mbpta {
+
+/// Renders the single-sample analysis: sample summary, i.i.d. gate values,
+/// fit parameters, GOF diagnostics, pWCET at the standard cutoffs.
+std::string RenderReport(const MbptaResult& result,
+                         const std::string& title = "MBPTA analysis");
+
+/// Renders the per-path analysis with the path envelope.
+std::string RenderReport(const PerPathResult& result,
+                         const std::string& title = "MBPTA per-path analysis");
+
+/// The cutoff probabilities reported by default (10^-3 .. 10^-15, the range
+/// spanned by paper Figure 3).
+std::vector<double> DefaultCutoffs();
+
+}  // namespace spta::mbpta

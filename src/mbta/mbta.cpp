@@ -1,0 +1,38 @@
+#include "mbta/mbta.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "stats/descriptive.hpp"
+
+namespace spta::mbta {
+
+MbtaEstimate Estimate(std::span<const double> times, double margin) {
+  SPTA_REQUIRE(!times.empty());
+  SPTA_REQUIRE(margin >= 0.0);
+  MbtaEstimate e;
+  e.high_watermark = stats::Max(times);
+  e.margin = margin;
+  e.wcet_estimate = e.high_watermark * (1.0 + margin);
+  e.sample_size = times.size();
+  return e;
+}
+
+std::vector<MbtaEstimate> MarginSweep(std::span<const double> times,
+                                      std::span<const double> margins) {
+  std::vector<MbtaEstimate> out;
+  out.reserve(margins.size());
+  for (double m : margins) out.push_back(Estimate(times, m));
+  return out;
+}
+
+double ExceedanceFraction(const MbtaEstimate& estimate,
+                          std::span<const double> validation) {
+  SPTA_REQUIRE(!validation.empty());
+  const auto over = std::count_if(
+      validation.begin(), validation.end(),
+      [&](double t) { return t > estimate.wcet_estimate; });
+  return static_cast<double>(over) / static_cast<double>(validation.size());
+}
+
+}  // namespace spta::mbta

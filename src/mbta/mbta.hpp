@@ -1,0 +1,37 @@
+// Industrial measurement-based timing analysis (MBTA) baseline.
+//
+// The practice the paper compares against (Section III): take the highest
+// observed execution time on the deterministic platform (the "high
+// watermark") and inflate it by an engineering factor, e.g. +50%. Cheap,
+// but its confidence rests on the untestable assumption that the analysis
+// runs exercised (or nearly exercised) worst-case conditions such as the
+// worst cache layout.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spta::mbta {
+
+/// One high-watermark + margin WCET estimate.
+struct MbtaEstimate {
+  double high_watermark = 0.0;  ///< Max observed execution time.
+  double margin = 0.0;          ///< Engineering factor, e.g. 0.5 = +50%.
+  double wcet_estimate = 0.0;   ///< high_watermark * (1 + margin).
+  std::size_t sample_size = 0;
+};
+
+/// Computes the estimate from a non-empty sample. Requires margin >= 0.
+MbtaEstimate Estimate(std::span<const double> times, double margin = 0.5);
+
+/// One estimate per margin (for the margin-sensitivity comparison).
+std::vector<MbtaEstimate> MarginSweep(std::span<const double> times,
+                                      std::span<const double> margins);
+
+/// Fraction of `validation` observations exceeding the estimate — the
+/// empirical failure rate of an MBTA bound on an independent sample.
+double ExceedanceFraction(const MbtaEstimate& estimate,
+                          std::span<const double> validation);
+
+}  // namespace spta::mbta

@@ -1,0 +1,35 @@
+#include "prng/hw_prng.hpp"
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace spta::prng {
+
+HwPrng::HwPrng(std::uint64_t seed)
+    : lfsr_(Mix64(seed)), casr_(Mix64(seed ^ 0xa5a5a5a5a5a5a5a5ULL)) {
+  lfsr_.Discard(kWarmupSteps);
+  casr_.Discard(kWarmupSteps);
+}
+
+std::uint32_t HwPrng::Next() {
+  const std::uint64_t l = lfsr_.Step();
+  const std::uint64_t c = casr_.Step();
+  return static_cast<std::uint32_t>(l) ^ static_cast<std::uint32_t>(c);
+}
+
+std::uint32_t HwPrng::UniformBelow(std::uint32_t bound) {
+  SPTA_REQUIRE(bound > 0);
+  // Classic rejection: accept draws below the largest multiple of `bound`
+  // that fits in 2^32, so every residue class is equally likely.
+  const std::uint64_t threshold = (0x1'0000'0000ULL / bound) * bound;
+  for (;;) {
+    const std::uint32_t v = Next();
+    if (v < threshold) return v % bound;
+  }
+}
+
+double HwPrng::UniformUnit() {
+  return static_cast<double>(Next()) * 0x1.0p-32;
+}
+
+}  // namespace spta::prng

@@ -1,0 +1,67 @@
+// Hardware-style shift-register generators.
+//
+// The MBPTA-compliant LEON3 platform in the paper drives its random cache
+// placement/replacement from an IEC-61508 SIL-3 qualified pseudo-random
+// number generator (Agirre et al., DSD 2015), built from linear feedback
+// shift registers and cellular-automaton shift registers — structures that
+// are cheap in hardware. We model the same structures bit-exactly:
+//
+//  * Lfsr43  — 43-bit Galois LFSR, maximal-length polynomial
+//              x^43 + x^41 + x^20 + x + 1 (period 2^43 - 1).
+//  * Casr37  — 37-cell hybrid rule-90/150 cellular automaton shift register
+//              (rule 150 at cell 27, rule 90 elsewhere), maximal period
+//              2^37 - 1.
+//
+// Both registers reject the all-zero lockup state at seeding time.
+#pragma once
+
+#include <cstdint>
+
+namespace spta::prng {
+
+/// 43-bit maximal-length Galois LFSR.
+class Lfsr43 {
+ public:
+  /// Seeds the register; a seed that reduces to zero in the low 43 bits is
+  /// remapped to a fixed nonzero constant to avoid the lockup state.
+  explicit Lfsr43(std::uint64_t seed);
+
+  /// Advances one clock and returns the new 43-bit state.
+  std::uint64_t Step();
+
+  /// Advances `n` clocks (used to decorrelate streams).
+  void Discard(std::uint64_t n);
+
+  std::uint64_t state() const { return state_; }
+
+  /// Register width in bits.
+  static constexpr int kBits = 43;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// 37-cell hybrid rule-90/150 cellular automaton shift register.
+///
+/// Cell i next-state: left XOR right (rule 90), plus self for the single
+/// rule-150 cell. Null boundary conditions (cells beyond the edges read 0).
+class Casr37 {
+ public:
+  explicit Casr37(std::uint64_t seed);
+
+  /// Advances one clock and returns the new 37-bit state.
+  std::uint64_t Step();
+
+  void Discard(std::uint64_t n);
+
+  std::uint64_t state() const { return state_; }
+
+  static constexpr int kBits = 37;
+  /// Index of the single rule-150 cell (Tkacik's published design).
+  static constexpr int kRule150Cell = 27;
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace spta::prng

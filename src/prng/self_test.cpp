@@ -1,0 +1,74 @@
+#include "prng/self_test.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace spta::prng {
+
+BitTestResult MonobitTest(std::span<const std::uint32_t> words) {
+  SPTA_REQUIRE(!words.empty());
+  const double n = static_cast<double>(words.size()) * 32.0;
+  std::uint64_t ones = 0;
+  for (std::uint32_t w : words) ones += std::popcount(w);
+  BitTestResult r;
+  r.statistic = static_cast<double>(ones);
+  const double mean = n / 2.0;
+  const double sigma = std::sqrt(n / 4.0);
+  r.lower = mean - 4.0 * sigma;
+  r.upper = mean + 4.0 * sigma;
+  r.passed = r.statistic > r.lower && r.statistic < r.upper;
+  return r;
+}
+
+BitTestResult PokerTest(std::span<const std::uint32_t> words) {
+  SPTA_REQUIRE(!words.empty());
+  std::array<std::uint64_t, 16> freq{};
+  for (std::uint32_t w : words) {
+    for (int shift = 0; shift < 32; shift += 4) {
+      ++freq[(w >> shift) & 0xf];
+    }
+  }
+  const double k = static_cast<double>(words.size()) * 8.0;  // nibble count
+  double sum_sq = 0.0;
+  for (std::uint64_t f : freq) {
+    sum_sq += static_cast<double>(f) * static_cast<double>(f);
+  }
+  BitTestResult r;
+  // FIPS 140-2 poker statistic: (16/k)·Σ f_i² − k. Under H0 this is
+  // approximately chi-square with 15 degrees of freedom, so accept within
+  // [chi2_0.0001, chi2_0.9999] ≈ [2.16, 46.25] independent of k.
+  r.statistic = (16.0 / k) * sum_sq - k;
+  r.lower = 2.16;
+  r.upper = 46.25;
+  r.passed = r.statistic > r.lower && r.statistic < r.upper;
+  return r;
+}
+
+BitTestResult RunsTest(std::span<const std::uint32_t> words) {
+  SPTA_REQUIRE(!words.empty());
+  const std::size_t n_bits = words.size() * 32;
+  std::uint64_t runs = 1;
+  int prev = static_cast<int>(words[0] & 1u);
+  for (std::size_t i = 1; i < n_bits; ++i) {
+    const int bit =
+        static_cast<int>((words[i / 32] >> (i % 32)) & 1u);
+    if (bit != prev) {
+      ++runs;
+      prev = bit;
+    }
+  }
+  BitTestResult r;
+  r.statistic = static_cast<double>(runs);
+  const double n = static_cast<double>(n_bits);
+  const double mean = n / 2.0;  // expected runs for unbiased iid bits ≈ n/2
+  const double sigma = std::sqrt(n) / 2.0;
+  r.lower = mean - 4.0 * sigma;
+  r.upper = mean + 4.0 * sigma;
+  r.passed = r.statistic > r.lower && r.statistic < r.upper;
+  return r;
+}
+
+}  // namespace spta::prng

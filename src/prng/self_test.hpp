@@ -1,0 +1,47 @@
+// Statistical self-tests for PRNG output quality.
+//
+// The paper's platform PRNG must be statistically sound for the MBPTA
+// argument to hold (DSD-2015 qualifies it to IEC-61508 SIL-3). We implement
+// the three classic FIPS-140-2-style bitstream tests — monobit, poker and
+// runs — as pure functions over a bit sample, so any generator in the
+// library can be checked in unit tests and at platform bring-up.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spta::prng {
+
+/// Result of one bitstream test.
+struct BitTestResult {
+  bool passed = false;      ///< True if the statistic is within bounds.
+  double statistic = 0.0;   ///< The computed test statistic.
+  double lower = 0.0;       ///< Acceptance interval lower bound.
+  double upper = 0.0;       ///< Acceptance interval upper bound.
+};
+
+/// Monobit test over `bits.size()*32` bits: counts ones; for n bits the
+/// count must lie within mean ± 4·sqrt(n/4) (≈4σ, FIPS-style).
+BitTestResult MonobitTest(std::span<const std::uint32_t> words);
+
+/// Poker test: partitions the stream into 4-bit nibbles and computes the
+/// chi-square-like statistic over the 16 nibble frequencies. Passes when the
+/// statistic is within the FIPS 140-2 interval scaled to the sample size.
+BitTestResult PokerTest(std::span<const std::uint32_t> words);
+
+/// Runs test: counts maximal runs of identical bits; the total number of
+/// runs must be within 4σ of its expectation n/2 for an unbiased stream.
+BitTestResult RunsTest(std::span<const std::uint32_t> words);
+
+/// Convenience: runs all three tests on `n_words` outputs of `gen` and
+/// returns true iff all pass. `gen` is any callable returning uint32_t.
+template <typename Gen>
+bool PassesAllBitTests(Gen&& gen, std::size_t n_words) {
+  std::vector<std::uint32_t> words(n_words);
+  for (auto& w : words) w = gen();
+  return MonobitTest(words).passed && PokerTest(words).passed &&
+         RunsTest(words).passed;
+}
+
+}  // namespace spta::prng

@@ -1,0 +1,88 @@
+#include "prng/xoshiro.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace spta::prng {
+namespace {
+
+inline std::uint32_t Rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::Next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro128pp::Xoshiro128pp(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  // Expand into four nonzero-overall 32-bit words.
+  std::uint64_t a = sm.Next();
+  std::uint64_t b = sm.Next();
+  s_[0] = static_cast<std::uint32_t>(a);
+  s_[1] = static_cast<std::uint32_t>(a >> 32);
+  s_[2] = static_cast<std::uint32_t>(b);
+  s_[3] = static_cast<std::uint32_t>(b >> 32);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint32_t Xoshiro128pp::Next() {
+  const std::uint32_t result = Rotl32(s_[0] + s_[3], 7) + s_[0];
+  const std::uint32_t t = s_[1] << 9;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl32(s_[3], 11);
+  return result;
+}
+
+std::uint32_t Xoshiro128pp::UniformBelow(std::uint32_t bound) {
+  SPTA_REQUIRE(bound > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t m = static_cast<std::uint64_t>(Next()) * bound;
+  auto lo = static_cast<std::uint32_t>(m);
+  if (lo < bound) {
+    const std::uint32_t threshold = (0u - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<std::uint64_t>(Next()) * bound;
+      lo = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+double Xoshiro128pp::UniformUnit() {
+  return static_cast<double>(Next()) * 0x1.0p-32;
+}
+
+double Xoshiro128pp::UniformReal(double lo, double hi) {
+  SPTA_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * UniformUnit();
+}
+
+double Xoshiro128pp::Normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * UniformUnit() - 1.0;
+    v = 2.0 * UniformUnit() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+}  // namespace spta::prng

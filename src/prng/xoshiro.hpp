@@ -1,0 +1,60 @@
+// Fast, well-tested software PRNGs used for simulation infrastructure
+// (workload input generation, bootstrap resampling). The *platform* random
+// placement/replacement uses the hardware-style HwPrng instead (hw_prng.hpp),
+// mirroring the paper's hardware PRNG; these software engines only drive the
+// experiment harness.
+#pragma once
+
+#include <cstdint>
+
+namespace spta::prng {
+
+/// SplitMix64: a tiny 64-bit generator mainly used to expand seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value.
+  std::uint64_t Next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro128++ 1.0 (Blackman & Vigna): 32-bit output, 2^128-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro128pp {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Seeds the 128-bit state via SplitMix64 expansion of `seed`.
+  explicit Xoshiro128pp(std::uint64_t seed);
+
+  /// Returns the next 32-bit value.
+  std::uint32_t Next();
+
+  /// std::uniform_random_bit_generator interface.
+  result_type operator()() { return Next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  /// Requires bound > 0.
+  std::uint32_t UniformBelow(std::uint32_t bound);
+
+  /// Uniform double in [0, 1) with 32 bits of resolution.
+  double UniformUnit();
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Standard normal variate (polar Marsaglia method).
+  double Normal();
+
+ private:
+  std::uint32_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace spta::prng

@@ -1,0 +1,26 @@
+#include "sim/bus.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace spta::sim {
+
+Bus::Bus(const BusConfig& config) : config_(config) {}
+
+Cycles Bus::Acquire(CoreId /*core*/, Cycles ready_time, Cycles duration) {
+  SPTA_REQUIRE(duration >= 1);
+  const Cycles start = std::max(ready_time, free_at_);
+  stats_.wait_cycles += start - ready_time;
+  stats_.busy_cycles += duration;
+  ++stats_.transactions;
+  free_at_ = start + duration;
+  return start;
+}
+
+void Bus::Reset() {
+  free_at_ = 0;
+  stats_ = BusStats{};
+}
+
+}  // namespace spta::sim

@@ -1,0 +1,81 @@
+// Set-associative cache model with pluggable placement and replacement.
+//
+// This is the heart of the time-randomized platform: the paper's hardware
+// modifications replace conventional modulo placement / LRU replacement with
+// random-modulo placement (Hernandez et al., DAC 2016) and random
+// replacement (Kosmidis et al., DATE 2013), both driven by the platform
+// PRNG. The model tracks tags only (no data — the interpreter holds
+// functional state) and reports hit/miss per access; timing is applied by
+// the core model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "prng/hw_prng.hpp"
+#include "sim/config.hpp"
+
+namespace spta::sim {
+
+/// Per-access statistics counters.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+
+  double MissRatio() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class Cache {
+ public:
+  /// Builds an empty cache; `seed` drives the placement hash and the random
+  /// replacement stream (ignored by deterministic policies).
+  Cache(const CacheConfig& config, Seed seed);
+
+  /// Looks up the line containing `addr`; allocates on a read miss.
+  /// `allocate_on_miss=false` models write-through no-write-allocate stores.
+  /// Returns true on hit.
+  bool Access(Address addr, bool allocate_on_miss = true);
+
+  /// Invalidates all lines (the per-run cache flush of the MBPTA protocol).
+  void Flush();
+
+  /// Installs a new seed (new placement mapping + replacement stream) and
+  /// flushes. Called between measurement runs on the RAND platform.
+  void Reseed(Seed seed);
+
+  /// Computes the set index for `addr` under the current seed/policy.
+  /// Exposed for property tests of the placement functions.
+  std::uint32_t SetIndexFor(Address addr) const;
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru_stamp = 0;  ///< Higher = more recent (LRU policy).
+    bool referenced = false;      ///< NRU reference bit.
+  };
+
+  std::uint64_t LineNumber(Address addr) const;
+  std::uint32_t Victim(std::uint32_t set);
+
+  CacheConfig config_;
+  std::uint32_t sets_;
+  std::uint32_t line_shift_;
+  std::uint32_t index_mask_;
+  Seed placement_seed_;
+  prng::HwPrng replacement_rng_;
+  std::vector<Line> lines_;  ///< sets_ * ways, row-major by set.
+  std::uint64_t access_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace spta::sim

@@ -1,0 +1,95 @@
+#include "sim/config.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace spta::sim {
+namespace {
+
+bool IsPow2(std::uint32_t v) { return v != 0 && std::has_single_bit(v); }
+
+void ValidateCache(const CacheConfig& c, const char* which) {
+  SPTA_CHECK_MSG(IsPow2(c.line_bytes) && c.line_bytes >= 4,
+                 which << ": line_bytes=" << c.line_bytes);
+  SPTA_CHECK_MSG(c.ways >= 1, which << ": ways=" << c.ways);
+  SPTA_CHECK_MSG(c.size_bytes % (c.line_bytes * c.ways) == 0,
+                 which << ": size not divisible by way size");
+  SPTA_CHECK_MSG(IsPow2(c.num_sets()), which << ": sets=" << c.num_sets());
+}
+
+}  // namespace
+
+const char* ToString(Placement p) {
+  switch (p) {
+    case Placement::kModulo:
+      return "modulo";
+    case Placement::kRandomModulo:
+      return "random-modulo";
+    case Placement::kHashRandom:
+      return "hash-random";
+  }
+  return "?";
+}
+
+const char* ToString(Replacement r) {
+  switch (r) {
+    case Replacement::kLru:
+      return "lru";
+    case Replacement::kRandom:
+      return "random";
+    case Replacement::kNru:
+      return "nru";
+  }
+  return "?";
+}
+
+void PlatformConfig::Validate() const {
+  SPTA_CHECK_MSG(cores >= 1 && cores <= 16, "cores=" << cores);
+  ValidateCache(il1, "il1");
+  ValidateCache(dl1, "dl1");
+  SPTA_CHECK(itlb.entries >= 1 && IsPow2(itlb.page_bytes));
+  SPTA_CHECK(dtlb.entries >= 1 && IsPow2(dtlb.page_bytes));
+  SPTA_CHECK(IsPow2(dram.banks) && IsPow2(dram.row_bytes));
+  if (l2.enabled) ValidateCache(l2.cache, "l2");
+  SPTA_CHECK(store_buffer.depth >= 1);
+  SPTA_CHECK(bus.line_transfer_cycles >= 1 && bus.store_transfer_cycles >= 1);
+}
+
+PlatformConfig DetLeon3Config() {
+  PlatformConfig p;
+  p.name = "DET";
+  p.cores = 4;
+  // 16KB 4-way IL1/DL1 (paper Section II), 32B lines.
+  p.il1 = {16 * 1024, 32, 4, Placement::kModulo, Replacement::kLru};
+  p.dl1 = {16 * 1024, 32, 4, Placement::kModulo, Replacement::kLru};
+  p.itlb = {64, 4096, Replacement::kLru, 30};
+  p.dtlb = {64, 4096, Replacement::kLru, 30};
+  p.fpu.mode = FpuMode::kVariable;
+  p.Validate();
+  return p;
+}
+
+PlatformConfig RandLeon3Config() {
+  PlatformConfig p = DetLeon3Config();
+  p.name = "RAND";
+  p.il1.placement = Placement::kRandomModulo;
+  p.il1.replacement = Replacement::kRandom;
+  p.dl1.placement = Placement::kRandomModulo;
+  p.dl1.replacement = Replacement::kRandom;
+  p.itlb.replacement = Replacement::kRandom;
+  p.dtlb.replacement = Replacement::kRandom;
+  p.fpu.mode = FpuMode::kWorstCaseFixed;
+  p.Validate();
+  return p;
+}
+
+PlatformConfig RandLeon3OperationConfig() {
+  PlatformConfig p = RandLeon3Config();
+  p.name = "RAND-op";
+  p.fpu.mode = FpuMode::kVariable;
+  p.Validate();
+  return p;
+}
+
+}  // namespace spta::sim

@@ -1,0 +1,155 @@
+// Platform configuration: every structural and timing parameter of the
+// simulated LEON3-class multicore, plus the DET / RAND presets the paper
+// compares (Section II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace spta::sim {
+
+/// Cache set-index (placement) policies.
+enum class Placement : std::uint8_t {
+  kModulo,        ///< Conventional: set = line mod sets (deterministic).
+  kRandomModulo,  ///< Hernandez DAC-2016: set = (index + h(tag,seed)) mod
+                  ///< sets — per-seed random, sequential lines never collide.
+  kHashRandom,    ///< Kosmidis DATE-2013 style: set = h(line,seed) mod sets.
+};
+
+/// Cache/TLB replacement policies.
+enum class Replacement : std::uint8_t {
+  kLru,     ///< Least-recently-used (deterministic).
+  kRandom,  ///< Uniform random victim (MBPTA-compliant).
+  kNru,     ///< Not-recently-used approximation (deterministic).
+};
+
+const char* ToString(Placement p);
+const char* ToString(Replacement r);
+
+/// Geometry + policies of one cache level.
+struct CacheConfig {
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t ways = 4;
+  Placement placement = Placement::kModulo;
+  Replacement replacement = Replacement::kLru;
+
+  std::uint32_t num_sets() const {
+    return size_bytes / (line_bytes * ways);
+  }
+};
+
+/// Geometry + policy of a (fully associative) TLB.
+struct TlbConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t page_bytes = 4096;
+  Replacement replacement = Replacement::kLru;
+  /// Fixed page-table-walk penalty on a miss, in cycles.
+  Cycles miss_penalty = 30;
+};
+
+/// FPU latency model. FDIV/FSQRT latency depends on operand values on the
+/// real unit; in kWorstCaseFixed mode (the paper's analysis-phase hardware
+/// change) they always take their maximum latency.
+enum class FpuMode : std::uint8_t {
+  kVariable,        ///< Value-dependent latency (DET platform / operation).
+  kWorstCaseFixed,  ///< Fixed at worst case (RAND platform analysis phase).
+};
+
+struct FpuConfig {
+  FpuMode mode = FpuMode::kVariable;
+  Cycles add_latency = 4;    ///< FADD/FSUB/convert (jitterless).
+  Cycles mul_latency = 4;    ///< FMUL (jitterless).
+  /// FDIV latency for operand class 0; each class adds div_step cycles.
+  Cycles div_base = 16;
+  Cycles div_step = 3;
+  /// FSQRT latency for operand class 0; each class adds sqrt_step cycles.
+  Cycles sqrt_base = 22;
+  Cycles sqrt_step = 4;
+};
+
+/// Shared-bus timing (AMBA AHB-style, round-robin arbitration).
+struct BusConfig {
+  /// Cycles the bus is occupied by one cache-line refill transaction.
+  Cycles line_transfer_cycles = 14;
+  /// Cycles occupied by one write-through word store.
+  Cycles store_transfer_cycles = 3;
+};
+
+/// DRAM controller with per-bank open-row tracking and optional refresh.
+struct DramConfig {
+  std::uint32_t banks = 8;
+  std::uint32_t row_bytes = 2048;
+  Cycles row_hit_latency = 28;    ///< CAS-only access.
+  Cycles row_miss_latency = 100;   ///< Precharge + activate + CAS.
+  /// All-bank refresh every `refresh_interval` cycles for
+  /// `refresh_duration` cycles; 0 disables refresh (the default keeps the
+  /// baseline platform free of phase-dependent jitter; the refresh
+  /// ablation turns it on).
+  Cycles refresh_interval = 0;
+  Cycles refresh_duration = 128;
+};
+
+/// Optional unified second-level cache shared by all cores (LEON4-style),
+/// sitting between the bus and the memory controller.
+struct L2Config {
+  bool enabled = false;
+  CacheConfig cache{256 * 1024, 32, 8, Placement::kModulo,
+                    Replacement::kLru};
+  Cycles hit_latency = 12;  ///< Lookup + line return on an L2 hit.
+};
+
+/// Integer pipeline timing (7-stage in-order; jitterless by construction).
+struct PipelineConfig {
+  Cycles int_alu = 1;
+  Cycles int_mul = 5;
+  Cycles int_div = 35;
+  /// Extra bubble cycles on a taken branch (no branch prediction).
+  Cycles taken_branch_penalty = 2;
+  /// Load delay slot: extra bubble when an instruction consumes the result
+  /// of the immediately preceding load (path-dependent but jitterless:
+  /// fixed per path, like the rest of the pipeline).
+  Cycles load_use_stall = 1;
+};
+
+/// Store buffer between the core and the write-through bus path.
+struct StoreBufferConfig {
+  std::uint32_t depth = 8;
+};
+
+/// The full platform.
+struct PlatformConfig {
+  std::string name = "unnamed";
+  std::uint32_t cores = 4;
+  CacheConfig il1;
+  CacheConfig dl1;
+  TlbConfig itlb;
+  TlbConfig dtlb;
+  FpuConfig fpu;
+  BusConfig bus;
+  DramConfig dram;
+  L2Config l2;
+  PipelineConfig pipeline;
+  StoreBufferConfig store_buffer;
+
+  /// Validates internal consistency (power-of-two geometries etc.).
+  void Validate() const;
+};
+
+/// The baseline deterministic platform (paper's "DET"): modulo placement,
+/// LRU replacement everywhere, value-dependent FPU.
+PlatformConfig DetLeon3Config();
+
+/// The MBPTA-compliant platform (paper's "RAND"): random-modulo placement +
+/// random replacement in IL1/DL1, random replacement in both TLBs, FPU
+/// forced to worst-case fixed latency (analysis phase).
+PlatformConfig RandLeon3Config();
+
+/// RAND variant with the FPU in value-dependent mode — the *operation*
+/// phase of the deployed platform (used to check the analysis-phase FPU
+/// upper-bounds operation).
+PlatformConfig RandLeon3OperationConfig();
+
+}  // namespace spta::sim

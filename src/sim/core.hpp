@@ -1,0 +1,102 @@
+// Per-core timing model: a 7-stage in-order LEON3-class pipeline with
+// first-level instruction/data caches, split TLBs, an FPU and a store
+// buffer, connected to the shared memory system.
+//
+// The model is cycle-accounting (not micro-architecturally exact): each
+// retired instruction charges its base pipeline latency plus any memory /
+// FPU stall cycles. This captures precisely the jitter sources the paper
+// manipulates — cache placement/replacement, TLB replacement, FPU operand
+// dependence, bus/DRAM interference — on top of a jitterless base pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/bus.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/fpu.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/store_buffer.hpp"
+#include "sim/tlb.hpp"
+#include "trace/record.hpp"
+
+namespace spta::sim {
+
+/// Timing outcome and event counters of one run on one core.
+struct RunResult {
+  Cycles cycles = 0;
+  std::uint64_t instructions = 0;
+  CacheStats il1;
+  CacheStats dl1;
+  TlbStats itlb;
+  TlbStats dtlb;
+  FpuStats fpu;
+  StoreBufferStats store_buffer;
+  /// Shared memory-path statistics at the end of the run (identical in
+  /// every core's result of one RunConcurrent: the path is shared).
+  BusStats bus;
+  DramStats dram;
+
+  double Cpi() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(cycles) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+class Core {
+ public:
+  /// `memory` is the shared memory system; it must outlive the core.
+  Core(const PlatformConfig& config, CoreId id, MemorySystem* memory,
+       Seed seed);
+
+  /// Installs fresh per-run randomization (placement mapping, replacement
+  /// streams) and flushes caches/TLBs/store buffer — the simulator
+  /// equivalent of the paper's "flush caches, reset the FPGA, reload the
+  /// executable, set a new seed" per-run protocol.
+  void Reseed(Seed seed);
+
+  /// Attaches a trace for step-wise execution (multicore interleaving).
+  /// The trace must outlive the stepping.
+  void AttachTrace(const trace::Trace* t);
+
+  /// True when an attached trace has unretired instructions.
+  bool HasWork() const;
+
+  /// Retires the next instruction of the attached trace, advancing the
+  /// local clock. Requires HasWork().
+  void Step();
+
+  /// Finishes the run: drains the store buffer into the local clock and
+  /// returns the result. Requires the attached trace to be fully retired.
+  RunResult Finish();
+
+  /// Convenience single-core execution: Reseed is NOT called (callers
+  /// decide the per-run protocol); runs the whole trace and finishes.
+  RunResult Run(const trace::Trace& t);
+
+  /// Local clock (cycles retired so far).
+  Cycles now() const { return now_; }
+  CoreId id() const { return id_; }
+
+ private:
+  void RetireRecord(const trace::TraceRecord& rec);
+
+  const PlatformConfig& config_;
+  CoreId id_;
+  MemorySystem* memory_;
+  Cache il1_;
+  Cache dl1_;
+  Tlb itlb_;
+  Tlb dtlb_;
+  Fpu fpu_;
+  StoreBuffer store_buffer_;
+  Cycles now_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint8_t pending_load_reg_ = trace::kNoReg;
+  const trace::Trace* trace_ = nullptr;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace spta::sim

@@ -1,0 +1,56 @@
+#include "sim/dram.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace spta::sim {
+
+Dram::Dram(const DramConfig& config)
+    : config_(config),
+      row_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(config.row_bytes))),
+      bank_shift_(static_cast<std::uint32_t>(std::countr_zero(config.banks))),
+      open_row_(config.banks, -1) {
+  SPTA_REQUIRE(std::has_single_bit(config.banks));
+  SPTA_REQUIRE(std::has_single_bit(config.row_bytes));
+}
+
+std::uint32_t Dram::BankOf(Address addr) const {
+  return static_cast<std::uint32_t>(addr >> row_shift_) &
+         (config_.banks - 1);
+}
+
+std::uint64_t Dram::RowOf(Address addr) const {
+  return addr >> (row_shift_ + bank_shift_);
+}
+
+Cycles Dram::AccessLatency(Address addr, Cycles now) {
+  ++stats_.accesses;
+  Cycles refresh_stall = 0;
+  if (config_.refresh_interval > 0) {
+    // All-bank refresh occupies the device for refresh_duration cycles at
+    // every multiple of refresh_interval; an access arriving inside the
+    // window waits for it to finish.
+    const Cycles phase = now % config_.refresh_interval;
+    if (phase < config_.refresh_duration) {
+      refresh_stall = config_.refresh_duration - phase;
+      stats_.refresh_stall_cycles += refresh_stall;
+    }
+  }
+  const std::uint32_t bank = BankOf(addr);
+  const auto row = static_cast<std::int64_t>(RowOf(addr));
+  if (open_row_[bank] == row) {
+    ++stats_.row_hits;
+    return refresh_stall + config_.row_hit_latency;
+  }
+  open_row_[bank] = row;
+  return refresh_stall + config_.row_miss_latency;
+}
+
+void Dram::Reset() {
+  for (auto& r : open_row_) r = -1;
+  stats_ = DramStats{};
+}
+
+}  // namespace spta::sim

@@ -1,0 +1,70 @@
+#include "sim/fpu.hpp"
+
+#include "common/assert.hpp"
+
+namespace spta::sim {
+
+bool IsFpuOp(trace::OpClass op) {
+  switch (op) {
+    case trace::OpClass::kFpAdd:
+    case trace::OpClass::kFpMul:
+    case trace::OpClass::kFpDiv:
+    case trace::OpClass::kFpSqrt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Fpu::Fpu(const FpuConfig& config) : config_(config) {}
+
+Cycles Fpu::WorstCaseLatency(trace::OpClass op) const {
+  const auto worst_class = static_cast<Cycles>(trace::kFpuOperandClasses - 1);
+  switch (op) {
+    case trace::OpClass::kFpAdd:
+      return config_.add_latency;
+    case trace::OpClass::kFpMul:
+      return config_.mul_latency;
+    case trace::OpClass::kFpDiv:
+      return config_.div_base + config_.div_step * worst_class;
+    case trace::OpClass::kFpSqrt:
+      return config_.sqrt_base + config_.sqrt_step * worst_class;
+    default:
+      SPTA_REQUIRE_MSG(false, "not an FPU op");
+      return 0;
+  }
+}
+
+Cycles Fpu::Latency(trace::OpClass op, std::uint8_t operand_class) {
+  SPTA_REQUIRE(IsFpuOp(op));
+  SPTA_REQUIRE(operand_class < trace::kFpuOperandClasses);
+  Cycles lat;
+  if (config_.mode == FpuMode::kWorstCaseFixed ||
+      !trace::IsJitteryFpu(op)) {
+    lat = WorstCaseLatency(op);
+    // Fixed-latency ops always charge their (single) latency; in worst-case
+    // mode the jittery ops charge their maximum regardless of operands.
+    if (!trace::IsJitteryFpu(op)) {
+      switch (op) {
+        case trace::OpClass::kFpAdd:
+          lat = config_.add_latency;
+          break;
+        case trace::OpClass::kFpMul:
+          lat = config_.mul_latency;
+          break;
+        default:
+          break;
+      }
+    }
+  } else {
+    const auto cls = static_cast<Cycles>(operand_class);
+    lat = op == trace::OpClass::kFpDiv
+              ? config_.div_base + config_.div_step * cls
+              : config_.sqrt_base + config_.sqrt_step * cls;
+  }
+  ++stats_.operations;
+  stats_.total_cycles += lat;
+  return lat;
+}
+
+}  // namespace spta::sim

@@ -1,0 +1,57 @@
+#include "sim/memory_system.hpp"
+
+#include "common/hash.hpp"
+
+namespace spta::sim {
+
+MemorySystem::MemorySystem(const BusConfig& bus_config,
+                           const DramConfig& dram_config)
+    : MemorySystem(bus_config, dram_config, L2Config{}, 0) {}
+
+MemorySystem::MemorySystem(const BusConfig& bus_config,
+                           const DramConfig& dram_config,
+                           const L2Config& l2_config, Seed seed)
+    : bus_(bus_config), dram_(dram_config), l2_config_(l2_config) {
+  if (l2_config_.enabled) {
+    l2_.emplace(l2_config_.cache, DeriveSeed(seed, "l2"));
+  }
+}
+
+Cycles MemorySystem::LineFill(CoreId core, Address addr, Cycles ready_time) {
+  // The AHB-style bus is occupied for the whole read transaction.
+  // Timing is decided first (under the current L2/DRAM state), then the
+  // bus is acquired for that duration.
+  Cycles service;
+  if (l2_ && l2_->Access(addr, /*allocate_on_miss=*/true)) {
+    service = l2_config_.hit_latency;
+  } else {
+    // DRAM access begins after the (failed) L2 lookup.
+    const Cycles lookup = l2_ ? l2_config_.hit_latency : 0;
+    service = lookup + dram_.AccessLatency(addr, ready_time + lookup);
+  }
+  const Cycles duration = service + bus_.config().line_transfer_cycles;
+  const Cycles start = bus_.Acquire(core, ready_time, duration);
+  return start + duration;
+}
+
+Cycles MemorySystem::Store(CoreId core, Address addr, Cycles ready_time) {
+  // Write-through all the way to DRAM; the L2 is updated on a hit but
+  // (like the DL1) does not allocate on a store miss.
+  if (l2_) l2_->Access(addr, /*allocate_on_miss=*/false);
+  const Cycles dram_latency = dram_.AccessLatency(addr, ready_time);
+  const Cycles duration =
+      dram_latency + bus_.config().store_transfer_cycles;
+  const Cycles start = bus_.Acquire(core, ready_time, duration);
+  return start + duration;
+}
+
+void MemorySystem::Reset(Seed run_seed) {
+  bus_.Reset();
+  dram_.Reset();
+  if (l2_) {
+    l2_->Reseed(DeriveSeed(run_seed, "l2"));
+    l2_->ResetStats();
+  }
+}
+
+}  // namespace spta::sim

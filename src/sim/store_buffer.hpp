@@ -1,0 +1,50 @@
+// Store buffer between the core and the write-through bus path.
+//
+// LEON3's DL1 is write-through no-write-allocate: every store becomes a bus
+// write. The store buffer decouples the pipeline from bus latency; the core
+// only stalls when the buffer is full. Drains are FIFO and serialized.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+
+namespace spta::sim {
+
+struct StoreBufferStats {
+  std::uint64_t stores = 0;
+  std::uint64_t full_stalls = 0;
+  Cycles stall_cycles = 0;
+};
+
+class StoreBuffer {
+ public:
+  explicit StoreBuffer(const StoreBufferConfig& config);
+
+  /// Accounts a store issued at core time `now`. `issue` schedules the bus
+  /// write: it receives the earliest cycle the write may start (FIFO after
+  /// the previous store) and returns its completion time. Returns the new
+  /// core time, which exceeds `now` only if the buffer was full.
+  Cycles Push(Cycles now, const std::function<Cycles(Cycles)>& issue);
+
+  /// Core time after waiting for every buffered store to complete (used at
+  /// run end so measured times include the full drain).
+  Cycles DrainAll(Cycles now);
+
+  /// Empties the buffer and clears statistics (between runs).
+  void Reset();
+
+  std::size_t in_flight() const { return completions_.size(); }
+  const StoreBufferStats& stats() const { return stats_; }
+
+ private:
+  StoreBufferConfig config_;
+  std::deque<Cycles> completions_;  ///< FIFO of in-flight completion times.
+  Cycles last_completion_ = 0;
+  StoreBufferStats stats_;
+};
+
+}  // namespace spta::sim

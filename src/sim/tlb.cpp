@@ -1,0 +1,76 @@
+#include "sim/tlb.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace spta::sim {
+
+Tlb::Tlb(const TlbConfig& config, Seed seed)
+    : config_(config),
+      page_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(config.page_bytes))),
+      replacement_rng_(DeriveSeed(seed, "tlb-repl")),
+      entries_(config.entries) {
+  SPTA_REQUIRE(std::has_single_bit(config.page_bytes));
+}
+
+std::uint32_t Tlb::Victim() {
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].valid) return i;
+  }
+  switch (config_.replacement) {
+    case Replacement::kLru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t i = 1; i < entries_.size(); ++i) {
+        if (entries_[i].lru_stamp < entries_[victim].lru_stamp) victim = i;
+      }
+      return victim;
+    }
+    case Replacement::kRandom:
+      return replacement_rng_.UniformBelow(
+          static_cast<std::uint32_t>(entries_.size()));
+    case Replacement::kNru: {
+      for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].referenced) return i;
+      }
+      for (auto& e : entries_) e.referenced = false;
+      return 0;
+    }
+  }
+  SPTA_CHECK_MSG(false, "unreachable replacement policy");
+  return 0;
+}
+
+bool Tlb::Access(Address addr) {
+  ++stats_.accesses;
+  ++access_clock_;
+  const std::uint64_t vpn = addr >> page_shift_;
+  for (auto& e : entries_) {
+    if (e.valid && e.vpn == vpn) {
+      e.lru_stamp = access_clock_;
+      e.referenced = true;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  Entry& e = entries_[Victim()];
+  e.valid = true;
+  e.vpn = vpn;
+  e.lru_stamp = access_clock_;
+  e.referenced = true;
+  return false;
+}
+
+void Tlb::Flush() {
+  for (auto& e : entries_) e = Entry{};
+  access_clock_ = 0;
+}
+
+void Tlb::Reseed(Seed seed) {
+  replacement_rng_ = prng::HwPrng(DeriveSeed(seed, "tlb-repl"));
+  Flush();
+}
+
+}  // namespace spta::sim

@@ -1,0 +1,65 @@
+// Fully associative translation lookaside buffer.
+//
+// The paper's platform randomizes ITLB/DTLB replacement (64 entries each).
+// The TLB model tracks virtual page numbers; a miss costs a fixed
+// page-table-walk penalty, so the TLB's timing jitter comes only from the
+// (possibly randomized) miss pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "prng/hw_prng.hpp"
+#include "sim/config.hpp"
+
+namespace spta::sim {
+
+struct TlbStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+
+  double MissRatio() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class Tlb {
+ public:
+  Tlb(const TlbConfig& config, Seed seed);
+
+  /// Translates the page containing `addr`, allocating on miss.
+  /// Returns true on hit.
+  bool Access(Address addr);
+
+  /// Invalidates all entries.
+  void Flush();
+
+  /// New replacement stream + flush (per-run reseeding).
+  void Reseed(Seed seed);
+
+  const TlbConfig& config() const { return config_; }
+  const TlbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TlbStats{}; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t vpn = 0;
+    std::uint64_t lru_stamp = 0;
+    bool referenced = false;
+  };
+
+  std::uint32_t Victim();
+
+  TlbConfig config_;
+  std::uint32_t page_shift_;
+  prng::HwPrng replacement_rng_;
+  std::vector<Entry> entries_;
+  std::uint64_t access_clock_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace spta::sim

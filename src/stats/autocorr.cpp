@@ -1,0 +1,45 @@
+#include "stats/autocorr.hpp"
+
+#include "common/assert.hpp"
+#include "stats/descriptive.hpp"
+
+namespace spta::stats {
+
+double Autocorrelation(std::span<const double> xs, std::size_t k) {
+  SPTA_REQUIRE(k < xs.size());
+  const double m = Mean(xs);
+  double denom = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    denom += d * d;
+  }
+  SPTA_REQUIRE_MSG(denom > 0.0, "constant sample has undefined correlation");
+  double num = 0.0;
+  for (std::size_t i = 0; i + k < xs.size(); ++i) {
+    num += (xs[i] - m) * (xs[i + k] - m);
+  }
+  return num / denom;
+}
+
+std::vector<double> Autocorrelations(std::span<const double> xs,
+                                     std::size_t max_lag) {
+  SPTA_REQUIRE(max_lag < xs.size());
+  const double m = Mean(xs);
+  double denom = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    denom += d * d;
+  }
+  SPTA_REQUIRE_MSG(denom > 0.0, "constant sample has undefined correlation");
+  std::vector<double> out(max_lag);
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double num = 0.0;
+    for (std::size_t i = 0; i + k < xs.size(); ++i) {
+      num += (xs[i] - m) * (xs[i + k] - m);
+    }
+    out[k - 1] = num / denom;
+  }
+  return out;
+}
+
+}  // namespace spta::stats

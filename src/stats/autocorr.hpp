@@ -1,0 +1,18 @@
+// Sample autocorrelation, the ingredient of the Ljung-Box independence test.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace spta::stats {
+
+/// Sample autocorrelation at lag `k` (biased, n-denominator estimator, the
+/// standard choice for Ljung-Box). Requires 0 <= k < xs.size() and a sample
+/// with nonzero variance.
+double Autocorrelation(std::span<const double> xs, std::size_t k);
+
+/// Autocorrelations for lags 1..max_lag (index 0 of the result is lag 1).
+std::vector<double> Autocorrelations(std::span<const double> xs,
+                                     std::size_t max_lag);
+
+}  // namespace spta::stats

@@ -1,0 +1,47 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "prng/xoshiro.hpp"
+#include "stats/descriptive.hpp"
+
+namespace spta::stats {
+
+ConfidenceInterval BootstrapCi(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double level, std::uint64_t seed) {
+  SPTA_REQUIRE(!sample.empty());
+  SPTA_REQUIRE(replicates >= 100);
+  SPTA_REQUIRE(level > 0.0 && level < 1.0);
+
+  prng::Xoshiro128pp rng(seed);
+  const auto n = static_cast<std::uint32_t>(sample.size());
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& v : resample) v = sample[rng.UniformBelow(n)];
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.point = statistic(sample);
+  const double alpha = 1.0 - level;
+  ci.lower = QuantileSorted(stats, alpha / 2.0);
+  ci.upper = QuantileSorted(stats, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+ConfidenceInterval BootstrapMeanCi(std::span<const double> sample,
+                                   std::size_t replicates, double level,
+                                   std::uint64_t seed) {
+  return BootstrapCi(
+      sample, [](std::span<const double> xs) { return Mean(xs); }, replicates,
+      level, seed);
+}
+
+}  // namespace spta::stats

@@ -1,0 +1,43 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// Used to attach uncertainty to pWCET estimates and to the DET-vs-RAND
+// average-performance comparison (paper Figure 3 reports averages; the
+// bootstrap tells us whether an observed difference is noise).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace spta::stats {
+
+/// A two-sided percentile confidence interval.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;   ///< Statistic on the original sample.
+  double level = 0.0;   ///< Confidence level, e.g. 0.95.
+
+  /// True if `value` lies inside [lower, upper].
+  bool Contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+};
+
+/// Percentile bootstrap for an arbitrary statistic.
+///
+/// `statistic` maps a sample to a scalar; `replicates` resamples with
+/// replacement are drawn using the deterministic `seed`. Requires a
+/// non-empty sample, replicates >= 100 and 0 < level < 1.
+ConfidenceInterval BootstrapCi(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double level, std::uint64_t seed);
+
+/// Convenience: bootstrap CI of the mean.
+ConfidenceInterval BootstrapMeanCi(std::span<const double> sample,
+                                   std::size_t replicates, double level,
+                                   std::uint64_t seed);
+
+}  // namespace spta::stats

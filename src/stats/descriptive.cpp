@@ -1,0 +1,100 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace spta::stats {
+
+double Mean(std::span<const double> xs) {
+  SPTA_REQUIRE(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  SPTA_REQUIRE(xs.size() >= 2);
+  const double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double CoefficientOfVariation(std::span<const double> xs) {
+  const double m = Mean(xs);
+  SPTA_REQUIRE(m != 0.0);
+  return StdDev(xs) / m;
+}
+
+double Min(std::span<const double> xs) {
+  SPTA_REQUIRE(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(std::span<const double> xs) {
+  SPTA_REQUIRE(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double QuantileSorted(std::span<const double> sorted, double q) {
+  SPTA_REQUIRE(!sorted.empty());
+  SPTA_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "q=" << q);
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double h = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Quantile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return QuantileSorted(copy, q);
+}
+
+double Median(std::span<const double> xs) { return Quantile(xs, 0.5); }
+
+double Skewness(std::span<const double> xs) {
+  SPTA_REQUIRE(xs.size() >= 3);
+  const double n = static_cast<double>(xs.size());
+  const double m = Mean(xs);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  SPTA_REQUIRE(m2 > 0.0);
+  const double g1 = m3 / std::pow(m2, 1.5);
+  return g1 * std::sqrt(n * (n - 1.0)) / (n - 2.0);
+}
+
+Summary Summarize(std::span<const double> xs) {
+  SPTA_REQUIRE(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q25 = QuantileSorted(sorted, 0.25);
+  s.median = QuantileSorted(sorted, 0.5);
+  s.q75 = QuantileSorted(sorted, 0.75);
+  s.mean = Mean(xs);
+  s.stddev = xs.size() >= 2 ? StdDev(xs) : 0.0;
+  return s;
+}
+
+}  // namespace spta::stats

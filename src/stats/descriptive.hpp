@@ -1,0 +1,53 @@
+// Descriptive statistics over execution-time samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace spta::stats {
+
+/// Arithmetic mean. Requires a non-empty sample.
+double Mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+double Variance(std::span<const double> xs);
+
+/// Sample standard deviation. Requires size >= 2.
+double StdDev(std::span<const double> xs);
+
+/// Coefficient of variation: stddev / mean. Requires mean != 0, size >= 2.
+double CoefficientOfVariation(std::span<const double> xs);
+
+/// Minimum / maximum of a non-empty sample.
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+
+/// Linear-interpolation quantile (type-7, the R default) of an UNSORTED
+/// sample; q in [0, 1]. Copies and sorts internally.
+double Quantile(std::span<const double> xs, double q);
+
+/// Quantile over an already ascending-sorted sample (no copy).
+double QuantileSorted(std::span<const double> sorted, double q);
+
+/// Median convenience.
+double Median(std::span<const double> xs);
+
+/// Sample skewness (adjusted Fisher-Pearson). Requires size >= 3.
+double Skewness(std::span<const double> xs);
+
+/// Full five-number-plus summary, computed in one pass over a sorted copy.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes the summary of a non-empty sample (stddev = 0 for size 1).
+Summary Summarize(std::span<const double> xs);
+
+}  // namespace spta::stats

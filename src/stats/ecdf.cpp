@@ -1,0 +1,46 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "stats/descriptive.hpp"
+
+namespace spta::stats {
+
+Ecdf::Ecdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  SPTA_REQUIRE(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::Cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::Exceedance(double x) const { return 1.0 - Cdf(x); }
+
+double Ecdf::Quantile(double q) const { return QuantileSorted(sorted_, q); }
+
+std::vector<std::pair<double, double>> Ecdf::TailPoints(
+    std::size_t max_points) const {
+  // Walk distinct values from the largest down, recording P[X >= v].
+  std::vector<std::pair<double, double>> points;
+  const double n = static_cast<double>(sorted_.size());
+  std::size_t i = sorted_.size();
+  while (i > 0) {
+    const double v = sorted_[i - 1];
+    // Find the first index holding v.
+    std::size_t first = i - 1;
+    while (first > 0 && sorted_[first - 1] == v) --first;
+    const double greater_or_equal = n - static_cast<double>(first);
+    points.emplace_back(v, greater_or_equal / n);
+    i = first;
+    if (max_points != 0 && points.size() >= max_points) break;
+  }
+  std::reverse(points.begin(), points.end());
+  return points;
+}
+
+}  // namespace spta::stats

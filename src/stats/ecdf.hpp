@@ -1,0 +1,51 @@
+// Empirical cumulative distribution function over a measurement sample.
+//
+// MBPTA visualizes observed execution times as an exceedance (1-CDF) curve
+// on a log-probability axis (paper Figure 2); Ecdf provides both directions
+// plus the tail-point extraction those plots need.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace spta::stats {
+
+/// Immutable sorted view of a sample with CDF/quantile queries.
+class Ecdf {
+ public:
+  /// Builds from an unsorted, non-empty sample (copies and sorts).
+  explicit Ecdf(std::span<const double> sample);
+
+  /// P[X <= x] under the empirical distribution.
+  double Cdf(double x) const;
+
+  /// Exceedance probability P[X > x] = 1 - Cdf(x).
+  double Exceedance(double x) const;
+
+  /// Empirical quantile (type-7 interpolation), q in [0, 1].
+  double Quantile(double q) const;
+
+  /// Number of observations.
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Smallest / largest observation.
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+
+  /// Underlying ascending-sorted data.
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Returns the (value, exceedance-probability) staircase points of the
+  /// upper tail: one point per distinct observed value v with probability
+  /// P[X >= v] computed over the whole sample (so the maximum maps to 1/n
+  /// and every point is plottable on a log-probability axis), restricted to
+  /// the top `max_points` distinct values (all of them if 0).
+  std::vector<std::pair<double, double>> TailPoints(
+      std::size_t max_points = 0) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace spta::stats

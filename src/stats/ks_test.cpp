@@ -1,0 +1,74 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "stats/special.hpp"
+
+namespace spta::stats {
+namespace {
+
+// Asymptotic p-value with the Stephens small-sample correction:
+// p = Q_KS((sqrt(ne) + 0.12 + 0.11/sqrt(ne)) * D).
+double KsPValue(double d, double effective_n) {
+  const double sq = std::sqrt(effective_n);
+  return KolmogorovSf((sq + 0.12 + 0.11 / sq) * d);
+}
+
+}  // namespace
+
+KsResult TwoSampleKs(std::span<const double> a, std::span<const double> b) {
+  SPTA_REQUIRE(!a.empty() && !b.empty());
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double va = sa[ia];
+    const double vb = sb[ib];
+    const double v = std::min(va, vb);
+    while (ia < sa.size() && sa[ia] == v) ++ia;
+    while (ib < sb.size() && sb[ib] == v) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  KsResult r;
+  r.statistic = d;
+  r.p_value = KsPValue(d, na * nb / (na + nb));
+  return r;
+}
+
+KsResult OneSampleKs(std::span<const double> xs,
+                     const std::function<double(double)>& cdf) {
+  SPTA_REQUIRE(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(f - lo), std::fabs(hi - f)));
+  }
+  KsResult r;
+  r.statistic = d;
+  r.p_value = KsPValue(d, n);
+  return r;
+}
+
+KsResult SplitSampleKs(std::span<const double> xs) {
+  SPTA_REQUIRE(xs.size() >= 4);
+  const std::size_t half = xs.size() / 2;
+  return TwoSampleKs(xs.subspan(0, half), xs.subspan(half));
+}
+
+}  // namespace spta::stats

@@ -1,0 +1,37 @@
+// Kolmogorov-Smirnov tests.
+//
+// The paper checks *identical distribution* with a two-sample KS test at 5%
+// significance (reported p-value 0.45): the measurement sample is split into
+// two halves which must be statistically indistinguishable. We implement the
+// two-sample test with the asymptotic Kolmogorov p-value, a one-sample test
+// against an arbitrary CDF (used for goodness-of-fit of EVT models), and the
+// split-sample convenience the MBPTA protocol uses.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace spta::stats {
+
+/// Outcome of a KS test.
+struct KsResult {
+  double statistic = 0.0;  ///< Sup-distance D between the two CDFs.
+  double p_value = 0.0;    ///< Asymptotic P[D_n > statistic] under H0.
+  /// True when the p-value is >= alpha (H0 of equality NOT rejected).
+  bool NotRejected(double alpha = 0.05) const { return p_value >= alpha; }
+};
+
+/// Two-sample KS test: H0 = both samples drawn from the same distribution.
+/// Requires both samples non-empty.
+KsResult TwoSampleKs(std::span<const double> a, std::span<const double> b);
+
+/// One-sample KS test of `xs` against the continuous CDF `cdf`.
+KsResult OneSampleKs(std::span<const double> xs,
+                     const std::function<double(double)>& cdf);
+
+/// MBPTA identical-distribution gate: splits the time-ordered sample into
+/// first half vs second half and runs the two-sample test. Requires
+/// xs.size() >= 4.
+KsResult SplitSampleKs(std::span<const double> xs);
+
+}  // namespace spta::stats

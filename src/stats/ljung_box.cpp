@@ -1,0 +1,43 @@
+#include "stats/ljung_box.hpp"
+
+#include "common/assert.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/special.hpp"
+
+namespace spta::stats {
+
+LjungBoxResult LjungBoxTest(std::span<const double> xs, std::size_t lags) {
+  SPTA_REQUIRE_MSG(lags >= 1 && lags < xs.size(),
+                   "lags=" << lags << " n=" << xs.size());
+  // A constant sample carries no serial structure at all: independence
+  // trivially holds (autocorrelation itself is undefined, so short-circuit).
+  const double first = xs.front();
+  bool constant = true;
+  for (double x : xs) {
+    if (x != first) {
+      constant = false;
+      break;
+    }
+  }
+  if (constant) {
+    LjungBoxResult r;
+    r.q_statistic = 0.0;
+    r.lags = lags;
+    r.p_value = 1.0;
+    return r;
+  }
+  const auto rho = Autocorrelations(xs, lags);
+  const double n = static_cast<double>(xs.size());
+  double q = 0.0;
+  for (std::size_t k = 1; k <= lags; ++k) {
+    q += rho[k - 1] * rho[k - 1] / (n - static_cast<double>(k));
+  }
+  q *= n * (n + 2.0);
+  LjungBoxResult r;
+  r.q_statistic = q;
+  r.lags = lags;
+  r.p_value = ChiSquareSf(q, static_cast<double>(lags));
+  return r;
+}
+
+}  // namespace spta::stats

@@ -1,0 +1,119 @@
+#include "stats/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace spta::stats {
+
+NelderMeadResult NelderMead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, std::vector<double> step, int max_iterations,
+    double tolerance) {
+  const std::size_t n = start.size();
+  SPTA_REQUIRE(n >= 1);
+  if (step.empty()) {
+    step.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      step[i] = 0.05 * std::max(std::fabs(start[i]), 1.0);
+    }
+  }
+  SPTA_REQUIRE(step.size() == n);
+
+  // Initial simplex: start + unit steps along each axis.
+  std::vector<std::vector<double>> simplex(n + 1, start);
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += step[i];
+  for (std::size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  NelderMeadResult result;
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    // Order the simplex.
+    std::vector<std::size_t> idx(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) {
+                return values[a] < values[b];
+              });
+    const std::size_t best = idx[0];
+    const std::size_t worst = idx[n];
+    const std::size_t second_worst = idx[n - 1];
+
+    // Convergence: simplex value spread.
+    if (std::isfinite(values[best]) &&
+        std::fabs(values[worst] - values[best]) <
+            tolerance * (std::fabs(values[best]) + tolerance)) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto combine = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        p[d] = centroid[d] + coeff * (simplex[worst][d] - centroid[d]);
+      }
+      return p;
+    };
+
+    const auto reflected = combine(-kAlpha);
+    const double fr = f(reflected);
+    if (fr < values[best]) {
+      const auto expanded = combine(-kGamma);
+      const double fe = f(expanded);
+      if (fe < fr) {
+        simplex[worst] = expanded;
+        values[worst] = fe;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = fr;
+      }
+    } else if (fr < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = fr;
+    } else {
+      const auto contracted = combine(kRho);
+      const double fc = f(contracted);
+      if (fc < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d) {
+            simplex[i][d] = simplex[best][d] +
+                            kSigma * (simplex[i][d] - simplex[best][d]);
+          }
+          values[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  result.x = simplex[best];
+  result.value = values[best];
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace spta::stats

@@ -1,0 +1,29 @@
+// Derivative-free minimization (Nelder-Mead simplex).
+//
+// Used by the EVT maximum-likelihood fits whose score equations have no
+// closed form (GEV). Deliberately small: bounded iterations, deterministic,
+// no stochastic restarts — callers provide a good starting point (e.g. the
+// PWM estimate).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace spta::stats {
+
+struct NelderMeadResult {
+  std::vector<double> x;     ///< Best point found.
+  double value = 0.0;        ///< Objective at x.
+  int iterations = 0;
+  bool converged = false;    ///< Simplex spread fell below tolerance.
+};
+
+/// Minimizes `f` from `start`, with initial simplex steps `step[i]`
+/// (defaulting to max(|start_i|, 1) * 0.05 when empty). The objective may
+/// return +infinity to reject infeasible points.
+NelderMeadResult NelderMead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, std::vector<double> step = {},
+    int max_iterations = 2000, double tolerance = 1e-10);
+
+}  // namespace spta::stats

@@ -1,0 +1,46 @@
+// Special functions required by the statistical tests and EVT fits.
+//
+// Implemented from scratch (series + continued fractions, Numerical-Recipes
+// style) so the library has no external numerical dependencies and results
+// are reproducible across platforms.
+#pragma once
+
+#include <functional>
+
+namespace spta::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a+1, Lentz continued fraction otherwise.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Chi-square CDF with `df` degrees of freedom evaluated at `x`.
+double ChiSquareCdf(double x, double df);
+
+/// Upper-tail chi-square probability P[X > x].
+double ChiSquareSf(double x, double df);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Standard normal quantile (Acklam/Beasley-Springer-Moro style rational
+/// approximation refined by one Halley step). Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+/// Kolmogorov distribution complementary CDF:
+///   Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+/// Returns 1 for lambda <= 0 and tends to 0 as lambda grows.
+double KolmogorovSf(double lambda);
+
+/// Generic scalar root bracketing + bisection/secant hybrid: finds x in
+/// [lo, hi] with f(x) ~= 0. Requires f(lo) and f(hi) of opposite signs.
+/// Used to invert CDFs and solve MLE score equations.
+double SolveBisection(const std::function<double(double)>& f, double lo,
+                      double hi, double x_tol = 1e-12, int max_iter = 200);
+
+/// Euler-Mascheroni constant (used by Gumbel moment/PWM estimators).
+inline constexpr double kEulerGamma = 0.57721566490153286060651209;
+
+}  // namespace spta::stats

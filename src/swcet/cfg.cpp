@@ -1,0 +1,223 @@
+#include "swcet/cfg.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace spta::swcet {
+
+using trace::BlockId;
+using trace::IrOp;
+
+bool Loop::Contains(BlockId block) const {
+  return std::find(blocks.begin(), blocks.end(), block) != blocks.end();
+}
+
+Cfg::Cfg(const trace::Program& program) {
+  program.Validate();
+  entry_ = program.entry;
+  const std::size_t n = program.blocks.size();
+  successors_.assign(n, {});
+  predecessors_.assign(n, {});
+  for (std::size_t b = 0; b < n; ++b) {
+    const trace::IrInst& term = program.blocks[b].insts.back();
+    auto add_edge = [&](BlockId to) {
+      successors_[b].push_back(to);
+      predecessors_[static_cast<std::size_t>(to)].push_back(
+          static_cast<BlockId>(b));
+    };
+    switch (term.op) {
+      case IrOp::kJump:
+        add_edge(term.target);
+        break;
+      case IrOp::kBranchIfZero:
+      case IrOp::kBranchIfNeg:
+        add_edge(term.target);
+        if (term.target2 != term.target) add_edge(term.target2);
+        break;
+      case IrOp::kHalt:
+        break;
+      default:
+        SPTA_CHECK_MSG(false, "block not terminated by a control op");
+    }
+  }
+
+  // Iterative DFS for post order, entry-reachable blocks only.
+  std::vector<int> state(n, 0);  // 0 = unvisited, 1 = on stack, 2 = done
+  std::vector<BlockId> post;
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  stack.emplace_back(entry_, 0);
+  state[static_cast<std::size_t>(entry_)] = 1;
+  while (!stack.empty()) {
+    auto& [block, next] = stack.back();
+    const auto& succs = successors_[static_cast<std::size_t>(block)];
+    if (next < succs.size()) {
+      const BlockId s = succs[next++];
+      if (state[static_cast<std::size_t>(s)] == 0) {
+        state[static_cast<std::size_t>(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[static_cast<std::size_t>(block)] = 2;
+      post.push_back(block);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+
+  ComputeDominators(program);
+
+  // Classify edges: any edge u->v where v dominates u is a back edge;
+  // other retreating edges would mean irreducible control flow.
+  std::vector<std::size_t> rpo_index(n, n);
+  for (std::size_t i = 0; i < rpo_.size(); ++i) {
+    rpo_index[static_cast<std::size_t>(rpo_[i])] = i;
+  }
+  for (const BlockId u : rpo_) {
+    for (const BlockId v : successors_[static_cast<std::size_t>(u)]) {
+      const bool retreating =
+          rpo_index[static_cast<std::size_t>(v)] <=
+          rpo_index[static_cast<std::size_t>(u)];
+      if (!retreating) continue;
+      SPTA_CHECK_MSG(Dominates(v, u),
+                     "irreducible control flow: retreating edge "
+                         << u << " -> " << v);
+      back_edges_.emplace_back(u, v);
+    }
+  }
+  FindLoops();
+}
+
+void Cfg::ComputeDominators(const trace::Program& program) {
+  const std::size_t n = program.blocks.size();
+  std::vector<std::size_t> rpo_index(n, n);
+  for (std::size_t i = 0; i < rpo_.size(); ++i) {
+    rpo_index[static_cast<std::size_t>(rpo_[i])] = i;
+  }
+  idom_.assign(n, -1);
+  // Cooper-Harvey-Kennedy iterative dominators over RPO.
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index[static_cast<std::size_t>(a)] >
+             rpo_index[static_cast<std::size_t>(b)]) {
+        a = idom_[static_cast<std::size_t>(a)];
+      }
+      while (rpo_index[static_cast<std::size_t>(b)] >
+             rpo_index[static_cast<std::size_t>(a)]) {
+        b = idom_[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+  idom_[static_cast<std::size_t>(entry_)] = entry_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BlockId b : rpo_) {
+      if (b == entry_) continue;
+      BlockId new_idom = -1;
+      for (const BlockId p : predecessors_[static_cast<std::size_t>(b)]) {
+        if (idom_[static_cast<std::size_t>(p)] == -1) continue;
+        new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+      }
+      if (new_idom != -1 && idom_[static_cast<std::size_t>(b)] != new_idom) {
+        idom_[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  // Normalize: entry's idom reported as -1.
+  idom_[static_cast<std::size_t>(entry_)] = -1;
+}
+
+bool Cfg::Dominates(BlockId a, BlockId b) const {
+  while (b != -1) {
+    if (a == b) return true;
+    b = idom_[static_cast<std::size_t>(b)];
+  }
+  return false;
+}
+
+void Cfg::FindLoops() {
+  // Natural loop of a back edge (u -> h): h plus everything reaching u
+  // without passing through h.
+  std::vector<Loop> raw;
+  for (const auto& [tail, header] : back_edges_) {
+    Loop loop;
+    loop.header = header;
+    std::vector<bool> in(successors_.size(), false);
+    in[static_cast<std::size_t>(header)] = true;
+    std::vector<BlockId> work;
+    if (!in[static_cast<std::size_t>(tail)]) {
+      in[static_cast<std::size_t>(tail)] = true;
+      work.push_back(tail);
+    }
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      for (const BlockId p : predecessors_[static_cast<std::size_t>(b)]) {
+        if (!in[static_cast<std::size_t>(p)]) {
+          in[static_cast<std::size_t>(p)] = true;
+          work.push_back(p);
+        }
+      }
+    }
+    for (std::size_t b = 0; b < in.size(); ++b) {
+      if (in[b]) loop.blocks.push_back(static_cast<BlockId>(b));
+    }
+    raw.push_back(std::move(loop));
+  }
+  // Merge loops sharing a header.
+  for (auto& loop : raw) {
+    auto existing = std::find_if(loops_.begin(), loops_.end(),
+                                 [&](const Loop& l) {
+                                   return l.header == loop.header;
+                                 });
+    if (existing == loops_.end()) {
+      loops_.push_back(std::move(loop));
+    } else {
+      for (const BlockId b : loop.blocks) {
+        if (!existing->Contains(b)) existing->blocks.push_back(b);
+      }
+    }
+  }
+  // Nesting: parent = smallest strictly-containing loop.
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    int best = -1;
+    std::size_t best_size = ~std::size_t{0};
+    for (std::size_t j = 0; j < loops_.size(); ++j) {
+      if (i == j) continue;
+      if (loops_[j].Contains(loops_[i].header) &&
+          loops_[j].header != loops_[i].header &&
+          loops_[j].blocks.size() < best_size) {
+        best = static_cast<int>(j);
+        best_size = loops_[j].blocks.size();
+      }
+    }
+    loops_[i].parent = best;
+    if (best >= 0) {
+      loops_[static_cast<std::size_t>(best)].children.push_back(
+          static_cast<int>(i));
+    }
+  }
+  // Innermost loop per block.
+  innermost_loop_.assign(successors_.size(), -1);
+  for (std::size_t b = 0; b < successors_.size(); ++b) {
+    std::size_t best_size = ~std::size_t{0};
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+      if (loops_[i].Contains(static_cast<BlockId>(b)) &&
+          loops_[i].blocks.size() < best_size) {
+        innermost_loop_[b] = static_cast<int>(i);
+        best_size = loops_[i].blocks.size();
+      }
+    }
+  }
+}
+
+int Cfg::InnermostLoopOf(BlockId block) const {
+  SPTA_REQUIRE(block >= 0 &&
+               static_cast<std::size_t>(block) < innermost_loop_.size());
+  return innermost_loop_[static_cast<std::size_t>(block)];
+}
+
+}  // namespace spta::swcet

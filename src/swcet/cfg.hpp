@@ -1,0 +1,78 @@
+// Control-flow graph analysis over the program IR.
+//
+// The static WCET bound (static_bound.hpp) needs the classic CFG toolbox:
+// successor lists, reverse-post-order, dominators, back edges and the
+// natural-loop nesting forest. Programs built with ProgramBuilder are
+// structured (reducible), which these algorithms assume and Analyze()
+// verifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/program.hpp"
+
+namespace spta::swcet {
+
+/// A natural loop discovered in the CFG.
+struct Loop {
+  trace::BlockId header = -1;
+  std::vector<trace::BlockId> blocks;  ///< Includes the header.
+  std::vector<int> children;           ///< Indices of directly nested loops.
+  int parent = -1;                     ///< Index of enclosing loop (-1 top).
+
+  bool Contains(trace::BlockId block) const;
+};
+
+/// CFG facts for one Program.
+class Cfg {
+ public:
+  /// Builds the CFG and runs the analyses. Aborts (contract violation) on
+  /// irreducible control flow — ProgramBuilder cannot produce it.
+  explicit Cfg(const trace::Program& program);
+
+  const std::vector<std::vector<trace::BlockId>>& successors() const {
+    return successors_;
+  }
+
+  /// Immediate dominator per block (-1 for the entry).
+  const std::vector<trace::BlockId>& idom() const { return idom_; }
+
+  /// True when `a` dominates `b`.
+  bool Dominates(trace::BlockId a, trace::BlockId b) const;
+
+  /// Back edges (tail -> header) found in the DFS.
+  const std::vector<std::pair<trace::BlockId, trace::BlockId>>& back_edges()
+      const {
+    return back_edges_;
+  }
+
+  /// Natural loops merged by header; children/parent form the nesting
+  /// forest. Ordered so that inner loops appear after their parents.
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Index into loops() of the innermost loop containing `block`, or -1.
+  int InnermostLoopOf(trace::BlockId block) const;
+
+  /// Blocks in reverse post order (entry first), back edges ignored.
+  const std::vector<trace::BlockId>& reverse_post_order() const {
+    return rpo_;
+  }
+
+  std::size_t block_count() const { return successors_.size(); }
+
+ private:
+  void ComputeDominators(const trace::Program& program);
+  void FindLoops();
+
+  std::vector<std::vector<trace::BlockId>> successors_;
+  std::vector<std::vector<trace::BlockId>> predecessors_;
+  std::vector<trace::BlockId> idom_;
+  std::vector<trace::BlockId> rpo_;
+  std::vector<std::pair<trace::BlockId, trace::BlockId>> back_edges_;
+  std::vector<Loop> loops_;
+  std::vector<int> innermost_loop_;
+  trace::BlockId entry_ = 0;
+};
+
+}  // namespace spta::swcet

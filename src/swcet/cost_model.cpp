@@ -1,0 +1,125 @@
+#include "swcet/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "trace/record.hpp"
+
+namespace spta::swcet {
+
+using trace::IrOp;
+
+CostModel::CostModel(const sim::PlatformConfig& config,
+                     unsigned contending_cores)
+    : config_(config) {
+  config.Validate();
+  const Cycles line =
+      config.dram.row_miss_latency + config.bus.line_transfer_cycles;
+  const Cycles store =
+      config.dram.row_miss_latency + config.bus.store_transfer_cycles;
+  // Round-robin bus: a request waits at most one maximal transaction per
+  // contending core.
+  interference_ =
+      static_cast<Cycles>(contending_cores) * std::max(line, store);
+  worst_line_fill_ = line + interference_;
+  worst_store_ = store + interference_;
+}
+
+Cycles CostModel::WorstCase(const trace::IrInst& inst) const {
+  // Fetch: ITLB walk + IL1 miss on every instruction (sound all-miss).
+  return config_.itlb.miss_penalty + worst_line_fill_ + WorstCaseExec(inst);
+}
+
+Cycles CostModel::WorstBlockFetch(std::size_t n_instructions) const {
+  const std::size_t bytes = 4 * n_instructions;
+  const std::size_t lines = bytes / config_.il1.line_bytes + 2;
+  const std::size_t pages = bytes / config_.itlb.page_bytes + 2;
+  return static_cast<Cycles>(lines) * worst_line_fill_ +
+         static_cast<Cycles>(pages) * config_.itlb.miss_penalty;
+}
+
+Cycles CostModel::WorstCaseExec(const trace::IrInst& inst) const {
+  Cycles c = 0;
+  const auto worst_class =
+      static_cast<Cycles>(trace::kFpuOperandClasses - 1);
+  switch (inst.op) {
+    case IrOp::kIMul:
+      c += config_.pipeline.int_mul;
+      break;
+    case IrOp::kIDiv:
+      c += config_.pipeline.int_div;
+      break;
+    case IrOp::kFAdd:
+    case IrOp::kFSub:
+    case IrOp::kFConst:
+    case IrOp::kFMove:
+    case IrOp::kFAbs:
+    case IrOp::kFNeg:
+    case IrOp::kFCmpLt:
+    case IrOp::kIToF:
+    case IrOp::kFToI:
+      c += config_.fpu.add_latency;
+      break;
+    case IrOp::kFMul:
+      c += config_.fpu.mul_latency;
+      break;
+    case IrOp::kFDiv:
+      c += config_.fpu.div_base + config_.fpu.div_step * worst_class;
+      break;
+    case IrOp::kFSqrt:
+      c += config_.fpu.sqrt_base + config_.fpu.sqrt_step * worst_class;
+      break;
+    case IrOp::kLoadI:
+    case IrOp::kLoadF:
+      c += config_.pipeline.int_alu + config_.dtlb.miss_penalty +
+           worst_line_fill_;
+      break;
+    case IrOp::kStoreI:
+    case IrOp::kStoreF:
+      // Worst case: store buffer full, the store waits for a full drain.
+      c += config_.pipeline.int_alu + config_.dtlb.miss_penalty +
+           worst_store_;
+      break;
+    case IrOp::kJump:
+    case IrOp::kBranchIfZero:
+    case IrOp::kBranchIfNeg:
+      c += config_.pipeline.int_alu + config_.pipeline.taken_branch_penalty;
+      break;
+    case IrOp::kHalt:
+      c += config_.pipeline.int_alu;
+      break;
+    default:  // plain integer ALU ops
+      c += config_.pipeline.int_alu;
+      break;
+  }
+  return c;
+}
+
+Cycles CostModel::BestCase(const trace::IrInst& inst) const {
+  switch (inst.op) {
+    case IrOp::kIMul:
+      return config_.pipeline.int_mul;
+    case IrOp::kIDiv:
+      return config_.pipeline.int_div;
+    case IrOp::kFAdd:
+    case IrOp::kFSub:
+    case IrOp::kFConst:
+    case IrOp::kFMove:
+    case IrOp::kFAbs:
+    case IrOp::kFNeg:
+    case IrOp::kFCmpLt:
+    case IrOp::kIToF:
+    case IrOp::kFToI:
+      return config_.fpu.add_latency;
+    case IrOp::kFMul:
+      return config_.fpu.mul_latency;
+    case IrOp::kFDiv:
+      return config_.fpu.div_base;
+    case IrOp::kFSqrt:
+      return config_.fpu.sqrt_base;
+    default:
+      return config_.pipeline.int_alu;
+  }
+}
+
+}  // namespace spta::swcet

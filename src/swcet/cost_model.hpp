@@ -1,0 +1,49 @@
+// Per-instruction worst-case (and best-case) cost model for static WCET.
+//
+// The sound static bound assumes every cache/TLB access misses and every
+// jittery unit takes its worst latency; the (unsound) best-case companion
+// assumes every access hits — together they bracket any execution.
+// Optionally adds the classic multicore interference bound: every memory
+// transaction can wait for one maximal transaction per contending core.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "trace/program.hpp"
+
+namespace spta::swcet {
+
+struct CostModel {
+  /// Builds from the platform's timing parameters. `contending_cores`
+  /// inflates every memory access by the worst bus interference.
+  CostModel(const sim::PlatformConfig& config, unsigned contending_cores = 0);
+
+  /// Worst-case cycles to retire one instance of `inst`, charging a full
+  /// ITLB walk + IL1 miss for the fetch (the crudest sound model; prefer
+  /// WorstCaseExec + WorstBlockFetch for block-granular analysis).
+  Cycles WorstCase(const trace::IrInst& inst) const;
+
+  /// Worst-case execute/memory cycles of `inst`, excluding the fetch.
+  Cycles WorstCaseExec(const trace::IrInst& inst) const;
+
+  /// Sound fetch cost for one execution of a basic block of
+  /// `n_instructions`: fetches are sequential, so at most
+  /// ceil(n/instrs-per-line)+1 IL1 lines are filled and at most
+  /// ceil(bytes/page)+1 ITLB walks occur, regardless of alignment and of
+  /// any (random) replacement behavior.
+  Cycles WorstBlockFetch(std::size_t n_instructions) const;
+
+  /// Best-case cycles (all hits, minimal latencies, branch not taken).
+  Cycles BestCase(const trace::IrInst& inst) const;
+
+  /// Worst memory transaction (DRAM row miss + line transfer + wait).
+  Cycles worst_line_fill() const { return worst_line_fill_; }
+
+ private:
+  sim::PlatformConfig config_;
+  Cycles worst_line_fill_ = 0;
+  Cycles worst_store_ = 0;
+  Cycles interference_ = 0;
+};
+
+}  // namespace spta::swcet

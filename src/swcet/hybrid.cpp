@@ -1,0 +1,128 @@
+#include "swcet/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/assert.hpp"
+#include "swcet/cfg.hpp"
+#include "swcet/cost_model.hpp"
+
+namespace spta::swcet {
+namespace {
+
+using trace::BlockId;
+
+std::map<Address, std::size_t> EntryPcMap(const trace::Program& program) {
+  std::map<Address, std::size_t> entry_pc;
+  for (std::size_t b = 0; b < program.blocks.size(); ++b) {
+    entry_pc[program.blocks[b].code_base] = b;
+  }
+  return entry_pc;
+}
+
+std::size_t LoopCodeBytes(const trace::Program& program, const Loop& loop) {
+  std::size_t bytes = 0;
+  for (const BlockId b : loop.blocks) {
+    bytes += 4 * program.blocks[static_cast<std::size_t>(b)].insts.size();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> BlockExecutionCounts(const trace::Program& program,
+                                                const trace::Trace& t) {
+  const auto entry_pc = EntryPcMap(program);
+  std::vector<std::uint64_t> counts(program.blocks.size(), 0);
+  for (const auto& rec : t.records) {
+    const auto it = entry_pc.find(rec.pc);
+    if (it != entry_pc.end()) ++counts[it->second];
+  }
+  return counts;
+}
+
+HybridResult HybridStructuralBound(
+    const trace::Program& program,
+    const std::vector<const trace::Trace*>& traces,
+    const sim::PlatformConfig& config, unsigned contending_cores) {
+  SPTA_REQUIRE(!traces.empty());
+  const CostModel cost(config, contending_cores);
+  const Cfg cfg(program);
+  const auto entry_pc = EntryPcMap(program);
+
+  // Per-block max execution counts and per-loop max entry counts across
+  // the evidence traces.
+  std::vector<std::uint64_t> max_counts(program.blocks.size(), 0);
+  std::vector<std::uint64_t> max_entries(cfg.loops().size(), 0);
+  std::vector<std::uint64_t> entries(cfg.loops().size());
+  for (const trace::Trace* t : traces) {
+    SPTA_REQUIRE(t != nullptr);
+    const auto counts = BlockExecutionCounts(program, *t);
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      max_counts[b] = std::max(max_counts[b], counts[b]);
+    }
+    std::fill(entries.begin(), entries.end(), 0);
+    BlockId prev = -1;
+    for (const auto& rec : t->records) {
+      const auto it = entry_pc.find(rec.pc);
+      if (it == entry_pc.end()) continue;
+      const auto block = static_cast<BlockId>(it->second);
+      for (std::size_t l = 0; l < cfg.loops().size(); ++l) {
+        const Loop& loop = cfg.loops()[l];
+        if (block == loop.header &&
+            (prev == -1 || !loop.Contains(prev))) {
+          ++entries[l];
+        }
+      }
+      prev = block;
+    }
+    for (std::size_t l = 0; l < cfg.loops().size(); ++l) {
+      max_entries[l] = std::max(max_entries[l], entries[l]);
+    }
+  }
+
+  // Persistence refinement (same argument as in the static bound): the
+  // code of a loop that fits in the IL1 is fetched at most once per loop
+  // entry. For each block find its outermost persistent ancestor loop.
+  std::vector<int> persistent_ancestor(program.blocks.size(), -1);
+  for (std::size_t b = 0; b < program.blocks.size(); ++b) {
+    int l = cfg.InnermostLoopOf(static_cast<BlockId>(b));
+    int outermost_fitting = -1;
+    while (l != -1) {
+      if (LoopCodeBytes(program, cfg.loops()[static_cast<std::size_t>(l)]) <=
+          config.il1.size_bytes) {
+        outermost_fitting = l;
+      }
+      l = cfg.loops()[static_cast<std::size_t>(l)].parent;
+    }
+    persistent_ancestor[b] = outermost_fitting;
+  }
+
+  HybridResult r;
+  r.total_blocks = program.blocks.size();
+  double total = 0.0;
+  for (std::size_t b = 0; b < program.blocks.size(); ++b) {
+    if (max_counts[b] == 0) {
+      ++r.uncovered_blocks;
+      continue;
+    }
+    double exec = 0.0;
+    for (const auto& inst : program.blocks[b].insts) {
+      exec += static_cast<double>(cost.WorstCaseExec(inst));
+    }
+    const double fetch = static_cast<double>(
+        cost.WorstBlockFetch(program.blocks[b].insts.size()));
+    const int pl = persistent_ancestor[b];
+    const double fetch_executions =
+        pl < 0 ? static_cast<double>(max_counts[b])
+               : static_cast<double>(
+                     max_entries[static_cast<std::size_t>(pl)]);
+    total += static_cast<double>(max_counts[b]) * exec +
+             fetch_executions * fetch;
+  }
+  r.wcet_bound = static_cast<Cycles>(std::llround(total));
+  return r;
+}
+
+}  // namespace spta::swcet

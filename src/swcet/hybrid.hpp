@@ -1,0 +1,51 @@
+// Hybrid (measurement + structure) WCET bound, RapiTime-style.
+//
+// The paper's timing analysis runs on a commercial tool (Rapita RVS) whose
+// classic MBTA mode combines per-block measurements with program
+// structure. This module implements that scheme against the simulator:
+// per-basic-block execution counts are measured from traces, each block is
+// costed at its worst-case latency, and the bound is the structural
+// combination sum_b maxcount(b) * worstcost(b) — conservative across any
+// recombination of observed paths, but only as good as test coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "trace/program.hpp"
+#include "trace/record.hpp"
+
+namespace spta::swcet {
+
+struct HybridResult {
+  /// sum over blocks of (max executions in any trace) x (worst block cost).
+  Cycles wcet_bound = 0;
+  /// Blocks never executed by any trace (coverage holes: the bound cannot
+  /// speak for them — the classic hybrid-analysis caveat).
+  std::size_t uncovered_blocks = 0;
+  std::size_t total_blocks = 0;
+
+  double CoverageRatio() const {
+    return total_blocks == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(uncovered_blocks) /
+                           static_cast<double>(total_blocks);
+  }
+};
+
+/// Computes the hybrid bound from observed `traces` of `program` with the
+/// all-worst per-instruction cost model of `config`. Requires at least one
+/// trace.
+HybridResult HybridStructuralBound(
+    const trace::Program& program,
+    const std::vector<const trace::Trace*>& traces,
+    const sim::PlatformConfig& config, unsigned contending_cores = 0);
+
+/// Per-block execution counts of one trace (index = block id). Exposed for
+/// tests and coverage reporting.
+std::vector<std::uint64_t> BlockExecutionCounts(const trace::Program& program,
+                                                const trace::Trace& t);
+
+}  // namespace spta::swcet

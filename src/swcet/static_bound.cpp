@@ -1,0 +1,321 @@
+#include "swcet/static_bound.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "common/assert.hpp"
+
+namespace spta::swcet {
+
+using trace::BlockId;
+
+namespace {
+
+// Longest-path machinery over one "region": either the whole program with
+// top-level loops collapsed to super-nodes, or one loop's body with its
+// inner loops collapsed. Regions are DAGs by construction (back edges to
+// the region header are excluded; anything cyclic deeper down lives inside
+// a super-node).
+struct RegionGraph {
+  // node id -> weight (block cost or collapsed-loop cost)
+  std::vector<double> weight;
+  std::vector<std::vector<int>> edges;
+  int entry = -1;
+};
+
+class StaticAnalyzer {
+ public:
+  StaticAnalyzer(const trace::Program& program, const Cfg& cfg,
+                 const std::vector<LoopBoundAnnotation>& bounds,
+                 const CostModel& cost, std::size_t il1_bytes, bool worst)
+      : program_(program),
+        cfg_(cfg),
+        cost_(cost),
+        worst_(worst),
+        config_il1_bytes_(il1_bytes) {
+    for (const auto& b : bounds) {
+      bounds_[b.header] = b.max_iterations;
+    }
+    exec_cost_.resize(program.blocks.size());
+    fetch_cost_.resize(program.blocks.size());
+    for (std::size_t b = 0; b < program.blocks.size(); ++b) {
+      double c = 0.0;
+      for (const auto& inst : program.blocks[b].insts) {
+        c += static_cast<double>(worst ? cost.WorstCaseExec(inst)
+                                       : cost.BestCase(inst));
+      }
+      exec_cost_[b] = c;
+      // Sequential-fetch refinement: sound per-block fetch cost (zero in
+      // the best-case bracket, where everything hits).
+      fetch_cost_[b] =
+          worst ? static_cast<double>(cost.WorstBlockFetch(
+                      program.blocks[b].insts.size()))
+                : 0.0;
+    }
+    loop_cost_.assign(cfg.loops().size(), {-1.0, -1.0});
+  }
+
+  /// Longest (worst) or shortest-possible-floor (best) program cost.
+  double ProgramCost() {
+    return RegionCost(/*loop_index=*/-1, program_.entry);
+  }
+
+ private:
+  std::uint64_t BoundFor(BlockId header) const {
+    const auto it = bounds_.find(header);
+    SPTA_REQUIRE_MSG(it != bounds_.end(),
+                     "missing loop bound for header block " << header);
+    SPTA_REQUIRE_MSG(it->second >= 1, "loop bound must be >= 1");
+    return it->second;
+  }
+
+  // Total static code bytes of a loop (all contained blocks).
+  std::size_t LoopCodeBytes(const Loop& loop) const {
+    std::size_t bytes = 0;
+    for (const BlockId b : loop.blocks) {
+      bytes += 4 * program_.blocks[static_cast<std::size_t>(b)].insts.size();
+    }
+    return bytes;
+  }
+
+  // One-time fetch cost of bringing the whole loop's code in.
+  double LoopFetchOnce(const Loop& loop) const {
+    double c = 0.0;
+    for (const BlockId b : loop.blocks) {
+      c += fetch_cost_[static_cast<std::size_t>(b)];
+    }
+    return c;
+  }
+
+  double LoopCost(int loop_index, bool suppress_fetch) {
+    double& memo = loop_cost_[static_cast<std::size_t>(loop_index)]
+                             [suppress_fetch ? 1 : 0];
+    if (memo >= 0.0) return memo;
+    const Loop& loop = cfg_.loops()[static_cast<std::size_t>(loop_index)];
+    const double iters = static_cast<double>(BoundFor(loop.header));
+    // Persistence refinement (sound): the IL1 only serves fetches, so once
+    // a loop whose code fits in the IL1 is fully resident no further
+    // fetch misses can occur — evictions happen only on IL1 misses. Charge
+    // the loop's code once and run the iterations fetch-free. When the
+    // surrounding context already suppressed fetches (an enclosing
+    // persistent loop paid for this code), charge nothing.
+    const bool persistent =
+        worst_ && LoopCodeBytes(loop) <= config_il1_bytes_;
+    if (suppress_fetch) {
+      memo = iters * RegionCost(loop_index, loop.header, true);
+    } else if (persistent) {
+      memo = LoopFetchOnce(loop) +
+             iters * RegionCost(loop_index, loop.header, true);
+    } else {
+      memo = iters * RegionCost(loop_index, loop.header, false);
+    }
+    return memo;
+  }
+
+  // True when `block`'s loop-ancestry chain reaches `region` (-1 = top).
+  // Returns the child-loop index that represents it inside the region, or
+  // -1 when the block belongs to the region directly.
+  std::optional<int> RepresentativeIn(int region, BlockId block) const {
+    int l = cfg_.InnermostLoopOf(block);
+    if (region >= 0) {
+      // The region's own header/body blocks have innermost == region
+      // (header) or a descendant. Walk up until we hit region.
+      int prev = -1;
+      while (l != -1 && l != region) {
+        prev = l;
+        l = cfg_.loops()[static_cast<std::size_t>(l)].parent;
+      }
+      if (l != region) return std::nullopt;  // not inside this loop
+      return prev;  // -1: direct member; else collapsed child loop
+    }
+    // Top region: climb to the outermost loop.
+    int prev = -1;
+    while (l != -1) {
+      prev = l;
+      l = cfg_.loops()[static_cast<std::size_t>(l)].parent;
+    }
+    return prev;
+  }
+
+  double RegionCost(int region, BlockId entry_block,
+                    bool suppress_fetch = false) {
+    // Node mapping: direct blocks -> unique node; child loop -> one node.
+    std::map<std::pair<bool, int>, int> node_of;  // (is_loop, id) -> node
+    RegionGraph g;
+    auto node_for = [&](BlockId block) -> int {
+      const auto rep = RepresentativeIn(region, block);
+      SPTA_CHECK(rep.has_value());
+      std::pair<bool, int> key =
+          *rep == -1 ? std::pair{false, static_cast<int>(block)}
+                     : std::pair{true, *rep};
+      const auto it = node_of.find(key);
+      if (it != node_of.end()) return it->second;
+      const int id = static_cast<int>(g.weight.size());
+      node_of[key] = id;
+      g.weight.push_back(
+          key.first
+              ? LoopCost(key.second, suppress_fetch)
+              : exec_cost_[static_cast<std::size_t>(block)] +
+                    (suppress_fetch
+                         ? 0.0
+                         : fetch_cost_[static_cast<std::size_t>(block)]));
+      g.edges.emplace_back();
+      return id;
+    };
+
+    const BlockId header = region >= 0
+                               ? cfg_.loops()[static_cast<std::size_t>(
+                                                  region)]
+                                     .header
+                               : -1;
+    g.entry = node_for(entry_block);
+    // Edges: for every block in the region (directly or via child loops),
+    // successors that stay in the region induce node edges; edges back to
+    // the region header are loop back-edges and excluded.
+    for (std::size_t b = 0; b < program_.blocks.size(); ++b) {
+      const auto rep = RepresentativeIn(region, static_cast<BlockId>(b));
+      if (!rep.has_value()) continue;
+      const int from = node_for(static_cast<BlockId>(b));
+      for (const BlockId s :
+           cfg_.successors()[static_cast<std::size_t>(b)]) {
+        if (region >= 0 && s == header) continue;  // back edge
+        const auto srep = RepresentativeIn(region, s);
+        if (!srep.has_value()) continue;  // exits the region
+        const int to = node_for(s);
+        if (to != from) g.edges[static_cast<std::size_t>(from)].push_back(to);
+      }
+    }
+    return LongestPath(g);
+  }
+
+  static double LongestPath(const RegionGraph& g) {
+    // DFS topological order from the entry (the region graph is a DAG).
+    const std::size_t n = g.weight.size();
+    std::vector<int> order;
+    std::vector<int> state(n, 0);
+    std::vector<std::pair<int, std::size_t>> stack{{g.entry, 0}};
+    state[static_cast<std::size_t>(g.entry)] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto& succs = g.edges[static_cast<std::size_t>(node)];
+      if (next < succs.size()) {
+        const int s = succs[next++];
+        SPTA_CHECK_MSG(state[static_cast<std::size_t>(s)] != 1,
+                       "cycle in region graph");
+        if (state[static_cast<std::size_t>(s)] == 0) {
+          state[static_cast<std::size_t>(s)] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        state[static_cast<std::size_t>(node)] = 2;
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+    // Longest node-weighted path from entry, processed in reverse post
+    // order (order is post order; reverse gives topological).
+    std::vector<double> dist(n, -1.0);
+    dist[static_cast<std::size_t>(g.entry)] =
+        g.weight[static_cast<std::size_t>(g.entry)];
+    double best = dist[static_cast<std::size_t>(g.entry)];
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const int u = *it;
+      if (dist[static_cast<std::size_t>(u)] < 0.0) continue;
+      best = std::max(best, dist[static_cast<std::size_t>(u)]);
+      for (const int v : g.edges[static_cast<std::size_t>(u)]) {
+        dist[static_cast<std::size_t>(v)] =
+            std::max(dist[static_cast<std::size_t>(v)],
+                     dist[static_cast<std::size_t>(u)] +
+                         g.weight[static_cast<std::size_t>(v)]);
+      }
+    }
+    return best;
+  }
+
+  const trace::Program& program_;
+  const Cfg& cfg_;
+  const CostModel& cost_;
+  bool worst_;
+  std::size_t config_il1_bytes_ = 0;
+  std::map<BlockId, std::uint64_t> bounds_;
+  std::vector<double> exec_cost_;
+  std::vector<double> fetch_cost_;
+  std::vector<std::array<double, 2>> loop_cost_;
+};
+
+}  // namespace
+
+StaticBoundResult ComputeStaticBound(
+    const trace::Program& program,
+    const std::vector<LoopBoundAnnotation>& bounds,
+    const sim::PlatformConfig& config, unsigned contending_cores) {
+  const Cfg cfg(program);
+  const CostModel cost(config, contending_cores);
+  StaticBoundResult r;
+  StaticAnalyzer worst(program, cfg, bounds, cost, config.il1.size_bytes,
+                       /*worst=*/true);
+  r.wcet_bound = static_cast<Cycles>(std::llround(worst.ProgramCost()));
+  StaticAnalyzer best(program, cfg, bounds, cost, config.il1.size_bytes,
+                      /*worst=*/false);
+  // For the best-case bracket a loop could also exit immediately; keeping
+  // the annotated count makes this a "typical floor", not a true BCET —
+  // documented in the header. Use it only for bracketing sanity.
+  r.bcet_bound = static_cast<Cycles>(std::llround(best.ProgramCost()));
+  return r;
+}
+
+std::vector<LoopBoundAnnotation> DeriveLoopBounds(
+    const trace::Program& program,
+    const std::vector<const trace::Trace*>& traces, double margin) {
+  SPTA_REQUIRE(!traces.empty());
+  SPTA_REQUIRE(margin >= 1.0);
+  const Cfg cfg(program);
+
+  // Map block entry addresses to block ids.
+  std::map<Address, BlockId> entry_pc;
+  for (std::size_t b = 0; b < program.blocks.size(); ++b) {
+    entry_pc[program.blocks[b].code_base] = static_cast<BlockId>(b);
+  }
+
+  std::vector<std::uint64_t> max_per_entry(cfg.loops().size(), 0);
+  std::vector<std::uint64_t> current(cfg.loops().size(), 0);
+
+  for (const trace::Trace* t : traces) {
+    SPTA_REQUIRE(t != nullptr);
+    std::fill(current.begin(), current.end(), 0);
+    BlockId prev_block = -1;
+    for (const auto& rec : t->records) {
+      const auto it = entry_pc.find(rec.pc);
+      if (it == entry_pc.end()) continue;  // not a block entry
+      const BlockId block = it->second;
+      for (std::size_t l = 0; l < cfg.loops().size(); ++l) {
+        const Loop& loop = cfg.loops()[l];
+        if (block == loop.header) {
+          // New entry when we came from outside the loop.
+          const bool from_outside =
+              prev_block == -1 || !loop.Contains(prev_block);
+          current[l] = from_outside ? 1 : current[l] + 1;
+          max_per_entry[l] = std::max(max_per_entry[l], current[l]);
+        }
+      }
+      prev_block = block;
+    }
+  }
+
+  std::vector<LoopBoundAnnotation> out;
+  out.reserve(cfg.loops().size());
+  for (std::size_t l = 0; l < cfg.loops().size(); ++l) {
+    LoopBoundAnnotation a;
+    a.header = cfg.loops()[l].header;
+    a.max_iterations = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(
+               margin * static_cast<double>(max_per_entry[l]))));
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace spta::swcet

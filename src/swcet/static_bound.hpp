@@ -1,0 +1,52 @@
+// Pure static WCET bound: longest CFG path with annotated loop bounds and
+// the all-miss cost model — the "static timing analysis" comparator of the
+// WCET survey (Wilhelm et al.) the paper positions MBTA/MBPTA against.
+//
+// The bound is computed structurally on the loop-nesting forest: a loop's
+// cost is (iteration bound) x (longest acyclic path through its body,
+// inner loops collapsed to super-nodes); the program cost is the longest
+// acyclic path from entry to Halt over top-level blocks and loop
+// super-nodes. Sound for any input that respects the loop bounds;
+// typically very pessimistic — that is its point in the comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "swcet/cfg.hpp"
+#include "swcet/cost_model.hpp"
+#include "trace/record.hpp"
+
+namespace spta::swcet {
+
+/// Iteration bound for the loop headed at `header`: the maximum number of
+/// times the header may execute per entry of the loop.
+struct LoopBoundAnnotation {
+  trace::BlockId header = -1;
+  std::uint64_t max_iterations = 0;
+};
+
+struct StaticBoundResult {
+  Cycles wcet_bound = 0;   ///< Sound upper bound (all-miss, worst FPU).
+  Cycles bcet_bound = 0;   ///< Lower bracket (all-hit, best latencies).
+};
+
+/// Computes the static bound. Every loop found in the CFG must have an
+/// annotation (precondition). `contending_cores` adds the multicore
+/// interference term to every memory access.
+StaticBoundResult ComputeStaticBound(
+    const trace::Program& program,
+    const std::vector<LoopBoundAnnotation>& bounds,
+    const sim::PlatformConfig& config, unsigned contending_cores = 0);
+
+/// Derives loop-bound annotations from observed traces, RapiTime-style:
+/// for each loop header, the bound is the maximum header executions per
+/// loop entry seen in any trace, times a safety `margin` (rounded up).
+/// Requires at least one trace. The result is only as trustworthy as the
+/// coverage of the traces — which is exactly the caveat of hybrid tools.
+std::vector<LoopBoundAnnotation> DeriveLoopBounds(
+    const trace::Program& program,
+    const std::vector<const trace::Trace*>& traces, double margin = 1.2);
+
+}  // namespace spta::swcet

@@ -1,0 +1,157 @@
+#include "trace/disasm.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace spta::trace {
+namespace {
+
+std::string Hex(Address a) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%08llx",
+                static_cast<unsigned long long>(a));
+  return buf;
+}
+
+std::string IReg(RegId r) { return "r" + std::to_string(r); }
+std::string FReg(RegId r) { return "f" + std::to_string(r); }
+
+std::string MemOperand(const Program& p, const IrInst& inst) {
+  std::ostringstream oss;
+  oss << p.arrays[inst.array].name << "[" << IReg(inst.src1);
+  if (inst.imm > 0) oss << "+" << inst.imm;
+  if (inst.imm < 0) oss << inst.imm;
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace
+
+std::string DisassembleInst(const Program& p, const IrInst& inst) {
+  std::ostringstream oss;
+  switch (inst.op) {
+    case IrOp::kIConst:
+      oss << "iconst " << IReg(inst.dst) << ", " << inst.imm;
+      break;
+    case IrOp::kIMove:
+      oss << "imov " << IReg(inst.dst) << ", " << IReg(inst.src1);
+      break;
+    case IrOp::kIAdd:
+    case IrOp::kISub:
+    case IrOp::kIMul:
+    case IrOp::kIDiv:
+    case IrOp::kIAnd:
+    case IrOp::kIXor:
+    case IrOp::kICmpLt: {
+      const char* mn = inst.op == IrOp::kIAdd   ? "iadd"
+                       : inst.op == IrOp::kISub ? "isub"
+                       : inst.op == IrOp::kIMul ? "imul"
+                       : inst.op == IrOp::kIDiv ? "idiv"
+                       : inst.op == IrOp::kIAnd ? "iand"
+                       : inst.op == IrOp::kIXor ? "ixor"
+                                                : "icmplt";
+      oss << mn << " " << IReg(inst.dst) << ", " << IReg(inst.src1) << ", "
+          << IReg(inst.src2);
+      break;
+    }
+    case IrOp::kIAddImm:
+      oss << "iaddi " << IReg(inst.dst) << ", " << IReg(inst.src1) << ", "
+          << inst.imm;
+      break;
+    case IrOp::kIShl:
+    case IrOp::kIShr:
+      oss << (inst.op == IrOp::kIShl ? "ishl " : "ishr ") << IReg(inst.dst)
+          << ", " << IReg(inst.src1) << ", " << (inst.imm & 63);
+      break;
+    case IrOp::kFConst:
+      oss << "fconst " << FReg(inst.dst) << ", " << inst.fimm;
+      break;
+    case IrOp::kFMove:
+    case IrOp::kFAbs:
+    case IrOp::kFNeg:
+    case IrOp::kFSqrt: {
+      const char* mn = inst.op == IrOp::kFMove  ? "fmov"
+                       : inst.op == IrOp::kFAbs ? "fabs"
+                       : inst.op == IrOp::kFNeg ? "fneg"
+                                                : "fsqrt";
+      oss << mn << " " << FReg(inst.dst) << ", " << FReg(inst.src1);
+      break;
+    }
+    case IrOp::kFAdd:
+    case IrOp::kFSub:
+    case IrOp::kFMul:
+    case IrOp::kFDiv: {
+      const char* mn = inst.op == IrOp::kFAdd   ? "fadd"
+                       : inst.op == IrOp::kFSub ? "fsub"
+                       : inst.op == IrOp::kFMul ? "fmul"
+                                                : "fdiv";
+      oss << mn << " " << FReg(inst.dst) << ", " << FReg(inst.src1) << ", "
+          << FReg(inst.src2);
+      break;
+    }
+    case IrOp::kFCmpLt:
+      oss << "fcmplt " << IReg(inst.dst) << ", " << FReg(inst.src1) << ", "
+          << FReg(inst.src2);
+      break;
+    case IrOp::kIToF:
+      oss << "itof " << FReg(inst.dst) << ", " << IReg(inst.src1);
+      break;
+    case IrOp::kFToI:
+      oss << "ftoi " << IReg(inst.dst) << ", " << FReg(inst.src1);
+      break;
+    case IrOp::kLoadI:
+      oss << "ldi " << IReg(inst.dst) << ", " << MemOperand(p, inst);
+      break;
+    case IrOp::kLoadF:
+      oss << "ldf " << FReg(inst.dst) << ", " << MemOperand(p, inst);
+      break;
+    case IrOp::kStoreI:
+      oss << "sti " << MemOperand(p, inst) << ", " << IReg(inst.src2);
+      break;
+    case IrOp::kStoreF:
+      oss << "stf " << MemOperand(p, inst) << ", " << FReg(inst.src2);
+      break;
+    case IrOp::kJump:
+      oss << "jmp .B" << inst.target;
+      break;
+    case IrOp::kBranchIfZero:
+      oss << "brz " << IReg(inst.src1) << ", .B" << inst.target << ", .B"
+          << inst.target2;
+      break;
+    case IrOp::kBranchIfNeg:
+      oss << "brn " << IReg(inst.src1) << ", .B" << inst.target << ", .B"
+          << inst.target2;
+      break;
+    case IrOp::kHalt:
+      oss << "halt";
+      break;
+  }
+  return oss.str();
+}
+
+std::string Disassemble(const Program& p) {
+  p.Validate();
+  std::ostringstream oss;
+  oss << "; program '" << p.name << "', "
+      << p.StaticInstructionCount() << " instructions, entry .B" << p.entry
+      << "\n";
+  oss << "; data:\n";
+  for (const auto& arr : p.arrays) {
+    oss << ";   " << Hex(arr.base) << "  " << arr.name << "["
+        << arr.elem_count << "] " << (arr.is_fp ? "f64" : "i32") << " ("
+        << arr.byte_size() << " bytes)\n";
+  }
+  for (std::size_t b = 0; b < p.blocks.size(); ++b) {
+    const auto& block = p.blocks[b];
+    oss << ".B" << b << ":  ; " << Hex(block.code_base) << "\n";
+    for (std::size_t i = 0; i < block.insts.size(); ++i) {
+      oss << "  " << Hex(block.code_base + 4 * i) << "  "
+          << DisassembleInst(p, block.insts[i]) << "\n";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace spta::trace

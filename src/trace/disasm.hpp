@@ -1,0 +1,22 @@
+// Human-readable listings of IR programs.
+//
+// Debugging aid and documentation generator: renders a Program block by
+// block with addresses, mnemonics, operands and CFG targets — the listing
+// a reviewer reads next to the timing-analysis results.
+#pragma once
+
+#include <string>
+
+#include "trace/program.hpp"
+
+namespace spta::trace {
+
+/// One-line rendering of a single instruction, e.g.
+/// "fdiv f2, f2, f7" or "ldf f3, state[r2+1]".
+std::string DisassembleInst(const Program& program, const IrInst& inst);
+
+/// Full listing: data objects with their addresses, then every block with
+/// its code range and instructions.
+std::string Disassemble(const Program& program);
+
+}  // namespace spta::trace

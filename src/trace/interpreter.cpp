@@ -1,0 +1,404 @@
+#include "trace/interpreter.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace spta::trace {
+namespace {
+
+std::uint8_t MantissaClass(double value) {
+  if (value == 0.0 || !std::isfinite(value)) return 0;
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  const std::uint64_t mantissa = bits & ((1ULL << 52) - 1);
+  if (mantissa == 0) return 0;  // exact power of two: earliest termination
+  const int trailing_zeros = std::countr_zero(mantissa);
+  // 52 mantissa bits; every ~17 additional significant bits cost one class.
+  const int significant = 52 - trailing_zeros;
+  const int cls = 1 + (significant - 1) / 17;  // 1..4 -> clamp below
+  return static_cast<std::uint8_t>(
+      cls >= kFpuOperandClasses ? kFpuOperandClasses - 1 : cls);
+}
+
+// Fills the register-operand fields of `rec` from the IR instruction, in
+// the encoded (file-tagged) form the hazard model expects.
+void FillRegs(const IrInst& inst, TraceRecord& rec) {
+  const auto I = [](RegId r) { return static_cast<std::uint8_t>(r); };
+  const auto F = [](RegId r) {
+    return static_cast<std::uint8_t>(r | kFpRegFlag);
+  };
+  switch (inst.op) {
+    case IrOp::kIConst:
+      rec.dst_reg = I(inst.dst);
+      break;
+    case IrOp::kIMove:
+    case IrOp::kIAddImm:
+    case IrOp::kIShl:
+    case IrOp::kIShr:
+      rec.dst_reg = I(inst.dst);
+      rec.src1_reg = I(inst.src1);
+      break;
+    case IrOp::kIAdd:
+    case IrOp::kISub:
+    case IrOp::kIMul:
+    case IrOp::kIDiv:
+    case IrOp::kIAnd:
+    case IrOp::kIXor:
+    case IrOp::kICmpLt:
+      rec.dst_reg = I(inst.dst);
+      rec.src1_reg = I(inst.src1);
+      rec.src2_reg = I(inst.src2);
+      break;
+    case IrOp::kFConst:
+      rec.dst_reg = F(inst.dst);
+      break;
+    case IrOp::kFMove:
+    case IrOp::kFAbs:
+    case IrOp::kFNeg:
+    case IrOp::kFSqrt:
+      rec.dst_reg = F(inst.dst);
+      rec.src1_reg = F(inst.src1);
+      break;
+    case IrOp::kFAdd:
+    case IrOp::kFSub:
+    case IrOp::kFMul:
+    case IrOp::kFDiv:
+      rec.dst_reg = F(inst.dst);
+      rec.src1_reg = F(inst.src1);
+      rec.src2_reg = F(inst.src2);
+      break;
+    case IrOp::kFCmpLt:
+      rec.dst_reg = I(inst.dst);
+      rec.src1_reg = F(inst.src1);
+      rec.src2_reg = F(inst.src2);
+      break;
+    case IrOp::kIToF:
+      rec.dst_reg = F(inst.dst);
+      rec.src1_reg = I(inst.src1);
+      break;
+    case IrOp::kFToI:
+      rec.dst_reg = I(inst.dst);
+      rec.src1_reg = F(inst.src1);
+      break;
+    case IrOp::kLoadI:
+      rec.dst_reg = I(inst.dst);
+      rec.src1_reg = I(inst.src1);
+      break;
+    case IrOp::kLoadF:
+      rec.dst_reg = F(inst.dst);
+      rec.src1_reg = I(inst.src1);
+      break;
+    case IrOp::kStoreI:
+      rec.src1_reg = I(inst.src1);
+      rec.src2_reg = I(inst.src2);
+      break;
+    case IrOp::kStoreF:
+      rec.src1_reg = I(inst.src1);
+      rec.src2_reg = F(inst.src2);
+      break;
+    case IrOp::kBranchIfZero:
+    case IrOp::kBranchIfNeg:
+      rec.src1_reg = I(inst.src1);
+      break;
+    case IrOp::kJump:
+    case IrOp::kHalt:
+      break;
+  }
+}
+
+}  // namespace
+
+std::uint8_t FpuDivOperandClass(double dividend, double divisor) {
+  if (divisor == 0.0) return kFpuOperandClasses - 1;
+  return MantissaClass(dividend / divisor);
+}
+
+std::uint8_t FpuSqrtOperandClass(double operand) {
+  return MantissaClass(std::sqrt(std::fabs(operand)));
+}
+
+Interpreter::Interpreter(const Program& program, Options options)
+    : program_(program),
+      options_(options),
+      iregs_(kNumRegs, 0),
+      fregs_(kNumRegs, 0.0),
+      storage_(program.arrays.size()) {
+  for (std::size_t a = 0; a < program.arrays.size(); ++a) {
+    const DataObject& obj = program.arrays[a];
+    if (obj.is_fp) {
+      storage_[a].fps.assign(obj.elem_count, 0.0);
+    } else {
+      storage_[a].ints.assign(obj.elem_count, 0);
+    }
+  }
+}
+
+void Interpreter::SetIntReg(RegId reg, std::int64_t value) {
+  SPTA_REQUIRE(reg < kNumRegs);
+  iregs_[reg] = value;
+}
+
+void Interpreter::SetFpReg(RegId reg, double value) {
+  SPTA_REQUIRE(reg < kNumRegs);
+  fregs_[reg] = value;
+}
+
+const DataObject& Interpreter::CheckedArray(ArrayId array,
+                                            bool want_fp) const {
+  SPTA_REQUIRE(array < program_.arrays.size());
+  const DataObject& obj = program_.arrays[array];
+  SPTA_REQUIRE_MSG(obj.is_fp == want_fp,
+                   "array '" << obj.name << "' type mismatch");
+  return obj;
+}
+
+void Interpreter::WriteInt(ArrayId array, std::size_t index,
+                           std::int32_t value) {
+  const DataObject& obj = CheckedArray(array, false);
+  SPTA_REQUIRE_MSG(index < obj.elem_count, "index " << index << " in '"
+                                                    << obj.name << "'");
+  storage_[array].ints[index] = value;
+}
+
+void Interpreter::WriteFp(ArrayId array, std::size_t index, double value) {
+  const DataObject& obj = CheckedArray(array, true);
+  SPTA_REQUIRE_MSG(index < obj.elem_count, "index " << index << " in '"
+                                                    << obj.name << "'");
+  storage_[array].fps[index] = value;
+}
+
+std::int64_t Interpreter::int_reg(RegId reg) const {
+  SPTA_REQUIRE(reg < kNumRegs);
+  return iregs_[reg];
+}
+
+double Interpreter::fp_reg(RegId reg) const {
+  SPTA_REQUIRE(reg < kNumRegs);
+  return fregs_[reg];
+}
+
+std::int32_t Interpreter::ReadInt(ArrayId array, std::size_t index) const {
+  const DataObject& obj = CheckedArray(array, false);
+  SPTA_REQUIRE(index < obj.elem_count);
+  return storage_[array].ints[index];
+}
+
+double Interpreter::ReadFp(ArrayId array, std::size_t index) const {
+  const DataObject& obj = CheckedArray(array, true);
+  SPTA_REQUIRE(index < obj.elem_count);
+  return storage_[array].fps[index];
+}
+
+std::size_t Interpreter::CheckedIndex(const IrInst& inst,
+                                      const DataObject& obj) const {
+  const std::int64_t idx = iregs_[inst.src1] + inst.imm;
+  SPTA_CHECK_MSG(idx >= 0 && static_cast<std::size_t>(idx) < obj.elem_count,
+                 "out-of-bounds access to '" << obj.name << "': index " << idx
+                                             << " size " << obj.elem_count);
+  return static_cast<std::size_t>(idx);
+}
+
+Trace Interpreter::Run() {
+  SPTA_REQUIRE_MSG(!has_run_, "Interpreter::Run may be called once");
+  has_run_ = true;
+
+  Trace out;
+  std::uint64_t path_hash = 0x5bd1e995u;
+  BlockId block_id = program_.entry;
+  bool halted = false;
+
+  while (!halted) {
+    path_hash = HashCombine(path_hash, static_cast<std::uint64_t>(block_id));
+    const BasicBlock& block =
+        program_.blocks[static_cast<std::size_t>(block_id)];
+    for (std::size_t i = 0; i < block.insts.size(); ++i) {
+      SPTA_CHECK_MSG(steps_ < options_.max_steps,
+                     "step limit " << options_.max_steps << " exceeded in '"
+                                   << program_.name << "'");
+      ++steps_;
+      const IrInst& inst = block.insts[i];
+      TraceRecord rec;
+      rec.pc = block.code_base + 4 * static_cast<Address>(i);
+      FillRegs(inst, rec);
+
+      switch (inst.op) {
+        case IrOp::kIConst:
+          iregs_[inst.dst] = inst.imm;
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kIMove:
+          iregs_[inst.dst] = iregs_[inst.src1];
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kIAdd:
+          iregs_[inst.dst] = iregs_[inst.src1] + iregs_[inst.src2];
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kISub:
+          iregs_[inst.dst] = iregs_[inst.src1] - iregs_[inst.src2];
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kIMul:
+          iregs_[inst.dst] = iregs_[inst.src1] * iregs_[inst.src2];
+          rec.op = OpClass::kIntMul;
+          break;
+        case IrOp::kIDiv:
+          SPTA_CHECK_MSG(iregs_[inst.src2] != 0, "integer division by zero");
+          iregs_[inst.dst] = iregs_[inst.src1] / iregs_[inst.src2];
+          rec.op = OpClass::kIntDiv;
+          break;
+        case IrOp::kIAddImm:
+          iregs_[inst.dst] = iregs_[inst.src1] + inst.imm;
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kIAnd:
+          iregs_[inst.dst] = iregs_[inst.src1] & iregs_[inst.src2];
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kIXor:
+          iregs_[inst.dst] = iregs_[inst.src1] ^ iregs_[inst.src2];
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kIShl:
+          iregs_[inst.dst] = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(iregs_[inst.src1])
+              << (inst.imm & 63));
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kIShr:
+          iregs_[inst.dst] = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(iregs_[inst.src1]) >>
+              (inst.imm & 63));
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kICmpLt:
+          iregs_[inst.dst] =
+              iregs_[inst.src1] < iregs_[inst.src2] ? 1 : 0;
+          rec.op = OpClass::kIntAlu;
+          break;
+        case IrOp::kFConst:
+          fregs_[inst.dst] = inst.fimm;
+          rec.op = OpClass::kFpAdd;
+          break;
+        case IrOp::kFMove:
+          fregs_[inst.dst] = fregs_[inst.src1];
+          rec.op = OpClass::kFpAdd;
+          break;
+        case IrOp::kFAdd:
+          fregs_[inst.dst] = fregs_[inst.src1] + fregs_[inst.src2];
+          rec.op = OpClass::kFpAdd;
+          break;
+        case IrOp::kFSub:
+          fregs_[inst.dst] = fregs_[inst.src1] - fregs_[inst.src2];
+          rec.op = OpClass::kFpAdd;
+          break;
+        case IrOp::kFMul:
+          fregs_[inst.dst] = fregs_[inst.src1] * fregs_[inst.src2];
+          rec.op = OpClass::kFpMul;
+          break;
+        case IrOp::kFDiv: {
+          const double a = fregs_[inst.src1];
+          const double b = fregs_[inst.src2];
+          SPTA_CHECK_MSG(b != 0.0, "FP division by zero in '"
+                                       << program_.name << "'");
+          rec.fpu_operand_class = FpuDivOperandClass(a, b);
+          fregs_[inst.dst] = a / b;
+          rec.op = OpClass::kFpDiv;
+          break;
+        }
+        case IrOp::kFSqrt: {
+          const double a = fregs_[inst.src1];
+          rec.fpu_operand_class = FpuSqrtOperandClass(a);
+          fregs_[inst.dst] = std::sqrt(std::fabs(a));
+          rec.op = OpClass::kFpSqrt;
+          break;
+        }
+        case IrOp::kFAbs:
+          fregs_[inst.dst] = std::fabs(fregs_[inst.src1]);
+          rec.op = OpClass::kFpAdd;
+          break;
+        case IrOp::kFNeg:
+          fregs_[inst.dst] = -fregs_[inst.src1];
+          rec.op = OpClass::kFpAdd;
+          break;
+        case IrOp::kFCmpLt:
+          iregs_[inst.dst] =
+              fregs_[inst.src1] < fregs_[inst.src2] ? 1 : 0;
+          rec.op = OpClass::kFpAdd;
+          break;
+        case IrOp::kIToF:
+          fregs_[inst.dst] = static_cast<double>(iregs_[inst.src1]);
+          rec.op = OpClass::kFpAdd;
+          break;
+        case IrOp::kFToI:
+          iregs_[inst.dst] = static_cast<std::int64_t>(fregs_[inst.src1]);
+          rec.op = OpClass::kFpAdd;
+          break;
+        case IrOp::kLoadI: {
+          const DataObject& obj = program_.arrays[inst.array];
+          const std::size_t idx = CheckedIndex(inst, obj);
+          iregs_[inst.dst] = storage_[inst.array].ints[idx];
+          rec.op = OpClass::kLoad;
+          rec.mem_addr = obj.base + idx * obj.elem_size();
+          break;
+        }
+        case IrOp::kStoreI: {
+          const DataObject& obj = program_.arrays[inst.array];
+          const std::size_t idx = CheckedIndex(inst, obj);
+          storage_[inst.array].ints[idx] =
+              static_cast<std::int32_t>(iregs_[inst.src2]);
+          rec.op = OpClass::kStore;
+          rec.mem_addr = obj.base + idx * obj.elem_size();
+          break;
+        }
+        case IrOp::kLoadF: {
+          const DataObject& obj = program_.arrays[inst.array];
+          const std::size_t idx = CheckedIndex(inst, obj);
+          fregs_[inst.dst] = storage_[inst.array].fps[idx];
+          rec.op = OpClass::kLoad;
+          rec.mem_addr = obj.base + idx * obj.elem_size();
+          break;
+        }
+        case IrOp::kStoreF: {
+          const DataObject& obj = program_.arrays[inst.array];
+          const std::size_t idx = CheckedIndex(inst, obj);
+          storage_[inst.array].fps[idx] = fregs_[inst.src2];
+          rec.op = OpClass::kStore;
+          rec.mem_addr = obj.base + idx * obj.elem_size();
+          break;
+        }
+        case IrOp::kJump:
+          rec.op = OpClass::kBranch;
+          rec.branch_taken = true;
+          block_id = inst.target;
+          break;
+        case IrOp::kBranchIfZero: {
+          const bool taken = iregs_[inst.src1] == 0;
+          rec.op = OpClass::kBranch;
+          rec.branch_taken = taken;
+          block_id = taken ? inst.target : inst.target2;
+          break;
+        }
+        case IrOp::kBranchIfNeg: {
+          const bool taken = iregs_[inst.src1] < 0;
+          rec.op = OpClass::kBranch;
+          rec.branch_taken = taken;
+          block_id = taken ? inst.target : inst.target2;
+          break;
+        }
+        case IrOp::kHalt:
+          rec.op = OpClass::kBranch;
+          rec.branch_taken = false;
+          halted = true;
+          break;
+      }
+      out.records.push_back(rec);
+    }
+  }
+  out.path_signature = path_hash;
+  return out;
+}
+
+}  // namespace spta::trace

@@ -1,0 +1,80 @@
+// IR interpreter: executes a Program and emits its dynamic trace.
+//
+// One Interpreter instance performs one run: construct, poke inputs into
+// registers/arrays, call Run(), inspect outputs. The emitted Trace is the
+// retired-instruction stream consumed by the timing simulator; the
+// interpreter itself is functional-only (no timing).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/program.hpp"
+#include "trace/record.hpp"
+
+namespace spta::trace {
+
+class Interpreter {
+ public:
+  struct Options {
+    /// Abort (contract failure) if the program executes more than this many
+    /// instructions — catches unbounded loops in workload definitions,
+    /// which would be WCET-analysis nonsense anyway.
+    std::size_t max_steps = 50'000'000;
+  };
+
+  /// Binds to `program` (must outlive the interpreter; must be validated
+  /// and laid out, which Program::Build guarantees). Arrays start zeroed,
+  /// registers start at zero.
+  explicit Interpreter(const Program& program)
+      : Interpreter(program, Options{}) {}
+  Interpreter(const Program& program, Options options);
+
+  // --- Input injection (before Run) -------------------------------------
+  void SetIntReg(RegId reg, std::int64_t value);
+  void SetFpReg(RegId reg, double value);
+  void WriteInt(ArrayId array, std::size_t index, std::int32_t value);
+  void WriteFp(ArrayId array, std::size_t index, double value);
+
+  /// Executes from the entry block until kHalt; returns the dynamic trace.
+  /// May be called exactly once per interpreter instance.
+  Trace Run();
+
+  // --- Output inspection (after Run) -------------------------------------
+  std::int64_t int_reg(RegId reg) const;
+  double fp_reg(RegId reg) const;
+  std::int32_t ReadInt(ArrayId array, std::size_t index) const;
+  double ReadFp(ArrayId array, std::size_t index) const;
+
+  /// Instructions retired by Run() (0 before).
+  std::size_t steps_executed() const { return steps_; }
+
+ private:
+  struct ArrayStorage {
+    std::vector<std::int32_t> ints;
+    std::vector<double> fps;
+  };
+
+  const DataObject& CheckedArray(ArrayId array, bool want_fp) const;
+  std::size_t CheckedIndex(const IrInst& inst,
+                           const DataObject& obj) const;
+
+  const Program& program_;
+  Options options_;
+  std::vector<std::int64_t> iregs_;
+  std::vector<double> fregs_;
+  std::vector<ArrayStorage> storage_;
+  std::size_t steps_ = 0;
+  bool has_run_ = false;
+};
+
+/// Deterministic operand-difficulty class for a value-dependent FP divide:
+/// models SRT-style early termination — quotients with few significant
+/// mantissa bits finish sooner. Returns a class in [0, kFpuOperandClasses).
+std::uint8_t FpuDivOperandClass(double dividend, double divisor);
+
+/// Operand-difficulty class for FSQRT, from the result's mantissa.
+std::uint8_t FpuSqrtOperandClass(double operand);
+
+}  // namespace spta::trace

@@ -1,0 +1,251 @@
+#include "trace/program.hpp"
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace spta::trace {
+
+bool IsControl(IrOp op) {
+  switch (op) {
+    case IrOp::kJump:
+    case IrOp::kBranchIfZero:
+    case IrOp::kBranchIfNeg:
+    case IrOp::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Program::AssignLayout(Address code_base, Address data_base,
+                           std::uint64_t link_offset,
+                           std::uint64_t layout_seed) {
+  Address pc = code_base;
+  for (auto& block : blocks) {
+    block.code_base = pc;
+    pc += 4 * block.insts.size();
+  }
+  Address addr = data_base + link_offset;
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    if (layout_seed != 0) {
+      // A different link map: deterministic pseudo-random inter-array gap
+      // of 0..63 cache lines.
+      addr += 64 * (Mix64(layout_seed ^ (i + 1)) % 64);
+    }
+    addr = (addr + 63) & ~Address{63};  // 64-byte (cache line) alignment
+    arrays[i].base = addr;
+    addr += arrays[i].byte_size();
+  }
+}
+
+void Program::Validate() const {
+  SPTA_CHECK_MSG(!blocks.empty(), "program '" << name << "' has no blocks");
+  SPTA_CHECK_MSG(entry >= 0 && static_cast<std::size_t>(entry) < blocks.size(),
+                 "entry block " << entry << " out of range");
+  auto check_block = [&](BlockId id) {
+    SPTA_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < blocks.size(),
+                   "block target " << id << " out of range in '" << name
+                                   << "'");
+  };
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& insts = blocks[b].insts;
+    SPTA_CHECK_MSG(!insts.empty(), "block " << b << " is empty");
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      const IrInst& inst = insts[i];
+      const bool is_last = (i + 1 == insts.size());
+      SPTA_CHECK_MSG(IsControl(inst.op) == is_last,
+                     "block " << b << " inst " << i
+                              << ": control ops must terminate the block");
+      SPTA_CHECK_MSG(inst.dst < kNumRegs && inst.src1 < kNumRegs &&
+                         inst.src2 < kNumRegs,
+                     "block " << b << " inst " << i << ": register id");
+      switch (inst.op) {
+        case IrOp::kLoadI:
+        case IrOp::kStoreI:
+        case IrOp::kLoadF:
+        case IrOp::kStoreF:
+          SPTA_CHECK_MSG(inst.array < arrays.size(),
+                         "block " << b << " inst " << i << ": array id "
+                                  << inst.array);
+          if (inst.op == IrOp::kLoadI || inst.op == IrOp::kStoreI) {
+            SPTA_CHECK_MSG(!arrays[inst.array].is_fp,
+                           "int access to fp array '"
+                               << arrays[inst.array].name << "'");
+          } else {
+            SPTA_CHECK_MSG(arrays[inst.array].is_fp,
+                           "fp access to int array '"
+                               << arrays[inst.array].name << "'");
+          }
+          break;
+        case IrOp::kJump:
+          check_block(inst.target);
+          break;
+        case IrOp::kBranchIfZero:
+        case IrOp::kBranchIfNeg:
+          check_block(inst.target);
+          check_block(inst.target2);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+std::size_t Program::StaticInstructionCount() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks) n += b.insts.size();
+  return n;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  program_.name = std::move(name);
+}
+
+ArrayId ProgramBuilder::AddIntArray(std::string name, std::size_t elems) {
+  SPTA_REQUIRE(elems > 0);
+  program_.arrays.push_back({std::move(name), elems, /*is_fp=*/false, 0});
+  return static_cast<ArrayId>(program_.arrays.size() - 1);
+}
+
+ArrayId ProgramBuilder::AddFpArray(std::string name, std::size_t elems) {
+  SPTA_REQUIRE(elems > 0);
+  program_.arrays.push_back({std::move(name), elems, /*is_fp=*/true, 0});
+  return static_cast<ArrayId>(program_.arrays.size() - 1);
+}
+
+BlockId ProgramBuilder::NewBlock() {
+  program_.blocks.emplace_back();
+  return static_cast<BlockId>(program_.blocks.size() - 1);
+}
+
+void ProgramBuilder::SwitchTo(BlockId block) {
+  SPTA_REQUIRE(block >= 0 &&
+               static_cast<std::size_t>(block) < program_.blocks.size());
+  current_ = block;
+}
+
+void ProgramBuilder::SetEntry(BlockId block) { program_.entry = block; }
+
+void ProgramBuilder::Emit(IrInst inst) {
+  SPTA_REQUIRE_MSG(current_ >= 0, "no current block; call SwitchTo first");
+  program_.blocks[static_cast<std::size_t>(current_)].insts.push_back(inst);
+}
+
+void ProgramBuilder::IConst(RegId dst, std::int64_t v) {
+  Emit({.op = IrOp::kIConst, .dst = dst, .imm = v});
+}
+void ProgramBuilder::IMove(RegId dst, RegId src) {
+  Emit({.op = IrOp::kIMove, .dst = dst, .src1 = src});
+}
+void ProgramBuilder::IAdd(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kIAdd, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::ISub(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kISub, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::IMul(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kIMul, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::IDiv(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kIDiv, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::IAddImm(RegId dst, RegId a, std::int64_t imm) {
+  Emit({.op = IrOp::kIAddImm, .dst = dst, .src1 = a, .imm = imm});
+}
+void ProgramBuilder::IAnd(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kIAnd, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::IXor(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kIXor, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::IShl(RegId dst, RegId a, std::int64_t sh) {
+  Emit({.op = IrOp::kIShl, .dst = dst, .src1 = a, .imm = sh});
+}
+void ProgramBuilder::IShr(RegId dst, RegId a, std::int64_t sh) {
+  Emit({.op = IrOp::kIShr, .dst = dst, .src1 = a, .imm = sh});
+}
+void ProgramBuilder::ICmpLt(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kICmpLt, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::FConst(RegId dst, double v) {
+  Emit({.op = IrOp::kFConst, .dst = dst, .fimm = v});
+}
+void ProgramBuilder::FMove(RegId dst, RegId src) {
+  Emit({.op = IrOp::kFMove, .dst = dst, .src1 = src});
+}
+void ProgramBuilder::FAdd(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kFAdd, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::FSub(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kFSub, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::FMul(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kFMul, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::FDiv(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kFDiv, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::FSqrt(RegId dst, RegId a) {
+  Emit({.op = IrOp::kFSqrt, .dst = dst, .src1 = a});
+}
+void ProgramBuilder::FAbs(RegId dst, RegId a) {
+  Emit({.op = IrOp::kFAbs, .dst = dst, .src1 = a});
+}
+void ProgramBuilder::FNeg(RegId dst, RegId a) {
+  Emit({.op = IrOp::kFNeg, .dst = dst, .src1 = a});
+}
+void ProgramBuilder::FCmpLt(RegId dst, RegId a, RegId b) {
+  Emit({.op = IrOp::kFCmpLt, .dst = dst, .src1 = a, .src2 = b});
+}
+void ProgramBuilder::IToF(RegId dst, RegId src) {
+  Emit({.op = IrOp::kIToF, .dst = dst, .src1 = src});
+}
+void ProgramBuilder::FToI(RegId dst, RegId src) {
+  Emit({.op = IrOp::kFToI, .dst = dst, .src1 = src});
+}
+void ProgramBuilder::LoadI(RegId dst, ArrayId arr, RegId idx,
+                           std::int64_t offset) {
+  Emit({.op = IrOp::kLoadI, .dst = dst, .src1 = idx, .imm = offset,
+        .array = arr});
+}
+void ProgramBuilder::StoreI(ArrayId arr, RegId idx, RegId value,
+                            std::int64_t offset) {
+  Emit({.op = IrOp::kStoreI, .src1 = idx, .src2 = value, .imm = offset,
+        .array = arr});
+}
+void ProgramBuilder::LoadF(RegId dst, ArrayId arr, RegId idx,
+                           std::int64_t offset) {
+  Emit({.op = IrOp::kLoadF, .dst = dst, .src1 = idx, .imm = offset,
+        .array = arr});
+}
+void ProgramBuilder::StoreF(ArrayId arr, RegId idx, RegId value,
+                            std::int64_t offset) {
+  Emit({.op = IrOp::kStoreF, .src1 = idx, .src2 = value, .imm = offset,
+        .array = arr});
+}
+void ProgramBuilder::Jump(BlockId target) {
+  Emit({.op = IrOp::kJump, .target = target});
+}
+void ProgramBuilder::BranchIfZero(RegId cond, BlockId if_zero,
+                                  BlockId otherwise) {
+  Emit({.op = IrOp::kBranchIfZero, .src1 = cond, .target = if_zero,
+        .target2 = otherwise});
+}
+void ProgramBuilder::BranchIfNeg(RegId cond, BlockId if_neg,
+                                 BlockId otherwise) {
+  Emit({.op = IrOp::kBranchIfNeg, .src1 = cond, .target = if_neg,
+        .target2 = otherwise});
+}
+void ProgramBuilder::Halt() { Emit({.op = IrOp::kHalt}); }
+
+Program ProgramBuilder::Build(std::uint64_t link_offset) {
+  program_.Validate();
+  program_.AssignLayout(0x40000000, 0x40100000, link_offset);
+  Program out = std::move(program_);
+  program_ = Program{};
+  current_ = -1;
+  return out;
+}
+
+}  // namespace spta::trace

@@ -1,0 +1,208 @@
+// A small register-machine program IR for synthesizing workloads.
+//
+// The paper's TVCA is C auto-generated from a control model and compiled for
+// SPARC/LEON3; we cannot ship that proprietary code, so workloads here are
+// written against this IR and *interpreted* to produce the dynamic
+// instruction/memory trace the timing simulator consumes (see
+// interpreter.hpp). The IR executes real control and data flow — loops,
+// data-dependent branches, FP arithmetic on real values — so different
+// inputs genuinely take different paths and produce different traces,
+// which is what MBPTA's per-path analysis needs.
+//
+// Machine model (mirrors a 32-bit RISC like the LEON3's SPARC V8):
+//   * 32 integer registers (64-bit here for convenience), 32 FP registers.
+//   * Word-addressed data arrays declared per program; a layout pass assigns
+//     byte base addresses (optionally shifted by a link offset, to study
+//     memory-layout sensitivity of deterministic caches).
+//   * 4-byte instructions; each basic block occupies a contiguous code range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spta::trace {
+
+/// Register index (0..31) in the integer or FP register file.
+using RegId = std::uint8_t;
+
+/// Basic-block index within a Program.
+using BlockId = std::int32_t;
+
+/// Data-object (array) index within a Program.
+using ArrayId = std::uint16_t;
+
+inline constexpr int kNumRegs = 32;
+
+/// IR operations. Control operations may only appear as a block terminator.
+enum class IrOp : std::uint8_t {
+  // Integer ALU.
+  kIConst,   ///< ireg[dst] = imm
+  kIMove,    ///< ireg[dst] = ireg[src1]
+  kIAdd,     ///< ireg[dst] = ireg[src1] + ireg[src2]
+  kISub,     ///< ireg[dst] = ireg[src1] - ireg[src2]
+  kIMul,     ///< ireg[dst] = ireg[src1] * ireg[src2]  (multi-cycle)
+  kIDiv,     ///< ireg[dst] = ireg[src1] / ireg[src2]  (multi-cycle, src2!=0)
+  kIAddImm,  ///< ireg[dst] = ireg[src1] + imm
+  kIAnd,     ///< ireg[dst] = ireg[src1] & ireg[src2]
+  kIXor,     ///< ireg[dst] = ireg[src1] ^ ireg[src2]
+  kIShl,     ///< ireg[dst] = ireg[src1] << (imm & 63)
+  kIShr,     ///< ireg[dst] = ireg[src1] >> (imm & 63) (logical)
+  kICmpLt,   ///< ireg[dst] = ireg[src1] < ireg[src2] ? 1 : 0
+  // Floating point.
+  kFConst,   ///< freg[dst] = fimm
+  kFMove,    ///< freg[dst] = freg[src1]
+  kFAdd,     ///< freg[dst] = freg[src1] + freg[src2]
+  kFSub,     ///< freg[dst] = freg[src1] - freg[src2]
+  kFMul,     ///< freg[dst] = freg[src1] * freg[src2]
+  kFDiv,     ///< freg[dst] = freg[src1] / freg[src2]  (value-dependent lat.)
+  kFSqrt,    ///< freg[dst] = sqrt(|freg[src1]|)       (value-dependent lat.)
+  kFAbs,     ///< freg[dst] = |freg[src1]|
+  kFNeg,     ///< freg[dst] = -freg[src1]
+  kFCmpLt,   ///< ireg[dst] = freg[src1] < freg[src2] ? 1 : 0
+  kIToF,     ///< freg[dst] = double(ireg[src1])
+  kFToI,     ///< ireg[dst] = int64(freg[src1])
+  // Memory. Effective element index = ireg[src1] + imm; byte address =
+  // array base + index * element size. Integer arrays hold 32-bit words,
+  // FP arrays hold 64-bit doubles.
+  kLoadI,    ///< ireg[dst] = intarray[array][idx]
+  kStoreI,   ///< intarray[array][idx] = ireg[src2]
+  kLoadF,    ///< freg[dst] = fparray[array][idx]
+  kStoreF,   ///< fparray[array][idx] = freg[src2]
+  // Control (block terminators).
+  kJump,          ///< goto target
+  kBranchIfZero,  ///< ireg[src1] == 0 ? goto target : goto target2
+  kBranchIfNeg,   ///< ireg[src1] <  0 ? goto target : goto target2
+  kHalt,          ///< end of program
+};
+
+/// True for the four terminator operations.
+bool IsControl(IrOp op);
+
+/// One IR instruction. Unused fields are left at their defaults.
+struct IrInst {
+  IrOp op = IrOp::kHalt;
+  RegId dst = 0;
+  RegId src1 = 0;
+  RegId src2 = 0;
+  std::int64_t imm = 0;
+  double fimm = 0.0;
+  ArrayId array = 0;
+  BlockId target = -1;   ///< Taken/jump successor.
+  BlockId target2 = -1;  ///< Fall-through successor (branches only).
+};
+
+/// A data object: a named array of 32-bit ints or 64-bit doubles.
+struct DataObject {
+  std::string name;
+  std::size_t elem_count = 0;
+  bool is_fp = false;       ///< true: doubles (8B); false: int32 words (4B).
+  Address base = 0;         ///< Byte base address (set by AssignLayout).
+
+  std::size_t elem_size() const { return is_fp ? 8 : 4; }
+  std::size_t byte_size() const { return elem_count * elem_size(); }
+};
+
+/// A straight-line code region ending in one control instruction.
+struct BasicBlock {
+  std::vector<IrInst> insts;
+  Address code_base = 0;  ///< Byte address of the first instruction.
+};
+
+/// A complete program: blocks + data objects + entry point.
+struct Program {
+  std::string name;
+  std::vector<BasicBlock> blocks;
+  std::vector<DataObject> arrays;
+  BlockId entry = 0;
+
+  /// Assigns code addresses (blocks laid out contiguously from `code_base`,
+  /// 4 bytes per instruction) and data addresses (arrays laid out from
+  /// `data_base + link_offset`, 64-byte aligned). The link offset models
+  /// relinking the binary at a different address. When `layout_seed` is
+  /// nonzero, a deterministic pseudo-random 0..4032-byte gap is inserted
+  /// before every array — modeling a different link map (section order /
+  /// padding), which changes the *relative* cache alignment of the data
+  /// objects. Relative alignment is what decides conflict misses on a
+  /// deterministic cache and is irrelevant under random placement.
+  void AssignLayout(Address code_base = 0x40000000,
+                    Address data_base = 0x40100000,
+                    std::uint64_t link_offset = 0,
+                    std::uint64_t layout_seed = 0);
+
+  /// Checks structural well-formedness (every block terminated exactly once,
+  /// valid targets/registers/arrays, entry in range). Aborts via SPTA_CHECK
+  /// with a precise message on violation; returns normally when valid.
+  void Validate() const;
+
+  /// Total static instruction count across blocks.
+  std::size_t StaticInstructionCount() const;
+};
+
+/// Convenience construction API: keeps a current block and exposes one
+/// emit method per IR operation, so workload definitions read like assembly.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  /// Declares an int32 array of `elems` elements; returns its id.
+  ArrayId AddIntArray(std::string name, std::size_t elems);
+  /// Declares a double array of `elems` elements; returns its id.
+  ArrayId AddFpArray(std::string name, std::size_t elems);
+
+  /// Creates a new (empty) block and returns its id. Does not switch to it.
+  BlockId NewBlock();
+  /// Directs subsequent Emit* calls to `block`.
+  void SwitchTo(BlockId block);
+  /// Sets the entry block.
+  void SetEntry(BlockId block);
+  BlockId current() const { return current_; }
+
+  // One emitter per operation; all append to the current block.
+  void IConst(RegId dst, std::int64_t v);
+  void IMove(RegId dst, RegId src);
+  void IAdd(RegId dst, RegId a, RegId b);
+  void ISub(RegId dst, RegId a, RegId b);
+  void IMul(RegId dst, RegId a, RegId b);
+  void IDiv(RegId dst, RegId a, RegId b);
+  void IAddImm(RegId dst, RegId a, std::int64_t imm);
+  void IAnd(RegId dst, RegId a, RegId b);
+  void IXor(RegId dst, RegId a, RegId b);
+  void IShl(RegId dst, RegId a, std::int64_t sh);
+  void IShr(RegId dst, RegId a, std::int64_t sh);
+  void ICmpLt(RegId dst, RegId a, RegId b);
+  void FConst(RegId dst, double v);
+  void FMove(RegId dst, RegId src);
+  void FAdd(RegId dst, RegId a, RegId b);
+  void FSub(RegId dst, RegId a, RegId b);
+  void FMul(RegId dst, RegId a, RegId b);
+  void FDiv(RegId dst, RegId a, RegId b);
+  void FSqrt(RegId dst, RegId a);
+  void FAbs(RegId dst, RegId a);
+  void FNeg(RegId dst, RegId a);
+  void FCmpLt(RegId dst, RegId a, RegId b);
+  void IToF(RegId dst, RegId src);
+  void FToI(RegId dst, RegId src);
+  void LoadI(RegId dst, ArrayId arr, RegId idx, std::int64_t offset = 0);
+  void StoreI(ArrayId arr, RegId idx, RegId value, std::int64_t offset = 0);
+  void LoadF(RegId dst, ArrayId arr, RegId idx, std::int64_t offset = 0);
+  void StoreF(ArrayId arr, RegId idx, RegId value, std::int64_t offset = 0);
+  void Jump(BlockId target);
+  void BranchIfZero(RegId cond, BlockId if_zero, BlockId otherwise);
+  void BranchIfNeg(RegId cond, BlockId if_neg, BlockId otherwise);
+  void Halt();
+
+  /// Finalizes: validates, assigns the default layout, and returns the
+  /// program (the builder is left empty).
+  Program Build(std::uint64_t link_offset = 0);
+
+ private:
+  void Emit(IrInst inst);
+
+  Program program_;
+  BlockId current_ = -1;
+};
+
+}  // namespace spta::trace

@@ -1,0 +1,116 @@
+#include "trace/synthetic.hpp"
+
+#include "common/assert.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace spta::trace {
+
+Trace SequentialTrace(Address base, std::size_t count, std::size_t stride,
+                      OpClass op) {
+  SPTA_REQUIRE(op == OpClass::kLoad || op == OpClass::kStore);
+  Trace t;
+  t.records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.pc = 0x40000000 + 4 * (i % 256);
+    r.op = op;
+    r.mem_addr = base + i * stride;
+    t.records.push_back(r);
+  }
+  t.path_signature = 1;
+  return t;
+}
+
+Trace UniformRandomTrace(Address base, std::size_t region_bytes,
+                         std::size_t count, std::uint64_t seed) {
+  SPTA_REQUIRE(region_bytes >= 4);
+  prng::Xoshiro128pp rng(seed);
+  const auto words = static_cast<std::uint32_t>(region_bytes / 4);
+  Trace t;
+  t.records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.pc = 0x40000000 + 4 * (i % 256);
+    r.op = OpClass::kLoad;
+    r.mem_addr = base + 4ULL * rng.UniformBelow(words);
+    t.records.push_back(r);
+  }
+  t.path_signature = 2;
+  return t;
+}
+
+Trace LoopingTrace(Address base, std::size_t footprint_bytes,
+                   std::size_t stride, std::size_t iterations) {
+  SPTA_REQUIRE(stride > 0 && footprint_bytes >= stride);
+  Trace t;
+  const std::size_t per_pass = footprint_bytes / stride;
+  t.records.reserve(per_pass * iterations);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < per_pass; ++i) {
+      TraceRecord r;
+      r.pc = 0x40000000 + 4 * (i % 64);
+      r.op = OpClass::kLoad;
+      r.mem_addr = base + i * stride;
+      t.records.push_back(r);
+    }
+  }
+  t.path_signature = 3;
+  return t;
+}
+
+Trace BlendTrace(const BlendSpec& spec, std::uint64_t seed) {
+  SPTA_REQUIRE(spec.load_pm + spec.store_pm + spec.branch_pm + spec.fp_pm <=
+               1000);
+  SPTA_REQUIRE(spec.code_bytes >= 4 && spec.data_bytes >= 4);
+  prng::Xoshiro128pp rng(seed);
+  const auto code_words = static_cast<std::uint32_t>(spec.code_bytes / 4);
+  const auto data_words = static_cast<std::uint32_t>(spec.data_bytes / 4);
+  Trace t;
+  t.records.reserve(spec.count);
+  std::uint32_t pc_word = 0;
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    TraceRecord r;
+    r.pc = spec.code_base + 4ULL * pc_word;
+    const unsigned roll = rng.UniformBelow(1000);
+    if (roll < spec.load_pm) {
+      r.op = OpClass::kLoad;
+      r.mem_addr = spec.data_base + 4ULL * rng.UniformBelow(data_words);
+    } else if (roll < spec.load_pm + spec.store_pm) {
+      r.op = OpClass::kStore;
+      r.mem_addr = spec.data_base + 4ULL * rng.UniformBelow(data_words);
+    } else if (roll < spec.load_pm + spec.store_pm + spec.branch_pm) {
+      r.op = OpClass::kBranch;
+      r.branch_taken = (rng.Next() & 1u) != 0;
+      if (r.branch_taken) {
+        pc_word = rng.UniformBelow(code_words);
+        t.records.push_back(r);
+        continue;
+      }
+    } else if (roll <
+               spec.load_pm + spec.store_pm + spec.branch_pm + spec.fp_pm) {
+      // Mostly pipelined FP; occasionally the jittery operations.
+      const unsigned fp_roll = rng.UniformBelow(10);
+      if (fp_roll == 0) {
+        r.op = OpClass::kFpDiv;
+        r.fpu_operand_class =
+            static_cast<std::uint8_t>(rng.UniformBelow(kFpuOperandClasses));
+      } else if (fp_roll == 1) {
+        r.op = OpClass::kFpSqrt;
+        r.fpu_operand_class =
+            static_cast<std::uint8_t>(rng.UniformBelow(kFpuOperandClasses));
+      } else if (fp_roll < 6) {
+        r.op = OpClass::kFpAdd;
+      } else {
+        r.op = OpClass::kFpMul;
+      }
+    } else {
+      r.op = OpClass::kIntAlu;
+    }
+    pc_word = (pc_word + 1) % code_words;
+    t.records.push_back(r);
+  }
+  t.path_signature = 4;
+  return t;
+}
+
+}  // namespace spta::trace

@@ -1,0 +1,45 @@
+// Synthetic raw-trace generators.
+//
+// Cache/TLB/bus unit tests and several ablation benches need address streams
+// with a controlled structure, without going through the program IR. All
+// generators are deterministic in their arguments (and seed).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+
+namespace spta::trace {
+
+/// `count` loads walking `base, base+stride, base+2*stride, ...`.
+Trace SequentialTrace(Address base, std::size_t count, std::size_t stride,
+                      OpClass op = OpClass::kLoad);
+
+/// `count` loads at uniformly random word-aligned addresses within
+/// [base, base+region_bytes).
+Trace UniformRandomTrace(Address base, std::size_t region_bytes,
+                         std::size_t count, std::uint64_t seed);
+
+/// `iterations` passes over a working set of `footprint_bytes`, accessed
+/// with `stride`-byte steps — a loop nest's classic reuse pattern.
+Trace LoopingTrace(Address base, std::size_t footprint_bytes,
+                   std::size_t stride, std::size_t iterations);
+
+/// A blend resembling compiled control code: `count` instructions with the
+/// given per-mille rates of loads/stores/branches/FP ops (remainder integer
+/// ALU), instruction fetch walking a code region of `code_bytes`, data
+/// accesses uniform over `data_bytes`.
+struct BlendSpec {
+  std::size_t count = 10000;
+  unsigned load_pm = 250;    ///< loads per mille
+  unsigned store_pm = 100;   ///< stores per mille
+  unsigned branch_pm = 150;  ///< branches per mille
+  unsigned fp_pm = 50;       ///< FP (incl. some fdiv/fsqrt) per mille
+  std::size_t code_bytes = 8192;
+  std::size_t data_bytes = 32768;
+  Address code_base = 0x40000000;
+  Address data_base = 0x40100000;
+};
+Trace BlendTrace(const BlendSpec& spec, std::uint64_t seed);
+
+}  // namespace spta::trace

@@ -1,0 +1,94 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace spta::trace {
+namespace {
+
+// All scalars little-endian, fixed width; one record = 24 bytes.
+template <typename T>
+void Put(std::ostream& out, T value) {
+  unsigned char buf[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(
+        static_cast<std::uint64_t>(value) >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+template <typename T>
+T Get(std::istream& in) {
+  unsigned char buf[sizeof(T)];
+  in.read(reinterpret_cast<char*>(buf), sizeof(T));
+  SPTA_REQUIRE_MSG(in.good(), "truncated trace stream");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+}  // namespace
+
+void WriteTrace(std::ostream& out, const Trace& t) {
+  Put<std::uint32_t>(out, kTraceMagic);
+  Put<std::uint32_t>(out, kTraceVersion);
+  Put<std::uint64_t>(out, t.path_signature);
+  Put<std::uint64_t>(out, t.records.size());
+  for (const auto& r : t.records) {
+    Put<std::uint64_t>(out, r.pc);
+    Put<std::uint64_t>(out, r.mem_addr);
+    Put<std::uint8_t>(out, static_cast<std::uint8_t>(r.op));
+    Put<std::uint8_t>(out, r.fpu_operand_class);
+    Put<std::uint8_t>(out, r.branch_taken ? 1 : 0);
+    Put<std::uint8_t>(out, r.dst_reg);
+    Put<std::uint8_t>(out, r.src1_reg);
+    Put<std::uint8_t>(out, r.src2_reg);
+  }
+  SPTA_CHECK_MSG(out.good(), "trace write failed");
+}
+
+Trace ReadTrace(std::istream& in) {
+  SPTA_REQUIRE_MSG(Get<std::uint32_t>(in) == kTraceMagic,
+                   "not a SpacePTA trace (bad magic)");
+  SPTA_REQUIRE_MSG(Get<std::uint32_t>(in) == kTraceVersion,
+                   "unsupported trace version");
+  Trace t;
+  t.path_signature = Get<std::uint64_t>(in);
+  const std::uint64_t count = Get<std::uint64_t>(in);
+  SPTA_REQUIRE_MSG(count <= (1ULL << 32), "implausible record count");
+  t.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.pc = Get<std::uint64_t>(in);
+    r.mem_addr = Get<std::uint64_t>(in);
+    const auto op = Get<std::uint8_t>(in);
+    SPTA_REQUIRE_MSG(op <= static_cast<std::uint8_t>(OpClass::kNop),
+                     "corrupt op class " << static_cast<int>(op));
+    r.op = static_cast<OpClass>(op);
+    r.fpu_operand_class = Get<std::uint8_t>(in);
+    SPTA_REQUIRE(r.fpu_operand_class < kFpuOperandClasses);
+    r.branch_taken = Get<std::uint8_t>(in) != 0;
+    r.dst_reg = Get<std::uint8_t>(in);
+    r.src1_reg = Get<std::uint8_t>(in);
+    r.src2_reg = Get<std::uint8_t>(in);
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+void SaveTraceFile(const std::string& path, const Trace& t) {
+  std::ofstream out(path, std::ios::binary);
+  SPTA_REQUIRE_MSG(out.good(), "cannot open '" << path << "' for writing");
+  WriteTrace(out, t);
+}
+
+Trace LoadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SPTA_REQUIRE_MSG(in.good(), "cannot open '" << path << "'");
+  return ReadTrace(in);
+}
+
+}  // namespace spta::trace

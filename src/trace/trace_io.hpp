@@ -1,0 +1,33 @@
+// Trace serialization: a compact, versioned binary format.
+//
+// Lets a trace be recorded once (an expensive interpretation or an
+// externally captured instruction stream) and re-simulated many times
+// under different platform configurations — the record/replay workflow of
+// trace-driven simulators. The format is little-endian, self-describing
+// (magic + version + record count) and validated on load.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace spta::trace {
+
+/// Format identity (bumped on layout changes).
+inline constexpr std::uint32_t kTraceMagic = 0x53505441;  // "SPTA"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Writes `t` to `out`. The stream must be binary-clean.
+void WriteTrace(std::ostream& out, const Trace& t);
+
+/// Reads a trace written by WriteTrace. Aborts (precondition) on a bad
+/// magic/version or a truncated stream.
+Trace ReadTrace(std::istream& in);
+
+/// Convenience file wrappers; abort on I/O failure.
+void SaveTraceFile(const std::string& path, const Trace& t);
+Trace LoadTraceFile(const std::string& path);
+
+}  // namespace spta::trace

@@ -1,0 +1,165 @@
+// Tests for the Nelder-Mead optimizer, GEV maximum likelihood, and the
+// reuse-distance profiler (including cross-validation against the cache
+// simulator).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/reuse.hpp"
+#include "evt/gev.hpp"
+#include "prng/xoshiro.hpp"
+#include "sim/cache.hpp"
+#include "stats/optimize.hpp"
+#include "trace/synthetic.hpp"
+
+namespace spta {
+namespace {
+
+TEST(NelderMeadTest, MinimizesQuadratic) {
+  const auto r = stats::NelderMead(
+      [](const std::vector<double>& p) {
+        return (p[0] - 3.0) * (p[0] - 3.0) + 2.0 * (p[1] + 1.0) * (p[1] + 1.0);
+      },
+      {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-7);
+}
+
+TEST(NelderMeadTest, MinimizesRosenbrock) {
+  const auto r = stats::NelderMead(
+      [](const std::vector<double>& p) {
+        const double a = 1.0 - p[0];
+        const double b = p[1] - p[0] * p[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.2, 1.0}, {0.1, 0.1}, 5000);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, HandlesInfeasibleRegions) {
+  // Objective infinite for x < 0: minimum at the boundary-near point 0.5.
+  const auto r = stats::NelderMead(
+      [](const std::vector<double>& p) {
+        if (p[0] < 0.0) return std::numeric_limits<double>::infinity();
+        return (p[0] - 0.5) * (p[0] - 0.5);
+      },
+      {2.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-4);
+}
+
+TEST(NelderMeadTest, OneDimensional) {
+  const auto r = stats::NelderMead(
+      [](const std::vector<double>& p) { return std::cos(p[0]); }, {3.0});
+  EXPECT_NEAR(r.x[0], M_PI, 1e-4);
+}
+
+std::vector<double> GevSample(const evt::GevDist& d, std::size_t n,
+                              std::uint64_t seed) {
+  prng::Xoshiro128pp rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    x = d.Quantile(std::min(std::max(rng.UniformUnit(), 1e-12), 1.0 - 1e-12));
+  }
+  return xs;
+}
+
+TEST(GevMleTest, RecoversParameters) {
+  const evt::GevDist truth{100.0, 8.0, 0.15};
+  const auto xs = GevSample(truth, 20000, 31);
+  const auto fit = evt::FitGevMle(xs);
+  EXPECT_NEAR(fit.mu, truth.mu, 0.5);
+  EXPECT_NEAR(fit.sigma, truth.sigma, 0.4);
+  EXPECT_NEAR(fit.xi, truth.xi, 0.03);
+}
+
+TEST(GevMleTest, NeverWorseThanPwm) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const evt::GevDist truth{50.0, 5.0, -0.2};
+    const auto xs = GevSample(truth, 2000, 100 + seed);
+    const auto pwm = evt::FitGevPwm(xs);
+    const auto mle = evt::FitGevMle(xs);
+    EXPECT_GE(mle.LogLikelihood(xs), pwm.LogLikelihood(xs) - 1e-9);
+  }
+}
+
+TEST(GevMleTest, LikelihoodRejectsOutOfSupport) {
+  const evt::GevDist heavy{0.0, 1.0, 0.5};  // support x > -2
+  const std::vector<double> bad = {-5.0, 1.0};
+  EXPECT_EQ(heavy.LogLikelihood(bad),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(ReuseProfileTest, SequentialStreamIsAllCold) {
+  const auto t = trace::SequentialTrace(0x1000, 100, 32);
+  const analysis::ReuseProfile profile(t, 32);
+  EXPECT_EQ(profile.accesses(), 100u);
+  EXPECT_EQ(profile.cold_misses(), 100u);
+  EXPECT_EQ(profile.PredictedLruMisses(4), 100u);
+}
+
+TEST(ReuseProfileTest, ImmediateReuseHasDistanceZero) {
+  // Two back-to-back accesses to the same line.
+  trace::Trace t;
+  for (int i = 0; i < 2; ++i) {
+    trace::TraceRecord r;
+    r.op = trace::OpClass::kLoad;
+    r.mem_addr = 0x1000;
+    t.records.push_back(r);
+  }
+  const analysis::ReuseProfile profile(t, 32);
+  EXPECT_EQ(profile.cold_misses(), 1u);
+  EXPECT_EQ(profile.CountAtDistance(0), 1u);
+}
+
+TEST(ReuseProfileTest, LoopingTraceDistancesMatchFootprint) {
+  // 16 lines looped 4 times: each reuse has distance 15.
+  const auto t = trace::LoopingTrace(0x2000, 16 * 32, 32, 4);
+  const analysis::ReuseProfile profile(t, 32);
+  EXPECT_EQ(profile.cold_misses(), 16u);
+  EXPECT_EQ(profile.CountAtDistance(15), 3u * 16u);
+  // A 16-line LRU cache captures all reuse; a 15-line one captures none.
+  EXPECT_EQ(profile.PredictedLruMisses(16), 16u);
+  EXPECT_EQ(profile.PredictedLruMisses(15), 16u + 48u);
+  EXPECT_EQ(profile.WorkingSetLines(0.7), 16u);
+}
+
+TEST(ReuseProfileTest, PredictsFullyAssociativeLruSimulator) {
+  // Cross-validation: a fully associative LRU cache in the simulator must
+  // miss exactly as often as the stack-distance model predicts.
+  trace::BlendSpec spec;
+  spec.count = 20000;
+  spec.data_bytes = 16384;
+  const auto t = trace::BlendTrace(spec, 17);
+  const analysis::ReuseProfile profile(t, 32);
+
+  // Fully associative: 1 set x N ways.
+  constexpr std::uint32_t kLines = 64;
+  sim::CacheConfig cfg{kLines * 32, 32, kLines, sim::Placement::kModulo,
+                       sim::Replacement::kLru};
+  sim::Cache cache(cfg, 1);
+  for (const auto& rec : t.records) {
+    if (rec.op == trace::OpClass::kLoad ||
+        rec.op == trace::OpClass::kStore) {
+      cache.Access(rec.mem_addr, /*allocate_on_miss=*/true);
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, profile.PredictedLruMisses(kLines));
+}
+
+TEST(ReuseProfileTest, IgnoresNonMemoryRecords) {
+  trace::BlendSpec spec;
+  spec.count = 5000;
+  const auto t = trace::BlendTrace(spec, 3);
+  const analysis::ReuseProfile profile(t, 32);
+  std::uint64_t mem = 0;
+  for (const auto& r : t.records) {
+    mem += r.op == trace::OpClass::kLoad || r.op == trace::OpClass::kStore;
+  }
+  EXPECT_EQ(profile.accesses(), mem);
+}
+
+}  // namespace
+}  // namespace spta

@@ -1,0 +1,91 @@
+// Tests for pWCET backtesting and PoT threshold sweeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "evt/gumbel.hpp"
+#include "evt/threshold.hpp"
+#include "mbpta/backtest.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace spta {
+namespace {
+
+std::vector<double> GumbelSample(double mu, double beta, std::size_t n,
+                                 std::uint64_t seed) {
+  prng::Xoshiro128pp rng(seed);
+  evt::GumbelDist d{mu, beta};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = d.Quantile(std::max(rng.UniformUnit(), 1e-12));
+  return xs;
+}
+
+TEST(BacktestTest, ConsistentOnStationaryData) {
+  const auto xs = GumbelSample(1000.0, 25.0, 4000, 3);
+  const auto r = mbpta::SplitBacktest(xs);
+  EXPECT_EQ(r.analysis_runs, 2000u);
+  EXPECT_EQ(r.validation_runs, 2000u);
+  ASSERT_GE(r.points.size(), 2u);
+  EXPECT_TRUE(r.AllConsistent());
+  for (const auto& pt : r.points) {
+    // At p=0.1 the observed count should be in the right ballpark.
+    if (pt.nominal_prob == 0.1) {
+      EXPECT_NEAR(static_cast<double>(pt.observed), 200.0, 60.0);
+    }
+  }
+}
+
+TEST(BacktestTest, DetectsDistributionShift) {
+  // Validation half drawn from a slower distribution: the analysis-half
+  // fit must be violated.
+  auto xs = GumbelSample(1000.0, 25.0, 4000, 4);
+  for (std::size_t i = 2000; i < xs.size(); ++i) xs[i] += 120.0;
+  const auto r = mbpta::SplitBacktest(xs);
+  EXPECT_FALSE(r.AllConsistent());
+}
+
+TEST(BacktestTest, SkipsUnderpoweredProbabilities) {
+  const auto xs = GumbelSample(500.0, 10.0, 400, 5);
+  const double probs[] = {0.1, 1e-6};  // 1e-6 * 200 << 2: skipped
+  const auto r = mbpta::BacktestPwcet(
+      std::span<const double>(xs).subspan(0, 200),
+      std::span<const double>(xs).subspan(200), probs);
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.points[0].nominal_prob, 0.1);
+}
+
+TEST(BacktestTest, BoundsGrowAsProbabilityDrops) {
+  const auto xs = GumbelSample(1000.0, 25.0, 4000, 6);
+  const auto r = mbpta::SplitBacktest(xs);
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    EXPECT_LT(r.points[i - 1].nominal_prob, 1.0);
+    EXPECT_GT(r.points[i].bound, r.points[i - 1].bound);
+  }
+}
+
+TEST(ThresholdSweepTest, ProducesMonotoneThresholds) {
+  const auto xs = GumbelSample(1000.0, 25.0, 5000, 7);
+  const auto sweep = evt::SweepThresholds(xs);
+  ASSERT_GE(sweep.points.size(), 3u);
+  for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+    EXPECT_GE(sweep.points[i].threshold, sweep.points[i - 1].threshold);
+    EXPECT_LE(sweep.points[i].excesses, sweep.points[i - 1].excesses);
+  }
+  EXPECT_GE(sweep.chosen, 0);
+}
+
+TEST(ThresholdSweepTest, ChosenQuantileNearTruthForGumbel) {
+  const evt::GumbelDist truth{1000.0, 25.0};
+  const auto xs = GumbelSample(truth.mu, truth.beta, 20000, 8);
+  const auto sweep = evt::SweepThresholds(xs, 1e-6);
+  const double true_q = truth.Quantile(1.0 - 1e-6);
+  EXPECT_NEAR(sweep.chosen_point().q_deep, true_q, 0.12 * true_q);
+}
+
+TEST(ThresholdSweepDeathTest, TooLittleDataRejected) {
+  const auto xs = GumbelSample(0.0, 1.0, 100, 9);
+  EXPECT_DEATH(evt::SweepThresholds(xs), "");
+}
+
+}  // namespace
+}  // namespace spta

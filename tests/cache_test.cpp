@@ -1,0 +1,241 @@
+// Tests for the set-associative cache model: hit/miss semantics, each
+// replacement policy, each placement policy (including the random-modulo
+// no-self-conflict guarantee), flush/reseed behavior.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/cache.hpp"
+
+namespace spta::sim {
+namespace {
+
+CacheConfig SmallCache(Placement p, Replacement r) {
+  // 8 sets x 2 ways x 32B lines = 512B: easy to reason about.
+  return CacheConfig{512, 32, 2, p, r};
+}
+
+TEST(CacheTest, MissThenHitOnSameLine) {
+  Cache c(SmallCache(Placement::kModulo, Replacement::kLru), 1);
+  EXPECT_FALSE(c.Access(0x1000));
+  EXPECT_TRUE(c.Access(0x1000));
+  EXPECT_TRUE(c.Access(0x101f));  // same 32B line
+  EXPECT_FALSE(c.Access(0x1020)); // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(CacheTest, AssociativityHoldsConflictingLines) {
+  Cache c(SmallCache(Placement::kModulo, Replacement::kLru), 1);
+  // Two lines mapping to set 0 fit in 2 ways.
+  const Address a = 0;
+  const Address b = 8 * 32;  // same set (8 sets)
+  c.Access(a);
+  c.Access(b);
+  EXPECT_TRUE(c.Access(a));
+  EXPECT_TRUE(c.Access(b));
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  Cache c(SmallCache(Placement::kModulo, Replacement::kLru), 1);
+  const Address a = 0;
+  const Address b = 8 * 32;
+  const Address d = 16 * 32;  // third line in set 0
+  c.Access(a);
+  c.Access(b);
+  c.Access(a);  // a is now MRU
+  c.Access(d);  // evicts b
+  EXPECT_TRUE(c.Access(a));
+  EXPECT_FALSE(c.Access(b));
+}
+
+TEST(CacheTest, NruEvictsUnreferenced) {
+  Cache c(SmallCache(Placement::kModulo, Replacement::kNru), 1);
+  const Address a = 0;
+  const Address b = 8 * 32;
+  const Address d = 16 * 32;
+  c.Access(a);
+  c.Access(b);
+  // All referenced; inserting d clears reference bits and evicts way 0 (a).
+  c.Access(d);
+  EXPECT_FALSE(c.Access(a));
+}
+
+TEST(CacheTest, NoAllocateLeavesCacheCold) {
+  Cache c(SmallCache(Placement::kModulo, Replacement::kLru), 1);
+  EXPECT_FALSE(c.Access(0x40, /*allocate_on_miss=*/false));
+  EXPECT_FALSE(c.Access(0x40, /*allocate_on_miss=*/false));
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(CacheTest, WriteNoAllocateStillUpdatesOnHit) {
+  Cache c(SmallCache(Placement::kModulo, Replacement::kLru), 1);
+  c.Access(0x40, true);
+  EXPECT_TRUE(c.Access(0x40, false));
+}
+
+TEST(CacheTest, FlushInvalidatesEverything) {
+  Cache c(SmallCache(Placement::kModulo, Replacement::kLru), 1);
+  for (Address a = 0; a < 512; a += 32) c.Access(a);
+  c.Flush();
+  EXPECT_FALSE(c.Access(0));
+}
+
+TEST(CacheTest, ModuloPlacementIsSeedInvariant) {
+  Cache c1(SmallCache(Placement::kModulo, Replacement::kLru), 1);
+  Cache c2(SmallCache(Placement::kModulo, Replacement::kLru), 999);
+  for (Address a = 0; a < 64 * 32; a += 32) {
+    EXPECT_EQ(c1.SetIndexFor(a), c2.SetIndexFor(a));
+  }
+  EXPECT_EQ(c1.SetIndexFor(0), 0u);
+  EXPECT_EQ(c1.SetIndexFor(9 * 32), 1u);
+}
+
+TEST(CacheTest, RandomModuloDependsOnSeed) {
+  Cache c1(SmallCache(Placement::kRandomModulo, Replacement::kLru), 1);
+  Cache c2(SmallCache(Placement::kRandomModulo, Replacement::kLru), 2);
+  int diffs = 0;
+  for (Address a = 0; a < 64 * 32; a += 32) {
+    diffs += c1.SetIndexFor(a) != c2.SetIndexFor(a);
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST(CacheTest, RandomModuloNeverSelfConflictsWithinTagGroup) {
+  // The DAC-2016 property: lines sharing a tag map to DISTINCT sets, so a
+  // unit-stride walk cannot evict itself. Check across many seeds.
+  for (Seed seed = 0; seed < 50; ++seed) {
+    Cache c(SmallCache(Placement::kRandomModulo, Replacement::kLru), seed);
+    // One tag group = 8 consecutive lines (8 sets).
+    std::set<std::uint32_t> sets;
+    for (Address a = 0x4000; a < 0x4000 + 8 * 32; a += 32) {
+      sets.insert(c.SetIndexFor(a));
+    }
+    EXPECT_EQ(sets.size(), 8u) << "seed " << seed;
+  }
+}
+
+TEST(CacheTest, HashRandomCanSelfConflictButCoversSets) {
+  // Hash placement trades the no-self-conflict guarantee for more mixing:
+  // over many lines all sets get used.
+  Cache c(SmallCache(Placement::kHashRandom, Replacement::kLru), 3);
+  std::set<std::uint32_t> sets;
+  for (Address a = 0; a < 1024 * 32; a += 32) {
+    sets.insert(c.SetIndexFor(a));
+  }
+  EXPECT_EQ(sets.size(), 8u);
+}
+
+TEST(CacheTest, ReseedChangesMappingAndFlushes) {
+  Cache c(SmallCache(Placement::kRandomModulo, Replacement::kRandom), 1);
+  c.Access(0x1000);
+  std::vector<std::uint32_t> before;
+  for (Address a = 0; a < 32 * 32; a += 32) before.push_back(c.SetIndexFor(a));
+  c.Reseed(12345);
+  EXPECT_FALSE(c.Access(0x1000));  // flushed
+  int diffs = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    diffs += before[i] != c.SetIndexFor(static_cast<Address>(i) * 32);
+  }
+  EXPECT_GT(diffs, 5);
+}
+
+TEST(CacheTest, RandomReplacementIsSeedDeterministic) {
+  const auto run = [](Seed s) {
+    Cache c(SmallCache(Placement::kModulo, Replacement::kRandom), s);
+    std::uint64_t misses = 0;
+    // Three conflicting lines in a 2-way set force constant evictions.
+    for (int i = 0; i < 300; ++i) {
+      misses += !c.Access(static_cast<Address>(i % 3) * 8 * 32);
+    }
+    return misses;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(CacheTest, RandomReplacementVariesAcrossSeeds) {
+  std::set<std::uint64_t> distinct;
+  for (Seed s = 0; s < 10; ++s) {
+    Cache c(SmallCache(Placement::kModulo, Replacement::kRandom), s);
+    std::uint64_t misses = 0;
+    for (int i = 0; i < 300; ++i) {
+      misses += !c.Access(static_cast<Address>(i % 3) * 8 * 32);
+    }
+    distinct.insert(misses);
+  }
+  EXPECT_GT(distinct.size(), 3u);
+}
+
+TEST(CacheTest, MissesNeverExceedAccesses) {
+  Cache c(SmallCache(Placement::kHashRandom, Replacement::kRandom), 9);
+  for (Address a = 0; a < 4096; a += 4) c.Access(a);
+  EXPECT_LE(c.stats().misses, c.stats().accesses);
+  EXPECT_EQ(c.stats().accesses, 1024u);
+}
+
+TEST(CacheTest, Leon3GeometryIsPaperSpec) {
+  const CacheConfig cfg{16 * 1024, 32, 4, Placement::kModulo,
+                        Replacement::kLru};
+  EXPECT_EQ(cfg.num_sets(), 128u);
+}
+
+// Property sweep over all placement x replacement combinations: basic
+// invariants must hold for every policy pairing.
+struct PolicyCase {
+  Placement placement;
+  Replacement replacement;
+};
+
+class CachePolicySweep : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(CachePolicySweep, WorkingSetSmallerThanCacheEventuallyAllHits) {
+  const auto [pl, re] = GetParam();
+  Cache c(CacheConfig{4096, 32, 4, pl, re}, 5);
+  // 16 lines in a 128-line cache; for random-modulo and modulo a contiguous
+  // region never self-conflicts; for hash placement collisions can occur
+  // but 16 lines in 32 sets x 4 ways virtually never exceed a set.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (Address a = 0; a < 16 * 32; a += 32) c.Access(a);
+  }
+  // After warm-up, misses are only the 16 cold ones (allow 4 collisions
+  // worth of slack for hash placement).
+  EXPECT_LE(c.stats().misses, 20u);
+}
+
+TEST_P(CachePolicySweep, SetIndexAlwaysInRange) {
+  const auto [pl, re] = GetParam();
+  Cache c(CacheConfig{2048, 32, 2, pl, re}, 77);
+  for (Address a = 0; a < 1 << 20; a += 4093) {
+    EXPECT_LT(c.SetIndexFor(a), c.config().num_sets());
+  }
+}
+
+TEST_P(CachePolicySweep, DeterministicGivenSeed) {
+  const auto [pl, re] = GetParam();
+  const auto run = [&](Seed s) {
+    Cache c(CacheConfig{1024, 32, 2, pl, re}, s);
+    std::uint64_t misses = 0;
+    for (int i = 0; i < 2000; ++i) {
+      misses += !c.Access(static_cast<Address>((i * 7919) % 4096) & ~31ULL);
+    }
+    return misses;
+  };
+  EXPECT_EQ(run(3), run(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, CachePolicySweep,
+    ::testing::Values(
+        PolicyCase{Placement::kModulo, Replacement::kLru},
+        PolicyCase{Placement::kModulo, Replacement::kRandom},
+        PolicyCase{Placement::kModulo, Replacement::kNru},
+        PolicyCase{Placement::kRandomModulo, Replacement::kLru},
+        PolicyCase{Placement::kRandomModulo, Replacement::kRandom},
+        PolicyCase{Placement::kRandomModulo, Replacement::kNru},
+        PolicyCase{Placement::kHashRandom, Replacement::kLru},
+        PolicyCase{Placement::kHashRandom, Replacement::kRandom},
+        PolicyCase{Placement::kHashRandom, Replacement::kNru}));
+
+}  // namespace
+}  // namespace spta::sim

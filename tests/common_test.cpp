@@ -1,0 +1,163 @@
+// Unit tests for the common utilities: contracts, hashing, CSV, tables,
+// histograms.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/hash.hpp"
+#include "common/histogram.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace spta {
+namespace {
+
+TEST(AssertTest, CheckPassesOnTrueCondition) {
+  SPTA_CHECK(1 + 1 == 2);
+  SPTA_REQUIRE(true);
+  SUCCEED();
+}
+
+TEST(AssertDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH({ SPTA_CHECK_MSG(false, "ctx " << 42); }, "invariant");
+}
+
+TEST(AssertDeathTest, RequireAbortsWithMessage) {
+  EXPECT_DEATH({ SPTA_REQUIRE(2 < 1); }, "precondition");
+}
+
+TEST(TypesTest, PhaseNames) {
+  EXPECT_STREQ(ToString(Phase::kAnalysis), "analysis");
+  EXPECT_STREQ(ToString(Phase::kOperation), "operation");
+}
+
+TEST(HashTest, Mix64IsDeterministicAndBijectiveish) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  // Distinct inputs map to distinct outputs (spot check bijectivity).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(Mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(HashTest, DeriveSeedDecorrelatesIndices) {
+  const std::uint64_t a = DeriveSeed(7, std::uint64_t{0});
+  const std::uint64_t b = DeriveSeed(7, std::uint64_t{1});
+  EXPECT_NE(a, b);
+  // Different masters give different streams.
+  EXPECT_NE(DeriveSeed(7, std::uint64_t{0}), DeriveSeed(8, std::uint64_t{0}));
+}
+
+TEST(HashTest, DeriveSeedByTag) {
+  EXPECT_NE(DeriveSeed(1, "il1"), DeriveSeed(1, "dl1"));
+  EXPECT_EQ(DeriveSeed(1, "il1"), DeriveSeed(1, "il1"));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  const auto ab = HashCombine(HashCombine(0, 1), 2);
+  const auto ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(CsvTest, QuotingRules) {
+  EXPECT_EQ(CsvQuote("plain"), "plain");
+  EXPECT_EQ(CsvQuote("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvQuote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.Header({"name", "value"});
+  w.BeginRow();
+  w.Field(std::string("x"));
+  w.Field(1.5, 3);
+  w.EndRow();
+  w.Row({"y", "2"});
+  EXPECT_EQ(oss.str(), "name,value\nx,1.5\ny,2\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvDeathTest, FieldOutsideRowIsRejected) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  EXPECT_DEATH(w.Field(std::string("oops")), "precondition");
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"a", "long-header"});
+  t.AddRow({"xxxx", "1"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| a    | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxx | 1           |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableDeathTest, WrongArityRejected) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "precondition");
+}
+
+TEST(TableTest, FormatProbNormalizesExponent) {
+  EXPECT_EQ(FormatProb(1e-12), "1e-12");
+  EXPECT_EQ(FormatProb(1e-3), "1e-3");
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FormatF(1.25, 1), "1.2");  // round-to-even
+  EXPECT_EQ(FormatG(123456.0, 3), "1.23e+05");
+}
+
+TEST(HistogramTest, BinsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);
+  h.Add(9.9);
+  h.Add(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.Density(0), 1.0 / 3.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsAndCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(42.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(HistogramTest, FromSampleCoversExtremes) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Histogram h = Histogram::FromSample(xs, 4);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(HistogramTest, ConstantSampleDoesNotCrash) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  const Histogram h = Histogram::FromSample(xs, 3);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, AsciiRendersEveryBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  const std::string art = h.Ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace spta

@@ -1,0 +1,294 @@
+// Tests for the EVT layer: distributions, fitting (parameter recovery on
+// synthetic data), block maxima, PoT, the pWCET curve and goodness-of-fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "evt/block_maxima.hpp"
+#include "evt/gev.hpp"
+#include "evt/gof.hpp"
+#include "evt/gpd.hpp"
+#include "evt/gumbel.hpp"
+#include "evt/pwcet.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace spta::evt {
+namespace {
+
+std::vector<double> GumbelSample(double mu, double beta, std::size_t n,
+                                 std::uint64_t seed) {
+  prng::Xoshiro128pp rng(seed);
+  std::vector<double> xs(n);
+  GumbelDist d{mu, beta};
+  for (auto& x : xs) {
+    double u = rng.UniformUnit();
+    if (u <= 0.0) u = 1e-12;
+    x = d.Quantile(u);
+  }
+  return xs;
+}
+
+TEST(GumbelTest, CdfQuantileRoundTrip) {
+  const GumbelDist d{10.0, 2.0};
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.999, 1e-9}) {
+    EXPECT_NEAR(d.Cdf(d.Quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(GumbelTest, CdfMonotoneAndBounded) {
+  const GumbelDist d{0.0, 1.0};
+  double prev = 0.0;
+  for (double x = -5.0; x <= 10.0; x += 0.25) {
+    const double c = d.Cdf(x);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(GumbelTest, PdfIntegratesToOne) {
+  const GumbelDist d{3.0, 1.5};
+  double integral = 0.0;
+  const double dx = 0.01;
+  for (double x = -10.0; x < 40.0; x += dx) {
+    integral += d.Pdf(x) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(GumbelTest, MeanFormula) {
+  const GumbelDist d{5.0, 2.0};
+  EXPECT_NEAR(d.Mean(), 5.0 + 0.5772156649 * 2.0, 1e-6);
+}
+
+TEST(GumbelTest, MleRecoversParameters) {
+  const auto xs = GumbelSample(100.0, 7.0, 20000, 41);
+  const GumbelDist fit = FitGumbelMle(xs);
+  EXPECT_NEAR(fit.mu, 100.0, 0.5);
+  EXPECT_NEAR(fit.beta, 7.0, 0.4);
+}
+
+TEST(GumbelTest, PwmRecoversParameters) {
+  const auto xs = GumbelSample(100.0, 7.0, 20000, 42);
+  const GumbelDist fit = FitGumbelPwm(xs);
+  EXPECT_NEAR(fit.mu, 100.0, 0.5);
+  EXPECT_NEAR(fit.beta, 7.0, 0.4);
+}
+
+TEST(GumbelTest, MleAndPwmAgree) {
+  const auto xs = GumbelSample(50.0, 3.0, 5000, 43);
+  const GumbelDist mle = FitGumbelMle(xs);
+  const GumbelDist pwm = FitGumbelPwm(xs);
+  EXPECT_NEAR(mle.mu, pwm.mu, 0.5);
+  EXPECT_NEAR(mle.beta, pwm.beta, 0.4);
+}
+
+TEST(GumbelTest, MleMaximizesLikelihoodLocally) {
+  const auto xs = GumbelSample(10.0, 2.0, 3000, 44);
+  const GumbelDist fit = FitGumbelMle(xs);
+  const double ll = fit.LogLikelihood(xs);
+  for (double dmu : {-0.3, 0.3}) {
+    for (double dbeta : {-0.2, 0.2}) {
+      GumbelDist perturbed{fit.mu + dmu, fit.beta + dbeta};
+      EXPECT_LE(perturbed.LogLikelihood(xs), ll + 1e-6);
+    }
+  }
+}
+
+TEST(GevTest, QuantileCdfRoundTripAllShapes) {
+  for (double xi : {-0.3, 0.0, 0.3}) {
+    const GevDist d{10.0, 2.0, xi};
+    for (double p : {0.05, 0.5, 0.95, 0.999}) {
+      EXPECT_NEAR(d.Cdf(d.Quantile(p)), p, 1e-9) << "xi=" << xi;
+    }
+  }
+}
+
+TEST(GevTest, PwmRecoversGumbelShape) {
+  const auto xs = GumbelSample(100.0, 7.0, 20000, 45);
+  const GevDist fit = FitGevPwm(xs);
+  EXPECT_TRUE(fit.IsEffectivelyGumbel(0.05)) << "xi=" << fit.xi;
+  EXPECT_NEAR(fit.mu, 100.0, 1.0);
+  EXPECT_NEAR(fit.sigma, 7.0, 0.5);
+}
+
+TEST(GevTest, PwmRecoversHeavyShape) {
+  // Sample a Frechet-ish GEV (xi = 0.25) by inversion.
+  prng::Xoshiro128pp rng(46);
+  const GevDist truth{50.0, 5.0, 0.25};
+  std::vector<double> xs(30000);
+  for (auto& x : xs) {
+    x = truth.Quantile(std::max(rng.UniformUnit(), 1e-12));
+  }
+  const GevDist fit = FitGevPwm(xs);
+  EXPECT_NEAR(fit.xi, 0.25, 0.05);
+  EXPECT_NEAR(fit.mu, 50.0, 1.0);
+}
+
+TEST(GevTest, SupportBoundariesHandled) {
+  const GevDist heavy{0.0, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(heavy.Cdf(-10.0), 0.0);  // below the lower endpoint
+  const GevDist bounded{0.0, 1.0, -0.5};
+  EXPECT_DOUBLE_EQ(bounded.Cdf(10.0), 1.0);  // above the upper endpoint
+}
+
+TEST(GpdTest, ExponentialSpecialCase) {
+  const GpdDist d{2.0, 0.0};
+  EXPECT_NEAR(d.Sf(2.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(d.Quantile(1.0 - std::exp(-1.0)), 2.0, 1e-9);
+}
+
+TEST(GpdTest, PwmRecoversExponential) {
+  prng::Xoshiro128pp rng(47);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    x = -3.0 * std::log(1.0 - std::max(rng.UniformUnit(), 1e-12));
+  }
+  const GpdDist fit = FitGpdPwm(xs);
+  EXPECT_NEAR(fit.xi, 0.0, 0.05);
+  EXPECT_NEAR(fit.sigma, 3.0, 0.15);
+}
+
+TEST(GpdTest, PotModelExceedanceConsistency) {
+  const auto xs = GumbelSample(100.0, 5.0, 10000, 48);
+  const PotModel pot = FitPot(xs, 0.1);
+  EXPECT_EQ(pot.n_excesses, 1000u);
+  EXPECT_NEAR(pot.zeta, 0.1, 1e-9);
+  // At the threshold the exceedance equals zeta; it decays above.
+  EXPECT_NEAR(pot.Exceedance(pot.threshold), pot.zeta, 1e-9);
+  EXPECT_LT(pot.Exceedance(pot.threshold + 20.0), pot.zeta);
+  // Quantile inverts exceedance.
+  const double q = pot.QuantileForExceedance(1e-4);
+  EXPECT_NEAR(pot.Exceedance(q), 1e-4, 1e-6);
+}
+
+TEST(BlockMaximaTest, BasicExtraction) {
+  const std::vector<double> xs = {1, 5, 2, 8, 3, 4, 9, 1, 7};
+  const auto maxima = BlockMaxima(xs, 3);
+  ASSERT_EQ(maxima.size(), 3u);
+  EXPECT_DOUBLE_EQ(maxima[0], 5.0);
+  EXPECT_DOUBLE_EQ(maxima[1], 8.0);
+  EXPECT_DOUBLE_EQ(maxima[2], 9.0);
+}
+
+TEST(BlockMaximaTest, TrailingPartialBlockDropped) {
+  const std::vector<double> xs = {1, 2, 3, 4, 100};
+  const auto maxima = BlockMaxima(xs, 2);
+  ASSERT_EQ(maxima.size(), 2u);
+  EXPECT_DOUBLE_EQ(maxima[1], 4.0);  // the 100 is in the dropped remainder
+}
+
+TEST(BlockMaximaTest, SuggestBlockSize) {
+  EXPECT_EQ(SuggestBlockSize(3000, 30), 100u);
+  EXPECT_EQ(SuggestBlockSize(100, 30), 3u);
+  EXPECT_EQ(SuggestBlockSize(30, 30), 1u);
+}
+
+TEST(PwcetTest, QuantileExceedanceRoundTrip) {
+  const PwcetCurve curve(GumbelDist{1000.0, 20.0}, 50, 5000);
+  for (double p : {1e-3, 1e-6, 1e-9, 1e-12, 1e-15}) {
+    const double v = curve.QuantileForExceedance(p);
+    EXPECT_NEAR(curve.ExceedanceAt(v), p, p * 1e-6);
+  }
+}
+
+TEST(PwcetTest, MonotoneDecreasingInProbability) {
+  const PwcetCurve curve(GumbelDist{1000.0, 20.0}, 50, 5000);
+  double prev = 0.0;
+  for (int e = 1; e <= 16; ++e) {
+    const double v = curve.QuantileForExceedance(std::pow(10.0, -e));
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(PwcetTest, FitFromSampleUpperBoundsObservations) {
+  const auto xs = GumbelSample(500.0, 10.0, 3000, 49);
+  const PwcetCurve curve = PwcetCurve::FitFromSample(xs, 100);
+  // The pWCET at 1/n-level exceedance should be near/above the sample max.
+  const double max_obs = *std::max_element(xs.begin(), xs.end());
+  EXPECT_GT(curve.QuantileForExceedance(1e-6), max_obs * 0.98);
+  EXPECT_GT(curve.QuantileForExceedance(1e-12),
+            curve.QuantileForExceedance(1e-6));
+}
+
+TEST(PwcetTest, CurvePointsSpanDecades) {
+  const PwcetCurve curve(GumbelDist{100.0, 5.0}, 10, 1000);
+  const auto pts = curve.CurvePoints(16);
+  ASSERT_EQ(pts.size(), 16u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 0.1);
+  EXPECT_NEAR(pts.back().first, 1e-16, 1e-22);
+}
+
+TEST(GofTest, QqPointsNearDiagonalForGoodFit) {
+  const auto xs = GumbelSample(100.0, 7.0, 5000, 50);
+  const GumbelDist fit = FitGumbelMle(xs);
+  const auto pts = QqPoints(xs, fit);
+  ASSERT_EQ(pts.size(), xs.size());
+  // Compare central quantiles (tails are noisy).
+  for (std::size_t i = pts.size() / 4; i < 3 * pts.size() / 4; ++i) {
+    EXPECT_NEAR(pts[i].first, pts[i].second, 2.0);
+  }
+}
+
+TEST(GofTest, ChiSquareAcceptsTrueModel) {
+  const auto xs = GumbelSample(100.0, 7.0, 2000, 51);
+  const GumbelDist fit = FitGumbelMle(xs);
+  const auto r = ChiSquareGof(xs, fit, 10);
+  EXPECT_TRUE(r.NotRejected(0.01)) << "p=" << r.p_value;
+}
+
+TEST(GofTest, ChiSquareRejectsWrongModel) {
+  const auto xs = GumbelSample(100.0, 7.0, 2000, 52);
+  const GumbelDist wrong{100.0, 20.0};
+  const auto r = ChiSquareGof(xs, wrong, 10);
+  EXPECT_FALSE(r.NotRejected(0.05));
+}
+
+TEST(GofTest, ExceedanceCheckConsistentForTrueModel) {
+  const auto xs = GumbelSample(100.0, 7.0, 10000, 53);
+  const GumbelDist fit = FitGumbelMle(xs);
+  const auto r = ExceedanceCheck(xs, fit, 0.99);
+  EXPECT_TRUE(r.consistent) << "z=" << r.z_score;
+  EXPECT_NEAR(static_cast<double>(r.observed),
+              static_cast<double>(r.expected), 40.0);
+}
+
+TEST(GofTest, ExceedanceCheckFlagsUnderestimation) {
+  const auto xs = GumbelSample(100.0, 7.0, 10000, 54);
+  const GumbelDist too_low{90.0, 3.0};  // underestimates the tail
+  const auto r = ExceedanceCheck(xs, too_low, 0.99);
+  EXPECT_FALSE(r.consistent);
+  EXPECT_GT(r.observed, r.expected);
+}
+
+// Property sweep: fitting must recover parameters across the (mu, beta)
+// plane, and the resulting pWCET curve must be internally consistent.
+struct FitCase {
+  double mu;
+  double beta;
+};
+
+class GumbelFitSweep : public ::testing::TestWithParam<FitCase> {};
+
+TEST_P(GumbelFitSweep, RecoversAndProjectsConsistently) {
+  const auto [mu, beta] = GetParam();
+  const auto xs = GumbelSample(mu, beta, 8000, 55 + std::llround(mu + beta));
+  const GumbelDist fit = FitGumbelMle(xs);
+  EXPECT_NEAR(fit.mu, mu, 0.05 * std::max(1.0, std::fabs(mu)) + 3 * beta / 50);
+  EXPECT_NEAR(fit.beta, beta, 0.1 * beta + 0.01);
+  const PwcetCurve curve(fit, 1, xs.size());
+  EXPECT_GT(curve.QuantileForExceedance(1e-12),
+            curve.QuantileForExceedance(1e-3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plane, GumbelFitSweep,
+    ::testing::Values(FitCase{0.0, 1.0}, FitCase{100.0, 1.0},
+                      FitCase{1e6, 500.0}, FitCase{-50.0, 12.0},
+                      FitCase{3.0, 0.05}));
+
+}  // namespace
+}  // namespace spta::evt

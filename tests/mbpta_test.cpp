@@ -1,0 +1,267 @@
+// Tests for the MBPTA pipeline (i.i.d. gate, estimation, convergence,
+// per-path envelope) and the MBTA industrial baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "evt/gumbel.hpp"
+#include "mbpta/convergence.hpp"
+#include "mbpta/iid_gate.hpp"
+#include "mbpta/mbpta.hpp"
+#include "mbpta/per_path.hpp"
+#include "mbpta/report.hpp"
+#include "mbta/mbta.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace spta::mbpta {
+namespace {
+
+std::vector<double> GumbelSample(double mu, double beta, std::size_t n,
+                                 std::uint64_t seed) {
+  prng::Xoshiro128pp rng(seed);
+  evt::GumbelDist d{mu, beta};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = d.Quantile(std::max(rng.UniformUnit(), 1e-12));
+  return xs;
+}
+
+TEST(IidGateTest, PassesOnIidData) {
+  const auto xs = GumbelSample(1000.0, 30.0, 3000, 1);
+  const auto r = RunIidGate(xs);
+  EXPECT_TRUE(r.Passed());
+  EXPECT_GE(r.independence.p_value, 0.05);
+  EXPECT_GE(r.identical_distribution.p_value, 0.05);
+}
+
+TEST(IidGateTest, FailsOnCorrelatedData) {
+  prng::Xoshiro128pp rng(2);
+  std::vector<double> xs(2000);
+  double prev = 0.0;
+  for (auto& x : xs) {
+    prev = 0.6 * prev + rng.Normal();
+    x = 1000.0 + 30.0 * prev;
+  }
+  EXPECT_FALSE(RunIidGate(xs).Passed());
+}
+
+TEST(IidGateTest, FailsOnDriftingDistribution) {
+  auto xs = GumbelSample(1000.0, 30.0, 2000, 3);
+  for (std::size_t i = xs.size() / 2; i < xs.size(); ++i) xs[i] += 40.0;
+  const auto r = RunIidGate(xs);
+  EXPECT_FALSE(r.Passed());
+  EXPECT_LT(r.identical_distribution.p_value, 0.05);
+}
+
+TEST(AnalyzeSampleTest, ProducesUsableModelOnGoodData) {
+  const auto xs = GumbelSample(1000.0, 30.0, 3000, 4);
+  // Explicit block size 30 -> 100 maxima: enough for the GEV shape
+  // cross-check and the chi-square GOF to be meaningful.
+  MbptaOptions opts;
+  opts.block_size = 30;
+  const auto r = AnalyzeSample(xs, opts);
+  EXPECT_TRUE(r.usable);
+  EXPECT_EQ(r.sample_size, 3000u);
+  EXPECT_EQ(r.block_size, 30u);
+  ASSERT_TRUE(r.curve.has_value());
+  // The fitted per-run tail should resemble the generating distribution.
+  const evt::GumbelDist generating{1000.0, 30.0};
+  EXPECT_NEAR(r.PwcetAt(1e-3), generating.Quantile(0.999), 25.0);
+  EXPECT_TRUE(r.gev_check.IsEffectivelyGumbel(0.2)) << r.gev_check.xi;
+  ASSERT_TRUE(r.gof.has_value());
+}
+
+TEST(AnalyzeSampleTest, AutomaticBlockSizeFromMinBlocks) {
+  const auto xs = GumbelSample(1000.0, 30.0, 3000, 4);
+  const auto r = AnalyzeSample(xs);
+  EXPECT_EQ(r.block_size, 100u);  // 3000 / min_blocks(30)
+}
+
+TEST(AnalyzeSampleTest, FitQualityMetricsPopulated) {
+  const auto xs = GumbelSample(1000.0, 30.0, 3000, 4);
+  MbptaOptions opts;
+  opts.block_size = 30;
+  const auto r = AnalyzeSample(xs, opts);
+  ASSERT_TRUE(r.curve.has_value());
+  EXPECT_GT(r.ppcc, 0.98);
+  EXPECT_GT(r.crps, 0.0);
+  ASSERT_TRUE(r.ad.has_value());
+  EXPECT_TRUE(r.ad->NotRejected());
+}
+
+TEST(AnalyzeSampleTest, PwcetMonotoneAndAboveObservations) {
+  const auto xs = GumbelSample(500.0, 20.0, 3000, 4);
+  const auto r = AnalyzeSample(xs);
+  ASSERT_TRUE(r.usable);
+  const double q3 = r.PwcetAt(1e-3);
+  const double q9 = r.PwcetAt(1e-9);
+  const double q15 = r.PwcetAt(1e-15);
+  EXPECT_LT(q3, q9);
+  EXPECT_LT(q9, q15);
+  const double max_obs = *std::max_element(xs.begin(), xs.end());
+  EXPECT_GT(q9, max_obs * 0.98);
+}
+
+TEST(AnalyzeSampleTest, IidFailureMarksUnusableButKeepsFit) {
+  auto xs = GumbelSample(1000.0, 30.0, 2000, 6);
+  for (std::size_t i = xs.size() / 2; i < xs.size(); ++i) xs[i] += 50.0;
+  const auto r = AnalyzeSample(xs);
+  EXPECT_FALSE(r.usable);
+  EXPECT_TRUE(r.curve.has_value());  // diagnostics still available
+  MbptaOptions lenient;
+  lenient.require_iid = false;
+  EXPECT_TRUE(AnalyzeSample(xs, lenient).usable);
+}
+
+TEST(AnalyzeSampleTest, ConstantSampleHasNoCurve) {
+  const std::vector<double> xs(500, 1234.0);
+  const auto r = AnalyzeSample(xs);
+  EXPECT_FALSE(r.curve.has_value());
+  EXPECT_FALSE(r.usable);
+  EXPECT_TRUE(r.iid.Passed());  // constant is trivially iid
+}
+
+TEST(AnalyzeSampleTest, ExplicitBlockSizeRespected) {
+  const auto xs = GumbelSample(100.0, 5.0, 1200, 7);
+  MbptaOptions opts;
+  opts.block_size = 40;
+  const auto r = AnalyzeSample(xs, opts);
+  EXPECT_EQ(r.block_size, 40u);
+}
+
+TEST(ConvergenceTest, StabilizesOnStationaryData) {
+  const auto xs = GumbelSample(1000.0, 25.0, 3000, 8);
+  const auto r = CheckConvergence(xs);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.runs_required, 0u);
+  EXPECT_LE(r.runs_required, 3000u);
+  ASSERT_FALSE(r.points.empty());
+  // Later deltas must be small.
+  EXPECT_LE(r.points.back().rel_delta, 0.02);
+}
+
+TEST(ConvergenceTest, PointsTrackPrefixSizes) {
+  const auto xs = GumbelSample(1000.0, 25.0, 1500, 9);
+  ConvergenceOptions opts;
+  opts.initial_runs = 300;
+  opts.step_runs = 300;
+  const auto r = CheckConvergence(xs, opts);
+  ASSERT_EQ(r.points.size(), 5u);
+  EXPECT_EQ(r.points[0].runs, 300u);
+  EXPECT_EQ(r.points[4].runs, 1500u);
+}
+
+TEST(PerPathTest, EnvelopeDominatesEveryPath) {
+  std::vector<PathObservation> obs;
+  // Path 0: fast; path 1: slow.
+  for (const auto& [path, mu] :
+       std::vector<std::pair<std::uint64_t, double>>{{0, 500.0},
+                                                     {1, 800.0}}) {
+    const auto xs = GumbelSample(mu, 15.0, 1200, 10 + path);
+    for (double x : xs) obs.push_back({path, x});
+  }
+  const auto r = AnalyzePerPath(obs);
+  EXPECT_EQ(r.paths.size(), 2u);
+  EXPECT_EQ(r.analyzed_count(), 2u);
+  for (const auto& p : r.paths) {
+    ASSERT_TRUE(p.analyzed);
+    EXPECT_GE(r.EnvelopeAt(1e-9),
+              p.result.curve->QuantileForExceedance(1e-9) - 1e-9);
+  }
+  // The slow path dominates.
+  EXPECT_GT(r.EnvelopeAt(1e-9), 800.0);
+}
+
+TEST(PerPathTest, SmallPathSkippedButHwmCounts) {
+  std::vector<PathObservation> obs;
+  const auto big = GumbelSample(500.0, 10.0, 1000, 12);
+  for (double x : big) obs.push_back({0, x});
+  // A rare path with few samples but a huge outlier.
+  for (int i = 0; i < 10; ++i) obs.push_back({1, 5000.0 + i});
+  const auto r = AnalyzePerPath(obs);
+  EXPECT_EQ(r.analyzed_count(), 1u);
+  // The envelope must still respect the rare path's high watermark.
+  EXPECT_GE(r.EnvelopeAt(1e-12), 5009.0);
+}
+
+TEST(PerPathTest, GroupsByPathId) {
+  std::vector<PathObservation> obs;
+  for (int i = 0; i < 300; ++i) {
+    obs.push_back({static_cast<std::uint64_t>(i % 3),
+                   100.0 + static_cast<double>(i % 7)});
+  }
+  const auto r = AnalyzePerPath(obs);
+  EXPECT_EQ(r.paths.size(), 3u);
+  EXPECT_EQ(r.total_samples, 300u);
+  for (const auto& p : r.paths) EXPECT_EQ(p.samples, 100u);
+}
+
+TEST(ReportTest, SingleSampleReportContainsKeyFields) {
+  const auto xs = GumbelSample(1000.0, 30.0, 3000, 13);
+  const auto r = AnalyzeSample(xs);
+  const std::string report = RenderReport(r, "unit-test");
+  EXPECT_NE(report.find("unit-test"), std::string::npos);
+  EXPECT_NE(report.find("Ljung-Box"), std::string::npos);
+  EXPECT_NE(report.find("KS two-sample"), std::string::npos);
+  EXPECT_NE(report.find("Gumbel tail"), std::string::npos);
+  EXPECT_NE(report.find("1e-12"), std::string::npos);
+  EXPECT_NE(report.find("usable"), std::string::npos);
+  EXPECT_NE(report.find("PPCC"), std::string::npos);
+  EXPECT_NE(report.find("CRPS"), std::string::npos);
+}
+
+TEST(ReportTest, PerPathReportListsPaths) {
+  std::vector<PathObservation> obs;
+  const auto xs = GumbelSample(700.0, 12.0, 800, 14);
+  for (double x : xs) obs.push_back({3, x});
+  const auto r = AnalyzePerPath(obs);
+  const std::string report = RenderReport(r);
+  EXPECT_NE(report.find("path"), std::string::npos);
+  EXPECT_NE(report.find("envelope"), std::string::npos);
+}
+
+TEST(ReportTest, DefaultCutoffsSpanPaperRange) {
+  const auto cutoffs = DefaultCutoffs();
+  ASSERT_EQ(cutoffs.size(), 5u);
+  EXPECT_DOUBLE_EQ(cutoffs.front(), 1e-3);
+  EXPECT_DOUBLE_EQ(cutoffs.back(), 1e-15);
+}
+
+}  // namespace
+}  // namespace spta::mbpta
+
+namespace spta::mbta {
+namespace {
+
+TEST(MbtaTest, EstimateAppliesMargin) {
+  const std::vector<double> times = {90.0, 100.0, 95.0};
+  const auto e = Estimate(times, 0.5);
+  EXPECT_DOUBLE_EQ(e.high_watermark, 100.0);
+  EXPECT_DOUBLE_EQ(e.wcet_estimate, 150.0);
+  EXPECT_EQ(e.sample_size, 3u);
+}
+
+TEST(MbtaTest, ZeroMarginIsHighWatermark) {
+  const std::vector<double> times = {1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(Estimate(times, 0.0).wcet_estimate, 5.0);
+}
+
+TEST(MbtaTest, MarginSweepMonotone) {
+  const std::vector<double> times = {10.0, 20.0};
+  const std::vector<double> margins = {0.0, 0.2, 0.5, 1.0};
+  const auto sweep = MarginSweep(times, margins);
+  ASSERT_EQ(sweep.size(), 4u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].wcet_estimate, sweep[i - 1].wcet_estimate);
+  }
+}
+
+TEST(MbtaTest, ExceedanceFractionCountsOverruns) {
+  const std::vector<double> analysis = {100.0};
+  const auto e = Estimate(analysis, 0.1);  // bound = 110
+  const std::vector<double> validation = {100.0, 105.0, 111.0, 200.0};
+  EXPECT_DOUBLE_EQ(ExceedanceFraction(e, validation), 0.5);
+}
+
+}  // namespace
+}  // namespace spta::mbta

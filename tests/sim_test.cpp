@@ -1,0 +1,486 @@
+// Tests for the non-cache simulator components: TLB, FPU, bus, DRAM, store
+// buffer, core timing and the platform measurement protocol.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/bus.hpp"
+#include "sim/core.hpp"
+#include "sim/dram.hpp"
+#include "sim/fpu.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/platform.hpp"
+#include "sim/store_buffer.hpp"
+#include "sim/tlb.hpp"
+#include "trace/synthetic.hpp"
+
+namespace spta::sim {
+namespace {
+
+// --- TLB -------------------------------------------------------------------
+
+TEST(TlbTest, MissThenHitSamePage) {
+  Tlb tlb(TlbConfig{4, 4096, Replacement::kLru, 30}, 1);
+  EXPECT_FALSE(tlb.Access(0x1000));
+  EXPECT_TRUE(tlb.Access(0x1fff));
+  EXPECT_FALSE(tlb.Access(0x2000));
+}
+
+TEST(TlbTest, LruEvictionOrder) {
+  Tlb tlb(TlbConfig{2, 4096, Replacement::kLru, 30}, 1);
+  tlb.Access(0x0000);   // page 0
+  tlb.Access(0x1000);   // page 1
+  tlb.Access(0x0000);   // page 0 now MRU
+  tlb.Access(0x2000);   // evicts page 1
+  EXPECT_TRUE(tlb.Access(0x0000));
+  EXPECT_FALSE(tlb.Access(0x1000));
+}
+
+TEST(TlbTest, CapacityHolds64Pages) {
+  Tlb tlb(TlbConfig{64, 4096, Replacement::kLru, 30}, 1);
+  for (Address p = 0; p < 64; ++p) tlb.Access(p * 4096);
+  for (Address p = 0; p < 64; ++p) {
+    EXPECT_TRUE(tlb.Access(p * 4096)) << "page " << p;
+  }
+}
+
+TEST(TlbTest, RandomReplacementSeedDeterministic) {
+  const auto run = [](Seed s) {
+    Tlb tlb(TlbConfig{4, 4096, Replacement::kRandom, 30}, s);
+    std::uint64_t misses = 0;
+    for (int i = 0; i < 500; ++i) {
+      misses += !tlb.Access(static_cast<Address>(i % 6) * 4096);
+    }
+    return misses;
+  };
+  EXPECT_EQ(run(5), run(5));
+  std::set<std::uint64_t> distinct;
+  for (Seed s = 0; s < 8; ++s) distinct.insert(run(s));
+  EXPECT_GT(distinct.size(), 2u);
+}
+
+TEST(TlbTest, FlushAndReseed) {
+  Tlb tlb(TlbConfig{8, 4096, Replacement::kRandom, 30}, 1);
+  tlb.Access(0x5000);
+  tlb.Flush();
+  EXPECT_FALSE(tlb.Access(0x5000));
+  tlb.Reseed(99);
+  EXPECT_FALSE(tlb.Access(0x5000));
+}
+
+// --- FPU -------------------------------------------------------------------
+
+TEST(FpuTest, FixedLatencyOpsAreJitterless) {
+  FpuConfig cfg;
+  cfg.mode = FpuMode::kVariable;
+  Fpu fpu(cfg);
+  for (std::uint8_t cls = 0; cls < trace::kFpuOperandClasses; ++cls) {
+    EXPECT_EQ(fpu.Latency(trace::OpClass::kFpAdd, cls), cfg.add_latency);
+    EXPECT_EQ(fpu.Latency(trace::OpClass::kFpMul, cls), cfg.mul_latency);
+  }
+}
+
+TEST(FpuTest, VariableModeDependsOnOperandClass) {
+  FpuConfig cfg;
+  cfg.mode = FpuMode::kVariable;
+  Fpu fpu(cfg);
+  const Cycles lat0 = fpu.Latency(trace::OpClass::kFpDiv, 0);
+  const Cycles lat3 = fpu.Latency(trace::OpClass::kFpDiv, 3);
+  EXPECT_LT(lat0, lat3);
+  EXPECT_EQ(lat0, cfg.div_base);
+  EXPECT_EQ(lat3, cfg.div_base + 3 * cfg.div_step);
+}
+
+TEST(FpuTest, WorstCaseModeChargesMaximumAlways) {
+  FpuConfig cfg;
+  cfg.mode = FpuMode::kWorstCaseFixed;
+  Fpu fpu(cfg);
+  const Cycles worst = fpu.WorstCaseLatency(trace::OpClass::kFpDiv);
+  for (std::uint8_t cls = 0; cls < trace::kFpuOperandClasses; ++cls) {
+    EXPECT_EQ(fpu.Latency(trace::OpClass::kFpDiv, cls), worst);
+    EXPECT_EQ(fpu.Latency(trace::OpClass::kFpSqrt, cls),
+              fpu.WorstCaseLatency(trace::OpClass::kFpSqrt));
+  }
+}
+
+TEST(FpuTest, WorstCaseUpperBoundsVariable) {
+  // The MBPTA argument: analysis-phase latency >= any operation latency.
+  FpuConfig cfg;
+  cfg.mode = FpuMode::kVariable;
+  Fpu variable(cfg);
+  cfg.mode = FpuMode::kWorstCaseFixed;
+  Fpu fixed(cfg);
+  for (auto op : {trace::OpClass::kFpDiv, trace::OpClass::kFpSqrt}) {
+    for (std::uint8_t cls = 0; cls < trace::kFpuOperandClasses; ++cls) {
+      EXPECT_LE(variable.Latency(op, cls), fixed.Latency(op, cls));
+    }
+  }
+}
+
+TEST(FpuTest, StatsAccumulate) {
+  Fpu fpu(FpuConfig{});
+  fpu.Latency(trace::OpClass::kFpAdd, 0);
+  fpu.Latency(trace::OpClass::kFpMul, 0);
+  EXPECT_EQ(fpu.stats().operations, 2u);
+  EXPECT_GT(fpu.stats().total_cycles, 0u);
+}
+
+// --- Bus -------------------------------------------------------------------
+
+TEST(BusTest, GrantsImmediatelyWhenFree) {
+  Bus bus(BusConfig{});
+  EXPECT_EQ(bus.Acquire(0, 100, 10), 100u);
+  EXPECT_EQ(bus.free_at(), 110u);
+}
+
+TEST(BusTest, SerializesOverlappingRequests) {
+  Bus bus(BusConfig{});
+  bus.Acquire(0, 100, 10);
+  EXPECT_EQ(bus.Acquire(1, 105, 10), 110u);  // waits for the bus
+  EXPECT_EQ(bus.stats().wait_cycles, 5u);
+  EXPECT_EQ(bus.stats().transactions, 2u);
+}
+
+TEST(BusTest, NoWaitAfterIdleGap) {
+  Bus bus(BusConfig{});
+  bus.Acquire(0, 0, 10);
+  EXPECT_EQ(bus.Acquire(1, 50, 10), 50u);
+  EXPECT_EQ(bus.stats().wait_cycles, 0u);
+}
+
+TEST(BusTest, ResetClearsHorizon) {
+  Bus bus(BusConfig{});
+  bus.Acquire(0, 0, 100);
+  bus.Reset();
+  EXPECT_EQ(bus.Acquire(0, 0, 1), 0u);
+}
+
+// --- DRAM ------------------------------------------------------------------
+
+TEST(DramTest, RowHitAfterRowMiss) {
+  Dram dram(DramConfig{});
+  const Cycles first = dram.AccessLatency(0x10000);
+  const Cycles second = dram.AccessLatency(0x10010);  // same row
+  EXPECT_EQ(first, dram.config().row_miss_latency);
+  EXPECT_EQ(second, dram.config().row_hit_latency);
+  EXPECT_EQ(dram.stats().row_hits, 1u);
+}
+
+TEST(DramTest, DifferentBanksIndependentRows) {
+  Dram dram(DramConfig{});
+  const Address bank0_row0 = 0;
+  const Address bank1_row0 = dram.config().row_bytes;  // next bank
+  ASSERT_NE(dram.BankOf(bank0_row0), dram.BankOf(bank1_row0));
+  dram.AccessLatency(bank0_row0);
+  dram.AccessLatency(bank1_row0);
+  // Both rows stay open.
+  EXPECT_EQ(dram.AccessLatency(bank0_row0 + 8),
+            dram.config().row_hit_latency);
+  EXPECT_EQ(dram.AccessLatency(bank1_row0 + 8),
+            dram.config().row_hit_latency);
+}
+
+TEST(DramTest, RowConflictReopens) {
+  Dram dram(DramConfig{});
+  const Address row0 = 0;
+  const Address row1 =
+      static_cast<Address>(dram.config().row_bytes) * dram.config().banks;
+  ASSERT_EQ(dram.BankOf(row0), dram.BankOf(row1));
+  ASSERT_NE(dram.RowOf(row0), dram.RowOf(row1));
+  dram.AccessLatency(row0);
+  EXPECT_EQ(dram.AccessLatency(row1), dram.config().row_miss_latency);
+  EXPECT_EQ(dram.AccessLatency(row0), dram.config().row_miss_latency);
+}
+
+TEST(DramTest, ResetClosesRows) {
+  Dram dram(DramConfig{});
+  dram.AccessLatency(0);
+  dram.Reset();
+  EXPECT_EQ(dram.AccessLatency(0), dram.config().row_miss_latency);
+}
+
+// --- L2 + refresh -------------------------------------------------------------
+
+TEST(L2Test, SecondFillHitsInL2) {
+  L2Config l2;
+  l2.enabled = true;
+  MemorySystem mem(BusConfig{}, DramConfig{}, l2, 1);
+  const Cycles first = mem.LineFill(0, 0x1000, 0) - 0;
+  // Same line again (as if the L1 evicted it): now an L2 hit, much faster.
+  const Cycles t1 = mem.LineFill(0, 0x1000, 10000);
+  const Cycles second = t1 - 10000;
+  EXPECT_LT(second, first);
+  EXPECT_EQ(second, l2.hit_latency + BusConfig{}.line_transfer_cycles);
+}
+
+TEST(L2Test, StoreDoesNotAllocate) {
+  L2Config l2;
+  l2.enabled = true;
+  MemorySystem mem(BusConfig{}, DramConfig{}, l2, 1);
+  mem.Store(0, 0x2000, 0);
+  // A later fill of the stored line must still go to DRAM (no allocation).
+  const Cycles fill = mem.LineFill(0, 0x2000, 10000) - 10000;
+  EXPECT_GT(fill, l2.hit_latency + BusConfig{}.line_transfer_cycles);
+}
+
+TEST(L2Test, ResetFlushesAndStatsExposed) {
+  L2Config l2;
+  l2.enabled = true;
+  MemorySystem mem(BusConfig{}, DramConfig{}, l2, 1);
+  mem.LineFill(0, 0x3000, 0);
+  ASSERT_NE(mem.l2(), nullptr);
+  EXPECT_EQ(mem.l2()->stats().misses, 1u);
+  mem.Reset(99);
+  EXPECT_EQ(mem.l2()->stats().accesses, 0u);
+  const Cycles fill = mem.LineFill(0, 0x3000, 0) - 0;
+  EXPECT_GT(fill, l2.hit_latency + BusConfig{}.line_transfer_cycles);
+}
+
+TEST(L2Test, DisabledByDefault) {
+  MemorySystem mem(BusConfig{}, DramConfig{});
+  EXPECT_EQ(mem.l2(), nullptr);
+}
+
+TEST(DramRefreshTest, AccessInsideWindowStalls) {
+  DramConfig cfg;
+  cfg.refresh_interval = 1000;
+  cfg.refresh_duration = 100;
+  Dram dram(cfg);
+  // At phase 40 the refresh (0..100) is in progress: wait 60 extra.
+  const Cycles stalled = dram.AccessLatency(0, 1040);
+  EXPECT_EQ(stalled, 60 + cfg.row_miss_latency);
+  EXPECT_EQ(dram.stats().refresh_stall_cycles, 60u);
+  // Outside the window: no stall.
+  dram.Reset();
+  EXPECT_EQ(dram.AccessLatency(0, 1500), cfg.row_miss_latency);
+}
+
+TEST(DramRefreshTest, DisabledByDefault) {
+  Dram dram(DramConfig{});
+  EXPECT_EQ(dram.AccessLatency(0, 5), DramConfig{}.row_miss_latency);
+  EXPECT_EQ(dram.stats().refresh_stall_cycles, 0u);
+}
+
+TEST(L2Test, PlatformWithRandomizedL2StillSeedDeterministic) {
+  auto cfg = RandLeon3Config();
+  cfg.l2.enabled = true;
+  cfg.l2.cache.placement = Placement::kRandomModulo;
+  cfg.l2.cache.replacement = Replacement::kRandom;
+  const trace::Trace t = trace::BlendTrace({}, 21);
+  Platform p(cfg, 1);
+  EXPECT_EQ(p.Run(t, 5).cycles, p.Run(t, 5).cycles);
+  EXPECT_NE(p.Run(t, 5).cycles, 0u);
+}
+
+// --- Store buffer ------------------------------------------------------------
+
+TEST(StoreBufferTest, NoStallWhileNotFull) {
+  StoreBuffer sb(StoreBufferConfig{4});
+  Cycles now = 100;
+  for (int i = 0; i < 4; ++i) {
+    now = sb.Push(now, [](Cycles ready) { return ready + 50; });
+    EXPECT_EQ(now, 100u);  // never stalled
+  }
+  EXPECT_EQ(sb.stats().full_stalls, 0u);
+  EXPECT_EQ(sb.in_flight(), 4u);
+}
+
+TEST(StoreBufferTest, StallsWhenFull) {
+  StoreBuffer sb(StoreBufferConfig{2});
+  Cycles now = 0;
+  now = sb.Push(now, [](Cycles r) { return r + 100; });  // completes @100
+  now = sb.Push(now, [](Cycles r) { return r + 100; });  // completes @200
+  // Buffer full; third store waits until the first completes (t=100).
+  now = sb.Push(now, [](Cycles r) { return r + 100; });
+  EXPECT_EQ(now, 100u);
+  EXPECT_EQ(sb.stats().full_stalls, 1u);
+  EXPECT_EQ(sb.stats().stall_cycles, 100u);
+}
+
+TEST(StoreBufferTest, FifoDrainOrderSerializes) {
+  StoreBuffer sb(StoreBufferConfig{8});
+  std::vector<Cycles> starts;
+  Cycles now = 0;
+  for (int i = 0; i < 3; ++i) {
+    now = sb.Push(now, [&](Cycles r) {
+      starts.push_back(r);
+      return r + 10;
+    });
+  }
+  EXPECT_EQ(starts[0], 0u);
+  EXPECT_EQ(starts[1], 10u);  // waits for the previous drain
+  EXPECT_EQ(starts[2], 20u);
+}
+
+TEST(StoreBufferTest, DrainAllWaitsForLastStore) {
+  StoreBuffer sb(StoreBufferConfig{8});
+  Cycles now = sb.Push(0, [](Cycles r) { return r + 75; });
+  EXPECT_EQ(sb.DrainAll(now), 75u);
+  EXPECT_EQ(sb.in_flight(), 0u);
+}
+
+// --- Core + platform ---------------------------------------------------------
+
+TEST(CoreTest, PureAluTraceHasUnitCpiPlusFetchMisses) {
+  PlatformConfig cfg = DetLeon3Config();
+  MemorySystem mem(cfg.bus, cfg.dram);
+  Core core(cfg, 0, &mem, 1);
+  // 100 ALU instructions in a tight 2-line code loop: 1 ITLB miss, 1-2 IL1
+  // misses, then 1 cycle each.
+  trace::Trace t;
+  for (int i = 0; i < 100; ++i) {
+    trace::TraceRecord r;
+    r.pc = 0x40000000 + 4 * (i % 8);
+    r.op = trace::OpClass::kIntAlu;
+    t.records.push_back(r);
+  }
+  const RunResult res = core.Run(t);
+  EXPECT_EQ(res.instructions, 100u);
+  EXPECT_EQ(res.itlb.misses, 1u);
+  EXPECT_EQ(res.il1.misses, 1u);
+  // 100 cycles execute + 1 TLB walk + 1 line fill.
+  const Cycles fill = cfg.dram.row_miss_latency + cfg.bus.line_transfer_cycles;
+  EXPECT_EQ(res.cycles, 100u + cfg.itlb.miss_penalty + fill);
+}
+
+TEST(CoreTest, TakenBranchPenaltyApplied) {
+  PlatformConfig cfg = DetLeon3Config();
+  MemorySystem mem(cfg.bus, cfg.dram);
+  Core core(cfg, 0, &mem, 1);
+  trace::Trace t;
+  trace::TraceRecord r;
+  r.pc = 0x40000000;
+  r.op = trace::OpClass::kBranch;
+  r.branch_taken = true;
+  t.records.push_back(r);
+  trace::TraceRecord r2 = r;
+  r2.branch_taken = false;
+  t.records.push_back(r2);
+  const RunResult res = core.Run(t);
+  // Both branches: 1 cycle each; +2 for the taken one; plus fetch overheads.
+  const Cycles fill = cfg.dram.row_miss_latency + cfg.bus.line_transfer_cycles;
+  EXPECT_EQ(res.cycles,
+            2u + cfg.pipeline.taken_branch_penalty + cfg.itlb.miss_penalty +
+                fill);
+}
+
+TEST(CoreTest, StoreGoesThroughStoreBufferNotStall) {
+  PlatformConfig cfg = DetLeon3Config();
+  MemorySystem mem(cfg.bus, cfg.dram);
+  Core core(cfg, 0, &mem, 1);
+  const trace::Trace t =
+      trace::SequentialTrace(0x40100000, 4, 32, trace::OpClass::kStore);
+  const RunResult res = core.Run(t);
+  EXPECT_EQ(res.store_buffer.stores, 4u);
+  EXPECT_EQ(res.store_buffer.full_stalls, 0u);
+  EXPECT_EQ(res.dl1.misses, 4u);  // no-write-allocate: all misses, no fill
+  // End time includes the store drain.
+  EXPECT_GT(res.cycles, 4u);
+}
+
+TEST(PlatformTest, MemoryPathStatsExposedInResult) {
+  trace::BlendSpec spec;
+  spec.count = 5000;
+  const trace::Trace t = trace::BlendTrace(spec, 31);
+  Platform p(RandLeon3Config(), 1);
+  const RunResult res = p.Run(t, 2);
+  EXPECT_GT(res.bus.transactions, 0u);
+  EXPECT_GT(res.bus.busy_cycles, 0u);
+  EXPECT_GT(res.dram.accesses, 0u);
+  EXPECT_LE(res.dram.row_hits, res.dram.accesses);
+}
+
+TEST(PlatformTest, RunIsDeterministicPerSeed) {
+  const trace::Trace t = trace::BlendTrace({}, 3);
+  Platform p(RandLeon3Config(), 1);
+  const RunResult a = p.Run(t, 42);
+  const RunResult b = p.Run(t, 42);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.dl1.misses, b.dl1.misses);
+}
+
+TEST(PlatformTest, RandVariesAcrossSeedsDetDoesNot) {
+  trace::BlendSpec spec;
+  spec.count = 30000;
+  spec.data_bytes = 40 * 1024;  // larger than DL1: placement matters
+  const trace::Trace t = trace::BlendTrace(spec, 4);
+
+  Platform det(DetLeon3Config(), 1);
+  std::set<Cycles> det_times;
+  for (Seed s = 0; s < 6; ++s) det_times.insert(det.Run(t, s).cycles);
+  EXPECT_EQ(det_times.size(), 1u) << "DET must ignore the seed";
+
+  Platform rnd(RandLeon3Config(), 1);
+  std::set<Cycles> rnd_times;
+  for (Seed s = 0; s < 6; ++s) rnd_times.insert(rnd.Run(t, s).cycles);
+  EXPECT_GT(rnd_times.size(), 1u) << "RAND must respond to the seed";
+}
+
+TEST(PlatformTest, PerRunStateIsolation) {
+  // Running trace A then trace B must give B the same time as running B
+  // alone: the reset protocol removes all cross-run state.
+  const trace::Trace a = trace::BlendTrace({}, 5);
+  const trace::Trace b = trace::BlendTrace({}, 6);
+  Platform p(RandLeon3Config(), 1);
+  p.Run(a, 3);
+  const Cycles b_after_a = p.Run(b, 4).cycles;
+  Platform fresh(RandLeon3Config(), 1);
+  EXPECT_EQ(fresh.Run(b, 4).cycles, b_after_a);
+}
+
+TEST(PlatformTest, ConcurrentInterferenceSlowsVictim) {
+  trace::BlendSpec spec;
+  spec.count = 20000;
+  spec.load_pm = 400;  // memory-heavy contenders
+  const trace::Trace victim = trace::BlendTrace(spec, 7);
+  trace::BlendSpec cspec = spec;
+  cspec.data_base = 0x50000000;  // disjoint data
+  const trace::Trace contender = trace::BlendTrace(cspec, 8);
+
+  Platform p(RandLeon3Config(), 1);
+  const std::vector<const trace::Trace*> alone = {&victim, nullptr, nullptr,
+                                                  nullptr};
+  const Cycles solo = p.RunConcurrent(alone, 9)[0].cycles;
+  const std::vector<const trace::Trace*> loaded = {&victim, &contender,
+                                                   &contender, &contender};
+  const Cycles contended = p.RunConcurrent(loaded, 9)[0].cycles;
+  EXPECT_GT(contended, solo);
+}
+
+TEST(PlatformTest, ConcurrentMatchesSingleWhenAlone) {
+  const trace::Trace t = trace::BlendTrace({}, 10);
+  Platform p(RandLeon3Config(), 1);
+  const Cycles single = p.Run(t, 11).cycles;
+  const std::vector<const trace::Trace*> slots = {&t, nullptr, nullptr,
+                                                  nullptr};
+  const Cycles concurrent = p.RunConcurrent(slots, 11)[0].cycles;
+  EXPECT_EQ(single, concurrent);
+}
+
+TEST(ConfigTest, PresetsValidateAndDiffer) {
+  const PlatformConfig det = DetLeon3Config();
+  const PlatformConfig rnd = RandLeon3Config();
+  EXPECT_EQ(det.dl1.placement, Placement::kModulo);
+  EXPECT_EQ(rnd.dl1.placement, Placement::kRandomModulo);
+  EXPECT_EQ(rnd.dl1.replacement, Replacement::kRandom);
+  EXPECT_EQ(det.fpu.mode, FpuMode::kVariable);
+  EXPECT_EQ(rnd.fpu.mode, FpuMode::kWorstCaseFixed);
+  EXPECT_EQ(RandLeon3OperationConfig().fpu.mode, FpuMode::kVariable);
+  EXPECT_EQ(det.il1.num_sets(), 128u);
+  EXPECT_EQ(det.itlb.entries, 64u);
+  EXPECT_EQ(det.cores, 4u);
+}
+
+TEST(ConfigTest, PolicyNames) {
+  EXPECT_STREQ(ToString(Placement::kRandomModulo), "random-modulo");
+  EXPECT_STREQ(ToString(Replacement::kNru), "nru");
+}
+
+TEST(ConfigDeathTest, BadGeometryRejected) {
+  PlatformConfig cfg = DetLeon3Config();
+  cfg.dl1.size_bytes = 1000;  // not divisible into power-of-two sets
+  EXPECT_DEATH(cfg.Validate(), "");
+}
+
+}  // namespace
+}  // namespace spta::sim

@@ -1,0 +1,158 @@
+// Tests for the statistical hypothesis tests backing the MBPTA i.i.d. gate:
+// Ljung-Box and Kolmogorov-Smirnov, including power checks (do they reject
+// when they should) and size checks (do they hold their significance level).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prng/xoshiro.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/ljung_box.hpp"
+
+namespace spta::stats {
+namespace {
+
+std::vector<double> IidNormal(std::size_t n, std::uint64_t seed) {
+  prng::Xoshiro128pp rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.Normal();
+  return xs;
+}
+
+TEST(LjungBoxTest, AcceptsIidSample) {
+  const auto xs = IidNormal(3000, 11);
+  const auto r = LjungBoxTest(xs, 20);
+  EXPECT_TRUE(r.IndependenceNotRejected(0.05));
+  EXPECT_EQ(r.lags, 20u);
+}
+
+TEST(LjungBoxTest, RejectsAr1Sample) {
+  prng::Xoshiro128pp rng(12);
+  std::vector<double> xs(2000);
+  double prev = 0.0;
+  for (auto& x : xs) {
+    prev = 0.5 * prev + rng.Normal();
+    x = prev;
+  }
+  const auto r = LjungBoxTest(xs, 20);
+  EXPECT_FALSE(r.IndependenceNotRejected(0.05));
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(LjungBoxTest, ConstantSampleTriviallyIndependent) {
+  const std::vector<double> xs(100, 3.0);
+  const auto r = LjungBoxTest(xs, 10);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_TRUE(r.IndependenceNotRejected());
+}
+
+TEST(LjungBoxTest, SizeRoughlyMatchesAlpha) {
+  // Under H0, rejections at 5% should occur ~5% of the time.
+  int rejections = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto xs = IidNormal(500, 1000 + t);
+    if (!LjungBoxTest(xs, 20).IndependenceNotRejected(0.05)) ++rejections;
+  }
+  // Binomial(200, 0.05): mean 10, sd ~3.1. Accept within ~4 sd.
+  EXPECT_LE(rejections, 23);
+}
+
+TEST(KsTest, TwoSampleAcceptsSameDistribution) {
+  const auto a = IidNormal(1500, 21);
+  const auto b = IidNormal(1500, 22);
+  const auto r = TwoSampleKs(a, b);
+  EXPECT_TRUE(r.NotRejected(0.05));
+}
+
+TEST(KsTest, TwoSampleRejectsShiftedDistribution) {
+  auto a = IidNormal(1000, 23);
+  auto b = IidNormal(1000, 24);
+  for (auto& x : b) x += 0.5;
+  const auto r = TwoSampleKs(a, b);
+  EXPECT_FALSE(r.NotRejected(0.05));
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, TwoSampleRejectsDifferentScale) {
+  auto a = IidNormal(2000, 25);
+  auto b = IidNormal(2000, 26);
+  for (auto& x : b) x *= 2.0;
+  EXPECT_FALSE(TwoSampleKs(a, b).NotRejected(0.05));
+}
+
+TEST(KsTest, StatisticBoundsAndSymmetry) {
+  const auto a = IidNormal(300, 27);
+  const auto b = IidNormal(400, 28);
+  const auto rab = TwoSampleKs(a, b);
+  const auto rba = TwoSampleKs(b, a);
+  EXPECT_DOUBLE_EQ(rab.statistic, rba.statistic);
+  EXPECT_GE(rab.statistic, 0.0);
+  EXPECT_LE(rab.statistic, 1.0);
+}
+
+TEST(KsTest, IdenticalSamplesHaveZeroStatistic) {
+  const auto a = IidNormal(100, 29);
+  const auto r = TwoSampleKs(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(KsTest, OneSampleAgainstTrueCdfAccepts) {
+  prng::Xoshiro128pp rng(31);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.UniformUnit();
+  const auto r = OneSampleKs(xs, [](double x) {
+    if (x < 0.0) return 0.0;
+    if (x > 1.0) return 1.0;
+    return x;
+  });
+  EXPECT_TRUE(r.NotRejected(0.05));
+}
+
+TEST(KsTest, OneSampleAgainstWrongCdfRejects) {
+  prng::Xoshiro128pp rng(32);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.UniformUnit() * 0.5;  // actually U(0, 0.5)
+  const auto r = OneSampleKs(xs, [](double x) {
+    if (x < 0.0) return 0.0;
+    if (x > 1.0) return 1.0;
+    return x;  // claims U(0,1)
+  });
+  EXPECT_FALSE(r.NotRejected(0.05));
+}
+
+TEST(KsTest, SplitSampleAcceptsStationarySeries) {
+  const auto xs = IidNormal(3000, 33);
+  EXPECT_TRUE(SplitSampleKs(xs).NotRejected(0.05));
+}
+
+TEST(KsTest, SplitSampleRejectsDrift) {
+  auto xs = IidNormal(2000, 34);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] += 0.001 * static_cast<double>(i);  // slow drift
+  }
+  EXPECT_FALSE(SplitSampleKs(xs).NotRejected(0.05));
+}
+
+// Parameterized size sweep: the KS split test should hold its level across
+// sample sizes (property-style check of the asymptotic p-value).
+class KsSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KsSizeSweep, HoldsSignificanceLevel) {
+  int rejections = 0;
+  constexpr int kTrials = 120;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto xs = IidNormal(GetParam(), 5000 + t);
+    if (!SplitSampleKs(xs).NotRejected(0.05)) ++rejections;
+  }
+  // ~5% expected; allow generous head-room (asymptotic approximation).
+  EXPECT_LE(rejections, 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KsSizeSweep,
+                         ::testing::Values(100, 400, 1000, 3000));
+
+}  // namespace
+}  // namespace spta::stats

@@ -1,0 +1,214 @@
+// Tests for descriptive statistics, special functions, the ECDF and the
+// bootstrap. Reference values cross-checked against R/scipy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prng/xoshiro.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/special.hpp"
+
+namespace spta::stats {
+namespace {
+
+const std::vector<double> kSample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  EXPECT_DOUBLE_EQ(Mean(kSample), 5.0);
+  // Population SS = 32; sample variance = 32/7.
+  EXPECT_NEAR(Variance(kSample), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(kSample), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, MinMaxMedian) {
+  EXPECT_DOUBLE_EQ(Min(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(Max(kSample), 9.0);
+  EXPECT_DOUBLE_EQ(Median(kSample), 4.5);
+}
+
+TEST(DescriptiveTest, QuantileType7MatchesR) {
+  // R: quantile(c(1,2,3,4), 0.25) = 1.75 (type 7).
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(Quantile(xs, 0.25), 1.75, 1e-12);
+  EXPECT_NEAR(Quantile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile(xs, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(Quantile(xs, 0.5), 2.5, 1e-12);
+}
+
+TEST(DescriptiveTest, QuantileUnsortedInput) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_NEAR(Quantile(xs, 0.5), 2.5, 1e-12);
+}
+
+TEST(DescriptiveTest, SingleElementQuantile) {
+  const std::vector<double> xs = {3.14};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.99), 3.14);
+}
+
+TEST(DescriptiveTest, CoefficientOfVariation) {
+  EXPECT_NEAR(CoefficientOfVariation(kSample),
+              std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+}
+
+TEST(DescriptiveTest, SkewnessSigns) {
+  const std::vector<double> right = {1, 1, 1, 1, 10};
+  const std::vector<double> left = {10, 10, 10, 10, 1};
+  EXPECT_GT(Skewness(right), 0.0);
+  EXPECT_LT(Skewness(left), 0.0);
+}
+
+TEST(DescriptiveTest, SummarizeConsistent) {
+  const Summary s = Summarize(kSample);
+  EXPECT_EQ(s.count, kSample.size());
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_LE(s.q25, s.median);
+  EXPECT_LE(s.median, s.q75);
+}
+
+TEST(SpecialTest, RegularizedGammaKnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(RegularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(RegularizedGammaP(0.5, 1.0), std::erf(1.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaP(3.0, 0.0), 0.0, 1e-15);
+  EXPECT_NEAR(RegularizedGammaQ(3.0, 0.0), 1.0, 1e-15);
+  // Complementarity on both algorithm branches (series and CF).
+  for (double a : {0.5, 2.0, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 25.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(SpecialTest, ChiSquareCdfReferenceValues) {
+  // scipy.stats.chi2.cdf(3.84, 1) = 0.94996...
+  EXPECT_NEAR(ChiSquareCdf(3.841, 1.0), 0.95, 5e-4);
+  // chi2.cdf(31.41, 20) = 0.95.
+  EXPECT_NEAR(ChiSquareCdf(31.410, 20.0), 0.95, 5e-4);
+  EXPECT_NEAR(ChiSquareSf(31.410, 20.0), 0.05, 5e-4);
+}
+
+TEST(SpecialTest, NormalCdfAndQuantileRoundTrip) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959964), 0.975, 1e-6);
+  for (double p : {0.001, 0.05, 0.3, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9);
+  }
+}
+
+TEST(SpecialTest, KolmogorovSfReference) {
+  // Q_KS(1.36) = 2*exp(-2*1.36^2) - ... ~= 0.0495 (just under the classic
+  // 5% critical value at lambda ~= 1.358).
+  EXPECT_NEAR(KolmogorovSf(1.36), 0.0495, 5e-4);
+  EXPECT_NEAR(KolmogorovSf(1.358), 0.05, 5e-4);
+  EXPECT_DOUBLE_EQ(KolmogorovSf(0.0), 1.0);
+  EXPECT_LT(KolmogorovSf(3.0), 1e-6);
+  // Monotone decreasing.
+  EXPECT_GT(KolmogorovSf(0.5), KolmogorovSf(1.0));
+}
+
+TEST(SpecialTest, SolveBisectionFindsRoot) {
+  const double root = SolveBisection(
+      [](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(SpecialDeathTest, SolveBisectionRequiresBracket) {
+  EXPECT_DEATH(SolveBisection([](double x) { return x * x + 1.0; }, -1.0,
+                              1.0),
+               "not bracketed");
+}
+
+TEST(EcdfTest, CdfAndExceedance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Ecdf e(xs);
+  EXPECT_DOUBLE_EQ(e.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.Cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.Cdf(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.Exceedance(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 4.0);
+}
+
+TEST(EcdfTest, TailPointsUseGreaterOrEqual) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 5.0};
+  const Ecdf e(xs);
+  const auto pts = e.TailPoints();
+  ASSERT_EQ(pts.size(), 3u);
+  // Sorted ascending in value; max has P[X>=5] = 1/4.
+  EXPECT_DOUBLE_EQ(pts.back().first, 5.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 0.25);
+  // Value 2: P[X>=2] = 3/4.
+  EXPECT_DOUBLE_EQ(pts[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(pts[1].second, 0.75);
+}
+
+TEST(EcdfTest, TailPointsLimited) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6};
+  const Ecdf e(xs);
+  EXPECT_EQ(e.TailPoints(2).size(), 2u);
+}
+
+TEST(AutocorrTest, WhiteNoiseNearZero) {
+  prng::Xoshiro128pp rng(3);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.Normal();
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(Autocorrelation(xs, k), 0.0, 0.05);
+  }
+}
+
+TEST(AutocorrTest, Ar1HasGeometricDecay) {
+  prng::Xoshiro128pp rng(4);
+  std::vector<double> xs(20000);
+  double prev = 0.0;
+  for (auto& x : xs) {
+    prev = 0.7 * prev + rng.Normal();
+    x = prev;
+  }
+  EXPECT_NEAR(Autocorrelation(xs, 1), 0.7, 0.05);
+  EXPECT_NEAR(Autocorrelation(xs, 2), 0.49, 0.05);
+}
+
+TEST(AutocorrTest, VectorVersionMatchesScalar) {
+  prng::Xoshiro128pp rng(5);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.UniformUnit();
+  const auto all = Autocorrelations(xs, 10);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_DOUBLE_EQ(all[k - 1], Autocorrelation(xs, k));
+  }
+}
+
+TEST(BootstrapTest, MeanCiCoversTruthAndIsDeterministic) {
+  prng::Xoshiro128pp rng(6);
+  std::vector<double> xs(400);
+  for (auto& x : xs) x = 10.0 + rng.Normal();
+  const auto ci = BootstrapMeanCi(xs, 1000, 0.95, 42);
+  EXPECT_TRUE(ci.Contains(ci.point));
+  EXPECT_NEAR(ci.point, 10.0, 0.2);
+  EXPECT_LT(ci.upper - ci.lower, 0.5);
+  // Deterministic per seed.
+  const auto ci2 = BootstrapMeanCi(xs, 1000, 0.95, 42);
+  EXPECT_DOUBLE_EQ(ci.lower, ci2.lower);
+  EXPECT_DOUBLE_EQ(ci.upper, ci2.upper);
+}
+
+TEST(BootstrapTest, CustomStatistic) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto ci = BootstrapCi(
+      xs, [](std::span<const double> s) { return Max(s); }, 500, 0.9, 7);
+  EXPECT_LE(ci.upper, 10.0);  // max of resample can never exceed sample max
+  EXPECT_DOUBLE_EQ(ci.point, 10.0);
+}
+
+}  // namespace
+}  // namespace spta::stats

@@ -1,0 +1,278 @@
+// Tests for the static/hybrid WCET analysis: CFG construction, dominators,
+// loop discovery, loop-bound derivation from traces, cost-model ordering,
+// and soundness of the bounds against simulated executions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "prng/xoshiro.hpp"
+#include "sim/platform.hpp"
+#include "swcet/cfg.hpp"
+#include "swcet/cost_model.hpp"
+#include "swcet/hybrid.hpp"
+#include "swcet/static_bound.hpp"
+#include "trace/interpreter.hpp"
+
+namespace spta::swcet {
+namespace {
+
+// A two-level nest: outer loop x inner loop, plus an if/else diamond.
+trace::Program NestedLoopProgram(int outer, int inner) {
+  trace::ProgramBuilder b("nested");
+  const auto arr = b.AddFpArray("data", 64);
+  const auto e = b.NewBlock();
+  const auto oloop = b.NewBlock();
+  const auto obody = b.NewBlock();
+  const auto iloop = b.NewBlock();
+  const auto ibody = b.NewBlock();
+  const auto then_b = b.NewBlock();
+  const auto else_b = b.NewBlock();
+  const auto iend = b.NewBlock();
+  const auto oend = b.NewBlock();
+  const auto exit = b.NewBlock();
+
+  b.SetEntry(e);
+  b.SwitchTo(e);
+  b.IConst(4, outer);
+  b.IConst(5, inner);
+  b.IConst(1, 0);
+  b.Jump(oloop);
+  b.SwitchTo(oloop);
+  b.ICmpLt(6, 1, 4);
+  b.BranchIfZero(6, exit, obody);
+  b.SwitchTo(obody);
+  b.IConst(2, 0);
+  b.Jump(iloop);
+  b.SwitchTo(iloop);
+  b.ICmpLt(6, 2, 5);
+  b.BranchIfZero(6, oend, ibody);
+  b.SwitchTo(ibody);
+  b.IAnd(7, 2, 2);  // arbitrary work
+  b.BranchIfZero(7, then_b, else_b);
+  b.SwitchTo(then_b);
+  b.FConst(1, 1.0);
+  b.Jump(iend);
+  b.SwitchTo(else_b);
+  b.IConst(8, 0);
+  b.LoadF(2, arr, 8);
+  b.FSqrt(3, 2);
+  b.Jump(iend);
+  b.SwitchTo(iend);
+  b.IAddImm(2, 2, 1);
+  b.Jump(iloop);
+  b.SwitchTo(oend);
+  b.IAddImm(1, 1, 1);
+  b.Jump(oloop);
+  b.SwitchTo(exit);
+  b.Halt();
+  return b.Build();
+}
+
+TEST(CfgTest, FindsBothLoopsAndNesting) {
+  const auto p = NestedLoopProgram(3, 4);
+  const Cfg cfg(p);
+  ASSERT_EQ(cfg.loops().size(), 2u);
+  // Outer loop header = block 1 (oloop), inner = block 3 (iloop).
+  const auto& loops = cfg.loops();
+  const auto outer_it =
+      std::find_if(loops.begin(), loops.end(),
+                   [](const Loop& l) { return l.header == 1; });
+  const auto inner_it =
+      std::find_if(loops.begin(), loops.end(),
+                   [](const Loop& l) { return l.header == 3; });
+  ASSERT_NE(outer_it, loops.end());
+  ASSERT_NE(inner_it, loops.end());
+  EXPECT_GT(outer_it->blocks.size(), inner_it->blocks.size());
+  // Inner nested in outer.
+  EXPECT_EQ(inner_it->parent,
+            static_cast<int>(outer_it - loops.begin()));
+  EXPECT_TRUE(outer_it->Contains(3));
+  EXPECT_FALSE(inner_it->Contains(1));
+}
+
+TEST(CfgTest, DominatorsBasicFacts) {
+  const auto p = NestedLoopProgram(2, 2);
+  const Cfg cfg(p);
+  // Entry dominates everything.
+  for (std::size_t b = 0; b < cfg.block_count(); ++b) {
+    EXPECT_TRUE(cfg.Dominates(p.entry, static_cast<trace::BlockId>(b)));
+  }
+  // The inner header (3) dominates the diamond blocks (5, 6).
+  EXPECT_TRUE(cfg.Dominates(3, 5));
+  EXPECT_TRUE(cfg.Dominates(3, 6));
+  // Neither diamond arm dominates the join (7).
+  EXPECT_FALSE(cfg.Dominates(5, 7));
+  EXPECT_FALSE(cfg.Dominates(6, 7));
+}
+
+TEST(CfgTest, StraightLineProgramHasNoLoops) {
+  trace::ProgramBuilder b("straight");
+  const auto e = b.NewBlock();
+  b.SetEntry(e);
+  b.SwitchTo(e);
+  b.IConst(1, 1);
+  b.Halt();
+  const auto p = b.Build();
+  const Cfg cfg(p);
+  EXPECT_TRUE(cfg.loops().empty());
+  EXPECT_TRUE(cfg.back_edges().empty());
+}
+
+TEST(CostModelTest, WorstDominatesBestForEveryOp) {
+  const CostModel cost(sim::DetLeon3Config());
+  const auto p = NestedLoopProgram(2, 2);
+  for (const auto& block : p.blocks) {
+    for (const auto& inst : block.insts) {
+      EXPECT_GE(cost.WorstCase(inst), cost.BestCase(inst));
+    }
+  }
+}
+
+TEST(CostModelTest, InterferenceInflatesMemoryCosts) {
+  const auto p = NestedLoopProgram(2, 2);
+  const CostModel solo(sim::DetLeon3Config(), 0);
+  const CostModel contended(sim::DetLeon3Config(), 3);
+  for (const auto& block : p.blocks) {
+    for (const auto& inst : block.insts) {
+      EXPECT_GE(contended.WorstCase(inst), solo.WorstCase(inst));
+    }
+  }
+  EXPECT_GT(contended.worst_line_fill(), solo.worst_line_fill());
+}
+
+TEST(DeriveLoopBoundsTest, RecoversKnownIterationCounts) {
+  const auto p = NestedLoopProgram(5, 7);
+  trace::Interpreter interp(p);
+  const auto t = interp.Run();
+  const std::vector<const trace::Trace*> traces = {&t};
+  const auto bounds = DeriveLoopBounds(p, traces, /*margin=*/1.0);
+  ASSERT_EQ(bounds.size(), 2u);
+  for (const auto& bound : bounds) {
+    if (bound.header == 1) {
+      // Outer header executes outer+1 times per entry (exit test).
+      EXPECT_EQ(bound.max_iterations, 6u);
+    } else {
+      EXPECT_EQ(bound.header, 3);
+      EXPECT_EQ(bound.max_iterations, 8u);
+    }
+  }
+}
+
+TEST(DeriveLoopBoundsTest, MarginInflates) {
+  const auto p = NestedLoopProgram(10, 1);
+  trace::Interpreter interp(p);
+  const auto t = interp.Run();
+  const auto exact = DeriveLoopBounds(p, {&t}, 1.0);
+  const auto margined = DeriveLoopBounds(p, {&t}, 1.5);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_GE(margined[i].max_iterations, exact[i].max_iterations);
+  }
+}
+
+TEST(StaticBoundTest, SoundForNestedLoops) {
+  const auto p = NestedLoopProgram(6, 9);
+  trace::Interpreter interp(p);
+  const auto t = interp.Run();
+  const auto cfg_bounds = DeriveLoopBounds(p, {&t}, 1.0);
+  const auto config = sim::DetLeon3Config();
+  const auto bound = ComputeStaticBound(p, cfg_bounds, config);
+
+  sim::Platform platform(config, 1);
+  const auto measured = platform.Run(t, 1).cycles;
+  EXPECT_GE(bound.wcet_bound, measured);
+  EXPECT_LE(bound.bcet_bound, measured);
+  // The static all-miss bound should be clearly pessimistic.
+  EXPECT_GT(bound.wcet_bound, 2 * measured);
+}
+
+TEST(StaticBoundTest, SoundAcrossKernelInputs) {
+  const auto p = apps::MakeBubbleSortProgram(32);
+  // Derive bounds from a worst-case-ish trace (reversed input).
+  trace::Interpreter worst_in(p);
+  for (int i = 0; i < 32; ++i) {
+    worst_in.WriteInt(0, static_cast<std::size_t>(i), 32 - i);
+  }
+  const auto worst_trace = worst_in.Run();
+  const auto bounds = DeriveLoopBounds(p, {&worst_trace}, 1.0);
+  const auto config = sim::RandLeon3Config();
+  const auto bound = ComputeStaticBound(p, bounds, config);
+
+  sim::Platform platform(config, 1);
+  prng::Xoshiro128pp rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    trace::Interpreter interp(p);
+    for (int i = 0; i < 32; ++i) {
+      interp.WriteInt(0, static_cast<std::size_t>(i),
+                      static_cast<std::int32_t>(rng.UniformBelow(1000)));
+    }
+    const auto t = interp.Run();
+    EXPECT_GE(bound.wcet_bound,
+              platform.Run(t, static_cast<Seed>(trial)).cycles);
+  }
+}
+
+TEST(StaticBoundDeathTest, MissingLoopBoundRejected) {
+  const auto p = NestedLoopProgram(2, 2);
+  EXPECT_DEATH(ComputeStaticBound(p, {}, sim::DetLeon3Config()),
+               "missing loop bound");
+}
+
+TEST(HybridTest, CountsBlockExecutions) {
+  const auto p = NestedLoopProgram(3, 4);
+  trace::Interpreter interp(p);
+  const auto t = interp.Run();
+  const auto counts = BlockExecutionCounts(p, t);
+  EXPECT_EQ(counts[0], 1u);               // entry
+  EXPECT_EQ(counts[1], 4u);               // outer header: 3 + exit test
+  EXPECT_EQ(counts[3], 3u * 5u);          // inner header: (4+1) per outer
+  EXPECT_EQ(counts[9], 1u);               // exit
+}
+
+TEST(HybridTest, BoundDominatesObservedAndTracksCoverage) {
+  const auto p = apps::MakeBinarySearchProgram(64, 8);
+  const auto config = sim::RandLeon3Config();
+  sim::Platform platform(config, 1);
+
+  std::vector<trace::Trace> kept;
+  prng::Xoshiro128pp rng(5);
+  for (int i = 0; i < 8; ++i) {
+    trace::Interpreter interp(p);
+    for (int k = 0; k < 64; ++k) {
+      interp.WriteInt(0, static_cast<std::size_t>(k), 2 * k);
+    }
+    for (int q = 0; q < 8; ++q) {
+      interp.WriteInt(1, static_cast<std::size_t>(q),
+                      static_cast<std::int32_t>(rng.UniformBelow(128)));
+    }
+    kept.push_back(interp.Run());
+  }
+  std::vector<const trace::Trace*> traces;
+  for (const auto& t : kept) traces.push_back(&t);
+
+  const auto hybrid = HybridStructuralBound(p, traces, config);
+  EXPECT_GT(hybrid.CoverageRatio(), 0.8);
+  for (const auto& t : kept) {
+    EXPECT_GE(hybrid.wcet_bound, platform.Run(t, 3).cycles);
+  }
+}
+
+TEST(HybridTest, HybridTighterThanStatic) {
+  // On a data-dependent program the hybrid bound (observed counts) should
+  // be no larger than the static bound with margin-derived loop bounds.
+  const auto p = apps::MakeBubbleSortProgram(24);
+  trace::Interpreter interp(p);
+  for (int i = 0; i < 24; ++i) {
+    interp.WriteInt(0, static_cast<std::size_t>(i), 24 - i);
+  }
+  const auto t = interp.Run();
+  const std::vector<const trace::Trace*> traces = {&t};
+  const auto config = sim::DetLeon3Config();
+  const auto hybrid = HybridStructuralBound(p, traces, config);
+  const auto statics =
+      ComputeStaticBound(p, DeriveLoopBounds(p, traces, 1.2), config);
+  EXPECT_LE(hybrid.wcet_bound, statics.wcet_bound);
+}
+
+}  // namespace
+}  // namespace spta::swcet

@@ -1,0 +1,153 @@
+// Timing-model properties: compositionality, monotonicity, and
+// conservation laws that must hold for ANY workload and platform preset.
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "sim/core.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/platform.hpp"
+#include "trace/synthetic.hpp"
+
+namespace spta::sim {
+namespace {
+
+trace::Trace Prefix(const trace::Trace& t, std::size_t n) {
+  trace::Trace out;
+  out.records.assign(t.records.begin(),
+                     t.records.begin() + static_cast<long>(n));
+  out.path_signature = t.path_signature;
+  return out;
+}
+
+// Stepping k instructions must agree exactly with running the k-prefix as
+// its own trace (same seed): timing is compositional over the stream.
+class PrefixCompositionality : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(PrefixCompositionality, StepwiseEqualsPrefixRun) {
+  trace::BlendSpec spec;
+  spec.count = 4000;
+  const trace::Trace t = trace::BlendTrace(spec, 13);
+  const std::size_t k = GetParam();
+
+  const auto cfg = RandLeon3Config();
+  // Stepping path.
+  MemorySystem mem_a(cfg.bus, cfg.dram);
+  Core core_a(cfg, 0, &mem_a, 0);
+  core_a.Reseed(DeriveSeed(77, std::uint64_t{0}));
+  core_a.AttachTrace(&t);
+  for (std::size_t i = 0; i < k; ++i) core_a.Step();
+  const Cycles stepped = core_a.now();
+
+  // Prefix-run path (identical seed derivation).
+  const trace::Trace prefix = Prefix(t, k);
+  MemorySystem mem_b(cfg.bus, cfg.dram);
+  Core core_b(cfg, 0, &mem_b, 0);
+  core_b.Reseed(DeriveSeed(77, std::uint64_t{0}));
+  core_b.AttachTrace(&prefix);
+  while (core_b.HasWork()) core_b.Step();
+  EXPECT_EQ(stepped, core_b.now());
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, PrefixCompositionality,
+                         ::testing::Values(1, 10, 100, 1000, 4000));
+
+// Time never decreases as more instructions retire, for every preset.
+TEST(TimingMonotonicity, ClockIsNonDecreasing) {
+  trace::BlendSpec spec;
+  spec.count = 5000;
+  const trace::Trace t = trace::BlendTrace(spec, 14);
+  for (const auto& cfg : {DetLeon3Config(), RandLeon3Config()}) {
+    MemorySystem mem(cfg.bus, cfg.dram);
+    Core core(cfg, 0, &mem, 1);
+    core.Reseed(3);
+    core.AttachTrace(&t);
+    Cycles prev = 0;
+    while (core.HasWork()) {
+      core.Step();
+      ASSERT_GE(core.now(), prev);
+      prev = core.now();
+    }
+  }
+}
+
+// Appending instructions never makes the total time smaller.
+TEST(TimingMonotonicity, LongerTraceTakesLonger) {
+  trace::BlendSpec spec;
+  spec.count = 3000;
+  const trace::Trace t = trace::BlendTrace(spec, 15);
+  Platform p(RandLeon3Config(), 1);
+  Cycles prev = 0;
+  for (const std::size_t n : {500u, 1000u, 2000u, 3000u}) {
+    const auto res = p.Run(Prefix(t, n), /*run_seed=*/9);
+    ASSERT_GE(res.cycles, prev);
+    prev = res.cycles;
+  }
+}
+
+// Cycle count is always at least the instruction count (CPI >= 1 on an
+// in-order single-issue pipeline) and misses always cost time: RAND with
+// its worst-case FPU is never faster than a hypothetical ideal.
+TEST(TimingBounds, CpiAtLeastOne) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    trace::BlendSpec spec;
+    spec.count = 2000;
+    const trace::Trace t = trace::BlendTrace(spec, seed);
+    Platform p(DetLeon3Config(), 1);
+    const auto res = p.Run(t, seed);
+    EXPECT_GE(res.cycles, res.instructions);
+  }
+}
+
+// Interference conservation: with co-runners, no core finishes FASTER than
+// alone (bus sharing can only delay).
+TEST(TimingBounds, CoRunnersNeverSpeedUpAnyCore) {
+  trace::BlendSpec spec;
+  spec.count = 8000;
+  spec.load_pm = 400;
+  const trace::Trace a = trace::BlendTrace(spec, 21);
+  trace::BlendSpec spec_b = spec;
+  spec_b.data_base = 0x50000000;
+  const trace::Trace b = trace::BlendTrace(spec_b, 22);
+
+  Platform p(RandLeon3Config(), 1);
+  const std::vector<const trace::Trace*> solo_a = {&a, nullptr, nullptr,
+                                                   nullptr};
+  const std::vector<const trace::Trace*> solo_b = {nullptr, &b, nullptr,
+                                                   nullptr};
+  const std::vector<const trace::Trace*> both = {&a, &b, nullptr, nullptr};
+  const Cycles a_alone = p.RunConcurrent(solo_a, 5)[0].cycles;
+  const Cycles b_alone = p.RunConcurrent(solo_b, 5)[1].cycles;
+  const auto together = p.RunConcurrent(both, 5);
+  EXPECT_GE(together[0].cycles, a_alone);
+  EXPECT_GE(together[1].cycles, b_alone);
+}
+
+// Store-buffer conservation: measured time includes the full drain — a
+// trace ending in a burst of stores cannot "hide" their cost.
+TEST(TimingBounds, TrailingStoresAreCharged) {
+  trace::Trace alu_only;
+  for (int i = 0; i < 100; ++i) {
+    trace::TraceRecord r;
+    r.pc = 0x40000000 + 4 * (i % 8);
+    r.op = trace::OpClass::kIntAlu;
+    alu_only.records.push_back(r);
+  }
+  trace::Trace with_stores = alu_only;
+  for (int i = 0; i < 8; ++i) {
+    trace::TraceRecord r;
+    r.pc = 0x40000020;
+    r.op = trace::OpClass::kStore;
+    r.mem_addr = 0x40100000 + 32ULL * static_cast<std::uint64_t>(i);
+    with_stores.records.push_back(r);
+  }
+  Platform p(DetLeon3Config(), 1);
+  const Cycles base = p.Run(alu_only, 1).cycles;
+  const Cycles stores = p.Run(with_stores, 1).cycles;
+  // Each write-through store occupies bus + DRAM; the drain must be
+  // visible in the end-to-end time (8 stores x O(100) cycles).
+  EXPECT_GT(stores, base + 8 * DetLeon3Config().dram.row_hit_latency);
+}
+
+}  // namespace
+}  // namespace spta::sim

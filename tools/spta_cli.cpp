@@ -1,0 +1,268 @@
+// spta_cli — command-line front end to the SpacePTA toolkit.
+//
+//   spta_cli campaign  --platform rand|det|rand-op --runs N --seed S
+//                      [--scenarios K] [--output samples.csv]
+//       Runs a TVCA measurement campaign and writes cycles,path_id CSV.
+//
+//   spta_cli analyze   [--input samples.csv] [--block-size B] [--lags L]
+//                      [--alpha A] [--per-path] [--min-path-samples M]
+//       Reads a sample (file or stdin) and runs the MBPTA pipeline:
+//       i.i.d. gate, Gumbel fit, GOF diagnostics, pWCET table, path
+//       coverage. Exit code 0 iff the analysis is usable.
+//
+//   spta_cli convergence [--input samples.csv] [--initial N] [--step N]
+//                        [--prob P] [--tol T]
+//       Applies the MBPTA convergence criterion over sample prefixes.
+//
+//   spta_cli record    --trace out.trc [--scenario S]
+//       Records one TVCA major-frame trace to a binary trace file.
+//
+//   spta_cli simulate  --trace in.trc --platform rand|det|rand-op
+//                      --runs N [--seed S] [--output samples.csv]
+//       Replays a recorded trace N times (fresh platform seed per run)
+//       and writes the execution times as CSV.
+//
+// The analyze/convergence commands work on measurements from ANY source
+// (a real board, another simulator) — the bundled simulator is just one
+// producer of the CSV format.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/campaign.hpp"
+#include "analysis/sample_io.hpp"
+#include "apps/tvca.hpp"
+#include "common/flags.hpp"
+#include "common/histogram.hpp"
+#include "mbpta/convergence.hpp"
+#include "mbpta/mbpta.hpp"
+#include "mbpta/path_coverage.hpp"
+#include "mbpta/per_path.hpp"
+#include "mbpta/report.hpp"
+#include "sim/platform.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace spta;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: spta_cli <campaign|analyze|convergence|record|simulate> [flags]\n"
+               "  campaign    --platform rand|det|rand-op --runs N "
+               "[--seed S] [--scenarios K] [--output FILE]\n"
+               "  analyze     [--input FILE] [--block-size B] [--lags L] "
+               "[--alpha A] [--per-path] [--min-path-samples M] [--histogram]\n"
+               "  convergence [--input FILE] [--initial N] [--step N] "
+               "[--prob P] [--tol T]\n"
+               "  record      --trace FILE [--scenario S]\n"
+               "  simulate    --trace FILE --platform rand|det|rand-op "
+               "--runs N [--seed S] [--output FILE]\n");
+  return 2;
+}
+
+std::vector<mbpta::PathObservation> LoadSamples(const Flags& flags) {
+  const std::string input = flags.GetString("input");
+  if (input.empty() || input == "-") {
+    return analysis::ReadSamplesCsv(std::cin);
+  }
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "spta_cli: cannot open '%s'\n", input.c_str());
+    std::exit(2);
+  }
+  return analysis::ReadSamplesCsv(in);
+}
+
+std::vector<double> Times(
+    const std::vector<mbpta::PathObservation>& obs) {
+  std::vector<double> t;
+  t.reserve(obs.size());
+  for (const auto& o : obs) t.push_back(o.time);
+  return t;
+}
+
+int RunCampaign(const Flags& flags) {
+  const std::string platform_name = flags.GetString("platform", "rand");
+  sim::PlatformConfig config;
+  if (platform_name == "rand") {
+    config = sim::RandLeon3Config();
+  } else if (platform_name == "det") {
+    config = sim::DetLeon3Config();
+  } else if (platform_name == "rand-op") {
+    config = sim::RandLeon3OperationConfig();
+  } else {
+    std::fprintf(stderr, "spta_cli: unknown platform '%s'\n",
+                 platform_name.c_str());
+    return 2;
+  }
+
+  analysis::CampaignConfig cc;
+  cc.runs = static_cast<std::size_t>(flags.GetInt("runs", 1000));
+  cc.master_seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 20170327));
+  cc.distinct_scenarios =
+      static_cast<std::size_t>(flags.GetInt("scenarios", 0));
+
+  const apps::TvcaApp app;
+  sim::Platform platform(config, cc.master_seed);
+  std::fprintf(stderr, "spta_cli: %zu runs on %s...\n", cc.runs,
+               config.name.c_str());
+  const auto samples = analysis::RunTvcaCampaign(platform, app, cc);
+
+  const std::string output = flags.GetString("output");
+  if (output.empty() || output == "-") {
+    analysis::WriteSamplesCsv(std::cout, samples);
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "spta_cli: cannot write '%s'\n", output.c_str());
+      return 2;
+    }
+    analysis::WriteSamplesCsv(out, samples);
+    std::fprintf(stderr, "spta_cli: wrote %zu samples to %s\n",
+                 samples.size(), output.c_str());
+  }
+  return 0;
+}
+
+int RunAnalyze(const Flags& flags) {
+  const auto obs = LoadSamples(flags);
+  if (obs.size() < 50) {
+    std::fprintf(stderr, "spta_cli: need at least 50 samples, got %zu\n",
+                 obs.size());
+    return 2;
+  }
+  mbpta::MbptaOptions opts;
+  opts.block_size =
+      static_cast<std::size_t>(flags.GetInt("block-size", 0));
+  opts.iid.alpha = flags.GetDouble("alpha", 0.05);
+  opts.iid.ljung_box_lags =
+      static_cast<std::size_t>(flags.GetInt("lags", 20));
+  opts.min_blocks = static_cast<std::size_t>(flags.GetInt("min-blocks", 30));
+
+  const auto times = Times(obs);
+  const auto result = mbpta::AnalyzeSample(times, opts);
+  std::cout << mbpta::RenderReport(result, "spta_cli analysis");
+
+  if (flags.GetBool("histogram")) {
+    const Histogram h = Histogram::FromSample(times, 20);
+    std::printf("execution-time histogram:\n%s", h.Ascii(48).c_str());
+  }
+
+  const auto coverage = mbpta::EstimatePathCoverage(obs);
+  std::printf(
+      "path coverage: %zu paths in %zu runs; Good-Turing unseen-path "
+      "probability %.2e\n",
+      coverage.observed_paths, coverage.runs, coverage.missing_mass);
+
+  if (flags.GetBool("per-path")) {
+    mbpta::PerPathOptions ppo;
+    ppo.mbpta = opts;
+    ppo.min_samples_per_path = static_cast<std::size_t>(
+        flags.GetInt("min-path-samples", 100));
+    const auto per_path = mbpta::AnalyzePerPath(obs, ppo);
+    std::cout << mbpta::RenderReport(per_path);
+  }
+  return result.usable ? 0 : 1;
+}
+
+int RunConvergence(const Flags& flags) {
+  const auto obs = LoadSamples(flags);
+  mbpta::ConvergenceOptions opts;
+  opts.initial_runs =
+      static_cast<std::size_t>(flags.GetInt("initial", 250));
+  opts.step_runs = static_cast<std::size_t>(flags.GetInt("step", 250));
+  opts.reference_prob = flags.GetDouble("prob", 1e-12);
+  opts.rel_tolerance = flags.GetDouble("tol", 0.02);
+  const auto times = Times(obs);
+  if (times.size() < opts.initial_runs) {
+    std::fprintf(stderr,
+                 "spta_cli: sample of %zu smaller than --initial %zu\n",
+                 times.size(), opts.initial_runs);
+    return 2;
+  }
+  const auto conv = mbpta::CheckConvergence(times, opts);
+  for (const auto& pt : conv.points) {
+    std::printf("n=%6zu  pWCET=%.0f  delta=%.4f\n", pt.runs, pt.pwcet,
+                pt.rel_delta);
+  }
+  std::printf("converged: %s (at %zu runs)\n",
+              conv.converged ? "yes" : "no", conv.runs_required);
+  return conv.converged ? 0 : 1;
+}
+
+int RunRecord(const Flags& flags) {
+  const std::string path = flags.GetString("trace");
+  if (path.empty()) {
+    std::fprintf(stderr, "spta_cli: record needs --trace FILE\n");
+    return 2;
+  }
+  const apps::TvcaApp app;
+  const auto frame = app.BuildFrame(
+      static_cast<std::uint64_t>(flags.GetInt("scenario", 1)));
+  trace::SaveTraceFile(path, frame.trace);
+  std::fprintf(stderr, "spta_cli: wrote %zu records (path %u) to %s\n",
+               frame.trace.records.size(), frame.path_id, path.c_str());
+  return 0;
+}
+
+int RunSimulate(const Flags& flags) {
+  const std::string path = flags.GetString("trace");
+  if (path.empty()) {
+    std::fprintf(stderr, "spta_cli: simulate needs --trace FILE\n");
+    return 2;
+  }
+  const std::string platform_name = flags.GetString("platform", "rand");
+  sim::PlatformConfig config;
+  if (platform_name == "rand") {
+    config = sim::RandLeon3Config();
+  } else if (platform_name == "det") {
+    config = sim::DetLeon3Config();
+  } else if (platform_name == "rand-op") {
+    config = sim::RandLeon3OperationConfig();
+  } else {
+    std::fprintf(stderr, "spta_cli: unknown platform '%s'\n",
+                 platform_name.c_str());
+    return 2;
+  }
+  const trace::Trace t = trace::LoadTraceFile(path);
+  const auto runs = static_cast<std::size_t>(flags.GetInt("runs", 1000));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 20170327));
+  sim::Platform platform(config, seed);
+  const auto samples =
+      analysis::RunFixedTraceCampaign(platform, t, runs, seed);
+  const std::string output = flags.GetString("output");
+  if (output.empty() || output == "-") {
+    analysis::WriteSamplesCsv(std::cout, samples);
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "spta_cli: cannot write '%s'\n", output.c_str());
+      return 2;
+    }
+    analysis::WriteSamplesCsv(out, samples);
+    std::fprintf(stderr, "spta_cli: wrote %zu samples to %s\n",
+                 samples.size(), output.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+
+  if (command == "campaign") return RunCampaign(flags);
+  if (command == "analyze") return RunAnalyze(flags);
+  if (command == "convergence") return RunConvergence(flags);
+  if (command == "record") return RunRecord(flags);
+  if (command == "simulate") return RunSimulate(flags);
+  std::fprintf(stderr, "spta_cli: unknown command '%s'\n", command.c_str());
+  return Usage();
+}
