@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/prng_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/stat_tests_test[1]_include.cmake")
+include("/root/repo/build/tests/evt_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/disasm_ppcc_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_regression_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/mbpta_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels2_test[1]_include.cmake")
+include("/root/repo/build/tests/swcet_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis2_test[1]_include.cmake")
+include("/root/repo/build/tests/hazard_crps_test[1]_include.cmake")
+include("/root/repo/build/tests/backtest_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_property_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_binary_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
