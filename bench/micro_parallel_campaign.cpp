@@ -1,0 +1,76 @@
+// Serial vs parallel measurement-campaign throughput.
+//
+// The MBPTA protocol needs >= 3,000 end-to-end runs per analysis (plus
+// per-path and convergence re-runs); campaign wall clock is the pipeline's
+// dominant cost. This bench measures the multi-threaded runner against the
+// serial baseline on the TVCA workload, reports samples/sec and speedup
+// per job count, and re-verifies the bit-identity contract on the fly.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/campaign.hpp"
+#include "analysis/parallel_campaign.hpp"
+#include "apps/tvca.hpp"
+#include "bench_util.hpp"
+#include "sim/platform.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+bool Identical(const std::vector<spta::analysis::RunSample>& a,
+               const std::vector<spta::analysis::RunSample>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].cycles != b[i].cycles || a[i].path_id != b[i].path_id ||
+        a[i].detail.cycles != b[i].detail.cycles) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spta;
+  bench::Banner(
+      "micro: parallel campaign throughput",
+      "infrastructure (no paper artifact): campaign runner scaling",
+      "measurement cost, not method cost, dominates MBPTA wall clock; "
+      "samples must stay bit-identical under any job count");
+
+  const apps::TvcaApp app;
+  analysis::CampaignConfig cc;
+  cc.runs = bench::RunCount(600);
+  cc.distinct_scenarios = 32;  // fixed analysis-time test-vector suite
+  const auto config = sim::RandLeon3Config();
+
+  const auto t0 = Clock::now();
+  sim::Platform platform(config, cc.master_seed);
+  const auto serial = analysis::RunTvcaCampaign(platform, app, cc);
+  const auto t1 = Clock::now();
+  const double serial_s = Seconds(t0, t1);
+  std::printf("serial          : %7.2fs  %8.1f samples/sec  (baseline)\n",
+              serial_s, static_cast<double>(cc.runs) / serial_s);
+
+  const std::size_t hw = analysis::DefaultJobs();
+  std::printf("hardware concurrency: %zu\n", hw);
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                           hw}) {
+    const auto p0 = Clock::now();
+    const auto par = analysis::RunTvcaCampaignParallel(config, app, cc, jobs);
+    const auto p1 = Clock::now();
+    const double par_s = Seconds(p0, p1);
+    std::printf("parallel %2zu jobs: %7.2fs  %8.1f samples/sec  "
+                "speedup %.2fx  bit-identical %s\n",
+                jobs, par_s, static_cast<double>(cc.runs) / par_s,
+                serial_s / par_s, Identical(serial, par) ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -191,5 +191,6 @@ examples/CMakeFiles/tvca_campaign.dir/tvca_campaign.cpp.o: \
  /root/repo/src/sim/dram.hpp /root/repo/src/sim/store_buffer.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/tlb.hpp \
+ /root/repo/src/analysis/parallel_campaign.hpp \
  /root/repo/src/mbpta/report.hpp /root/repo/src/mbta/mbta.hpp \
  /root/repo/src/stats/descriptive.hpp

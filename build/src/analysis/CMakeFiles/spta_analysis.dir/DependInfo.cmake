@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/analysis/campaign.cpp" "src/analysis/CMakeFiles/spta_analysis.dir/campaign.cpp.o" "gcc" "src/analysis/CMakeFiles/spta_analysis.dir/campaign.cpp.o.d"
+  "/root/repo/src/analysis/parallel_campaign.cpp" "src/analysis/CMakeFiles/spta_analysis.dir/parallel_campaign.cpp.o" "gcc" "src/analysis/CMakeFiles/spta_analysis.dir/parallel_campaign.cpp.o.d"
   "/root/repo/src/analysis/reuse.cpp" "src/analysis/CMakeFiles/spta_analysis.dir/reuse.cpp.o" "gcc" "src/analysis/CMakeFiles/spta_analysis.dir/reuse.cpp.o.d"
   "/root/repo/src/analysis/sample_io.cpp" "src/analysis/CMakeFiles/spta_analysis.dir/sample_io.cpp.o" "gcc" "src/analysis/CMakeFiles/spta_analysis.dir/sample_io.cpp.o.d"
   )

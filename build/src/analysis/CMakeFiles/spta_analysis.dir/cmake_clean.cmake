@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/spta_analysis.dir/campaign.cpp.o"
   "CMakeFiles/spta_analysis.dir/campaign.cpp.o.d"
+  "CMakeFiles/spta_analysis.dir/parallel_campaign.cpp.o"
+  "CMakeFiles/spta_analysis.dir/parallel_campaign.cpp.o.d"
   "CMakeFiles/spta_analysis.dir/reuse.cpp.o"
   "CMakeFiles/spta_analysis.dir/reuse.cpp.o.d"
   "CMakeFiles/spta_analysis.dir/sample_io.cpp.o"

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/hash.cpp" "src/common/CMakeFiles/spta_common.dir/hash.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/hash.cpp.o.d"
   "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/spta_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/histogram.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/spta_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/spta_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/thread_pool.cpp.o.d"
   "/root/repo/src/common/types.cpp" "src/common/CMakeFiles/spta_common.dir/types.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/types.cpp.o.d"
   )
 

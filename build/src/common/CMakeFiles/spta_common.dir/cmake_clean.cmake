@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/spta_common.dir/histogram.cpp.o.d"
   "CMakeFiles/spta_common.dir/table.cpp.o"
   "CMakeFiles/spta_common.dir/table.cpp.o.d"
+  "CMakeFiles/spta_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/spta_common.dir/thread_pool.cpp.o.d"
   "CMakeFiles/spta_common.dir/types.cpp.o"
   "CMakeFiles/spta_common.dir/types.cpp.o.d"
   "libspta_common.a"

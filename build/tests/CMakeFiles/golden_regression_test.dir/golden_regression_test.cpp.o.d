@@ -293,17 +293,23 @@ tests/CMakeFiles/golden_regression_test.dir/golden_regression_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/apps/kernels.hpp /root/repo/src/trace/program.hpp \
- /root/repo/src/common/types.hpp /root/repo/src/apps/tvca.hpp \
- /root/repo/src/apps/scheduler.hpp /root/repo/src/trace/record.hpp \
- /root/repo/src/prng/xoshiro.hpp /root/repo/src/sim/platform.hpp \
- /usr/include/c++/12/span /root/repo/src/sim/config.hpp \
- /root/repo/src/sim/core.hpp /root/repo/src/sim/bus.hpp \
- /root/repo/src/sim/cache.hpp /root/repo/src/prng/hw_prng.hpp \
- /root/repo/src/prng/lfsr.hpp /root/repo/src/sim/fpu.hpp \
- /root/repo/src/sim/memory_system.hpp /root/repo/src/sim/dram.hpp \
- /root/repo/src/sim/store_buffer.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/tlb.hpp /root/repo/src/swcet/static_bound.hpp \
- /root/repo/src/swcet/cfg.hpp /root/repo/src/swcet/cost_model.hpp \
- /root/repo/src/trace/interpreter.hpp
+ /root/repo/src/analysis/campaign.hpp /usr/include/c++/12/span \
+ /root/repo/src/apps/tvca.hpp /root/repo/src/apps/scheduler.hpp \
+ /root/repo/src/common/types.hpp /root/repo/src/trace/record.hpp \
+ /root/repo/src/trace/program.hpp /root/repo/src/mbpta/per_path.hpp \
+ /root/repo/src/mbpta/mbpta.hpp /root/repo/src/evt/ad_test.hpp \
+ /root/repo/src/evt/gumbel.hpp /root/repo/src/evt/gev.hpp \
+ /root/repo/src/evt/gof.hpp /root/repo/src/evt/pwcet.hpp \
+ /root/repo/src/mbpta/iid_gate.hpp /root/repo/src/stats/ks_test.hpp \
+ /root/repo/src/stats/ljung_box.hpp /root/repo/src/sim/platform.hpp \
+ /root/repo/src/sim/config.hpp /root/repo/src/sim/core.hpp \
+ /root/repo/src/sim/bus.hpp /root/repo/src/sim/cache.hpp \
+ /root/repo/src/prng/hw_prng.hpp /root/repo/src/prng/lfsr.hpp \
+ /root/repo/src/sim/fpu.hpp /root/repo/src/sim/memory_system.hpp \
+ /root/repo/src/sim/dram.hpp /root/repo/src/sim/store_buffer.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/tlb.hpp \
+ /root/repo/src/analysis/parallel_campaign.hpp \
+ /root/repo/src/apps/kernels.hpp /root/repo/src/prng/xoshiro.hpp \
+ /root/repo/src/swcet/static_bound.hpp /root/repo/src/swcet/cfg.hpp \
+ /root/repo/src/swcet/cost_model.hpp /root/repo/src/trace/interpreter.hpp

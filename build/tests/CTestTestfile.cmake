@@ -28,3 +28,4 @@ include("/root/repo/build/tests/backtest_test[1]_include.cmake")
 include("/root/repo/build/tests/timing_property_test[1]_include.cmake")
 include("/root/repo/build/tests/cli_binary_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_campaign_test[1]_include.cmake")

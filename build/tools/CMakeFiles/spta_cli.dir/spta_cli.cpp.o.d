@@ -195,6 +195,7 @@ tools/CMakeFiles/spta_cli.dir/spta_cli.cpp.o: \
  /root/repo/src/sim/dram.hpp /root/repo/src/sim/store_buffer.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/tlb.hpp \
+ /root/repo/src/analysis/parallel_campaign.hpp \
  /root/repo/src/analysis/sample_io.hpp /root/repo/src/common/flags.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \

@@ -7,6 +7,21 @@
 
 namespace spta::analysis {
 
+Seed TvcaScenarioSeed(const CampaignConfig& config, std::size_t run_index) {
+  const std::uint64_t scenario_index =
+      config.distinct_scenarios == 0 ? run_index
+                                     : run_index % config.distinct_scenarios;
+  return DeriveSeed(config.master_seed, scenario_index);
+}
+
+Seed TvcaRunSeed(const CampaignConfig& config, std::size_t run_index) {
+  return DeriveSeed(DeriveSeed(config.master_seed, "run"), run_index);
+}
+
+Seed FixedTraceRunSeed(std::uint64_t master_seed, std::size_t run_index) {
+  return DeriveSeed(master_seed, run_index);
+}
+
 std::vector<RunSample> RunTvcaCampaign(sim::Platform& platform,
                                        const apps::TvcaApp& app,
                                        const CampaignConfig& config) {
@@ -20,10 +35,7 @@ std::vector<RunSample> RunTvcaCampaign(sim::Platform& platform,
   std::unordered_map<std::uint64_t, apps::TvcaFrame> frame_cache;
 
   for (std::size_t r = 0; r < config.runs; ++r) {
-    const std::uint64_t scenario_index =
-        config.distinct_scenarios == 0 ? r : r % config.distinct_scenarios;
-    const std::uint64_t scenario_seed =
-        DeriveSeed(config.master_seed, scenario_index);
+    const std::uint64_t scenario_seed = TvcaScenarioSeed(config, r);
     auto it = frame_cache.find(scenario_seed);
     if (it == frame_cache.end()) {
       it = frame_cache.emplace(scenario_seed, app.BuildFrame(scenario_seed))
@@ -31,8 +43,7 @@ std::vector<RunSample> RunTvcaCampaign(sim::Platform& platform,
     }
     const apps::TvcaFrame& frame = it->second;
 
-    const Seed run_seed =
-        DeriveSeed(DeriveSeed(config.master_seed, "run"), r);
+    const Seed run_seed = TvcaRunSeed(config, r);
     RunSample s;
     s.detail = platform.Run(frame.trace, run_seed);
     s.cycles = static_cast<double>(s.detail.cycles);
@@ -55,7 +66,7 @@ std::vector<RunSample> RunFixedTraceCampaign(sim::Platform& platform,
   samples.reserve(runs);
   for (std::size_t r = 0; r < runs; ++r) {
     RunSample s;
-    s.detail = platform.Run(t, DeriveSeed(master_seed, r));
+    s.detail = platform.Run(t, FixedTraceRunSeed(master_seed, r));
     s.cycles = static_cast<double>(s.detail.cycles);
     s.path_id = static_cast<std::uint32_t>(t.path_signature);
     samples.push_back(s);

@@ -35,6 +35,15 @@ struct RunSample {
   sim::RunResult detail;
 };
 
+/// Seed-derivation contract shared by the serial and parallel runners: the
+/// inputs (scenario) seed and the platform PRNG seed of run `run_index` are
+/// pure functions of the campaign configuration, so any runner that honors
+/// them — in any execution order — produces the same sample vector.
+Seed TvcaScenarioSeed(const CampaignConfig& config, std::size_t run_index);
+Seed TvcaRunSeed(const CampaignConfig& config, std::size_t run_index);
+/// Per-run platform seed of a fixed-trace campaign.
+Seed FixedTraceRunSeed(std::uint64_t master_seed, std::size_t run_index);
+
 /// Executes a TVCA campaign on `platform`. Frame traces are cached per
 /// scenario, so re-running the same scenario under a different platform
 /// seed costs only simulation time.

@@ -1,0 +1,68 @@
+#include "analysis/parallel_campaign.hpp"
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/platform.hpp"
+
+namespace spta::analysis {
+
+std::size_t DefaultJobs() { return ThreadPool::DefaultThreadCount(); }
+
+std::vector<RunSample> RunTvcaCampaignParallel(
+    const sim::PlatformConfig& platform_config, const apps::TvcaApp& app,
+    const CampaignConfig& config, std::size_t jobs) {
+  SPTA_REQUIRE(config.runs >= 1);
+  std::vector<RunSample> samples(config.runs);
+
+  // Fixed test-vector suite: build the (few) distinct frames once; workers
+  // only read them. Fresh-input campaigns have one frame per run, built by
+  // whichever worker owns the run — same BuildFrame(seed) call the serial
+  // runner makes, so the traces are identical.
+  std::vector<apps::TvcaFrame> suite;
+  if (config.distinct_scenarios > 0) {
+    suite.reserve(config.distinct_scenarios);
+    for (std::size_t i = 0; i < config.distinct_scenarios; ++i) {
+      suite.push_back(app.BuildFrame(TvcaScenarioSeed(config, i)));
+    }
+  }
+
+  ThreadPool pool(jobs);
+  ParallelFor(pool, config.runs, [&](std::size_t r) {
+    const Seed run_seed = TvcaRunSeed(config, r);
+    apps::TvcaFrame local;
+    const apps::TvcaFrame* frame;
+    if (!suite.empty()) {
+      frame = &suite[r % config.distinct_scenarios];
+    } else {
+      local = app.BuildFrame(TvcaScenarioSeed(config, r));
+      frame = &local;
+    }
+    sim::Platform platform(platform_config, run_seed);
+    RunSample s;
+    s.detail = platform.Run(frame->trace, run_seed);
+    s.cycles = static_cast<double>(s.detail.cycles);
+    s.path_id = frame->path_id;
+    samples[r] = s;
+  });
+  return samples;
+}
+
+std::vector<RunSample> RunFixedTraceCampaignParallel(
+    const sim::PlatformConfig& platform_config, const trace::Trace& t,
+    std::size_t runs, std::uint64_t master_seed, std::size_t jobs) {
+  SPTA_REQUIRE(runs >= 1);
+  std::vector<RunSample> samples(runs);
+  ThreadPool pool(jobs);
+  ParallelFor(pool, runs, [&](std::size_t r) {
+    const Seed run_seed = FixedTraceRunSeed(master_seed, r);
+    sim::Platform platform(platform_config, run_seed);
+    RunSample s;
+    s.detail = platform.Run(t, run_seed);
+    s.cycles = static_cast<double>(s.detail.cycles);
+    s.path_id = static_cast<std::uint32_t>(t.path_signature);
+    samples[r] = s;
+  });
+  return samples;
+}
+
+}  // namespace spta::analysis

@@ -1,0 +1,102 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace spta {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = DefaultThreadCount();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SPTA_REQUIRE(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [this] { return unfinished_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain remaining work even when stopping, so a destructed pool
+      // never drops submitted tasks.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --unfinished_;
+      if (unfinished_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Chunked dynamic claiming: big enough to amortize the atomic, small
+  // enough (~8 chunks per worker) to balance uneven iteration costs.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / (pool.size() * 8));
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t pumps = std::min(pool.size(), count);
+  for (std::size_t p = 0; p < pumps; ++p) {
+    pool.Submit([next, count, chunk, &body] {
+      for (;;) {
+        const std::size_t begin =
+            next->fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= count) return;
+        const std::size_t end = std::min(begin + chunk, count);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace spta

@@ -1,0 +1,69 @@
+// Fixed-size worker pool for fanning deterministic work across threads.
+//
+// The pool exists to parallelize measurement campaigns: thousands of
+// independent simulation runs whose results are written into pre-sized
+// output slots by run index, so the sample vector is invariant to thread
+// count and scheduling order. The pool itself is generic: submit void()
+// tasks, then Wait() for the batch to drain. One orchestrating thread
+// submits and waits; the workers never submit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spta {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means DefaultThreadCount().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers. Pending tasks are still executed (the destructor
+  /// drains the queue before the workers exit).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Thread-safe, but intended for a single
+  /// orchestrating thread (Wait() waits for ALL outstanding tasks).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception (later ones are dropped). The
+  /// pool stays usable for further batches afterwards.
+  void Wait();
+
+  /// std::thread::hardware_concurrency() clamped to >= 1.
+  static std::size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t unfinished_ = 0;  ///< queued + currently executing
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for every i in [0, count) on `pool`'s workers and blocks
+/// until all iterations are done (rethrows the first task exception).
+/// Iterations are claimed dynamically in contiguous chunks, so the
+/// ASSIGNMENT of index to thread is scheduling-dependent — determinism is
+/// the body's job: write results only to slot i, never append.
+void ParallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace spta

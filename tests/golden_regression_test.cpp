@@ -9,8 +9,11 @@
 
 #include <functional>
 
+#include "analysis/campaign.hpp"
+#include "analysis/parallel_campaign.hpp"
 #include "apps/kernels.hpp"
 #include "apps/tvca.hpp"
+#include "mbpta/mbpta.hpp"
 #include "prng/xoshiro.hpp"
 #include "sim/platform.hpp"
 #include "swcet/static_bound.hpp"
@@ -30,6 +33,47 @@ TEST(GoldenRegressionTest, ReferenceFrameTiming) {
   EXPECT_EQ(det.Run(frame.trace, 7).cycles, 826594u);
   EXPECT_EQ(rnd.Run(frame.trace, 7).cycles, 873322u);
   EXPECT_EQ(rnd.Run(frame.trace, 8).cycles, 879851u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end MBPTA pipeline golden values, produced THROUGH the parallel
+// campaign runner: the sample vector must equal the serial runner's bit for
+// bit, and the downstream pipeline (Ljung-Box, KS, Gumbel fit, pWCET) must
+// therefore reproduce the pinned numbers regardless of the job count used
+// to collect the measurements. Re-baseline these constants only alongside a
+// deliberate timing-model change.
+TEST(GoldenRegressionTest, MbptaPipelineThroughParallelRunner) {
+  apps::TvcaConfig tc;  // reduced frame so 300 runs stay test-sized
+  tc.sensor_channels = 4;
+  tc.samples_per_frame = 8;
+  tc.fir_taps = 6;
+  tc.state_dim = 8;
+  tc.integrator_steps = 6;
+  tc.control_iterations = 1;
+  tc.straightline_instructions = 200;
+  tc.dispatch_overhead = 32;
+  const apps::TvcaApp app(tc);
+
+  analysis::CampaignConfig cc;
+  cc.runs = 300;  // fresh inputs per run, the paper's analysis protocol
+
+  sim::Platform platform(sim::RandLeon3Config(), cc.master_seed);
+  const auto serial_times =
+      analysis::ExtractTimes(analysis::RunTvcaCampaign(platform, app, cc));
+  const auto parallel_times = analysis::ExtractTimes(
+      analysis::RunTvcaCampaignParallel(sim::RandLeon3Config(), app, cc, 4));
+  ASSERT_EQ(serial_times, parallel_times);  // bit-identical doubles
+
+  const auto result = mbpta::AnalyzeSample(parallel_times);
+  EXPECT_TRUE(result.usable);
+  EXPECT_TRUE(result.iid.Passed());
+  // Golden i.i.d. gate values and pWCET, pinned from the deterministic
+  // sample (identical under any --jobs, asserted above).
+  EXPECT_NEAR(result.iid.independence.p_value, 0.142373525583, 1e-9);
+  EXPECT_NEAR(result.iid.identical_distribution.p_value, 0.799993650987,
+              1e-9);
+  EXPECT_EQ(result.block_size, 10u);
+  EXPECT_NEAR(result.PwcetAt(1e-12), 88623.514295, 1e-3);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,8 +1,10 @@
 // spta_cli — command-line front end to the SpacePTA toolkit.
 //
 //   spta_cli campaign  --platform rand|det|rand-op --runs N --seed S
-//                      [--scenarios K] [--output samples.csv]
+//                      [--scenarios K] [--jobs J] [--output samples.csv]
 //       Runs a TVCA measurement campaign and writes cycles,path_id CSV.
+//       --jobs J fans the runs across J worker threads (default: hardware
+//       concurrency); the samples are bit-identical for every J.
 //
 //   spta_cli analyze   [--input samples.csv] [--block-size B] [--lags L]
 //                      [--alpha A] [--per-path] [--min-path-samples M]
@@ -18,7 +20,7 @@
 //       Records one TVCA major-frame trace to a binary trace file.
 //
 //   spta_cli simulate  --trace in.trc --platform rand|det|rand-op
-//                      --runs N [--seed S] [--output samples.csv]
+//                      --runs N [--seed S] [--jobs J] [--output samples.csv]
 //       Replays a recorded trace N times (fresh platform seed per run)
 //       and writes the execution times as CSV.
 //
@@ -32,6 +34,7 @@
 #include <sstream>
 
 #include "analysis/campaign.hpp"
+#include "analysis/parallel_campaign.hpp"
 #include "analysis/sample_io.hpp"
 #include "apps/tvca.hpp"
 #include "common/flags.hpp"
@@ -52,14 +55,14 @@ int Usage() {
   std::fprintf(stderr,
                "usage: spta_cli <campaign|analyze|convergence|record|simulate> [flags]\n"
                "  campaign    --platform rand|det|rand-op --runs N "
-               "[--seed S] [--scenarios K] [--output FILE]\n"
+               "[--seed S] [--scenarios K] [--jobs J] [--output FILE]\n"
                "  analyze     [--input FILE] [--block-size B] [--lags L] "
                "[--alpha A] [--per-path] [--min-path-samples M] [--histogram]\n"
                "  convergence [--input FILE] [--initial N] [--step N] "
                "[--prob P] [--tol T]\n"
                "  record      --trace FILE [--scenario S]\n"
                "  simulate    --trace FILE --platform rand|det|rand-op "
-               "--runs N [--seed S] [--output FILE]\n");
+               "--runs N [--seed S] [--jobs J] [--output FILE]\n");
   return 2;
 }
 
@@ -74,6 +77,19 @@ std::vector<mbpta::PathObservation> LoadSamples(const Flags& flags) {
     std::exit(2);
   }
   return analysis::ReadSamplesCsv(in);
+}
+
+/// Parses --jobs: 0 or absent = hardware concurrency; negative is an
+/// operator error (exits), not a 2^64-thread request.
+std::size_t JobsFlag(const Flags& flags) {
+  const std::int64_t jobs = flags.GetInt("jobs", 0);
+  if (jobs < 0) {
+    std::fprintf(stderr, "spta_cli: --jobs must be >= 0 (got %lld)\n",
+                 static_cast<long long>(jobs));
+    std::exit(2);
+  }
+  return jobs == 0 ? analysis::DefaultJobs()
+                   : static_cast<std::size_t>(jobs);
 }
 
 std::vector<double> Times(
@@ -106,11 +122,11 @@ int RunCampaign(const Flags& flags) {
   cc.distinct_scenarios =
       static_cast<std::size_t>(flags.GetInt("scenarios", 0));
 
+  const std::size_t jobs = JobsFlag(flags);
   const apps::TvcaApp app;
-  sim::Platform platform(config, cc.master_seed);
-  std::fprintf(stderr, "spta_cli: %zu runs on %s...\n", cc.runs,
-               config.name.c_str());
-  const auto samples = analysis::RunTvcaCampaign(platform, app, cc);
+  std::fprintf(stderr, "spta_cli: %zu runs on %s (%zu jobs)...\n", cc.runs,
+               config.name.c_str(), jobs);
+  const auto samples = analysis::RunTvcaCampaignParallel(config, app, cc, jobs);
 
   const std::string output = flags.GetString("output");
   if (output.empty() || output == "-") {
@@ -232,9 +248,9 @@ int RunSimulate(const Flags& flags) {
   const auto runs = static_cast<std::size_t>(flags.GetInt("runs", 1000));
   const auto seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 20170327));
-  sim::Platform platform(config, seed);
+  const std::size_t jobs = JobsFlag(flags);
   const auto samples =
-      analysis::RunFixedTraceCampaign(platform, t, runs, seed);
+      analysis::RunFixedTraceCampaignParallel(config, t, runs, seed, jobs);
   const std::string output = flags.GetString("output");
   if (output.empty() || output == "-") {
     analysis::WriteSamplesCsv(std::cout, samples);
