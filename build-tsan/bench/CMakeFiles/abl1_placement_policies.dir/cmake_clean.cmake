@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_placement_policies.dir/abl1_placement_policies.cpp.o"
+  "CMakeFiles/abl1_placement_policies.dir/abl1_placement_policies.cpp.o.d"
+  "abl1_placement_policies"
+  "abl1_placement_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_placement_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

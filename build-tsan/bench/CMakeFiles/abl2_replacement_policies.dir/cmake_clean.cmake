@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_replacement_policies.dir/abl2_replacement_policies.cpp.o"
+  "CMakeFiles/abl2_replacement_policies.dir/abl2_replacement_policies.cpp.o.d"
+  "abl2_replacement_policies"
+  "abl2_replacement_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_replacement_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_fpu_jitter.dir/abl3_fpu_jitter.cpp.o"
+  "CMakeFiles/abl3_fpu_jitter.dir/abl3_fpu_jitter.cpp.o.d"
+  "abl3_fpu_jitter"
+  "abl3_fpu_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_fpu_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

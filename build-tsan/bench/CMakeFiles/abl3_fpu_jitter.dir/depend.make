@@ -1,0 +1,2 @@
+# Empty dependencies file for abl3_fpu_jitter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_evt_sensitivity.dir/abl4_evt_sensitivity.cpp.o"
+  "CMakeFiles/abl4_evt_sensitivity.dir/abl4_evt_sensitivity.cpp.o.d"
+  "abl4_evt_sensitivity"
+  "abl4_evt_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_evt_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

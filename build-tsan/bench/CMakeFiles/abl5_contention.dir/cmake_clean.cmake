@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl5_contention.dir/abl5_contention.cpp.o"
+  "CMakeFiles/abl5_contention.dir/abl5_contention.cpp.o.d"
+  "abl5_contention"
+  "abl5_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl5_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl6_software_randomization.dir/abl6_software_randomization.cpp.o"
+  "CMakeFiles/abl6_software_randomization.dir/abl6_software_randomization.cpp.o.d"
+  "abl6_software_randomization"
+  "abl6_software_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl6_software_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl6_software_randomization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl7_kernel_suite.dir/abl7_kernel_suite.cpp.o"
+  "CMakeFiles/abl7_kernel_suite.dir/abl7_kernel_suite.cpp.o.d"
+  "abl7_kernel_suite"
+  "abl7_kernel_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl7_kernel_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

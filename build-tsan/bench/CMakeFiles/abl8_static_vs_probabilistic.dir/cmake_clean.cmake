@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl8_static_vs_probabilistic.dir/abl8_static_vs_probabilistic.cpp.o"
+  "CMakeFiles/abl8_static_vs_probabilistic.dir/abl8_static_vs_probabilistic.cpp.o.d"
+  "abl8_static_vs_probabilistic"
+  "abl8_static_vs_probabilistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl8_static_vs_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

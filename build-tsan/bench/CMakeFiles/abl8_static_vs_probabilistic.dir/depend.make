@@ -1,0 +1,2 @@
+# Empty dependencies file for abl8_static_vs_probabilistic.
+# This may be replaced when dependencies are built.

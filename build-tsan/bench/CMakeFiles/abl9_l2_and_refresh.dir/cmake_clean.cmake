@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl9_l2_and_refresh.dir/abl9_l2_and_refresh.cpp.o"
+  "CMakeFiles/abl9_l2_and_refresh.dir/abl9_l2_and_refresh.cpp.o.d"
+  "abl9_l2_and_refresh"
+  "abl9_l2_and_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl9_l2_and_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

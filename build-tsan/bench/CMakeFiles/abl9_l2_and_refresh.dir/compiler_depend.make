@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl9_l2_and_refresh.
+# This may be replaced when dependencies are built.

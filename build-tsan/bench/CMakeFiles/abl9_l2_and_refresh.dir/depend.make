@@ -1,0 +1,2 @@
+# Empty dependencies file for abl9_l2_and_refresh.
+# This may be replaced when dependencies are built.

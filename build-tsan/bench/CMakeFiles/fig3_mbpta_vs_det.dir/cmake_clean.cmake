@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mbpta_vs_det.dir/fig3_mbpta_vs_det.cpp.o"
+  "CMakeFiles/fig3_mbpta_vs_det.dir/fig3_mbpta_vs_det.cpp.o.d"
+  "fig3_mbpta_vs_det"
+  "fig3_mbpta_vs_det.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mbpta_vs_det.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

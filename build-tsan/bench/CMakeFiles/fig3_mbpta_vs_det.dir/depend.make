@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_mbpta_vs_det.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parallel_campaign.dir/micro_parallel_campaign.cpp.o"
+  "CMakeFiles/micro_parallel_campaign.dir/micro_parallel_campaign.cpp.o.d"
+  "micro_parallel_campaign"
+  "micro_parallel_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parallel_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

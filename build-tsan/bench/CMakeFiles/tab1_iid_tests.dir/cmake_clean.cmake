@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_iid_tests.dir/tab1_iid_tests.cpp.o"
+  "CMakeFiles/tab1_iid_tests.dir/tab1_iid_tests.cpp.o.d"
+  "tab1_iid_tests"
+  "tab1_iid_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_iid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

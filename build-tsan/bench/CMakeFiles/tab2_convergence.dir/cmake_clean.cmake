@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_convergence.dir/tab2_convergence.cpp.o"
+  "CMakeFiles/tab2_convergence.dir/tab2_convergence.cpp.o.d"
+  "tab2_convergence"
+  "tab2_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_randomization_demo.dir/cache_randomization_demo.cpp.o"
+  "CMakeFiles/cache_randomization_demo.dir/cache_randomization_demo.cpp.o.d"
+  "cache_randomization_demo"
+  "cache_randomization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_randomization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernel_analysis.dir/custom_kernel_analysis.cpp.o"
+  "CMakeFiles/custom_kernel_analysis.dir/custom_kernel_analysis.cpp.o.d"
+  "custom_kernel_analysis"
+  "custom_kernel_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernel_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_measurements.dir/external_measurements.cpp.o"
+  "CMakeFiles/external_measurements.dir/external_measurements.cpp.o.d"
+  "external_measurements"
+  "external_measurements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

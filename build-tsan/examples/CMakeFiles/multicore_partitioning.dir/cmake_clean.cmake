@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_partitioning.dir/multicore_partitioning.cpp.o"
+  "CMakeFiles/multicore_partitioning.dir/multicore_partitioning.cpp.o.d"
+  "multicore_partitioning"
+  "multicore_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedulability_budgeting.dir/schedulability_budgeting.cpp.o"
+  "CMakeFiles/schedulability_budgeting.dir/schedulability_budgeting.cpp.o.d"
+  "schedulability_budgeting"
+  "schedulability_budgeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedulability_budgeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvca_campaign.dir/tvca_campaign.cpp.o"
+  "CMakeFiles/tvca_campaign.dir/tvca_campaign.cpp.o.d"
+  "tvca_campaign"
+  "tvca_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvca_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_analysis.dir/campaign.cpp.o"
+  "CMakeFiles/spta_analysis.dir/campaign.cpp.o.d"
+  "CMakeFiles/spta_analysis.dir/parallel_campaign.cpp.o"
+  "CMakeFiles/spta_analysis.dir/parallel_campaign.cpp.o.d"
+  "CMakeFiles/spta_analysis.dir/reuse.cpp.o"
+  "CMakeFiles/spta_analysis.dir/reuse.cpp.o.d"
+  "CMakeFiles/spta_analysis.dir/sample_io.cpp.o"
+  "CMakeFiles/spta_analysis.dir/sample_io.cpp.o.d"
+  "libspta_analysis.a"
+  "libspta_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/kernels.cpp" "src/apps/CMakeFiles/spta_apps.dir/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/spta_apps.dir/kernels.cpp.o.d"
+  "/root/repo/src/apps/payload.cpp" "src/apps/CMakeFiles/spta_apps.dir/payload.cpp.o" "gcc" "src/apps/CMakeFiles/spta_apps.dir/payload.cpp.o.d"
+  "/root/repo/src/apps/rta.cpp" "src/apps/CMakeFiles/spta_apps.dir/rta.cpp.o" "gcc" "src/apps/CMakeFiles/spta_apps.dir/rta.cpp.o.d"
+  "/root/repo/src/apps/scheduler.cpp" "src/apps/CMakeFiles/spta_apps.dir/scheduler.cpp.o" "gcc" "src/apps/CMakeFiles/spta_apps.dir/scheduler.cpp.o.d"
+  "/root/repo/src/apps/tvca.cpp" "src/apps/CMakeFiles/spta_apps.dir/tvca.cpp.o" "gcc" "src/apps/CMakeFiles/spta_apps.dir/tvca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/trace/CMakeFiles/spta_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/spta_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prng/CMakeFiles/spta_prng.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/spta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_apps.dir/kernels.cpp.o"
+  "CMakeFiles/spta_apps.dir/kernels.cpp.o.d"
+  "CMakeFiles/spta_apps.dir/payload.cpp.o"
+  "CMakeFiles/spta_apps.dir/payload.cpp.o.d"
+  "CMakeFiles/spta_apps.dir/rta.cpp.o"
+  "CMakeFiles/spta_apps.dir/rta.cpp.o.d"
+  "CMakeFiles/spta_apps.dir/scheduler.cpp.o"
+  "CMakeFiles/spta_apps.dir/scheduler.cpp.o.d"
+  "CMakeFiles/spta_apps.dir/tvca.cpp.o"
+  "CMakeFiles/spta_apps.dir/tvca.cpp.o.d"
+  "libspta_apps.a"
+  "libspta_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/assert.cpp" "src/common/CMakeFiles/spta_common.dir/assert.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/assert.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/spta_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/csv.cpp.o.d"
+  "/root/repo/src/common/flags.cpp" "src/common/CMakeFiles/spta_common.dir/flags.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/flags.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/common/CMakeFiles/spta_common.dir/hash.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/hash.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/spta_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/spta_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/spta_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/common/CMakeFiles/spta_common.dir/types.cpp.o" "gcc" "src/common/CMakeFiles/spta_common.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

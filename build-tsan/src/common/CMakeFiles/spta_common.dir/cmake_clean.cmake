@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_common.dir/assert.cpp.o"
+  "CMakeFiles/spta_common.dir/assert.cpp.o.d"
+  "CMakeFiles/spta_common.dir/csv.cpp.o"
+  "CMakeFiles/spta_common.dir/csv.cpp.o.d"
+  "CMakeFiles/spta_common.dir/flags.cpp.o"
+  "CMakeFiles/spta_common.dir/flags.cpp.o.d"
+  "CMakeFiles/spta_common.dir/hash.cpp.o"
+  "CMakeFiles/spta_common.dir/hash.cpp.o.d"
+  "CMakeFiles/spta_common.dir/histogram.cpp.o"
+  "CMakeFiles/spta_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/spta_common.dir/table.cpp.o"
+  "CMakeFiles/spta_common.dir/table.cpp.o.d"
+  "CMakeFiles/spta_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/spta_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/spta_common.dir/types.cpp.o"
+  "CMakeFiles/spta_common.dir/types.cpp.o.d"
+  "libspta_common.a"
+  "libspta_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

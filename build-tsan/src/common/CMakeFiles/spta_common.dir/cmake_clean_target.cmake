@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspta_common.a"
+)

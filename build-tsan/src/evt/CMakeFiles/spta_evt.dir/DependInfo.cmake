@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evt/ad_test.cpp" "src/evt/CMakeFiles/spta_evt.dir/ad_test.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/ad_test.cpp.o.d"
+  "/root/repo/src/evt/block_maxima.cpp" "src/evt/CMakeFiles/spta_evt.dir/block_maxima.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/block_maxima.cpp.o.d"
+  "/root/repo/src/evt/crps.cpp" "src/evt/CMakeFiles/spta_evt.dir/crps.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/crps.cpp.o.d"
+  "/root/repo/src/evt/gev.cpp" "src/evt/CMakeFiles/spta_evt.dir/gev.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/gev.cpp.o.d"
+  "/root/repo/src/evt/gof.cpp" "src/evt/CMakeFiles/spta_evt.dir/gof.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/gof.cpp.o.d"
+  "/root/repo/src/evt/gpd.cpp" "src/evt/CMakeFiles/spta_evt.dir/gpd.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/gpd.cpp.o.d"
+  "/root/repo/src/evt/gumbel.cpp" "src/evt/CMakeFiles/spta_evt.dir/gumbel.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/gumbel.cpp.o.d"
+  "/root/repo/src/evt/mean_excess.cpp" "src/evt/CMakeFiles/spta_evt.dir/mean_excess.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/mean_excess.cpp.o.d"
+  "/root/repo/src/evt/pwcet.cpp" "src/evt/CMakeFiles/spta_evt.dir/pwcet.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/pwcet.cpp.o.d"
+  "/root/repo/src/evt/threshold.cpp" "src/evt/CMakeFiles/spta_evt.dir/threshold.cpp.o" "gcc" "src/evt/CMakeFiles/spta_evt.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/stats/CMakeFiles/spta_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prng/CMakeFiles/spta_prng.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/spta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_evt.dir/ad_test.cpp.o"
+  "CMakeFiles/spta_evt.dir/ad_test.cpp.o.d"
+  "CMakeFiles/spta_evt.dir/block_maxima.cpp.o"
+  "CMakeFiles/spta_evt.dir/block_maxima.cpp.o.d"
+  "CMakeFiles/spta_evt.dir/crps.cpp.o"
+  "CMakeFiles/spta_evt.dir/crps.cpp.o.d"
+  "CMakeFiles/spta_evt.dir/gev.cpp.o"
+  "CMakeFiles/spta_evt.dir/gev.cpp.o.d"
+  "CMakeFiles/spta_evt.dir/gof.cpp.o"
+  "CMakeFiles/spta_evt.dir/gof.cpp.o.d"
+  "CMakeFiles/spta_evt.dir/gpd.cpp.o"
+  "CMakeFiles/spta_evt.dir/gpd.cpp.o.d"
+  "CMakeFiles/spta_evt.dir/gumbel.cpp.o"
+  "CMakeFiles/spta_evt.dir/gumbel.cpp.o.d"
+  "CMakeFiles/spta_evt.dir/mean_excess.cpp.o"
+  "CMakeFiles/spta_evt.dir/mean_excess.cpp.o.d"
+  "CMakeFiles/spta_evt.dir/pwcet.cpp.o"
+  "CMakeFiles/spta_evt.dir/pwcet.cpp.o.d"
+  "CMakeFiles/spta_evt.dir/threshold.cpp.o"
+  "CMakeFiles/spta_evt.dir/threshold.cpp.o.d"
+  "libspta_evt.a"
+  "libspta_evt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_evt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbpta/backtest.cpp" "src/mbpta/CMakeFiles/spta_mbpta.dir/backtest.cpp.o" "gcc" "src/mbpta/CMakeFiles/spta_mbpta.dir/backtest.cpp.o.d"
+  "/root/repo/src/mbpta/confidence.cpp" "src/mbpta/CMakeFiles/spta_mbpta.dir/confidence.cpp.o" "gcc" "src/mbpta/CMakeFiles/spta_mbpta.dir/confidence.cpp.o.d"
+  "/root/repo/src/mbpta/convergence.cpp" "src/mbpta/CMakeFiles/spta_mbpta.dir/convergence.cpp.o" "gcc" "src/mbpta/CMakeFiles/spta_mbpta.dir/convergence.cpp.o.d"
+  "/root/repo/src/mbpta/iid_gate.cpp" "src/mbpta/CMakeFiles/spta_mbpta.dir/iid_gate.cpp.o" "gcc" "src/mbpta/CMakeFiles/spta_mbpta.dir/iid_gate.cpp.o.d"
+  "/root/repo/src/mbpta/mbpta.cpp" "src/mbpta/CMakeFiles/spta_mbpta.dir/mbpta.cpp.o" "gcc" "src/mbpta/CMakeFiles/spta_mbpta.dir/mbpta.cpp.o.d"
+  "/root/repo/src/mbpta/path_coverage.cpp" "src/mbpta/CMakeFiles/spta_mbpta.dir/path_coverage.cpp.o" "gcc" "src/mbpta/CMakeFiles/spta_mbpta.dir/path_coverage.cpp.o.d"
+  "/root/repo/src/mbpta/per_path.cpp" "src/mbpta/CMakeFiles/spta_mbpta.dir/per_path.cpp.o" "gcc" "src/mbpta/CMakeFiles/spta_mbpta.dir/per_path.cpp.o.d"
+  "/root/repo/src/mbpta/report.cpp" "src/mbpta/CMakeFiles/spta_mbpta.dir/report.cpp.o" "gcc" "src/mbpta/CMakeFiles/spta_mbpta.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/stats/CMakeFiles/spta_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/evt/CMakeFiles/spta_evt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prng/CMakeFiles/spta_prng.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/spta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_mbpta.dir/backtest.cpp.o"
+  "CMakeFiles/spta_mbpta.dir/backtest.cpp.o.d"
+  "CMakeFiles/spta_mbpta.dir/confidence.cpp.o"
+  "CMakeFiles/spta_mbpta.dir/confidence.cpp.o.d"
+  "CMakeFiles/spta_mbpta.dir/convergence.cpp.o"
+  "CMakeFiles/spta_mbpta.dir/convergence.cpp.o.d"
+  "CMakeFiles/spta_mbpta.dir/iid_gate.cpp.o"
+  "CMakeFiles/spta_mbpta.dir/iid_gate.cpp.o.d"
+  "CMakeFiles/spta_mbpta.dir/mbpta.cpp.o"
+  "CMakeFiles/spta_mbpta.dir/mbpta.cpp.o.d"
+  "CMakeFiles/spta_mbpta.dir/path_coverage.cpp.o"
+  "CMakeFiles/spta_mbpta.dir/path_coverage.cpp.o.d"
+  "CMakeFiles/spta_mbpta.dir/per_path.cpp.o"
+  "CMakeFiles/spta_mbpta.dir/per_path.cpp.o.d"
+  "CMakeFiles/spta_mbpta.dir/report.cpp.o"
+  "CMakeFiles/spta_mbpta.dir/report.cpp.o.d"
+  "libspta_mbpta.a"
+  "libspta_mbpta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_mbpta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

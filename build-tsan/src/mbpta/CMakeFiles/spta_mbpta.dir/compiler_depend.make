@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spta_mbpta.
+# This may be replaced when dependencies are built.

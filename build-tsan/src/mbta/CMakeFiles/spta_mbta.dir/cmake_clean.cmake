@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_mbta.dir/mbta.cpp.o"
+  "CMakeFiles/spta_mbta.dir/mbta.cpp.o.d"
+  "libspta_mbta.a"
+  "libspta_mbta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_mbta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spta_mbta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prng/hw_prng.cpp" "src/prng/CMakeFiles/spta_prng.dir/hw_prng.cpp.o" "gcc" "src/prng/CMakeFiles/spta_prng.dir/hw_prng.cpp.o.d"
+  "/root/repo/src/prng/lfsr.cpp" "src/prng/CMakeFiles/spta_prng.dir/lfsr.cpp.o" "gcc" "src/prng/CMakeFiles/spta_prng.dir/lfsr.cpp.o.d"
+  "/root/repo/src/prng/self_test.cpp" "src/prng/CMakeFiles/spta_prng.dir/self_test.cpp.o" "gcc" "src/prng/CMakeFiles/spta_prng.dir/self_test.cpp.o.d"
+  "/root/repo/src/prng/xoshiro.cpp" "src/prng/CMakeFiles/spta_prng.dir/xoshiro.cpp.o" "gcc" "src/prng/CMakeFiles/spta_prng.dir/xoshiro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/spta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_prng.dir/hw_prng.cpp.o"
+  "CMakeFiles/spta_prng.dir/hw_prng.cpp.o.d"
+  "CMakeFiles/spta_prng.dir/lfsr.cpp.o"
+  "CMakeFiles/spta_prng.dir/lfsr.cpp.o.d"
+  "CMakeFiles/spta_prng.dir/self_test.cpp.o"
+  "CMakeFiles/spta_prng.dir/self_test.cpp.o.d"
+  "CMakeFiles/spta_prng.dir/xoshiro.cpp.o"
+  "CMakeFiles/spta_prng.dir/xoshiro.cpp.o.d"
+  "libspta_prng.a"
+  "libspta_prng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_prng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

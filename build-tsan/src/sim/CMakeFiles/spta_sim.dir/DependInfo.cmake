@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus.cpp" "src/sim/CMakeFiles/spta_sim.dir/bus.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/bus.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/spta_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/spta_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/spta_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/sim/CMakeFiles/spta_sim.dir/dram.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/dram.cpp.o.d"
+  "/root/repo/src/sim/fpu.cpp" "src/sim/CMakeFiles/spta_sim.dir/fpu.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/fpu.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/spta_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/spta_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/store_buffer.cpp" "src/sim/CMakeFiles/spta_sim.dir/store_buffer.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/store_buffer.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/sim/CMakeFiles/spta_sim.dir/tlb.cpp.o" "gcc" "src/sim/CMakeFiles/spta_sim.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/spta_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prng/CMakeFiles/spta_prng.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/spta_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_sim.dir/bus.cpp.o"
+  "CMakeFiles/spta_sim.dir/bus.cpp.o.d"
+  "CMakeFiles/spta_sim.dir/cache.cpp.o"
+  "CMakeFiles/spta_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/spta_sim.dir/config.cpp.o"
+  "CMakeFiles/spta_sim.dir/config.cpp.o.d"
+  "CMakeFiles/spta_sim.dir/core.cpp.o"
+  "CMakeFiles/spta_sim.dir/core.cpp.o.d"
+  "CMakeFiles/spta_sim.dir/dram.cpp.o"
+  "CMakeFiles/spta_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/spta_sim.dir/fpu.cpp.o"
+  "CMakeFiles/spta_sim.dir/fpu.cpp.o.d"
+  "CMakeFiles/spta_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/spta_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/spta_sim.dir/platform.cpp.o"
+  "CMakeFiles/spta_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/spta_sim.dir/store_buffer.cpp.o"
+  "CMakeFiles/spta_sim.dir/store_buffer.cpp.o.d"
+  "CMakeFiles/spta_sim.dir/tlb.cpp.o"
+  "CMakeFiles/spta_sim.dir/tlb.cpp.o.d"
+  "libspta_sim.a"
+  "libspta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorr.cpp" "src/stats/CMakeFiles/spta_stats.dir/autocorr.cpp.o" "gcc" "src/stats/CMakeFiles/spta_stats.dir/autocorr.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/spta_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/spta_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/spta_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/spta_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/spta_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/spta_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/spta_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/spta_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/ljung_box.cpp" "src/stats/CMakeFiles/spta_stats.dir/ljung_box.cpp.o" "gcc" "src/stats/CMakeFiles/spta_stats.dir/ljung_box.cpp.o.d"
+  "/root/repo/src/stats/optimize.cpp" "src/stats/CMakeFiles/spta_stats.dir/optimize.cpp.o" "gcc" "src/stats/CMakeFiles/spta_stats.dir/optimize.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/spta_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/spta_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/spta_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prng/CMakeFiles/spta_prng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_stats.dir/autocorr.cpp.o"
+  "CMakeFiles/spta_stats.dir/autocorr.cpp.o.d"
+  "CMakeFiles/spta_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/spta_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/spta_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/spta_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/spta_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/spta_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/spta_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/spta_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/spta_stats.dir/ljung_box.cpp.o"
+  "CMakeFiles/spta_stats.dir/ljung_box.cpp.o.d"
+  "CMakeFiles/spta_stats.dir/optimize.cpp.o"
+  "CMakeFiles/spta_stats.dir/optimize.cpp.o.d"
+  "CMakeFiles/spta_stats.dir/special.cpp.o"
+  "CMakeFiles/spta_stats.dir/special.cpp.o.d"
+  "libspta_stats.a"
+  "libspta_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swcet/cfg.cpp" "src/swcet/CMakeFiles/spta_swcet.dir/cfg.cpp.o" "gcc" "src/swcet/CMakeFiles/spta_swcet.dir/cfg.cpp.o.d"
+  "/root/repo/src/swcet/cost_model.cpp" "src/swcet/CMakeFiles/spta_swcet.dir/cost_model.cpp.o" "gcc" "src/swcet/CMakeFiles/spta_swcet.dir/cost_model.cpp.o.d"
+  "/root/repo/src/swcet/hybrid.cpp" "src/swcet/CMakeFiles/spta_swcet.dir/hybrid.cpp.o" "gcc" "src/swcet/CMakeFiles/spta_swcet.dir/hybrid.cpp.o.d"
+  "/root/repo/src/swcet/static_bound.cpp" "src/swcet/CMakeFiles/spta_swcet.dir/static_bound.cpp.o" "gcc" "src/swcet/CMakeFiles/spta_swcet.dir/static_bound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/trace/CMakeFiles/spta_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/spta_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prng/CMakeFiles/spta_prng.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/spta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

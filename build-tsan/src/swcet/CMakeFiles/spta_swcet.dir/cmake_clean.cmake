@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_swcet.dir/cfg.cpp.o"
+  "CMakeFiles/spta_swcet.dir/cfg.cpp.o.d"
+  "CMakeFiles/spta_swcet.dir/cost_model.cpp.o"
+  "CMakeFiles/spta_swcet.dir/cost_model.cpp.o.d"
+  "CMakeFiles/spta_swcet.dir/hybrid.cpp.o"
+  "CMakeFiles/spta_swcet.dir/hybrid.cpp.o.d"
+  "CMakeFiles/spta_swcet.dir/static_bound.cpp.o"
+  "CMakeFiles/spta_swcet.dir/static_bound.cpp.o.d"
+  "libspta_swcet.a"
+  "libspta_swcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_swcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

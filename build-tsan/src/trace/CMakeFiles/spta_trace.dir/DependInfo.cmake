@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/disasm.cpp" "src/trace/CMakeFiles/spta_trace.dir/disasm.cpp.o" "gcc" "src/trace/CMakeFiles/spta_trace.dir/disasm.cpp.o.d"
+  "/root/repo/src/trace/interpreter.cpp" "src/trace/CMakeFiles/spta_trace.dir/interpreter.cpp.o" "gcc" "src/trace/CMakeFiles/spta_trace.dir/interpreter.cpp.o.d"
+  "/root/repo/src/trace/program.cpp" "src/trace/CMakeFiles/spta_trace.dir/program.cpp.o" "gcc" "src/trace/CMakeFiles/spta_trace.dir/program.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/spta_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/spta_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/spta_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/spta_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/spta_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/spta_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/spta_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prng/CMakeFiles/spta_prng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

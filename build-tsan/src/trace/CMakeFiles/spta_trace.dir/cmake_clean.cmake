@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_trace.dir/disasm.cpp.o"
+  "CMakeFiles/spta_trace.dir/disasm.cpp.o.d"
+  "CMakeFiles/spta_trace.dir/interpreter.cpp.o"
+  "CMakeFiles/spta_trace.dir/interpreter.cpp.o.d"
+  "CMakeFiles/spta_trace.dir/program.cpp.o"
+  "CMakeFiles/spta_trace.dir/program.cpp.o.d"
+  "CMakeFiles/spta_trace.dir/record.cpp.o"
+  "CMakeFiles/spta_trace.dir/record.cpp.o.d"
+  "CMakeFiles/spta_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/spta_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/spta_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/spta_trace.dir/trace_io.cpp.o.d"
+  "libspta_trace.a"
+  "libspta_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtest_test.dir/backtest_test.cpp.o"
+  "CMakeFiles/backtest_test.dir/backtest_test.cpp.o.d"
+  "backtest_test"
+  "backtest_test.pdb"
+  "backtest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_binary_test.dir/cli_binary_test.cpp.o"
+  "CMakeFiles/cli_binary_test.dir/cli_binary_test.cpp.o.d"
+  "cli_binary_test"
+  "cli_binary_test.pdb"
+  "cli_binary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_binary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

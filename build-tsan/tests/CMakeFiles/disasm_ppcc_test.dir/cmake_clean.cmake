@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disasm_ppcc_test.dir/disasm_ppcc_test.cpp.o"
+  "CMakeFiles/disasm_ppcc_test.dir/disasm_ppcc_test.cpp.o.d"
+  "disasm_ppcc_test"
+  "disasm_ppcc_test.pdb"
+  "disasm_ppcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disasm_ppcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evt_test.dir/evt_test.cpp.o"
+  "CMakeFiles/evt_test.dir/evt_test.cpp.o.d"
+  "evt_test"
+  "evt_test.pdb"
+  "evt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_crps_test.dir/hazard_crps_test.cpp.o"
+  "CMakeFiles/hazard_crps_test.dir/hazard_crps_test.cpp.o.d"
+  "hazard_crps_test"
+  "hazard_crps_test.pdb"
+  "hazard_crps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_crps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels2_test.dir/kernels2_test.cpp.o"
+  "CMakeFiles/kernels2_test.dir/kernels2_test.cpp.o.d"
+  "kernels2_test"
+  "kernels2_test.pdb"
+  "kernels2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

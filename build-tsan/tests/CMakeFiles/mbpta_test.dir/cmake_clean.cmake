@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbpta_test.dir/mbpta_test.cpp.o"
+  "CMakeFiles/mbpta_test.dir/mbpta_test.cpp.o.d"
+  "mbpta_test"
+  "mbpta_test.pdb"
+  "mbpta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbpta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

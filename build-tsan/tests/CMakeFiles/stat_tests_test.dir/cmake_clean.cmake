@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_tests_test.dir/stat_tests_test.cpp.o"
+  "CMakeFiles/stat_tests_test.dir/stat_tests_test.cpp.o.d"
+  "stat_tests_test"
+  "stat_tests_test.pdb"
+  "stat_tests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_tests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

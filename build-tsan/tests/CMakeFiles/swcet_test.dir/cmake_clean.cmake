@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swcet_test.dir/swcet_test.cpp.o"
+  "CMakeFiles/swcet_test.dir/swcet_test.cpp.o.d"
+  "swcet_test"
+  "swcet_test.pdb"
+  "swcet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swcet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/spta_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/spta_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/swcet/CMakeFiles/spta_swcet.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/spta_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mbpta/CMakeFiles/spta_mbpta.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mbta/CMakeFiles/spta_mbta.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/evt/CMakeFiles/spta_evt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/spta_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/spta_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prng/CMakeFiles/spta_prng.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/spta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/prng_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/stats_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/stat_tests_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/evt_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/disasm_ppcc_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/golden_regression_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cache_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mbpta_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/kernels2_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/swcet_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cli_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis2_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/hazard_crps_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/backtest_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/timing_property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cli_binary_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_campaign_test[1]_include.cmake")

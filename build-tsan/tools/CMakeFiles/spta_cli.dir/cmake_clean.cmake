@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spta_cli.dir/spta_cli.cpp.o"
+  "CMakeFiles/spta_cli.dir/spta_cli.cpp.o.d"
+  "spta_cli"
+  "spta_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
