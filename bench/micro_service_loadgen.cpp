@@ -1,0 +1,186 @@
+// spta_serve load generator: amortization and drain guarantees.
+//
+// Drives a resident Server in pipe mode (the same ServeStream entry the
+// daemon and tests use) with scripted request streams and reports:
+//
+//   1. cold vs warm: wall clock of an ANALYZE that runs the full MBPTA
+//      pipeline vs an identical resubmission answered from the
+//      content-addressed result cache. Acceptance: warm >= 10x faster.
+//   2. warm-path throughput: cache-hit requests served per second.
+//   3. drain-on-shutdown: a burst of analyses followed by SHUTDOWN must
+//      produce exactly one response per accepted request — zero loss.
+//
+// Exit code is nonzero when either acceptance criterion fails, so the
+// bench doubles as a regression guard.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "bench_util.hpp"
+#include "mbpta/per_path.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace spta;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::vector<mbpta::PathObservation> SyntheticSample(std::size_t n,
+                                                    std::uint64_t seed) {
+  std::vector<mbpta::PathObservation> obs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = Mix64(HashCombine(seed, i));
+    obs[i].time =
+        50000.0 + 2000.0 * (static_cast<double>(bits >> 11) * 0x1.0p-53);
+  }
+  return obs;
+}
+
+service::Request AnalyzeRequest(
+    const std::vector<mbpta::PathObservation>& obs) {
+  service::Request request;
+  request.kind = service::RequestKind::kAnalyze;
+  request.args.Set("require_iid", "0");
+  request.payload = service::EncodeSamplePayload(obs);
+  return request;
+}
+
+service::Request SessionAnalyzeRequest(const std::string& session) {
+  service::Request request;
+  request.kind = service::RequestKind::kAnalyze;
+  request.args.Set("session", session);
+  request.args.Set("require_iid", "0");
+  return request;
+}
+
+service::Request ShutdownRequest() {
+  service::Request request;
+  request.kind = service::RequestKind::kShutdown;
+  return request;
+}
+
+/// Runs a scripted stream through `server`, returns (responses, seconds).
+std::pair<std::vector<service::Response>, double> Run(
+    service::Server& server, const std::vector<service::Request>& script) {
+  std::stringstream in;
+  for (const auto& request : script) service::WriteRequest(in, request);
+  std::stringstream out;
+  const auto t0 = Clock::now();
+  server.ServeStream(in, out);
+  const double elapsed = Seconds(t0, Clock::now());
+  std::vector<service::Response> responses;
+  service::Response response;
+  std::string error;
+  while (service::ReadResponse(out, &response, &error) ==
+         service::ReadStatus::kOk) {
+    responses.push_back(response);
+  }
+  return {responses, elapsed};
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "micro: spta_serve load generator",
+      "infrastructure (no paper artifact): resident-service amortization",
+      "identical re-analyses must be served from the result cache >= 10x "
+      "faster than a cold EVT run, and graceful shutdown must answer every "
+      "accepted request");
+
+  const std::size_t sample_size = bench::RunCount(3000);
+  const auto obs = SyntheticSample(sample_size, 1);
+  bool failed = false;
+
+  // --- 1. cold vs warm ----------------------------------------------------
+  // The resident-service shape: samples are streamed into a session once,
+  // then re-analyses reference the session by name.  Ingestion (OPEN +
+  // APPEND) is untimed; the timed cold request runs the full MBPTA pipeline
+  // and the timed warm burst is answered from the content-addressed cache.
+  service::Server server{service::ServerOptions{}};
+  {
+    service::Request open;
+    open.kind = service::RequestKind::kOpen;
+    open.args.Set("session", "bench");
+    service::Request append;
+    append.kind = service::RequestKind::kAppend;
+    append.args.Set("session", "bench");
+    append.payload = service::EncodeSamplePayload(obs);
+    const auto [ingest_responses, ingest_s] = Run(server, {open, append});
+    if (ingest_responses.size() != 2 || !ingest_responses[0].ok ||
+        !ingest_responses[1].ok) {
+      std::printf("FAIL: session ingestion failed\n");
+      return 1;
+    }
+  }
+  const auto [cold_responses, cold_s] =
+      Run(server, {SessionAnalyzeRequest("bench")});
+  if (cold_responses.size() != 1 || !cold_responses[0].ok ||
+      cold_responses[0].args.GetString("cache") != "miss") {
+    std::printf("FAIL: cold analysis did not complete as a cache miss\n");
+    return 1;
+  }
+
+  // Average the warm path over a burst to get a stable number.
+  constexpr std::size_t kWarmBurst = 50;
+  std::vector<service::Request> warm_script(kWarmBurst,
+                                            SessionAnalyzeRequest("bench"));
+  const auto [warm_responses, warm_total_s] = Run(server, warm_script);
+  std::size_t warm_hits = 0;
+  for (const auto& response : warm_responses) {
+    warm_hits += response.ok &&
+                 response.args.GetString("cache") == "hit";
+  }
+  const double warm_s = warm_total_s / static_cast<double>(kWarmBurst);
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+  std::printf("cold analysis    : %9.3f ms  (%zu samples, full MBPTA)\n",
+              cold_s * 1e3, sample_size);
+  std::printf("warm resubmission: %9.3f ms  (%zu/%zu cache hits)\n",
+              warm_s * 1e3, warm_hits, kWarmBurst);
+  std::printf("speedup          : %9.1fx  (acceptance: >= 10x)  %s\n",
+              speedup, speedup >= 10.0 ? "OK" : "FAIL");
+  if (speedup < 10.0 || warm_hits != kWarmBurst) failed = true;
+
+  // --- 2. drain on shutdown ----------------------------------------------
+  service::ServerOptions drain_options;
+  drain_options.queue_capacity = 512;
+  service::Server drain_server(drain_options);
+  constexpr std::size_t kBurst = 200;
+  std::vector<service::Request> burst;
+  burst.reserve(kBurst + 1);
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    // Distinct small samples: every request really reaches the engine.
+    burst.push_back(AnalyzeRequest(SyntheticSample(200, 1000 + i)));
+  }
+  burst.push_back(ShutdownRequest());
+  const auto [drain_responses, drain_s] = Run(drain_server, burst);
+
+  std::size_t answered = 0;
+  for (std::size_t i = 0; i + 1 < drain_responses.size(); ++i) {
+    answered += drain_responses[i].ok;
+  }
+  const bool drained_ok =
+      drain_responses.size() == kBurst + 1 && answered == kBurst &&
+      drain_responses.back().ok &&
+      drain_responses.back().args.GetString("drained") == "1";
+  std::printf(
+      "\ndrain-on-shutdown: %zu accepted, %zu answered, %zu lost in "
+      "%.2fs  %s\n",
+      kBurst, answered, kBurst - answered, drain_s,
+      drained_ok ? "OK" : "FAIL");
+  if (!drained_ok) failed = true;
+
+  std::printf("\nfinal server metrics:\n%s",
+              drain_server.metrics()
+                  .Render(drain_server.engine().cache().stats())
+                  .c_str());
+  return failed ? 1 : 0;
+}

@@ -1,5 +1,6 @@
 #include "analysis/sample_io.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <string>
 
@@ -25,10 +26,16 @@ bool ParseDouble(const std::string& s, double* out) {
   return end != s.c_str() && *end == '\0';
 }
 
+std::string LineError(std::size_t line_no, const std::string& what) {
+  return "samples CSV line " + std::to_string(line_no) + ": " + what;
+}
+
 }  // namespace
 
-std::vector<mbpta::PathObservation> ReadSamplesCsv(std::istream& in) {
-  std::vector<mbpta::PathObservation> out;
+bool TryReadSamplesCsv(std::istream& in,
+                       std::vector<mbpta::PathObservation>* out,
+                       std::string* error) {
+  out->clear();
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -40,11 +47,25 @@ std::vector<mbpta::PathObservation> ReadSamplesCsv(std::istream& in) {
         Trim(comma == std::string::npos ? trimmed : trimmed.substr(0, comma));
     double cycles = 0.0;
     if (!ParseDouble(first, &cycles)) {
-      // Tolerate one header line (non-numeric first field).
-      if (out.empty()) continue;
-      SPTA_REQUIRE_MSG(false, "samples CSV line " << line_no
-                                                  << ": bad number '"
-                                                  << first << "'");
+      // Tolerate a header line (non-numeric first field).
+      if (out->empty()) continue;
+      *error = LineError(line_no, "bad number '" + first + "'");
+      out->clear();
+      return false;
+    }
+    // Execution times feed straight into the EVT fit; a NaN would quietly
+    // corrupt every statistic downstream, so reject it here with context.
+    if (!std::isfinite(cycles)) {
+      *error = LineError(line_no,
+                         "non-finite execution time '" + first + "'");
+      out->clear();
+      return false;
+    }
+    if (cycles < 0.0) {
+      *error = LineError(line_no,
+                         "negative execution time '" + first + "'");
+      out->clear();
+      return false;
     }
     mbpta::PathObservation obs;
     obs.time = cycles;
@@ -52,16 +73,28 @@ std::vector<mbpta::PathObservation> ReadSamplesCsv(std::istream& in) {
       const std::string second = Trim(trimmed.substr(comma + 1));
       if (!second.empty()) {
         double path = 0.0;
-        SPTA_REQUIRE_MSG(ParseDouble(second, &path),
-                         "samples CSV line " << line_no << ": bad path id '"
-                                             << second << "'");
-        SPTA_REQUIRE_MSG(path >= 0.0, "samples CSV line "
-                                          << line_no << ": negative path id");
+        if (!ParseDouble(second, &path) || !std::isfinite(path)) {
+          *error = LineError(line_no, "bad path id '" + second + "'");
+          out->clear();
+          return false;
+        }
+        if (path < 0.0) {
+          *error = LineError(line_no, "negative path id");
+          out->clear();
+          return false;
+        }
         obs.path_id = static_cast<std::uint64_t>(path);
       }
     }
-    out.push_back(obs);
+    out->push_back(obs);
   }
+  return true;
+}
+
+std::vector<mbpta::PathObservation> ReadSamplesCsv(std::istream& in) {
+  std::vector<mbpta::PathObservation> out;
+  std::string error;
+  SPTA_REQUIRE_MSG(TryReadSamplesCsv(in, &out, &error), error);
   return out;
 }
 

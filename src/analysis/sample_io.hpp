@@ -23,8 +23,19 @@ namespace spta::analysis {
 
 /// Parses observations from `in`. Accepts an optional header line, blank
 /// lines and `#` comments; a missing path column means path 0. Aborts
-/// (precondition) on malformed numeric fields, reporting the line number.
+/// (precondition) on malformed numeric fields or invalid execution times
+/// (NaN, infinite or negative — values that would otherwise silently
+/// poison the EVT fit), reporting the line number.
 std::vector<mbpta::PathObservation> ReadSamplesCsv(std::istream& in);
+
+/// Non-aborting variant for untrusted input (the spta_serve ingestion
+/// path): returns false and describes the offending line in `error`
+/// instead of taking the process down. Rejects malformed numbers, NaN,
+/// infinite and negative execution times, and malformed path ids. On
+/// failure `out` is left empty.
+bool TryReadSamplesCsv(std::istream& in,
+                       std::vector<mbpta::PathObservation>* out,
+                       std::string* error);
 
 /// Writes `samples` as `cycles,path_id` CSV with a header.
 void WriteSamplesCsv(std::ostream& out,

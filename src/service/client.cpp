@@ -1,0 +1,151 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spta::service {
+
+std::string EncodeSamplePayload(
+    std::span<const mbpta::PathObservation> observations) {
+  std::string payload;
+  payload.reserve(observations.size() * 24);
+  for (const auto& obs : observations) {
+    payload += EncodeDouble(obs.time);
+    if (obs.path_id != 0) {
+      payload.push_back(',');
+      payload += std::to_string(obs.path_id);
+    }
+    payload.push_back('\n');
+  }
+  return payload;
+}
+
+bool Client::Send(const Request& request) {
+  return WriteRequest(out_, request);
+}
+
+bool Client::Receive(Response* response, std::string* error) {
+  const ReadStatus status = ReadResponse(in_, response, error);
+  if (status == ReadStatus::kEof) {
+    *error = "connection closed";
+    return false;
+  }
+  return status == ReadStatus::kOk;
+}
+
+Response Client::Call(const Request& request) {
+  std::string error;
+  if (!Send(request)) return ErrResponse("transport", "write failed");
+  Response response;
+  if (!Receive(&response, &error)) return ErrResponse("transport", error);
+  return response;
+}
+
+Response Client::Ping() {
+  Request request;
+  request.kind = RequestKind::kPing;
+  return Call(request);
+}
+
+Response Client::Open(const std::string& session) {
+  Request request;
+  request.kind = RequestKind::kOpen;
+  request.args.Set("session", session);
+  return Call(request);
+}
+
+Response Client::Append(
+    const std::string& session,
+    std::span<const mbpta::PathObservation> observations) {
+  Request request;
+  request.kind = RequestKind::kAppend;
+  request.args.Set("session", session);
+  request.args.SetUint("count", observations.size());
+  request.payload = EncodeSamplePayload(observations);
+  return Call(request);
+}
+
+Response Client::Status(const std::string& session) {
+  Request request;
+  request.kind = RequestKind::kStatus;
+  request.args.Set("session", session);
+  return Call(request);
+}
+
+Response Client::AnalyzeSession(const std::string& session, Args options) {
+  Request request;
+  request.kind = RequestKind::kAnalyze;
+  request.args = std::move(options);
+  request.args.Set("session", session);
+  return Call(request);
+}
+
+Response Client::AnalyzeInline(
+    std::span<const mbpta::PathObservation> observations, Args options) {
+  Request request;
+  request.kind = RequestKind::kAnalyze;
+  request.args = std::move(options);
+  request.args.SetUint("count", observations.size());
+  request.payload = EncodeSamplePayload(observations);
+  return Call(request);
+}
+
+Response Client::Close(const std::string& session) {
+  Request request;
+  request.kind = RequestKind::kClose;
+  request.args.Set("session", session);
+  return Call(request);
+}
+
+Response Client::Metrics() {
+  Request request;
+  request.kind = RequestKind::kMetrics;
+  return Call(request);
+}
+
+Response Client::Shutdown() {
+  Request request;
+  request.kind = RequestKind::kShutdown;
+  return Call(request);
+}
+
+UnixSocketConnection::UnixSocketConnection(int fd)
+    : fd_(fd),
+      in_buf_(std::make_unique<FdStreambuf>(fd)),
+      out_buf_(std::make_unique<FdStreambuf>(fd)),
+      in_(std::make_unique<std::istream>(in_buf_.get())),
+      out_(std::make_unique<std::ostream>(out_buf_.get())) {}
+
+UnixSocketConnection::~UnixSocketConnection() {
+  out_->flush();
+  ::close(fd_);
+}
+
+std::unique_ptr<UnixSocketConnection> UnixSocketConnection::Connect(
+    const std::string& path, std::string* error) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    *error = "socket path too long: " + path;
+    return nullptr;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket(): ") + std::strerror(errno);
+    return nullptr;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = "connect('" + path + "'): " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<UnixSocketConnection>(new UnixSocketConnection(fd));
+}
+
+}  // namespace spta::service

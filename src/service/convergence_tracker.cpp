@@ -1,0 +1,53 @@
+#include "service/convergence_tracker.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace spta::service {
+
+ConvergenceTracker::ConvergenceTracker(mbpta::ConvergenceOptions options)
+    : options_(options), next_(options.initial_runs) {
+  SPTA_REQUIRE(options_.initial_runs >= options_.mbpta.min_blocks);
+  SPTA_REQUIRE(options_.step_runs >= 1);
+}
+
+void ConvergenceTracker::Update(std::span<const double> times) {
+  // One iteration per newly crossed checkpoint — the body is a line-for-line
+  // transplant of the batch loop in mbpta::CheckConvergence so the two stay
+  // bit-equivalent.
+  while (times.size() >= next_) {
+    const std::size_t n = next_;
+    mbpta::ConvergencePoint pt;
+    pt.runs = n;
+    mbpta::MbptaOptions opts = options_.mbpta;
+    opts.require_iid = false;
+    const mbpta::MbptaResult est =
+        mbpta::AnalyzeSample(times.subspan(0, n), opts);
+    if (est.curve.has_value()) {
+      pt.usable = true;
+      pt.pwcet = est.curve->QuantileForExceedance(options_.reference_prob);
+      if (have_prev_ && prev_ > 0.0) {
+        pt.rel_delta = std::fabs(pt.pwcet - prev_) / prev_;
+        if (pt.rel_delta <= options_.rel_tolerance) {
+          ++stable_;
+          if (stable_ >= options_.stable_steps_required && !converged_) {
+            converged_ = true;
+            runs_required_ = n;
+          }
+        } else {
+          stable_ = 0;
+        }
+      }
+      prev_ = pt.pwcet;
+      have_prev_ = true;
+    } else {
+      stable_ = 0;
+      have_prev_ = false;
+    }
+    points_.push_back(pt);
+    next_ += options_.step_runs;
+  }
+}
+
+}  // namespace spta::service

@@ -1,0 +1,55 @@
+// Incremental MBPTA convergence tracking for streaming ingestion.
+//
+// A batch campaign runs mbpta::CheckConvergence once over the finished
+// sample. A service session instead receives samples in chunks and wants
+// to report "ready for EVT" the moment the 3,000-run-style criterion is
+// met. This tracker evaluates exactly the same checkpoints as
+// CheckConvergence (prefix lengths initial_runs, +step_runs, ...) but
+// does so as the sample grows, so each Append only pays for checkpoints
+// newly crossed — and the per-checkpoint state machine (stable-step
+// counter, previous estimate) is carried across calls.
+//
+// Equivalence contract (tested): after ingesting a sample in any chunking,
+// points()/converged()/runs_required() equal the batch CheckConvergence
+// result on the full sample, checkpoint for checkpoint.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mbpta/convergence.hpp"
+
+namespace spta::service {
+
+class ConvergenceTracker {
+ public:
+  explicit ConvergenceTracker(mbpta::ConvergenceOptions options = {});
+
+  /// Feeds the session's full time-ordered sample as of now (the tracker
+  /// remembers how far it has already evaluated; earlier prefixes are
+  /// never re-examined, mirroring the batch loop).
+  void Update(std::span<const double> times);
+
+  bool converged() const { return converged_; }
+  /// First checkpoint at which the criterion held (0 while not converged).
+  std::size_t runs_required() const { return runs_required_; }
+  /// The next prefix length at which an estimate will be made.
+  std::size_t next_checkpoint() const { return next_; }
+  const std::vector<mbpta::ConvergencePoint>& points() const {
+    return points_;
+  }
+  const mbpta::ConvergenceOptions& options() const { return options_; }
+
+ private:
+  mbpta::ConvergenceOptions options_;
+  std::vector<mbpta::ConvergencePoint> points_;
+  std::size_t next_;  ///< Next checkpoint prefix length.
+  int stable_ = 0;
+  double prev_ = 0.0;
+  bool have_prev_ = false;
+  bool converged_ = false;
+  std::size_t runs_required_ = 0;
+};
+
+}  // namespace spta::service

@@ -1,0 +1,158 @@
+#include "service/engine.hpp"
+
+#include <bit>
+
+#include "common/hash.hpp"
+#include "mbpta/mbpta.hpp"
+#include "mbpta/report.hpp"
+
+namespace spta::service {
+namespace {
+
+std::uint64_t DoubleBits(double value) {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+/// Cached bodies hold the result args on the first line and the rendered
+/// report after it — the same split the wire frames use.
+std::string EncodeBody(const Args& result, const std::string& report) {
+  return result.Encode() + "\n" + report;
+}
+
+void DecodeBody(const std::string& body, Args* result, std::string* report) {
+  const auto nl = body.find('\n');
+  *result = Args::Parse(std::string_view(body).substr(0, nl));
+  *report = nl == std::string::npos ? std::string() : body.substr(nl + 1);
+}
+
+}  // namespace
+
+AnalysisConfig AnalysisConfig::FromArgs(const Args& args) {
+  AnalysisConfig config;
+  config.prob = args.GetDouble("prob", config.prob);
+  config.block_size =
+      static_cast<std::size_t>(args.GetUint("block_size", config.block_size));
+  config.min_blocks =
+      static_cast<std::size_t>(args.GetUint("min_blocks", config.min_blocks));
+  config.alpha = args.GetDouble("alpha", config.alpha);
+  config.lags = static_cast<std::size_t>(args.GetUint("lags", config.lags));
+  config.require_iid = args.GetBool("require_iid", config.require_iid);
+  config.per_path = args.GetBool("per_path", config.per_path);
+  config.min_path_samples = static_cast<std::size_t>(
+      args.GetUint("min_path_samples", config.min_path_samples));
+  return config;
+}
+
+std::uint64_t AnalysisKey(std::span<const mbpta::PathObservation> observations,
+                          const AnalysisConfig& config) {
+  std::uint64_t h = Mix64(0x5054'4153'4552'5645ull);  // "PTASERVE" tag
+  h = HashCombine(h, DoubleBits(config.prob));
+  h = HashCombine(h, config.block_size);
+  h = HashCombine(h, config.min_blocks);
+  h = HashCombine(h, DoubleBits(config.alpha));
+  h = HashCombine(h, config.lags);
+  h = HashCombine(h, config.require_iid ? 1 : 0);
+  h = HashCombine(h, config.per_path ? 1 : 0);
+  h = HashCombine(h, config.min_path_samples);
+  h = HashCombine(h, observations.size());
+  for (const auto& obs : observations) {
+    h = HashCombine(h, DoubleBits(obs.time));
+    h = HashCombine(h, obs.path_id);
+  }
+  return h;
+}
+
+AnalysisEngine::AnalysisEngine(std::size_t cache_capacity)
+    : cache_(cache_capacity) {}
+
+bool AnalysisEngine::TryServeCached(
+    std::span<const mbpta::PathObservation> observations,
+    const AnalysisConfig& config, AnalysisOutcome* outcome) {
+  outcome->key = AnalysisKey(observations, config);
+  auto body = cache_.LookupIfPresent(outcome->key);
+  if (!body) return false;
+  outcome->cache_hit = true;
+  DecodeBody(*body, &outcome->result, &outcome->report);
+  return true;
+}
+
+bool AnalysisEngine::Analyze(
+    std::span<const mbpta::PathObservation> observations,
+    const AnalysisConfig& config, AnalysisOutcome* outcome,
+    std::string* error) {
+  // Validate what the batch pipeline enforces as SPTA_REQUIRE
+  // preconditions: a daemon answers ERR, it does not abort.
+  if (config.min_blocks < 1) {
+    *error = "min_blocks must be >= 1";
+    return false;
+  }
+  if (observations.size() < config.min_blocks) {
+    *error = "sample of " + std::to_string(observations.size()) +
+             " is smaller than min_blocks " +
+             std::to_string(config.min_blocks);
+    return false;
+  }
+  if (config.block_size > observations.size()) {
+    *error = "block_size " + std::to_string(config.block_size) +
+             " exceeds sample size " + std::to_string(observations.size());
+    return false;
+  }
+  if (!(config.prob > 0.0 && config.prob < 1.0)) {
+    *error = "prob must be in (0, 1)";
+    return false;
+  }
+
+  outcome->key = AnalysisKey(observations, config);
+  if (auto body = cache_.Lookup(outcome->key)) {
+    outcome->cache_hit = true;
+    DecodeBody(*body, &outcome->result, &outcome->report);
+    return true;
+  }
+  outcome->cache_hit = false;
+
+  mbpta::MbptaOptions opts;
+  opts.block_size = config.block_size;
+  opts.min_blocks = config.min_blocks;
+  opts.iid.alpha = config.alpha;
+  opts.iid.ljung_box_lags = config.lags;
+  opts.require_iid = config.require_iid;
+
+  std::vector<double> times;
+  times.reserve(observations.size());
+  for (const auto& obs : observations) times.push_back(obs.time);
+
+  const mbpta::MbptaResult result = mbpta::AnalyzeSample(times, opts);
+
+  Args fields;
+  fields.SetUint("usable", result.usable ? 1 : 0);
+  fields.SetUint("sample_size", result.sample_size);
+  fields.SetUint("block_size", result.block_size);
+  fields.SetUint("iid_pass", result.iid.Passed() ? 1 : 0);
+  fields.SetDouble("prob", config.prob);
+  if (result.curve.has_value()) {
+    fields.SetDouble("pwcet",
+                     result.curve->QuantileForExceedance(config.prob));
+  }
+  std::string report = mbpta::RenderReport(result, "spta_serve analysis");
+
+  if (config.per_path) {
+    mbpta::PerPathOptions ppo;
+    ppo.mbpta = opts;
+    ppo.min_samples_per_path = config.min_path_samples;
+    const mbpta::PerPathResult per_path =
+        mbpta::AnalyzePerPath(observations, ppo);
+    fields.SetUint("paths", per_path.paths.size());
+    fields.SetUint("analyzed_paths", per_path.analyzed_count());
+    if (per_path.analyzed_count() >= 1) {
+      fields.SetDouble("envelope", per_path.EnvelopeAt(config.prob));
+    }
+    report += mbpta::RenderReport(per_path);
+  }
+
+  cache_.Insert(outcome->key, EncodeBody(fields, report));
+  outcome->result = std::move(fields);
+  outcome->report = std::move(report);
+  return true;
+}
+
+}  // namespace spta::service

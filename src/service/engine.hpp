@@ -1,0 +1,83 @@
+// The servable analysis engine: MBPTA pipeline + content-addressed cache.
+//
+// One engine instance is shared by every connection and worker thread. An
+// analysis request is keyed by a 64-bit digest of the exact sample bits
+// and every option that influences the outcome; identical re-submissions
+// are answered from the ResultCache without touching the EVT code. The
+// rendered result is deterministic (key-sorted args, %.17g numbers), so a
+// cached answer is byte-identical to a recomputed one — and the reported
+// pWCET quantile is bit-identical to what the batch pipeline
+// (mbpta::AnalyzeSample over RunTvcaCampaignParallel samples) produces,
+// because both run the same code on the same doubles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "mbpta/per_path.hpp"
+#include "service/protocol.hpp"
+#include "service/result_cache.hpp"
+
+namespace spta::service {
+
+/// Everything that influences an analysis outcome. Mirrors the spta_cli
+/// analyze flags; defaults match the CLI's.
+struct AnalysisConfig {
+  /// Per-run exceedance probability at which the pWCET is reported.
+  double prob = 1e-12;
+  std::size_t block_size = 0;  ///< 0 = automatic.
+  std::size_t min_blocks = 30;
+  double alpha = 0.05;
+  std::size_t lags = 20;
+  bool require_iid = true;
+  bool per_path = false;
+  std::size_t min_path_samples = 100;
+
+  /// Decodes the wire form (`prob=`, `block_size=`, ... keys; absent keys
+  /// keep their defaults).
+  static AnalysisConfig FromArgs(const Args& args);
+};
+
+/// Content address of (samples, config): a Mix64/HashCombine digest over
+/// the raw IEEE-754 bits of every observation plus every config field.
+/// Bit-exact by construction — two requests collide only if they would
+/// produce the identical result.
+std::uint64_t AnalysisKey(std::span<const mbpta::PathObservation> observations,
+                          const AnalysisConfig& config);
+
+struct AnalysisOutcome {
+  bool cache_hit = false;
+  std::uint64_t key = 0;
+  /// Deterministic result fields (usable, pwcet, sample_size, ...).
+  Args result;
+  /// Human-readable report (mbpta::RenderReport output).
+  std::string report;
+};
+
+class AnalysisEngine {
+ public:
+  explicit AnalysisEngine(std::size_t cache_capacity = 128);
+
+  /// Runs (or recalls) the analysis. Returns false + diagnostic for
+  /// requests the pipeline cannot accept (sample too small, block size
+  /// larger than the sample, ...) — never aborts on untrusted input.
+  bool Analyze(std::span<const mbpta::PathObservation> observations,
+               const AnalysisConfig& config, AnalysisOutcome* outcome,
+               std::string* error);
+
+  /// Warm fast path: answers from the cache if the result is already
+  /// resident, without validating or running anything. A miss is not
+  /// counted against the cache statistics (the subsequent Analyze counts
+  /// it), so callers may probe freely before dispatching to a worker.
+  bool TryServeCached(std::span<const mbpta::PathObservation> observations,
+                      const AnalysisConfig& config, AnalysisOutcome* outcome);
+
+  ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  ResultCache cache_;
+};
+
+}  // namespace spta::service

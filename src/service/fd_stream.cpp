@@ -1,0 +1,58 @@
+#include "service/fd_stream.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace spta::service {
+namespace {
+
+constexpr std::size_t kBufferBytes = 1 << 16;
+
+}  // namespace
+
+FdStreambuf::FdStreambuf(int fd)
+    : fd_(fd), in_buffer_(kBufferBytes), out_buffer_(kBufferBytes) {
+  setg(in_buffer_.data(), in_buffer_.data(), in_buffer_.data());
+  setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+}
+
+FdStreambuf::int_type FdStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::read(fd_, in_buffer_.data(), in_buffer_.size());
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(in_buffer_.data(), in_buffer_.data(), in_buffer_.data() + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreambuf::FlushBuffer() {
+  const char* data = pbase();
+  std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+  return true;
+}
+
+FdStreambuf::int_type FdStreambuf::overflow(int_type ch) {
+  if (!FlushBuffer()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreambuf::sync() { return FlushBuffer() ? 0 : -1; }
+
+}  // namespace spta::service

@@ -1,0 +1,34 @@
+// Minimal iostream adapter over a POSIX file descriptor.
+//
+// The service's protocol layer speaks std::istream/std::ostream so it can
+// be driven identically over a Unix socket, a pipe, or an in-memory
+// stringstream in tests. This streambuf is the socket glue: buffered
+// read()/write() with no third-party dependencies. One FdStreambuf serves
+// one direction; a connection uses two over the same fd (reads and writes
+// on a stream socket are independent).
+#pragma once
+
+#include <streambuf>
+#include <vector>
+
+namespace spta::service {
+
+class FdStreambuf : public std::streambuf {
+ public:
+  /// Does NOT own `fd` (the connection loop closes it).
+  explicit FdStreambuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool FlushBuffer();
+
+  int fd_;
+  std::vector<char> in_buffer_;
+  std::vector<char> out_buffer_;
+};
+
+}  // namespace spta::service

@@ -1,0 +1,66 @@
+// Service observability: request counters, rejection counters and latency
+// histograms, dumpable on demand (METRICS request) and at daemon exit.
+//
+// All counters are monotonic since process start. Latency is recorded in
+// microseconds into two fixed-bin histograms (common/histogram): one for
+// cache-hit analyses, one for cache misses — the spread between the two IS
+// the amortization story the service exists to tell.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "service/protocol.hpp"
+#include "service/result_cache.hpp"
+
+namespace spta::service {
+
+class ServiceMetrics {
+ public:
+  ServiceMetrics();
+
+  /// Counts one finished request of `kind` (ok = the response was OK).
+  void CountRequest(RequestKind kind, bool ok);
+
+  /// Counts an ANALYZE rejected because the bounded queue was full.
+  void CountBusyRejection();
+
+  /// Counts an ANALYZE rejected because its deadline expired in queue.
+  void CountDeadlineMiss();
+
+  /// Counts a malformed frame (framing errors don't map to a verb).
+  void CountProtocolError();
+
+  /// Records the wall-clock service time of one ANALYZE.
+  void RecordAnalyzeLatency(double micros, bool cache_hit);
+
+  std::uint64_t requests_total() const;
+  std::uint64_t errors_total() const;
+  std::uint64_t busy_rejections() const;
+  std::uint64_t deadline_misses() const;
+
+  /// Renders the whole surface (plus the cache's counters) as stable
+  /// `key value` lines followed by the two latency histograms in ASCII.
+  std::string Render(const ResultCache::Stats& cache) const;
+
+  /// Key/value subset of Render() for machine consumption in a response
+  /// args block.
+  Args Snapshot(const ResultCache::Stats& cache) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t per_kind_[8] = {};
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t busy_rejections_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+  std::uint64_t analyses_ = 0;
+  double analyze_micros_total_ = 0.0;
+  Histogram hit_latency_;   ///< Cache-hit ANALYZE latency (us).
+  Histogram miss_latency_;  ///< Cold ANALYZE latency (us).
+};
+
+}  // namespace spta::service

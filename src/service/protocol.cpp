@@ -1,0 +1,236 @@
+#include "service/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace spta::service {
+namespace {
+
+constexpr std::string_view kMagic = "spta1";
+
+const char* const kKindNames[] = {"PING",    "OPEN",  "APPEND",  "STATUS",
+                                  "ANALYZE", "CLOSE", "METRICS", "SHUTDOWN"};
+
+/// Reads one `\n`-terminated line; false on EOF-before-any-byte.
+bool GetLine(std::istream& in, std::string* line) {
+  line->clear();
+  return static_cast<bool>(std::getline(in, *line));
+}
+
+bool ParseUint(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// Common frame writer: TYPE is the verb or OK/ERR.
+bool WriteFrame(std::ostream& out, std::string_view type, const Args& args,
+                const std::string& payload) {
+  std::string body = args.Encode();
+  body.push_back('\n');
+  body += payload;
+  out << kMagic << ' ' << type << ' ' << body.size() << '\n';
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+/// Common frame reader: yields the TYPE token and splits the body into the
+/// args line and the payload remainder.
+ReadStatus ReadFrame(std::istream& in, std::string* type, Args* args,
+                     std::string* payload, std::string* error) {
+  std::string header;
+  if (!GetLine(in, &header)) return ReadStatus::kEof;
+  // Header: "spta1 TYPE nbytes"
+  std::istringstream hs(header);
+  std::string magic, verb, len_token;
+  if (!(hs >> magic >> verb >> len_token) || magic != kMagic) {
+    *error = "bad frame header '" + header + "'";
+    return ReadStatus::kMalformed;
+  }
+  std::uint64_t nbytes = 0;
+  if (!ParseUint(len_token, &nbytes)) {
+    *error = "bad frame length '" + len_token + "'";
+    return ReadStatus::kMalformed;
+  }
+  constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;  // 64 MiB
+  if (nbytes > kMaxFrameBytes) {
+    *error = "frame length " + std::to_string(nbytes) + " exceeds limit";
+    return ReadStatus::kMalformed;
+  }
+  std::string body(static_cast<std::size_t>(nbytes), '\0');
+  in.read(body.data(), static_cast<std::streamsize>(nbytes));
+  if (static_cast<std::uint64_t>(in.gcount()) != nbytes) {
+    *error = "truncated frame body (wanted " + std::to_string(nbytes) +
+             " bytes, got " + std::to_string(in.gcount()) + ")";
+    return ReadStatus::kMalformed;
+  }
+  *type = verb;
+  const auto nl = body.find('\n');
+  if (nl == std::string::npos) {
+    *args = Args::Parse(body);
+    payload->clear();
+  } else {
+    *args = Args::Parse(std::string_view(body).substr(0, nl));
+    *payload = body.substr(nl + 1);
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace
+
+const char* RequestKindName(RequestKind kind) {
+  return kKindNames[static_cast<int>(kind)];
+}
+
+std::optional<RequestKind> ParseRequestKind(std::string_view name) {
+  for (int i = 0; i < static_cast<int>(std::size(kKindNames)); ++i) {
+    if (name == kKindNames[i]) return static_cast<RequestKind>(i);
+  }
+  return std::nullopt;
+}
+
+Args Args::Parse(std::string_view line) {
+  Args args;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ') ++end;
+    const std::string_view token = line.substr(pos, end - pos);
+    pos = end;
+    if (token.empty()) continue;
+    const auto eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;  // skip malformed
+    args.values_[std::string(token.substr(0, eq))] =
+        std::string(token.substr(eq + 1));
+  }
+  return args;
+}
+
+void Args::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+void Args::SetUint(const std::string& key, std::uint64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+void Args::SetDouble(const std::string& key, double value) {
+  values_[key] = EncodeDouble(value);
+}
+
+bool Args::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Args::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t Args::GetUint(const std::string& key,
+                            std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::uint64_t value = 0;
+  return ParseUint(it->second, &value) ? value : fallback;
+}
+
+double Args::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  return (end != it->second.c_str() && *end == '\0') ? value : fallback;
+}
+
+bool Args::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "1" || it->second == "true";
+}
+
+std::string Args::Encode() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    if (!out.empty()) out.push_back(' ');
+    out += key;
+    out.push_back('=');
+    out += value;
+  }
+  return out;
+}
+
+Response OkResponse(Args args, std::string payload) {
+  Response r;
+  r.ok = true;
+  r.args = std::move(args);
+  r.payload = std::move(payload);
+  return r;
+}
+
+Response ErrResponse(const std::string& code, const std::string& message) {
+  Response r;
+  r.ok = false;
+  r.args.Set("code", code);
+  r.payload = message;
+  return r;
+}
+
+bool WriteRequest(std::ostream& out, const Request& request) {
+  return WriteFrame(out, RequestKindName(request.kind), request.args,
+                    request.payload);
+}
+
+bool WriteResponse(std::ostream& out, const Response& response) {
+  return WriteFrame(out, response.ok ? "OK" : "ERR", response.args,
+                    response.payload);
+}
+
+ReadStatus ReadRequest(std::istream& in, Request* request,
+                       std::string* error) {
+  std::string verb;
+  const ReadStatus status =
+      ReadFrame(in, &verb, &request->args, &request->payload, error);
+  if (status != ReadStatus::kOk) return status;
+  const auto kind = ParseRequestKind(verb);
+  if (!kind.has_value()) {
+    *error = "unknown request verb '" + verb + "'";
+    return ReadStatus::kMalformed;
+  }
+  request->kind = *kind;
+  return ReadStatus::kOk;
+}
+
+ReadStatus ReadResponse(std::istream& in, Response* response,
+                        std::string* error) {
+  std::string type;
+  const ReadStatus status =
+      ReadFrame(in, &type, &response->args, &response->payload, error);
+  if (status != ReadStatus::kOk) return status;
+  if (type == "OK") {
+    response->ok = true;
+  } else if (type == "ERR") {
+    response->ok = false;
+  } else {
+    *error = "unknown response type '" + type + "'";
+    return ReadStatus::kMalformed;
+  }
+  return ReadStatus::kOk;
+}
+
+std::string EncodeDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace spta::service

@@ -1,0 +1,119 @@
+// Framed request/response protocol for the spta_serve analysis service.
+//
+// The service speaks one wire format over every transport (Unix socket,
+// stdin/stdout pipe mode, in-memory string streams in tests):
+//
+//   spta1 <TYPE> <nbytes>\n
+//   <nbytes bytes of body>
+//
+// The length prefix makes framing unambiguous and 8-bit clean. The body's
+// FIRST line is a sequence of space-separated `key=value` argument tokens
+// (no spaces inside keys or values); everything after the first newline is
+// free-form bulk payload (sample chunks on requests, report text on
+// responses). Requests carry a verb TYPE (PING, OPEN, APPEND, STATUS,
+// ANALYZE, CLOSE, METRICS, SHUTDOWN); responses carry OK or ERR.
+//
+// This is untrusted-input territory: readers never abort the process on
+// malformed frames — they return kMalformed with a diagnostic and let the
+// server answer ERR and drop the connection.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace spta::service {
+
+enum class RequestKind {
+  kPing,
+  kOpen,
+  kAppend,
+  kStatus,
+  kAnalyze,
+  kClose,
+  kMetrics,
+  kShutdown,
+};
+
+/// Wire name of a request kind ("PING", "OPEN", ...).
+const char* RequestKindName(RequestKind kind);
+
+/// Inverse of RequestKindName; nullopt for unknown verbs.
+std::optional<RequestKind> ParseRequestKind(std::string_view name);
+
+/// The `key=value` argument tokens of a frame's first body line.
+class Args {
+ public:
+  /// Parses a space-separated `key=value` token line. Tokens without '='
+  /// or with an empty key are reported via the return value (false) but
+  /// the well-formed tokens are still kept.
+  static Args Parse(std::string_view line);
+
+  void Set(const std::string& key, const std::string& value);
+  void SetUint(const std::string& key, std::uint64_t value);
+  /// Full-precision round-trip encoding (%.17g).
+  void SetDouble(const std::string& key, double value);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  /// Returns fallback when absent; nullopt-free by design — use Has() to
+  /// distinguish. Returns fallback on non-numeric garbage as well (the
+  /// caller validates semantics, not syntax).
+  std::uint64_t GetUint(const std::string& key, std::uint64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Deterministic (key-sorted) `key=value key=value` encoding.
+  std::string Encode() const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  Args args;
+  /// Bulk payload lines (after the args line), e.g. `cycles[,path]` rows.
+  std::string payload;
+};
+
+struct Response {
+  bool ok = true;
+  Args args;
+  /// Report text on OK (metrics dump, analysis table) or the diagnostic
+  /// message on ERR.
+  std::string payload;
+};
+
+/// Convenience constructors.
+Response OkResponse(Args args = {}, std::string payload = {});
+Response ErrResponse(const std::string& code, const std::string& message);
+
+enum class ReadStatus {
+  kOk,
+  kEof,        ///< Clean end of stream before a header line.
+  kMalformed,  ///< Bad header, unknown verb, truncated body.
+};
+
+/// Frame writers. Return false when the stream rejected the write.
+bool WriteRequest(std::ostream& out, const Request& request);
+bool WriteResponse(std::ostream& out, const Response& response);
+
+/// Frame readers; on kMalformed, `error` describes the problem.
+ReadStatus ReadRequest(std::istream& in, Request* request, std::string* error);
+ReadStatus ReadResponse(std::istream& in, Response* response,
+                        std::string* error);
+
+/// Formats a double so that strtod round-trips it bit-exactly (%.17g).
+/// Used for sample values on the wire: the golden guarantee that a served
+/// analysis equals the batch analysis bit-for-bit depends on it.
+std::string EncodeDouble(double value);
+
+}  // namespace spta::service

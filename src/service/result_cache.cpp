@@ -1,0 +1,66 @@
+#include "service/result_cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace spta::service {
+
+double ResultCache::Stats::HitRatio() const {
+  const std::uint64_t lookups = hits + misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  SPTA_REQUIRE(capacity >= 1);
+}
+
+std::optional<std::string> ResultCache::Lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+std::optional<std::string> ResultCache::LookupIfPresent(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::Insert(std::uint64_t key, std::string body) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(body);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(body));
+  index_[key] = lru_.begin();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace spta::service

@@ -1,0 +1,68 @@
+// Content-addressed LRU cache of finished analysis results.
+//
+// The service keys each analysis by a 64-bit digest of (samples, analysis
+// config) — see AnalysisKey in engine.hpp — and stores the fully rendered
+// response body. Identical re-submissions (same measurements, same
+// options) therefore return in microseconds instead of re-running the EVT
+// pipeline. Bounded by entry count with least-recently-used eviction;
+// hit/miss/eviction accounting feeds the metrics surface.
+//
+// Thread-safe: one mutex around the map+list (lookups are O(1) and the
+// stored bodies are small compared to an analysis, so a single lock is not
+// a bottleneck even under a full worker pool).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace spta::service {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+
+    /// hits / (hits + misses); 0 when no lookups happened.
+    double HitRatio() const;
+  };
+
+  /// Requires capacity >= 1.
+  explicit ResultCache(std::size_t capacity);
+
+  /// Returns the cached body and refreshes recency, or nullopt on a miss.
+  /// Every call counts as exactly one hit or one miss.
+  std::optional<std::string> Lookup(std::uint64_t key);
+
+  /// Like Lookup, but an absent key is NOT counted as a miss. Used by the
+  /// server's warm fast path, which probes before dispatching to a worker:
+  /// on a miss the worker's authoritative Lookup does the counting, so
+  /// each request still scores exactly one hit or one miss.
+  std::optional<std::string> LookupIfPresent(std::uint64_t key);
+
+  /// Inserts (or refreshes) `key`; evicts the least-recently-used entry
+  /// when at capacity. Does not touch the hit/miss counters.
+  void Insert(std::uint64_t key, std::string body);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<std::uint64_t, std::string>> lru_;
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace spta::service

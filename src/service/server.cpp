@@ -1,0 +1,376 @@
+#include "service/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "analysis/sample_io.hpp"
+#include "service/fd_stream.hpp"
+
+namespace spta::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string KeyHex(std::uint64_t key) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buffer;
+}
+
+Args AnalysisArgs(const AnalysisOutcome& outcome, double micros) {
+  Args args = outcome.result;
+  args.Set("cache", outcome.cache_hit ? "hit" : "miss");
+  args.Set("key", KeyHex(outcome.key));
+  args.SetDouble("analyze_us", micros);
+  return args;
+}
+
+Args StatusArgs(const SessionStatus& status) {
+  Args args;
+  args.SetUint("total", status.total_samples);
+  args.SetUint("converged", status.converged ? 1 : 0);
+  args.SetUint("runs_required", status.runs_required);
+  args.SetUint("next_checkpoint", status.next_checkpoint);
+  return args;
+}
+
+}  // namespace
+
+void Server::OrderedWriter::Expect(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expected_ = id + 1;
+}
+
+void Server::OrderedWriter::Complete(std::uint64_t id, Response response) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ready_.emplace(id, std::move(response));
+  while (!ready_.empty() && ready_.begin()->first == next_write_) {
+    WriteResponse(out_, ready_.begin()->second);
+    ready_.erase(ready_.begin());
+    ++next_write_;
+  }
+  if (next_write_ == expected_) all_written_.notify_all();
+}
+
+void Server::OrderedWriter::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_written_.wait(lock, [&] { return next_write_ == expected_; });
+}
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      sessions_(options.convergence, options.session_limits),
+      engine_(options.cache_capacity),
+      pool_(options.workers) {}
+
+bool Server::TryAcquireAnalyzeSlot() {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  if (analyses_in_flight_ >= options_.queue_capacity) return false;
+  ++analyses_in_flight_;
+  return true;
+}
+
+void Server::ReleaseAnalyzeSlot() {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  --analyses_in_flight_;
+}
+
+bool Server::CollectObservations(
+    const Request& request, std::vector<mbpta::PathObservation>* observations,
+    std::string* error) {
+  const std::string session = request.args.GetString("session");
+  if (!session.empty()) {
+    return sessions_.Snapshot(session, observations, error);
+  }
+  if (request.payload.empty()) {
+    *error = "ANALYZE needs session= or an inline sample payload";
+    return false;
+  }
+  std::istringstream payload(request.payload);
+  if (!analysis::TryReadSamplesCsv(payload, observations, error)) {
+    return false;
+  }
+  if (request.args.Has("count") &&
+      request.args.GetUint("count", 0) != observations->size()) {
+    *error = "payload sample count " + std::to_string(observations->size()) +
+             " does not match count=" + request.args.GetString("count");
+    return false;
+  }
+  return true;
+}
+
+Response Server::RunAnalysis(
+    const Request& request, std::vector<mbpta::PathObservation> observations,
+    Clock::time_point deadline, bool has_deadline) {
+  if (has_deadline && Clock::now() > deadline) {
+    metrics_.CountDeadlineMiss();
+    return ErrResponse("deadline", "deadline expired before execution");
+  }
+  if (options_.enable_debug_hooks && request.args.Has("debug_sleep_ms")) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        request.args.GetDouble("debug_sleep_ms", 0.0)));
+  }
+  const auto start = Clock::now();
+  AnalysisOutcome outcome;
+  std::string error;
+  if (!engine_.Analyze(observations, AnalysisConfig::FromArgs(request.args),
+                       &outcome, &error)) {
+    return ErrResponse("analysis", error);
+  }
+  const double micros =
+      std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+  metrics_.RecordAnalyzeLatency(micros, outcome.cache_hit);
+  return OkResponse(AnalysisArgs(outcome, micros), outcome.report);
+}
+
+Response Server::HandleOpen(const Request& request) {
+  std::string error;
+  if (!sessions_.Open(request.args.GetString("session"), &error)) {
+    return ErrResponse("session", error);
+  }
+  Args args;
+  args.Set("session", request.args.GetString("session"));
+  args.Set("state", "ingest");
+  return OkResponse(std::move(args));
+}
+
+Response Server::HandleAppend(const Request& request) {
+  std::vector<mbpta::PathObservation> chunk;
+  std::string error;
+  std::istringstream payload(request.payload);
+  if (!analysis::TryReadSamplesCsv(payload, &chunk, &error)) {
+    return ErrResponse("samples", error);
+  }
+  if (request.args.Has("count") &&
+      request.args.GetUint("count", 0) != chunk.size()) {
+    return ErrResponse("samples",
+                       "payload sample count " + std::to_string(chunk.size()) +
+                           " does not match count=" +
+                           request.args.GetString("count"));
+  }
+  SessionStatus status;
+  if (!sessions_.Append(request.args.GetString("session"), chunk, &status,
+                        &error)) {
+    return ErrResponse("session", error);
+  }
+  return OkResponse(StatusArgs(status));
+}
+
+Response Server::HandleStatus(const Request& request) {
+  SessionStatus status;
+  std::string error;
+  if (!sessions_.Status(request.args.GetString("session"), &status, &error)) {
+    return ErrResponse("session", error);
+  }
+  return OkResponse(StatusArgs(status));
+}
+
+Response Server::HandleClose(const Request& request) {
+  std::string error;
+  if (!sessions_.Close(request.args.GetString("session"), &error)) {
+    return ErrResponse("session", error);
+  }
+  return OkResponse();
+}
+
+Response Server::HandleMetrics() {
+  const ResultCache::Stats cache = engine_.cache().stats();
+  return OkResponse(metrics_.Snapshot(cache), metrics_.Render(cache));
+}
+
+Response Server::HandleInline(const Request& request) {
+  switch (request.kind) {
+    case RequestKind::kPing: {
+      Args args;
+      args.Set("proto", "spta1");
+      return OkResponse(std::move(args));
+    }
+    case RequestKind::kOpen:
+      return HandleOpen(request);
+    case RequestKind::kAppend:
+      return HandleAppend(request);
+    case RequestKind::kStatus:
+      return HandleStatus(request);
+    case RequestKind::kClose:
+      return HandleClose(request);
+    case RequestKind::kMetrics:
+      return HandleMetrics();
+    default:
+      return ErrResponse("internal", "verb not handled inline");
+  }
+}
+
+bool Server::ServeStream(std::istream& in, std::ostream& out) {
+  OrderedWriter writer(out);
+  std::uint64_t next_id = 0;
+  bool shutdown = false;
+
+  while (!shutdown) {
+    Request request;
+    std::string error;
+    const ReadStatus status = ReadRequest(in, &request, &error);
+    if (status == ReadStatus::kEof) break;
+    const std::uint64_t id = next_id++;
+    writer.Expect(id);
+    if (status == ReadStatus::kMalformed) {
+      // Framing is lost — answer once, then stop reading this stream.
+      metrics_.CountProtocolError();
+      writer.Complete(id, ErrResponse("malformed", error));
+      break;
+    }
+
+    if (request.kind == RequestKind::kShutdown) {
+      shutdown = true;
+      shutdown_.store(true);
+      // Drain: every ANALYZE accepted before this point completes and is
+      // written (in order) before the SHUTDOWN acknowledgment below.
+      pool_.Wait();
+      Args args;
+      args.Set("drained", "1");
+      metrics_.CountRequest(request.kind, true);
+      writer.Complete(id, OkResponse(std::move(args)));
+      break;
+    }
+
+    if (request.kind == RequestKind::kAnalyze) {
+      std::vector<mbpta::PathObservation> observations;
+      std::string collect_error;
+      if (!CollectObservations(request, &observations, &collect_error)) {
+        metrics_.CountRequest(request.kind, false);
+        writer.Complete(id, ErrResponse("samples", collect_error));
+        continue;
+      }
+      // Warm fast path: a request whose result is already cached is
+      // answered inline on the reader thread — it never occupies a worker
+      // slot, so cache hits stay cheap even while the pool is saturated
+      // with cold analyses. A probe miss is not double-counted (see
+      // ResultCache::LookupIfPresent); the worker's Lookup scores it.
+      {
+        const auto probe_start = Clock::now();
+        AnalysisOutcome cached;
+        if (engine_.TryServeCached(
+                observations, AnalysisConfig::FromArgs(request.args),
+                &cached)) {
+          const double micros = std::chrono::duration<double, std::micro>(
+                                    Clock::now() - probe_start)
+                                    .count();
+          metrics_.RecordAnalyzeLatency(micros, /*cache_hit=*/true);
+          metrics_.CountRequest(request.kind, true);
+          writer.Complete(id, OkResponse(AnalysisArgs(cached, micros),
+                                         cached.report));
+          continue;
+        }
+      }
+      if (!TryAcquireAnalyzeSlot()) {
+        metrics_.CountBusyRejection();
+        metrics_.CountRequest(request.kind, false);
+        writer.Complete(
+            id, ErrResponse("busy", "analysis queue full, retry later"));
+        continue;
+      }
+      const double deadline_ms =
+          request.args.GetDouble("deadline_ms", options_.default_deadline_ms);
+      const bool has_deadline = deadline_ms > 0.0;
+      const Clock::time_point deadline =
+          Clock::now() +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(deadline_ms));
+      pool_.Submit([this, id, &writer, request = std::move(request),
+                    observations = std::move(observations), deadline,
+                    has_deadline]() mutable {
+        Response response = RunAnalysis(request, std::move(observations),
+                                        deadline, has_deadline);
+        metrics_.CountRequest(RequestKind::kAnalyze, response.ok);
+        ReleaseAnalyzeSlot();
+        writer.Complete(id, std::move(response));
+      });
+      continue;
+    }
+
+    Response response = HandleInline(request);
+    metrics_.CountRequest(request.kind, response.ok);
+    writer.Complete(id, std::move(response));
+  }
+
+  pool_.Wait();
+  writer.Drain();
+  return shutdown;
+}
+
+void Server::RegisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connection_fds_.push_back(fd);
+}
+
+void Server::UnregisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  std::erase(connection_fds_, fd);
+}
+
+void Server::TriggerShutdown() {
+  shutdown_.store(true);
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  // Unblock every reader: their streams hit EOF and drain cleanly.
+  for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+int Server::ServeUnixSocket(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) return ENAMETOOLONG;
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) return errno;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd);
+    return err;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    listen_fd_ = listen_fd;
+  }
+
+  std::vector<std::thread> connections;
+  while (!shutdown_.load()) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by TriggerShutdown (or fatal error)
+    }
+    connections.emplace_back([this, fd] {
+      RegisterConnection(fd);
+      FdStreambuf in_buf(fd);
+      FdStreambuf out_buf(fd);
+      std::istream in(&in_buf);
+      std::ostream out(&out_buf);
+      const bool got_shutdown = ServeStream(in, out);
+      out.flush();
+      UnregisterConnection(fd);
+      if (got_shutdown) TriggerShutdown();
+      ::close(fd);
+    });
+  }
+  for (auto& thread : connections) thread.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    listen_fd_ = -1;
+  }
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace spta::service

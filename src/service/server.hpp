@@ -1,0 +1,150 @@
+// spta_serve core: the resident pWCET analysis service.
+//
+// One Server owns the shared state — SessionManager, AnalysisEngine (with
+// its result cache), ServiceMetrics and a common/ThreadPool — and serves
+// any number of request streams over it:
+//
+//   * pipe mode: ServeStream(std::cin, std::cout), also what the tests and
+//     the load generator drive with string streams;
+//   * socket mode: ServeUnixSocket() accepts connections on an AF_UNIX
+//     stream socket, one thread per connection, all sharing the engine.
+//
+// Request handling discipline:
+//   * Session mutations (OPEN/APPEND/CLOSE) and cheap reads run inline on
+//     the connection's reader thread — appends must apply in stream order
+//     or the convergence criterion (defined over the time-ordered sample)
+//     would be evaluated on a scrambled history.
+//   * ANALYZE is the heavy verb and is dispatched to the worker pool,
+//     bounded by `queue_capacity` outstanding requests; when the bound is
+//     hit the request is rejected immediately with ERR busy
+//     (backpressure, not buffering). A per-request deadline_ms is honored
+//     by dropping requests whose deadline expired while queued. The
+//     sample snapshot is taken at ACCEPT time, so an analysis sees
+//     exactly the appends that preceded it on its stream.
+//   * Responses are written strictly in request order per stream (a small
+//     reorder buffer); SHUTDOWN drains the pool before acknowledging, so
+//     every accepted request gets its response before the daemon exits —
+//     zero loss on graceful shutdown.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "service/engine.hpp"
+#include "service/metrics.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+
+namespace spta::service {
+
+struct ServerOptions {
+  /// Worker threads for ANALYZE requests; 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Max ANALYZE requests queued or executing before busy-rejection.
+  std::size_t queue_capacity = 64;
+  /// Result-cache capacity in entries.
+  std::size_t cache_capacity = 128;
+  /// Default ANALYZE deadline in ms; 0 = none. A request can override via
+  /// its own deadline_ms argument.
+  double default_deadline_ms = 0.0;
+  mbpta::ConvergenceOptions convergence;
+  SessionLimits session_limits;
+  /// Honors the debug_sleep_ms ANALYZE argument (tests/bench only: lets a
+  /// test hold a worker busy to exercise backpressure deterministically).
+  bool enable_debug_hooks = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  /// Serves one framed request stream until EOF, an unrecoverable framing
+  /// error, or SHUTDOWN. Returns true iff SHUTDOWN was received. Safe to
+  /// call from several threads at once (socket mode does).
+  bool ServeStream(std::istream& in, std::ostream& out);
+
+  /// Binds `path` (an AF_UNIX socket; any stale file is replaced), then
+  /// accepts and serves connections until a SHUTDOWN request arrives.
+  /// Returns 0 on clean shutdown, nonzero errno-style on setup failure.
+  int ServeUnixSocket(const std::string& path);
+
+  SessionManager& sessions() { return sessions_; }
+  AnalysisEngine& engine() { return engine_; }
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// True once any stream has processed a SHUTDOWN request.
+  bool shutdown_requested() const { return shutdown_.load(); }
+
+ private:
+  /// Writes a stream's responses in request order: completions may arrive
+  /// out of order from the worker pool; the head-of-line response flushes
+  /// everything contiguous behind it.
+  class OrderedWriter {
+   public:
+    explicit OrderedWriter(std::ostream& out) : out_(out) {}
+    /// Reserves the next slot; ids must be reserved in increasing order.
+    void Expect(std::uint64_t id);
+    void Complete(std::uint64_t id, Response response);
+    /// Blocks until every reserved slot has been written.
+    void Drain();
+
+   private:
+    std::ostream& out_;
+    std::mutex mutex_;
+    std::condition_variable all_written_;
+    std::map<std::uint64_t, Response> ready_;
+    std::uint64_t next_write_ = 0;
+    std::uint64_t expected_ = 0;
+  };
+
+  Response HandleInline(const Request& request);
+  Response HandleOpen(const Request& request);
+  Response HandleAppend(const Request& request);
+  Response HandleStatus(const Request& request);
+  Response HandleClose(const Request& request);
+  Response HandleMetrics();
+  /// Runs on a worker. `observations` was snapshotted at accept time.
+  Response RunAnalysis(const Request& request,
+                       std::vector<mbpta::PathObservation> observations,
+                       std::chrono::steady_clock::time_point deadline,
+                       bool has_deadline);
+
+  /// Parses the request's sample source: inline payload or session
+  /// snapshot. False → `error` is the ERR message.
+  bool CollectObservations(const Request& request,
+                           std::vector<mbpta::PathObservation>* observations,
+                           std::string* error);
+
+  bool TryAcquireAnalyzeSlot();
+  void ReleaseAnalyzeSlot();
+
+  void RegisterConnection(int fd);
+  void UnregisterConnection(int fd);
+  void TriggerShutdown();
+
+  ServerOptions options_;
+  SessionManager sessions_;
+  AnalysisEngine engine_;
+  ServiceMetrics metrics_;
+  ThreadPool pool_;
+
+  std::mutex slots_mutex_;
+  std::size_t analyses_in_flight_ = 0;
+
+  std::atomic<bool> shutdown_{false};
+  std::mutex connections_mutex_;
+  std::vector<int> connection_fds_;
+  int listen_fd_ = -1;
+};
+
+}  // namespace spta::service

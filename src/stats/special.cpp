@@ -8,9 +8,17 @@
 namespace spta::stats {
 namespace {
 
+// std::lgamma writes the process-global `signgam`, which races when
+// analyses run concurrently (service worker pool). The arguments here are
+// always positive, so the sign is irrelevant — use the reentrant variant.
+double LogGamma(double a) {
+  int sign = 0;
+  return ::lgamma_r(a, &sign);
+}
+
 // Series representation of P(a, x), valid/fast for x < a + 1.
 double GammaPSeries(double a, double x) {
-  const double gln = std::lgamma(a);
+  const double gln = LogGamma(a);
   double ap = a;
   double sum = 1.0 / a;
   double del = sum;
@@ -26,7 +34,7 @@ double GammaPSeries(double a, double x) {
 // Continued-fraction representation of Q(a, x), valid/fast for x >= a + 1.
 // Modified Lentz's algorithm.
 double GammaQContinuedFraction(double a, double x) {
-  const double gln = std::lgamma(a);
+  const double gln = LogGamma(a);
   const double kTiny = 1e-300;
   double b = x + 1.0 - a;
   double c = 1.0 / kTiny;

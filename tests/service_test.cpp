@@ -1,0 +1,573 @@
+// spta_serve subsystem battery: protocol framing, streaming session
+// lifecycle in pipe mode, content-addressed result caching with LRU
+// eviction, backpressure and deadline rejection, graceful drain, and the
+// golden guarantee that a served pWCET quantile is bit-identical to the
+// batch pipeline's on the same campaign.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/campaign.hpp"
+#include "analysis/parallel_campaign.hpp"
+#include "analysis/sample_io.hpp"
+#include "apps/tvca.hpp"
+#include "common/hash.hpp"
+#include "mbpta/convergence.hpp"
+#include "mbpta/mbpta.hpp"
+#include "service/client.hpp"
+#include "service/convergence_tracker.hpp"
+#include "service/engine.hpp"
+#include "service/protocol.hpp"
+#include "service/result_cache.hpp"
+#include "service/server.hpp"
+#include "sim/config.hpp"
+#include "trace/record.hpp"
+
+namespace spta {
+namespace {
+
+// Deterministic pseudo-random execution times with enough jitter for the
+// EVT fit: uniform-ish in [base, base + spread).
+std::vector<mbpta::PathObservation> SyntheticSample(std::size_t n,
+                                                    std::uint64_t seed,
+                                                    double base = 10000.0,
+                                                    double spread = 500.0) {
+  std::vector<mbpta::PathObservation> obs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = Mix64(HashCombine(seed, i));
+    obs[i].time =
+        base + spread * (static_cast<double>(bits >> 11) * 0x1.0p-53);
+    obs[i].path_id = 0;
+  }
+  return obs;
+}
+
+std::vector<double> TimesOf(const std::vector<mbpta::PathObservation>& obs) {
+  std::vector<double> times;
+  times.reserve(obs.size());
+  for (const auto& o : obs) times.push_back(o.time);
+  return times;
+}
+
+// Runs a scripted request stream through a server and reaps the ordered
+// responses (pipe mode: exactly what `spta_serve --pipe` does).
+std::vector<service::Response> RunScript(
+    service::Server& server, const std::vector<service::Request>& script) {
+  std::stringstream request_stream;
+  for (const auto& request : script) {
+    EXPECT_TRUE(service::WriteRequest(request_stream, request));
+  }
+  std::stringstream response_stream;
+  server.ServeStream(request_stream, response_stream);
+  std::vector<service::Response> responses;
+  service::Response response;
+  std::string error;
+  while (service::ReadResponse(response_stream, &response, &error) ==
+         service::ReadStatus::kOk) {
+    responses.push_back(response);
+  }
+  return responses;
+}
+
+service::Request MakeRequest(service::RequestKind kind) {
+  service::Request request;
+  request.kind = kind;
+  return request;
+}
+
+service::Request AnalyzeInlineRequest(
+    const std::vector<mbpta::PathObservation>& obs, service::Args args = {}) {
+  service::Request request;
+  request.kind = service::RequestKind::kAnalyze;
+  request.args = std::move(args);
+  request.payload = service::EncodeSamplePayload(obs);
+  return request;
+}
+
+TEST(ProtocolTest, RequestRoundTripsThroughFrame) {
+  service::Request request;
+  request.kind = service::RequestKind::kAppend;
+  request.args.Set("session", "s1");
+  request.args.SetUint("count", 2);
+  request.payload = "100.5\n200.25,3\n";
+
+  std::stringstream wire;
+  ASSERT_TRUE(service::WriteRequest(wire, request));
+
+  service::Request decoded;
+  std::string error;
+  ASSERT_EQ(service::ReadRequest(wire, &decoded, &error),
+            service::ReadStatus::kOk);
+  EXPECT_EQ(decoded.kind, service::RequestKind::kAppend);
+  EXPECT_EQ(decoded.args.GetString("session"), "s1");
+  EXPECT_EQ(decoded.args.GetUint("count", 0), 2u);
+  EXPECT_EQ(decoded.payload, request.payload);
+
+  // And a second frame on the same stream stays framed.
+  service::Response response = service::OkResponse();
+  response.args.SetDouble("pwcet", 12345.6789);
+  ASSERT_TRUE(service::WriteResponse(wire, response));
+  service::Response decoded_response;
+  ASSERT_EQ(service::ReadResponse(wire, &decoded_response, &error),
+            service::ReadStatus::kOk);
+  EXPECT_TRUE(decoded_response.ok);
+  EXPECT_DOUBLE_EQ(decoded_response.args.GetDouble("pwcet", 0.0), 12345.6789);
+}
+
+TEST(ProtocolTest, MalformedFramesAreReportedNotFatal) {
+  std::istringstream garbage("not a frame\n");
+  service::Request request;
+  std::string error;
+  EXPECT_EQ(service::ReadRequest(garbage, &request, &error),
+            service::ReadStatus::kMalformed);
+  EXPECT_NE(error.find("bad frame header"), std::string::npos);
+
+  std::istringstream truncated("spta1 PING 50\nshort");
+  EXPECT_EQ(service::ReadRequest(truncated, &request, &error),
+            service::ReadStatus::kMalformed);
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+
+  std::istringstream eof("");
+  EXPECT_EQ(service::ReadRequest(eof, &request, &error),
+            service::ReadStatus::kEof);
+}
+
+TEST(ProtocolTest, DoubleEncodingRoundTripsBitExactly) {
+  const double values[] = {1.0 / 3.0, 1e-12, 123456789.123456789,
+                           0x1.fffffffffffffp+1023};
+  for (const double v : values) {
+    const std::string text = service::EncodeDouble(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(SampleIoTest, TryReadRejectsNonFiniteAndNegative) {
+  std::vector<mbpta::PathObservation> out;
+  std::string error;
+
+  std::istringstream nan_in("cycles,path_id\n100\nnan\n");
+  EXPECT_FALSE(analysis::TryReadSamplesCsv(nan_in, &out, &error));
+  EXPECT_NE(error.find("non-finite"), std::string::npos);
+  EXPECT_TRUE(out.empty());
+
+  std::istringstream inf_in("100\ninf\n");
+  EXPECT_FALSE(analysis::TryReadSamplesCsv(inf_in, &out, &error));
+  EXPECT_NE(error.find("non-finite"), std::string::npos);
+
+  std::istringstream neg_in("100\n-5\n");
+  EXPECT_FALSE(analysis::TryReadSamplesCsv(neg_in, &out, &error));
+  EXPECT_NE(error.find("negative execution time"), std::string::npos);
+
+  std::istringstream bad_path("100,abc\n");
+  EXPECT_FALSE(analysis::TryReadSamplesCsv(bad_path, &out, &error));
+  EXPECT_NE(error.find("bad path id"), std::string::npos);
+
+  std::istringstream good("cycles,path_id\n# comment\n100,1\n200\n");
+  EXPECT_TRUE(analysis::TryReadSamplesCsv(good, &out, &error));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].path_id, 1u);
+  EXPECT_EQ(out[1].time, 200.0);
+}
+
+TEST(SampleIoDeathTest, AbortingReaderRejectsNaN) {
+  std::istringstream in("100\nnan\n");
+  EXPECT_DEATH(analysis::ReadSamplesCsv(in), "non-finite execution time");
+}
+
+TEST(ResultCacheTest, LruEvictionAtCapacity) {
+  service::ResultCache cache(2);
+  cache.Insert(1, "one");
+  cache.Insert(2, "two");
+  ASSERT_TRUE(cache.Lookup(1).has_value());  // 1 is now most-recent
+  cache.Insert(3, "three");                  // evicts 2 (LRU)
+
+  EXPECT_FALSE(cache.Lookup(2).has_value());
+  EXPECT_EQ(cache.Lookup(1).value_or(""), "one");
+  EXPECT_EQ(cache.Lookup(3).value_or(""), "three");
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_NEAR(stats.HitRatio(), 0.75, 1e-12);
+}
+
+TEST(AnalysisKeyTest, SensitiveToSamplesAndConfig) {
+  const auto obs = SyntheticSample(64, 1);
+  service::AnalysisConfig config;
+  const std::uint64_t base = service::AnalysisKey(obs, config);
+
+  auto perturbed = obs;
+  perturbed[10].time += 1e-9;
+  EXPECT_NE(service::AnalysisKey(perturbed, config), base);
+
+  auto path_changed = obs;
+  path_changed[10].path_id = 7;
+  EXPECT_NE(service::AnalysisKey(path_changed, config), base);
+
+  service::AnalysisConfig other = config;
+  other.prob = 1e-9;
+  EXPECT_NE(service::AnalysisKey(obs, other), base);
+
+  EXPECT_EQ(service::AnalysisKey(obs, config), base);  // deterministic
+}
+
+TEST(ConvergenceTrackerTest, MatchesBatchCheckConvergenceAnyChunking) {
+  const auto obs = SyntheticSample(1100, 42);
+  const auto times = TimesOf(obs);
+  mbpta::ConvergenceOptions options;
+  options.initial_runs = 200;
+  options.step_runs = 150;
+  const auto batch = mbpta::CheckConvergence(times, options);
+
+  for (const std::size_t chunk : {1100ul, 250ul, 37ul}) {
+    service::ConvergenceTracker tracker(options);
+    std::vector<double> fed;
+    for (std::size_t offset = 0; offset < times.size(); offset += chunk) {
+      const std::size_t n = std::min(chunk, times.size() - offset);
+      fed.insert(fed.end(), times.begin() + offset,
+                 times.begin() + offset + n);
+      tracker.Update(fed);
+    }
+    EXPECT_EQ(tracker.converged(), batch.converged);
+    EXPECT_EQ(tracker.runs_required(), batch.runs_required);
+    ASSERT_EQ(tracker.points().size(), batch.points.size());
+    for (std::size_t i = 0; i < batch.points.size(); ++i) {
+      EXPECT_EQ(tracker.points()[i].runs, batch.points[i].runs);
+      EXPECT_EQ(tracker.points()[i].pwcet, batch.points[i].pwcet);
+      EXPECT_EQ(tracker.points()[i].rel_delta, batch.points[i].rel_delta);
+    }
+  }
+}
+
+TEST(ServerPipeTest, SessionLifecycleEndToEnd) {
+  service::ServerOptions options;
+  options.workers = 2;
+  options.convergence.initial_runs = 200;
+  options.convergence.step_runs = 100;
+  service::Server server(options);
+
+  const auto obs = SyntheticSample(600, 7);
+
+  std::vector<service::Request> script;
+  script.push_back(MakeRequest(service::RequestKind::kPing));
+  {
+    service::Request open = MakeRequest(service::RequestKind::kOpen);
+    open.args.Set("session", "sat1");
+    script.push_back(open);
+  }
+  for (std::size_t offset = 0; offset < obs.size(); offset += 200) {
+    service::Request append = MakeRequest(service::RequestKind::kAppend);
+    append.args.Set("session", "sat1");
+    append.args.SetUint("count", 200);
+    append.payload = service::EncodeSamplePayload(
+        std::vector<mbpta::PathObservation>(obs.begin() + offset,
+                                            obs.begin() + offset + 200));
+    script.push_back(append);
+  }
+  {
+    service::Request status = MakeRequest(service::RequestKind::kStatus);
+    status.args.Set("session", "sat1");
+    script.push_back(status);
+  }
+  {
+    service::Request analyze = MakeRequest(service::RequestKind::kAnalyze);
+    analyze.args.Set("session", "sat1");
+    analyze.args.Set("require_iid", "0");
+    script.push_back(analyze);
+  }
+  {
+    service::Request close = MakeRequest(service::RequestKind::kClose);
+    close.args.Set("session", "sat1");
+    script.push_back(close);
+  }
+  script.push_back(MakeRequest(service::RequestKind::kShutdown));
+
+  const auto responses = RunScript(server, script);
+  ASSERT_EQ(responses.size(), script.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_TRUE(responses[i].ok) << "response " << i << ": "
+                                 << responses[i].payload;
+  }
+
+  // Appends report the growing total; convergence state matches the batch
+  // criterion over the same stream.
+  EXPECT_EQ(responses[2].args.GetUint("total", 0), 200u);
+  EXPECT_EQ(responses[4].args.GetUint("total", 0), 600u);
+  const auto batch = mbpta::CheckConvergence(TimesOf(obs),
+                                             server.options().convergence);
+  EXPECT_EQ(responses[5].args.GetUint("converged", 9) == 1, batch.converged);
+  EXPECT_EQ(responses[5].args.GetUint("runs_required", 9),
+            batch.runs_required);
+
+  // The analysis response carries the quantile and a cache miss.
+  EXPECT_EQ(responses[6].args.GetString("cache"), "miss");
+  EXPECT_TRUE(responses[6].args.Has("pwcet"));
+  EXPECT_EQ(responses[6].args.GetUint("sample_size", 0), 600u);
+
+  // Close really closed: the session is gone.
+  EXPECT_EQ(server.sessions().open_count(), 0u);
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(ServerPipeTest, CacheHitOnIdenticalResubmission) {
+  service::Server server{service::ServerOptions{}};
+  const auto obs = SyntheticSample(240, 11);
+
+  service::Args options;
+  options.Set("require_iid", "0");
+  const auto responses = RunScript(
+      server, {AnalyzeInlineRequest(obs, options),
+               AnalyzeInlineRequest(obs, options),
+               MakeRequest(service::RequestKind::kShutdown)});
+  ASSERT_EQ(responses.size(), 3u);
+  ASSERT_TRUE(responses[0].ok) << responses[0].payload;
+  ASSERT_TRUE(responses[1].ok) << responses[1].payload;
+
+  EXPECT_EQ(responses[0].args.GetString("cache"), "miss");
+  EXPECT_EQ(responses[1].args.GetString("cache"), "hit");
+  EXPECT_EQ(responses[0].args.GetString("key"),
+            responses[1].args.GetString("key"));
+  // The cached answer is byte-identical: same quantile, same report.
+  EXPECT_EQ(responses[0].args.GetString("pwcet"),
+            responses[1].args.GetString("pwcet"));
+  EXPECT_EQ(responses[0].payload, responses[1].payload);
+
+  const auto stats = server.engine().cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ServerPipeTest, LruEvictionBoundsTheCache) {
+  service::ServerOptions options;
+  options.cache_capacity = 2;
+  // One worker => analyses insert into the cache in request order, so the
+  // eviction sequence is deterministic.
+  options.workers = 1;
+  service::Server server(options);
+
+  service::Args no_iid;
+  no_iid.Set("require_iid", "0");
+  std::vector<service::Request> script;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    script.push_back(
+        AnalyzeInlineRequest(SyntheticSample(240, seed), no_iid));
+  }
+  script.push_back(MakeRequest(service::RequestKind::kShutdown));
+  const auto responses = RunScript(server, script);
+  ASSERT_EQ(responses.size(), 4u);
+
+  // Resubmit seed 1 on a fresh stream, after the first drained: seed 3's
+  // insertion evicted it (LRU), so it must be a miss and evict seed 2.
+  const auto resubmit = RunScript(
+      server, {AnalyzeInlineRequest(SyntheticSample(240, 1u), no_iid),
+               MakeRequest(service::RequestKind::kShutdown)});
+  ASSERT_EQ(resubmit.size(), 2u);
+  EXPECT_EQ(resubmit[0].args.GetString("cache"), "miss");
+  const auto stats = server.engine().cache().stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(ServerPipeTest, BackpressureRejectsWhenQueueFull) {
+  service::ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.enable_debug_hooks = true;
+  service::Server server(options);
+
+  service::Args slow;
+  slow.Set("require_iid", "0");
+  slow.SetDouble("debug_sleep_ms", 300.0);
+  service::Args fast;
+  fast.Set("require_iid", "0");
+
+  const auto obs = SyntheticSample(120, 5);
+  const auto responses = RunScript(
+      server, {AnalyzeInlineRequest(obs, slow),
+               AnalyzeInlineRequest(SyntheticSample(120, 6), fast),
+               AnalyzeInlineRequest(SyntheticSample(120, 8), fast),
+               MakeRequest(service::RequestKind::kShutdown)});
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses[0].ok);  // the slot holder completed
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_EQ(responses[1].args.GetString("code"), "busy");
+  EXPECT_FALSE(responses[2].ok);
+  EXPECT_EQ(responses[2].args.GetString("code"), "busy");
+  EXPECT_TRUE(responses[3].ok);  // shutdown ack after drain
+  EXPECT_EQ(server.metrics().busy_rejections(), 2u);
+}
+
+TEST(ServerPipeTest, ExpiredDeadlineIsRejectedNotExecuted) {
+  service::ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  options.enable_debug_hooks = true;
+  service::Server server(options);
+
+  service::Args slow;
+  slow.Set("require_iid", "0");
+  slow.SetDouble("debug_sleep_ms", 200.0);
+  service::Args tight;
+  tight.Set("require_iid", "0");
+  tight.SetDouble("deadline_ms", 1.0);  // expires while queued behind `slow`
+
+  const auto responses = RunScript(
+      server, {AnalyzeInlineRequest(SyntheticSample(120, 5), slow),
+               AnalyzeInlineRequest(SyntheticSample(120, 6), tight),
+               MakeRequest(service::RequestKind::kShutdown)});
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_EQ(responses[1].args.GetString("code"), "deadline");
+  EXPECT_EQ(server.metrics().deadline_misses(), 1u);
+}
+
+TEST(ServerPipeTest, DrainOnShutdownLosesNoAcceptedRequest) {
+  service::ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 64;
+  service::Server server(options);
+
+  constexpr std::size_t kRequests = 24;
+  service::Args no_iid;
+  no_iid.Set("require_iid", "0");
+  std::vector<service::Request> script;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    script.push_back(
+        AnalyzeInlineRequest(SyntheticSample(150, 100 + i), no_iid));
+  }
+  script.push_back(MakeRequest(service::RequestKind::kShutdown));
+
+  const auto responses = RunScript(server, script);
+  ASSERT_EQ(responses.size(), kRequests + 1);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(responses[i].ok) << responses[i].payload;
+    EXPECT_TRUE(responses[i].args.Has("pwcet"));
+  }
+  EXPECT_TRUE(responses.back().ok);
+  EXPECT_EQ(responses.back().args.GetString("drained"), "1");
+  EXPECT_EQ(server.metrics().requests_total(), kRequests + 1);
+  EXPECT_EQ(server.metrics().errors_total(), 0u);
+}
+
+TEST(ServerPipeTest, MetricsSurfaceCountsTraffic) {
+  service::Server server{service::ServerOptions{}};
+  const auto obs = SyntheticSample(240, 11);
+  service::Args no_iid;
+  no_iid.Set("require_iid", "0");
+  const auto traffic = RunScript(
+      server, {AnalyzeInlineRequest(obs, no_iid),
+               AnalyzeInlineRequest(obs, no_iid),
+               MakeRequest(service::RequestKind::kShutdown)});
+  ASSERT_EQ(traffic.size(), 3u);
+  // METRICS is deliberately instantaneous (no barrier on in-flight work),
+  // so read the surface on a second stream after the drain.
+  const auto responses =
+      RunScript(server, {MakeRequest(service::RequestKind::kMetrics)});
+  ASSERT_EQ(responses.size(), 1u);
+  const auto& metrics = responses[0];
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.args.GetUint("analyses_total", 0), 2u);
+  EXPECT_EQ(metrics.args.GetUint("cache_hits", 0), 1u);
+  EXPECT_EQ(metrics.args.GetUint("cache_misses", 0), 1u);
+  EXPECT_NEAR(metrics.args.GetDouble("cache_hit_ratio", 0.0), 0.5, 1e-12);
+  // The human dump carries the latency histograms.
+  EXPECT_NE(metrics.payload.find("cold analyze latency"), std::string::npos);
+}
+
+// The acceptance-criteria golden check: a pWCET quantile served over the
+// wire equals the batch pipeline's on the same parallel campaign,
+// bit for bit (the %.17g wire encoding round-trips the doubles exactly).
+TEST(ServedVsBatchGoldenTest, ServedQuantileEqualsBatchBitForBit) {
+  const apps::TvcaApp app;
+  const auto frame = app.BuildFrame(3);
+  const auto samples = analysis::RunFixedTraceCampaignParallel(
+      sim::RandLeon3Config(), frame.trace, 300, 20170327, 2);
+  const auto obs = analysis::ToPathObservations(samples);
+
+  // Batch side: the library pipeline, straight on the campaign doubles.
+  mbpta::MbptaOptions batch_opts;
+  batch_opts.require_iid = false;
+  const auto batch = mbpta::AnalyzeSample(TimesOf(obs), batch_opts);
+  ASSERT_TRUE(batch.curve.has_value());
+  const double batch_pwcet = batch.curve->QuantileForExceedance(1e-12);
+
+  // Served side: streaming ingestion in chunks, then ANALYZE.
+  service::Server server{service::ServerOptions{}};
+  std::vector<service::Request> script;
+  service::Request open = MakeRequest(service::RequestKind::kOpen);
+  open.args.Set("session", "golden");
+  script.push_back(open);
+  for (std::size_t offset = 0; offset < obs.size(); offset += 100) {
+    service::Request append = MakeRequest(service::RequestKind::kAppend);
+    append.args.Set("session", "golden");
+    append.payload = service::EncodeSamplePayload(
+        std::vector<mbpta::PathObservation>(obs.begin() + offset,
+                                            obs.begin() + offset + 100));
+    script.push_back(append);
+  }
+  service::Request analyze = MakeRequest(service::RequestKind::kAnalyze);
+  analyze.args.Set("session", "golden");
+  analyze.args.Set("require_iid", "0");
+  analyze.args.SetDouble("prob", 1e-12);
+  script.push_back(analyze);
+  script.push_back(MakeRequest(service::RequestKind::kShutdown));
+
+  const auto responses = RunScript(server, script);
+  ASSERT_EQ(responses.size(), script.size());
+  const auto& served = responses[responses.size() - 2];
+  ASSERT_TRUE(served.ok) << served.payload;
+  ASSERT_TRUE(served.args.Has("pwcet"));
+  const double served_pwcet =
+      std::strtod(served.args.GetString("pwcet").c_str(), nullptr);
+  EXPECT_EQ(served_pwcet, batch_pwcet);  // bit-for-bit, not NEAR
+  EXPECT_EQ(served.args.GetUint("sample_size", 0), obs.size());
+}
+
+TEST(UnixSocketTest, ClientServerEndToEndOverSocket) {
+  const std::string path =
+      "/tmp/spta_service_test_" + std::to_string(::getpid()) + ".sock";
+  service::ServerOptions options;
+  options.workers = 2;
+  service::Server server(options);
+  std::thread daemon([&] { server.ServeUnixSocket(path); });
+
+  // Wait for the listener to come up.
+  std::unique_ptr<service::UnixSocketConnection> connection;
+  std::string error;
+  for (int attempt = 0; attempt < 200 && !connection; ++attempt) {
+    connection = service::UnixSocketConnection::Connect(path, &error);
+    if (!connection) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(connection) << error;
+
+  service::Client client(connection->in(), connection->out());
+  EXPECT_TRUE(client.Ping().ok);
+
+  const auto obs = SyntheticSample(240, 21);
+  service::Args no_iid;
+  no_iid.Set("require_iid", "0");
+  const auto analysis = client.AnalyzeInline(obs, no_iid);
+  ASSERT_TRUE(analysis.ok) << analysis.payload;
+  EXPECT_TRUE(analysis.args.Has("pwcet"));
+
+  const auto ack = client.Shutdown();
+  EXPECT_TRUE(ack.ok);
+  daemon.join();
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace spta

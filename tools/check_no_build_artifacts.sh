@@ -1,0 +1,32 @@
+#!/bin/sh
+# Fails when generated artifacts are tracked by git: build trees
+# (build*/), object files, or the stray examples_output.txt that once
+# lived at the repo root. Wired into CTest (label tier1) so a regression
+# is caught by the ordinary test run; skips (exit 77) when git or the
+# repository is unavailable (e.g. running from an exported tarball).
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+if ! command -v git >/dev/null 2>&1; then
+  echo "check_no_build_artifacts: git not available, skipping"
+  exit 77
+fi
+if ! git -C "$repo_root" rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "check_no_build_artifacts: not a git work tree, skipping"
+  exit 77
+fi
+
+bad=$(git -C "$repo_root" ls-files |
+  grep -E '^build[^/]*/|(^|/)examples_output\.txt$|\.o$|\.a$' || true)
+
+if [ -n "$bad" ]; then
+  echo "check_no_build_artifacts: FAIL — generated artifacts are tracked:"
+  echo "$bad" | head -20
+  count=$(echo "$bad" | wc -l)
+  echo "($count files; untrack them with 'git rm -r --cached <path>')"
+  exit 1
+fi
+
+echo "check_no_build_artifacts: OK"
+exit 0

@@ -1,0 +1,164 @@
+// spta_client — command-line client for a running spta_serve daemon.
+//
+//   spta_client ping     --socket PATH
+//   spta_client analyze  --socket PATH --input samples.csv
+//                        [--prob P] [--per-path] [--block-size B]
+//                        [--deadline-ms D]
+//       One-shot analysis of a CSV sample (inline submission; identical
+//       resubmissions hit the server's result cache).
+//
+//   spta_client session  --socket PATH --input samples.csv [--name NAME]
+//                        [--chunk N] [--prob P] [--per-path]
+//       Streaming ingestion: opens a session, appends the sample in
+//       chunks (default 250), reporting the convergence status after each
+//       chunk, then requests the analysis and closes the session.
+//
+//   spta_client metrics  --socket PATH
+//   spta_client shutdown --socket PATH
+//       Graceful drain: the daemon answers every accepted request, then
+//       exits.
+//
+// Exit code: 0 on OK (for analyze: also requires usable=1), 1 on an
+// unusable analysis, 2 on transport/usage errors.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "analysis/sample_io.hpp"
+#include "common/flags.hpp"
+#include "service/client.hpp"
+
+namespace {
+
+using namespace spta;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: spta_client <ping|analyze|session|metrics|shutdown> "
+      "--socket PATH [flags]\n"
+      "  analyze  --input FILE [--prob P] [--per-path] [--block-size B] "
+      "[--deadline-ms D]\n"
+      "  session  --input FILE [--name NAME] [--chunk N] [--prob P] "
+      "[--per-path]\n");
+  return 2;
+}
+
+std::vector<mbpta::PathObservation> LoadSamples(const Flags& flags) {
+  const std::string input = flags.GetString("input");
+  std::vector<mbpta::PathObservation> observations;
+  std::string error;
+  bool ok = false;
+  if (input.empty() || input == "-") {
+    ok = analysis::TryReadSamplesCsv(std::cin, &observations, &error);
+  } else {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "spta_client: cannot open '%s'\n", input.c_str());
+      std::exit(2);
+    }
+    ok = analysis::TryReadSamplesCsv(in, &observations, &error);
+  }
+  if (!ok) {
+    std::fprintf(stderr, "spta_client: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return observations;
+}
+
+service::Args AnalysisOptions(const Flags& flags) {
+  service::Args options;
+  if (flags.Has("prob")) options.SetDouble("prob", flags.GetDouble("prob", 1e-12));
+  if (flags.Has("block-size")) {
+    options.SetUint("block_size",
+                    static_cast<std::uint64_t>(flags.GetInt("block-size", 0)));
+  }
+  if (flags.GetBool("per-path")) options.Set("per_path", "1");
+  if (flags.Has("deadline-ms")) {
+    options.SetDouble("deadline_ms", flags.GetDouble("deadline-ms", 0.0));
+  }
+  return options;
+}
+
+/// Prints a response's args and payload; returns the command exit code.
+int Report(const service::Response& response) {
+  if (!response.ok) {
+    std::fprintf(stderr, "spta_client: ERR %s: %s\n",
+                 response.args.GetString("code", "?").c_str(),
+                 response.payload.c_str());
+    return 2;
+  }
+  const std::string args = response.args.Encode();
+  if (!args.empty()) std::printf("%s\n", args.c_str());
+  if (!response.payload.empty()) std::fputs(response.payload.c_str(), stdout);
+  return response.args.Has("usable") &&
+                 response.args.GetUint("usable", 0) == 0
+             ? 1
+             : 0;
+}
+
+int RunSession(service::Client& client, const Flags& flags) {
+  const auto observations = LoadSamples(flags);
+  const std::string name = flags.GetString("name", "cli");
+  const std::size_t chunk =
+      static_cast<std::size_t>(flags.GetInt("chunk", 250));
+  if (chunk == 0) {
+    std::fprintf(stderr, "spta_client: --chunk must be >= 1\n");
+    return 2;
+  }
+  auto response = client.Open(name);
+  if (!response.ok) return Report(response);
+  for (std::size_t offset = 0; offset < observations.size();
+       offset += chunk) {
+    const std::size_t n = std::min(chunk, observations.size() - offset);
+    response = client.Append(
+        name, std::span(observations).subspan(offset, n));
+    if (!response.ok) return Report(response);
+    std::fprintf(stderr,
+                 "spta_client: appended %zu/%zu samples, converged=%s\n",
+                 offset + n, observations.size(),
+                 response.args.GetString("converged", "0").c_str());
+    if (response.args.GetUint("converged", 0) == 1) {
+      std::fprintf(stderr,
+                   "spta_client: convergence criterion met at %s runs\n",
+                   response.args.GetString("runs_required", "?").c_str());
+    }
+  }
+  response = client.AnalyzeSession(name, AnalysisOptions(flags));
+  const int code = Report(response);
+  client.Close(name);
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  const std::string socket_path = flags.GetString("socket");
+  if (socket_path.empty()) return Usage();
+
+  std::string error;
+  const auto connection =
+      service::UnixSocketConnection::Connect(socket_path, &error);
+  if (!connection) {
+    std::fprintf(stderr, "spta_client: %s\n", error.c_str());
+    return 2;
+  }
+  service::Client client(connection->in(), connection->out());
+
+  if (command == "ping") return Report(client.Ping());
+  if (command == "analyze") {
+    return Report(client.AnalyzeInline(LoadSamples(flags),
+                                       AnalysisOptions(flags)));
+  }
+  if (command == "session") return RunSession(client, flags);
+  if (command == "metrics") return Report(client.Metrics());
+  if (command == "shutdown") return Report(client.Shutdown());
+  std::fprintf(stderr, "spta_client: unknown command '%s'\n",
+               command.c_str());
+  return Usage();
+}

@@ -1,0 +1,71 @@
+// spta_serve — resident pWCET analysis daemon.
+//
+//   spta_serve --socket /tmp/spta.sock [--workers N] [--queue N]
+//              [--cache N] [--deadline-ms D]
+//       Listens on an AF_UNIX stream socket; serves concurrent clients
+//       until one sends SHUTDOWN. Dumps the metrics surface to stderr on
+//       exit.
+//
+//   spta_serve --pipe [same tuning flags]
+//       Serves a single framed request stream on stdin/stdout (inetd
+//       style; also what the tests and scripted clients use).
+//
+// Protocol, session model and cache semantics: docs/SERVICE.md.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace spta;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: spta_serve (--socket PATH | --pipe) [--workers N] "
+               "[--queue N] [--cache N] [--deadline-ms D]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string socket_path = flags.GetString("socket");
+  const bool pipe_mode = flags.GetBool("pipe");
+  if (socket_path.empty() == !pipe_mode) return Usage();  // exactly one mode
+
+  service::ServerOptions options;
+  options.workers = static_cast<std::size_t>(flags.GetInt("workers", 0));
+  options.queue_capacity =
+      static_cast<std::size_t>(flags.GetInt("queue", 64));
+  options.cache_capacity =
+      static_cast<std::size_t>(flags.GetInt("cache", 128));
+  options.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  if (options.queue_capacity == 0 || options.cache_capacity == 0) {
+    std::fprintf(stderr, "spta_serve: --queue and --cache must be >= 1\n");
+    return 2;
+  }
+
+  service::Server server(options);
+  int exit_code = 0;
+  if (pipe_mode) {
+    server.ServeStream(std::cin, std::cout);
+  } else {
+    std::fprintf(stderr, "spta_serve: listening on %s\n",
+                 socket_path.c_str());
+    const int err = server.ServeUnixSocket(socket_path);
+    if (err != 0) {
+      std::fprintf(stderr, "spta_serve: socket setup failed (errno %d)\n",
+                   err);
+      exit_code = 1;
+    }
+  }
+
+  std::fprintf(stderr, "spta_serve: exiting; final metrics:\n%s",
+               server.metrics().Render(server.engine().cache().stats()).c_str());
+  return exit_code;
+}
