@@ -2,7 +2,10 @@
 
 #include <bit>
 
+#include <algorithm>
+
 #include "common/hash.hpp"
+#include "evt/block_maxima.hpp"
 #include "mbpta/mbpta.hpp"
 #include "mbpta/report.hpp"
 
@@ -11,6 +14,21 @@ namespace {
 
 std::uint64_t DoubleBits(double value) {
   return std::bit_cast<std::uint64_t>(value);
+}
+
+/// Murmur3-finalizer-based combiner — deliberately different constants,
+/// mixing structure and traversal order (at the call sites) than the
+/// Mix64/HashCombine chain, so AnalysisKey and AnalysisVerifier fail
+/// independently: inputs that collide under one digest have no structural
+/// reason to collide under the other. Word-at-a-time like HashCombine, so
+/// the warm cache-probe path stays cheap.
+std::uint64_t VerifierCombine(std::uint64_t h, std::uint64_t value) {
+  value ^= value >> 33;
+  value *= 0xff51afd7ed558ccdull;
+  value ^= value >> 33;
+  value *= 0xc4ceb9fe1a85ec53ull;
+  value ^= value >> 33;
+  return (h * 0x100000001b3ull) ^ value;  // FNV-style fold of mixed words
 }
 
 /// Cached bodies hold the result args on the first line and the rendered
@@ -62,6 +80,27 @@ std::uint64_t AnalysisKey(std::span<const mbpta::PathObservation> observations,
   return h;
 }
 
+std::uint64_t AnalysisVerifier(
+    std::span<const mbpta::PathObservation> observations,
+    const AnalysisConfig& config) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  // Samples first, config last — the reverse of AnalysisKey's order.
+  for (const auto& obs : observations) {
+    h = VerifierCombine(h, obs.path_id);
+    h = VerifierCombine(h, DoubleBits(obs.time));
+  }
+  h = VerifierCombine(h, observations.size());
+  h = VerifierCombine(h, config.min_path_samples);
+  h = VerifierCombine(h, config.per_path ? 1 : 0);
+  h = VerifierCombine(h, config.require_iid ? 1 : 0);
+  h = VerifierCombine(h, config.lags);
+  h = VerifierCombine(h, DoubleBits(config.alpha));
+  h = VerifierCombine(h, config.min_blocks);
+  h = VerifierCombine(h, config.block_size);
+  h = VerifierCombine(h, DoubleBits(config.prob));
+  return h;
+}
+
 AnalysisEngine::AnalysisEngine(std::size_t cache_capacity)
     : cache_(cache_capacity) {}
 
@@ -69,7 +108,8 @@ bool AnalysisEngine::TryServeCached(
     std::span<const mbpta::PathObservation> observations,
     const AnalysisConfig& config, AnalysisOutcome* outcome) {
   outcome->key = AnalysisKey(observations, config);
-  auto body = cache_.LookupIfPresent(outcome->key);
+  auto body = cache_.LookupIfPresent(outcome->key,
+                                     AnalysisVerifier(observations, config));
   if (!body) return false;
   outcome->cache_hit = true;
   DecodeBody(*body, &outcome->result, &outcome->report);
@@ -101,9 +141,54 @@ bool AnalysisEngine::Analyze(
     *error = "prob must be in (0, 1)";
     return false;
   }
+  if (observations.size() < 4) {
+    *error = "sample of " + std::to_string(observations.size()) +
+             " is too small for the i.i.d. gate (need >= 4)";
+    return false;
+  }
+  if (config.lags < 1 || config.lags >= observations.size()) {
+    *error = "lags " + std::to_string(config.lags) +
+             " must be >= 1 and < sample size " +
+             std::to_string(observations.size());
+    return false;
+  }
+  // The Gumbel/GEV cross-check and the PPCC diagnostic need at least 3
+  // complete blocks; fewer would abort inside the batch pipeline.
+  const std::size_t effective_block =
+      config.block_size != 0
+          ? config.block_size
+          : evt::SuggestBlockSize(observations.size(), config.min_blocks);
+  if (observations.size() / effective_block < 3) {
+    *error = "sample of " + std::to_string(observations.size()) +
+             " yields fewer than 3 complete blocks of " +
+             std::to_string(effective_block);
+    return false;
+  }
+  if (config.per_path) {
+    // AnalyzePerPath runs the full pipeline on every path with at least
+    // max(min_path_samples, min_blocks) samples, so that floor must keep
+    // each per-path analysis within the preconditions checked above.
+    const std::size_t path_floor =
+        std::max(config.min_path_samples, config.min_blocks);
+    if (path_floor < 4 || path_floor <= config.lags) {
+      *error = "per-path floor max(min_path_samples, min_blocks) = " +
+               std::to_string(path_floor) +
+               " must be >= 4 and > lags " + std::to_string(config.lags);
+      return false;
+    }
+    if (config.block_size != 0
+            ? path_floor / config.block_size < 3
+            : config.min_blocks < 3) {
+      *error = "per-path analysis needs at least 3 complete blocks per "
+               "analyzed path; raise min_path_samples/min_blocks or lower "
+               "block_size";
+      return false;
+    }
+  }
 
   outcome->key = AnalysisKey(observations, config);
-  if (auto body = cache_.Lookup(outcome->key)) {
+  const std::uint64_t verifier = AnalysisVerifier(observations, config);
+  if (auto body = cache_.Lookup(outcome->key, verifier)) {
     outcome->cache_hit = true;
     DecodeBody(*body, &outcome->result, &outcome->report);
     return true;
@@ -149,7 +234,7 @@ bool AnalysisEngine::Analyze(
     report += mbpta::RenderReport(per_path);
   }
 
-  cache_.Insert(outcome->key, EncodeBody(fields, report));
+  cache_.Insert(outcome->key, verifier, EncodeBody(fields, report));
   outcome->result = std::move(fields);
   outcome->report = std::move(report);
   return true;

@@ -2,7 +2,9 @@
 //
 // One engine instance is shared by every connection and worker thread. An
 // analysis request is keyed by a 64-bit digest of the exact sample bits
-// and every option that influences the outcome; identical re-submissions
+// and every option that influences the outcome, paired with a second
+// independent verifier digest so a key collision is detected rather than
+// served (see AnalysisKey/AnalysisVerifier); identical re-submissions
 // are answered from the ResultCache without touching the EVT code. The
 // rendered result is deterministic (key-sorted args, %.17g numbers), so a
 // cached answer is byte-identical to a recomputed one — and the reported
@@ -41,10 +43,20 @@ struct AnalysisConfig {
 
 /// Content address of (samples, config): a Mix64/HashCombine digest over
 /// the raw IEEE-754 bits of every observation plus every config field.
-/// Bit-exact by construction — two requests collide only if they would
-/// produce the identical result.
+/// NOT injective — a 64-bit digest over arbitrarily long inputs cannot
+/// be — which is why every cache entry also stores the independent
+/// AnalysisVerifier digest and a lookup hits only when both match.
 std::uint64_t AnalysisKey(std::span<const mbpta::PathObservation> observations,
                           const AnalysisConfig& config);
+
+/// Second, independently constructed digest over the same inputs (a
+/// Murmur3-finalizer combiner with a different traversal order). Stored
+/// alongside each cache entry
+/// so a key collision between distinct requests is detected instead of
+/// silently serving another request's pWCET result.
+std::uint64_t AnalysisVerifier(
+    std::span<const mbpta::PathObservation> observations,
+    const AnalysisConfig& config);
 
 struct AnalysisOutcome {
   bool cache_hit = false;

@@ -79,6 +79,7 @@ Args ServiceMetrics::Snapshot(const ResultCache::Stats& cache) const {
   args.SetUint("cache_hits", cache.hits);
   args.SetUint("cache_misses", cache.misses);
   args.SetUint("cache_evictions", cache.evictions);
+  args.SetUint("cache_collisions", cache.collisions);
   args.SetUint("cache_size", cache.size);
   args.SetUint("cache_capacity", cache.capacity);
   args.SetDouble("cache_hit_ratio", cache.HitRatio());

@@ -49,8 +49,10 @@ std::optional<RequestKind> ParseRequestKind(std::string_view name);
 class Args {
  public:
   /// Parses a space-separated `key=value` token line. Tokens without '='
-  /// or with an empty key are reported via the return value (false) but
-  /// the well-formed tokens are still kept.
+  /// or with an empty key are silently skipped — only the well-formed
+  /// tokens are kept, and an absent key falls back to its default at
+  /// Get* time. Callers that must surface typos have to validate the
+  /// parsed keys themselves.
   static Args Parse(std::string_view line);
 
   void Set(const std::string& key, const std::string& value);

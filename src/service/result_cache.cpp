@@ -14,41 +14,54 @@ ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
   SPTA_REQUIRE(capacity >= 1);
 }
 
-std::optional<std::string> ResultCache::Lookup(std::uint64_t key) {
+std::optional<std::string> ResultCache::Lookup(std::uint64_t key,
+                                               std::uint64_t verifier) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
     return std::nullopt;
   }
+  if (it->second->verifier != verifier) {
+    // Detected 64-bit key collision: a different request hashed to the
+    // same key. Never serve the other request's result.
+    ++collisions_;
+    ++misses_;
+    return std::nullopt;
+  }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->second;
+  return it->second->body;
 }
 
-std::optional<std::string> ResultCache::LookupIfPresent(std::uint64_t key) {
+std::optional<std::string> ResultCache::LookupIfPresent(
+    std::uint64_t key, std::uint64_t verifier) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
+  if (it == index_.end() || it->second->verifier != verifier) {
+    return std::nullopt;  // the worker's Lookup does the accounting
+  }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->second;
+  return it->second->body;
 }
 
-void ResultCache::Insert(std::uint64_t key, std::string body) {
+void ResultCache::Insert(std::uint64_t key, std::uint64_t verifier,
+                         std::string body) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(body);
+    it->second->verifier = verifier;
+    it->second->body = std::move(body);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
   }
-  lru_.emplace_front(key, std::move(body));
+  lru_.emplace_front(Entry{key, verifier, std::move(body)});
   index_[key] = lru_.begin();
 }
 
@@ -58,6 +71,7 @@ ResultCache::Stats ResultCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.collisions = collisions_;
   s.size = lru_.size();
   s.capacity = capacity_;
   return s;

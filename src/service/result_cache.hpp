@@ -4,8 +4,13 @@
 // config) — see AnalysisKey in engine.hpp — and stores the fully rendered
 // response body. Identical re-submissions (same measurements, same
 // options) therefore return in microseconds instead of re-running the EVT
-// pipeline. Bounded by entry count with least-recently-used eviction;
-// hit/miss/eviction accounting feeds the metrics surface.
+// pipeline. Because no 64-bit digest over arbitrarily long inputs is
+// injective, every entry also carries a second, independently constructed
+// 64-bit verifier digest: a lookup only hits when BOTH digests match, so a
+// key collision between two distinct requests is detected and served as a
+// miss (and counted) instead of silently returning another request's
+// pWCET result. Bounded by entry count with least-recently-used eviction;
+// hit/miss/collision/eviction accounting feeds the metrics surface.
 //
 // Thread-safe: one mutex around the map+list (lookups are O(1) and the
 // stored bodies are small compared to an analysis, so a single lock is not
@@ -18,7 +23,6 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <utility>
 
 namespace spta::service {
 
@@ -28,6 +32,9 @@ class ResultCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Lookups whose key matched but whose verifier did not: a detected
+    /// 64-bit key collision between distinct requests (served as a miss).
+    std::uint64_t collisions = 0;
     std::size_t size = 0;
     std::size_t capacity = 0;
 
@@ -38,31 +45,44 @@ class ResultCache {
   /// Requires capacity >= 1.
   explicit ResultCache(std::size_t capacity);
 
-  /// Returns the cached body and refreshes recency, or nullopt on a miss.
-  /// Every call counts as exactly one hit or one miss.
-  std::optional<std::string> Lookup(std::uint64_t key);
+  /// Returns the cached body and refreshes recency when both `key` and
+  /// `verifier` match, or nullopt on a miss. A key match with a verifier
+  /// mismatch is a detected collision: counted as a miss (plus the
+  /// collision counter), never served. Every call counts as exactly one
+  /// hit or one miss.
+  std::optional<std::string> Lookup(std::uint64_t key, std::uint64_t verifier);
 
-  /// Like Lookup, but an absent key is NOT counted as a miss. Used by the
-  /// server's warm fast path, which probes before dispatching to a worker:
-  /// on a miss the worker's authoritative Lookup does the counting, so
-  /// each request still scores exactly one hit or one miss.
-  std::optional<std::string> LookupIfPresent(std::uint64_t key);
+  /// Like Lookup, but an absent key (or a collision) is NOT counted. Used
+  /// by the server's warm fast path, which probes before dispatching to a
+  /// worker: on a miss the worker's authoritative Lookup does the
+  /// counting, so each request still scores exactly one hit or one miss.
+  std::optional<std::string> LookupIfPresent(std::uint64_t key,
+                                             std::uint64_t verifier);
 
   /// Inserts (or refreshes) `key`; evicts the least-recently-used entry
-  /// when at capacity. Does not touch the hit/miss counters.
-  void Insert(std::uint64_t key, std::string body);
+  /// when at capacity. An existing entry with a different verifier (a
+  /// colliding key) is overwritten — latest result wins. Does not touch
+  /// the hit/miss counters.
+  void Insert(std::uint64_t key, std::uint64_t verifier, std::string body);
 
   Stats stats() const;
 
  private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t verifier = 0;
+    std::string body;
+  };
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
   /// Front = most recently used.
-  std::list<std::pair<std::uint64_t, std::string>> lru_;
+  std::list<Entry> lru_;
   std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t collisions_ = 0;
 };
 
 }  // namespace spta::service

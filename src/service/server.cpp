@@ -286,8 +286,18 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
       pool_.Submit([this, id, &writer, request = std::move(request),
                     observations = std::move(observations), deadline,
                     has_deadline]() mutable {
-        Response response = RunAnalysis(request, std::move(observations),
-                                        deadline, has_deadline);
+        // Worker tasks must not leak exceptions: ThreadPool::Wait
+        // rethrows captured ones on whichever thread waits next, which
+        // would escape a connection thread and terminate the daemon.
+        Response response;
+        try {
+          response = RunAnalysis(request, std::move(observations), deadline,
+                                 has_deadline);
+        } catch (const std::exception& e) {
+          response = ErrResponse("internal", e.what());
+        } catch (...) {
+          response = ErrResponse("internal", "unknown analysis failure");
+        }
         metrics_.CountRequest(RequestKind::kAnalyze, response.ok);
         ReleaseAnalyzeSlot();
         writer.Complete(id, std::move(response));
@@ -300,7 +310,9 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
     writer.Complete(id, std::move(response));
   }
 
-  pool_.Wait();
+  // Per-stream completion: Drain waits for every id this stream reserved,
+  // so one connection's EOF never blocks on other connections' in-flight
+  // work (the pool is shared; a pool-wide Wait here would couple them).
   writer.Drain();
   return shutdown;
 }
@@ -308,6 +320,11 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
 void Server::RegisterConnection(int fd) {
   std::lock_guard<std::mutex> lock(connections_mutex_);
   connection_fds_.push_back(fd);
+  // A connection accepted concurrently with TriggerShutdown can register
+  // after the SHUT_RD sweep already ran; TriggerShutdown holds the same
+  // mutex, so checking the flag here makes the handoff race-free — one of
+  // the two sides always shuts this fd's read half down.
+  if (shutdown_.load()) ::shutdown(fd, SHUT_RD);
 }
 
 void Server::UnregisterConnection(int fd) {

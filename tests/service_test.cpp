@@ -184,14 +184,14 @@ TEST(SampleIoDeathTest, AbortingReaderRejectsNaN) {
 
 TEST(ResultCacheTest, LruEvictionAtCapacity) {
   service::ResultCache cache(2);
-  cache.Insert(1, "one");
-  cache.Insert(2, "two");
-  ASSERT_TRUE(cache.Lookup(1).has_value());  // 1 is now most-recent
-  cache.Insert(3, "three");                  // evicts 2 (LRU)
+  cache.Insert(1, 10, "one");
+  cache.Insert(2, 20, "two");
+  ASSERT_TRUE(cache.Lookup(1, 10).has_value());  // 1 is now most-recent
+  cache.Insert(3, 30, "three");                  // evicts 2 (LRU)
 
-  EXPECT_FALSE(cache.Lookup(2).has_value());
-  EXPECT_EQ(cache.Lookup(1).value_or(""), "one");
-  EXPECT_EQ(cache.Lookup(3).value_or(""), "three");
+  EXPECT_FALSE(cache.Lookup(2, 20).has_value());
+  EXPECT_EQ(cache.Lookup(1, 10).value_or(""), "one");
+  EXPECT_EQ(cache.Lookup(3, 30).value_or(""), "three");
 
   const auto stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1u);
@@ -199,6 +199,43 @@ TEST(ResultCacheTest, LruEvictionAtCapacity) {
   EXPECT_EQ(stats.hits, 3u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_NEAR(stats.HitRatio(), 0.75, 1e-12);
+}
+
+TEST(ResultCacheTest, KeyCollisionIsDetectedNotServed) {
+  service::ResultCache cache(4);
+  cache.Insert(1, 10, "first");
+
+  // Same 64-bit key, different verifier: a colliding request must never
+  // receive the other request's cached result.
+  EXPECT_FALSE(cache.Lookup(1, 99).has_value());
+  EXPECT_FALSE(cache.LookupIfPresent(1, 99).has_value());
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.collisions, 1u);  // LookupIfPresent does not account
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Re-insertion under the colliding key replaces the entry (latest
+  // wins); the original verifier then misses.
+  cache.Insert(1, 99, "second");
+  EXPECT_EQ(cache.Lookup(1, 99).value_or(""), "second");
+  EXPECT_FALSE(cache.Lookup(1, 10).has_value());
+  stats = cache.stats();
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.collisions, 2u);
+}
+
+TEST(AnalysisVerifierTest, IndependentOfAnalysisKey) {
+  const auto obs = SyntheticSample(64, 1);
+  service::AnalysisConfig config;
+  EXPECT_NE(service::AnalysisVerifier(obs, config),
+            service::AnalysisKey(obs, config));
+
+  auto perturbed = obs;
+  perturbed[10].time += 1e-9;
+  EXPECT_NE(service::AnalysisVerifier(perturbed, config),
+            service::AnalysisVerifier(obs, config));
+  EXPECT_EQ(service::AnalysisVerifier(obs, config),
+            service::AnalysisVerifier(obs, config));  // deterministic
 }
 
 TEST(AnalysisKeyTest, SensitiveToSamplesAndConfig) {
@@ -219,6 +256,49 @@ TEST(AnalysisKeyTest, SensitiveToSamplesAndConfig) {
   EXPECT_NE(service::AnalysisKey(obs, other), base);
 
   EXPECT_EQ(service::AnalysisKey(obs, config), base);  // deterministic
+}
+
+// One hostile request must get an ERR, never abort the shared daemon:
+// every SPTA_REQUIRE reachable from client-controlled sample sizes and
+// analysis options has to be caught by the engine's validation first.
+TEST(ServerPipeTest, HostileAnalyzeParametersGetErrNotAbort) {
+  service::Server server{service::ServerOptions{}};
+
+  service::Args tiny;  // 3 samples reach the i.i.d. gate's n >= 4 floor
+  tiny.SetUint("min_blocks", 1);
+  service::Args lags_too_large;  // default lags=20 vs a 10-sample payload
+  lags_too_large.SetUint("min_blocks", 1);
+  service::Args lags_zero;
+  lags_zero.SetUint("lags", 0);
+  service::Args two_blocks;  // 120/60 = 2 complete blocks < 3
+  two_blocks.SetUint("block_size", 60);
+  service::Args per_path_floor;  // path floor 4 <= default lags 20
+  per_path_floor.Set("per_path", "1");
+  per_path_floor.SetUint("min_blocks", 4);
+  per_path_floor.SetUint("min_path_samples", 4);
+
+  const auto responses = RunScript(
+      server, {AnalyzeInlineRequest(SyntheticSample(3, 1), tiny),
+               AnalyzeInlineRequest(SyntheticSample(10, 2), lags_too_large),
+               AnalyzeInlineRequest(SyntheticSample(120, 3), lags_zero),
+               AnalyzeInlineRequest(SyntheticSample(120, 4), two_blocks),
+               AnalyzeInlineRequest(SyntheticSample(120, 5), per_path_floor),
+               MakeRequest(service::RequestKind::kPing),
+               MakeRequest(service::RequestKind::kShutdown)});
+  ASSERT_EQ(responses.size(), 7u);
+  EXPECT_FALSE(responses[0].ok);
+  EXPECT_NE(responses[0].payload.find("too small"), std::string::npos);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_NE(responses[1].payload.find("lags"), std::string::npos);
+  EXPECT_FALSE(responses[2].ok);
+  EXPECT_NE(responses[2].payload.find("lags"), std::string::npos);
+  EXPECT_FALSE(responses[3].ok);
+  EXPECT_NE(responses[3].payload.find("blocks"), std::string::npos);
+  EXPECT_FALSE(responses[4].ok);
+  EXPECT_NE(responses[4].payload.find("per-path"), std::string::npos);
+  // The daemon is still alive and answering after all of the above.
+  EXPECT_TRUE(responses[5].ok);
+  EXPECT_TRUE(responses[6].ok);
 }
 
 TEST(ConvergenceTrackerTest, MatchesBatchCheckConvergenceAnyChunking) {
