@@ -1,0 +1,200 @@
+// Tier-1 smoke test for the machine-readable bench report format.
+//
+// Runs micro_sim_hotpath for a handful of runs (SPTA_BENCH_RUNS=50 — small
+// enough for the test tier, large enough for stable percentiles) with the
+// JSON output redirected to a scratch directory, then validates the emitted
+// BENCH_sim_hotpath.json against the schema contract of docs/BENCHMARKS.md:
+// the file is one flat JSON object, every required key is present, every
+// numeric field is a finite number (nulls — the reporter's spelling of
+// NaN/inf — fail the check). This keeps the perf-trajectory artifacts
+// trustworthy without making tier-1 runtime depend on perf acceptance bars.
+//
+// Usage: check_bench_json <path-to-micro_sim_hotpath>
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int g_failures = 0;
+
+void Fail(const std::string& what) {
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  ++g_failures;
+}
+
+/// Minimal parser for the flat single-level JSON objects the reporter
+/// emits: string and numeric (or null) values only, no nesting. Returns
+/// false on structural errors.
+bool ParseFlatJson(const std::string& text,
+                   std::map<std::string, std::string>* strings,
+                   std::map<std::string, std::string>* numbers) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  const auto parse_string = [&](std::string* out) {
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    out->clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      out->push_back(text[i++]);
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return true;  // empty object
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(&key)) return false;
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    skip_ws();
+    if (i >= text.size()) return false;
+    if (text[i] == '"') {
+      std::string value;
+      if (!parse_string(&value)) return false;
+      (*strings)[key] = value;
+    } else {
+      std::string value;
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             !std::isspace(static_cast<unsigned char>(text[i]))) {
+        value.push_back(text[i++]);
+      }
+      if (value.empty()) return false;
+      (*numbers)[key] = value;
+    }
+    skip_ws();
+    if (i >= text.size()) return false;
+    if (text[i] == '}') return true;
+    if (text[i] != ',') return false;
+    ++i;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <path-to-micro_sim_hotpath>\n", argv[0]);
+    return 2;
+  }
+
+  // Scratch directory for the JSON artifact so the check never races a
+  // real bench run in the working directory.
+  char scratch[] = "/tmp/spta_bench_json_XXXXXX";
+  if (::mkdtemp(scratch) == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot create scratch directory\n");
+    return 1;
+  }
+  const std::string dir = scratch;
+  const std::string json_path = dir + "/BENCH_sim_hotpath.json";
+
+  ::setenv("SPTA_BENCH_RUNS", "50", /*overwrite=*/1);
+  ::setenv("SPTA_BENCH_JSON_DIR", dir.c_str(), /*overwrite=*/1);
+  const std::string cmd = std::string("\"") + argv[1] + "\"";
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) Fail("micro_sim_hotpath exited with nonzero status");
+
+  std::ifstream in(json_path);
+  if (!in) {
+    Fail("bench did not emit " + json_path);
+    std::fprintf(stderr, "%d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::map<std::string, std::string> strings;
+  std::map<std::string, std::string> numbers;
+  if (!ParseFlatJson(text, &strings, &numbers)) {
+    Fail("emitted file is not a flat JSON object:\n" + text);
+    std::fprintf(stderr, "%d failure(s)\n", g_failures);
+    return 1;
+  }
+
+  // Required string fields.
+  for (const char* key : {"bench", "git_rev"}) {
+    const auto it = strings.find(key);
+    if (it == strings.end()) {
+      Fail(std::string("missing string field \"") + key + "\"");
+    } else if (it->second.empty()) {
+      Fail(std::string("empty string field \"") + key + "\"");
+    }
+  }
+  if (const auto it = strings.find("bench");
+      it != strings.end() && it->second != "sim_hotpath") {
+    Fail("\"bench\" is \"" + it->second + "\", expected \"sim_hotpath\"");
+  }
+
+  // Required numeric fields — must parse fully and be finite.
+  const std::vector<std::string> required = {
+      "timestamp_unix",     "runs",
+      "trace_records",      "total_seconds",
+      "runs_per_sec",       "minstr_per_sec",
+      "run_latency_p50_ms", "run_latency_p99_ms",
+      "run_latency_mean_ms", "baseline_runs_per_sec",
+      "speedup_vs_baseline"};
+  for (const std::string& key : required) {
+    const auto it = numbers.find(key);
+    if (it == numbers.end()) {
+      Fail("missing numeric field \"" + key + "\"");
+      continue;
+    }
+    if (it->second == "null") {
+      Fail("field \"" + key + "\" is null (non-finite at the producer)");
+      continue;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      Fail("field \"" + key + "\" is not a number: " + it->second);
+    } else if (!std::isfinite(v)) {
+      Fail("field \"" + key + "\" is not finite: " + it->second);
+    }
+  }
+  // Every numeric field, required or not, must be finite JSON.
+  for (const auto& [key, value] : numbers) {
+    if (value == "null") Fail("field \"" + key + "\" is null");
+  }
+
+  // Sanity: a 50-run campaign must report a positive rate and runs=50.
+  if (const auto it = numbers.find("runs"); it != numbers.end()) {
+    if (std::strtod(it->second.c_str(), nullptr) != 50.0) {
+      Fail("\"runs\" is " + it->second + ", expected 50 (SPTA_BENCH_RUNS)");
+    }
+  }
+  if (const auto it = numbers.find("runs_per_sec"); it != numbers.end()) {
+    if (!(std::strtod(it->second.c_str(), nullptr) > 0.0)) {
+      Fail("\"runs_per_sec\" is not positive: " + it->second);
+    }
+  }
+
+  std::remove(json_path.c_str());
+  ::rmdir(dir.c_str());
+  if (g_failures == 0) {
+    std::printf("bench JSON schema check passed (%zu string, %zu numeric "
+                "fields)\n", strings.size(), numbers.size());
+    return 0;
+  }
+  std::fprintf(stderr, "%d failure(s)\n", g_failures);
+  return 1;
+}

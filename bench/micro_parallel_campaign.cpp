@@ -61,16 +61,36 @@ int main() {
 
   const std::size_t hw = analysis::DefaultJobs();
   std::printf("hardware concurrency: %zu\n", hw);
+  double best_par_s = serial_s;
+  std::size_t best_jobs = 0;
+  bool all_identical = true;
   for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                            hw}) {
     const auto p0 = Clock::now();
     const auto par = analysis::RunTvcaCampaignParallel(config, app, cc, jobs);
     const auto p1 = Clock::now();
     const double par_s = Seconds(p0, p1);
+    const bool identical = Identical(serial, par);
+    all_identical = all_identical && identical;
+    if (par_s < best_par_s) {
+      best_par_s = par_s;
+      best_jobs = jobs;
+    }
     std::printf("parallel %2zu jobs: %7.2fs  %8.1f samples/sec  "
                 "speedup %.2fx  bit-identical %s\n",
                 jobs, par_s, static_cast<double>(cc.runs) / par_s,
-                serial_s / par_s, Identical(serial, par) ? "yes" : "NO");
+                serial_s / par_s, identical ? "yes" : "NO");
   }
-  return 0;
+
+  bench::JsonReport report("parallel_campaign", cc.runs);
+  report.Set("hardware_concurrency", static_cast<double>(hw));
+  report.Set("serial_samples_per_sec",
+             static_cast<double>(cc.runs) / serial_s);
+  report.Set("best_parallel_samples_per_sec",
+             static_cast<double>(cc.runs) / best_par_s);
+  report.Set("best_parallel_jobs", static_cast<double>(best_jobs));
+  report.Set("best_speedup", serial_s / best_par_s);
+  report.Set("bit_identical", all_identical ? 1.0 : 0.0);
+  report.Write();
+  return all_identical ? 0 : 1;
 }

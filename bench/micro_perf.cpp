@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "bench_util.hpp"
 
 #include "analysis/campaign.hpp"
 #include "analysis/reuse.hpp"
@@ -183,6 +187,56 @@ void BM_HybridBound(benchmark::State& state) {
 }
 BENCHMARK(BM_HybridBound);
 
+/// Console reporter that additionally captures each benchmark's adjusted
+/// real time (ns/op in the default time unit) and items/sec counter so the
+/// whole suite lands in one BENCH_micro_perf.json.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const std::string key = SanitizedKey(run.benchmark_name());
+      captured_.emplace_back(key + "_ns_per_op", run.GetAdjustedRealTime());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        captured_.emplace_back(key + "_items_per_sec", items->second.value);
+      }
+    }
+  }
+
+  const std::vector<std::pair<std::string, double>>& captured() const {
+    return captured_;
+  }
+
+ private:
+  /// "BM_CacheAccess/0" -> "BM_CacheAccess_0": keys stay flat identifiers.
+  static std::string SanitizedKey(const std::string& name) {
+    std::string key = name;
+    for (char& c : key) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+      if (!ok) c = '_';
+    }
+    return key;
+  }
+
+  std::vector<std::pair<std::string, double>> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  spta::bench::JsonReport report("micro_perf", reporter.captured().size());
+  for (const auto& [key, value] : reporter.captured()) {
+    report.Set(key, value);
+  }
+  report.Write();
+  return 0;
+}

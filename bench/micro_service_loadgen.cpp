@@ -182,5 +182,20 @@ int main() {
               drain_server.metrics()
                   .Render(drain_server.engine().cache().stats())
                   .c_str());
+
+  bench::JsonReport report("service_loadgen", sample_size);
+  report.Set("cold_analyze_ms", cold_s * 1e3);
+  report.Set("warm_analyze_ms", warm_s * 1e3);
+  report.Set("warm_speedup", speedup);
+  report.Set("warm_hits", static_cast<double>(warm_hits));
+  report.Set("warm_requests_per_sec",
+             warm_total_s > 0.0
+                 ? static_cast<double>(kWarmBurst) / warm_total_s
+                 : 0.0);
+  report.Set("drain_seconds", drain_s);
+  report.Set("drain_answered", static_cast<double>(answered));
+  report.Set("drain_burst", static_cast<double>(kBurst));
+  report.Set("acceptance_pass", failed ? 0.0 : 1.0);
+  report.Write();
   return failed ? 1 : 0;
 }

@@ -1,10 +1,44 @@
 #include "analysis/parallel_campaign.hpp"
 
+#include <memory>
+
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/platform.hpp"
 
 namespace spta::analysis {
+namespace {
+
+/// One reusable sim::Platform per pool worker. Platform::Run performs the
+/// full per-run reset protocol (flush + reseed of every core and the shared
+/// memory path), so a run's result is a pure function of (platform config,
+/// trace, run seed) — reusing one arena across runs is bit-identical to
+/// constructing a fresh Platform per run, while making the campaign's
+/// steady state allocation-free (the arena's line/stamp/ring arrays are
+/// built once per worker, not once per run). Slot w is touched only by
+/// worker w, so no locks are needed.
+class PlatformArenas {
+ public:
+  PlatformArenas(const sim::PlatformConfig& config, std::size_t workers)
+      : config_(config), arenas_(workers) {}
+
+  sim::Platform& ForCurrentWorker() {
+    const std::size_t w = ThreadPool::CurrentWorkerIndex();
+    SPTA_CHECK_MSG(w != ThreadPool::kNotAWorker && w < arenas_.size(),
+                   "campaign body must run on a pool worker");
+    auto& arena = arenas_[w];
+    if (arena == nullptr) {
+      arena = std::make_unique<sim::Platform>(config_, /*master_seed=*/0);
+    }
+    return *arena;
+  }
+
+ private:
+  const sim::PlatformConfig& config_;
+  std::vector<std::unique_ptr<sim::Platform>> arenas_;
+};
+
+}  // namespace
 
 std::size_t DefaultJobs() { return ThreadPool::DefaultThreadCount(); }
 
@@ -27,6 +61,7 @@ std::vector<RunSample> RunTvcaCampaignParallel(
   }
 
   ThreadPool pool(jobs);
+  PlatformArenas arenas(platform_config, pool.size());
   ParallelFor(pool, config.runs, [&](std::size_t r) {
     const Seed run_seed = TvcaRunSeed(config, r);
     apps::TvcaFrame local;
@@ -37,9 +72,8 @@ std::vector<RunSample> RunTvcaCampaignParallel(
       local = app.BuildFrame(TvcaScenarioSeed(config, r));
       frame = &local;
     }
-    sim::Platform platform(platform_config, run_seed);
     RunSample s;
-    s.detail = platform.Run(frame->trace, run_seed);
+    s.detail = arenas.ForCurrentWorker().Run(frame->trace, run_seed);
     s.cycles = static_cast<double>(s.detail.cycles);
     s.path_id = frame->path_id;
     samples[r] = s;
@@ -53,11 +87,11 @@ std::vector<RunSample> RunFixedTraceCampaignParallel(
   SPTA_REQUIRE(runs >= 1);
   std::vector<RunSample> samples(runs);
   ThreadPool pool(jobs);
+  PlatformArenas arenas(platform_config, pool.size());
   ParallelFor(pool, runs, [&](std::size_t r) {
     const Seed run_seed = FixedTraceRunSeed(master_seed, r);
-    sim::Platform platform(platform_config, run_seed);
     RunSample s;
-    s.detail = platform.Run(t, run_seed);
+    s.detail = arenas.ForCurrentWorker().Run(t, run_seed);
     s.cycles = static_cast<double>(s.detail.cycles);
     s.path_id = static_cast<std::uint32_t>(t.path_signature);
     samples[r] = s;

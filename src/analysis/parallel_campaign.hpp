@@ -1,20 +1,22 @@
 // Multi-threaded measurement campaigns with a bit-identity guarantee.
 //
 // The parallel runners fan the N independent simulation runs of a campaign
-// out across a fixed-size worker pool. Determinism contract: every run
-// constructs its OWN sim::Platform instance and derives its scenario and
+// out across a fixed-size worker pool. Determinism contract: every worker
+// owns ONE reusable sim::Platform arena (constructed on first use, reused
+// for every run that worker claims), and each run derives its scenario and
 // platform-PRNG seeds purely from (campaign master seed, run index) via the
 // helpers in campaign.hpp; each result is written into a pre-sized vector
 // at its run index (no locks, no appends on the hot path). The resulting
 // sample vector is therefore BIT-IDENTICAL to the serial runner's and
-// invariant to the job count and to scheduling order.
+// invariant to the job count and to scheduling order, while the campaign's
+// steady state performs zero allocation.
 //
 // This leans on two audited properties (see parallel_campaign_test.cpp):
 //  * sim::Platform holds no shared or static mutable state, and
 //    Platform::Run performs the full per-run reset protocol, so a run's
 //    result is a pure function of (platform config, trace, run seed) —
 //    independent of the construction-time master seed and of any earlier
-//    runs on the same instance.
+//    runs on the same instance (which is what makes arena reuse safe).
 //  * apps::TvcaApp is immutable after construction (const methods over
 //    const members), so one instance is safely shared across workers.
 #pragma once

@@ -9,11 +9,15 @@
 
 namespace spta {
 
+namespace {
+thread_local std::size_t tls_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = DefaultThreadCount();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -50,7 +54,10 @@ std::size_t ThreadPool::DefaultThreadCount() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
-void ThreadPool::WorkerLoop() {
+std::size_t ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

@@ -45,8 +45,15 @@ class ThreadPool {
   /// std::thread::hardware_concurrency() clamped to >= 1.
   static std::size_t DefaultThreadCount();
 
+  /// Index of the calling pool worker in [0, size()), or kNotAWorker when
+  /// the caller is not a pool worker thread. Lets task bodies keep
+  /// per-worker scratch state (e.g. a reusable simulation arena) without
+  /// locks: slot i is only ever touched by worker i.
+  static std::size_t CurrentWorkerIndex();
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(std::size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable task_ready_;

@@ -11,17 +11,9 @@ HwPrng::HwPrng(std::uint64_t seed)
   casr_.Discard(kWarmupSteps);
 }
 
-std::uint32_t HwPrng::Next() {
-  const std::uint64_t l = lfsr_.Step();
-  const std::uint64_t c = casr_.Step();
-  return static_cast<std::uint32_t>(l) ^ static_cast<std::uint32_t>(c);
-}
-
 std::uint32_t HwPrng::UniformBelow(std::uint32_t bound) {
   SPTA_REQUIRE(bound > 0);
-  // Classic rejection: accept draws below the largest multiple of `bound`
-  // that fits in 2^32, so every residue class is equally likely.
-  const std::uint64_t threshold = (0x1'0000'0000ULL / bound) * bound;
+  const std::uint64_t threshold = RejectionThreshold(bound);
   for (;;) {
     const std::uint32_t v = Next();
     if (v < threshold) return v % bound;

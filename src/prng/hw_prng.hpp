@@ -26,8 +26,13 @@ class HwPrng {
   /// (e.g. small integers) diffuse through the state.
   explicit HwPrng(std::uint64_t seed);
 
-  /// Returns the next 32-bit output word.
-  std::uint32_t Next();
+  /// Returns the next 32-bit output word. Inline: one Next() per random
+  /// replacement draw makes this the hottest PRNG call in the simulator.
+  std::uint32_t Next() {
+    const std::uint64_t l = lfsr_.Step();
+    const std::uint64_t c = casr_.Step();
+    return static_cast<std::uint32_t>(l) ^ static_cast<std::uint32_t>(c);
+  }
 
   result_type operator()() { return Next(); }
   static constexpr result_type min() { return 0; }
@@ -35,6 +40,15 @@ class HwPrng {
 
   /// Uniform integer in [0, bound), bound > 0, rejection-based (unbiased).
   std::uint32_t UniformBelow(std::uint32_t bound);
+
+  /// The exact acceptance threshold of UniformBelow's rejection loop:
+  /// draws below the largest multiple of `bound` that fits in 2^32 are
+  /// accepted, so every residue class is equally likely. Exposed so that
+  /// batched front-ends (BlockDraws) can reproduce the rejection sequence
+  /// word for word.
+  static constexpr std::uint64_t RejectionThreshold(std::uint32_t bound) {
+    return (0x1'0000'0000ULL / bound) * bound;
+  }
 
   /// Uniform double in [0, 1).
   double UniformUnit();

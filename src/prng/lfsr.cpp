@@ -1,31 +1,10 @@
 #include "prng/lfsr.hpp"
 
 namespace spta::prng {
-namespace {
-
-constexpr std::uint64_t kLfsrMask = (1ULL << Lfsr43::kBits) - 1;
-// Galois feedback taps for x^43 + x^41 + x^20 + x + 1: after multiplying the
-// state polynomial by x (shift left), a carry out of x^43 is reduced by
-// XORing the remaining terms x^41 + x^20 + x^1 + x^0 into the state.
-constexpr std::uint64_t kLfsrTaps =
-    (1ULL << 41) | (1ULL << 20) | (1ULL << 1) | (1ULL << 0);
-
-constexpr std::uint64_t kCasrMask = (1ULL << Casr37::kBits) - 1;
-
-}  // namespace
 
 Lfsr43::Lfsr43(std::uint64_t seed) {
-  state_ = seed & kLfsrMask;
-  if (state_ == 0) state_ = 0x1d872b41c2aULL & kLfsrMask;  // arbitrary nonzero
-}
-
-std::uint64_t Lfsr43::Step() {
-  // Galois configuration: shift left, fold the out-bit back through the taps.
-  const std::uint64_t out = (state_ >> (kBits - 1)) & 1ULL;
-  state_ = (state_ << 1) & kLfsrMask;
-  if (out != 0) state_ ^= kLfsrTaps & kLfsrMask;
-  if (state_ == 0) state_ = 1;  // defensive: cannot happen from nonzero state
-  return state_;
+  state_ = seed & kMask;
+  if (state_ == 0) state_ = 0x1d872b41c2aULL & kMask;  // arbitrary nonzero
 }
 
 void Lfsr43::Discard(std::uint64_t n) {
@@ -33,20 +12,8 @@ void Lfsr43::Discard(std::uint64_t n) {
 }
 
 Casr37::Casr37(std::uint64_t seed) {
-  state_ = seed & kCasrMask;
-  if (state_ == 0) state_ = 0x0a5a5a5a5aULL & kCasrMask;
-}
-
-std::uint64_t Casr37::Step() {
-  // Rule 90: next(i) = s(i-1) ^ s(i+1) with null boundaries; rule 150 adds
-  // the cell's own state. Vectorized over the whole word with shifts.
-  const std::uint64_t left = (state_ << 1) & kCasrMask;   // s(i-1) into cell i
-  const std::uint64_t right = (state_ >> 1) & kCasrMask;  // s(i+1) into cell i
-  std::uint64_t next = left ^ right;
-  next ^= state_ & (1ULL << kRule150Cell);  // rule-150 self term at one cell
-  state_ = next & kCasrMask;
-  if (state_ == 0) state_ = 1;  // defensive lockup escape
-  return state_;
+  state_ = seed & kMask;
+  if (state_ == 0) state_ = 0x0a5a5a5a5aULL & kMask;
 }
 
 void Casr37::Discard(std::uint64_t n) {

@@ -26,8 +26,18 @@ class Lfsr43 {
   /// remapped to a fixed nonzero constant to avoid the lockup state.
   explicit Lfsr43(std::uint64_t seed);
 
-  /// Advances one clock and returns the new 43-bit state.
-  std::uint64_t Step();
+  /// Advances one clock and returns the new 43-bit state. Inline: this is
+  /// the innermost operation of every random replacement draw on the
+  /// simulation hot path.
+  std::uint64_t Step() {
+    // Galois configuration: shift left, fold the out-bit back through the
+    // taps.
+    const std::uint64_t out = (state_ >> (kBits - 1)) & 1ULL;
+    state_ = (state_ << 1) & kMask;
+    if (out != 0) state_ ^= kTaps & kMask;
+    if (state_ == 0) state_ = 1;  // defensive: cannot happen from nonzero
+    return state_;
+  }
 
   /// Advances `n` clocks (used to decorrelate streams).
   void Discard(std::uint64_t n);
@@ -36,6 +46,12 @@ class Lfsr43 {
 
   /// Register width in bits.
   static constexpr int kBits = 43;
+  static constexpr std::uint64_t kMask = (1ULL << kBits) - 1;
+  /// Galois feedback taps for x^43 + x^41 + x^20 + x + 1: after multiplying
+  /// the state polynomial by x (shift left), a carry out of x^43 is reduced
+  /// by XORing the remaining terms x^41 + x^20 + x^1 + x^0 into the state.
+  static constexpr std::uint64_t kTaps =
+      (1ULL << 41) | (1ULL << 20) | (1ULL << 1) | (1ULL << 0);
 
  private:
   std::uint64_t state_;
@@ -49,14 +65,26 @@ class Casr37 {
  public:
   explicit Casr37(std::uint64_t seed);
 
-  /// Advances one clock and returns the new 37-bit state.
-  std::uint64_t Step();
+  /// Advances one clock and returns the new 37-bit state. Inline for the
+  /// same hot-path reason as Lfsr43::Step.
+  std::uint64_t Step() {
+    // Rule 90: next(i) = s(i-1) ^ s(i+1) with null boundaries; rule 150
+    // adds the cell's own state. Vectorized over the whole word with shifts.
+    const std::uint64_t left = (state_ << 1) & kMask;   // s(i-1) into cell i
+    const std::uint64_t right = (state_ >> 1) & kMask;  // s(i+1) into cell i
+    std::uint64_t next = left ^ right;
+    next ^= state_ & (1ULL << kRule150Cell);  // rule-150 self term, one cell
+    state_ = next & kMask;
+    if (state_ == 0) state_ = 1;  // defensive lockup escape
+    return state_;
+  }
 
   void Discard(std::uint64_t n);
 
   std::uint64_t state() const { return state_; }
 
   static constexpr int kBits = 37;
+  static constexpr std::uint64_t kMask = (1ULL << kBits) - 1;
   /// Index of the single rule-150 cell (Tkacik's published design).
   static constexpr int kRule150Cell = 27;
 

@@ -1,66 +1,46 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/assert.hpp"
-#include "common/hash.hpp"
 
 namespace spta::sim {
 
 Cache::Cache(const CacheConfig& config, Seed seed)
     : config_(config),
       sets_(config.num_sets()),
+      set_shift_(static_cast<std::uint32_t>(std::countr_zero(sets_))),
       line_shift_(static_cast<std::uint32_t>(
           std::countr_zero(config.line_bytes))),
       index_mask_(sets_ - 1),
       placement_seed_(seed),
-      replacement_rng_(DeriveSeed(seed, "cache-repl")),
-      lines_(static_cast<std::size_t>(sets_) * config.ways) {
+      replacement_rng_(prng::HwPrng(DeriveSeed(seed, "cache-repl"))),
+      tags_(static_cast<std::size_t>(sets_) * config.ways, kInvalidTag),
+      stamps_(static_cast<std::size_t>(sets_) * config.ways, 0),
+      ref_bits_(sets_, 0) {
   SPTA_REQUIRE(std::has_single_bit(sets_));
+  // The NRU reference mask packs one bit per way into a 64-bit word (64
+  // ways also covers the fully associative configurations tests use).
+  SPTA_REQUIRE(config.ways >= 1 && config.ways <= 64);
 }
 
-std::uint64_t Cache::LineNumber(Address addr) const {
-  return addr >> line_shift_;
-}
-
-std::uint32_t Cache::SetIndexFor(Address addr) const {
-  const std::uint64_t line = LineNumber(addr);
-  switch (config_.placement) {
-    case Placement::kModulo:
-      return static_cast<std::uint32_t>(line) & index_mask_;
-    case Placement::kRandomModulo: {
-      // Random modulo (DAC 2016): rotate the conventional index by a
-      // per-(tag, seed) random amount. Lines sharing a tag keep distinct
-      // sets (the map is a permutation within each tag group), so unit
-      // stride never self-conflicts — but the placement of each tag group
-      // is random per seed.
-      const std::uint64_t index = line & index_mask_;
-      const std::uint64_t tag = line >> std::countr_zero(sets_);
-      const std::uint64_t h = Mix64(tag ^ placement_seed_);
-      return static_cast<std::uint32_t>((index + h) & index_mask_);
-    }
-    case Placement::kHashRandom: {
-      // Hash-based random placement (DATE 2013): the whole line number is
-      // hashed, so even consecutive lines can collide for some seeds.
-      return static_cast<std::uint32_t>(Mix64(line ^ placement_seed_)) &
-             index_mask_;
-    }
-  }
+std::uint32_t Cache::UnreachablePlacement() {
   SPTA_CHECK_MSG(false, "unreachable placement policy");
   return 0;
 }
 
 std::uint32_t Cache::Victim(std::uint32_t set) {
-  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
   // Prefer an invalid way.
   for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    if (!base[w].valid) return w;
+    if (tags_[base + w] == kInvalidTag) return w;
   }
   switch (config_.replacement) {
     case Replacement::kLru: {
       std::uint32_t victim = 0;
       for (std::uint32_t w = 1; w < config_.ways; ++w) {
-        if (base[w].lru_stamp < base[victim].lru_stamp) victim = w;
+        if (stamps_[base + w] < stamps_[base + victim]) victim = w;
       }
       return victim;
     }
@@ -69,12 +49,10 @@ std::uint32_t Cache::Victim(std::uint32_t set) {
     case Replacement::kNru: {
       // Evict the first non-referenced way; if all referenced, clear the
       // bits (aging) and evict way 0.
-      for (std::uint32_t w = 0; w < config_.ways; ++w) {
-        if (!base[w].referenced) return w;
-      }
-      for (std::uint32_t w = 0; w < config_.ways; ++w) {
-        base[w].referenced = false;
-      }
+      const std::uint32_t first_clear =
+          static_cast<std::uint32_t>(std::countr_one(ref_bits_[set]));
+      if (first_clear < config_.ways) return first_clear;
+      ref_bits_[set] = 0;
       return 0;
     }
   }
@@ -82,40 +60,21 @@ std::uint32_t Cache::Victim(std::uint32_t set) {
   return 0;
 }
 
-bool Cache::Access(Address addr, bool allocate_on_miss) {
-  ++stats_.accesses;
-  ++access_clock_;
-  const std::uint64_t line = LineNumber(addr);
-  const std::uint32_t set = SetIndexFor(addr);
-  // The tag must identify the line uniquely given the set can be any value
-  // under randomized placement, so we store the full line number.
-  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
-  for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    if (base[w].valid && base[w].tag == line) {
-      base[w].lru_stamp = access_clock_;
-      base[w].referenced = true;
-      return true;
-    }
-  }
-  ++stats_.misses;
-  if (allocate_on_miss) {
-    const std::uint32_t w = Victim(set);
-    base[w].valid = true;
-    base[w].tag = line;
-    base[w].lru_stamp = access_clock_;
-    base[w].referenced = true;
-  }
-  return false;
-}
-
 void Cache::Flush() {
-  for (auto& l : lines_) l = Line{};
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  std::fill(ref_bits_.begin(), ref_bits_.end(), 0u);
+  mru_index_ = 0;
+  mru_set_ = 0;
+  mru_way_ = 0;
   access_clock_ = 0;
 }
 
 void Cache::Reseed(Seed seed) {
   placement_seed_ = seed;
-  replacement_rng_ = prng::HwPrng(DeriveSeed(seed, "cache-repl"));
+  replacement_rng_ =
+      prng::BlockDraws<prng::HwPrng>(prng::HwPrng(DeriveSeed(seed,
+                                                             "cache-repl")));
   Flush();
 }
 

@@ -7,12 +7,25 @@
 // PRNG. The model tracks tags only (no data — the interpreter holds
 // functional state) and reports hit/miss per access; timing is applied by
 // the core model.
+//
+// Fast-path layout: the per-line metadata is stored structure-of-arrays —
+// one flat set-indexed tag array (validity encoded as a sentinel tag), one
+// stamp array for LRU, one reference-bit mask per set for NRU — so the hit
+// scan is a branch-free compare loop over `ways` consecutive words that the
+// compiler can unroll and vectorize. Access() lives in the header so the
+// scan inlines into the core's retire loop. Observable behavior (hit/miss
+// stream, PRNG consumption, victim choice, stats) is bit-identical to the
+// reference implementation retained in sim/reference_model.hpp; the
+// equivalence battery in tests/sim_equivalence_test.cpp enforces this.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/types.hpp"
+#include "prng/block_draws.hpp"
 #include "prng/hw_prng.hpp"
 #include "sim/config.hpp"
 
@@ -39,7 +52,48 @@ class Cache {
   /// Looks up the line containing `addr`; allocates on a read miss.
   /// `allocate_on_miss=false` models write-through no-write-allocate stores.
   /// Returns true on hit.
-  bool Access(Address addr, bool allocate_on_miss = true);
+  bool Access(Address addr, bool allocate_on_miss = true) {
+    ++stats_.accesses;
+    ++access_clock_;
+    const std::uint64_t line = LineNumber(addr);
+    // MRU shortcut: consecutive accesses mostly stay within one line
+    // (sequential code fetch, stride-1 data walks), so re-checking the
+    // last hit/fill slot skips the placement hash and the way scan. The
+    // tag compare doubles as the validity check — a line occupies at most
+    // one slot, and if it was evicted the stored tag differs. The state
+    // update is identical to the scan path's, so this is observationally
+    // transparent.
+    if (tags_[mru_index_] == line) {
+      stamps_[mru_index_] = access_clock_;
+      ref_bits_[mru_set_] |= 1ULL << mru_way_;
+      return true;
+    }
+    const std::uint32_t set = SetIndexForLine(line);
+    const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+    const std::uint64_t* tags = &tags_[base];
+    // Branch-free hit scan: tags are unique within a set and the invalid
+    // sentinel can never equal a real line number, so at most one way
+    // matches; the conditional select compiles to unrolled cmov/SIMD.
+    std::uint32_t hit_way = config_.ways;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      hit_way = (tags[w] == line) ? w : hit_way;
+    }
+    if (hit_way != config_.ways) {
+      stamps_[base + hit_way] = access_clock_;
+      ref_bits_[set] |= 1ULL << hit_way;
+      RememberMru(base + hit_way, set, hit_way);
+      return true;
+    }
+    ++stats_.misses;
+    if (allocate_on_miss) {
+      const std::uint32_t w = Victim(set);
+      tags_[base + w] = line;
+      stamps_[base + w] = access_clock_;
+      ref_bits_[set] |= 1ULL << w;
+      RememberMru(base + w, set, w);
+    }
+    return false;
+  }
 
   /// Invalidates all lines (the per-run cache flush of the MBPTA protocol).
   void Flush();
@@ -50,30 +104,71 @@ class Cache {
 
   /// Computes the set index for `addr` under the current seed/policy.
   /// Exposed for property tests of the placement functions.
-  std::uint32_t SetIndexFor(Address addr) const;
+  std::uint32_t SetIndexFor(Address addr) const {
+    return SetIndexForLine(LineNumber(addr));
+  }
 
   const CacheConfig& config() const { return config_; }
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
 
  private:
-  struct Line {
-    bool valid = false;
-    std::uint64_t tag = 0;
-    std::uint64_t lru_stamp = 0;  ///< Higher = more recent (LRU policy).
-    bool referenced = false;      ///< NRU reference bit.
-  };
+  /// Sentinel tag of an invalid way. Real tags are full line numbers,
+  /// addr >> line_shift_ with line_shift_ >= 1, so all-ones is unreachable.
+  static constexpr std::uint64_t kInvalidTag = ~0ULL;
 
-  std::uint64_t LineNumber(Address addr) const;
+  std::uint64_t LineNumber(Address addr) const { return addr >> line_shift_; }
+
+  std::uint32_t SetIndexForLine(std::uint64_t line) const {
+    switch (config_.placement) {
+      case Placement::kModulo:
+        return static_cast<std::uint32_t>(line) & index_mask_;
+      case Placement::kRandomModulo: {
+        // Random modulo (DAC 2016): rotate the conventional index by a
+        // per-(tag, seed) random amount. Lines sharing a tag keep distinct
+        // sets (the map is a permutation within each tag group), so unit
+        // stride never self-conflicts — but the placement of each tag group
+        // is random per seed.
+        const std::uint64_t index = line & index_mask_;
+        const std::uint64_t tag = line >> set_shift_;
+        const std::uint64_t h = Mix64(tag ^ placement_seed_);
+        return static_cast<std::uint32_t>((index + h) & index_mask_);
+      }
+      case Placement::kHashRandom: {
+        // Hash-based random placement (DATE 2013): the whole line number is
+        // hashed, so even consecutive lines can collide for some seeds.
+        return static_cast<std::uint32_t>(Mix64(line ^ placement_seed_)) &
+               index_mask_;
+      }
+    }
+    return UnreachablePlacement();
+  }
+
   std::uint32_t Victim(std::uint32_t set);
+  static std::uint32_t UnreachablePlacement();
+
+  void RememberMru(std::size_t index, std::uint32_t set, std::uint32_t way) {
+    mru_index_ = index;
+    mru_set_ = set;
+    mru_way_ = way;
+  }
 
   CacheConfig config_;
   std::uint32_t sets_;
+  std::uint32_t set_shift_;   ///< log2(sets_), cached for the placement hash.
   std::uint32_t line_shift_;
   std::uint32_t index_mask_;
   Seed placement_seed_;
-  prng::HwPrng replacement_rng_;
-  std::vector<Line> lines_;  ///< sets_ * ways, row-major by set.
+  prng::BlockDraws<prng::HwPrng> replacement_rng_;
+  /// Flat set-major arrays, sets_ * ways each.
+  std::vector<std::uint64_t> tags_;    ///< Line number, or kInvalidTag.
+  std::vector<std::uint64_t> stamps_;  ///< Higher = more recent (LRU).
+  std::vector<std::uint64_t> ref_bits_;  ///< Per-set NRU reference bitmask.
+  /// Slot of the last hit/fill (lookup shortcut; tags_[mru_index_] is the
+  /// line it refers to, or kInvalidTag after a flush).
+  std::size_t mru_index_ = 0;
+  std::uint32_t mru_set_ = 0;
+  std::uint32_t mru_way_ = 0;
   std::uint64_t access_clock_ = 0;
   CacheStats stats_;
 };

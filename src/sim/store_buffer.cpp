@@ -1,48 +1,17 @@
 #include "sim/store_buffer.hpp"
 
-#include <algorithm>
-
-#include "common/assert.hpp"
-
 namespace spta::sim {
-
-StoreBuffer::StoreBuffer(const StoreBufferConfig& config) : config_(config) {
-  SPTA_REQUIRE(config.depth >= 1);
-}
-
-Cycles StoreBuffer::Push(Cycles now,
-                         const std::function<Cycles(Cycles)>& issue) {
-  ++stats_.stores;
-  // Retire entries that completed by `now`.
-  while (!completions_.empty() && completions_.front() <= now) {
-    completions_.pop_front();
-  }
-  // Full: stall until the oldest entry completes.
-  if (completions_.size() >= config_.depth) {
-    const Cycles wait_until = completions_.front();
-    SPTA_CHECK(wait_until > now);
-    stats_.stall_cycles += wait_until - now;
-    ++stats_.full_stalls;
-    now = wait_until;
-    completions_.pop_front();
-  }
-  // FIFO drain: this store may start only after the previous one completed.
-  const Cycles ready = std::max(now, last_completion_);
-  const Cycles completion = issue(ready);
-  SPTA_CHECK(completion >= ready);
-  last_completion_ = completion;
-  completions_.push_back(completion);
-  return now;
-}
 
 Cycles StoreBuffer::DrainAll(Cycles now) {
   const Cycles done = std::max(now, last_completion_);
-  completions_.clear();
+  head_ = 0;
+  count_ = 0;
   return done;
 }
 
 void StoreBuffer::Reset() {
-  completions_.clear();
+  head_ = 0;
+  count_ = 0;
   last_completion_ = 0;
   stats_ = StoreBufferStats{};
 }

@@ -3,12 +3,18 @@
 // LEON3's DL1 is write-through no-write-allocate: every store becomes a bus
 // write. The store buffer decouples the pipeline from bus latency; the core
 // only stalls when the buffer is full. Drains are FIFO and serialized.
+//
+// Fast path: Push() is a template over the issue callable (no std::function
+// type erasure — the bus call inlines into the core's retire loop) and the
+// in-flight FIFO is a fixed ring buffer sized at construction, so the
+// steady state performs zero allocation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 #include "sim/config.hpp"
 
@@ -22,13 +28,38 @@ struct StoreBufferStats {
 
 class StoreBuffer {
  public:
-  explicit StoreBuffer(const StoreBufferConfig& config);
+  explicit StoreBuffer(const StoreBufferConfig& config)
+      : config_(config), ring_(config.depth) {
+    SPTA_REQUIRE(config.depth >= 1);
+  }
 
   /// Accounts a store issued at core time `now`. `issue` schedules the bus
   /// write: it receives the earliest cycle the write may start (FIFO after
   /// the previous store) and returns its completion time. Returns the new
   /// core time, which exceeds `now` only if the buffer was full.
-  Cycles Push(Cycles now, const std::function<Cycles(Cycles)>& issue);
+  template <typename Issue>
+  Cycles Push(Cycles now, Issue&& issue) {
+    ++stats_.stores;
+    // Retire entries that completed by `now`.
+    while (count_ > 0 && ring_[head_] <= now) PopFront();
+    // Full: stall until the oldest entry completes.
+    if (count_ >= config_.depth) {
+      const Cycles wait_until = ring_[head_];
+      SPTA_CHECK(wait_until > now);
+      stats_.stall_cycles += wait_until - now;
+      ++stats_.full_stalls;
+      now = wait_until;
+      PopFront();
+    }
+    // FIFO drain: this store may start only after the previous one
+    // completed.
+    const Cycles ready = std::max(now, last_completion_);
+    const Cycles completion = issue(ready);
+    SPTA_CHECK(completion >= ready);
+    last_completion_ = completion;
+    PushBack(completion);
+    return now;
+  }
 
   /// Core time after waiting for every buffered store to complete (used at
   /// run end so measured times include the full drain).
@@ -37,12 +68,27 @@ class StoreBuffer {
   /// Empties the buffer and clears statistics (between runs).
   void Reset();
 
-  std::size_t in_flight() const { return completions_.size(); }
+  std::size_t in_flight() const { return count_; }
   const StoreBufferStats& stats() const { return stats_; }
 
  private:
+  void PopFront() {
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    --count_;
+  }
+  void PushBack(Cycles completion) {
+    std::size_t tail = head_ + count_;
+    if (tail >= ring_.size()) tail -= ring_.size();
+    ring_[tail] = completion;
+    ++count_;
+  }
+
   StoreBufferConfig config_;
-  std::deque<Cycles> completions_;  ///< FIFO of in-flight completion times.
+  /// Fixed-capacity FIFO of in-flight completion times; `config_.depth`
+  /// slots suffice because Push() pops before it pushes when full.
+  std::vector<Cycles> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   Cycles last_completion_ = 0;
   StoreBufferStats stats_;
 };

@@ -1,5 +1,6 @@
 #include "sim/tlb.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/assert.hpp"
@@ -11,31 +12,33 @@ Tlb::Tlb(const TlbConfig& config, Seed seed)
     : config_(config),
       page_shift_(static_cast<std::uint32_t>(
           std::countr_zero(config.page_bytes))),
-      replacement_rng_(DeriveSeed(seed, "tlb-repl")),
-      entries_(config.entries) {
+      replacement_rng_(prng::HwPrng(DeriveSeed(seed, "tlb-repl"))),
+      vpns_(config.entries, kInvalidVpn),
+      stamps_(config.entries, 0),
+      ref_(config.entries, 0) {
   SPTA_REQUIRE(std::has_single_bit(config.page_bytes));
 }
 
 std::uint32_t Tlb::Victim() {
-  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
-    if (!entries_[i].valid) return i;
+  const std::uint32_t n = static_cast<std::uint32_t>(vpns_.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (vpns_[i] == kInvalidVpn) return i;
   }
   switch (config_.replacement) {
     case Replacement::kLru: {
       std::uint32_t victim = 0;
-      for (std::uint32_t i = 1; i < entries_.size(); ++i) {
-        if (entries_[i].lru_stamp < entries_[victim].lru_stamp) victim = i;
+      for (std::uint32_t i = 1; i < n; ++i) {
+        if (stamps_[i] < stamps_[victim]) victim = i;
       }
       return victim;
     }
     case Replacement::kRandom:
-      return replacement_rng_.UniformBelow(
-          static_cast<std::uint32_t>(entries_.size()));
+      return replacement_rng_.UniformBelow(n);
     case Replacement::kNru: {
-      for (std::uint32_t i = 0; i < entries_.size(); ++i) {
-        if (!entries_[i].referenced) return i;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (ref_[i] == 0) return i;
       }
-      for (auto& e : entries_) e.referenced = false;
+      std::fill(ref_.begin(), ref_.end(), std::uint8_t{0});
       return 0;
     }
   }
@@ -43,33 +46,18 @@ std::uint32_t Tlb::Victim() {
   return 0;
 }
 
-bool Tlb::Access(Address addr) {
-  ++stats_.accesses;
-  ++access_clock_;
-  const std::uint64_t vpn = addr >> page_shift_;
-  for (auto& e : entries_) {
-    if (e.valid && e.vpn == vpn) {
-      e.lru_stamp = access_clock_;
-      e.referenced = true;
-      return true;
-    }
-  }
-  ++stats_.misses;
-  Entry& e = entries_[Victim()];
-  e.valid = true;
-  e.vpn = vpn;
-  e.lru_stamp = access_clock_;
-  e.referenced = true;
-  return false;
-}
-
 void Tlb::Flush() {
-  for (auto& e : entries_) e = Entry{};
+  std::fill(vpns_.begin(), vpns_.end(), kInvalidVpn);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  std::fill(ref_.begin(), ref_.end(), std::uint8_t{0});
+  mru_ = 0;
   access_clock_ = 0;
 }
 
 void Tlb::Reseed(Seed seed) {
-  replacement_rng_ = prng::HwPrng(DeriveSeed(seed, "tlb-repl"));
+  replacement_rng_ =
+      prng::BlockDraws<prng::HwPrng>(prng::HwPrng(DeriveSeed(seed,
+                                                             "tlb-repl")));
   Flush();
 }
 
