@@ -3,9 +3,13 @@
 // Runs micro_sim_hotpath for a handful of runs (SPTA_BENCH_RUNS=50 — small
 // enough for the test tier, large enough for stable percentiles) with the
 // JSON output redirected to a scratch directory, then validates the emitted
-// BENCH_sim_hotpath.json against the schema contract of docs/BENCHMARKS.md:
-// the file is one flat JSON object, every required key is present, every
-// numeric field is a finite number (nulls — the reporter's spelling of
+// artifacts against the schema contract of docs/BENCHMARKS.md:
+//
+//   BENCH_sim_hotpath.json      throughput + latency trajectory
+//   BENCH_fault_overhead.json   zero-fault-path A/B gate (docs/FAULTS.md)
+//
+// Each file must be one flat JSON object, every required key present, every
+// numeric field a finite number (nulls — the reporter's spelling of
 // NaN/inf — fail the check). This keeps the perf-trajectory artifacts
 // trustworthy without making tier-1 runtime depend on perf acceptance bars.
 //
@@ -89,6 +93,80 @@ bool ParseFlatJson(const std::string& text,
   }
 }
 
+/// Validates one BENCH_<name>.json against the shared schema plus the
+/// bench-specific `required` numeric keys. Populates `numbers` for any
+/// bench-specific sanity checks at the caller.
+void ValidateReport(const std::string& json_path,
+                    const std::string& expected_bench,
+                    const std::vector<std::string>& required,
+                    std::map<std::string, std::string>* numbers) {
+  std::ifstream in(json_path);
+  if (!in) {
+    Fail("bench did not emit " + json_path);
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::map<std::string, std::string> strings;
+  if (!ParseFlatJson(text, &strings, numbers)) {
+    Fail(json_path + " is not a flat JSON object:\n" + text);
+    return;
+  }
+
+  // Required string fields.
+  for (const char* key : {"bench", "git_rev"}) {
+    const auto it = strings.find(key);
+    if (it == strings.end()) {
+      Fail(json_path + ": missing string field \"" + key + "\"");
+    } else if (it->second.empty()) {
+      Fail(json_path + ": empty string field \"" + key + "\"");
+    }
+  }
+  if (const auto it = strings.find("bench");
+      it != strings.end() && it->second != expected_bench) {
+    Fail(json_path + ": \"bench\" is \"" + it->second + "\", expected \"" +
+         expected_bench + "\"");
+  }
+
+  // Required numeric fields — must parse fully and be finite.
+  std::vector<std::string> all_required = {"timestamp_unix", "runs"};
+  all_required.insert(all_required.end(), required.begin(), required.end());
+  for (const std::string& key : all_required) {
+    const auto it = numbers->find(key);
+    if (it == numbers->end()) {
+      Fail(json_path + ": missing numeric field \"" + key + "\"");
+      continue;
+    }
+    if (it->second == "null") {
+      Fail(json_path + ": field \"" + key +
+           "\" is null (non-finite at the producer)");
+      continue;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      Fail(json_path + ": field \"" + key + "\" is not a number: " +
+           it->second);
+    } else if (!std::isfinite(v)) {
+      Fail(json_path + ": field \"" + key + "\" is not finite: " +
+           it->second);
+    }
+  }
+  // Every numeric field, required or not, must be finite JSON.
+  for (const auto& [key, value] : *numbers) {
+    if (value == "null") Fail(json_path + ": field \"" + key + "\" is null");
+  }
+}
+
+double Number(const std::map<std::string, std::string>& numbers,
+              const std::string& key, double fallback) {
+  const auto it = numbers.find(key);
+  if (it == numbers.end() || it->second == "null") return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,7 +175,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Scratch directory for the JSON artifact so the check never races a
+  // Scratch directory for the JSON artifacts so the check never races a
   // real bench run in the working directory.
   char scratch[] = "/tmp/spta_bench_json_XXXXXX";
   if (::mkdtemp(scratch) == nullptr) {
@@ -105,7 +183,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string dir = scratch;
-  const std::string json_path = dir + "/BENCH_sim_hotpath.json";
+  const std::string hotpath_json = dir + "/BENCH_sim_hotpath.json";
+  const std::string fault_json = dir + "/BENCH_fault_overhead.json";
 
   ::setenv("SPTA_BENCH_RUNS", "50", /*overwrite=*/1);
   ::setenv("SPTA_BENCH_JSON_DIR", dir.c_str(), /*overwrite=*/1);
@@ -113,86 +192,45 @@ int main(int argc, char** argv) {
   const int rc = std::system(cmd.c_str());
   if (rc != 0) Fail("micro_sim_hotpath exited with nonzero status");
 
-  std::ifstream in(json_path);
-  if (!in) {
-    Fail("bench did not emit " + json_path);
-    std::fprintf(stderr, "%d failure(s)\n", g_failures);
-    return 1;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-
-  std::map<std::string, std::string> strings;
-  std::map<std::string, std::string> numbers;
-  if (!ParseFlatJson(text, &strings, &numbers)) {
-    Fail("emitted file is not a flat JSON object:\n" + text);
-    std::fprintf(stderr, "%d failure(s)\n", g_failures);
-    return 1;
-  }
-
-  // Required string fields.
-  for (const char* key : {"bench", "git_rev"}) {
-    const auto it = strings.find(key);
-    if (it == strings.end()) {
-      Fail(std::string("missing string field \"") + key + "\"");
-    } else if (it->second.empty()) {
-      Fail(std::string("empty string field \"") + key + "\"");
-    }
-  }
-  if (const auto it = strings.find("bench");
-      it != strings.end() && it->second != "sim_hotpath") {
-    Fail("\"bench\" is \"" + it->second + "\", expected \"sim_hotpath\"");
-  }
-
-  // Required numeric fields — must parse fully and be finite.
-  const std::vector<std::string> required = {
-      "timestamp_unix",     "runs",
-      "trace_records",      "total_seconds",
-      "runs_per_sec",       "minstr_per_sec",
-      "run_latency_p50_ms", "run_latency_p99_ms",
-      "run_latency_mean_ms", "baseline_runs_per_sec",
-      "speedup_vs_baseline"};
-  for (const std::string& key : required) {
-    const auto it = numbers.find(key);
-    if (it == numbers.end()) {
-      Fail("missing numeric field \"" + key + "\"");
-      continue;
-    }
-    if (it->second == "null") {
-      Fail("field \"" + key + "\" is null (non-finite at the producer)");
-      continue;
-    }
-    char* end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0') {
-      Fail("field \"" + key + "\" is not a number: " + it->second);
-    } else if (!std::isfinite(v)) {
-      Fail("field \"" + key + "\" is not finite: " + it->second);
-    }
-  }
-  // Every numeric field, required or not, must be finite JSON.
-  for (const auto& [key, value] : numbers) {
-    if (value == "null") Fail("field \"" + key + "\" is null");
-  }
+  std::map<std::string, std::string> hotpath_numbers;
+  ValidateReport(hotpath_json, "sim_hotpath",
+                 {"trace_records", "total_seconds", "runs_per_sec",
+                  "minstr_per_sec", "run_latency_p50_ms",
+                  "run_latency_p99_ms", "run_latency_mean_ms",
+                  "baseline_runs_per_sec", "speedup_vs_baseline"},
+                 &hotpath_numbers);
 
   // Sanity: a 50-run campaign must report a positive rate and runs=50.
-  if (const auto it = numbers.find("runs"); it != numbers.end()) {
-    if (std::strtod(it->second.c_str(), nullptr) != 50.0) {
-      Fail("\"runs\" is " + it->second + ", expected 50 (SPTA_BENCH_RUNS)");
-    }
+  if (hotpath_numbers.count("runs") &&
+      Number(hotpath_numbers, "runs", 0.0) != 50.0) {
+    Fail("\"runs\" is " + hotpath_numbers["runs"] +
+         ", expected 50 (SPTA_BENCH_RUNS)");
   }
-  if (const auto it = numbers.find("runs_per_sec"); it != numbers.end()) {
-    if (!(std::strtod(it->second.c_str(), nullptr) > 0.0)) {
-      Fail("\"runs_per_sec\" is not positive: " + it->second);
-    }
+  if (hotpath_numbers.count("runs_per_sec") &&
+      !(Number(hotpath_numbers, "runs_per_sec", 0.0) > 0.0)) {
+    Fail("\"runs_per_sec\" is not positive: " +
+         hotpath_numbers["runs_per_sec"]);
   }
 
-  std::remove(json_path.c_str());
+  // The zero-fault-path gate artifact: bit-identity must hold and the
+  // measured overhead must be a real number (the perf bar itself lives in
+  // the bench binary, not here).
+  std::map<std::string, std::string> fault_numbers;
+  ValidateReport(fault_json, "fault_overhead",
+                 {"plain_runs_per_sec", "hooked_runs_per_sec",
+                  "overhead_pct", "acceptance_pct", "gate_pct",
+                  "checksum_match"},
+                 &fault_numbers);
+  if (fault_numbers.count("checksum_match") &&
+      Number(fault_numbers, "checksum_match", 0.0) != 1.0) {
+    Fail("fault_overhead: null-hook run was not bit-identical to plain run");
+  }
+
+  std::remove(hotpath_json.c_str());
+  std::remove(fault_json.c_str());
   ::rmdir(dir.c_str());
   if (g_failures == 0) {
-    std::printf("bench JSON schema check passed (%zu string, %zu numeric "
-                "fields)\n", strings.size(), numbers.size());
+    std::printf("bench JSON schema check passed (both artifacts)\n");
     return 0;
   }
   std::fprintf(stderr, "%d failure(s)\n", g_failures);

@@ -16,6 +16,7 @@
 // pWCET figure.
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "analysis/campaign.hpp"
@@ -119,6 +120,54 @@ int main() {
   report.Set("speedup_vs_baseline", speedup);
   report.Set("checksum_60", runs >= 60 ? static_cast<double>(checksum) : 0.0);
   if (report.Write().empty()) failed = true;
+
+  // --- zero-fault-path overhead gate (docs/FAULTS.md) ------------------
+  // The fault subsystem's injection window is Platform::RunWithHook; the
+  // zero-fault contract is that a null hook costs nothing measurable over
+  // plain Run. A/B-interleave the two entry points on identical seeds:
+  // same results (bit-identity) and within-noise timing. Acceptance is
+  // <= 2% mean overhead; the gate only FAILS above 10% so shared-host
+  // noise cannot flake tier-1 — the JSON records the actual number for
+  // the perf trajectory either way.
+  const std::size_t ab_pairs = runs < 20 ? runs : runs / 2;
+  const std::function<void(sim::Platform&)> null_hook;  // empty = no-op
+  double plain_s = 0.0, hooked_s = 0.0;
+  unsigned long long plain_sum = 0, hooked_sum = 0;
+  for (std::size_t i = 0; i < ab_pairs; ++i) {
+    const auto seed = analysis::FixedTraceRunSeed(kMasterSeed, i);
+    const auto a0 = Clock::now();
+    const auto ra = platform.Run(trace, seed);
+    const auto a1 = Clock::now();
+    const auto rb = platform.RunWithHook(trace, seed, null_hook);
+    const auto b1 = Clock::now();
+    plain_s += std::chrono::duration<double>(a1 - a0).count();
+    hooked_s += std::chrono::duration<double>(b1 - a1).count();
+    plain_sum += ra.cycles;
+    hooked_sum += rb.cycles;
+  }
+  const double overhead_pct =
+      plain_s > 0.0 ? (hooked_s - plain_s) / plain_s * 100.0 : 0.0;
+  const bool bits_match = plain_sum == hooked_sum;
+  std::printf(
+      "\nfault-hook overhead (%zu A/B pairs): plain %.2f runs/sec, "
+      "null-hook %.2f runs/sec -> %+.2f%%\n",
+      ab_pairs, static_cast<double>(ab_pairs) / plain_s,
+      static_cast<double>(ab_pairs) / hooked_s, overhead_pct);
+  std::printf("  acceptance <= 2%% (gate trips only above 10%%); "
+              "bit-identity %s\n",
+              bits_match ? "OK" : "MISMATCH");
+  failed = failed || !bits_match || overhead_pct > 10.0;
+
+  bench::JsonReport fault_report("fault_overhead", ab_pairs);
+  fault_report.Set("plain_runs_per_sec",
+                   static_cast<double>(ab_pairs) / plain_s);
+  fault_report.Set("hooked_runs_per_sec",
+                   static_cast<double>(ab_pairs) / hooked_s);
+  fault_report.Set("overhead_pct", overhead_pct);
+  fault_report.Set("acceptance_pct", 2.0);
+  fault_report.Set("gate_pct", 10.0);
+  fault_report.Set("checksum_match", bits_match ? 1.0 : 0.0);
+  if (fault_report.Write().empty()) failed = true;
 
   return failed ? 1 : 0;
 }

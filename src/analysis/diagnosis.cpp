@@ -1,0 +1,109 @@
+#include "analysis/diagnosis.hpp"
+
+#include <algorithm>
+
+namespace spta::analysis {
+namespace {
+
+GuardedAnalysis Reject(DiagnosisCode code, std::string message) {
+  GuardedAnalysis out;
+  out.diagnosis.code = code;
+  out.diagnosis.message = std::move(message);
+  return out;
+}
+
+}  // namespace
+
+const char* DiagnosisCodeName(DiagnosisCode code) {
+  switch (code) {
+    case DiagnosisCode::kOk:
+      return "ok";
+    case DiagnosisCode::kTainted:
+      return "tainted";
+    case DiagnosisCode::kIntegrityMismatch:
+      return "integrity_mismatch";
+    case DiagnosisCode::kTooFewSamples:
+      return "too_few_samples";
+    case DiagnosisCode::kDegenerate:
+      return "degenerate";
+    case DiagnosisCode::kIidViolation:
+      return "iid_violation";
+  }
+  return "unknown";
+}
+
+SampleProvenance ProvenanceFromMeta(const CsvMeta& meta) {
+  SampleProvenance p;
+  p.expected_digest = meta.digest;
+  p.faults_reported = meta.faults;
+  return p;
+}
+
+GuardedAnalysis AnalyzeObservationsGuarded(
+    const std::vector<mbpta::PathObservation>& obs,
+    const mbpta::MbptaOptions& options, const SampleProvenance& provenance) {
+  // Provenance gates first: a tainted or tampered sample must not even be
+  // summarized — the numbers are not measurements.
+  if (provenance.faults_reported > 0) {
+    return Reject(DiagnosisCode::kTainted,
+                  std::to_string(provenance.faults_reported) +
+                      " faults injected during collection; refusing to fit "
+                      "a pWCET from a tainted sample");
+  }
+  if (provenance.expected_digest.has_value()) {
+    const std::uint64_t actual = ObservationsDigest(obs);
+    if (actual != *provenance.expected_digest) {
+      return Reject(DiagnosisCode::kIntegrityMismatch,
+                    "sample rows do not match their recorded integrity "
+                    "digest (altered, reordered, truncated or appended "
+                    "after export)");
+    }
+  }
+
+  // Size floors: everything mbpta::AnalyzeSample and the i.i.d. gate
+  // enforce with SPTA_REQUIRE, checked here so unfit input is a typed
+  // rejection instead of an abort.
+  const std::size_t n = obs.size();
+  const std::size_t floor =
+      std::max<std::size_t>({options.min_blocks, 4, options.iid.ljung_box_lags + 1});
+  if (n < floor) {
+    return Reject(DiagnosisCode::kTooFewSamples,
+                  "sample of " + std::to_string(n) + " is below the floor " +
+                      std::to_string(floor) +
+                      " (min_blocks / i.i.d.-gate requirements)");
+  }
+
+  std::vector<double> times;
+  times.reserve(n);
+  for (const auto& o : obs) times.push_back(o.time);
+
+  // A constant sample has no tail; Ljung-Box/KS statistics are undefined
+  // on it, so classify before running the gate.
+  const auto [mn, mx] = std::minmax_element(times.begin(), times.end());
+  if (*mn == *mx) {
+    return Reject(DiagnosisCode::kDegenerate,
+                  "all " + std::to_string(n) +
+                      " observations are identical (" +
+                      std::to_string(*mn) + " cycles) — no tail to fit");
+  }
+
+  GuardedAnalysis out;
+  out.result = mbpta::AnalyzeSample(times, options);
+  if (out.result->usable) return out;
+
+  if (!out.result->iid.Passed()) {
+    out.diagnosis.code = DiagnosisCode::kIidViolation;
+    out.diagnosis.message =
+        "i.i.d. gate rejected (Ljung-Box p=" +
+        std::to_string(out.result->iid.independence.p_value) +
+        ", KS p=" +
+        std::to_string(out.result->iid.identical_distribution.p_value) +
+        " at alpha=" + std::to_string(out.result->iid.alpha) + ")";
+    return out;
+  }
+  out.diagnosis.code = DiagnosisCode::kDegenerate;
+  out.diagnosis.message = "no defensible pWCET fit for this sample";
+  return out;
+}
+
+}  // namespace spta::analysis

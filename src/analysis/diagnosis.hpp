@@ -1,0 +1,82 @@
+// Typed rejection for the MBPTA pipeline: reject, never mis-report.
+//
+// The batch pipeline (mbpta::AnalyzeSample) enforces its preconditions
+// with SPTA_REQUIRE — correct for trusted in-process callers, fatal for a
+// pipeline fed by campaigns that may have been corrupted, truncated or
+// fault-injected. This guarded entry point classifies every way a sample
+// can be unfit for EVT *before* fitting anything, and returns a typed
+// Diagnosis instead of a pWCET:
+//
+//   kTainted            faults were injected while collecting the sample
+//   kIntegrityMismatch  the rows do not match their recorded digest
+//   kTooFewSamples      below the min_blocks / i.i.d.-gate floors
+//   kDegenerate         constant sample — no tail to fit
+//   kIidViolation       Ljung-Box or KS rejected at alpha
+//
+// The invariant the fault-matrix tests pin down: a corrupted campaign
+// either produces a non-kOk Diagnosis or (for perturbations too small to
+// detect statistically, e.g. a single SEU that never changed timing) a
+// result identical to the clean one — there is no third outcome where a
+// silently altered pWCET is reported as clean.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/sample_io.hpp"
+#include "mbpta/mbpta.hpp"
+#include "mbpta/per_path.hpp"
+
+namespace spta::analysis {
+
+enum class DiagnosisCode {
+  kOk = 0,
+  kTainted,
+  kIntegrityMismatch,
+  kTooFewSamples,
+  kDegenerate,
+  kIidViolation,
+};
+
+/// Stable lowercase token for logs / service ERR codes ("tainted", ...).
+const char* DiagnosisCodeName(DiagnosisCode code);
+
+struct Diagnosis {
+  DiagnosisCode code = DiagnosisCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == DiagnosisCode::kOk; }
+};
+
+/// Where the sample came from, for integrity/taint checks. Default = no
+/// provenance claims, so only the statistical gates apply.
+struct SampleProvenance {
+  /// Digest recorded at export time (CsvMeta::digest); compared against
+  /// ObservationsDigest of the rows actually read.
+  std::optional<std::uint64_t> expected_digest;
+  /// Faults injected during collection (campaign taint counters or the
+  /// CSV `# spta-faults` annotation).
+  std::uint64_t faults_reported = 0;
+};
+
+struct GuardedAnalysis {
+  Diagnosis diagnosis;
+  /// Present iff the statistical pipeline ran (it does not run for
+  /// tainted/mismatched/too-small samples). usable==false inside is what
+  /// kDegenerate/kIidViolation classify.
+  std::optional<mbpta::MbptaResult> result;
+
+  bool ok() const { return diagnosis.ok(); }
+};
+
+/// Runs the guarded pipeline on `obs`. Never aborts on unfit input.
+GuardedAnalysis AnalyzeObservationsGuarded(
+    const std::vector<mbpta::PathObservation>& obs,
+    const mbpta::MbptaOptions& options = {},
+    const SampleProvenance& provenance = {});
+
+/// Convenience: provenance from CSV metadata.
+SampleProvenance ProvenanceFromMeta(const CsvMeta& meta);
+
+}  // namespace spta::analysis

@@ -2,12 +2,53 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 
 #include "common/assert.hpp"
+#include "common/atomic_file.hpp"
+#include "common/hash.hpp"
 
 namespace spta::analysis {
 namespace {
+
+constexpr char kDigestComment[] = "# spta-digest=";
+constexpr char kFaultsComment[] = "# spta-faults=";
+
+/// The digest of one written row; chained order-sensitively so reordering
+/// and truncation change the result.
+std::uint64_t CombineRow(std::uint64_t h, std::uint64_t cycles,
+                         std::uint64_t path_id) {
+  return HashCombine(HashCombine(h, cycles), path_id);
+}
+
+bool ParseHex64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+std::string Hex64(std::uint64_t v) {
+  char buf[17];
+  static const char* digits = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = digits[v & 0xf];
+    v >>= 4;
+  }
+  buf[16] = '\0';
+  return std::string(buf);
+}
 
 // Trims ASCII whitespace from both ends.
 std::string Trim(const std::string& s) {
@@ -32,16 +73,44 @@ std::string LineError(std::size_t line_no, const std::string& what) {
 
 }  // namespace
 
-bool TryReadSamplesCsv(std::istream& in,
-                       std::vector<mbpta::PathObservation>* out,
-                       std::string* error) {
+bool TryReadSamplesCsvWithMeta(std::istream& in,
+                               std::vector<mbpta::PathObservation>* out,
+                               CsvMeta* meta, std::string* error) {
   out->clear();
+  if (meta != nullptr) *meta = CsvMeta{};
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     const std::string trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.empty() || trimmed[0] == '#') {
+      // Metadata rides in comments so legacy readers skip it; a malformed
+      // metadata value is a hard error (it means the annotations were
+      // themselves damaged), a plain comment is ignored.
+      if (trimmed.rfind(kDigestComment, 0) == 0) {
+        std::uint64_t digest = 0;
+        const std::string value =
+            Trim(trimmed.substr(sizeof(kDigestComment) - 1));
+        if (!ParseHex64(value, &digest)) {
+          *error = LineError(line_no, "bad spta-digest '" + value + "'");
+          out->clear();
+          return false;
+        }
+        if (meta != nullptr) meta->digest = digest;
+      } else if (trimmed.rfind(kFaultsComment, 0) == 0) {
+        const std::string value =
+            Trim(trimmed.substr(sizeof(kFaultsComment) - 1));
+        double faults = 0.0;
+        if (!ParseDouble(value, &faults) || !std::isfinite(faults) ||
+            faults < 0.0) {
+          *error = LineError(line_no, "bad spta-faults '" + value + "'");
+          out->clear();
+          return false;
+        }
+        if (meta != nullptr) meta->faults = static_cast<std::uint64_t>(faults);
+      }
+      continue;
+    }
     const auto comma = trimmed.find(',');
     const std::string first =
         Trim(comma == std::string::npos ? trimmed : trimmed.substr(0, comma));
@@ -91,6 +160,12 @@ bool TryReadSamplesCsv(std::istream& in,
   return true;
 }
 
+bool TryReadSamplesCsv(std::istream& in,
+                       std::vector<mbpta::PathObservation>* out,
+                       std::string* error) {
+  return TryReadSamplesCsvWithMeta(in, out, nullptr, error);
+}
+
 std::vector<mbpta::PathObservation> ReadSamplesCsv(std::istream& in) {
   std::vector<mbpta::PathObservation> out;
   std::string error;
@@ -112,6 +187,60 @@ void WriteObservationsCsv(std::ostream& out,
   for (const auto& o : obs) {
     out << static_cast<std::uint64_t>(o.time) << ',' << o.path_id << '\n';
   }
+}
+
+std::uint64_t ObservationsDigest(std::span<const mbpta::PathObservation> obs) {
+  std::uint64_t h = Mix64(obs.size());
+  for (const auto& o : obs) {
+    h = CombineRow(h, static_cast<std::uint64_t>(o.time), o.path_id);
+  }
+  return h;
+}
+
+std::uint64_t SamplesDigest(std::span<const RunSample> samples) {
+  std::uint64_t h = Mix64(samples.size());
+  for (const auto& s : samples) {
+    h = CombineRow(h, static_cast<std::uint64_t>(s.cycles), s.path_id);
+  }
+  return h;
+}
+
+void WriteSamplesCsvAnnotated(std::ostream& out,
+                              std::span<const RunSample> samples,
+                              std::uint64_t faults) {
+  out << "cycles,path_id\n";
+  out << kDigestComment << Hex64(SamplesDigest(samples)) << '\n';
+  out << kFaultsComment << faults << '\n';
+  for (const auto& s : samples) {
+    out << static_cast<std::uint64_t>(s.cycles) << ',' << s.path_id << '\n';
+  }
+}
+
+void WriteObservationsCsvAnnotated(std::ostream& out,
+                                   std::span<const mbpta::PathObservation> obs,
+                                   std::uint64_t faults) {
+  out << "cycles,path_id\n";
+  out << kDigestComment << Hex64(ObservationsDigest(obs)) << '\n';
+  out << kFaultsComment << faults << '\n';
+  for (const auto& o : obs) {
+    out << static_cast<std::uint64_t>(o.time) << ',' << o.path_id << '\n';
+  }
+}
+
+bool WriteSamplesCsvFileAtomic(const std::string& path,
+                               std::span<const RunSample> samples,
+                               std::uint64_t faults, std::string* error) {
+  std::ostringstream body;
+  WriteSamplesCsvAnnotated(body, samples, faults);
+  return AtomicWriteFile(path, body.str(), error);
+}
+
+bool WriteObservationsCsvFileAtomic(const std::string& path,
+                                    std::span<const mbpta::PathObservation> obs,
+                                    std::uint64_t faults, std::string* error) {
+  std::ostringstream body;
+  WriteObservationsCsvAnnotated(body, obs, faults);
+  return AtomicWriteFile(path, body.str(), error);
 }
 
 }  // namespace spta::analysis

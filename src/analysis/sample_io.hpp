@@ -10,7 +10,9 @@
 // and the writer emits `cycles,path_id` with a header.
 #pragma once
 
+#include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <span>
 #include <string>
@@ -44,5 +46,58 @@ void WriteSamplesCsv(std::ostream& out,
 /// Writes raw observations (same format).
 void WriteObservationsCsv(std::ostream& out,
                           std::span<const mbpta::PathObservation> obs);
+
+// --- Campaign-integrity metadata -----------------------------------------
+// Annotated CSVs carry two comment lines that older readers skip silently
+// (they look like ordinary `#` comments):
+//
+//   # spta-digest=<16 hex digits>   order-sensitive digest of the rows
+//   # spta-faults=<n>               faults injected while collecting them
+//
+// The digest is computed over the *written* representation (truncated
+// cycle count, path id), so it survives a write/read round-trip; a
+// mismatch on read means rows were altered, reordered, dropped or
+// appended after export. A nonzero fault count marks the sample as
+// tainted: analysis must refuse to fit a pWCET from it
+// (analysis::AnalyzeObservationsGuarded).
+
+/// Order-sensitive 64-bit digest over (uint64 cycles, path_id) rows.
+std::uint64_t ObservationsDigest(std::span<const mbpta::PathObservation> obs);
+std::uint64_t SamplesDigest(std::span<const RunSample> samples);
+
+/// Metadata recovered from annotated CSV comments.
+struct CsvMeta {
+  std::optional<std::uint64_t> digest;  ///< absent in legacy files
+  std::uint64_t faults = 0;
+
+  bool Tainted() const { return faults > 0; }
+};
+
+/// TryReadSamplesCsv plus metadata extraction. Verifies nothing itself —
+/// callers compare `meta->digest` against ObservationsDigest(*out)
+/// (AnalyzeObservationsGuarded does this when given the meta). `meta` may
+/// be null.
+bool TryReadSamplesCsvWithMeta(std::istream& in,
+                               std::vector<mbpta::PathObservation>* out,
+                               CsvMeta* meta, std::string* error);
+
+/// Annotated variants: header, digest + fault-count comments, rows.
+void WriteSamplesCsvAnnotated(std::ostream& out,
+                              std::span<const RunSample> samples,
+                              std::uint64_t faults);
+void WriteObservationsCsvAnnotated(std::ostream& out,
+                                   std::span<const mbpta::PathObservation> obs,
+                                   std::uint64_t faults);
+
+/// Crash-safe annotated exports: the whole CSV is staged in a tmp file,
+/// fsync'd and renamed over `path` (common/atomic_file.hpp), so a crash
+/// mid-export can never leave a truncated file that a later --resume or
+/// TryReadSamplesCsv half-ingests. Returns false + `error` on failure.
+bool WriteSamplesCsvFileAtomic(const std::string& path,
+                               std::span<const RunSample> samples,
+                               std::uint64_t faults, std::string* error);
+bool WriteObservationsCsvFileAtomic(const std::string& path,
+                                    std::span<const mbpta::PathObservation> obs,
+                                    std::uint64_t faults, std::string* error);
 
 }  // namespace spta::analysis

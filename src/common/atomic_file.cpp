@@ -1,0 +1,96 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace spta {
+namespace {
+
+void SetError(std::string* error, const char* stage, const std::string& path) {
+  if (error != nullptr) {
+    *error = std::string(stage) + " " + path + ": " + std::strerror(errno);
+  }
+}
+
+bool WriteAll(int fd, const char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FsyncFd(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+bool FsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = FsyncFd(fd);
+  ::close(fd);
+  return ok;
+}
+
+bool AtomicWriteFile(const std::string& path, std::string_view contents,
+                     std::string* error) {
+  // Unique-enough sibling name: pid disambiguates concurrent writers; the
+  // tmp file lives next to the destination so the rename never crosses a
+  // filesystem boundary.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, "open", tmp);
+    return false;
+  }
+  if (!WriteAll(fd, contents.data(), contents.size())) {
+    SetError(error, "write", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (!FsyncFd(fd)) {
+    SetError(error, "fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    SetError(error, "close", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable. Failure here is reported, but the
+  // destination already holds complete contents either way.
+  if (!FsyncParentDir(path)) {
+    SetError(error, "fsync dir of", path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace spta

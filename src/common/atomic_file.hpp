@@ -1,0 +1,33 @@
+// Crash-safe whole-file writes (tmp file + fsync + rename).
+//
+// POSIX rename(2) is atomic within a filesystem, so writing the full
+// contents to a sibling temporary file, fsyncing it, and renaming it over
+// the destination guarantees that a reader (or a post-crash restart) sees
+// either the complete old file or the complete new file — never a
+// truncated hybrid. Used for campaign sample exports and checkpoint
+// finalization, where a half-written CSV would otherwise be silently
+// half-ingested by a later --resume or TryReadSamplesCsv.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace spta {
+
+/// Writes `contents` to `path` atomically: the data lands in
+/// `path.<suffix>.tmp` first, is fsync'd, and is renamed over `path`; the
+/// containing directory is fsync'd afterwards so the rename itself is
+/// durable. Returns false and fills `error` (never dereferenced when null)
+/// on any failure; a failed write never leaves a partial `path`.
+bool AtomicWriteFile(const std::string& path, std::string_view contents,
+                     std::string* error);
+
+/// Flushes an open O_WRONLY/O_RDWR descriptor to stable storage.
+/// Returns false on failure (EINTR is retried).
+bool FsyncFd(int fd);
+
+/// fsyncs the directory containing `path` so a just-created or
+/// just-renamed entry is durable. Returns false on failure.
+bool FsyncParentDir(const std::string& path);
+
+}  // namespace spta

@@ -1,0 +1,40 @@
+#include "fault/io_plan.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "common/hash.hpp"
+#include "fault/plan.hpp"
+
+namespace spta::fault {
+
+service::IoFault IoFaultPlan::Next(service::IoOp op, std::size_t requested) {
+  service::IoFault fault;
+  if (!config_.Enabled()) return fault;
+  // One Roll per syscall, keyed by (stream, ordinal): replaying the same
+  // connection replays the same fault sequence regardless of buffering.
+  Roll roll(campaign_seed_, "io",
+            HashCombine(stream_index_,
+                        ordinal_.fetch_add(1, std::memory_order_relaxed)));
+  if (roll.Chance(config_.stall_rate) && config_.stall_ms > 0) {
+    // A stall is not an error: the syscall proceeds after the delay. It
+    // still counts as a fired fault (it exercises peer deadlines).
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.stall_ms));
+    faults_fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (roll.Chance(config_.eintr_rate)) {
+    fault.error = EINTR;
+  } else if (roll.Chance(config_.eagain_rate)) {
+    fault.error = EAGAIN;
+  } else if (roll.Chance(config_.short_io_rate) && requested > 1) {
+    fault.cap = 1 + roll.Below(requested - 1);
+  } else if (roll.Chance(config_.disconnect_rate)) {
+    fault.disconnect = true;
+  }
+  (void)op;
+  if (!fault.None()) faults_fired_.fetch_add(1, std::memory_order_relaxed);
+  return fault;
+}
+
+}  // namespace spta::fault

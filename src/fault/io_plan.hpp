@@ -1,0 +1,76 @@
+// Seeded syscall-level I/O fault plan for the service layer.
+//
+// Generates service::IoFault decisions — short reads/writes, injected
+// EINTR/EAGAIN storms, slow-peer stalls, mid-frame disconnects — as a
+// pure function of (campaign_seed, "io", syscall_ordinal), so a failing
+// service interaction is replayable from the seed alone. The plan object
+// is handed to FdStreambuf (one per stream direction pair) through the
+// service::IoFaultHook test hook; the daemon converts resulting stream
+// failures into per-session ERR + metrics, never process death.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "service/fd_stream.hpp"
+
+namespace spta::fault {
+
+struct IoFaultConfig {
+  /// Per-syscall probabilities; evaluated in this order, first hit wins.
+  double eintr_rate = 0.0;       ///< Injected EINTR (retried away).
+  double eagain_rate = 0.0;      ///< Injected EAGAIN (bounded retries).
+  double short_io_rate = 0.0;    ///< Cap the byte count (short read/write).
+  double disconnect_rate = 0.0;  ///< Peer vanishes mid-frame (terminal).
+  /// Stall before the syscall proceeds, in milliseconds, with probability
+  /// stall_rate (models a slow peer; exercises deadlines, not errors).
+  double stall_rate = 0.0;
+  unsigned stall_ms = 0;
+
+  bool Enabled() const {
+    return eintr_rate > 0.0 || eagain_rate > 0.0 || short_io_rate > 0.0 ||
+           disconnect_rate > 0.0 || stall_rate > 0.0;
+  }
+};
+
+/// A deterministic per-connection fault schedule: create one IoFaultPlan
+/// per connection; the syscall ordinal is the per-plan counter. Thread-safe
+/// within a connection (the reader thread and response-flushing workers
+/// may consult it concurrently; ordinal assignment is atomic, so each
+/// decision is used exactly once even though their interleaving follows
+/// the thread schedule). faults_fired() reports how many syscalls received
+/// a non-clean decision — the daemon feeds this into the `faults_injected`
+/// metrics counter.
+class IoFaultPlan {
+ public:
+  IoFaultPlan(const IoFaultConfig& config, Seed campaign_seed,
+              std::uint64_t stream_index)
+      : config_(config),
+        campaign_seed_(campaign_seed),
+        stream_index_(stream_index) {}
+
+  /// The decision for the next syscall (advances the ordinal).
+  service::IoFault Next(service::IoOp op, std::size_t requested);
+
+  /// Adapts the plan to the FdStreambuf hook signature. The plan must
+  /// outlive the streambuf.
+  service::IoFaultHook Hook() {
+    return [this](service::IoOp op, std::size_t n) { return Next(op, n); };
+  }
+
+  std::uint64_t faults_fired() const {
+    return faults_fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  IoFaultConfig config_;
+  Seed campaign_seed_;
+  std::uint64_t stream_index_;
+  std::atomic<std::uint64_t> ordinal_{0};
+  /// Atomic only so concurrent readers (metrics scrape) see a sane value;
+  /// the writer is always the stream's own thread.
+  std::atomic<std::uint64_t> faults_fired_{0};
+};
+
+}  // namespace spta::fault

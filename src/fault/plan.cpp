@@ -1,0 +1,23 @@
+#include "fault/plan.hpp"
+
+namespace spta::fault {
+
+Seed SiteSeed(Seed campaign_seed, const char* site, std::uint64_t index) {
+  // Two-level derivation: a "fault" domain tag first, so fault streams can
+  // never collide with the platform/component streams derived from the
+  // same master seed, then the site name, then the opportunity index.
+  return DeriveSeed(DeriveSeed(DeriveSeed(campaign_seed, "fault"), site),
+                    index);
+}
+
+std::uint64_t Roll::Below(std::uint64_t bound) {
+  // Lemire-style rejection on the top bits: accept draws below the largest
+  // multiple of `bound`, so each residue class is equally likely.
+  const std::uint64_t limit = bound * ((~0ULL) / bound);
+  for (;;) {
+    const std::uint64_t draw = Next64();
+    if (draw < limit) return draw % bound;
+  }
+}
+
+}  // namespace spta::fault

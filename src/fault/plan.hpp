@@ -1,0 +1,67 @@
+// Deterministic fault scheduling: the seeding and replay contract.
+//
+// Every injected fault in this subsystem — an SEU bit flip, a degraded
+// PRNG word, a corrupted sample, an I/O syscall failure — is a pure
+// function of (campaign_seed, site, index):
+//
+//   campaign_seed  the campaign-level fault seed (one per experiment),
+//   site           a short string naming the injector ("seu", "reseed",
+//                  "samples", "io", ...),
+//   index          the injection opportunity (run index, sample index,
+//                  syscall ordinal, ...).
+//
+// Reporting that triple is therefore a complete reproduction recipe: the
+// same triple replays the same fault bit-for-bit, on any thread schedule,
+// in any process. The derivation reuses the library's seed functions
+// (common/hash.hpp) so fault streams are uncorrelated with the platform
+// randomization streams even when they share a master seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace spta::fault {
+
+/// The derived seed of one fault site instance.
+Seed SiteSeed(Seed campaign_seed, const char* site, std::uint64_t index);
+
+/// A deterministic value stream for one (campaign_seed, site, index)
+/// triple: counter-mode Mix64 over the site seed. Cheap to construct (two
+/// hash evaluations), stateless across instances — re-creating a Roll for
+/// the same triple replays the same stream.
+class Roll {
+ public:
+  Roll(Seed campaign_seed, const char* site, std::uint64_t index)
+      : state_(SiteSeed(campaign_seed, site, index)) {}
+
+  /// Next 64 uniform bits.
+  std::uint64_t Next64() { return Mix64(state_ += kGamma); }
+
+  /// Uniform integer in [0, bound), bound > 0; rejection-based so every
+  /// residue is equally likely (determinism matters more than speed here,
+  /// but bias would skew configured fault rates).
+  std::uint64_t Below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double Unit() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return Unit() < p;
+  }
+
+ private:
+  /// SplitMix64's golden-gamma increment; with Mix64's full avalanche the
+  /// counter stream is equidistributed over 64-bit outputs.
+  static constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+  std::uint64_t state_;
+};
+
+}  // namespace spta::fault

@@ -1,0 +1,13 @@
+#include "fault/prng_degrade.hpp"
+
+#include "prng/self_test.hpp"
+
+namespace spta::fault {
+
+bool DegradationDetected(std::uint64_t seed, const PrngDegradeConfig& config,
+                         std::size_t n_words) {
+  DegradedHwPrng gen(seed, config);
+  return !prng::PassesAllBitTests([&gen] { return gen.Next(); }, n_words);
+}
+
+}  // namespace spta::fault

@@ -1,0 +1,41 @@
+#include "fault/sample_corruption.hpp"
+
+#include <cmath>
+
+#include "fault/plan.hpp"
+
+namespace spta::fault {
+
+CorruptionReport CorruptObservations(std::vector<mbpta::PathObservation>* obs,
+                                     const SampleCorruptionConfig& config,
+                                     Seed campaign_seed) {
+  CorruptionReport report;
+  if (!config.Enabled() || obs->empty()) return report;
+
+  // Truncation first (a dropped log tail happens before any per-record
+  // glitching can touch the records that no longer exist).
+  if (config.truncate_fraction > 0.0) {
+    const double keep_frac =
+        config.truncate_fraction >= 1.0 ? 0.0 : 1.0 - config.truncate_fraction;
+    const std::size_t keep = static_cast<std::size_t>(
+        std::floor(static_cast<double>(obs->size()) * keep_frac));
+    report.dropped = obs->size() - keep;
+    obs->resize(keep);
+  }
+
+  for (std::size_t k = 0; k < obs->size(); ++k) {
+    Roll roll(campaign_seed, "samples", k);
+    if (k >= 1 && roll.Chance(config.duplicate_rate)) {
+      (*obs)[k] = (*obs)[k - 1];
+      ++report.duplicates;
+      continue;
+    }
+    if (roll.Chance(config.outlier_rate)) {
+      (*obs)[k].time *= config.outlier_factor;
+      ++report.outliers;
+    }
+  }
+  return report;
+}
+
+}  // namespace spta::fault

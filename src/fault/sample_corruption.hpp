@@ -1,0 +1,55 @@
+// Seeded corruption of a measurement sample stream.
+//
+// Models what reaches the analysis stage when the path from the target
+// board to the MBPTA pipeline is faulty: spurious outliers (a probe
+// glitch or counter wrap), duplicated observations (a retransmitted or
+// re-read record) and truncation (a dropped tail of the log). All three
+// are applied ahead of the i.i.d. gate, which is exactly where the
+// pipeline must catch them: the defense is the campaign-integrity digest
+// (analysis::ObservationsDigest) plus the statistical gate, never a
+// silently altered pWCET.
+//
+// Every mutation is a pure function of (campaign_seed, "samples", k) per
+// the fault::Roll contract, so a corrupted stream is replayable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mbpta/per_path.hpp"
+
+namespace spta::fault {
+
+struct SampleCorruptionConfig {
+  /// Per-observation probability of being scaled into an outlier.
+  double outlier_rate = 0.0;
+  /// Multiplier applied to outlier observations (>1 inflates the tail).
+  double outlier_factor = 64.0;
+  /// Per-observation probability (index >= 1) of being overwritten with a
+  /// copy of its predecessor — duplicated records defeat independence.
+  double duplicate_rate = 0.0;
+  /// Fraction of the stream's tail dropped (0 = none, 0.25 = last quarter).
+  double truncate_fraction = 0.0;
+
+  bool Enabled() const {
+    return outlier_rate > 0.0 || duplicate_rate > 0.0 ||
+           truncate_fraction > 0.0;
+  }
+};
+
+struct CorruptionReport {
+  std::size_t outliers = 0;
+  std::size_t duplicates = 0;
+  std::size_t dropped = 0;
+
+  std::size_t Total() const { return outliers + duplicates + dropped; }
+};
+
+/// Applies the configured corruption to `obs` in place. Deterministic in
+/// (campaign_seed, config, original contents).
+CorruptionReport CorruptObservations(std::vector<mbpta::PathObservation>* obs,
+                                     const SampleCorruptionConfig& config,
+                                     Seed campaign_seed);
+
+}  // namespace spta::fault

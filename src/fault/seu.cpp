@@ -1,0 +1,66 @@
+#include "fault/seu.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "fault/plan.hpp"
+#include "sim/cache.hpp"
+#include "sim/tlb.hpp"
+
+namespace spta::fault {
+namespace {
+
+/// One vulnerable word array: either a cache's tag slots or a TLB's VPN
+/// entries, unified behind (slot count, flip function).
+struct Target {
+  sim::Cache* cache = nullptr;
+  sim::Tlb* tlb = nullptr;
+
+  std::size_t Slots() const {
+    return cache != nullptr ? cache->TagSlots() : tlb->EntrySlots();
+  }
+  void Flip(std::size_t slot, unsigned bit) const {
+    if (cache != nullptr) {
+      cache->CorruptTagBit(slot, bit);
+    } else {
+      tlb->CorruptVpnBit(slot, bit);
+    }
+  }
+};
+
+}  // namespace
+
+SeuReport InjectSeus(sim::Platform& platform, const SeuConfig& config,
+                     Seed campaign_seed, std::uint64_t run_index) {
+  SeuReport report;
+  if (!config.Enabled()) return report;
+
+  sim::Core& core = platform.core(0);
+  std::array<Target, 5> targets;
+  std::size_t n_targets = 0;
+  if (config.target_il1) targets[n_targets++] = Target{&core.il1(), nullptr};
+  if (config.target_dl1) targets[n_targets++] = Target{&core.dl1(), nullptr};
+  if (config.target_itlb) targets[n_targets++] = Target{nullptr, &core.itlb()};
+  if (config.target_dtlb) targets[n_targets++] = Target{nullptr, &core.dtlb()};
+  if (config.target_l2) {
+    sim::Cache* l2 = platform.MutableMemory().MutableL2();
+    if (l2 != nullptr) targets[n_targets++] = Target{l2, nullptr};
+  }
+  if (n_targets == 0) return report;
+
+  Roll roll(campaign_seed, "seu", run_index);
+  const double whole = std::floor(config.upsets_per_run);
+  std::uint64_t count = static_cast<std::uint64_t>(whole);
+  if (roll.Chance(config.upsets_per_run - whole)) ++count;
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Target& t = targets[roll.Below(n_targets)];
+    const std::size_t slot = static_cast<std::size_t>(roll.Below(t.Slots()));
+    const unsigned bit = static_cast<unsigned>(roll.Below(64));
+    t.Flip(slot, bit);
+    ++report.flips;
+  }
+  return report;
+}
+
+}  // namespace spta::fault

@@ -1,0 +1,56 @@
+// Seeded SEU (single-event upset) injection into the platform state.
+//
+// Space-grade context: ionizing particles flip individual SRAM bits; in a
+// cache or TLB the vulnerable words are the tag/valid arrays (a data-array
+// flip is a functional error, not a timing one, and this simulator tracks
+// timing). Because both models encode validity as a sentinel tag, one
+// XORed bit reproduces the two real failure modes of a tag RAM upset:
+//   - a flip in an invalid way forges a bogus "valid" line (spurious hits
+//     or displaced allocations),
+//   - a flip in a valid way retags or invalidates a live line (spurious
+//     misses).
+// Either way the hit/miss stream — and therefore the measured execution
+// time — changes, which is exactly the hazard MBPTA must detect rather
+// than absorb into the pWCET.
+//
+// Faults are applied between the per-run reset protocol and execution
+// (Platform::RunWithHook's injection window), so the measurement hot path
+// carries zero fault-checking code. Every flip is a pure function of
+// (campaign_seed, "seu", run_index) per the fault::Roll contract.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/platform.hpp"
+
+namespace spta::fault {
+
+/// Which tag/valid arrays are vulnerable and how often they are struck.
+struct SeuConfig {
+  /// Expected upsets per measurement run. The integer part is injected
+  /// always; the fractional part is a per-run Bernoulli draw. 0 disables
+  /// the injector entirely.
+  double upsets_per_run = 0.0;
+  bool target_il1 = true;
+  bool target_dl1 = true;
+  bool target_itlb = true;
+  bool target_dtlb = true;
+  bool target_l2 = true;
+
+  bool Enabled() const { return upsets_per_run > 0.0; }
+};
+
+/// What one run's injection actually did (for taint accounting).
+struct SeuReport {
+  std::uint64_t flips = 0;
+};
+
+/// Applies run `run_index`'s SEU schedule to `platform` (core 0 + shared
+/// L2). Must be called inside the post-reset injection window; the flips
+/// are deterministic in (campaign_seed, run_index) and independent of
+/// thread schedule.
+SeuReport InjectSeus(sim::Platform& platform, const SeuConfig& config,
+                     Seed campaign_seed, std::uint64_t run_index);
+
+}  // namespace spta::fault

@@ -1,6 +1,7 @@
 #include "service/client.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -126,7 +127,7 @@ UnixSocketConnection::~UnixSocketConnection() {
 }
 
 std::unique_ptr<UnixSocketConnection> UnixSocketConnection::Connect(
-    const std::string& path, std::string* error) {
+    const std::string& path, std::string* error, double io_timeout_ms) {
   if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     *error = "socket path too long: " + path;
     return nullptr;
@@ -135,6 +136,19 @@ std::unique_ptr<UnixSocketConnection> UnixSocketConnection::Connect(
   if (fd < 0) {
     *error = std::string("socket(): ") + std::strerror(errno);
     return nullptr;
+  }
+  if (io_timeout_ms > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(io_timeout_ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (io_timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;  // min 1ms
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+      *error = std::string("setsockopt(timeout): ") + std::strerror(errno);
+      ::close(fd);
+      return nullptr;
+    }
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;

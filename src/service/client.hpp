@@ -70,9 +70,12 @@ class Client {
 class UnixSocketConnection {
  public:
   /// Connects to a listening spta_serve socket; nullptr + `error` on
-  /// failure.
+  /// failure. `io_timeout_ms` > 0 installs SO_RCVTIMEO/SO_SNDTIMEO on the
+  /// socket — the per-attempt deadline of the resilient client: a read or
+  /// write that stalls past it fails the attempt (EAGAIN, not retried by
+  /// FdStreambuf) instead of hanging on a dead or wedged peer.
   static std::unique_ptr<UnixSocketConnection> Connect(
-      const std::string& path, std::string* error);
+      const std::string& path, std::string* error, double io_timeout_ms = 0.0);
 
   ~UnixSocketConnection();
   UnixSocketConnection(const UnixSocketConnection&) = delete;

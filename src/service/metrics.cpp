@@ -40,6 +40,17 @@ void ServiceMetrics::CountProtocolError() {
   ++protocol_errors_;
 }
 
+void ServiceMetrics::CountInjectedFaults(std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_injected_ += n;
+}
+
+void ServiceMetrics::CountDegradedSession() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++sessions_degraded_;
+}
+
 void ServiceMetrics::RecordAnalyzeLatency(double micros, bool cache_hit) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++analyses_;
@@ -67,6 +78,16 @@ std::uint64_t ServiceMetrics::deadline_misses() const {
   return deadline_misses_;
 }
 
+std::uint64_t ServiceMetrics::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_injected_;
+}
+
+std::uint64_t ServiceMetrics::sessions_degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_degraded_;
+}
+
 Args ServiceMetrics::Snapshot(const ResultCache::Stats& cache) const {
   std::lock_guard<std::mutex> lock(mutex_);
   Args args;
@@ -75,6 +96,8 @@ Args ServiceMetrics::Snapshot(const ResultCache::Stats& cache) const {
   args.SetUint("busy_rejections", busy_rejections_);
   args.SetUint("deadline_misses", deadline_misses_);
   args.SetUint("protocol_errors", protocol_errors_);
+  args.SetUint("faults_injected", faults_injected_);
+  args.SetUint("sessions_degraded", sessions_degraded_);
   args.SetUint("analyses_total", analyses_);
   args.SetUint("cache_hits", cache.hits);
   args.SetUint("cache_misses", cache.misses);

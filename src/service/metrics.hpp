@@ -33,6 +33,14 @@ class ServiceMetrics {
   /// Counts a malformed frame (framing errors don't map to a verb).
   void CountProtocolError();
 
+  /// Counts `n` injected I/O faults fired on a connection (fault-injection
+  /// hook active; see ServerOptions::io_fault_hook_factory).
+  void CountInjectedFaults(std::uint64_t n);
+
+  /// Counts a connection that ended degraded: injected faults fired and the
+  /// stream terminated without a clean SHUTDOWN handshake.
+  void CountDegradedSession();
+
   /// Records the wall-clock service time of one ANALYZE.
   void RecordAnalyzeLatency(double micros, bool cache_hit);
 
@@ -40,6 +48,8 @@ class ServiceMetrics {
   std::uint64_t errors_total() const;
   std::uint64_t busy_rejections() const;
   std::uint64_t deadline_misses() const;
+  std::uint64_t faults_injected() const;
+  std::uint64_t sessions_degraded() const;
 
   /// Renders the whole surface (plus the cache's counters) as stable
   /// `key value` lines followed by the two latency histograms in ASCII.
@@ -57,6 +67,8 @@ class ServiceMetrics {
   std::uint64_t busy_rejections_ = 0;
   std::uint64_t deadline_misses_ = 0;
   std::uint64_t protocol_errors_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t sessions_degraded_ = 0;
   std::uint64_t analyses_ = 0;
   double analyze_micros_total_ = 0.0;
   Histogram hit_latency_;   ///< Cache-hit ANALYZE latency (us).

@@ -1,0 +1,32 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace spta::service {
+
+std::chrono::milliseconds RetrySchedule::NextDelay() {
+  const auto base = policy_.base.count();
+  const auto cap = policy_.cap.count();
+  // uniform(base, prev*3) via a counter-mode Mix64 draw — deterministic in
+  // (seed, attempt), full-period, and independent across clients with
+  // different seeds.
+  const std::uint64_t word =
+      Mix64(HashCombine(policy_.seed, ++counter_));
+  const double unit =
+      static_cast<double>(word >> 11) * 0x1.0p-53;  // [0, 1)
+  const auto hi = std::max<long long>(base, prev_.count() * 3);
+  const auto span = static_cast<double>(hi - base);
+  auto delay = static_cast<long long>(
+      static_cast<double>(base) + unit * span);
+  delay = std::min<long long>(delay, cap);
+  prev_ = std::chrono::milliseconds(delay);
+  return prev_;
+}
+
+bool RetryableErrCode(const std::string& code) {
+  return code == "busy" || code == "deadline" || code == "transport";
+}
+
+}  // namespace spta::service

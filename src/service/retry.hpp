@@ -1,0 +1,58 @@
+// Bounded retry with exponential backoff + decorrelated jitter.
+//
+// The resilient client's retry loop: transient failures (connect refused,
+// per-attempt deadline expired, ERR busy backpressure) are retried a
+// bounded number of times with sleeps drawn from the decorrelated-jitter
+// schedule (Brooker, AWS Architecture Blog 2015):
+//
+//   delay[0] = base
+//   delay[k] = min(cap, uniform(base, delay[k-1] * 3))
+//
+// which spreads concurrent retriers apart (plain exponential backoff
+// synchronizes them into retry storms). The jitter stream is seeded, so a
+// client run is reproducible end to end — the same seed replays the same
+// sleep schedule.
+//
+// Classification lives here too: which ERR codes are worth retrying
+// (busy, deadline, transport) versus permanent (malformed, samples,
+// analysis, session — resending the same bytes cannot succeed).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace spta::service {
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = no retries.
+  int max_attempts = 4;
+  std::chrono::milliseconds base{25};
+  std::chrono::milliseconds cap{2000};
+  /// Seed of the jitter stream (replayable schedules).
+  std::uint64_t seed = 1;
+};
+
+/// The deterministic jitter/backoff schedule of one request's retry loop.
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy)
+      : policy_(policy), prev_(policy.base) {}
+
+  /// Delay to sleep before retry `attempt` (1-based: the delay after the
+  /// attempt-th failure). Advances the schedule.
+  std::chrono::milliseconds NextDelay();
+
+ private:
+  RetryPolicy policy_;
+  std::chrono::milliseconds prev_;
+  std::uint64_t counter_ = 0;
+};
+
+/// True for ERR codes that a retry can plausibly fix: "busy" (bounded
+/// queue backpressure — the documented retry-later signal), "deadline"
+/// (queue wait exceeded the per-request deadline) and "transport"
+/// (connection-level failure). Everything else is permanent.
+bool RetryableErrCode(const std::string& code);
+
+}  // namespace spta::service

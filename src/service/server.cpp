@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -361,20 +362,50 @@ int Server::ServeUnixSocket(const std::string& path) {
   }
 
   std::vector<std::thread> connections;
+  std::uint64_t connection_ordinal = 0;
   while (!shutdown_.load()) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener closed by TriggerShutdown (or fatal error)
     }
-    connections.emplace_back([this, fd] {
+    const std::uint64_t ordinal = connection_ordinal++;
+    connections.emplace_back([this, fd, ordinal] {
       RegisterConnection(fd);
-      FdStreambuf in_buf(fd);
-      FdStreambuf out_buf(fd);
+      // Fault-injection wrap: count every fired fault into the metrics
+      // surface so an operator (or the fault-matrix test) can see the
+      // injection campaign without scraping logs. The shared counter is
+      // touched from the reader thread and from workers flushing
+      // responses, hence atomic.
+      IoFaultHook hook;
+      auto fired = std::make_shared<std::atomic<std::uint64_t>>(0);
+      if (options_.io_fault_hook_factory) {
+        if (IoFaultHook inner = options_.io_fault_hook_factory(ordinal)) {
+          hook = [this, inner = std::move(inner), fired](IoOp op,
+                                                         std::size_t n) {
+            const IoFault fault = inner(op, n);
+            if (!fault.None()) {
+              fired->fetch_add(1, std::memory_order_relaxed);
+              metrics_.CountInjectedFaults(1);
+            }
+            return fault;
+          };
+        }
+      }
+      FdStreambuf in_buf(fd, hook);
+      FdStreambuf out_buf(fd, hook);
       std::istream in(&in_buf);
       std::ostream out(&out_buf);
       const bool got_shutdown = ServeStream(in, out);
       out.flush();
+      // An injected-fault connection that didn't reach a clean SHUTDOWN
+      // handshake was degraded: its stream died (disconnect, EAGAIN
+      // exhaustion) and the per-session state was dropped. The daemon
+      // itself carries on.
+      if (!got_shutdown &&
+          fired->load(std::memory_order_relaxed) > 0) {
+        metrics_.CountDegradedSession();
+      }
       UnregisterConnection(fd);
       if (got_shutdown) TriggerShutdown();
       ::close(fd);

@@ -31,6 +31,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <map>
 #include <mutex>
@@ -40,6 +41,7 @@
 
 #include "common/thread_pool.hpp"
 #include "service/engine.hpp"
+#include "service/fd_stream.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
@@ -61,6 +63,15 @@ struct ServerOptions {
   /// Honors the debug_sleep_ms ANALYZE argument (tests/bench only: lets a
   /// test hold a worker busy to exercise backpressure deterministically).
   bool enable_debug_hooks = false;
+  /// Fault-injection hook factory (tests only). Called once per accepted
+  /// socket connection with the connection ordinal; the returned hook (may
+  /// be empty) guards every read/write syscall of that connection
+  /// (service/fd_stream.hpp). Fired faults are counted into the
+  /// `faults_injected` metric; a connection whose stream dies with faults
+  /// active counts into `sessions_degraded`. The daemon itself must
+  /// survive any decision the hook makes — that invariant is what
+  /// tests/fault_matrix_smoke.cpp pins down.
+  std::function<IoFaultHook(std::uint64_t)> io_fault_hook_factory;
 };
 
 class Server {
@@ -84,6 +95,13 @@ class Server {
 
   /// True once any stream has processed a SHUTDOWN request.
   bool shutdown_requested() const { return shutdown_.load(); }
+
+  /// Initiates the drain-on-shutdown path from outside a request stream:
+  /// unblocks every connection reader and the listener so ServeUnixSocket
+  /// winds down exactly as after an in-band SHUTDOWN. Async-signal-UNSAFE
+  /// (takes locks) — signal handlers must defer to a watcher thread
+  /// (tools/spta_serve.cpp does, via a self-pipe). Idempotent.
+  void TriggerShutdown();
 
  private:
   /// Writes a stream's responses in request order: completions may arrive
@@ -130,7 +148,6 @@ class Server {
 
   void RegisterConnection(int fd);
   void UnregisterConnection(int fd);
-  void TriggerShutdown();
 
   ServerOptions options_;
   SessionManager sessions_;

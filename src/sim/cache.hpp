@@ -112,6 +112,36 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
 
+  // --- Fault-injection surface (src/fault) -------------------------------
+  // SEU-style state corruption for the seeded fault-injection subsystem:
+  // a single-event upset in the tag/valid array is modeled by XORing one
+  // bit of one tag word. Because validity is sentinel-encoded in the tag
+  // itself, a flip in an invalid way forges a bogus "valid" line and a
+  // flip in a valid way retags (or invalidates) a real one — exactly the
+  // two observable SEU failure modes of a real tag RAM. These methods are
+  // never called on the measurement hot path; Access() is untouched.
+
+  /// Number of tag slots (sets * ways); slots index the flat tag array.
+  std::size_t TagSlots() const { return tags_.size(); }
+
+  /// Flips bit `bit` (0-63) of tag slot `slot`. The MRU shortcut slot is
+  /// re-derived so a corrupted line is observed by the next lookup rather
+  /// than masked by the stale shortcut.
+  void CorruptTagBit(std::size_t slot, unsigned bit) {
+    tags_[slot] ^= 1ULL << (bit & 63u);
+    // Drop the MRU shortcut if it pointed at the corrupted slot: the
+    // shortcut caches "tags_[mru_index_] is the last-hit line", which the
+    // flip may have falsified.
+    if (slot == mru_index_) {
+      mru_index_ = 0;
+      mru_set_ = 0;
+      mru_way_ = 0;
+    }
+  }
+
+  /// Reads a tag slot back (test/fault-audit use).
+  std::uint64_t TagAt(std::size_t slot) const { return tags_[slot]; }
+
  private:
   /// Sentinel tag of an invalid way. Real tags are full line numbers,
   /// addr >> line_shift_ with line_shift_ >= 1, so all-ones is unreachable.

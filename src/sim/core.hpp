@@ -80,6 +80,14 @@ class Core {
   Cycles now() const { return now_; }
   CoreId id() const { return id_; }
 
+  // --- Fault-injection surface (src/fault) -------------------------------
+  // Mutable access to the per-core arrays so the seeded injector can flip
+  // tag/VPN bits between the per-run reset and execution. Off the hot path.
+  Cache& il1() { return il1_; }
+  Cache& dl1() { return dl1_; }
+  Tlb& itlb() { return itlb_; }
+  Tlb& dtlb() { return dtlb_; }
+
  private:
   void RetireRecord(const trace::TraceRecord& rec);
 

@@ -39,6 +39,9 @@ class MemorySystem {
   const Dram& dram() const { return dram_; }
   /// Null when the platform has no L2.
   const Cache* l2() const { return l2_ ? &*l2_ : nullptr; }
+  /// Mutable L2 for the fault-injection subsystem (src/fault); null when
+  /// the platform has no L2. Off the hot path.
+  Cache* MutableL2() { return l2_ ? &*l2_ : nullptr; }
 
  private:
   Bus bus_;

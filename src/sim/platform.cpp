@@ -31,6 +31,14 @@ RunResult Platform::Run(const trace::Trace& t, Seed run_seed) {
   return cores_[0].Run(t);
 }
 
+RunResult Platform::RunWithHook(
+    const trace::Trace& t, Seed run_seed,
+    const std::function<void(Platform&)>& after_reset) {
+  ResetAll(run_seed);
+  if (after_reset) after_reset(*this);
+  return cores_[0].Run(t);
+}
+
 std::vector<RunResult> Platform::RunConcurrent(
     std::span<const trace::Trace* const> per_core, Seed run_seed) {
   SPTA_REQUIRE_MSG(per_core.size() == cores_.size(),

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -37,8 +38,20 @@ class Platform {
   std::vector<RunResult> RunConcurrent(
       std::span<const trace::Trace* const> per_core, Seed run_seed);
 
+  /// One measurement run like Run(), but invokes `after_reset` between the
+  /// per-run reset protocol and execution. This is the fault-injection
+  /// window: state corrupted here models an upset that strikes while the
+  /// task runs, after the protocol's flush/reseed. Passing a null hook is
+  /// exactly Run().
+  RunResult RunWithHook(const trace::Trace& t, Seed run_seed,
+                        const std::function<void(Platform&)>& after_reset);
+
   const PlatformConfig& config() const { return config_; }
   const MemorySystem& memory() const { return memory_; }
+  /// Mutable core access for the fault-injection subsystem (src/fault).
+  Core& core(CoreId id) { return cores_.at(id); }
+  /// Mutable memory-path access for the fault-injection subsystem.
+  MemorySystem& MutableMemory() { return memory_; }
 
  private:
   void ResetAll(Seed run_seed);

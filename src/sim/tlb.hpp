@@ -90,6 +90,24 @@ class Tlb {
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
 
+  // --- Fault-injection surface (src/fault) -------------------------------
+  // Mirrors Cache::CorruptTagBit: an SEU in the VPN/valid array is one XORed
+  // bit of one entry (validity is sentinel-encoded in the VPN). Never called
+  // on the hot path; Access() is untouched.
+
+  /// Number of TLB entries.
+  std::size_t EntrySlots() const { return vpns_.size(); }
+
+  /// Flips bit `bit` (0-63) of entry `slot`, resetting the MRU shortcut if
+  /// it pointed at the corrupted entry.
+  void CorruptVpnBit(std::size_t slot, unsigned bit) {
+    vpns_[slot] ^= 1ULL << (bit & 63u);
+    if (slot == mru_) mru_ = 0;
+  }
+
+  /// Reads an entry's VPN back (test/fault-audit use).
+  std::uint64_t VpnAt(std::size_t slot) const { return vpns_[slot]; }
+
  private:
   /// Sentinel VPN of an invalid entry; real VPNs are addr >> page_shift_
   /// with page_shift_ >= 1, so all-ones is unreachable.

@@ -2,15 +2,26 @@
 //
 //   spta_cli campaign  --platform rand|det|rand-op --runs N --seed S
 //                      [--scenarios K] [--jobs J] [--output samples.csv]
+//                      [--checkpoint J.ckpt [--resume] [--fsync-interval N]]
+//                      [--seu-rate R] [--reseed-dropout P] [--fault-seed S]
+//                      [--annotate]
 //       Runs a TVCA measurement campaign and writes cycles,path_id CSV.
 //       --jobs J fans the runs across J worker threads (default: hardware
 //       concurrency); the samples are bit-identical for every J.
+//       --checkpoint journals every completed run (append-only, fsync'd);
+//       --resume restores the journal and re-executes only the missing
+//       runs, bit-identically to an uninterrupted campaign.
+//       --seu-rate/--reseed-dropout run the campaign under the
+//       deterministic fault plan (docs/FAULTS.md); the CSV is then
+//       annotated as tainted and analysis will refuse to fit a pWCET.
 //
 //   spta_cli analyze   [--input samples.csv] [--block-size B] [--lags L]
 //                      [--alpha A] [--per-path] [--min-path-samples M]
-//       Reads a sample (file or stdin) and runs the MBPTA pipeline:
-//       i.i.d. gate, Gumbel fit, GOF diagnostics, pWCET table, path
-//       coverage. Exit code 0 iff the analysis is usable.
+//       Reads a sample (file or stdin) and runs the guarded MBPTA
+//       pipeline: integrity/taint checks, i.i.d. gate, Gumbel fit, GOF
+//       diagnostics, pWCET table, path coverage. Exit code 0 iff the
+//       analysis is usable; tainted/corrupted samples are rejected with a
+//       typed diagnosis (exit 2), never mis-reported.
 //
 //   spta_cli convergence [--input samples.csv] [--initial N] [--step N]
 //                        [--prob P] [--tol T]
@@ -21,8 +32,14 @@
 //
 //   spta_cli simulate  --trace in.trc --platform rand|det|rand-op
 //                      --runs N [--seed S] [--jobs J] [--output samples.csv]
+//                      [--checkpoint J.ckpt [--resume] [--fsync-interval N]]
+//                      [--seu-rate R] [--reseed-dropout P] [--fault-seed S]
 //       Replays a recorded trace N times (fresh platform seed per run)
 //       and writes the execution times as CSV.
+//
+// File outputs are crash-safe: the CSV is staged in a tmp file, fsync'd
+// and renamed into place, so a crash mid-export never publishes a
+// truncated sample.
 //
 // The analyze/convergence commands work on measurements from ANY source
 // (a real board, another simulator) — the bundled simulator is just one
@@ -34,11 +51,15 @@
 #include <sstream>
 
 #include "analysis/campaign.hpp"
+#include "analysis/checkpoint.hpp"
+#include "analysis/diagnosis.hpp"
 #include "analysis/parallel_campaign.hpp"
 #include "analysis/sample_io.hpp"
 #include "apps/tvca.hpp"
+#include "common/atomic_file.hpp"
 #include "common/flags.hpp"
 #include "common/histogram.hpp"
+#include "fault/campaign.hpp"
 #include "mbpta/convergence.hpp"
 #include "mbpta/mbpta.hpp"
 #include "mbpta/path_coverage.hpp"
@@ -56,27 +77,42 @@ int Usage() {
                "usage: spta_cli <campaign|analyze|convergence|record|simulate> [flags]\n"
                "  campaign    --platform rand|det|rand-op --runs N "
                "[--seed S] [--scenarios K] [--jobs J] [--output FILE]\n"
+               "              [--checkpoint FILE [--resume] "
+               "[--fsync-interval N]] [--seu-rate R] [--reseed-dropout P] "
+               "[--fault-seed S] [--annotate]\n"
                "  analyze     [--input FILE] [--block-size B] [--lags L] "
                "[--alpha A] [--per-path] [--min-path-samples M] [--histogram]\n"
                "  convergence [--input FILE] [--initial N] [--step N] "
                "[--prob P] [--tol T]\n"
                "  record      --trace FILE [--scenario S]\n"
                "  simulate    --trace FILE --platform rand|det|rand-op "
-               "--runs N [--seed S] [--jobs J] [--output FILE]\n");
+               "--runs N [--seed S] [--jobs J] [--output FILE] "
+               "[--checkpoint FILE [--resume]] [--seu-rate R] "
+               "[--reseed-dropout P] [--fault-seed S]\n");
   return 2;
 }
 
-std::vector<mbpta::PathObservation> LoadSamples(const Flags& flags) {
+std::vector<mbpta::PathObservation> LoadSamples(const Flags& flags,
+                                                analysis::CsvMeta* meta) {
   const std::string input = flags.GetString("input");
+  std::vector<mbpta::PathObservation> obs;
+  std::string error;
+  bool ok = false;
   if (input.empty() || input == "-") {
-    return analysis::ReadSamplesCsv(std::cin);
+    ok = analysis::TryReadSamplesCsvWithMeta(std::cin, &obs, meta, &error);
+  } else {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "spta_cli: cannot open '%s'\n", input.c_str());
+      std::exit(2);
+    }
+    ok = analysis::TryReadSamplesCsvWithMeta(in, &obs, meta, &error);
   }
-  std::ifstream in(input);
-  if (!in) {
-    std::fprintf(stderr, "spta_cli: cannot open '%s'\n", input.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
     std::exit(2);
   }
-  return analysis::ReadSamplesCsv(in);
+  return obs;
 }
 
 /// Parses --jobs: 0 or absent = hardware concurrency; negative is an
@@ -100,20 +136,112 @@ std::vector<double> Times(
   return t;
 }
 
-int RunCampaign(const Flags& flags) {
+sim::PlatformConfig PlatformFromFlags(const Flags& flags, bool* ok) {
   const std::string platform_name = flags.GetString("platform", "rand");
-  sim::PlatformConfig config;
-  if (platform_name == "rand") {
-    config = sim::RandLeon3Config();
-  } else if (platform_name == "det") {
-    config = sim::DetLeon3Config();
-  } else if (platform_name == "rand-op") {
-    config = sim::RandLeon3OperationConfig();
+  *ok = true;
+  if (platform_name == "rand") return sim::RandLeon3Config();
+  if (platform_name == "det") return sim::DetLeon3Config();
+  if (platform_name == "rand-op") return sim::RandLeon3OperationConfig();
+  std::fprintf(stderr, "spta_cli: unknown platform '%s'\n",
+               platform_name.c_str());
+  *ok = false;
+  return {};
+}
+
+/// The fault plan requested on the command line (disabled by default).
+fault::FaultCampaignConfig FaultPlanFromFlags(
+    const Flags& flags, const analysis::CampaignConfig& base) {
+  fault::FaultCampaignConfig fc;
+  fc.base = base;
+  fc.seu.upsets_per_run = flags.GetDouble("seu-rate", 0.0);
+  fc.reseed_dropout = flags.GetDouble("reseed-dropout", 0.0);
+  fc.fault_seed = static_cast<Seed>(flags.GetInt("fault-seed", 0));
+  if (fc.seu.upsets_per_run < 0.0 || fc.reseed_dropout < 0.0 ||
+      fc.reseed_dropout > 1.0) {
+    std::fprintf(stderr,
+                 "spta_cli: need --seu-rate >= 0 and "
+                 "0 <= --reseed-dropout <= 1\n");
+    std::exit(2);
+  }
+  return fc;
+}
+
+analysis::CheckpointOptions CheckpointFromFlags(const Flags& flags) {
+  analysis::CheckpointOptions copts;
+  copts.journal_path = flags.GetString("checkpoint");
+  copts.resume = flags.GetBool("resume");
+  const std::int64_t interval = flags.GetInt("fsync-interval", 1);
+  const std::int64_t abort_after = flags.GetInt("abort-after", 0);
+  if (interval < 1 || abort_after < 0) {
+    std::fprintf(stderr,
+                 "spta_cli: need --fsync-interval >= 1 and "
+                 "--abort-after >= 0\n");
+    std::exit(2);
+  }
+  copts.fsync_interval = static_cast<std::size_t>(interval);
+  copts.abort_after_appends = static_cast<std::size_t>(abort_after);
+  return copts;
+}
+
+/// Writes the campaign CSV: annotated (digest + fault count) when
+/// requested or tainted, plain otherwise; file outputs always go through
+/// the atomic tmp+fsync+rename path.
+int WriteCampaignOutput(const Flags& flags,
+                        const std::vector<analysis::RunSample>& samples,
+                        std::uint64_t faults) {
+  const std::string output = flags.GetString("output");
+  const bool annotate = flags.GetBool("annotate") || faults > 0;
+  if (output.empty() || output == "-") {
+    if (annotate) {
+      analysis::WriteSamplesCsvAnnotated(std::cout, samples, faults);
+    } else {
+      analysis::WriteSamplesCsv(std::cout, samples);
+    }
+    return 0;
+  }
+  std::string error;
+  bool ok;
+  if (annotate) {
+    ok = analysis::WriteSamplesCsvFileAtomic(output, samples, faults, &error);
   } else {
-    std::fprintf(stderr, "spta_cli: unknown platform '%s'\n",
-                 platform_name.c_str());
+    std::ostringstream text;
+    analysis::WriteSamplesCsv(text, samples);
+    ok = AtomicWriteFile(output, text.str(), &error);
+  }
+  if (!ok) {
+    std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
     return 2;
   }
+  std::fprintf(stderr, "spta_cli: wrote %zu samples to %s%s\n",
+               samples.size(), output.c_str(),
+               faults > 0 ? " (TAINTED)" : "");
+  return 0;
+}
+
+/// Reports a checkpointed execution; returns the exit code (0 also for
+/// the deliberate --abort-after stop, which leaves the journal behind for
+/// a later --resume and writes no CSV).
+int FinishCheckpointed(const Flags& flags,
+                       const analysis::CheckpointedCampaignResult& result) {
+  if (result.resumed_runs > 0 || result.torn_lines > 0) {
+    std::fprintf(stderr,
+                 "spta_cli: restored %zu runs from journal "
+                 "(%zu torn lines dropped)\n",
+                 result.resumed_runs, result.torn_lines);
+  }
+  if (!result.completed) {
+    std::fprintf(stderr,
+                 "spta_cli: stopped by --abort-after; rerun with "
+                 "--checkpoint ... --resume to finish\n");
+    return 0;
+  }
+  return WriteCampaignOutput(flags, result.samples, /*faults=*/0);
+}
+
+int RunCampaign(const Flags& flags) {
+  bool platform_ok = false;
+  const sim::PlatformConfig config = PlatformFromFlags(flags, &platform_ok);
+  if (!platform_ok) return 2;
 
   analysis::CampaignConfig cc;
   cc.runs = static_cast<std::size_t>(flags.GetInt("runs", 1000));
@@ -124,33 +252,51 @@ int RunCampaign(const Flags& flags) {
 
   const std::size_t jobs = JobsFlag(flags);
   const apps::TvcaApp app;
-  std::fprintf(stderr, "spta_cli: %zu runs on %s (%zu jobs)...\n", cc.runs,
-               config.name.c_str(), jobs);
-  const auto samples = analysis::RunTvcaCampaignParallel(config, app, cc, jobs);
+  const fault::FaultCampaignConfig fc = FaultPlanFromFlags(flags, cc);
+  const bool faulty = fc.seu.Enabled() || fc.reseed_dropout > 0.0;
 
-  const std::string output = flags.GetString("output");
-  if (output.empty() || output == "-") {
-    analysis::WriteSamplesCsv(std::cout, samples);
-  } else {
-    std::ofstream out(output);
-    if (!out) {
-      std::fprintf(stderr, "spta_cli: cannot write '%s'\n", output.c_str());
+  if (flags.Has("checkpoint")) {
+    if (faulty) {
+      std::fprintf(stderr,
+                   "spta_cli: --checkpoint journals clean campaigns only "
+                   "(drop the fault flags)\n");
       return 2;
     }
-    analysis::WriteSamplesCsv(out, samples);
-    std::fprintf(stderr, "spta_cli: wrote %zu samples to %s\n",
-                 samples.size(), output.c_str());
+    const analysis::CheckpointOptions copts = CheckpointFromFlags(flags);
+    analysis::CheckpointedCampaignResult result;
+    std::string error;
+    std::fprintf(stderr,
+                 "spta_cli: %zu runs on %s (%zu jobs, journal %s)...\n",
+                 cc.runs, config.name.c_str(), jobs,
+                 copts.journal_path.c_str());
+    if (!analysis::RunTvcaCampaignCheckpointed(config, app, cc, jobs, copts,
+                                               &result, &error)) {
+      std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
+      return 2;
+    }
+    return FinishCheckpointed(flags, result);
   }
-  return 0;
+
+  std::fprintf(stderr, "spta_cli: %zu runs on %s (%zu jobs)...\n", cc.runs,
+               config.name.c_str(), jobs);
+  if (faulty) {
+    const auto result = fault::RunTvcaCampaignWithFaults(config, app, fc, jobs);
+    std::fprintf(stderr,
+                 "spta_cli: fault plan fired: %llu SEU flips, "
+                 "%llu reseeds dropped\n",
+                 static_cast<unsigned long long>(result.faults_injected),
+                 static_cast<unsigned long long>(result.reseeds_dropped));
+    return WriteCampaignOutput(
+        flags, result.samples,
+        result.faults_injected + result.reseeds_dropped);
+  }
+  const auto samples = analysis::RunTvcaCampaignParallel(config, app, cc, jobs);
+  return WriteCampaignOutput(flags, samples, /*faults=*/0);
 }
 
 int RunAnalyze(const Flags& flags) {
-  const auto obs = LoadSamples(flags);
-  if (obs.size() < 50) {
-    std::fprintf(stderr, "spta_cli: need at least 50 samples, got %zu\n",
-                 obs.size());
-    return 2;
-  }
+  analysis::CsvMeta meta;
+  const auto obs = LoadSamples(flags, &meta);
   mbpta::MbptaOptions opts;
   opts.block_size =
       static_cast<std::size_t>(flags.GetInt("block-size", 0));
@@ -159,10 +305,24 @@ int RunAnalyze(const Flags& flags) {
       static_cast<std::size_t>(flags.GetInt("lags", 20));
   opts.min_blocks = static_cast<std::size_t>(flags.GetInt("min-blocks", 30));
 
-  const auto times = Times(obs);
-  const auto result = mbpta::AnalyzeSample(times, opts);
+  const auto guarded = analysis::AnalyzeObservationsGuarded(
+      obs, opts, analysis::ProvenanceFromMeta(meta));
+  if (!guarded.result.has_value()) {
+    // Unfit before any statistics ran: tainted, digest mismatch, too few
+    // samples. Reject with the typed diagnosis — never fit anyway.
+    std::fprintf(stderr, "spta_cli: analysis rejected (%s): %s\n",
+                 analysis::DiagnosisCodeName(guarded.diagnosis.code),
+                 guarded.diagnosis.message.c_str());
+    return 2;
+  }
+  if (meta.digest.has_value()) {
+    std::printf("sample integrity: digest verified over %zu rows\n",
+                obs.size());
+  }
+  const auto& result = *guarded.result;
   std::cout << mbpta::RenderReport(result, "spta_cli analysis");
 
+  const auto times = Times(obs);
   if (flags.GetBool("histogram")) {
     const Histogram h = Histogram::FromSample(times, 20);
     std::printf("execution-time histogram:\n%s", h.Ascii(48).c_str());
@@ -186,7 +346,15 @@ int RunAnalyze(const Flags& flags) {
 }
 
 int RunConvergence(const Flags& flags) {
-  const auto obs = LoadSamples(flags);
+  analysis::CsvMeta meta;
+  const auto obs = LoadSamples(flags, &meta);
+  if (meta.Tainted()) {
+    std::fprintf(stderr,
+                 "spta_cli: sample is tainted (%llu faults injected); "
+                 "refusing convergence analysis\n",
+                 static_cast<unsigned long long>(meta.faults));
+    return 2;
+  }
   mbpta::ConvergenceOptions opts;
   opts.initial_runs =
       static_cast<std::size_t>(flags.GetInt("initial", 250));
@@ -231,40 +399,54 @@ int RunSimulate(const Flags& flags) {
     std::fprintf(stderr, "spta_cli: simulate needs --trace FILE\n");
     return 2;
   }
-  const std::string platform_name = flags.GetString("platform", "rand");
-  sim::PlatformConfig config;
-  if (platform_name == "rand") {
-    config = sim::RandLeon3Config();
-  } else if (platform_name == "det") {
-    config = sim::DetLeon3Config();
-  } else if (platform_name == "rand-op") {
-    config = sim::RandLeon3OperationConfig();
-  } else {
-    std::fprintf(stderr, "spta_cli: unknown platform '%s'\n",
-                 platform_name.c_str());
-    return 2;
-  }
+  bool platform_ok = false;
+  const sim::PlatformConfig config = PlatformFromFlags(flags, &platform_ok);
+  if (!platform_ok) return 2;
   const trace::Trace t = trace::LoadTraceFile(path);
   const auto runs = static_cast<std::size_t>(flags.GetInt("runs", 1000));
   const auto seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 20170327));
   const std::size_t jobs = JobsFlag(flags);
-  const auto samples =
-      analysis::RunFixedTraceCampaignParallel(config, t, runs, seed, jobs);
-  const std::string output = flags.GetString("output");
-  if (output.empty() || output == "-") {
-    analysis::WriteSamplesCsv(std::cout, samples);
-  } else {
-    std::ofstream out(output);
-    if (!out) {
-      std::fprintf(stderr, "spta_cli: cannot write '%s'\n", output.c_str());
+
+  analysis::CampaignConfig cc;
+  cc.runs = runs;
+  cc.master_seed = seed;
+  const fault::FaultCampaignConfig fc = FaultPlanFromFlags(flags, cc);
+  const bool faulty = fc.seu.Enabled() || fc.reseed_dropout > 0.0;
+
+  if (flags.Has("checkpoint")) {
+    if (faulty) {
+      std::fprintf(stderr,
+                   "spta_cli: --checkpoint journals clean campaigns only "
+                   "(drop the fault flags)\n");
       return 2;
     }
-    analysis::WriteSamplesCsv(out, samples);
-    std::fprintf(stderr, "spta_cli: wrote %zu samples to %s\n",
-                 samples.size(), output.c_str());
+    const analysis::CheckpointOptions copts = CheckpointFromFlags(flags);
+    analysis::CheckpointedCampaignResult result;
+    std::string error;
+    if (!analysis::RunFixedTraceCampaignCheckpointed(
+            config, t, runs, seed, jobs, copts, &result, &error)) {
+      std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
+      return 2;
+    }
+    return FinishCheckpointed(flags, result);
   }
-  return 0;
+
+  if (faulty) {
+    const auto result =
+        fault::RunFixedTraceCampaignWithFaults(config, t, fc, jobs);
+    std::fprintf(stderr,
+                 "spta_cli: fault plan fired: %llu SEU flips, "
+                 "%llu reseeds dropped\n",
+                 static_cast<unsigned long long>(result.faults_injected),
+                 static_cast<unsigned long long>(result.reseeds_dropped));
+    return WriteCampaignOutput(
+        flags, result.samples,
+        result.faults_injected + result.reseeds_dropped);
+  }
+  const auto samples =
+      analysis::RunFixedTraceCampaignParallel(config, t, runs, seed, jobs);
+  return WriteCampaignOutput(flags, samples, /*faults=*/0);
 }
 
 }  // namespace

@@ -18,21 +18,39 @@
 //       Graceful drain: the daemon answers every accepted request, then
 //       exits.
 //
+// Resilience flags (all commands):
+//   --retries N        total attempts incl. the first (default 4; 1 = off)
+//   --retry-base-ms B  decorrelated-jitter base delay   (default 25)
+//   --retry-cap-ms C   decorrelated-jitter delay cap    (default 2000)
+//   --retry-seed S     jitter stream seed — replayable  (default 1)
+//   --timeout-ms T     per-attempt I/O deadline (SO_RCVTIMEO/SO_SNDTIMEO);
+//                      0 = wait forever (default)
+// Retryable failures — connect errors, ERR transport (stream died
+// mid-exchange), ERR deadline, and ERR busy (bounded-queue backpressure)
+// — are reattempted on a fresh connection after a decorrelated-jitter
+// sleep (docs/FAULTS.md). Everything else fails immediately.
+//
 // Exit code: 0 on OK (for analyze: also requires usable=1), 1 on an
-// unusable analysis, 2 on transport/usage errors.
+// unusable analysis, 2 on transport/usage/permanent errors, 3 when the
+// daemon was still ERR-busy after all retries (back off and rerun later —
+// the request itself is fine).
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "analysis/sample_io.hpp"
 #include "common/flags.hpp"
 #include "service/client.hpp"
+#include "service/retry.hpp"
 
 namespace {
 
 using namespace spta;
+
+constexpr int kExitBusy = 3;
 
 int Usage() {
   std::fprintf(
@@ -42,7 +60,9 @@ int Usage() {
       "  analyze  --input FILE [--prob P] [--per-path] [--block-size B] "
       "[--deadline-ms D]\n"
       "  session  --input FILE [--name NAME] [--chunk N] [--prob P] "
-      "[--per-path]\n");
+      "[--per-path]\n"
+      "  common   [--retries N] [--retry-base-ms B] [--retry-cap-ms C] "
+      "[--retry-seed S] [--timeout-ms T]\n");
   return 2;
 }
 
@@ -82,13 +102,31 @@ service::Args AnalysisOptions(const Flags& flags) {
   return options;
 }
 
+service::RetryPolicy PolicyFromFlags(const Flags& flags) {
+  service::RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(flags.GetInt("retries", 4));
+  policy.base = std::chrono::milliseconds(flags.GetInt("retry-base-ms", 25));
+  policy.cap = std::chrono::milliseconds(flags.GetInt("retry-cap-ms", 2000));
+  policy.seed = static_cast<std::uint64_t>(flags.GetInt("retry-seed", 1));
+  if (policy.max_attempts < 1 || policy.base.count() < 0 ||
+      policy.cap.count() < policy.base.count()) {
+    std::fprintf(stderr,
+                 "spta_client: need --retries >= 1 and "
+                 "0 <= --retry-base-ms <= --retry-cap-ms\n");
+    std::exit(2);
+  }
+  return policy;
+}
+
 /// Prints a response's args and payload; returns the command exit code.
+/// ERR busy gets its own code so callers/scripts can distinguish "the
+/// daemon is saturated, resubmit later" from permanent failures.
 int Report(const service::Response& response) {
   if (!response.ok) {
-    std::fprintf(stderr, "spta_client: ERR %s: %s\n",
-                 response.args.GetString("code", "?").c_str(),
+    const std::string code = response.args.GetString("code", "?");
+    std::fprintf(stderr, "spta_client: ERR %s: %s\n", code.c_str(),
                  response.payload.c_str());
-    return 2;
+    return code == "busy" ? kExitBusy : 2;
   }
   const std::string args = response.args.Encode();
   if (!args.empty()) std::printf("%s\n", args.c_str());
@@ -99,8 +137,9 @@ int Report(const service::Response& response) {
              : 0;
 }
 
-int RunSession(service::Client& client, const Flags& flags) {
-  const auto observations = LoadSamples(flags);
+int RunSession(service::Client& client, const Flags& flags,
+               const std::vector<mbpta::PathObservation>& observations,
+               service::RetrySchedule* schedule, int max_attempts) {
   const std::string name = flags.GetString("name", "cli");
   const std::size_t chunk =
       static_cast<std::size_t>(flags.GetInt("chunk", 250));
@@ -126,7 +165,23 @@ int RunSession(service::Client& client, const Flags& flags) {
                    response.args.GetString("runs_required", "?").c_str());
     }
   }
-  response = client.AnalyzeSession(name, AnalysisOptions(flags));
+  // The session holds the ingested sample server-side, so an ERR busy on
+  // the final ANALYZE is retried in place — no re-ingestion needed.
+  for (int attempt = 1;; ++attempt) {
+    response = client.AnalyzeSession(name, AnalysisOptions(flags));
+    if (response.ok ||
+        response.args.GetString("code", "") != "busy" ||
+        attempt >= max_attempts) {
+      break;
+    }
+    const auto delay = schedule->NextDelay();
+    std::fprintf(stderr,
+                 "spta_client: daemon busy, retrying analyze in %lld ms "
+                 "(attempt %d/%d)\n",
+                 static_cast<long long>(delay.count()), attempt,
+                 max_attempts);
+    std::this_thread::sleep_for(delay);
+  }
   const int code = Report(response);
   client.Close(name);
   return code;
@@ -140,25 +195,69 @@ int main(int argc, char** argv) {
   const Flags flags(argc - 1, argv + 1);
   const std::string socket_path = flags.GetString("socket");
   if (socket_path.empty()) return Usage();
-
-  std::string error;
-  const auto connection =
-      service::UnixSocketConnection::Connect(socket_path, &error);
-  if (!connection) {
-    std::fprintf(stderr, "spta_client: %s\n", error.c_str());
-    return 2;
+  if (command != "ping" && command != "analyze" && command != "session" &&
+      command != "metrics" && command != "shutdown") {
+    std::fprintf(stderr, "spta_client: unknown command '%s'\n",
+                 command.c_str());
+    return Usage();
   }
-  service::Client client(connection->in(), connection->out());
 
-  if (command == "ping") return Report(client.Ping());
-  if (command == "analyze") {
-    return Report(client.AnalyzeInline(LoadSamples(flags),
-                                       AnalysisOptions(flags)));
+  // Load the sample before the first connect so a bad --input fails fast
+  // and every retry attempt resends identical bytes.
+  std::vector<mbpta::PathObservation> observations;
+  if (command == "analyze" || command == "session") {
+    observations = LoadSamples(flags);
   }
-  if (command == "session") return RunSession(client, flags);
-  if (command == "metrics") return Report(client.Metrics());
-  if (command == "shutdown") return Report(client.Shutdown());
-  std::fprintf(stderr, "spta_client: unknown command '%s'\n",
-               command.c_str());
-  return Usage();
+
+  const service::RetryPolicy policy = PolicyFromFlags(flags);
+  service::RetrySchedule schedule(policy);
+  const double timeout_ms = flags.GetDouble("timeout-ms", 0.0);
+
+  int exit_code = 2;
+  for (int attempt = 1;; ++attempt) {
+    // Fresh connection per attempt: after a transport fault (short write,
+    // mid-frame disconnect, injected or real) the old stream's framing
+    // state is unusable.
+    std::string error;
+    service::Response response;
+    const auto connection = service::UnixSocketConnection::Connect(
+        socket_path, &error, timeout_ms);
+    if (!connection) {
+      response = service::ErrResponse("transport", error);
+    } else {
+      service::Client client(connection->in(), connection->out());
+      if (command == "ping") {
+        response = client.Ping();
+      } else if (command == "analyze") {
+        response = client.AnalyzeInline(observations, AnalysisOptions(flags));
+      } else if (command == "session") {
+        // Session mode handles its own busy-retry (the ingested sample
+        // lives server-side); only connect/transport failures reach the
+        // outer loop via the returned code.
+        exit_code = RunSession(client, flags, observations, &schedule,
+                               policy.max_attempts);
+        return exit_code;
+      } else if (command == "metrics") {
+        response = client.Metrics();
+      } else {  // shutdown
+        response = client.Shutdown();
+      }
+    }
+
+    const std::string code =
+        response.ok ? "" : response.args.GetString("code", "");
+    if (response.ok || !service::RetryableErrCode(code) ||
+        attempt >= policy.max_attempts) {
+      exit_code = Report(response);
+      break;
+    }
+    const auto delay = schedule.NextDelay();
+    std::fprintf(stderr,
+                 "spta_client: attempt %d/%d failed (ERR %s), retrying in "
+                 "%lld ms\n",
+                 attempt, policy.max_attempts, code.c_str(),
+                 static_cast<long long>(delay.count()));
+    std::this_thread::sleep_for(delay);
+  }
+  return exit_code;
 }

@@ -10,11 +10,26 @@
 //       Serves a single framed request stream on stdin/stdout (inetd
 //       style; also what the tests and scripted clients use).
 //
+// Robustness contract:
+//   * SIGPIPE is ignored — a client that disconnects mid-response must
+//     surface as a write error on that connection, never kill the daemon.
+//   * SIGTERM/SIGINT trigger the same drain-on-shutdown path as an in-band
+//     SHUTDOWN request: the handler writes one byte to a self-pipe
+//     (async-signal-safe) and a watcher thread calls
+//     Server::TriggerShutdown(), so in-flight analyses still get their
+//     responses before exit.
+//
 // Protocol, session model and cache semantics: docs/SERVICE.md.
+// Fault-injection and degradation model: docs/FAULTS.md.
 
+#include <csignal>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/flags.hpp"
 #include "service/server.hpp"
@@ -28,6 +43,31 @@ int Usage() {
                "usage: spta_serve (--socket PATH | --pipe) [--workers N] "
                "[--queue N] [--cache N] [--deadline-ms D]\n");
   return 2;
+}
+
+/// Self-pipe written by the signal handler, drained by the watcher thread.
+/// File-scope because signal handlers cannot capture state.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void OnTerminationSignal(int) {
+  // write() is async-signal-safe; TriggerShutdown (locks) is not, so the
+  // heavy lifting is deferred to the watcher thread on the read end.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Blocks until the handler pings the self-pipe (or it closes), then runs
+/// the graceful shutdown. In pipe mode there is no listener to unblock, so
+/// stdin is closed as well — the stream reader sees EOF and winds down.
+void WatchSignals(service::Server* server, bool pipe_mode) {
+  ssize_t n;
+  char byte;
+  while ((n = ::read(g_signal_pipe[0], &byte, 1)) < 0 && errno == EINTR) {
+  }
+  if (n <= 0) return;  // write end closed: normal exit, nothing to do
+  std::fprintf(stderr, "spta_serve: termination signal; draining...\n");
+  server->TriggerShutdown();
+  if (pipe_mode) ::close(STDIN_FILENO);
 }
 
 }  // namespace
@@ -51,6 +91,19 @@ int main(int argc, char** argv) {
   }
 
   service::Server server(options);
+
+  // A dead peer is an ERR on its own connection, never a daemon death.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::thread watcher;
+  if (::pipe(g_signal_pipe) == 0) {
+    watcher = std::thread(WatchSignals, &server, pipe_mode);
+    std::signal(SIGTERM, OnTerminationSignal);
+    std::signal(SIGINT, OnTerminationSignal);
+  } else {
+    std::fprintf(stderr,
+                 "spta_serve: self-pipe failed; signals exit ungracefully\n");
+  }
+
   int exit_code = 0;
   if (pipe_mode) {
     server.ServeStream(std::cin, std::cout);
@@ -63,6 +116,16 @@ int main(int argc, char** argv) {
                    err);
       exit_code = 1;
     }
+  }
+
+  if (watcher.joinable()) {
+    // Serving is over (in-band SHUTDOWN or signal). Unblock the watcher by
+    // closing the write end, then reap it.
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    ::close(g_signal_pipe[1]);
+    watcher.join();
+    ::close(g_signal_pipe[0]);
   }
 
   std::fprintf(stderr, "spta_serve: exiting; final metrics:\n%s",
