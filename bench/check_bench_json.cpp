@@ -7,6 +7,8 @@
 //
 //   BENCH_sim_hotpath.json      throughput + latency trajectory
 //   BENCH_fault_overhead.json   zero-fault-path A/B gate (docs/FAULTS.md)
+//   BENCH_obs_overhead.json     disabled-span A/B gate
+//                               (docs/OBSERVABILITY.md)
 //
 // Each file must be one flat JSON object, every required key present, every
 // numeric field a finite number (nulls — the reporter's spelling of
@@ -185,6 +187,7 @@ int main(int argc, char** argv) {
   const std::string dir = scratch;
   const std::string hotpath_json = dir + "/BENCH_sim_hotpath.json";
   const std::string fault_json = dir + "/BENCH_fault_overhead.json";
+  const std::string obs_json = dir + "/BENCH_obs_overhead.json";
 
   ::setenv("SPTA_BENCH_RUNS", "50", /*overwrite=*/1);
   ::setenv("SPTA_BENCH_JSON_DIR", dir.c_str(), /*overwrite=*/1);
@@ -226,11 +229,31 @@ int main(int argc, char** argv) {
     Fail("fault_overhead: null-hook run was not bit-identical to plain run");
   }
 
+  // The obs-span gate artifact: the disabled path must stay bit-identical
+  // (checksum_match covers the tracer-enabled leg too — recording must not
+  // perturb simulated behavior either).
+  std::map<std::string, std::string> obs_numbers;
+  ValidateReport(obs_json, "obs_overhead",
+                 {"plain_runs_per_sec", "obs_runs_per_sec", "overhead_pct",
+                  "enabled_runs_per_sec", "enabled_overhead_pct",
+                  "trace_events_recorded", "acceptance_pct", "gate_pct",
+                  "checksum_match"},
+                 &obs_numbers);
+  if (obs_numbers.count("checksum_match") &&
+      Number(obs_numbers, "checksum_match", 0.0) != 1.0) {
+    Fail("obs_overhead: span-wrapped run was not bit-identical to bare run");
+  }
+  if (obs_numbers.count("trace_events_recorded") &&
+      !(Number(obs_numbers, "trace_events_recorded", 0.0) > 0.0)) {
+    Fail("obs_overhead: enabled leg recorded no trace events");
+  }
+
   std::remove(hotpath_json.c_str());
   std::remove(fault_json.c_str());
+  std::remove(obs_json.c_str());
   ::rmdir(dir.c_str());
   if (g_failures == 0) {
-    std::printf("bench JSON schema check passed (both artifacts)\n");
+    std::printf("bench JSON schema check passed (all three artifacts)\n");
     return 0;
   }
   std::fprintf(stderr, "%d failure(s)\n", g_failures);

@@ -22,6 +22,7 @@
 #include "analysis/campaign.hpp"
 #include "apps/tvca.hpp"
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 #include "sim/platform.hpp"
 
 namespace {
@@ -168,6 +169,87 @@ int main() {
   fault_report.Set("gate_pct", 10.0);
   fault_report.Set("checksum_match", bits_match ? 1.0 : 0.0);
   if (fault_report.Write().empty()) failed = true;
+
+  // --- obs span overhead gate (docs/OBSERVABILITY.md) ------------------
+  // The observability contract is that the trace-span macros cost the
+  // measurement loop nothing when runtime-disabled (a relaxed load + a
+  // predicted branch per span) and never perturb simulated behavior in
+  // either state. A/B-interleave a bare run against a span-wrapped run on
+  // identical seeds with the tracer disabled: same cycles (bit-identity)
+  // and within-noise timing, same 2%/10% acceptance/gate split as the
+  // fault gate. A third, informational leg re-times the span-wrapped run
+  // with the tracer ENABLED — recording cost, not gated (campaigns opt
+  // into it with --trace-out), but recorded for the trajectory.
+  obs::Tracer::Instance().Disable();
+  double bare_s = 0.0, span_s = 0.0;
+  unsigned long long bare_sum = 0, span_sum = 0;
+  for (std::size_t i = 0; i < ab_pairs; ++i) {
+    const auto seed = analysis::FixedTraceRunSeed(kMasterSeed, i);
+    const auto a0 = Clock::now();
+    const auto ra = platform.Run(trace, seed);
+    const auto a1 = Clock::now();
+    {
+      SPTA_OBS_SPAN_ARG("bench", "run", "run", i);
+      span_sum += platform.Run(trace, seed).cycles;
+    }
+    const auto b1 = Clock::now();
+    bare_s += std::chrono::duration<double>(a1 - a0).count();
+    span_s += std::chrono::duration<double>(b1 - a1).count();
+    bare_sum += ra.cycles;
+  }
+  const double obs_overhead_pct =
+      bare_s > 0.0 ? (span_s - bare_s) / bare_s * 100.0 : 0.0;
+  const bool obs_bits_match = bare_sum == span_sum;
+
+  obs::Tracer::Instance().Enable();
+  double enabled_s = 0.0;
+  unsigned long long enabled_sum = 0;
+  for (std::size_t i = 0; i < ab_pairs; ++i) {
+    const auto seed = analysis::FixedTraceRunSeed(kMasterSeed, i);
+    const auto e0 = Clock::now();
+    {
+      SPTA_OBS_SPAN_ARG("bench", "run_traced", "run", i);
+      enabled_sum += platform.Run(trace, seed).cycles;
+    }
+    enabled_s += std::chrono::duration<double>(Clock::now() - e0).count();
+  }
+  const auto tracer_stats = obs::Tracer::Instance().GetStats();
+  obs::Tracer::Instance().Disable();
+  obs::Tracer::Instance().Clear();
+  const double enabled_overhead_pct =
+      bare_s > 0.0 ? (enabled_s - bare_s) / bare_s * 100.0 : 0.0;
+  const bool enabled_bits_match = bare_sum == enabled_sum;
+
+  std::printf(
+      "\nobs span overhead (%zu A/B pairs): bare %.2f runs/sec, "
+      "disabled-span %.2f runs/sec -> %+.2f%%\n",
+      ab_pairs, static_cast<double>(ab_pairs) / bare_s,
+      static_cast<double>(ab_pairs) / span_s, obs_overhead_pct);
+  std::printf("  enabled-span    : %.2f runs/sec -> %+.2f%% "
+              "(informational; %llu events recorded)\n",
+              static_cast<double>(ab_pairs) / enabled_s,
+              enabled_overhead_pct,
+              static_cast<unsigned long long>(tracer_stats.recorded));
+  std::printf("  acceptance <= 2%% (gate trips only above 10%%); "
+              "bit-identity %s\n",
+              obs_bits_match && enabled_bits_match ? "OK" : "MISMATCH");
+  failed = failed || !obs_bits_match || !enabled_bits_match ||
+           obs_overhead_pct > 10.0;
+
+  bench::JsonReport obs_report("obs_overhead", ab_pairs);
+  obs_report.Set("plain_runs_per_sec", static_cast<double>(ab_pairs) / bare_s);
+  obs_report.Set("obs_runs_per_sec", static_cast<double>(ab_pairs) / span_s);
+  obs_report.Set("overhead_pct", obs_overhead_pct);
+  obs_report.Set("enabled_runs_per_sec",
+                 static_cast<double>(ab_pairs) / enabled_s);
+  obs_report.Set("enabled_overhead_pct", enabled_overhead_pct);
+  obs_report.Set("trace_events_recorded",
+                 static_cast<double>(tracer_stats.recorded));
+  obs_report.Set("acceptance_pct", 2.0);
+  obs_report.Set("gate_pct", 10.0);
+  obs_report.Set("checksum_match",
+                 obs_bits_match && enabled_bits_match ? 1.0 : 0.0);
+  if (obs_report.Write().empty()) failed = true;
 
   return failed ? 1 : 0;
 }

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/hash.hpp"
+#include "obs/trace.hpp"
 
 namespace spta::analysis {
 
@@ -26,6 +27,7 @@ std::vector<RunSample> RunTvcaCampaign(sim::Platform& platform,
                                        const apps::TvcaApp& app,
                                        const CampaignConfig& config) {
   SPTA_REQUIRE(config.runs >= 1);
+  SPTA_OBS_SPAN_ARG("campaign", "tvca_campaign", "runs", config.runs);
   std::vector<RunSample> samples;
   samples.reserve(config.runs);
 
@@ -44,6 +46,7 @@ std::vector<RunSample> RunTvcaCampaign(sim::Platform& platform,
     const apps::TvcaFrame& frame = it->second;
 
     const Seed run_seed = TvcaRunSeed(config, r);
+    SPTA_OBS_SPAN_ARG("campaign", "run", "run", r);
     RunSample s;
     s.detail = platform.Run(frame.trace, run_seed);
     s.cycles = static_cast<double>(s.detail.cycles);
@@ -62,9 +65,11 @@ std::vector<RunSample> RunFixedTraceCampaign(sim::Platform& platform,
                                              std::size_t runs,
                                              std::uint64_t master_seed) {
   SPTA_REQUIRE(runs >= 1);
+  SPTA_OBS_SPAN_ARG("campaign", "fixed_trace_campaign", "runs", runs);
   std::vector<RunSample> samples;
   samples.reserve(runs);
   for (std::size_t r = 0; r < runs; ++r) {
+    SPTA_OBS_SPAN_ARG("campaign", "run", "run", r);
     RunSample s;
     s.detail = platform.Run(t, FixedTraceRunSeed(master_seed, r));
     s.cycles = static_cast<double>(s.detail.cycles);

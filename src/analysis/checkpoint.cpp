@@ -18,19 +18,23 @@
 #include "common/atomic_file.hpp"
 #include "common/hash.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "sim/platform.hpp"
 
 namespace spta::analysis {
 namespace {
 
-constexpr char kHeaderMagic[] = "spta-ckpt1";
+// v2: run lines grew store-buffer high-water + PRNG consumption fields
+// (26 sample fields); v1 journals are rejected as alien rather than
+// silently re-running every line as torn.
+constexpr char kHeaderMagic[] = "spta-ckpt2";
 constexpr char kRunTag[] = "run";
 
 /// Flattens one journalled sample to the numeric fields of its line,
 /// excluding the run index (prepended by the caller). CacheStats carries
 /// derived-only extras, so accesses/misses per structure is the complete
 /// state.
-std::array<std::uint64_t, 23> SampleFields(const RunSample& s) {
+std::array<std::uint64_t, 26> SampleFields(const RunSample& s) {
   const sim::RunResult& d = s.detail;
   return {static_cast<std::uint64_t>(s.path_id),
           d.cycles,
@@ -54,10 +58,13 @@ std::array<std::uint64_t, 23> SampleFields(const RunSample& s) {
           d.dram.accesses,
           d.dram.row_hits,
           d.dram.refresh_stall_cycles,
+          d.store_buffer.high_water,
+          d.prng.words,
+          d.prng.rejections,
           0 /* reserved */};
 }
 
-RunSample SampleFromFields(const std::array<std::uint64_t, 23>& f) {
+RunSample SampleFromFields(const std::array<std::uint64_t, 26>& f) {
   RunSample s;
   s.path_id = static_cast<std::uint32_t>(f[0]);
   sim::RunResult& d = s.detail;
@@ -82,6 +89,9 @@ RunSample SampleFromFields(const std::array<std::uint64_t, 23>& f) {
   d.dram.accesses = f[19];
   d.dram.row_hits = f[20];
   d.dram.refresh_stall_cycles = f[21];
+  d.store_buffer.high_water = f[22];
+  d.prng.words = f[23];
+  d.prng.rejections = f[24];
   s.cycles = static_cast<double>(d.cycles);
   return s;
 }
@@ -211,11 +221,13 @@ bool CheckpointJournal::OpenExisting(const std::string& path,
 bool CheckpointJournal::Append(std::uint64_t run_index, const RunSample& sample,
                                std::string* error) {
   SPTA_REQUIRE(IsOpen());
+  SPTA_OBS_SPAN_ARG("checkpoint", "append", "run", run_index);
   if (!WriteAll(fd_, FormatRunLine(run_index, sample))) {
     return SysError(error, "append", "journal");
   }
   if (++appends_since_sync_ >= fsync_interval_) {
     appends_since_sync_ = 0;
+    SPTA_OBS_SPAN("checkpoint", "fsync");
     if (!FsyncFd(fd_)) return SysError(error, "fsync", "journal");
   }
   return true;
@@ -234,6 +246,7 @@ bool CheckpointJournal::Close(std::string* error) {
 
 bool LoadCheckpoint(const std::string& path, CheckpointLoad* out,
                     std::string* error) {
+  SPTA_OBS_SPAN("checkpoint", "load");
   *out = CheckpointLoad{};
   std::ifstream in(path);
   if (!in) return SysError(error, "open", path);
@@ -260,7 +273,7 @@ bool LoadCheckpoint(const std::string& path, CheckpointLoad* out,
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (!ParseLine(line, &tag, &fields, &crc) || tag != kRunTag ||
-        fields.size() != 24 || crc != LineChecksum(kRunTag, fields)) {
+        fields.size() != 27 || crc != LineChecksum(kRunTag, fields)) {
       // A torn write: the record never durably happened. Drop it — the
       // run will simply be re-executed on resume.
       ++out->torn_lines;
@@ -271,7 +284,7 @@ bool LoadCheckpoint(const std::string& path, CheckpointLoad* out,
       ++out->torn_lines;
       continue;
     }
-    std::array<std::uint64_t, 23> sample_fields;
+    std::array<std::uint64_t, 26> sample_fields;
     std::copy(fields.begin() + 1, fields.end(), sample_fields.begin());
     if (!out->samples[run_index].has_value()) ++out->completed;
     out->samples[run_index] = SampleFromFields(sample_fields);

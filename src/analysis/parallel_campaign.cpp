@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "sim/platform.hpp"
 
 namespace spta::analysis {
@@ -62,7 +63,10 @@ std::vector<RunSample> RunTvcaCampaignParallel(
 
   ThreadPool pool(jobs);
   PlatformArenas arenas(platform_config, pool.size());
+  SPTA_OBS_SPAN_ARG("campaign", "tvca_campaign_parallel", "runs",
+                    config.runs);
   ParallelFor(pool, config.runs, [&](std::size_t r) {
+    SPTA_OBS_SPAN_ARG("campaign", "run", "run", r);
     const Seed run_seed = TvcaRunSeed(config, r);
     apps::TvcaFrame local;
     const apps::TvcaFrame* frame;
@@ -88,7 +92,10 @@ std::vector<RunSample> RunFixedTraceCampaignParallel(
   std::vector<RunSample> samples(runs);
   ThreadPool pool(jobs);
   PlatformArenas arenas(platform_config, pool.size());
+  SPTA_OBS_SPAN_ARG("campaign", "fixed_trace_campaign_parallel", "runs",
+                    runs);
   ParallelFor(pool, runs, [&](std::size_t r) {
+    SPTA_OBS_SPAN_ARG("campaign", "run", "run", r);
     const Seed run_seed = FixedTraceRunSeed(master_seed, r);
     RunSample s;
     s.detail = arenas.ForCurrentWorker().Run(t, run_seed);

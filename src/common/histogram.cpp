@@ -87,4 +87,9 @@ std::string Histogram::Ascii(std::size_t width) const {
   return oss.str();
 }
 
+Histogram MakeLatencyHistogram() {
+  return Histogram(kLatencyBinLoMicros, kLatencyBinHiMicros,
+                   kLatencyBinCount);
+}
+
 }  // namespace spta

@@ -53,4 +53,19 @@ class Histogram {
   std::uint64_t overflow_ = 0;
 };
 
+// --- Shared service-latency bin spec --------------------------------------
+// Single source of truth for every latency histogram in the system: the
+// service's hit/miss ANALYZE latencies, its queue-wait distribution, and
+// the Prometheus `le` bucket edges rendered from them (src/obs). 40 bins
+// over [0, 200ms): a cache hit lands in the first bin; a cold 3,000-sample
+// analysis lands mid-range; anything pathological shows up in overflow()
+// rather than being lost. Changing these constants changes the wire-visible
+// bucket edges — update docs/OBSERVABILITY.md alongside.
+inline constexpr double kLatencyBinLoMicros = 0.0;
+inline constexpr double kLatencyBinHiMicros = 200'000.0;
+inline constexpr std::size_t kLatencyBinCount = 40;
+
+/// A histogram with the shared latency shape above (microsecond units).
+Histogram MakeLatencyHistogram();
+
 }  // namespace spta

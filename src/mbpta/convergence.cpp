@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace spta::mbpta {
 
@@ -11,6 +12,7 @@ ConvergenceResult CheckConvergence(std::span<const double> times,
   SPTA_REQUIRE(options.initial_runs >= options.mbpta.min_blocks);
   SPTA_REQUIRE(options.step_runs >= 1);
   SPTA_REQUIRE(times.size() >= options.initial_runs);
+  SPTA_OBS_SPAN_ARG("analysis", "convergence", "n", times.size());
 
   ConvergenceResult result;
   int stable = 0;

@@ -3,6 +3,7 @@
 #include "common/assert.hpp"
 #include "evt/block_maxima.hpp"
 #include "evt/crps.hpp"
+#include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 
 namespace spta::mbpta {
@@ -15,9 +16,13 @@ double MbptaResult::PwcetAt(double p) const {
 MbptaResult AnalyzeSample(std::span<const double> times,
                           const MbptaOptions& options) {
   SPTA_REQUIRE(times.size() >= options.min_blocks);
+  SPTA_OBS_SPAN_ARG("analysis", "analyze_sample", "n", times.size());
   MbptaResult r;
   r.sample_size = times.size();
-  r.iid = RunIidGate(times, options.iid);
+  {
+    SPTA_OBS_SPAN("analysis", "iid_gate");
+    r.iid = RunIidGate(times, options.iid);
+  }
 
   r.block_size = options.block_size != 0
                      ? options.block_size
@@ -27,9 +32,13 @@ MbptaResult AnalyzeSample(std::span<const double> times,
   // A degenerate (constant) maxima sample admits no EVT fit: the platform
   // is effectively jitterless and the high watermark IS the WCET.
   if (stats::Max(maxima) > stats::Min(maxima)) {
-    r.curve = evt::PwcetCurve(evt::FitGumbelMle(maxima), r.block_size,
-                              times.size());
-    r.gev_check = evt::FitGevPwm(maxima);
+    {
+      SPTA_OBS_SPAN_ARG("analysis", "evt_fit", "maxima", maxima.size());
+      r.curve = evt::PwcetCurve(evt::FitGumbelMle(maxima), r.block_size,
+                                times.size());
+      r.gev_check = evt::FitGevPwm(maxima);
+    }
+    SPTA_OBS_SPAN("analysis", "gof");
     if (maxima.size() >= 50) {
       r.gof = evt::ChiSquareGof(maxima, r.curve->tail(), /*bins=*/10);
     }

@@ -1,0 +1,119 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace spta::obs {
+
+RunCounters RunCounters::From(std::uint64_t run, std::uint32_t path_id,
+                              const sim::RunResult& d) {
+  RunCounters c;
+  c.run = run;
+  c.path_id = path_id;
+  c.cycles = d.cycles;
+  c.instructions = d.instructions;
+  c.il1_accesses = d.il1.accesses;
+  c.il1_misses = d.il1.misses;
+  c.dl1_accesses = d.dl1.accesses;
+  c.dl1_misses = d.dl1.misses;
+  c.itlb_accesses = d.itlb.accesses;
+  c.itlb_misses = d.itlb.misses;
+  c.dtlb_accesses = d.dtlb.accesses;
+  c.dtlb_misses = d.dtlb.misses;
+  c.fpu_ops = d.fpu.operations;
+  c.fpu_cycles = d.fpu.total_cycles;
+  c.prng_words = d.prng.words;
+  c.prng_rejections = d.prng.rejections;
+  c.sb_stores = d.store_buffer.stores;
+  c.sb_full_stalls = d.store_buffer.full_stalls;
+  c.sb_stall_cycles = d.store_buffer.stall_cycles;
+  c.sb_high_water = d.store_buffer.high_water;
+  return c;
+}
+
+void CounterAggregate::Add(const RunCounters& c) {
+  if (runs == 0) {
+    cycles_min = c.cycles;
+    cycles_max = c.cycles;
+  } else {
+    cycles_min = std::min(cycles_min, c.cycles);
+    cycles_max = std::max(cycles_max, c.cycles);
+  }
+  ++runs;
+  cycles += c.cycles;
+  instructions += c.instructions;
+  il1_accesses += c.il1_accesses;
+  il1_misses += c.il1_misses;
+  dl1_accesses += c.dl1_accesses;
+  dl1_misses += c.dl1_misses;
+  itlb_accesses += c.itlb_accesses;
+  itlb_misses += c.itlb_misses;
+  dtlb_accesses += c.dtlb_accesses;
+  dtlb_misses += c.dtlb_misses;
+  fpu_ops += c.fpu_ops;
+  fpu_cycles += c.fpu_cycles;
+  prng_words += c.prng_words;
+  prng_rejections += c.prng_rejections;
+  sb_stores += c.sb_stores;
+  sb_full_stalls += c.sb_full_stalls;
+  sb_stall_cycles += c.sb_stall_cycles;
+  sb_high_water_max = std::max(sb_high_water_max, c.sb_high_water);
+}
+
+void WriteCountersCsvHeader(std::ostream& out) {
+  out << "# spta per-run microarchitectural counters "
+         "(docs/OBSERVABILITY.md)\n"
+      << "run,path_id,cycles,instructions,"
+         "il1_accesses,il1_misses,dl1_accesses,dl1_misses,"
+         "itlb_accesses,itlb_misses,dtlb_accesses,dtlb_misses,"
+         "fpu_ops,fpu_cycles,prng_words,prng_rejections,"
+         "sb_stores,sb_full_stalls,sb_stall_cycles,sb_high_water\n";
+}
+
+void WriteCountersCsvRow(std::ostream& out, const RunCounters& c) {
+  out << c.run << ',' << c.path_id << ',' << c.cycles << ','
+      << c.instructions << ',' << c.il1_accesses << ',' << c.il1_misses
+      << ',' << c.dl1_accesses << ',' << c.dl1_misses << ','
+      << c.itlb_accesses << ',' << c.itlb_misses << ',' << c.dtlb_accesses
+      << ',' << c.dtlb_misses << ',' << c.fpu_ops << ',' << c.fpu_cycles
+      << ',' << c.prng_words << ',' << c.prng_rejections << ','
+      << c.sb_stores << ',' << c.sb_full_stalls << ',' << c.sb_stall_cycles
+      << ',' << c.sb_high_water << '\n';
+}
+
+std::string RenderAggregateJson(const CounterAggregate& a) {
+  std::ostringstream os;
+  os << "{\n";
+  auto field = [&os, first = true](const char* key,
+                                   std::uint64_t value) mutable {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << key << "\": " << value;
+  };
+  field("runs", a.runs);
+  field("cycles", a.cycles);
+  field("cycles_min", a.cycles_min);
+  field("cycles_max", a.cycles_max);
+  field("instructions", a.instructions);
+  field("il1_accesses", a.il1_accesses);
+  field("il1_misses", a.il1_misses);
+  field("dl1_accesses", a.dl1_accesses);
+  field("dl1_misses", a.dl1_misses);
+  field("itlb_accesses", a.itlb_accesses);
+  field("itlb_misses", a.itlb_misses);
+  field("dtlb_accesses", a.dtlb_accesses);
+  field("dtlb_misses", a.dtlb_misses);
+  field("fpu_ops", a.fpu_ops);
+  field("fpu_cycles", a.fpu_cycles);
+  field("prng_words", a.prng_words);
+  field("prng_rejections", a.prng_rejections);
+  field("sb_stores", a.sb_stores);
+  field("sb_full_stalls", a.sb_full_stalls);
+  field("sb_stall_cycles", a.sb_stall_cycles);
+  field("sb_high_water_max", a.sb_high_water_max);
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace spta::obs

@@ -1,0 +1,93 @@
+// Per-run microarchitectural counters: the attributable complement to the
+// end-to-end execution times the campaigns already export.
+//
+// The paper's DET-vs-RAND comparison argues from *where* variability comes
+// from — random placement/replacement in IL1/DL1/ITLB/DTLB, the jitterless
+// FPU, the store buffer. `RunCounters` flattens one sim::RunResult into the
+// per-component hit/miss/stall event counts plus the PRNG consumption
+// (words drawn and rejection retries) of that run, so a campaign's sample
+// CSV can sit next to a counter CSV that attributes each time to its
+// microarchitectural causes. `CounterAggregate` sums a campaign (with
+// high-water maxima where a sum is meaningless) for the JSON summary and
+// the Prometheus surface.
+//
+// Everything here is pure post-processing of RunResult values the simulator
+// already produces — recording costs the hot path nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/core.hpp"
+
+namespace spta::obs {
+
+/// One run's counters, flattened for CSV export. Field names match the CSV
+/// column header exactly (see WriteCountersCsvHeader).
+struct RunCounters {
+  std::uint64_t run = 0;
+  std::uint32_t path_id = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t il1_accesses = 0;
+  std::uint64_t il1_misses = 0;
+  std::uint64_t dl1_accesses = 0;
+  std::uint64_t dl1_misses = 0;
+  std::uint64_t itlb_accesses = 0;
+  std::uint64_t itlb_misses = 0;
+  std::uint64_t dtlb_accesses = 0;
+  std::uint64_t dtlb_misses = 0;
+  std::uint64_t fpu_ops = 0;
+  std::uint64_t fpu_cycles = 0;
+  std::uint64_t prng_words = 0;
+  std::uint64_t prng_rejections = 0;
+  std::uint64_t sb_stores = 0;
+  std::uint64_t sb_full_stalls = 0;
+  std::uint64_t sb_stall_cycles = 0;
+  std::uint64_t sb_high_water = 0;
+
+  static RunCounters From(std::uint64_t run, std::uint32_t path_id,
+                          const sim::RunResult& detail);
+};
+
+/// Campaign-level rollup: event counts sum; occupancy high-waters take the
+/// max across runs; cycles keep min/max for a quick spread read-out.
+struct CounterAggregate {
+  std::uint64_t runs = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t cycles_min = 0;
+  std::uint64_t cycles_max = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t il1_accesses = 0;
+  std::uint64_t il1_misses = 0;
+  std::uint64_t dl1_accesses = 0;
+  std::uint64_t dl1_misses = 0;
+  std::uint64_t itlb_accesses = 0;
+  std::uint64_t itlb_misses = 0;
+  std::uint64_t dtlb_accesses = 0;
+  std::uint64_t dtlb_misses = 0;
+  std::uint64_t fpu_ops = 0;
+  std::uint64_t fpu_cycles = 0;
+  std::uint64_t prng_words = 0;
+  std::uint64_t prng_rejections = 0;
+  std::uint64_t sb_stores = 0;
+  std::uint64_t sb_full_stalls = 0;
+  std::uint64_t sb_stall_cycles = 0;
+  std::uint64_t sb_high_water_max = 0;
+
+  void Add(const RunCounters& c);
+};
+
+/// Writes the canonical CSV header line (leading `#` comment documents the
+/// producing subsystem, then the column row).
+void WriteCountersCsvHeader(std::ostream& out);
+
+/// Writes one data row in header order.
+void WriteCountersCsvRow(std::ostream& out, const RunCounters& c);
+
+/// Renders the aggregate as one flat JSON object (keys mirror the struct),
+/// suitable to sit next to BENCH_*.json artifacts.
+std::string RenderAggregateJson(const CounterAggregate& a);
+
+}  // namespace spta::obs

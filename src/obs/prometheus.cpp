@@ -1,0 +1,114 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spta::obs {
+
+void PromText::AppendNumber(double value) {
+  if (std::isnan(value)) {
+    out_ += "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    out_ += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  // Integral values print without an exponent or trailing zeros (counters
+  // are integers in practice); everything else gets shortest-round-trip.
+  char buf[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  out_ += buf;
+}
+
+void PromText::Declare(std::string_view name, std::string_view type,
+                       std::string_view help) {
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PromText::Sample(std::string_view name, double value) {
+  out_ += name;
+  out_ += ' ';
+  AppendNumber(value);
+  out_ += '\n';
+}
+
+void PromText::Sample(std::string_view name, std::string_view labels,
+                      double value) {
+  out_ += name;
+  out_ += '{';
+  out_ += labels;
+  out_ += "} ";
+  AppendNumber(value);
+  out_ += '\n';
+}
+
+void PromText::HistogramSeries(std::string_view name,
+                               std::string_view labels, const Histogram& h,
+                               double scale, double sum) {
+  const std::string bucket = std::string(name) + "_bucket";
+  const std::string prefix = labels.empty()
+                                 ? std::string()
+                                 : std::string(labels) + ",";
+  // Cumulative finite buckets. Histogram::Add clamps values >= hi into the
+  // last bin (and counts them in overflow()), but those observations exceed
+  // the last finite edge — exclude them there and let +Inf pick them up.
+  std::uint64_t cumulative = 0;
+  for (std::size_t bin = 0; bin < h.bin_count(); ++bin) {
+    cumulative += h.count(bin);
+    std::uint64_t le_count = cumulative;
+    if (bin + 1 == h.bin_count()) le_count -= h.overflow();
+    char le[64];
+    std::snprintf(le, sizeof le, "%.9g", h.bin_hi(bin) * scale);
+    out_ += bucket;
+    out_ += '{';
+    out_ += prefix;
+    out_ += "le=\"";
+    out_ += le;
+    out_ += "\"} ";
+    AppendNumber(static_cast<double>(le_count));
+    out_ += '\n';
+  }
+  out_ += bucket;
+  out_ += '{';
+  out_ += prefix;
+  out_ += "le=\"+Inf\"} ";
+  AppendNumber(static_cast<double>(h.total()));
+  out_ += '\n';
+
+  out_ += name;
+  out_ += "_count";
+  if (!labels.empty()) {
+    out_ += '{';
+    out_ += labels;
+    out_ += '}';
+  }
+  out_ += ' ';
+  AppendNumber(static_cast<double>(h.total()));
+  out_ += '\n';
+
+  out_ += name;
+  out_ += "_sum";
+  if (!labels.empty()) {
+    out_ += '{';
+    out_ += labels;
+    out_ += '}';
+  }
+  out_ += ' ';
+  AppendNumber(sum);
+  out_ += '\n';
+}
+
+}  // namespace spta::obs

@@ -1,0 +1,196 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/atomic_file.hpp"
+
+namespace spta::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+Tracer& Tracer::Instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::NowNs() {
+  // Process-wide epoch fixed at first use so every span shares one origin;
+  // steady_clock so suspend/adjtime never move recorded timestamps.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void Tracer::Enable(std::size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  thread_local std::uint64_t local_generation = 0;
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  if (local == nullptr || local_generation != generation) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    local = std::make_shared<ThreadBuffer>(capacity_, next_tid_++);
+    buffers_.push_back(local);
+    // Re-read under the lock: a Clear() racing the unlocked load above
+    // lands this buffer in the post-Clear registry, which is the
+    // generation it must adopt.
+    local_generation = generation_.load(std::memory_order_relaxed);
+  }
+  return local.get();
+}
+
+void Tracer::RecordComplete(const char* category, const char* name,
+                            std::uint64_t start_ns, std::uint64_t end_ns,
+                            const char* arg_name, std::uint64_t arg_value) {
+  TraceEvent e;
+  e.category = category;
+  e.name = name;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  e.ts_ns = start_ns;
+  e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  e.phase = 'X';
+  LocalBuffer()->Push(e);
+}
+
+void Tracer::RecordInstant(const char* category, const char* name,
+                           const char* arg_name, std::uint64_t arg_value) {
+  TraceEvent e;
+  e.category = category;
+  e.name = name;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  e.ts_ns = NowNs();
+  e.dur_ns = 0;
+  e.phase = 'i';
+  LocalBuffer()->Push(e);
+}
+
+Tracer::Stats Tracer::GetStats() const {
+  Stats stats;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  stats.threads = buffers_.size();
+  for (const auto& buffer : buffers_) {
+    stats.recorded += buffer->count.load(std::memory_order_acquire);
+    stats.dropped += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  buffers_.clear();
+  next_tid_ = 0;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+namespace {
+
+/// Escapes a string for a JSON literal. Span names are static literals, so
+/// this is belt-and-braces, not a hot path.
+void WriteJsonString(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << static_cast<char>(c);
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Microseconds with nanosecond precision, the unit of trace_event `ts`.
+void WriteMicros(std::ostream& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out << buf;
+}
+
+}  // namespace
+
+bool Tracer::WriteChromeTrace(std::ostream& out) const {
+  // Snapshot the registry, then read each buffer's published prefix without
+  // the lock: `count` is release-published by the producer, so an acquire
+  // load here sees fully written events.
+  std::vector<std::shared_ptr<ThreadBuffer>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    snapshot = buffers_;
+  }
+  const long pid = static_cast<long>(::getpid());
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : snapshot) {
+    const std::uint64_t n = buffer->count.load(std::memory_order_acquire);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const TraceEvent& e = buffer->events[i];
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "{\"name\":";
+      WriteJsonString(out, e.name);
+      out << ",\"cat\":";
+      WriteJsonString(out, e.category == nullptr ? "default" : e.category);
+      out << ",\"ph\":\"" << e.phase << "\",\"ts\":";
+      WriteMicros(out, e.ts_ns);
+      if (e.phase == 'X') {
+        out << ",\"dur\":";
+        WriteMicros(out, e.dur_ns);
+      } else {
+        // Perfetto wants a scope on instants; "t" = thread-scoped.
+        out << ",\"s\":\"t\"";
+      }
+      out << ",\"pid\":" << pid << ",\"tid\":" << buffer->tid;
+      if (e.arg_name != nullptr) {
+        out << ",\"args\":{";
+        WriteJsonString(out, e.arg_name);
+        out << ":" << e.arg_value << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return static_cast<bool>(out);
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path,
+                                  std::string* error) const {
+  std::ostringstream buffer;
+  if (!WriteChromeTrace(buffer)) {
+    if (error != nullptr) *error = path + ": trace serialization failed";
+    return false;
+  }
+  return AtomicWriteFile(path, buffer.str(), error);
+}
+
+}  // namespace spta::obs

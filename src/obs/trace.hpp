@@ -1,0 +1,214 @@
+// Deterministic-safe trace spans: zero-cost-when-disabled instrumentation
+// for the sim → analysis → service pipeline.
+//
+// Design constraints, in order:
+//   1. The measurement fast path must not pay for observability it did not
+//      ask for. The macros below compile to a single relaxed atomic load
+//      plus a predicted-not-taken branch when tracing is runtime-disabled,
+//      and to nothing at all when SPTA_OBS_TRACING is defined to 0.
+//   2. Recording must never perturb determinism. Spans carry wall-clock
+//      timestamps only; no simulator state, PRNG stream or sample value is
+//      read or written. Bit-identity of cycles/misses/pWCET is therefore
+//      structurally guaranteed (and re-checked by the A/B gate in
+//      bench/micro_sim_hotpath).
+//   3. Recording must be safe from ThreadPool workers without locks. Each
+//      thread owns a bounded single-producer buffer; the exporter reads the
+//      published prefix (acquire on the event count) from any thread. A
+//      full buffer drops new events and counts the drops — it never tears
+//      or overwrites events already published.
+//
+// Exported traces use the Chrome trace_event JSON format ("X" complete
+// events, microsecond timestamps), loadable in Perfetto (ui.perfetto.dev)
+// and chrome://tracing. See docs/OBSERVABILITY.md for the span taxonomy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Compile-time gate: building with -DSPTA_OBS_TRACING=0 (CMake option
+// SPTA_OBS_TRACING=OFF) removes every span macro from the binary.
+#ifndef SPTA_OBS_TRACING
+#define SPTA_OBS_TRACING 1
+#endif
+
+namespace spta::obs {
+
+/// One recorded span or instant. Name/category/argument-name pointers must
+/// be string literals (or otherwise outlive the tracer): events store the
+/// pointers, not copies, so recording never allocates.
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  ///< nullptr = no argument.
+  std::uint64_t arg_value = 0;
+  std::uint64_t ts_ns = 0;   ///< Start, nanoseconds since the tracer epoch.
+  std::uint64_t dur_ns = 0;  ///< 0 for instants.
+  char phase = 'X';          ///< 'X' complete span, 'i' instant.
+};
+
+/// Process-wide trace collector. All methods are safe to call from any
+/// thread; recording is lock-free (the registry mutex is taken only the
+/// first time a thread records after Enable/Clear).
+class Tracer {
+ public:
+  /// Events retained per recording thread; beyond this, events are dropped
+  /// and counted. 64Ki events ≈ 3 MiB per thread.
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  static Tracer& Instance();
+
+  /// Starts collection with `capacity` events per thread. Idempotent while
+  /// enabled (capacity changes apply to buffers created afterwards).
+  void Enable(std::size_t capacity = kDefaultCapacity);
+
+  /// Stops collection. Already-recorded events remain exportable.
+  void Disable();
+
+  /// The runtime gate the macros check. Relaxed: a span racing Enable() may
+  /// be missed, never torn.
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Monotonic nanoseconds since the process-wide tracer epoch.
+  static std::uint64_t NowNs();
+
+  /// Records a completed span with explicit endpoints — for spans whose
+  /// start and end live on different threads (e.g. service queue wait).
+  void RecordComplete(const char* category, const char* name,
+                      std::uint64_t start_ns, std::uint64_t end_ns,
+                      const char* arg_name = nullptr,
+                      std::uint64_t arg_value = 0);
+
+  /// Records a zero-duration instant event.
+  void RecordInstant(const char* category, const char* name,
+                     const char* arg_name = nullptr,
+                     std::uint64_t arg_value = 0);
+
+  struct Stats {
+    std::uint64_t recorded = 0;  ///< Events retained in buffers.
+    std::uint64_t dropped = 0;   ///< Events rejected by full buffers.
+    std::uint64_t threads = 0;   ///< Distinct recording threads seen.
+  };
+  Stats GetStats() const;
+
+  /// Forgets all recorded events and registered buffers. Threads holding a
+  /// stale buffer keep writing into their (orphaned, never-exported) buffer
+  /// until their next record call re-registers, so Clear is safe to call
+  /// while producers run — but events raced this way are lost by design.
+  void Clear();
+
+  /// Writes all published events as Chrome trace_event JSON. Safe to call
+  /// while producers are recording: only the published prefix of each
+  /// buffer is read. Returns false on stream failure.
+  bool WriteChromeTrace(std::ostream& out) const;
+
+  /// Atomic file flavor (tmp + fsync + rename, common/atomic_file).
+  bool WriteChromeTraceFile(const std::string& path, std::string* error) const;
+
+ private:
+  /// Bounded single-producer event buffer owned by one recording thread.
+  /// The owner writes events[count] then publishes with a release store of
+  /// count+1; readers acquire `count` and see fully-written events only.
+  struct ThreadBuffer {
+    ThreadBuffer(std::size_t capacity, std::uint32_t tid_arg)
+        : events(capacity), tid(tid_arg) {}
+    std::vector<TraceEvent> events;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint32_t tid;
+
+    void Push(const TraceEvent& e) {
+      const std::uint64_t n = count.load(std::memory_order_relaxed);
+      if (n >= events.size()) {
+        dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      events[n] = e;
+      count.store(n + 1, std::memory_order_release);
+    }
+  };
+
+  Tracer() = default;
+  ThreadBuffer* LocalBuffer();
+
+  static std::atomic<bool> enabled_;
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::size_t capacity_ = kDefaultCapacity;
+  /// Bumped by Clear(); threads re-register when their cached generation
+  /// goes stale.
+  std::atomic<std::uint64_t> generation_{1};
+  std::uint32_t next_tid_ = 0;
+};
+
+/// RAII span: captures the start time at construction if tracing is enabled
+/// and records a complete event at destruction. The enabled check is taken
+/// once, at construction — a span straddling Disable() still records (into
+/// a buffer that remains exportable), one straddling Enable() does not.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name,
+             const char* arg_name = nullptr, std::uint64_t arg_value = 0)
+      : category_(category),
+        name_(name),
+        arg_name_(arg_name),
+        arg_value_(arg_value),
+        active_(Tracer::Enabled()),
+        start_ns_(active_ ? Tracer::NowNs() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (active_) {
+      Tracer::Instance().RecordComplete(category_, name_, start_ns_,
+                                        Tracer::NowNs(), arg_name_,
+                                        arg_value_);
+    }
+  }
+
+ private:
+  const char* category_;
+  const char* name_;
+  const char* arg_name_;
+  std::uint64_t arg_value_;
+  bool active_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace spta::obs
+
+#if SPTA_OBS_TRACING
+#define SPTA_OBS_CONCAT_IMPL(a, b) a##b
+#define SPTA_OBS_CONCAT(a, b) SPTA_OBS_CONCAT_IMPL(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define SPTA_OBS_SPAN(category, name) \
+  ::spta::obs::ScopedSpan SPTA_OBS_CONCAT(spta_obs_span_, __LINE__)( \
+      category, name)
+/// Scoped span with one integer argument (shown in the Perfetto args pane).
+#define SPTA_OBS_SPAN_ARG(category, name, arg_name, arg_value)       \
+  ::spta::obs::ScopedSpan SPTA_OBS_CONCAT(spta_obs_span_, __LINE__)( \
+      category, name, arg_name,                                      \
+      static_cast<std::uint64_t>(arg_value))
+/// Zero-duration marker.
+#define SPTA_OBS_INSTANT(category, name)                            \
+  do {                                                              \
+    if (::spta::obs::Tracer::Enabled()) {                           \
+      ::spta::obs::Tracer::Instance().RecordInstant(category, name); \
+    }                                                               \
+  } while (false)
+#else
+#define SPTA_OBS_SPAN(category, name) \
+  do {                                \
+  } while (false)
+#define SPTA_OBS_SPAN_ARG(category, name, arg_name, arg_value) \
+  do {                                                         \
+  } while (false)
+#define SPTA_OBS_INSTANT(category, name) \
+  do {                                   \
+  } while (false)
+#endif

@@ -24,6 +24,16 @@
 
 namespace spta::prng {
 
+/// Consumption counters of one BlockDraws stream (src/obs attribution: how
+/// much platform entropy a run burned, and how often the modulo-rejection
+/// loop retried). Maintained off the per-draw path — refills count once per
+/// kBlockSize words, rejections only on the rare retry branch — so the
+/// accounting is free at simulation scale.
+struct DrawStats {
+  std::uint64_t words = 0;       ///< Engine words served to callers.
+  std::uint64_t rejections = 0;  ///< UniformBelow retries (word discarded).
+};
+
 /// `Engine` needs `std::uint32_t Next()` (HwPrng, Xoshiro128pp, ...).
 template <typename Engine>
 class BlockDraws {
@@ -49,6 +59,7 @@ class BlockDraws {
     for (;;) {
       const std::uint32_t v = Next();
       if (v < threshold) return v % bound;
+      ++rejections_;  // Rare: threshold is >= 2^31 for any bound.
     }
   }
 
@@ -61,17 +72,27 @@ class BlockDraws {
   /// exercising refill boundaries).
   std::size_t buffered() const { return fill_ - pos_; }
 
+  /// Consumption counters since construction. `words` counts engine words
+  /// actually handed to callers (pre-clocked but unserved buffer words are
+  /// excluded), `rejections` the UniformBelow retries among them.
+  DrawStats stats() const {
+    return {refills_ * kBlockSize - buffered(), rejections_};
+  }
+
  private:
   void Refill() {
     for (std::size_t i = 0; i < kBlockSize; ++i) buffer_[i] = engine_.Next();
     fill_ = kBlockSize;
     pos_ = 0;
+    ++refills_;
   }
 
   Engine engine_;
   std::array<std::uint32_t, kBlockSize> buffer_;
   std::size_t pos_ = 0;   ///< Next word to serve.
   std::size_t fill_ = 0;  ///< Valid words in the buffer.
+  std::uint64_t refills_ = 0;
+  std::uint64_t rejections_ = 0;
 };
 
 }  // namespace spta::prng

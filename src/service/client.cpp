@@ -108,6 +108,12 @@ Response Client::Metrics() {
   return Call(request);
 }
 
+Response Client::MetricsProm() {
+  Request request;
+  request.kind = RequestKind::kMetricsProm;
+  return Call(request);
+}
+
 Response Client::Shutdown() {
   Request request;
   request.kind = RequestKind::kShutdown;

@@ -59,6 +59,8 @@ class Client {
                          Args options = {});
   Response Close(const std::string& session);
   Response Metrics();
+  /// Prometheus text exposition (payload carries the scrape body).
+  Response MetricsProm();
   Response Shutdown();
 
  private:

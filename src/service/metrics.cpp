@@ -2,21 +2,17 @@
 
 #include <sstream>
 
+#include "obs/prometheus.hpp"
+
 namespace spta::service {
-namespace {
 
-// Latency histogram shape: 40 bins over [0, 200ms). A cache hit lands in
-// the first bin; a cold 3,000-sample analysis lands mid-range; anything
-// pathological shows up in overflow() rather than being lost.
-constexpr double kLatencyLoMicros = 0.0;
-constexpr double kLatencyHiMicros = 200'000.0;
-constexpr std::size_t kLatencyBins = 40;
-
-}  // namespace
-
+// The latency histogram shape is the shared spec in common/histogram.hpp
+// (kLatencyBin*): one definition for the service's ASCII rendering, the
+// Prometheus bucket edges, and any obs-layer consumer.
 ServiceMetrics::ServiceMetrics()
-    : hit_latency_(kLatencyLoMicros, kLatencyHiMicros, kLatencyBins),
-      miss_latency_(kLatencyLoMicros, kLatencyHiMicros, kLatencyBins) {}
+    : hit_latency_(MakeLatencyHistogram()),
+      miss_latency_(MakeLatencyHistogram()),
+      queue_wait_(MakeLatencyHistogram()) {}
 
 void ServiceMetrics::CountRequest(RequestKind kind, bool ok) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -55,7 +51,15 @@ void ServiceMetrics::RecordAnalyzeLatency(double micros, bool cache_hit) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++analyses_;
   analyze_micros_total_ += micros;
+  (cache_hit ? hit_micros_total_ : miss_micros_total_) += micros;
   (cache_hit ? hit_latency_ : miss_latency_).Add(micros);
+}
+
+void ServiceMetrics::RecordQueueWait(double micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++queue_waits_;
+  queue_wait_micros_total_ += micros;
+  queue_wait_.Add(micros);
 }
 
 std::uint64_t ServiceMetrics::requests_total() const {
@@ -99,6 +103,7 @@ Args ServiceMetrics::Snapshot(const ResultCache::Stats& cache) const {
   args.SetUint("faults_injected", faults_injected_);
   args.SetUint("sessions_degraded", sessions_degraded_);
   args.SetUint("analyses_total", analyses_);
+  args.SetUint("queue_waits", queue_waits_);
   args.SetUint("cache_hits", cache.hits);
   args.SetUint("cache_misses", cache.misses);
   args.SetUint("cache_evictions", cache.evictions);
@@ -106,7 +111,7 @@ Args ServiceMetrics::Snapshot(const ResultCache::Stats& cache) const {
   args.SetUint("cache_size", cache.size);
   args.SetUint("cache_capacity", cache.capacity);
   args.SetDouble("cache_hit_ratio", cache.HitRatio());
-  for (int i = 0; i < 8; ++i) {
+  for (int i = 0; i < kRequestKindCount; ++i) {
     if (per_kind_[i] == 0) continue;
     args.SetUint(std::string("requests_") +
                      RequestKindName(static_cast<RequestKind>(i)),
@@ -133,6 +138,89 @@ std::string ServiceMetrics::Render(const ResultCache::Stats& cache) const {
     out << "cache-hit analyze latency (us):\n" << hit_latency_.Ascii(40);
   }
   return out.str();
+}
+
+std::string ServiceMetrics::RenderProm(
+    const ResultCache::Stats& cache, const obs::Tracer::Stats& tracer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::PromText prom;
+  const auto u = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  prom.Declare("spta_requests_total", "counter",
+               "Requests served, all verbs.");
+  prom.Sample("spta_requests_total", u(requests_));
+  prom.Declare("spta_request_errors_total", "counter",
+               "Requests answered ERR.");
+  prom.Sample("spta_request_errors_total", u(errors_));
+  prom.Declare("spta_requests_by_verb_total", "counter",
+               "Requests served, by protocol verb.");
+  for (int i = 0; i < kRequestKindCount; ++i) {
+    if (per_kind_[i] == 0) continue;
+    prom.Sample("spta_requests_by_verb_total",
+                std::string("verb=\"") +
+                    RequestKindName(static_cast<RequestKind>(i)) + "\"",
+                u(per_kind_[i]));
+  }
+  prom.Declare("spta_busy_rejections_total", "counter",
+               "ANALYZE requests rejected: bounded queue full.");
+  prom.Sample("spta_busy_rejections_total", u(busy_rejections_));
+  prom.Declare("spta_deadline_misses_total", "counter",
+               "ANALYZE requests whose deadline expired in queue.");
+  prom.Sample("spta_deadline_misses_total", u(deadline_misses_));
+  prom.Declare("spta_protocol_errors_total", "counter",
+               "Malformed frames received.");
+  prom.Sample("spta_protocol_errors_total", u(protocol_errors_));
+  prom.Declare("spta_faults_injected_total", "counter",
+               "I/O faults fired by the fault-injection hook.");
+  prom.Sample("spta_faults_injected_total", u(faults_injected_));
+  prom.Declare("spta_sessions_degraded_total", "counter",
+               "Connections ended degraded under injected faults.");
+  prom.Sample("spta_sessions_degraded_total", u(sessions_degraded_));
+  prom.Declare("spta_analyses_total", "counter",
+               "ANALYZE requests that produced a result.");
+  prom.Sample("spta_analyses_total", u(analyses_));
+
+  prom.Declare("spta_cache_hits_total", "counter", "Result-cache hits.");
+  prom.Sample("spta_cache_hits_total", u(cache.hits));
+  prom.Declare("spta_cache_misses_total", "counter",
+               "Result-cache misses.");
+  prom.Sample("spta_cache_misses_total", u(cache.misses));
+  prom.Declare("spta_cache_evictions_total", "counter",
+               "Result-cache LRU evictions.");
+  prom.Sample("spta_cache_evictions_total", u(cache.evictions));
+  prom.Declare("spta_cache_collisions_total", "counter",
+               "Result-cache key collisions detected (never served).");
+  prom.Sample("spta_cache_collisions_total", u(cache.collisions));
+  prom.Declare("spta_cache_entries", "gauge",
+               "Result-cache entries resident.");
+  prom.Sample("spta_cache_entries", u(cache.size));
+  prom.Declare("spta_cache_capacity", "gauge",
+               "Result-cache capacity (entries).");
+  prom.Sample("spta_cache_capacity", u(cache.capacity));
+
+  // Latencies in seconds (Prometheus base unit); the bins are the shared
+  // microsecond spec scaled by 1e-6.
+  prom.Declare("spta_analyze_latency_seconds", "histogram",
+               "ANALYZE service time, split by result-cache outcome.");
+  prom.HistogramSeries("spta_analyze_latency_seconds", "cache=\"hit\"",
+                       hit_latency_, 1e-6, hit_micros_total_ * 1e-6);
+  prom.HistogramSeries("spta_analyze_latency_seconds", "cache=\"miss\"",
+                       miss_latency_, 1e-6, miss_micros_total_ * 1e-6);
+  prom.Declare("spta_queue_wait_seconds", "histogram",
+               "ANALYZE time spent queued before a worker picked it up.");
+  prom.HistogramSeries("spta_queue_wait_seconds", "", queue_wait_, 1e-6,
+                       queue_wait_micros_total_ * 1e-6);
+
+  prom.Declare("spta_obs_trace_events_recorded_total", "counter",
+               "Trace events retained in the in-process ring buffers.");
+  prom.Sample("spta_obs_trace_events_recorded_total", u(tracer.recorded));
+  prom.Declare("spta_obs_trace_events_dropped_total", "counter",
+               "Trace events dropped by full ring buffers.");
+  prom.Sample("spta_obs_trace_events_dropped_total", u(tracer.dropped));
+  prom.Declare("spta_obs_trace_threads", "gauge",
+               "Threads that have recorded trace events.");
+  prom.Sample("spta_obs_trace_threads", u(tracer.threads));
+  return prom.str();
 }
 
 }  // namespace spta::service

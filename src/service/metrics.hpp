@@ -1,10 +1,14 @@
 // Service observability: request counters, rejection counters and latency
-// histograms, dumpable on demand (METRICS request) and at daemon exit.
+// histograms, dumpable on demand (METRICS request), scrapeable in
+// Prometheus text format (METRICS_PROM request, --prom-out file export)
+// and rendered at daemon exit.
 //
 // All counters are monotonic since process start. Latency is recorded in
-// microseconds into two fixed-bin histograms (common/histogram): one for
-// cache-hit analyses, one for cache misses — the spread between the two IS
-// the amortization story the service exists to tell.
+// microseconds into fixed-bin histograms sharing the common/histogram
+// latency bin spec (kLatencyBin*): one for cache-hit analyses, one for
+// cache misses — the spread between the two IS the amortization story the
+// service exists to tell — plus one for ANALYZE queue wait (submit to
+// worker pickup), the backpressure signal.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +16,7 @@
 #include <string>
 
 #include "common/histogram.hpp"
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 #include "service/result_cache.hpp"
 
@@ -44,6 +49,10 @@ class ServiceMetrics {
   /// Records the wall-clock service time of one ANALYZE.
   void RecordAnalyzeLatency(double micros, bool cache_hit);
 
+  /// Records the time one ANALYZE spent queued before a worker picked it
+  /// up (0 for the inline cache-hit fast path, which never queues).
+  void RecordQueueWait(double micros);
+
   std::uint64_t requests_total() const;
   std::uint64_t errors_total() const;
   std::uint64_t busy_rejections() const;
@@ -52,16 +61,43 @@ class ServiceMetrics {
   std::uint64_t sessions_degraded() const;
 
   /// Renders the whole surface (plus the cache's counters) as stable
-  /// `key value` lines followed by the two latency histograms in ASCII.
+  /// `key value` lines followed by the latency histograms in ASCII.
+  /// Line order is pinned: the Snapshot() keys in Snapshot's documented
+  /// order, then `analyze_latency_mean_us` (when analyses ran), then the
+  /// cold and cache-hit ASCII histograms. Golden-tested in service_test.
   std::string Render(const ResultCache::Stats& cache) const;
 
   /// Key/value subset of Render() for machine consumption in a response
   /// args block.
+  ///
+  /// Key order contract (golden-tested; scrapers and dashboards may rely
+  /// on it): Args encodes via std::map, so keys iterate in byte-wise
+  /// lexicographic order —
+  ///   analyses_total, busy_rejections, cache_capacity, cache_collisions,
+  ///   cache_evictions, cache_hit_ratio, cache_hits, cache_misses,
+  ///   cache_size, deadline_misses, errors_total, faults_injected,
+  ///   protocol_errors, queue_waits, requests_<VERB>*, requests_total,
+  ///   sessions_degraded
+  /// (* = requests_<VERB> keys appear only for verbs with a nonzero count,
+  /// themselves in lexicographic order, and all sort before requests_total
+  /// because verb names are upper-case.)
+  /// Adding a key is allowed; reordering or renaming existing keys is a
+  /// breaking change to the wire surface.
   Args Snapshot(const ResultCache::Stats& cache) const;
+
+  /// Renders the full observability surface in Prometheus text exposition
+  /// format (version 0.0.4): request/error/rejection counters, per-verb
+  /// requests, cache counters and gauges, the hit/miss ANALYZE latency
+  /// histograms (seconds, label cache="hit"|"miss"), the queue-wait
+  /// histogram, fault-injection counters, and the trace-collector stats
+  /// passed in `tracer`. Metric names and types are documented in
+  /// docs/OBSERVABILITY.md and pinned by service_test.
+  std::string RenderProm(const ResultCache::Stats& cache,
+                         const obs::Tracer::Stats& tracer) const;
 
  private:
   mutable std::mutex mutex_;
-  std::uint64_t per_kind_[8] = {};
+  std::uint64_t per_kind_[kRequestKindCount] = {};
   std::uint64_t requests_ = 0;
   std::uint64_t errors_ = 0;
   std::uint64_t busy_rejections_ = 0;
@@ -71,8 +107,13 @@ class ServiceMetrics {
   std::uint64_t sessions_degraded_ = 0;
   std::uint64_t analyses_ = 0;
   double analyze_micros_total_ = 0.0;
+  double hit_micros_total_ = 0.0;   ///< Sum over hit_latency_ adds.
+  double miss_micros_total_ = 0.0;  ///< Sum over miss_latency_ adds.
+  std::uint64_t queue_waits_ = 0;
+  double queue_wait_micros_total_ = 0.0;
   Histogram hit_latency_;   ///< Cache-hit ANALYZE latency (us).
   Histogram miss_latency_;  ///< Cold ANALYZE latency (us).
+  Histogram queue_wait_;    ///< ANALYZE queue wait (us).
 };
 
 }  // namespace spta::service

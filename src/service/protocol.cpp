@@ -9,8 +9,11 @@ namespace {
 
 constexpr std::string_view kMagic = "spta1";
 
-const char* const kKindNames[] = {"PING",    "OPEN",  "APPEND",  "STATUS",
-                                  "ANALYZE", "CLOSE", "METRICS", "SHUTDOWN"};
+const char* const kKindNames[] = {"PING",    "OPEN",         "APPEND",
+                                  "STATUS",  "ANALYZE",      "CLOSE",
+                                  "METRICS", "METRICS_PROM", "SHUTDOWN"};
+static_assert(static_cast<int>(std::size(kKindNames)) == kRequestKindCount,
+              "wire names must cover every RequestKind");
 
 /// Reads one `\n`-terminated line; false on EOF-before-any-byte.
 bool GetLine(std::istream& in, std::string* line) {

@@ -11,7 +11,8 @@
 // (no spaces inside keys or values); everything after the first newline is
 // free-form bulk payload (sample chunks on requests, report text on
 // responses). Requests carry a verb TYPE (PING, OPEN, APPEND, STATUS,
-// ANALYZE, CLOSE, METRICS, SHUTDOWN); responses carry OK or ERR.
+// ANALYZE, CLOSE, METRICS, METRICS_PROM, SHUTDOWN); responses carry OK
+// or ERR.
 //
 // This is untrusted-input territory: readers never abort the process on
 // malformed frames — they return kMalformed with a diagnostic and let the
@@ -36,8 +37,12 @@ enum class RequestKind {
   kAnalyze,
   kClose,
   kMetrics,
+  kMetricsProm,  ///< Prometheus text-format metrics scrape.
   kShutdown,
 };
+
+/// Number of RequestKind values (per-verb counter array size).
+inline constexpr int kRequestKindCount = 9;
 
 /// Wire name of a request kind ("PING", "OPEN", ...).
 const char* RequestKindName(RequestKind kind);

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "analysis/sample_io.hpp"
+#include "obs/trace.hpp"
 #include "service/fd_stream.hpp"
 
 namespace spta::service {
@@ -54,6 +55,7 @@ void Server::OrderedWriter::Complete(std::uint64_t id, Response response) {
   std::lock_guard<std::mutex> lock(mutex_);
   ready_.emplace(id, std::move(response));
   while (!ready_.empty() && ready_.begin()->first == next_write_) {
+    SPTA_OBS_SPAN_ARG("service", "respond", "id", ready_.begin()->first);
     WriteResponse(out_, ready_.begin()->second);
     ready_.erase(ready_.begin());
     ++next_write_;
@@ -120,6 +122,7 @@ Response Server::RunAnalysis(
         request.args.GetDouble("debug_sleep_ms", 0.0)));
   }
   const auto start = Clock::now();
+  SPTA_OBS_SPAN_ARG("service", "analyze", "n", observations.size());
   AnalysisOutcome outcome;
   std::string error;
   if (!engine_.Analyze(observations, AnalysisConfig::FromArgs(request.args),
@@ -187,6 +190,17 @@ Response Server::HandleMetrics() {
   return OkResponse(metrics_.Snapshot(cache), metrics_.Render(cache));
 }
 
+std::string Server::RenderPromText() {
+  return metrics_.RenderProm(engine_.cache().stats(),
+                             obs::Tracer::Instance().GetStats());
+}
+
+Response Server::HandleMetricsProm() {
+  Args args;
+  args.Set("format", "prometheus-0.0.4");
+  return OkResponse(std::move(args), RenderPromText());
+}
+
 Response Server::HandleInline(const Request& request) {
   switch (request.kind) {
     case RequestKind::kPing: {
@@ -204,6 +218,8 @@ Response Server::HandleInline(const Request& request) {
       return HandleClose(request);
     case RequestKind::kMetrics:
       return HandleMetrics();
+    case RequestKind::kMetricsProm:
+      return HandleMetricsProm();
     default:
       return ErrResponse("internal", "verb not handled inline");
   }
@@ -217,8 +233,18 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
   while (!shutdown) {
     Request request;
     std::string error;
+    // The read span covers wire wait + frame parse; on an idle connection
+    // it is dominated by the wait, which is exactly what makes request
+    // arrival visible in a trace.
+    const std::uint64_t read_start_ns =
+        obs::Tracer::Enabled() ? obs::Tracer::NowNs() : 0;
     const ReadStatus status = ReadRequest(in, &request, &error);
     if (status == ReadStatus::kEof) break;
+    if (obs::Tracer::Enabled()) {
+      obs::Tracer::Instance().RecordComplete("service", "read_request",
+                                             read_start_ns,
+                                             obs::Tracer::NowNs());
+    }
     const std::uint64_t id = next_id++;
     writer.Expect(id);
     if (status == ReadStatus::kMalformed) {
@@ -233,6 +259,7 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
       shutdown_.store(true);
       // Drain: every ANALYZE accepted before this point completes and is
       // written (in order) before the SHUTDOWN acknowledgment below.
+      SPTA_OBS_SPAN("service", "shutdown_drain");
       pool_.Wait();
       Args args;
       args.Set("drained", "1");
@@ -255,6 +282,7 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
       // with cold analyses. A probe miss is not double-counted (see
       // ResultCache::LookupIfPresent); the worker's Lookup scores it.
       {
+        SPTA_OBS_SPAN("service", "cache_probe");
         const auto probe_start = Clock::now();
         AnalysisOutcome cached;
         if (engine_.TryServeCached(
@@ -284,9 +312,25 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
           Clock::now() +
           std::chrono::duration_cast<Clock::duration>(
               std::chrono::duration<double, std::milli>(deadline_ms));
+      // Queue wait: enqueue → worker pickup. The metric records always
+      // (it is the service's backpressure signal); the span only when the
+      // tracer runs, as a cross-thread complete event.
+      const auto enqueued = Clock::now();
+      const std::uint64_t enqueued_ns =
+          obs::Tracer::Enabled() ? obs::Tracer::NowNs() : 0;
       pool_.Submit([this, id, &writer, request = std::move(request),
                     observations = std::move(observations), deadline,
-                    has_deadline]() mutable {
+                    has_deadline, enqueued, enqueued_ns]() mutable {
+        metrics_.RecordQueueWait(
+            std::chrono::duration<double, std::micro>(Clock::now() -
+                                                      enqueued)
+                .count());
+        if (enqueued_ns != 0 && obs::Tracer::Enabled()) {
+          obs::Tracer::Instance().RecordComplete("service", "queue_wait",
+                                                 enqueued_ns,
+                                                 obs::Tracer::NowNs(), "id",
+                                                 id);
+        }
         // Worker tasks must not leak exceptions: ThreadPool::Wait
         // rethrows captured ones on whichever thread waits next, which
         // would escape a connection thread and terminate the daemon.
@@ -306,6 +350,9 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
       continue;
     }
 
+    // RequestKindName returns a pointer to static storage, satisfying the
+    // tracer's literal-lifetime contract.
+    SPTA_OBS_SPAN_ARG("service", RequestKindName(request.kind), "id", id);
     Response response = HandleInline(request);
     metrics_.CountRequest(request.kind, response.ok);
     writer.Complete(id, std::move(response));

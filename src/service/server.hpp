@@ -93,6 +93,10 @@ class Server {
   ServiceMetrics& metrics() { return metrics_; }
   const ServerOptions& options() const { return options_; }
 
+  /// The Prometheus text rendering served for METRICS_PROM — also what
+  /// spta_serve's --prom-out periodic exporter writes to disk.
+  std::string RenderPromText();
+
   /// True once any stream has processed a SHUTDOWN request.
   bool shutdown_requested() const { return shutdown_.load(); }
 
@@ -131,6 +135,7 @@ class Server {
   Response HandleStatus(const Request& request);
   Response HandleClose(const Request& request);
   Response HandleMetrics();
+  Response HandleMetricsProm();
   /// Runs on a worker. `observations` was snapshotted at accept time.
   Response RunAnalysis(const Request& request,
                        std::vector<mbpta::PathObservation> observations,

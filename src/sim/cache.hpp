@@ -112,6 +112,11 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
 
+  /// Replacement-stream consumption since the last Reseed (src/obs
+  /// attribution). Reseed rebuilds the stream, so these reset per run
+  /// under the normal measurement protocol.
+  prng::DrawStats draw_stats() const { return replacement_rng_.stats(); }
+
   // --- Fault-injection surface (src/fault) -------------------------------
   // SEU-style state corruption for the seeded fault-injection subsystem:
   // a single-event upset in the tag/valid array is modeled by XORing one

@@ -136,6 +136,11 @@ RunResult Core::Finish() {
   r.dtlb = dtlb_.stats();
   r.fpu = fpu_.stats();
   r.store_buffer = store_buffer_.stats();
+  for (const auto& draws : {il1_.draw_stats(), dl1_.draw_stats(),
+                            itlb_.draw_stats(), dtlb_.draw_stats()}) {
+    r.prng.words += draws.words;
+    r.prng.rejections += draws.rejections;
+  }
   r.bus = memory_->bus().stats();
   r.dram = memory_->dram().stats();
   return r;

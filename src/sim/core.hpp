@@ -23,6 +23,15 @@
 
 namespace spta::sim {
 
+/// Platform-PRNG consumption of one run, summed over the core's four
+/// randomized replacement streams (IL1/DL1/ITLB/DTLB). `words` is engine
+/// words served, `rejections` the modulo-rejection retries among them —
+/// the entropy-budget attribution the obs layer exports per run.
+struct PrngStats {
+  std::uint64_t words = 0;
+  std::uint64_t rejections = 0;
+};
+
 /// Timing outcome and event counters of one run on one core.
 struct RunResult {
   Cycles cycles = 0;
@@ -33,6 +42,7 @@ struct RunResult {
   TlbStats dtlb;
   FpuStats fpu;
   StoreBufferStats store_buffer;
+  PrngStats prng;
   /// Shared memory-path statistics at the end of the run (identical in
   /// every core's result of one RunConcurrent: the path is shared).
   BusStats bus;

@@ -24,6 +24,9 @@ struct StoreBufferStats {
   std::uint64_t stores = 0;
   std::uint64_t full_stalls = 0;
   Cycles stall_cycles = 0;
+  /// Maximum in-flight occupancy observed (src/obs sizing signal: how close
+  /// the workload drives the buffer to its depth).
+  std::uint64_t high_water = 0;
 };
 
 class StoreBuffer {
@@ -58,6 +61,7 @@ class StoreBuffer {
     SPTA_CHECK(completion >= ready);
     last_completion_ = completion;
     PushBack(completion);
+    if (count_ > stats_.high_water) stats_.high_water = count_;
     return now;
   }
 

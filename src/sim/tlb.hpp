@@ -90,6 +90,10 @@ class Tlb {
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
 
+  /// Replacement-stream consumption since the last Reseed (src/obs
+  /// attribution); resets per run with the reseeding protocol.
+  prng::DrawStats draw_stats() const { return replacement_rng_.stats(); }
+
   // --- Fault-injection surface (src/fault) -------------------------------
   // Mirrors Cache::CorruptTagBit: an SEU in the VPN/valid array is one XORed
   // bit of one entry (validity is sentinel-encoded in the VPN). Never called

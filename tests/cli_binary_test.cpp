@@ -52,6 +52,44 @@ TEST_F(CliBinaryTest, CampaignWritesWellFormedCsv) {
   EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 61);
 }
 
+// The observability acceptance path: one campaign, three artifacts. The
+// sample CSV must be byte-identical to a run without the obs flags, the
+// trace must be a Chrome/Perfetto trace_event document, and the counter
+// CSV must carry one row per run plus the aggregate JSON sidecar.
+TEST_F(CliBinaryTest, CampaignObsFlagsProduceTraceAndCounters) {
+  const std::string trace_json = ::testing::TempDir() + "spta_cli_trace.json";
+  const std::string counters = ::testing::TempDir() + "spta_cli_counters.csv";
+  const std::string plain_csv = ::testing::TempDir() + "spta_cli_plain.csv";
+  ASSERT_EQ(RunCli("campaign --platform rand --runs 40 --seed 7 --output " +
+                   csv_ + " --trace-out " + trace_json + " --counters-out " +
+                   counters),
+            0);
+  ASSERT_EQ(
+      RunCli("campaign --platform rand --runs 40 --seed 7 --output " +
+             plain_csv),
+      0);
+  EXPECT_EQ(Slurp(csv_), Slurp(plain_csv));  // obs flags never touch data
+
+  const std::string trace = Slurp(trace_json);
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace.find("\"name\":\"tvca_campaign_parallel\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+
+  const std::string counter_csv = Slurp(counters);
+  EXPECT_NE(counter_csv.find("run,path_id,cycles,"), std::string::npos);
+  // Comment + header + 40 rows.
+  EXPECT_EQ(std::count(counter_csv.begin(), counter_csv.end(), '\n'), 42);
+  const std::string aggregate = Slurp(counters + ".summary.json");
+  EXPECT_NE(aggregate.find("\"runs\": 40"), std::string::npos);
+  EXPECT_NE(aggregate.find("\"il1_misses\": "), std::string::npos);
+
+  std::remove(trace_json.c_str());
+  std::remove(counters.c_str());
+  std::remove((counters + ".summary.json").c_str());
+  std::remove(plain_csv.c_str());
+}
+
 TEST_F(CliBinaryTest, AnalyzeRoundTripSucceeds) {
   ASSERT_EQ(RunCli("campaign --platform rand --runs 250 --seed 9 --output " +
                    csv_),

@@ -565,6 +565,111 @@ TEST(ServerPipeTest, MetricsSurfaceCountsTraffic) {
   EXPECT_NE(metrics.payload.find("cold analyze latency"), std::string::npos);
 }
 
+// The Snapshot/Render key order is a wire contract (docs/SERVICE.md):
+// scrapers parse these lines positionally, so the order is golden-tested.
+// If this test fails because a key was ADDED, extend the expectation; a
+// reorder or rename is a breaking change and needs a docs + version call.
+TEST(ServerPipeTest, MetricsSnapshotKeyOrderIsGolden) {
+  service::Server server{service::ServerOptions{}};
+  const auto obs = SyntheticSample(240, 11);
+  service::Args no_iid;
+  no_iid.Set("require_iid", "0");
+  RunScript(server, {MakeRequest(service::RequestKind::kPing),
+                     AnalyzeInlineRequest(obs, no_iid),
+                     MakeRequest(service::RequestKind::kShutdown)});
+  const auto snapshot =
+      server.metrics().Snapshot(server.engine().cache().stats());
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : snapshot.values()) keys.push_back(key);
+  const std::vector<std::string> golden = {
+      "analyses_total", "busy_rejections",  "cache_capacity",
+      "cache_collisions", "cache_evictions", "cache_hit_ratio",
+      "cache_hits",     "cache_misses",     "cache_size",
+      "deadline_misses", "errors_total",    "faults_injected",
+      "protocol_errors", "queue_waits",     "requests_ANALYZE",
+      "requests_PING",  "requests_SHUTDOWN", "requests_total",
+      "sessions_degraded"};
+  EXPECT_EQ(keys, golden);
+
+  // Render = the Snapshot lines in the same order, then the latency mean,
+  // then the ASCII histograms (cold before cache-hit when both exist).
+  const auto text =
+      server.metrics().Render(server.engine().cache().stats());
+  std::size_t pos = 0;
+  for (const auto& key : golden) {
+    const std::size_t at = text.find(key + " ", pos);
+    ASSERT_NE(at, std::string::npos) << key;
+    EXPECT_GE(at, pos) << key << " out of order";
+    pos = at;
+  }
+  EXPECT_NE(text.find("analyze_latency_mean_us ", pos), std::string::npos);
+  EXPECT_NE(text.find("cold analyze latency", pos), std::string::npos);
+}
+
+TEST(ServerPipeTest, MetricsPromServesValidExposition) {
+  service::Server server{service::ServerOptions{}};
+  const auto obs = SyntheticSample(240, 11);
+  service::Args no_iid;
+  no_iid.Set("require_iid", "0");
+  RunScript(server, {AnalyzeInlineRequest(obs, no_iid),
+                     AnalyzeInlineRequest(obs, no_iid),
+                     MakeRequest(service::RequestKind::kShutdown)});
+  const auto responses =
+      RunScript(server, {MakeRequest(service::RequestKind::kMetricsProm)});
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_TRUE(responses[0].ok);
+  EXPECT_EQ(responses[0].args.GetString("format", ""), "prometheus-0.0.4");
+  const std::string& text = responses[0].payload;
+
+  // Every line is a comment or `name[{labels}] value` — no stray text.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("spta_", 0), 0u) << line;
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_EQ(*end, '\0') << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 20u);
+
+  // The surface the acceptance criteria name: requests, latencies with the
+  // hit/miss split, cache, fault, and obs counters.
+  EXPECT_NE(text.find("# TYPE spta_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("spta_requests_by_verb_total{verb=\"ANALYZE\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE spta_analyze_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("spta_analyze_latency_seconds_bucket{cache=\"hit\",le=\""),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("spta_analyze_latency_seconds_bucket{cache=\"miss\",le=\""),
+      std::string::npos);
+  EXPECT_NE(text.find("spta_analyze_latency_seconds_count{cache=\"hit\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("# TYPE spta_queue_wait_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("spta_cache_hits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("spta_cache_misses_total 1"), std::string::npos);
+  EXPECT_NE(text.find("spta_faults_injected_total 0"), std::string::npos);
+  EXPECT_NE(text.find("spta_obs_trace_events_recorded_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE spta_cache_entries gauge"), std::string::npos);
+}
+
 // The acceptance-criteria golden check: a pWCET quantile served over the
 // wire equals the batch pipeline's on the same parallel campaign,
 // bit for bit (the %.17g wire encoding round-trips the doubles exactly).

@@ -14,6 +14,12 @@
 //       --seu-rate/--reseed-dropout run the campaign under the
 //       deterministic fault plan (docs/FAULTS.md); the CSV is then
 //       annotated as tainted and analysis will refuse to fit a pWCET.
+//       --trace-out FILE enables the in-process tracer for the campaign
+//       and exports a Chrome/Perfetto trace; --counters-out FILE writes
+//       the per-run microarchitectural counter CSV plus a
+//       FILE.summary.json campaign aggregate (docs/OBSERVABILITY.md).
+//       Neither flag perturbs the sample: the exported cycles are
+//       bit-identical with and without them.
 //
 //   spta_cli analyze   [--input samples.csv] [--block-size B] [--lags L]
 //                      [--alpha A] [--per-path] [--min-path-samples M]
@@ -60,6 +66,8 @@
 #include "common/flags.hpp"
 #include "common/histogram.hpp"
 #include "fault/campaign.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "mbpta/convergence.hpp"
 #include "mbpta/mbpta.hpp"
 #include "mbpta/path_coverage.hpp"
@@ -80,6 +88,7 @@ int Usage() {
                "              [--checkpoint FILE [--resume] "
                "[--fsync-interval N]] [--seu-rate R] [--reseed-dropout P] "
                "[--fault-seed S] [--annotate]\n"
+               "              [--trace-out FILE] [--counters-out FILE]\n"
                "  analyze     [--input FILE] [--block-size B] [--lags L] "
                "[--alpha A] [--per-path] [--min-path-samples M] [--histogram]\n"
                "  convergence [--input FILE] [--initial N] [--step N] "
@@ -88,7 +97,8 @@ int Usage() {
                "  simulate    --trace FILE --platform rand|det|rand-op "
                "--runs N [--seed S] [--jobs J] [--output FILE] "
                "[--checkpoint FILE [--resume]] [--seu-rate R] "
-               "[--reseed-dropout P] [--fault-seed S]\n");
+               "[--reseed-dropout P] [--fault-seed S] "
+               "[--trace-out FILE] [--counters-out FILE]\n");
   return 2;
 }
 
@@ -183,12 +193,70 @@ analysis::CheckpointOptions CheckpointFromFlags(const Flags& flags) {
   return copts;
 }
 
+/// Arms the tracer when the command line asks for a trace export. Must run
+/// before the campaign so the spans exist to collect.
+void MaybeEnableTracer(const Flags& flags) {
+  if (!flags.GetString("trace-out").empty()) {
+    obs::Tracer::Instance().Enable();
+  }
+}
+
+/// Writes the observability side-outputs of a finished campaign:
+///   --counters-out FILE  per-run µarch counter CSV + FILE.summary.json
+///                        campaign aggregate;
+///   --trace-out FILE     Chrome/Perfetto trace of the recorded spans.
+/// Both go through the atomic write path. Returns 0, or 2 on I/O failure.
+int WriteObsOutputs(const Flags& flags,
+                    const std::vector<analysis::RunSample>& samples) {
+  const std::string counters_out = flags.GetString("counters-out");
+  if (!counters_out.empty()) {
+    std::ostringstream csv;
+    obs::WriteCountersCsvHeader(csv);
+    obs::CounterAggregate aggregate;
+    for (std::size_t r = 0; r < samples.size(); ++r) {
+      const auto c =
+          obs::RunCounters::From(r, samples[r].path_id, samples[r].detail);
+      obs::WriteCountersCsvRow(csv, c);
+      aggregate.Add(c);
+    }
+    std::string error;
+    if (!AtomicWriteFile(counters_out, csv.str(), &error) ||
+        !AtomicWriteFile(counters_out + ".summary.json",
+                         obs::RenderAggregateJson(aggregate) + "\n",
+                         &error)) {
+      std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "spta_cli: wrote %zu counter rows to %s "
+                 "(aggregate in %s.summary.json)\n",
+                 samples.size(), counters_out.c_str(), counters_out.c_str());
+  }
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!obs::Tracer::Instance().WriteChromeTraceFile(trace_out, &error)) {
+      std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
+      return 2;
+    }
+    const auto stats = obs::Tracer::Instance().GetStats();
+    std::fprintf(stderr,
+                 "spta_cli: wrote %llu trace events to %s "
+                 "(%llu dropped)\n",
+                 static_cast<unsigned long long>(stats.recorded),
+                 trace_out.c_str(),
+                 static_cast<unsigned long long>(stats.dropped));
+  }
+  return 0;
+}
+
 /// Writes the campaign CSV: annotated (digest + fault count) when
 /// requested or tainted, plain otherwise; file outputs always go through
 /// the atomic tmp+fsync+rename path.
 int WriteCampaignOutput(const Flags& flags,
                         const std::vector<analysis::RunSample>& samples,
                         std::uint64_t faults) {
+  if (const int rc = WriteObsOutputs(flags, samples); rc != 0) return rc;
   const std::string output = flags.GetString("output");
   const bool annotate = flags.GetBool("annotate") || faults > 0;
   if (output.empty() || output == "-") {
@@ -242,6 +310,7 @@ int RunCampaign(const Flags& flags) {
   bool platform_ok = false;
   const sim::PlatformConfig config = PlatformFromFlags(flags, &platform_ok);
   if (!platform_ok) return 2;
+  MaybeEnableTracer(flags);
 
   analysis::CampaignConfig cc;
   cc.runs = static_cast<std::size_t>(flags.GetInt("runs", 1000));
@@ -402,6 +471,7 @@ int RunSimulate(const Flags& flags) {
   bool platform_ok = false;
   const sim::PlatformConfig config = PlatformFromFlags(flags, &platform_ok);
   if (!platform_ok) return 2;
+  MaybeEnableTracer(flags);
   const trace::Trace t = trace::LoadTraceFile(path);
   const auto runs = static_cast<std::size_t>(flags.GetInt("runs", 1000));
   const auto seed =

@@ -13,7 +13,11 @@
 //       chunks (default 250), reporting the convergence status after each
 //       chunk, then requests the analysis and closes the session.
 //
-//   spta_client metrics  --socket PATH
+//   spta_client metrics  --socket PATH [--metrics-prom]
+//       Dumps the daemon's metrics surface; --metrics-prom asks for the
+//       Prometheus text exposition instead (METRICS_PROM verb) and prints
+//       the raw scrape body, so a cron job piping to a textfile collector
+//       needs no custom speaker of the spta1 protocol.
 //   spta_client shutdown --socket PATH
 //       Graceful drain: the daemon answers every accepted request, then
 //       exits.
@@ -61,6 +65,7 @@ int Usage() {
       "[--deadline-ms D]\n"
       "  session  --input FILE [--name NAME] [--chunk N] [--prob P] "
       "[--per-path]\n"
+      "  metrics  [--metrics-prom]  (Prometheus text format)\n"
       "  common   [--retries N] [--retry-base-ms B] [--retry-cap-ms C] "
       "[--retry-seed S] [--timeout-ms T]\n");
   return 2;
@@ -238,7 +243,17 @@ int main(int argc, char** argv) {
                                policy.max_attempts);
         return exit_code;
       } else if (command == "metrics") {
-        response = client.Metrics();
+        if (flags.GetBool("metrics-prom")) {
+          response = client.MetricsProm();
+          if (response.ok) {
+            // Raw scrape body only: args (format=...) would corrupt the
+            // Prometheus text format for a piping consumer.
+            std::fputs(response.payload.c_str(), stdout);
+            return 0;
+          }
+        } else {
+          response = client.Metrics();
+        }
       } else {  // shutdown
         response = client.Shutdown();
       }

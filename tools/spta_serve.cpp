@@ -2,6 +2,7 @@
 //
 //   spta_serve --socket /tmp/spta.sock [--workers N] [--queue N]
 //              [--cache N] [--deadline-ms D]
+//              [--prom-out FILE [--prom-interval-ms N]]
 //       Listens on an AF_UNIX stream socket; serves concurrent clients
 //       until one sends SHUTDOWN. Dumps the metrics surface to stderr on
 //       exit.
@@ -9,6 +10,12 @@
 //   spta_serve --pipe [same tuning flags]
 //       Serves a single framed request stream on stdin/stdout (inetd
 //       style; also what the tests and scripted clients use).
+//
+// --prom-out periodically exports the same Prometheus text body that the
+// METRICS_PROM verb serves (atomic tmp+rename, so a scraper using the
+// node-exporter textfile pattern never reads a torn file), every
+// --prom-interval-ms ms (default 1000; 0 = only the final export at
+// shutdown). The final state is always written on exit.
 //
 // Robustness contract:
 //   * SIGPIPE is ignored — a client that disconnects mid-response must
@@ -26,11 +33,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/atomic_file.hpp"
 #include "common/flags.hpp"
 #include "service/server.hpp"
 
@@ -41,9 +53,63 @@ using namespace spta;
 int Usage() {
   std::fprintf(stderr,
                "usage: spta_serve (--socket PATH | --pipe) [--workers N] "
-               "[--queue N] [--cache N] [--deadline-ms D]\n");
+               "[--queue N] [--cache N] [--deadline-ms D] "
+               "[--prom-out FILE [--prom-interval-ms N]]\n");
   return 2;
 }
+
+/// Periodic Prometheus textfile exporter (--prom-out). Writes the same
+/// body METRICS_PROM serves; the destructor stops the ticker and writes
+/// one final export so the shutdown-state counters always land on disk.
+class PromExporter {
+ public:
+  PromExporter(service::Server* server, std::string path, double interval_ms)
+      : server_(server), path_(std::move(path)) {
+    if (interval_ms > 0.0) {
+      interval_ = std::chrono::duration<double, std::milli>(interval_ms);
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+
+  ~PromExporter() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    stop_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    WriteOnce();
+  }
+
+  PromExporter(const PromExporter&) = delete;
+  PromExporter& operator=(const PromExporter&) = delete;
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_cv_.wait_for(lock, interval_, [this] { return stop_; })) {
+      lock.unlock();
+      WriteOnce();
+      lock.lock();
+    }
+  }
+
+  void WriteOnce() {
+    std::string error;
+    if (!AtomicWriteFile(path_, server_->RenderPromText(), &error)) {
+      std::fprintf(stderr, "spta_serve: prom export failed: %s\n",
+                   error.c_str());
+    }
+  }
+
+  service::Server* server_;
+  std::string path_;
+  std::chrono::duration<double, std::milli> interval_{0};
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 /// Self-pipe written by the signal handler, drained by the watcher thread.
 /// File-scope because signal handlers cannot capture state.
@@ -92,6 +158,19 @@ int main(int argc, char** argv) {
 
   service::Server server(options);
 
+  const std::string prom_out = flags.GetString("prom-out");
+  const double prom_interval_ms =
+      flags.GetDouble("prom-interval-ms", 1000.0);
+  if (prom_interval_ms < 0.0) {
+    std::fprintf(stderr, "spta_serve: --prom-interval-ms must be >= 0\n");
+    return 2;
+  }
+  std::unique_ptr<PromExporter> prom_exporter;
+  if (!prom_out.empty()) {
+    prom_exporter =
+        std::make_unique<PromExporter>(&server, prom_out, prom_interval_ms);
+  }
+
   // A dead peer is an ERR on its own connection, never a daemon death.
   std::signal(SIGPIPE, SIG_IGN);
   std::thread watcher;
@@ -127,6 +206,10 @@ int main(int argc, char** argv) {
     watcher.join();
     ::close(g_signal_pipe[0]);
   }
+
+  // Stops the ticker and writes the final Prometheus export before the
+  // metrics render below, so file and stderr agree on the exit state.
+  prom_exporter.reset();
 
   std::fprintf(stderr, "spta_serve: exiting; final metrics:\n%s",
                server.metrics().Render(server.engine().cache().stats()).c_str());
