@@ -10,12 +10,20 @@
 //   BENCH_obs_overhead.json     disabled-span A/B gate
 //                               (docs/OBSERVABILITY.md)
 //
+// When given a second binary (micro_sim_batch), it also runs the batch
+// kernel bench at SPTA_BENCH_RUNS=64 — twice: once with the auto-detected
+// scan ISA and once with SPTA_BATCH_FORCE_SCALAR=1 — validating
+// BENCH_sim_batch.json (docs/BATCHING.md) each time and requiring
+// checksum_match=1, i.e. a 64-run batched-vs-serial bit-identity smoke
+// that passes with or without AVX2.
+//
 // Each file must be one flat JSON object, every required key present, every
 // numeric field a finite number (nulls — the reporter's spelling of
 // NaN/inf — fail the check). This keeps the perf-trajectory artifacts
 // trustworthy without making tier-1 runtime depend on perf acceptance bars.
 //
 // Usage: check_bench_json <path-to-micro_sim_hotpath>
+//                         [<path-to-micro_sim_batch>]
 #include <unistd.h>
 
 #include <cctype>
@@ -172,8 +180,11 @@ double Number(const std::map<std::string, std::string>& numbers,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <path-to-micro_sim_hotpath>\n", argv[0]);
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <path-to-micro_sim_hotpath> "
+                 "[<path-to-micro_sim_batch>]\n",
+                 argv[0]);
     return 2;
   }
 
@@ -251,9 +262,57 @@ int main(int argc, char** argv) {
   std::remove(hotpath_json.c_str());
   std::remove(fault_json.c_str());
   std::remove(obs_json.c_str());
+
+  // Batch-kernel artifact: run the bench twice — auto ISA and the forced
+  // scalar fallback — so the 64-run batched-vs-serial bit-identity smoke
+  // covers both dispatch paths on any host.
+  if (argc == 3) {
+    const std::string batch_json = dir + "/BENCH_sim_batch.json";
+    ::setenv("SPTA_BENCH_RUNS", "64", /*overwrite=*/1);
+    for (const bool force_scalar : {false, true}) {
+      if (force_scalar) {
+        ::setenv("SPTA_BATCH_FORCE_SCALAR", "1", /*overwrite=*/1);
+      } else {
+        ::unsetenv("SPTA_BATCH_FORCE_SCALAR");
+      }
+      const std::string leg = force_scalar ? "forced-scalar" : "auto-isa";
+      const std::string batch_cmd = std::string("\"") + argv[2] + "\"";
+      if (std::system(batch_cmd.c_str()) != 0) {
+        Fail("micro_sim_batch (" + leg + ") exited with nonzero status");
+      }
+      std::map<std::string, std::string> batch_numbers;
+      ValidateReport(batch_json, "sim_batch",
+                     {"lanes", "trace_records", "serial_runs_per_sec",
+                      "batched_runs_per_sec", "scalar_runs_per_sec",
+                      "speedup_vs_serial", "baseline_runs_per_sec",
+                      "speedup_vs_baseline", "batch_latency_p50_ms",
+                      "batch_latency_p99_ms", "batch_latency_mean_ms",
+                      "checksum_match", "checksum_60"},
+                     &batch_numbers);
+      if (batch_numbers.count("checksum_match") &&
+          Number(batch_numbers, "checksum_match", 0.0) != 1.0) {
+        Fail("sim_batch (" + leg +
+             "): batched lanes were not bit-identical to serial runs");
+      }
+      if (batch_numbers.count("checksum_60") &&
+          Number(batch_numbers, "checksum_60", 0.0) != 52746737.0) {
+        Fail("sim_batch (" + leg + "): checksum_60 drifted from the frozen "
+             "pre-fast-path value");
+      }
+      if (batch_numbers.count("batched_runs_per_sec") &&
+          !(Number(batch_numbers, "batched_runs_per_sec", 0.0) > 0.0)) {
+        Fail("sim_batch (" + leg + "): batched_runs_per_sec not positive");
+      }
+      std::remove(batch_json.c_str());
+    }
+    ::unsetenv("SPTA_BATCH_FORCE_SCALAR");
+  }
+
   ::rmdir(dir.c_str());
   if (g_failures == 0) {
-    std::printf("bench JSON schema check passed (all three artifacts)\n");
+    std::printf("bench JSON schema check passed (%s)\n",
+                argc == 3 ? "all artifacts incl. sim_batch"
+                          : "all three artifacts");
     return 0;
   }
   std::fprintf(stderr, "%d failure(s)\n", g_failures);

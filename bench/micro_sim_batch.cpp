@@ -1,0 +1,191 @@
+// Throughput of the lockstep multi-seed batch kernel, A/B'd against the
+// single-seed fast path on the same workload, seeds and protocol as
+// micro_sim_hotpath (one full TVCA frame, ~225k records, randomized LEON3,
+// per-run reseed, master seed 123).
+//
+// The batch kernel prepares the trace once (lane-invariant costs folded
+// into a compact event stream) and simulates `lanes` seeds per pass with
+// SIMD way-scans over lane-major state. Acceptance for this PR is >= 3.0x
+// the frozen pre-fast-path baseline (kBaselineRunsPerSec, the same frozen
+// number micro_sim_hotpath gates against) — i.e. the batch kernel must
+// beat the serial kernel's own 1.5x bar by another 2x. The gate is only
+// enforced at campaign-scale run counts; smoke runs (SPTA_BENCH_RUNS=64 in
+// tier 1) still emit the full JSON and verify bit-identity, where any
+// behavioral drift in the batch kernel fails the run regardless of size.
+//
+// Three legs, all on identical seeds:
+//   serial   — sim::Platform::Run per seed (the PR 3 fast path);
+//   batched  — BatchPlatform at the default lane count, auto-detected ISA;
+//   scalar   — same batches with the scalar scan fallback forced, so the
+//              no-AVX2 deployment profile keeps a recorded trajectory.
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/batch_campaign.hpp"
+#include "analysis/campaign.hpp"
+#include "apps/tvca.hpp"
+#include "bench_util.hpp"
+#include "sim/batch/batch_platform.hpp"
+#include "sim/batch/prepared_trace.hpp"
+#include "sim/batch/simd.hpp"
+#include "sim/platform.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Same frozen pre-fast-path reference as micro_sim_hotpath (see there for
+// the measurement protocol); keeping one baseline makes the two speedup
+// figures directly comparable.
+constexpr double kBaselineRunsPerSec = 183.56;
+constexpr double kAcceptanceSpeedup = 3.0;
+// The acceptance bar is only enforced at campaign scale; short smoke runs
+// amortize the one-time trace preparation over too few batches.
+constexpr std::size_t kGateMinRuns = 150;
+
+// Frozen sum of end-to-end cycles over runs 0..59 of this campaign
+// (master seed 123); shared with micro_sim_hotpath — the batch kernel is
+// bit-identical to the serial one, so it reproduces the same number.
+constexpr unsigned long long kChecksum60 = 52746737ULL;
+
+struct Leg {
+  double seconds = 0.0;
+  unsigned long long checksum = 0;  // cycles summed over runs 0..59
+  std::vector<double> batch_latencies;
+};
+
+}  // namespace
+
+int main() {
+  using namespace spta;
+  bench::Banner(
+      "micro: lockstep batch kernel",
+      "infrastructure (no paper artifact): multi-seed campaign throughput",
+      "batch kernel sustains >= 3.0x the pre-fast-path run throughput "
+      "with bit-identical per-lane behavior");
+
+  const std::size_t runs = bench::RunCount(300);
+  const std::size_t lanes = analysis::kDefaultBatchLanes;
+  constexpr std::uint64_t kMasterSeed = 123;
+
+  const apps::TvcaApp app;
+  const auto frame = app.BuildFrame(/*scenario_seed=*/42);
+  const auto& trace = frame.trace;
+  const auto config = sim::RandLeon3Config();
+  std::printf("workload: TVCA frame(42), %zu records, path %u\n",
+              trace.records.size(), frame.path_id);
+  std::printf("lanes: %zu   scan ISA: %s (avx2 %s)\n", lanes,
+              ToString(sim::batch::ActiveScanIsa()),
+              sim::batch::CpuHasAvx2() ? "available" : "unavailable");
+
+  std::vector<Seed> seeds;
+  seeds.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    seeds.push_back(analysis::FixedTraceRunSeed(kMasterSeed, i));
+  }
+
+  // --- serial leg -------------------------------------------------------
+  sim::Platform platform(config, kMasterSeed);
+  for (std::size_t i = 0; i < 3; ++i) {  // warmup
+    (void)platform.Run(trace, seeds[i % seeds.size()]);
+  }
+  Leg serial;
+  {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < runs; ++i) {
+      const auto result = platform.Run(trace, seeds[i]);
+      if (i < 60) serial.checksum += result.cycles;
+    }
+    serial.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  // --- batched legs -----------------------------------------------------
+  // Trace preparation is INSIDE the measured window: a campaign pays it
+  // too (once per trace), and charging it here keeps the speedup honest.
+  const auto run_batched = [&](sim::batch::ScanIsa isa) {
+    (void)sim::batch::SetScanIsaForTest(isa);
+    Leg leg;
+    const auto t0 = Clock::now();
+    const auto prepared = sim::batch::PrepareTrace(trace, config);
+    sim::batch::BatchPlatform batch(config, lanes);
+    for (std::size_t base = 0; base < runs; base += lanes) {
+      const std::size_t n = std::min(lanes, runs - base);
+      const auto b0 = Clock::now();
+      const auto results =
+          batch.RunBatch(prepared, std::span<const Seed>(&seeds[base], n));
+      leg.batch_latencies.push_back(
+          std::chrono::duration<double>(Clock::now() - b0).count());
+      for (std::size_t l = 0; l < n; ++l) {
+        if (base + l < 60) leg.checksum += results[l].cycles;
+      }
+    }
+    leg.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    return leg;
+  };
+  const Leg batched = run_batched(sim::batch::CpuHasAvx2()
+                                      ? sim::batch::ScanIsa::kAvx2
+                                      : sim::batch::ScanIsa::kScalar);
+  const std::string batched_isa =
+      ToString(sim::batch::CpuHasAvx2() ? sim::batch::ScanIsa::kAvx2
+                                        : sim::batch::ScanIsa::kScalar);
+  const Leg scalar = run_batched(sim::batch::ScanIsa::kScalar);
+  (void)sim::batch::SetScanIsaForTest(sim::batch::CpuHasAvx2()
+                                          ? sim::batch::ScanIsa::kAvx2
+                                          : sim::batch::ScanIsa::kScalar);
+
+  const double serial_rps = static_cast<double>(runs) / serial.seconds;
+  const double batched_rps = static_cast<double>(runs) / batched.seconds;
+  const double scalar_rps = static_cast<double>(runs) / scalar.seconds;
+  const double speedup_vs_serial = batched_rps / serial_rps;
+  const double speedup_vs_baseline = batched_rps / kBaselineRunsPerSec;
+  const auto lat = bench::SummarizeLatencies(batched.batch_latencies);
+
+  std::printf("\nserial (fast path)  : %8.2f runs/sec\n", serial_rps);
+  std::printf("batched (%-6s)    : %8.2f runs/sec  (batch p50 %.3fms "
+              "p99 %.3fms)\n",
+              batched_isa.c_str(), batched_rps, lat.p50 * 1e3, lat.p99 * 1e3);
+  std::printf("batched (scalar)    : %8.2f runs/sec\n", scalar_rps);
+  std::printf("speedup vs serial   : %.2fx\n", speedup_vs_serial);
+  std::printf("speedup vs baseline : %.2fx  (acceptance: >= %.2fx at >= %zu "
+              "runs)\n",
+              speedup_vs_baseline, kAcceptanceSpeedup, kGateMinRuns);
+
+  bool failed = false;
+  // Bit-identity: all three legs must agree with each other; at >= 60 runs
+  // they must also reproduce the frozen pre-fast-path checksum.
+  bool bits_ok =
+      serial.checksum == batched.checksum && batched.checksum == scalar.checksum;
+  if (runs >= 60) bits_ok = bits_ok && serial.checksum == kChecksum60;
+  std::printf("bit-identity        : serial %llu batched %llu scalar %llu  "
+              "%s\n",
+              serial.checksum, batched.checksum, scalar.checksum,
+              bits_ok ? "OK" : "MISMATCH");
+  failed = failed || !bits_ok;
+
+  if (runs >= kGateMinRuns && speedup_vs_baseline < kAcceptanceSpeedup) {
+    std::printf("FAIL: batch throughput below the %.2fx acceptance bar\n",
+                kAcceptanceSpeedup);
+    failed = true;
+  }
+
+  bench::JsonReport report("sim_batch", runs);
+  report.SetString("isa", batched_isa);
+  report.Set("lanes", static_cast<double>(lanes));
+  report.Set("trace_records", static_cast<double>(trace.records.size()));
+  report.Set("serial_runs_per_sec", serial_rps);
+  report.Set("batched_runs_per_sec", batched_rps);
+  report.Set("scalar_runs_per_sec", scalar_rps);
+  report.Set("speedup_vs_serial", speedup_vs_serial);
+  report.Set("baseline_runs_per_sec", kBaselineRunsPerSec);
+  report.Set("speedup_vs_baseline", speedup_vs_baseline);
+  report.SetLatencies("batch_latency", lat);
+  report.Set("checksum_match", bits_ok ? 1.0 : 0.0);
+  report.Set("checksum_60",
+             runs >= 60 ? static_cast<double>(serial.checksum) : 0.0);
+  if (report.Write().empty()) failed = true;
+
+  return failed ? 1 : 0;
+}

@@ -75,23 +75,27 @@ class BlockDraws {
   /// Consumption counters since construction. `words` counts engine words
   /// actually handed to callers (pre-clocked but unserved buffer words are
   /// excluded), `rejections` the UniformBelow retries among them.
-  DrawStats stats() const {
-    return {refills_ * kBlockSize - buffered(), rejections_};
-  }
+  DrawStats stats() const { return {clocked_ - buffered(), rejections_}; }
 
  private:
   void Refill() {
     for (std::size_t i = 0; i < kBlockSize; ++i) buffer_[i] = engine_.Next();
     fill_ = kBlockSize;
     pos_ = 0;
-    ++refills_;
+    // Track clocked words explicitly rather than deriving them as
+    // refills * kBlockSize: the derivation silently over-counts the moment
+    // any refill clocks fewer than kBlockSize words (a hazard for partial
+    // or lane-interleaved refill strategies), and the batch kernel's
+    // per-lane PRNG attribution depends on `stats().words` being exact at
+    // every refill boundary.
+    clocked_ += kBlockSize;
   }
 
   Engine engine_;
   std::array<std::uint32_t, kBlockSize> buffer_;
   std::size_t pos_ = 0;   ///< Next word to serve.
   std::size_t fill_ = 0;  ///< Valid words in the buffer.
-  std::uint64_t refills_ = 0;
+  std::uint64_t clocked_ = 0;  ///< Engine words clocked into the buffer.
   std::uint64_t rejections_ = 0;
 };
 

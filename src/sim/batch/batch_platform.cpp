@@ -1,0 +1,157 @@
+#include "sim/batch/batch_platform.hpp"
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace spta::sim::batch {
+
+BatchPlatform::BatchPlatform(const PlatformConfig& config, std::size_t lanes)
+    : config_(config),
+      lanes_(lanes),
+      timing_digest_(TimingDigest(config)),
+      il1_(config.il1, lanes),
+      dl1_(config.dl1, lanes),
+      itlb_(config.itlb, lanes),
+      dtlb_(config.dtlb, lanes) {
+  SPTA_REQUIRE(lanes >= 1 && lanes <= kMaxLanes);
+  config_.Validate();
+  memories_.reserve(lanes);
+  store_buffers_.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    // The construction seed is irrelevant post-reset (ResetLane installs
+    // the run seed); mirror the Platform arena convention.
+    memories_.emplace_back(config_.bus, config_.dram, config_.l2,
+                           DeriveSeed(0, "memory"));
+    store_buffers_.emplace_back(config_.store_buffer);
+  }
+  now_.assign(lanes, 0);
+}
+
+void BatchPlatform::ResetLane(std::size_t lane, Seed run_seed) {
+  // Mirrors Platform::ResetAll for core 0: memory reset with the run seed,
+  // then the core's per-structure derivation chain (Core::Reseed).
+  memories_[lane].Reset(run_seed);
+  const Seed core_seed = DeriveSeed(run_seed, std::uint64_t{0});
+  il1_.Reseed(lane, DeriveSeed(core_seed, "il1"));
+  dl1_.Reseed(lane, DeriveSeed(core_seed, "dl1"));
+  itlb_.Reseed(lane, DeriveSeed(core_seed, "itlb"));
+  dtlb_.Reseed(lane, DeriveSeed(core_seed, "dtlb"));
+  il1_.ResetStats(lane);
+  dl1_.ResetStats(lane);
+  itlb_.ResetStats(lane);
+  dtlb_.ResetStats(lane);
+  store_buffers_[lane].Reset();
+  now_[lane] = 0;
+}
+
+std::vector<RunResult> BatchPlatform::RunBatch(
+    const PreparedTrace& prepared, std::span<const Seed> run_seeds) {
+  const std::size_t n = run_seeds.size();
+  SPTA_REQUIRE(n >= 1 && n <= lanes_);
+  SPTA_REQUIRE_MSG(prepared.timing_digest == timing_digest_,
+                   "prepared trace was built under different timing "
+                   "parameters than this BatchPlatform");
+
+  for (std::size_t l = 0; l < n; ++l) ResetLane(l, run_seeds[l]);
+
+  const Cycles itlb_penalty = config_.itlb.miss_penalty;
+  const Cycles dtlb_penalty = config_.dtlb.miss_penalty;
+
+  for (const BatchEvent& e : prepared.events) {
+    switch (e.kind) {
+      case BatchEvent::Kind::kBulkFetch:
+        for (std::size_t l = 0; l < n; ++l) {
+          itlb_.MruRun(l, e.count);
+          il1_.MruRun(l, e.count);
+          now_[l] += e.cycles;
+        }
+        break;
+      case BatchEvent::Kind::kFetch:
+        for (std::size_t l = 0; l < n; ++l) {
+          if (e.itlb_full) {
+            if (!itlb_.Access(l, e.pc)) now_[l] += itlb_penalty;
+          } else {
+            itlb_.MruRun(l, 1);
+          }
+          if (e.il1_full) {
+            if (!il1_.Access(l, e.pc)) {
+              now_[l] = memories_[l].LineFill(0, e.pc, now_[l]);
+            }
+          } else {
+            il1_.MruRun(l, 1);
+          }
+          now_[l] += e.cycles;
+        }
+        break;
+      case BatchEvent::Kind::kLoad:
+        for (std::size_t l = 0; l < n; ++l) {
+          if (e.itlb_full) {
+            if (!itlb_.Access(l, e.pc)) now_[l] += itlb_penalty;
+          } else {
+            itlb_.MruRun(l, 1);
+          }
+          if (e.il1_full) {
+            if (!il1_.Access(l, e.pc)) {
+              now_[l] = memories_[l].LineFill(0, e.pc, now_[l]);
+            }
+          } else {
+            il1_.MruRun(l, 1);
+          }
+          now_[l] += e.cycles;
+          if (!dtlb_.Access(l, e.mem_addr)) now_[l] += dtlb_penalty;
+          if (!dl1_.Access(l, e.mem_addr, /*allocate_on_miss=*/true)) {
+            now_[l] = memories_[l].LineFill(0, e.mem_addr, now_[l]);
+          }
+        }
+        break;
+      case BatchEvent::Kind::kStore:
+        for (std::size_t l = 0; l < n; ++l) {
+          if (e.itlb_full) {
+            if (!itlb_.Access(l, e.pc)) now_[l] += itlb_penalty;
+          } else {
+            itlb_.MruRun(l, 1);
+          }
+          if (e.il1_full) {
+            if (!il1_.Access(l, e.pc)) {
+              now_[l] = memories_[l].LineFill(0, e.pc, now_[l]);
+            }
+          } else {
+            il1_.MruRun(l, 1);
+          }
+          now_[l] += e.cycles;
+          if (!dtlb_.Access(l, e.mem_addr)) now_[l] += dtlb_penalty;
+          dl1_.Access(l, e.mem_addr, /*allocate_on_miss=*/false);
+          MemorySystem* mem = &memories_[l];
+          const Address addr = e.mem_addr;
+          now_[l] = store_buffers_[l].Push(now_[l], [mem, addr](Cycles ready) {
+            return mem->Store(0, addr, ready);
+          });
+        }
+        break;
+    }
+  }
+
+  std::vector<RunResult> results(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    now_[l] = store_buffers_[l].DrainAll(now_[l]);
+    RunResult& r = results[l];
+    r.cycles = now_[l];
+    r.instructions = prepared.instructions;
+    r.il1 = il1_.stats(l);
+    r.dl1 = dl1_.stats(l);
+    r.itlb = itlb_.stats(l);
+    r.dtlb = dtlb_.stats(l);
+    r.fpu = prepared.fpu;
+    r.store_buffer = store_buffers_[l].stats();
+    for (const auto& draws : {il1_.draw_stats(l), dl1_.draw_stats(l),
+                              itlb_.draw_stats(l), dtlb_.draw_stats(l)}) {
+      r.prng.words += draws.words;
+      r.prng.rejections += draws.rejections;
+    }
+    r.bus = memories_[l].bus().stats();
+    r.dram = memories_[l].dram().stats();
+  }
+  return results;
+}
+
+}  // namespace spta::sim::batch

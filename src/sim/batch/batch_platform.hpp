@@ -1,0 +1,74 @@
+// The lockstep multi-seed batch kernel.
+//
+// BatchPlatform simulates up to K independent measurement runs of ONE
+// prepared trace — K distinct run seeds — in a single pass over the event
+// stream. Per event, the lane-invariant work (trace decode, execute-cost
+// accounting, guaranteed-MRU fetch classification) was already paid once
+// by PrepareTrace; only the lane-variant work (cache/TLB lookups, memory
+// path, store buffer) executes per lane, over lane-major SoA state scanned
+// with the runtime-dispatched SIMD first-match primitive.
+//
+// Determinism contract: lane l of RunBatch(prepared, seeds) returns a
+// RunResult bit-identical — every field, including PRNG consumption
+// counters — to sim::Platform::Run(trace, seeds[l]) on a single-core
+// platform view (core 0 executing, other cores idle), for any lane count
+// and any position of the seed within the batch. Each lane owns a private
+// MemorySystem and StoreBuffer and performs its bus/DRAM calls in program
+// order, exactly as the serial core does. The seed-derivation chain
+// (memory reset with the run seed, core seed = DeriveSeed(run_seed, 0),
+// per-structure "il1"/"dl1"/"itlb"/"dtlb" labels) mirrors
+// Platform::ResetAll. The contract is enforced by
+// tests/sim_batch_equivalence_test.cpp and the golden regression battery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/batch/lane_arrays.hpp"
+#include "sim/batch/prepared_trace.hpp"
+#include "sim/config.hpp"
+#include "sim/core.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/store_buffer.hpp"
+
+namespace spta::sim::batch {
+
+class BatchPlatform {
+ public:
+  /// Upper bound on lanes per batch; keeps per-lane working sets of all
+  /// lanes L1/L2-resident for the default cache geometries.
+  static constexpr std::size_t kMaxLanes = 16;
+
+  /// Builds a K-lane kernel for `config` (1 <= lanes <= kMaxLanes).
+  BatchPlatform(const PlatformConfig& config, std::size_t lanes);
+
+  /// Runs one batch: run_seeds.size() lanes (1..lanes()), each performing
+  /// the full per-run reset protocol with its own seed, then executing the
+  /// prepared trace in lockstep. `prepared` must have been built under a
+  /// timing-compatible configuration (TimingDigest match is enforced).
+  std::vector<RunResult> RunBatch(const PreparedTrace& prepared,
+                                  std::span<const Seed> run_seeds);
+
+  std::size_t lanes() const { return lanes_; }
+  const PlatformConfig& config() const { return config_; }
+
+ private:
+  void ResetLane(std::size_t lane, Seed run_seed);
+
+  PlatformConfig config_;
+  std::size_t lanes_;
+  std::uint64_t timing_digest_;
+  CacheLaneArray il1_;
+  CacheLaneArray dl1_;
+  TlbLaneArray itlb_;
+  TlbLaneArray dtlb_;
+  /// Private memory path + store buffer per lane: a lane's bus/DRAM/L2
+  /// state must evolve exactly as in its serial single-core run.
+  std::vector<MemorySystem> memories_;
+  std::vector<StoreBuffer> store_buffers_;
+  std::vector<Cycles> now_;
+};
+
+}  // namespace spta::sim::batch

@@ -1,0 +1,144 @@
+#include "sim/batch/lane_arrays.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace spta::sim::batch {
+
+CacheLaneArray::CacheLaneArray(const CacheConfig& config, std::size_t lanes)
+    : config_(config),
+      sets_(config.num_sets()),
+      set_shift_(static_cast<std::uint32_t>(std::countr_zero(sets_))),
+      line_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(config.line_bytes))),
+      index_mask_(sets_ - 1),
+      lane_stride_(static_cast<std::size_t>(sets_) * config.ways),
+      tags_(lanes * lane_stride_, kInvalidTag),
+      stamps_(lanes * lane_stride_, 0),
+      ref_bits_(lanes * sets_, 0),
+      meta_(lanes) {
+  SPTA_REQUIRE(lanes >= 1);
+  SPTA_REQUIRE(std::has_single_bit(sets_));
+  SPTA_REQUIRE(config.ways >= 1 && config.ways <= 64);
+  rng_.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    // Placeholder streams; RunBatch reseeds every lane before use.
+    rng_.emplace_back(prng::HwPrng(DeriveSeed(0, "cache-repl")));
+  }
+}
+
+std::uint32_t CacheLaneArray::Victim(std::size_t lane, std::uint32_t set) {
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+  std::uint64_t* tags = LaneTags(lane);
+  // Prefer the first invalid way (FindWord64 preserves first-match order).
+  const std::uint32_t invalid =
+      FindWord64(tags + base, config_.ways, kInvalidTag);
+  if (invalid != config_.ways) return invalid;
+  switch (config_.replacement) {
+    case Replacement::kLru: {
+      const std::uint64_t* stamps = LaneStamps(lane);
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < config_.ways; ++w) {
+        if (stamps[base + w] < stamps[base + victim]) victim = w;
+      }
+      return victim;
+    }
+    case Replacement::kRandom:
+      return rng_[lane].UniformBelow(config_.ways);
+    case Replacement::kNru: {
+      std::uint64_t* refs = LaneRefBits(lane);
+      const std::uint32_t first_clear =
+          static_cast<std::uint32_t>(std::countr_one(refs[set]));
+      if (first_clear < config_.ways) return first_clear;
+      refs[set] = 0;
+      return 0;
+    }
+  }
+  SPTA_CHECK_MSG(false, "unreachable replacement policy");
+  return 0;
+}
+
+void CacheLaneArray::Flush(std::size_t lane) {
+  std::uint64_t* tags = LaneTags(lane);
+  std::uint64_t* stamps = LaneStamps(lane);
+  std::uint64_t* refs = LaneRefBits(lane);
+  std::fill(tags, tags + lane_stride_, kInvalidTag);
+  std::fill(stamps, stamps + lane_stride_, std::uint64_t{0});
+  std::fill(refs, refs + sets_, std::uint64_t{0});
+  LaneMeta& m = meta_[lane];
+  m.mru_index = 0;
+  m.mru_set = 0;
+  m.mru_way = 0;
+  m.access_clock = 0;
+}
+
+void CacheLaneArray::Reseed(std::size_t lane, Seed seed) {
+  meta_[lane].placement_seed = seed;
+  rng_[lane] = prng::BlockDraws<prng::HwPrng>(
+      prng::HwPrng(DeriveSeed(seed, "cache-repl")));
+  Flush(lane);
+}
+
+TlbLaneArray::TlbLaneArray(const TlbConfig& config, std::size_t lanes)
+    : config_(config),
+      entries_(config.entries),
+      page_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(config.page_bytes))),
+      vpns_(lanes * static_cast<std::size_t>(config.entries), kInvalidVpn),
+      stamps_(lanes * static_cast<std::size_t>(config.entries), 0),
+      ref_(lanes * static_cast<std::size_t>(config.entries), 0),
+      meta_(lanes) {
+  SPTA_REQUIRE(lanes >= 1);
+  SPTA_REQUIRE(std::has_single_bit(config.page_bytes));
+  rng_.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    rng_.emplace_back(prng::HwPrng(DeriveSeed(0, "tlb-repl")));
+  }
+}
+
+std::uint32_t TlbLaneArray::Victim(std::size_t lane) {
+  std::uint64_t* vpns = LaneVpns(lane);
+  const std::uint32_t invalid = FindWord64(vpns, entries_, kInvalidVpn);
+  if (invalid != entries_) return invalid;
+  switch (config_.replacement) {
+    case Replacement::kLru: {
+      const std::uint64_t* stamps = LaneStamps(lane);
+      std::uint32_t victim = 0;
+      for (std::uint32_t i = 1; i < entries_; ++i) {
+        if (stamps[i] < stamps[victim]) victim = i;
+      }
+      return victim;
+    }
+    case Replacement::kRandom:
+      return rng_[lane].UniformBelow(entries_);
+    case Replacement::kNru: {
+      std::uint8_t* refs = LaneRefs(lane);
+      for (std::uint32_t i = 0; i < entries_; ++i) {
+        if (refs[i] == 0) return i;
+      }
+      std::fill(refs, refs + entries_, std::uint8_t{0});
+      return 0;
+    }
+  }
+  SPTA_CHECK_MSG(false, "unreachable replacement policy");
+  return 0;
+}
+
+void TlbLaneArray::Flush(std::size_t lane) {
+  std::uint64_t* vpns = LaneVpns(lane);
+  std::uint64_t* stamps = LaneStamps(lane);
+  std::uint8_t* refs = LaneRefs(lane);
+  std::fill(vpns, vpns + entries_, kInvalidVpn);
+  std::fill(stamps, stamps + entries_, std::uint64_t{0});
+  std::fill(refs, refs + entries_, std::uint8_t{0});
+  meta_[lane].mru = 0;
+  meta_[lane].access_clock = 0;
+}
+
+void TlbLaneArray::Reseed(std::size_t lane, Seed seed) {
+  rng_[lane] = prng::BlockDraws<prng::HwPrng>(
+      prng::HwPrng(DeriveSeed(seed, "tlb-repl")));
+  Flush(lane);
+}
+
+}  // namespace spta::sim::batch

@@ -1,0 +1,234 @@
+// Multi-lane cache/TLB state for the lockstep batch kernel.
+//
+// CacheLaneArray / TlbLaneArray hold K independent replicas (lanes) of one
+// sim::Cache / sim::Tlb in lane-major flat arrays: lane l's tag block is
+// contiguous, so the per-set way scan and the fully associative match run
+// over consecutive words via the runtime-dispatched SIMD first-match scan
+// (sim/batch/simd.hpp). Each lane owns its own placement seed, replacement
+// BlockDraws stream, MRU shortcut, access clock and statistics — lanes
+// never share randomized state, which is what makes each lane's behavior
+// bit-identical to a dedicated single-seed structure.
+//
+// Divergence-mask semantics: the kernel calls Access(lane, ...) per lane,
+// so hit/miss divergence across lanes needs no masking — each lane simply
+// takes its own branch, with its own PRNG and victim choice. The bulk MRU
+// operations (MruRun) apply a statically-proven run of MRU hits in O(1):
+// their state update (counter bumps + final restamp + ref bit) is
+// observationally identical to the per-access loop, as each intermediate
+// restamp is overwritten by the next and the ref bit is idempotent.
+//
+// Semantics are replicated from sim/cache.hpp and sim/tlb.hpp (placement
+// via the shared sim/placement.hpp helper) and locked by the differential
+// battery in tests/sim_batch_equivalence_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "prng/block_draws.hpp"
+#include "prng/hw_prng.hpp"
+#include "sim/batch/simd.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/placement.hpp"
+#include "sim/tlb.hpp"
+
+namespace spta::sim::batch {
+
+class CacheLaneArray {
+ public:
+  CacheLaneArray(const CacheConfig& config, std::size_t lanes);
+
+  /// Mirrors Cache::Access for lane `lane`. Returns true on hit.
+  bool Access(std::size_t lane, Address addr, bool allocate_on_miss = true) {
+    LaneMeta& m = meta_[lane];
+    ++m.stats.accesses;
+    ++m.access_clock;
+    const std::uint64_t line = addr >> line_shift_;
+    std::uint64_t* tags = LaneTags(lane);
+    std::uint64_t* stamps = LaneStamps(lane);
+    std::uint64_t* refs = LaneRefBits(lane);
+    if (tags[m.mru_index] == line) {
+      stamps[m.mru_index] = m.access_clock;
+      refs[m.mru_set] |= 1ULL << m.mru_way;
+      return true;
+    }
+    const std::uint32_t set = PlacementSetIndex(
+        config_.placement, line, index_mask_, set_shift_, m.placement_seed);
+    const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+    const std::uint32_t w = FindWord64(tags + base, config_.ways, line);
+    if (w != config_.ways) {
+      stamps[base + w] = m.access_clock;
+      refs[set] |= 1ULL << w;
+      RememberMru(m, base + w, set, w);
+      return true;
+    }
+    ++m.stats.misses;
+    if (allocate_on_miss) {
+      const std::uint32_t v = Victim(lane, set);
+      tags[base + v] = line;
+      stamps[base + v] = m.access_clock;
+      refs[set] |= 1ULL << v;
+      RememberMru(m, base + v, set, v);
+    }
+    return false;
+  }
+
+  /// Applies `count` guaranteed MRU hits to lane `lane` in O(1). Valid
+  /// only when the lane's MRU slot holds the accessed line for the whole
+  /// run (the prepared-trace bulk-fetch guarantee); equivalent to `count`
+  /// Access() calls on that line.
+  void MruRun(std::size_t lane, std::uint32_t count) {
+    LaneMeta& m = meta_[lane];
+    m.stats.accesses += count;
+    m.access_clock += count;
+    LaneStamps(lane)[m.mru_index] = m.access_clock;
+    LaneRefBits(lane)[m.mru_set] |= 1ULL << m.mru_way;
+  }
+
+  /// Mirrors Cache::Flush for one lane.
+  void Flush(std::size_t lane);
+  /// Mirrors Cache::Reseed for one lane (new placement seed + replacement
+  /// stream, then flush).
+  void Reseed(std::size_t lane, Seed seed);
+  void ResetStats(std::size_t lane) { meta_[lane].stats = CacheStats{}; }
+
+  const CacheStats& stats(std::size_t lane) const {
+    return meta_[lane].stats;
+  }
+  prng::DrawStats draw_stats(std::size_t lane) const {
+    return rng_[lane].stats();
+  }
+  std::size_t lanes() const { return meta_.size(); }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  static constexpr std::uint64_t kInvalidTag = ~0ULL;
+
+  struct LaneMeta {
+    Seed placement_seed = 0;
+    std::size_t mru_index = 0;  ///< Slot within the lane's tag block.
+    std::uint32_t mru_set = 0;
+    std::uint32_t mru_way = 0;
+    std::uint64_t access_clock = 0;
+    CacheStats stats;
+  };
+
+  std::uint64_t* LaneTags(std::size_t lane) {
+    return tags_.data() + lane * lane_stride_;
+  }
+  std::uint64_t* LaneStamps(std::size_t lane) {
+    return stamps_.data() + lane * lane_stride_;
+  }
+  std::uint64_t* LaneRefBits(std::size_t lane) {
+    return ref_bits_.data() + lane * sets_;
+  }
+  static void RememberMru(LaneMeta& m, std::size_t index, std::uint32_t set,
+                          std::uint32_t way) {
+    m.mru_index = index;
+    m.mru_set = set;
+    m.mru_way = way;
+  }
+  std::uint32_t Victim(std::size_t lane, std::uint32_t set);
+
+  CacheConfig config_;
+  std::uint32_t sets_;
+  std::uint32_t set_shift_;
+  std::uint32_t line_shift_;
+  std::uint32_t index_mask_;
+  std::size_t lane_stride_;  ///< sets_ * ways: one lane's tag-block size.
+  std::vector<std::uint64_t> tags_;      ///< lanes * sets * ways.
+  std::vector<std::uint64_t> stamps_;    ///< lanes * sets * ways.
+  std::vector<std::uint64_t> ref_bits_;  ///< lanes * sets.
+  std::vector<LaneMeta> meta_;
+  std::vector<prng::BlockDraws<prng::HwPrng>> rng_;
+};
+
+class TlbLaneArray {
+ public:
+  TlbLaneArray(const TlbConfig& config, std::size_t lanes);
+
+  /// Mirrors Tlb::Access for lane `lane`. Returns true on hit.
+  bool Access(std::size_t lane, Address addr) {
+    LaneMeta& m = meta_[lane];
+    ++m.stats.accesses;
+    ++m.access_clock;
+    const std::uint64_t vpn = addr >> page_shift_;
+    std::uint64_t* vpns = LaneVpns(lane);
+    std::uint64_t* stamps = LaneStamps(lane);
+    std::uint8_t* refs = LaneRefs(lane);
+    if (vpns[m.mru] == vpn) {
+      stamps[m.mru] = m.access_clock;
+      refs[m.mru] = 1;
+      return true;
+    }
+    const std::uint32_t hit = FindWord64(vpns, entries_, vpn);
+    if (hit != entries_) {
+      stamps[hit] = m.access_clock;
+      refs[hit] = 1;
+      m.mru = hit;
+      return true;
+    }
+    ++m.stats.misses;
+    const std::uint32_t victim = Victim(lane);
+    vpns[victim] = vpn;
+    stamps[victim] = m.access_clock;
+    refs[victim] = 1;
+    m.mru = victim;
+    return false;
+  }
+
+  /// `count` guaranteed MRU hits in O(1) (see CacheLaneArray::MruRun).
+  void MruRun(std::size_t lane, std::uint32_t count) {
+    LaneMeta& m = meta_[lane];
+    m.stats.accesses += count;
+    m.access_clock += count;
+    LaneStamps(lane)[m.mru] = m.access_clock;
+    LaneRefs(lane)[m.mru] = 1;
+  }
+
+  void Flush(std::size_t lane);
+  void Reseed(std::size_t lane, Seed seed);
+  void ResetStats(std::size_t lane) { meta_[lane].stats = TlbStats{}; }
+
+  const TlbStats& stats(std::size_t lane) const { return meta_[lane].stats; }
+  prng::DrawStats draw_stats(std::size_t lane) const {
+    return rng_[lane].stats();
+  }
+  std::size_t lanes() const { return meta_.size(); }
+  const TlbConfig& config() const { return config_; }
+
+ private:
+  static constexpr std::uint64_t kInvalidVpn = ~0ULL;
+
+  struct LaneMeta {
+    std::uint32_t mru = 0;
+    std::uint64_t access_clock = 0;
+    TlbStats stats;
+  };
+
+  std::uint64_t* LaneVpns(std::size_t lane) {
+    return vpns_.data() + lane * entries_;
+  }
+  std::uint64_t* LaneStamps(std::size_t lane) {
+    return stamps_.data() + lane * entries_;
+  }
+  std::uint8_t* LaneRefs(std::size_t lane) {
+    return ref_.data() + lane * entries_;
+  }
+  std::uint32_t Victim(std::size_t lane);
+
+  TlbConfig config_;
+  std::uint32_t entries_;
+  std::uint32_t page_shift_;
+  std::vector<std::uint64_t> vpns_;    ///< lanes * entries.
+  std::vector<std::uint64_t> stamps_;  ///< lanes * entries.
+  std::vector<std::uint8_t> ref_;     ///< lanes * entries.
+  std::vector<LaneMeta> meta_;
+  std::vector<prng::BlockDraws<prng::HwPrng>> rng_;
+};
+
+}  // namespace spta::sim::batch

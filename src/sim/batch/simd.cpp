@@ -1,0 +1,110 @@
+#include "sim/batch/simd.hpp"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SPTA_BATCH_X86 1
+#else
+#define SPTA_BATCH_X86 0
+#endif
+
+#include <bit>
+
+namespace spta::sim::batch {
+namespace detail {
+
+std::uint32_t (*find_word64_fn)(const std::uint64_t*, std::uint32_t,
+                                std::uint64_t) = nullptr;
+
+std::uint32_t FindWord64Scalar(const std::uint64_t* data, std::uint32_t n,
+                               std::uint64_t needle) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (data[i] == needle) return i;
+  }
+  return n;
+}
+
+#if SPTA_BATCH_X86
+__attribute__((target("avx2"))) std::uint32_t FindWord64Avx2(
+    const std::uint64_t* data, std::uint32_t n, std::uint64_t needle) {
+  const __m256i nd = _mm256_set1_epi64x(static_cast<long long>(needle));
+  std::uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i eq = _mm256_cmpeq_epi64(v, nd);
+    // movemask_pd packs one bit per 64-bit element, element 0 in bit 0, so
+    // the lowest set bit is the LOWEST matching index — first-match order.
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    if (mask != 0) {
+      return i + static_cast<std::uint32_t>(
+                     std::countr_zero(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (data[i] == needle) return i;
+  }
+  return n;
+}
+#else
+std::uint32_t FindWord64Avx2(const std::uint64_t* data, std::uint32_t n,
+                             std::uint64_t needle) {
+  return FindWord64Scalar(data, n, needle);
+}
+#endif
+
+void EnsureDispatchResolved() { (void)ActiveScanIsa(); }
+
+}  // namespace detail
+
+const char* ToString(ScanIsa isa) {
+  switch (isa) {
+    case ScanIsa::kScalar:
+      return "scalar";
+    case ScanIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuHasAvx2() {
+#if SPTA_BATCH_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+ScanIsa g_active = ScanIsa::kScalar;
+bool g_resolved = false;
+
+void Install(ScanIsa isa) {
+  g_active = isa;
+  detail::find_word64_fn = isa == ScanIsa::kAvx2 ? detail::FindWord64Avx2
+                                                 : detail::FindWord64Scalar;
+  g_resolved = true;
+}
+
+}  // namespace
+
+ScanIsa ActiveScanIsa() {
+  if (!g_resolved) {
+    const char* force = std::getenv("SPTA_BATCH_FORCE_SCALAR");
+    const bool forced_scalar =
+        force != nullptr && force[0] != '\0' && force[0] != '0';
+    Install(!forced_scalar && CpuHasAvx2() ? ScanIsa::kAvx2
+                                           : ScanIsa::kScalar);
+  }
+  return g_active;
+}
+
+ScanIsa SetScanIsaForTest(ScanIsa isa) {
+  if (isa == ScanIsa::kAvx2 && !CpuHasAvx2()) isa = ScanIsa::kScalar;
+  Install(isa);
+  return g_active;
+}
+
+}  // namespace spta::sim::batch

@@ -1,0 +1,65 @@
+// Runtime-dispatched SIMD scan primitives for the lockstep batch kernel.
+//
+// The batch kernel's hot scans — the set-associative way scan and the
+// fully associative TLB match over flat SoA word arrays — are first-match
+// searches for one 64-bit needle. On x86 with AVX2 the scan compares four
+// ways per instruction (VPCMPEQQ + movemask); everywhere else a portable
+// scalar loop runs. The ISA is selected once at startup from CPUID, can be
+// forced to scalar with SPTA_BATCH_FORCE_SCALAR=1 (CI determinism on
+// unknown fleets), and is switchable in-process for tests so the
+// equivalence battery exercises BOTH paths on one machine.
+//
+// Contract: FindWord64 returns the index of the FIRST element equal to
+// `needle`, or `n` when absent — exactly the semantics of the scalar
+// break-on-match loop. First-match order is load-bearing: the victim
+// search prefers the lowest invalid way, and hit scans rely on tags being
+// unique per set (where first-match and any-match coincide).
+#pragma once
+
+#include <cstdint>
+
+namespace spta::sim::batch {
+
+enum class ScanIsa : std::uint8_t {
+  kScalar,  ///< Portable compare loop.
+  kAvx2,    ///< 4 x 64-bit compares per step (x86 AVX2).
+};
+
+const char* ToString(ScanIsa isa);
+
+/// The ISA the scans below currently use. Resolved once on first call:
+/// AVX2 when the CPU supports it and SPTA_BATCH_FORCE_SCALAR is unset,
+/// scalar otherwise.
+ScanIsa ActiveScanIsa();
+
+/// Test hook: overrides the active ISA in-process (no-op request to use
+/// kAvx2 on a CPU without it is refused and scalar is kept). Returns the
+/// ISA actually installed.
+ScanIsa SetScanIsaForTest(ScanIsa isa);
+
+/// True when the running CPU can execute the AVX2 path.
+bool CpuHasAvx2();
+
+namespace detail {
+std::uint32_t FindWord64Scalar(const std::uint64_t* data, std::uint32_t n,
+                               std::uint64_t needle);
+std::uint32_t FindWord64Avx2(const std::uint64_t* data, std::uint32_t n,
+                             std::uint64_t needle);
+/// Set once by the dispatcher; read on every scan. Plain pointer reads are
+/// fine for the single-threaded case; the batched campaign runners spawn
+/// workers only after ActiveScanIsa() has resolved, so cross-thread reads
+/// observe the installed value (tests that flip the ISA do so before
+/// launching pools).
+extern std::uint32_t (*find_word64_fn)(const std::uint64_t*, std::uint32_t,
+                                       std::uint64_t);
+void EnsureDispatchResolved();
+}  // namespace detail
+
+/// Index of the first element of data[0..n) equal to `needle`, or n.
+inline std::uint32_t FindWord64(const std::uint64_t* data, std::uint32_t n,
+                                std::uint64_t needle) {
+  if (detail::find_word64_fn == nullptr) detail::EnsureDispatchResolved();
+  return detail::find_word64_fn(data, n, needle);
+}
+
+}  // namespace spta::sim::batch

@@ -25,11 +25,6 @@ Cache::Cache(const CacheConfig& config, Seed seed)
   SPTA_REQUIRE(config.ways >= 1 && config.ways <= 64);
 }
 
-std::uint32_t Cache::UnreachablePlacement() {
-  SPTA_CHECK_MSG(false, "unreachable placement policy");
-  return 0;
-}
-
 std::uint32_t Cache::Victim(std::uint32_t set) {
   const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
   // Prefer an invalid way.

@@ -28,6 +28,7 @@
 #include "prng/block_draws.hpp"
 #include "prng/hw_prng.hpp"
 #include "sim/config.hpp"
+#include "sim/placement.hpp"
 
 namespace spta::sim {
 
@@ -155,32 +156,11 @@ class Cache {
   std::uint64_t LineNumber(Address addr) const { return addr >> line_shift_; }
 
   std::uint32_t SetIndexForLine(std::uint64_t line) const {
-    switch (config_.placement) {
-      case Placement::kModulo:
-        return static_cast<std::uint32_t>(line) & index_mask_;
-      case Placement::kRandomModulo: {
-        // Random modulo (DAC 2016): rotate the conventional index by a
-        // per-(tag, seed) random amount. Lines sharing a tag keep distinct
-        // sets (the map is a permutation within each tag group), so unit
-        // stride never self-conflicts — but the placement of each tag group
-        // is random per seed.
-        const std::uint64_t index = line & index_mask_;
-        const std::uint64_t tag = line >> set_shift_;
-        const std::uint64_t h = Mix64(tag ^ placement_seed_);
-        return static_cast<std::uint32_t>((index + h) & index_mask_);
-      }
-      case Placement::kHashRandom: {
-        // Hash-based random placement (DATE 2013): the whole line number is
-        // hashed, so even consecutive lines can collide for some seeds.
-        return static_cast<std::uint32_t>(Mix64(line ^ placement_seed_)) &
-               index_mask_;
-      }
-    }
-    return UnreachablePlacement();
+    return PlacementSetIndex(config_.placement, line, index_mask_, set_shift_,
+                             placement_seed_);
   }
 
   std::uint32_t Victim(std::uint32_t set);
-  static std::uint32_t UnreachablePlacement();
 
   void RememberMru(std::size_t index, std::uint32_t set, std::uint32_t way) {
     mru_index_ = index;

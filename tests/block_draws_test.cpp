@@ -120,6 +120,63 @@ TEST(BlockDrawsTest, BufferedCountTracksRefills) {
   EXPECT_EQ(batched.buffered(), kBlock - 1);
 }
 
+TEST(BlockDrawsTest, StatsWordsExactAtRefillBoundaries) {
+  // stats().words must count words actually SERVED, not words clocked into
+  // the buffer: at every boundary alignment the figure has to agree with
+  // the draw count, or per-lane PRNG accounting in the batch kernel would
+  // jump by a block whenever one lane refills.
+  for (const std::size_t draws :
+       {kBlock - 1, kBlock, kBlock + 1, 2 * kBlock}) {
+    BlockDraws<HwPrng> batched{HwPrng(17)};
+    for (std::size_t i = 0; i < draws; ++i) (void)batched.Next();
+    EXPECT_EQ(batched.stats().words, draws) << "draws " << draws;
+    EXPECT_EQ(batched.stats().rejections, 0u);
+  }
+}
+
+TEST(BlockDrawsTest, IndependentLanesRefillWithoutCrossPerturbation) {
+  // The divergence hazard the batch kernel must not have: K lanes each own
+  // a BlockDraws and consume at DIFFERENT rates (cache-miss-driven in the
+  // real kernel), so refills land at different times across lanes. Each
+  // lane's word stream and rejection sequence must match a direct engine
+  // seeded identically — i.e. one lane exhausting its block mid-batch
+  // must not perturb any sibling.
+  constexpr std::size_t kLanes = 5;
+  std::vector<BlockDraws<HwPrng>> lanes;
+  std::vector<HwPrng> direct;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    lanes.emplace_back(HwPrng(1000 + l));
+    direct.emplace_back(1000 + l);
+  }
+  std::vector<std::size_t> served(kLanes, 0);
+  // Interleave draws lane-by-lane; lane l draws (l+1) times per round, so
+  // the lanes drift apart and cross their refill boundaries on different
+  // rounds.
+  for (std::size_t round = 0; round < 2 * kBlock; ++round) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      for (std::size_t k = 0; k <= l; ++k) {
+        if (round % 2 == 0) {
+          ASSERT_EQ(lanes[l].Next(), direct[l].Next())
+              << "lane " << l << " round " << round;
+        } else {
+          const auto bound = static_cast<std::uint32_t>(2 + (round + l) % 7);
+          ASSERT_EQ(lanes[l].UniformBelow(bound),
+                    direct[l].UniformBelow(bound))
+              << "lane " << l << " round " << round;
+        }
+        ++served[l];
+      }
+    }
+  }
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    // Served words = one per call plus one per rejection re-draw; both
+    // figures must match the direct engine's exact consumption.
+    EXPECT_EQ(lanes[l].stats().words,
+              served[l] + lanes[l].stats().rejections)
+        << "lane " << l;
+  }
+}
+
 TEST(BlockDrawsTest, RejectionThresholdMatchesDocumentedFormula) {
   for (std::uint32_t bound : {1u, 2u, 3u, 5u, 64u, 1000u, 0x80000000u}) {
     const std::uint64_t threshold = HwPrng::RejectionThreshold(bound);

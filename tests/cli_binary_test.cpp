@@ -112,6 +112,41 @@ TEST_F(CliBinaryTest, AnalyzeRejectsMissingFile) {
   EXPECT_EQ(RunCli("analyze --input /nonexistent/nope.csv"), 2);
 }
 
+// --batch-lanes must not perturb the sample: the batched CSV is
+// byte-identical to the serial runner's, for the checkpointed path too.
+TEST_F(CliBinaryTest, BatchLanesCsvIsByteIdenticalToSerial) {
+  const std::string batched = ::testing::TempDir() + "spta_cli_batched.csv";
+  const std::string serial_ctr = ::testing::TempDir() + "spta_cli_serial_ctr";
+  const std::string batched_ctr =
+      ::testing::TempDir() + "spta_cli_batched_ctr";
+  ASSERT_EQ(RunCli("campaign --platform rand --runs 48 --seed 11 "
+                   "--scenarios 6 --jobs 2 --counters-out " +
+                   serial_ctr + " --output " + csv_),
+            0);
+  ASSERT_EQ(RunCli("campaign --platform rand --runs 48 --seed 11 "
+                   "--scenarios 6 --jobs 2 --batch-lanes 8 --counters-out " +
+                   batched_ctr + " --output " + batched),
+            0);
+  EXPECT_EQ(Slurp(batched), Slurp(csv_));
+  // The per-run microarchitectural counters flatten RunResult.detail — so
+  // the batched kernel's per-lane counters must match row for row too.
+  EXPECT_EQ(Slurp(batched_ctr), Slurp(serial_ctr));
+  EXPECT_NE(Slurp(serial_ctr).find("il1_misses"), std::string::npos);
+  for (const auto& f : {batched, serial_ctr, batched_ctr,
+                        serial_ctr + ".summary.json",
+                        batched_ctr + ".summary.json"}) {
+    std::remove(f.c_str());
+  }
+}
+
+TEST_F(CliBinaryTest, BatchLanesRejectsFaultFlagsAndBadRange) {
+  EXPECT_EQ(RunCli("campaign --platform rand --runs 4 --batch-lanes 8 "
+                   "--seu-rate 0.001"),
+            2);
+  EXPECT_EQ(RunCli("campaign --platform rand --runs 4 --batch-lanes 99"), 2);
+  EXPECT_EQ(RunCli("campaign --platform rand --runs 4 --batch-lanes -1"), 2);
+}
+
 TEST_F(CliBinaryTest, ConvergenceRunsOnCampaignOutput) {
   ASSERT_EQ(RunCli("campaign --platform rand --runs 450 --seed 4 --output " +
                    csv_),

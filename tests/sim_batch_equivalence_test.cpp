@@ -1,0 +1,453 @@
+// Lane-equivalence battery for the lockstep batch kernel (src/sim/batch).
+//
+// The batched kernel claims every lane is bit-identical to a dedicated
+// single-seed simulation: same cycles, same per-structure hit/miss counts,
+// same PRNG consumption, for any lane count, any seed position within a
+// batch, ragged batches, arena reuse, and mid-stream flush/reseed
+// interleaves — under every placement x replacement combination and on
+// BOTH the AVX2 and the scalar-fallback scan paths. These tests make that
+// claim falsifiable at three layers:
+//
+//  * lane arrays vs sim::Cache/sim::Tlb AND vs sim/reference_model (the
+//    executable spec), per-access hit/miss streams with per-lane
+//    flush/reseed at different points (lane independence),
+//  * BatchPlatform vs sim::Platform, full RunResult equality across all
+//    nine policy combos,
+//  * batched campaign runners vs the serial/parallel runners, sample-level
+//    equality including checkpoint-journal interop.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/batch_campaign.hpp"
+#include "analysis/campaign.hpp"
+#include "apps/tvca.hpp"
+#include "prng/xoshiro.hpp"
+#include "sim/batch/batch_platform.hpp"
+#include "sim/batch/lane_arrays.hpp"
+#include "sim/batch/prepared_trace.hpp"
+#include "sim/batch/simd.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/platform.hpp"
+#include "sim/reference_model.hpp"
+#include "sim/tlb.hpp"
+#include "trace/synthetic.hpp"
+
+namespace spta::sim::batch {
+namespace {
+
+constexpr Placement kPlacements[] = {Placement::kModulo,
+                                     Placement::kRandomModulo,
+                                     Placement::kHashRandom};
+constexpr Replacement kReplacements[] = {Replacement::kLru,
+                                         Replacement::kRandom,
+                                         Replacement::kNru};
+
+/// The scan ISAs testable on this machine (scalar always; AVX2 when the
+/// CPU has it). Every equivalence check runs under each.
+std::vector<ScanIsa> TestableIsas() {
+  std::vector<ScanIsa> isas = {ScanIsa::kScalar};
+  if (CpuHasAvx2()) isas.push_back(ScanIsa::kAvx2);
+  return isas;
+}
+
+void ExpectRunResultEq(const RunResult& batched, const RunResult& serial,
+                       const std::string& what) {
+  EXPECT_EQ(batched.cycles, serial.cycles) << what;
+  EXPECT_EQ(batched.instructions, serial.instructions) << what;
+  EXPECT_EQ(batched.il1.accesses, serial.il1.accesses) << what;
+  EXPECT_EQ(batched.il1.misses, serial.il1.misses) << what;
+  EXPECT_EQ(batched.dl1.accesses, serial.dl1.accesses) << what;
+  EXPECT_EQ(batched.dl1.misses, serial.dl1.misses) << what;
+  EXPECT_EQ(batched.itlb.accesses, serial.itlb.accesses) << what;
+  EXPECT_EQ(batched.itlb.misses, serial.itlb.misses) << what;
+  EXPECT_EQ(batched.dtlb.accesses, serial.dtlb.accesses) << what;
+  EXPECT_EQ(batched.dtlb.misses, serial.dtlb.misses) << what;
+  EXPECT_EQ(batched.fpu.operations, serial.fpu.operations) << what;
+  EXPECT_EQ(batched.fpu.total_cycles, serial.fpu.total_cycles) << what;
+  EXPECT_EQ(batched.store_buffer.stores, serial.store_buffer.stores) << what;
+  EXPECT_EQ(batched.store_buffer.full_stalls,
+            serial.store_buffer.full_stalls)
+      << what;
+  EXPECT_EQ(batched.store_buffer.stall_cycles,
+            serial.store_buffer.stall_cycles)
+      << what;
+  EXPECT_EQ(batched.store_buffer.high_water, serial.store_buffer.high_water)
+      << what;
+  EXPECT_EQ(batched.prng.words, serial.prng.words) << what;
+  EXPECT_EQ(batched.prng.rejections, serial.prng.rejections) << what;
+  EXPECT_EQ(batched.bus.transactions, serial.bus.transactions) << what;
+  EXPECT_EQ(batched.bus.busy_cycles, serial.bus.busy_cycles) << what;
+  EXPECT_EQ(batched.bus.wait_cycles, serial.bus.wait_cycles) << what;
+  EXPECT_EQ(batched.dram.accesses, serial.dram.accesses) << what;
+  EXPECT_EQ(batched.dram.row_hits, serial.dram.row_hits) << what;
+  EXPECT_EQ(batched.dram.refresh_stall_cycles,
+            serial.dram.refresh_stall_cycles)
+      << what;
+}
+
+PlatformConfig ComboConfig(Placement placement, Replacement replacement) {
+  PlatformConfig config = RandLeon3Config();
+  config.il1.placement = placement;
+  config.il1.replacement = replacement;
+  config.dl1.placement = placement;
+  config.dl1.replacement = replacement;
+  config.itlb.replacement = replacement;
+  config.dtlb.replacement = replacement;
+  return config;
+}
+
+// --- Layer 1: lane arrays vs sim::Cache/Tlb vs the reference model. ------
+
+/// Address stream mirroring sim_equivalence_test's MakeStream shapes.
+struct AccessOp {
+  Address addr = 0;
+  bool allocate = true;
+};
+
+std::vector<AccessOp> MakeStream(std::uint64_t seed, std::size_t count,
+                                 std::uint32_t line_bytes) {
+  prng::Xoshiro128pp rng(seed);
+  std::vector<AccessOp> ops;
+  ops.reserve(count);
+  Address cursor = 0x40000000;
+  while (ops.size() < count) {
+    switch (rng.UniformBelow(3)) {
+      case 0:
+        for (std::uint32_t i = 0; i < 12 && ops.size() < count; ++i) {
+          ops.push_back({cursor, true});
+          cursor += 4;
+        }
+        break;
+      case 1: {
+        const Address stride = line_bytes * (1 + rng.UniformBelow(5));
+        Address a = 0x40000000 + 64ULL * rng.UniformBelow(4096);
+        for (std::uint32_t i = 0; i < 8 && ops.size() < count; ++i) {
+          ops.push_back({a, rng.UniformBelow(8) != 0});
+          a += stride;
+        }
+        break;
+      }
+      default:
+        ops.push_back({0x40000000 + 4ULL * rng.UniformBelow(1 << 18),
+                       rng.UniformBelow(8) != 0});
+        break;
+    }
+  }
+  return ops;
+}
+
+TEST(SimBatchEquivalence, CacheLanesMatchFastAndReferenceAllCombos) {
+  constexpr std::size_t kLanes = 4;
+  for (const ScanIsa isa : TestableIsas()) {
+    SetScanIsaForTest(isa);
+    for (const auto placement : kPlacements) {
+      for (const auto replacement : kReplacements) {
+        const CacheConfig config{16 * 1024, 32, 4, placement, replacement};
+        CacheLaneArray lanes(config, kLanes);
+        std::vector<Cache> fast;
+        std::vector<ReferenceCache> reference;
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          const Seed seed = 100 + 13 * l;
+          lanes.Reseed(l, seed);
+          lanes.ResetStats(l);
+          fast.emplace_back(config, seed);
+          reference.emplace_back(config, seed);
+        }
+        const auto ops = MakeStream(2024, 3000, config.line_bytes);
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            const bool lane_hit =
+                lanes.Access(l, ops[i].addr, ops[i].allocate);
+            const bool fast_hit = fast[l].Access(ops[i].addr,
+                                                 ops[i].allocate);
+            const bool ref_hit =
+                reference[l].Access(ops[i].addr, ops[i].allocate);
+            ASSERT_EQ(lane_hit, fast_hit)
+                << "lane " << l << " diverged from sim::Cache at access "
+                << i << " (" << ToString(isa) << ")";
+            ASSERT_EQ(lane_hit, ref_hit)
+                << "lane " << l << " diverged from the reference model at "
+                << "access " << i << " (" << ToString(isa) << ")";
+          }
+          // Per-lane flush/reseed at DIFFERENT points: sibling lanes must
+          // be unperturbed (lane independence).
+          if (i == ops.size() / 3) {
+            lanes.Flush(1);
+            fast[1].Flush();
+            reference[1].Flush();
+          }
+          if (i == ops.size() / 2) {
+            lanes.Reseed(2, 777);
+            fast[2].Reseed(777);
+            reference[2].Reseed(777);
+          }
+        }
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          EXPECT_EQ(lanes.stats(l).accesses, fast[l].stats().accesses);
+          EXPECT_EQ(lanes.stats(l).misses, fast[l].stats().misses);
+          EXPECT_EQ(lanes.stats(l).misses, reference[l].stats().misses);
+          EXPECT_EQ(lanes.draw_stats(l).words,
+                    fast[l].draw_stats().words);
+          EXPECT_EQ(lanes.draw_stats(l).rejections,
+                    fast[l].draw_stats().rejections);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimBatchEquivalence, TlbLanesMatchFastAndReferenceAllPolicies) {
+  constexpr std::size_t kLanes = 5;
+  for (const ScanIsa isa : TestableIsas()) {
+    SetScanIsaForTest(isa);
+    for (const auto replacement : kReplacements) {
+      for (const std::uint32_t entries : {4u, 8u, 64u}) {
+        TlbConfig config;
+        config.entries = entries;
+        config.replacement = replacement;
+        TlbLaneArray lanes(config, kLanes);
+        std::vector<Tlb> fast;
+        std::vector<ReferenceTlb> reference;
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          const Seed seed = 7 + 31 * l;
+          lanes.Reseed(l, seed);
+          lanes.ResetStats(l);
+          fast.emplace_back(config, seed);
+          reference.emplace_back(config, seed);
+        }
+        prng::Xoshiro128pp rng(entries + 5);
+        Address page = 0;
+        for (std::size_t i = 0; i < 4000; ++i) {
+          if (rng.UniformBelow(4) == 0) page = rng.UniformBelow(512);
+          const Address addr =
+              page * config.page_bytes + rng.UniformBelow(4096);
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            const bool lane_hit = lanes.Access(l, addr);
+            ASSERT_EQ(lane_hit, fast[l].Access(addr))
+                << "lane " << l << " access " << i << " ("
+                << ToString(isa) << ")";
+            ASSERT_EQ(lane_hit, reference[l].Access(addr))
+                << "lane " << l << " access " << i << " ("
+                << ToString(isa) << ")";
+          }
+          if (i == 1500) {
+            lanes.Flush(0);
+            fast[0].Flush();
+            reference[0].Flush();
+          }
+          if (i == 2500) {
+            lanes.Reseed(3, 4242);
+            fast[3].Reseed(4242);
+            reference[3].Reseed(4242);
+          }
+        }
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          EXPECT_EQ(lanes.stats(l).accesses, fast[l].stats().accesses);
+          EXPECT_EQ(lanes.stats(l).misses, fast[l].stats().misses);
+          EXPECT_EQ(lanes.draw_stats(l).words, fast[l].draw_stats().words);
+          EXPECT_EQ(lanes.draw_stats(l).rejections,
+                    fast[l].draw_stats().rejections);
+        }
+      }
+    }
+  }
+}
+
+// --- Layer 2: BatchPlatform vs sim::Platform. ----------------------------
+
+TEST(SimBatchEquivalence, BatchPlatformMatchesPlatformAllPolicyCombos) {
+  trace::BlendSpec spec;
+  spec.count = 20000;
+  const trace::Trace t = trace::BlendTrace(spec, 2024);
+  for (const ScanIsa isa : TestableIsas()) {
+    SetScanIsaForTest(isa);
+    for (const auto placement : kPlacements) {
+      for (const auto replacement : kReplacements) {
+        const PlatformConfig config = ComboConfig(placement, replacement);
+        const PreparedTrace prepared = PrepareTrace(t, config);
+        BatchPlatform batch(config, 8);
+        Platform platform(config, 1);
+        const std::vector<Seed> seeds = {1, 2, 3, 4, 5, 42, 1000000007,
+                                         0xabcdef};
+        const auto results = batch.RunBatch(prepared, seeds);
+        ASSERT_EQ(results.size(), seeds.size());
+        for (std::size_t l = 0; l < seeds.size(); ++l) {
+          const RunResult serial = platform.Run(t, seeds[l]);
+          ExpectRunResultEq(
+              results[l], serial,
+              std::string("placement ") + ToString(placement) +
+                  " replacement " + ToString(replacement) + " lane " +
+                  std::to_string(l) + " isa " + ToString(isa));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimBatchEquivalence, RaggedBatchesAndArenaReuse) {
+  // 13 runs through a 4-lane kernel: batches of 4, 4, 4, 1 on ONE reused
+  // BatchPlatform. Every run must match its dedicated serial simulation —
+  // ragged tails and arena reuse change nothing.
+  trace::BlendSpec spec;
+  spec.count = 12000;
+  const trace::Trace t = trace::BlendTrace(spec, 99);
+  const PlatformConfig config = RandLeon3Config();
+  const PreparedTrace prepared = PrepareTrace(t, config);
+  for (const ScanIsa isa : TestableIsas()) {
+    SetScanIsaForTest(isa);
+    BatchPlatform batch(config, 4);
+    Platform platform(config, 1);
+    constexpr std::size_t kRuns = 13;
+    for (std::size_t start = 0; start < kRuns; start += 4) {
+      const std::size_t n = std::min<std::size_t>(4, kRuns - start);
+      std::vector<Seed> seeds;
+      for (std::size_t i = 0; i < n; ++i) {
+        seeds.push_back(analysis::FixedTraceRunSeed(555, start + i));
+      }
+      const auto results = batch.RunBatch(prepared, seeds);
+      for (std::size_t i = 0; i < n; ++i) {
+        ExpectRunResultEq(results[i], platform.Run(t, seeds[i]),
+                          "run " + std::to_string(start + i) + " isa " +
+                              ToString(isa));
+      }
+    }
+  }
+}
+
+TEST(SimBatchEquivalence, SeedPositionWithinBatchIsIrrelevant) {
+  // The same seed must produce the same result in every lane slot: rotate
+  // a seed vector and check the rotated results match slot-for-seed.
+  trace::BlendSpec spec;
+  spec.count = 8000;
+  const trace::Trace t = trace::BlendTrace(spec, 7);
+  const PlatformConfig config = RandLeon3Config();
+  const PreparedTrace prepared = PrepareTrace(t, config);
+  BatchPlatform batch(config, 4);
+  const std::vector<Seed> seeds = {11, 22, 33, 44};
+  const auto base = batch.RunBatch(prepared, seeds);
+  std::vector<Seed> rotated = {44, 11, 22, 33};
+  const auto rot = batch.RunBatch(prepared, rotated);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ExpectRunResultEq(rot[(i + 1) % 4], base[i],
+                      "rotated slot of seed " + std::to_string(seeds[i]));
+  }
+}
+
+TEST(SimBatchEquivalence, TimingDigestMismatchIsRefused) {
+  trace::BlendSpec spec;
+  spec.count = 100;
+  const trace::Trace t = trace::BlendTrace(spec, 1);
+  const PlatformConfig rand_config = RandLeon3Config();
+  const PlatformConfig det_config = DetLeon3Config();
+  // DET and RAND differ in FPU mode, which PrepareTrace bakes into the
+  // event costs — running a DET-prepared trace on a RAND kernel must die.
+  ASSERT_NE(TimingDigest(rand_config), TimingDigest(det_config));
+  const PreparedTrace prepared = PrepareTrace(t, det_config);
+  BatchPlatform batch(rand_config, 2);
+  const std::vector<Seed> seeds = {1, 2};
+  EXPECT_DEATH((void)batch.RunBatch(prepared, seeds), "timing");
+}
+
+// --- Layer 3: batched campaign runners. ----------------------------------
+
+TEST(SimBatchEquivalence, BatchedFixedTraceCampaignMatchesSerial) {
+  trace::BlendSpec spec;
+  spec.count = 6000;
+  const trace::Trace t = trace::BlendTrace(spec, 31);
+  const PlatformConfig config = RandLeon3Config();
+  Platform platform(config, 1);
+  const auto serial =
+      analysis::RunFixedTraceCampaign(platform, t, 21, 1234);
+  for (const ScanIsa isa : TestableIsas()) {
+    SetScanIsaForTest(isa);
+    for (const std::size_t lanes : {1u, 4u, 8u}) {
+      const auto batched = analysis::RunFixedTraceCampaignBatched(
+          config, t, 21, 1234, lanes, /*jobs=*/1);
+      ASSERT_EQ(batched.size(), serial.size());
+      for (std::size_t r = 0; r < serial.size(); ++r) {
+        EXPECT_EQ(batched[r].cycles, serial[r].cycles)
+            << "run " << r << " lanes " << lanes;
+        EXPECT_EQ(batched[r].path_id, serial[r].path_id);
+        ExpectRunResultEq(batched[r].detail, serial[r].detail,
+                          "run " + std::to_string(r) + " lanes " +
+                              std::to_string(lanes) + " isa " +
+                              ToString(isa));
+      }
+    }
+  }
+  SetScanIsaForTest(ScanIsa::kScalar);
+  // jobs > 1 composes with batching: same samples.
+  const auto threaded = analysis::RunFixedTraceCampaignBatched(
+      config, t, 21, 1234, /*lanes=*/4, /*jobs=*/3);
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(threaded[r].cycles, serial[r].cycles) << "run " << r;
+  }
+}
+
+TEST(SimBatchEquivalence, BatchedTvcaCampaignMatchesSerial) {
+  apps::TvcaConfig app_config;
+  app_config.sensor_channels = 4;
+  app_config.samples_per_frame = 8;
+  app_config.fir_taps = 6;
+  app_config.state_dim = 8;
+  app_config.integrator_steps = 6;
+  app_config.control_iterations = 1;
+  app_config.straightline_instructions = 200;
+  app_config.dispatch_overhead = 32;
+  const apps::TvcaApp app(app_config);
+  const PlatformConfig config = RandLeon3Config();
+  analysis::CampaignConfig cc;
+  cc.runs = 30;
+  cc.master_seed = 2024;
+  cc.distinct_scenarios = 5;
+  Platform platform(config, 1);
+  const auto serial = analysis::RunTvcaCampaign(platform, app, cc);
+  for (const ScanIsa isa : TestableIsas()) {
+    SetScanIsaForTest(isa);
+    const auto batched =
+        analysis::RunTvcaCampaignBatched(config, app, cc, /*lanes=*/4,
+                                         /*jobs=*/2);
+    ASSERT_EQ(batched.size(), serial.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+      EXPECT_EQ(batched[r].path_id, serial[r].path_id) << "run " << r;
+      ExpectRunResultEq(batched[r].detail, serial[r].detail,
+                        "run " + std::to_string(r) + " isa " +
+                            ToString(isa));
+    }
+  }
+}
+
+TEST(SimBatchEquivalence, FreshInputTvcaCampaignFallsBackIdentically) {
+  // distinct_scenarios == 0 means every run has a distinct trace — there
+  // is nothing to batch, and the runner must still produce the serial
+  // samples (it delegates to the parallel runner).
+  apps::TvcaConfig app_config;
+  app_config.sensor_channels = 2;
+  app_config.samples_per_frame = 4;
+  app_config.fir_taps = 4;
+  app_config.state_dim = 4;
+  app_config.integrator_steps = 2;
+  app_config.control_iterations = 1;
+  app_config.straightline_instructions = 64;
+  app_config.dispatch_overhead = 16;
+  const apps::TvcaApp app(app_config);
+  const PlatformConfig config = RandLeon3Config();
+  analysis::CampaignConfig cc;
+  cc.runs = 9;
+  cc.master_seed = 77;
+  cc.distinct_scenarios = 0;
+  Platform platform(config, 1);
+  const auto serial = analysis::RunTvcaCampaign(platform, app, cc);
+  const auto batched =
+      analysis::RunTvcaCampaignBatched(config, app, cc, /*lanes=*/4);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(batched[r].cycles, serial[r].cycles) << "run " << r;
+  }
+}
+
+}  // namespace
+}  // namespace spta::sim::batch

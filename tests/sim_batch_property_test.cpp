@@ -1,0 +1,265 @@
+// Property/fuzz battery for the lockstep batch kernel, plus the
+// thread-composition tests that the TSan recipe runs (`-L batch`).
+//
+// A seeded generator drives random (geometry, trace-prefix, lane-count)
+// triples through the batched kernel and a dedicated serial simulation of
+// every lane, asserting full result equality. Unlike the fixed-matrix
+// equivalence battery, each iteration samples the configuration space
+// (cache sizes/ways/lines, TLB entries, placement x replacement, FPU mode,
+// store-buffer depth, trace prefix length, lane count, scan ISA), so a
+// divergence that only manifests under an odd geometry or a short ragged
+// trace still has a chance to surface — and the failing iteration index
+// pins a deterministic reproducer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/batch_campaign.hpp"
+#include "analysis/campaign.hpp"
+#include "analysis/checkpoint.hpp"
+#include "prng/xoshiro.hpp"
+#include "sim/batch/batch_platform.hpp"
+#include "sim/batch/prepared_trace.hpp"
+#include "sim/batch/simd.hpp"
+#include "sim/config.hpp"
+#include "sim/platform.hpp"
+#include "trace/synthetic.hpp"
+
+namespace spta::sim::batch {
+namespace {
+
+template <typename T, std::size_t N>
+T Pick(prng::Xoshiro128pp& rng, const T (&options)[N]) {
+  return options[rng.UniformBelow(static_cast<std::uint32_t>(N))];
+}
+
+CacheConfig RandomCacheConfig(prng::Xoshiro128pp& rng) {
+  const std::uint32_t line_bytes = Pick(rng, {16u, 32u, 64u});
+  const std::uint32_t ways = Pick(rng, {1u, 2u, 4u, 8u});
+  const std::uint32_t sets = Pick(rng, {8u, 16u, 32u, 64u, 128u});
+  const Placement placement =
+      Pick(rng, {Placement::kModulo, Placement::kRandomModulo,
+                 Placement::kHashRandom});
+  const Replacement replacement =
+      Pick(rng, {Replacement::kLru, Replacement::kRandom,
+                 Replacement::kNru});
+  return CacheConfig{line_bytes * ways * sets, line_bytes, ways, placement,
+                     replacement};
+}
+
+PlatformConfig RandomPlatformConfig(prng::Xoshiro128pp& rng) {
+  PlatformConfig config = RandLeon3Config();
+  config.il1 = RandomCacheConfig(rng);
+  config.dl1 = RandomCacheConfig(rng);
+  config.itlb.entries = Pick(rng, {4u, 8u, 16u, 64u});
+  config.itlb.replacement = Pick(
+      rng,
+      {Replacement::kLru, Replacement::kRandom, Replacement::kNru});
+  config.dtlb.entries = Pick(rng, {4u, 8u, 16u, 64u});
+  config.dtlb.replacement = Pick(
+      rng,
+      {Replacement::kLru, Replacement::kRandom, Replacement::kNru});
+  config.fpu.mode =
+      Pick(rng, {FpuMode::kVariable, FpuMode::kWorstCaseFixed});
+  config.store_buffer.depth = Pick(rng, {1u, 2u, 8u});
+  return config;
+}
+
+TEST(SimBatchProperty, RandomGeometryTracePrefixLaneTriples) {
+  prng::Xoshiro128pp rng(20170327);
+  trace::BlendSpec spec;
+  spec.count = 6000;
+  const trace::Trace full = trace::BlendTrace(spec, 4321);
+  constexpr int kIterations = 25;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const PlatformConfig config = RandomPlatformConfig(rng);
+    // Random trace prefix: short ragged prefixes stress the first-record
+    // flags and tiny bulk runs; full length stresses steady state.
+    trace::Trace t;
+    t.path_signature = full.path_signature;
+    const std::size_t prefix =
+        1 + rng.UniformBelow(static_cast<std::uint32_t>(
+                full.records.size()));
+    t.records.assign(full.records.begin(),
+                     full.records.begin() + prefix);
+    const std::size_t lanes = 1 + rng.UniformBelow(8);
+    // Alternate the scan ISA across iterations (both paths must agree).
+    const ScanIsa isa = SetScanIsaForTest(
+        iter % 2 == 0 ? ScanIsa::kScalar : ScanIsa::kAvx2);
+
+    const PreparedTrace prepared = PrepareTrace(t, config);
+    BatchPlatform batch(config, lanes);
+    Platform platform(config, 1);
+    std::vector<Seed> seeds;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const Seed hi = rng.Next();
+      const Seed lo = rng.Next();
+      seeds.push_back((hi << 32) | lo);
+    }
+    const auto results = batch.RunBatch(prepared, seeds);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const RunResult serial = platform.Run(t, seeds[l]);
+      const std::string what =
+          "iteration " + std::to_string(iter) + " lane " +
+          std::to_string(l) + " prefix " + std::to_string(prefix) +
+          " lanes " + std::to_string(lanes) + " isa " + ToString(isa);
+      ASSERT_EQ(results[l].cycles, serial.cycles) << what;
+      ASSERT_EQ(results[l].il1.misses, serial.il1.misses) << what;
+      ASSERT_EQ(results[l].dl1.misses, serial.dl1.misses) << what;
+      ASSERT_EQ(results[l].itlb.misses, serial.itlb.misses) << what;
+      ASSERT_EQ(results[l].dtlb.misses, serial.dtlb.misses) << what;
+      ASSERT_EQ(results[l].prng.words, serial.prng.words) << what;
+      ASSERT_EQ(results[l].prng.rejections, serial.prng.rejections)
+          << what;
+      ASSERT_EQ(results[l].store_buffer.stall_cycles,
+                serial.store_buffer.stall_cycles)
+          << what;
+    }
+  }
+  SetScanIsaForTest(CpuHasAvx2() ? ScanIsa::kAvx2 : ScanIsa::kScalar);
+}
+
+// --- Thread composition (the TSan targets of the batch label). -----------
+
+TEST(SimBatchProperty, JobSweepYieldsIdenticalSamples) {
+  trace::BlendSpec spec;
+  spec.count = 5000;
+  const trace::Trace t = trace::BlendTrace(spec, 17);
+  const PlatformConfig config = RandLeon3Config();
+  const auto baseline = analysis::RunFixedTraceCampaignBatched(
+      config, t, 26, 909, /*lanes=*/4, /*jobs=*/1);
+  for (const std::size_t jobs : {2u, 3u, 5u}) {
+    const auto samples = analysis::RunFixedTraceCampaignBatched(
+        config, t, 26, 909, /*lanes=*/4, jobs);
+    ASSERT_EQ(samples.size(), baseline.size());
+    for (std::size_t r = 0; r < baseline.size(); ++r) {
+      ASSERT_EQ(samples[r].cycles, baseline[r].cycles)
+          << "jobs " << jobs << " run " << r;
+      ASSERT_EQ(samples[r].detail.prng.words,
+                baseline[r].detail.prng.words)
+          << "jobs " << jobs << " run " << r;
+    }
+  }
+}
+
+TEST(SimBatchProperty, BatchedCheckpointInteropWithSerialRunner) {
+  // A journal started by the BATCHED runner (aborted mid-campaign) must
+  // resume under the SERIAL checkpointed runner — and the combined sample
+  // vector must equal an uninterrupted serial campaign. This pins the
+  // header/format compatibility the docs promise.
+  trace::BlendSpec spec;
+  spec.count = 4000;
+  const trace::Trace t = trace::BlendTrace(spec, 3);
+  const PlatformConfig config = RandLeon3Config();
+  const std::string journal =
+      testing::TempDir() + "/batch_interop_journal.ckpt";
+
+  analysis::CheckpointOptions first;
+  first.journal_path = journal;
+  first.abort_after_appends = 7;
+  analysis::CheckpointedCampaignResult partial;
+  std::string error;
+  ASSERT_TRUE(analysis::RunFixedTraceCampaignBatchedCheckpointed(
+      config, t, 18, 606, /*lanes=*/4, /*jobs=*/2, first, &partial,
+      &error))
+      << error;
+  EXPECT_FALSE(partial.completed);
+
+  analysis::CheckpointOptions resume;
+  resume.journal_path = journal;
+  resume.resume = true;
+  analysis::CheckpointedCampaignResult finished;
+  ASSERT_TRUE(analysis::RunFixedTraceCampaignCheckpointed(
+      config, t, 18, 606, /*jobs=*/1, resume, &finished, &error))
+      << error;
+  EXPECT_TRUE(finished.completed);
+  EXPECT_EQ(finished.resumed_runs, 7u);
+
+  Platform platform(config, 1);
+  const auto reference =
+      analysis::RunFixedTraceCampaign(platform, t, 18, 606);
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    EXPECT_EQ(finished.samples[r].cycles, reference[r].cycles)
+        << "run " << r;
+  }
+
+  // And the reverse hand-off: serial start, batched finish.
+  const std::string journal2 =
+      testing::TempDir() + "/batch_interop_journal2.ckpt";
+  analysis::CheckpointOptions first2;
+  first2.journal_path = journal2;
+  first2.abort_after_appends = 5;
+  ASSERT_TRUE(analysis::RunFixedTraceCampaignCheckpointed(
+      config, t, 18, 606, /*jobs=*/1, first2, &partial, &error))
+      << error;
+  EXPECT_FALSE(partial.completed);
+  analysis::CheckpointOptions resume2;
+  resume2.journal_path = journal2;
+  resume2.resume = true;
+  ASSERT_TRUE(analysis::RunFixedTraceCampaignBatchedCheckpointed(
+      config, t, 18, 606, /*lanes=*/4, /*jobs=*/2, resume2, &finished,
+      &error))
+      << error;
+  EXPECT_TRUE(finished.completed);
+  EXPECT_EQ(finished.resumed_runs, 5u);
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    EXPECT_EQ(finished.samples[r].cycles, reference[r].cycles)
+        << "run " << r;
+  }
+  std::remove(journal.c_str());
+  std::remove(journal2.c_str());
+}
+
+TEST(SimBatchProperty, TvcaBatchedCheckpointResume) {
+  apps::TvcaConfig app_config;
+  app_config.sensor_channels = 2;
+  app_config.samples_per_frame = 4;
+  app_config.fir_taps = 4;
+  app_config.state_dim = 4;
+  app_config.integrator_steps = 2;
+  app_config.control_iterations = 1;
+  app_config.straightline_instructions = 64;
+  app_config.dispatch_overhead = 16;
+  const apps::TvcaApp app(app_config);
+  const PlatformConfig config = RandLeon3Config();
+  analysis::CampaignConfig cc;
+  cc.runs = 20;
+  cc.master_seed = 8;
+  cc.distinct_scenarios = 3;
+  const std::string journal =
+      testing::TempDir() + "/batch_tvca_journal.ckpt";
+
+  analysis::CheckpointOptions first;
+  first.journal_path = journal;
+  first.abort_after_appends = 9;
+  analysis::CheckpointedCampaignResult partial;
+  std::string error;
+  ASSERT_TRUE(analysis::RunTvcaCampaignBatchedCheckpointed(
+      config, app, cc, /*lanes=*/4, /*jobs=*/2, first, &partial, &error))
+      << error;
+  EXPECT_FALSE(partial.completed);
+
+  analysis::CheckpointOptions resume;
+  resume.journal_path = journal;
+  resume.resume = true;
+  analysis::CheckpointedCampaignResult finished;
+  ASSERT_TRUE(analysis::RunTvcaCampaignBatchedCheckpointed(
+      config, app, cc, /*lanes=*/4, /*jobs=*/2, resume, &finished, &error))
+      << error;
+  EXPECT_TRUE(finished.completed);
+
+  Platform platform(config, 1);
+  const auto reference = analysis::RunTvcaCampaign(platform, app, cc);
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    EXPECT_EQ(finished.samples[r].cycles, reference[r].cycles)
+        << "run " << r;
+    EXPECT_EQ(finished.samples[r].path_id, reference[r].path_id);
+  }
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace spta::sim::batch

@@ -1,13 +1,20 @@
 // spta_cli — command-line front end to the SpacePTA toolkit.
 //
 //   spta_cli campaign  --platform rand|det|rand-op --runs N --seed S
-//                      [--scenarios K] [--jobs J] [--output samples.csv]
+//                      [--scenarios K] [--jobs J] [--batch-lanes L]
+//                      [--output samples.csv]
 //                      [--checkpoint J.ckpt [--resume] [--fsync-interval N]]
 //                      [--seu-rate R] [--reseed-dropout P] [--fault-seed S]
 //                      [--annotate]
 //       Runs a TVCA measurement campaign and writes cycles,path_id CSV.
 //       --jobs J fans the runs across J worker threads (default: hardware
 //       concurrency); the samples are bit-identical for every J.
+//       --batch-lanes L simulates up to L seeds per trace in one lockstep
+//       pass of the SIMD batch kernel (docs/BATCHING.md); composes with
+//       --jobs and --checkpoint, samples stay bit-identical. Requires
+//       --scenarios > 0 to batch (a fresh-input campaign has nothing to
+//       batch and falls back to the parallel runner). Incompatible with
+//       the fault flags.
 //       --checkpoint journals every completed run (append-only, fsync'd);
 //       --resume restores the journal and re-executes only the missing
 //       runs, bit-identically to an uninterrupted campaign.
@@ -37,11 +44,13 @@
 //       Records one TVCA major-frame trace to a binary trace file.
 //
 //   spta_cli simulate  --trace in.trc --platform rand|det|rand-op
-//                      --runs N [--seed S] [--jobs J] [--output samples.csv]
+//                      --runs N [--seed S] [--jobs J] [--batch-lanes L]
+//                      [--output samples.csv]
 //                      [--checkpoint J.ckpt [--resume] [--fsync-interval N]]
 //                      [--seu-rate R] [--reseed-dropout P] [--fault-seed S]
 //       Replays a recorded trace N times (fresh platform seed per run)
-//       and writes the execution times as CSV.
+//       and writes the execution times as CSV. --batch-lanes L as above
+//       (a fixed trace always batches).
 //
 // File outputs are crash-safe: the CSV is staged in a tmp file, fsync'd
 // and renamed into place, so a crash mid-export never publishes a
@@ -56,8 +65,10 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/batch_campaign.hpp"
 #include "analysis/campaign.hpp"
 #include "analysis/checkpoint.hpp"
+#include "sim/batch/batch_platform.hpp"
 #include "analysis/diagnosis.hpp"
 #include "analysis/parallel_campaign.hpp"
 #include "analysis/sample_io.hpp"
@@ -84,7 +95,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: spta_cli <campaign|analyze|convergence|record|simulate> [flags]\n"
                "  campaign    --platform rand|det|rand-op --runs N "
-               "[--seed S] [--scenarios K] [--jobs J] [--output FILE]\n"
+               "[--seed S] [--scenarios K] [--jobs J] [--batch-lanes L] "
+               "[--output FILE]\n"
                "              [--checkpoint FILE [--resume] "
                "[--fsync-interval N]] [--seu-rate R] [--reseed-dropout P] "
                "[--fault-seed S] [--annotate]\n"
@@ -95,7 +107,8 @@ int Usage() {
                "[--prob P] [--tol T]\n"
                "  record      --trace FILE [--scenario S]\n"
                "  simulate    --trace FILE --platform rand|det|rand-op "
-               "--runs N [--seed S] [--jobs J] [--output FILE] "
+               "--runs N [--seed S] [--jobs J] [--batch-lanes L] "
+               "[--output FILE] "
                "[--checkpoint FILE [--resume]] [--seu-rate R] "
                "[--reseed-dropout P] [--fault-seed S] "
                "[--trace-out FILE] [--counters-out FILE]\n");
@@ -136,6 +149,20 @@ std::size_t JobsFlag(const Flags& flags) {
   }
   return jobs == 0 ? analysis::DefaultJobs()
                    : static_cast<std::size_t>(jobs);
+}
+
+/// Parses --batch-lanes: 0 or absent = batching disabled (serial per-run
+/// kernel); 1..BatchPlatform::kMaxLanes selects the lockstep kernel width.
+std::size_t BatchLanesFlag(const Flags& flags) {
+  const std::int64_t lanes = flags.GetInt("batch-lanes", 0);
+  if (lanes < 0 ||
+      lanes > static_cast<std::int64_t>(sim::batch::BatchPlatform::kMaxLanes)) {
+    std::fprintf(stderr, "spta_cli: --batch-lanes must be 0..%zu (got %lld)\n",
+                 sim::batch::BatchPlatform::kMaxLanes,
+                 static_cast<long long>(lanes));
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(lanes);
 }
 
 std::vector<double> Times(
@@ -320,9 +347,16 @@ int RunCampaign(const Flags& flags) {
       static_cast<std::size_t>(flags.GetInt("scenarios", 0));
 
   const std::size_t jobs = JobsFlag(flags);
+  const std::size_t batch_lanes = BatchLanesFlag(flags);
   const apps::TvcaApp app;
   const fault::FaultCampaignConfig fc = FaultPlanFromFlags(flags, cc);
   const bool faulty = fc.seu.Enabled() || fc.reseed_dropout > 0.0;
+  if (faulty && batch_lanes > 0) {
+    std::fprintf(stderr,
+                 "spta_cli: --batch-lanes runs clean campaigns only "
+                 "(drop the fault flags)\n");
+    return 2;
+  }
 
   if (flags.Has("checkpoint")) {
     if (faulty) {
@@ -338,8 +372,13 @@ int RunCampaign(const Flags& flags) {
                  "spta_cli: %zu runs on %s (%zu jobs, journal %s)...\n",
                  cc.runs, config.name.c_str(), jobs,
                  copts.journal_path.c_str());
-    if (!analysis::RunTvcaCampaignCheckpointed(config, app, cc, jobs, copts,
-                                               &result, &error)) {
+    const bool ok =
+        batch_lanes > 0
+            ? analysis::RunTvcaCampaignBatchedCheckpointed(
+                  config, app, cc, batch_lanes, jobs, copts, &result, &error)
+            : analysis::RunTvcaCampaignCheckpointed(config, app, cc, jobs,
+                                                    copts, &result, &error);
+    if (!ok) {
       std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
       return 2;
     }
@@ -359,7 +398,11 @@ int RunCampaign(const Flags& flags) {
         flags, result.samples,
         result.faults_injected + result.reseeds_dropped);
   }
-  const auto samples = analysis::RunTvcaCampaignParallel(config, app, cc, jobs);
+  const auto samples =
+      batch_lanes > 0
+          ? analysis::RunTvcaCampaignBatched(config, app, cc, batch_lanes,
+                                             jobs)
+          : analysis::RunTvcaCampaignParallel(config, app, cc, jobs);
   return WriteCampaignOutput(flags, samples, /*faults=*/0);
 }
 
@@ -481,8 +524,15 @@ int RunSimulate(const Flags& flags) {
   analysis::CampaignConfig cc;
   cc.runs = runs;
   cc.master_seed = seed;
+  const std::size_t batch_lanes = BatchLanesFlag(flags);
   const fault::FaultCampaignConfig fc = FaultPlanFromFlags(flags, cc);
   const bool faulty = fc.seu.Enabled() || fc.reseed_dropout > 0.0;
+  if (faulty && batch_lanes > 0) {
+    std::fprintf(stderr,
+                 "spta_cli: --batch-lanes runs clean campaigns only "
+                 "(drop the fault flags)\n");
+    return 2;
+  }
 
   if (flags.Has("checkpoint")) {
     if (faulty) {
@@ -494,8 +544,14 @@ int RunSimulate(const Flags& flags) {
     const analysis::CheckpointOptions copts = CheckpointFromFlags(flags);
     analysis::CheckpointedCampaignResult result;
     std::string error;
-    if (!analysis::RunFixedTraceCampaignCheckpointed(
-            config, t, runs, seed, jobs, copts, &result, &error)) {
+    const bool ok =
+        batch_lanes > 0
+            ? analysis::RunFixedTraceCampaignBatchedCheckpointed(
+                  config, t, runs, seed, batch_lanes, jobs, copts, &result,
+                  &error)
+            : analysis::RunFixedTraceCampaignCheckpointed(
+                  config, t, runs, seed, jobs, copts, &result, &error);
+    if (!ok) {
       std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
       return 2;
     }
@@ -515,7 +571,11 @@ int RunSimulate(const Flags& flags) {
         result.faults_injected + result.reseeds_dropped);
   }
   const auto samples =
-      analysis::RunFixedTraceCampaignParallel(config, t, runs, seed, jobs);
+      batch_lanes > 0
+          ? analysis::RunFixedTraceCampaignBatched(config, t, runs, seed,
+                                                   batch_lanes, jobs)
+          : analysis::RunFixedTraceCampaignParallel(config, t, runs, seed,
+                                                    jobs);
   return WriteCampaignOutput(flags, samples, /*faults=*/0);
 }
 
