@@ -180,10 +180,11 @@ double Number(const std::map<std::string, std::string>& numbers,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2 && argc != 3) {
+  if (argc < 2 || argc > 4) {
     std::fprintf(stderr,
                  "usage: %s <path-to-micro_sim_hotpath> "
-                 "[<path-to-micro_sim_batch>]\n",
+                 "[<path-to-micro_sim_batch>] "
+                 "[<path-to-micro_trace_atlas>]\n",
                  argv[0]);
     return 2;
   }
@@ -308,11 +309,51 @@ int main(int argc, char** argv) {
     ::unsetenv("SPTA_BATCH_FORCE_SCALAR");
   }
 
+  // Atlas artifact: pack ratio, kernel-store hit rate and the
+  // serial/batched/memoized bit-identity checksum. The throughput
+  // acceptance bars live in the bench binary (campaign scale only); here
+  // the 64-run smoke still requires a >= 3x pack ratio, a >= 90% hit rate
+  // and exact bit-identity — behavioral guards that hold at any size.
+  if (argc == 4) {
+    const std::string atlas_json = dir + "/BENCH_trace_atlas.json";
+    ::setenv("SPTA_BENCH_RUNS", "64", /*overwrite=*/1);
+    const std::string atlas_cmd = std::string("\"") + argv[3] + "\"";
+    if (std::system(atlas_cmd.c_str()) != 0) {
+      Fail("micro_trace_atlas exited with nonzero status");
+    }
+    std::map<std::string, std::string> atlas_numbers;
+    ValidateReport(atlas_json, "trace_atlas",
+                   {"trace_records", "kernel_count", "legacy_bytes",
+                    "atlas_bytes", "pack_ratio", "cold_load_legacy_ms",
+                    "cold_load_atlas_ms", "cold_load_speedup",
+                    "serial_runs_per_sec", "batched_runs_per_sec",
+                    "memoized_runs_per_sec", "speedup_vs_batched",
+                    "baseline_runs_per_sec", "hit_rate", "checksum_match"},
+                   &atlas_numbers);
+    if (atlas_numbers.count("checksum_match") &&
+        Number(atlas_numbers, "checksum_match", 0.0) != 1.0) {
+      Fail("trace_atlas: memoized/batched legs were not bit-identical to "
+           "serial runs");
+    }
+    if (atlas_numbers.count("pack_ratio") &&
+        !(Number(atlas_numbers, "pack_ratio", 0.0) >= 3.0)) {
+      Fail("trace_atlas: pack_ratio below the 3x acceptance bar: " +
+           atlas_numbers["pack_ratio"]);
+    }
+    if (atlas_numbers.count("hit_rate") &&
+        !(Number(atlas_numbers, "hit_rate", 0.0) >= 0.9)) {
+      Fail("trace_atlas: kernel-store hit_rate below 90%: " +
+           atlas_numbers["hit_rate"]);
+    }
+    std::remove(atlas_json.c_str());
+  }
+
   ::rmdir(dir.c_str());
   if (g_failures == 0) {
     std::printf("bench JSON schema check passed (%s)\n",
-                argc == 3 ? "all artifacts incl. sim_batch"
-                          : "all three artifacts");
+                argc == 4   ? "all artifacts incl. sim_batch + trace_atlas"
+                : argc == 3 ? "all artifacts incl. sim_batch"
+                            : "all three artifacts");
     return 0;
   }
   std::fprintf(stderr, "%d failure(s)\n", g_failures);

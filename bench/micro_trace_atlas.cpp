@@ -1,0 +1,303 @@
+// Atlas container + kernel-memoization bench: pack ratio, cold-load time,
+// and memoized-campaign throughput vs the non-memoized batched path.
+//
+// Workload: a repeated-kernel trace (48-record loop body x 2000
+// iterations, ~96k records) — the shape the atlas subsystem exists for.
+// Four legs on identical seeds (master seed 123, the hotpath protocol):
+//
+//   pack     — legacy vs atlas container size + cold load from disk;
+//   serial   — sim::Platform::Run per seed (context);
+//   batched  — lockstep BatchPlatform at the default lane count, the
+//              fastest NON-memoized path and this bench's baseline;
+//   memoized — RunFixedTraceCampaignMemoized (mining + KernelStore
+//              inside the measured window, jobs=1 — same core count as
+//              the batched leg).
+//
+// Acceptance (campaign scale only, >= 150 runs): kernel-store hit rate
+// >= 90% and memoized throughput >= 2.0x the batched leg. Bit-identity
+// (cycles summed over runs 0..59, all legs equal) is enforced at every
+// size — any drift in the memoized path fails the run outright. Smoke
+// runs (SPTA_BENCH_RUNS=64 in tier 1 via check_bench_json) still emit the
+// full BENCH_trace_atlas.json.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/atlas_campaign.hpp"
+#include "analysis/batch_campaign.hpp"
+#include "analysis/campaign.hpp"
+#include "atlas/format.hpp"
+#include "atlas/mine.hpp"
+#include "bench_util.hpp"
+#include "sim/batch/batch_platform.hpp"
+#include "sim/batch/prepared_trace.hpp"
+#include "sim/platform.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kHitRateBar = 0.90;
+constexpr double kSpeedupBar = 2.0;      // memoized vs batched
+constexpr std::size_t kGateMinRuns = 150;
+
+double Seconds(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The repeated-kernel workload: prologue . 48-record body x `iterations`
+/// . epilogue, every iteration identical (same pcs, same addresses) so the
+/// warmed micro-architectural state reaches a fixed point. One store per
+/// iteration, drained well within the iteration, so the store buffer
+/// carries no cross-iteration backlog.
+spta::trace::Trace KernelLoopTrace(std::size_t iterations) {
+  using spta::trace::OpClass;
+  spta::trace::Trace t;
+  t.path_signature = 0xA71A5;
+  auto push = [&](spta::Address pc, OpClass op, spta::Address mem = 0,
+                  bool taken = false) {
+    spta::trace::TraceRecord r;
+    r.pc = pc;
+    r.op = op;
+    r.mem_addr = mem;
+    r.branch_taken = taken;
+    t.records.push_back(r);
+  };
+  for (std::size_t i = 0; i < 40; ++i) {
+    push(0x1000 + 4 * i, i % 5 == 0 ? OpClass::kLoad : OpClass::kIntAlu,
+         i % 5 == 0 ? 0x9000 + 64 * i : 0);
+  }
+  constexpr std::size_t kBody = 48;
+  for (std::size_t k = 0; k < iterations; ++k) {
+    for (std::size_t j = 0; j + 1 < kBody; ++j) {
+      if (j % 4 == 1) {
+        push(0x2000 + 4 * j, OpClass::kLoad, 0x8000 + 32 * j);
+      } else if (j == 18) {
+        push(0x2000 + 4 * j, OpClass::kStore, 0x8800 + 32 * j);
+      } else {
+        push(0x2000 + 4 * j, OpClass::kIntAlu);
+      }
+    }
+    push(0x2000 + 4 * (kBody - 1), OpClass::kBranch, 0, true);
+  }
+  for (std::size_t i = 0; i < 30; ++i) {
+    push(0x3000 + 4 * i, OpClass::kIntAlu);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spta;
+  bench::Banner(
+      "micro: atlas traces + kernel memoization",
+      "infrastructure (no paper artifact): columnar container + "
+      "memoized-campaign throughput",
+      "atlas packs >= 3x smaller bit-identically; memoized campaigns on a "
+      "repeated-kernel trace reach >= 90% hit rate and >= 2x the "
+      "non-memoized batched throughput");
+
+  const std::size_t runs = bench::RunCount(300);
+  constexpr std::uint64_t kMasterSeed = 123;
+  constexpr std::size_t kIterations = 2000;
+
+  const trace::Trace t = KernelLoopTrace(kIterations);
+  const auto config = sim::RandLeon3Config();
+  const atlas::Segmentation mined = atlas::MineKernels(t);
+  std::printf("workload: kernel loop x %zu, %zu records, %zu kernel(s), "
+              "%.1f%% kernel coverage\n",
+              kIterations, t.records.size(), mined.kernels.size(),
+              100.0 * static_cast<double>(mined.KernelRecords()) /
+                  static_cast<double>(t.records.size()));
+
+  // --- container leg ----------------------------------------------------
+  std::ostringstream legacy_out(std::ios::binary);
+  trace::WriteTrace(legacy_out, t);
+  const std::string legacy_bytes = legacy_out.str();
+  std::ostringstream atlas_out(std::ios::binary);
+  atlas::WriteAtlas(atlas_out, t);
+  const std::string atlas_bytes = atlas_out.str();
+  const double pack_ratio = static_cast<double>(legacy_bytes.size()) /
+                            static_cast<double>(atlas_bytes.size());
+
+  const std::string dir = "/tmp";
+  const std::string legacy_path = dir + "/spta_bench_atlas.trc";
+  const std::string atlas_path = dir + "/spta_bench_atlas.atls";
+  {
+    std::ofstream f(legacy_path, std::ios::binary);
+    f.write(legacy_bytes.data(),
+            static_cast<std::streamsize>(legacy_bytes.size()));
+  }
+  {
+    std::ofstream f(atlas_path, std::ios::binary);
+    f.write(atlas_bytes.data(),
+            static_cast<std::streamsize>(atlas_bytes.size()));
+  }
+  // Cold load: file -> fully materialized std::vector<TraceRecord>. Two
+  // passes each, second one reported (first warms the page cache so the
+  // comparison is decode cost, not disk).
+  double legacy_load_s = 0.0;
+  double atlas_load_s = 0.0;
+  std::string error;
+  for (int pass = 0; pass < 2; ++pass) {
+    trace::Trace loaded;
+    auto t0 = Clock::now();
+    if (!trace::TryLoadTraceFile(legacy_path, &loaded, &error)) {
+      std::fprintf(stderr, "FAIL: legacy reload: %s\n", error.c_str());
+      return 1;
+    }
+    legacy_load_s = Seconds(t0);
+    trace::Trace unpacked;
+    t0 = Clock::now();
+    if (!atlas::TryLoadAtlasFile(atlas_path, &unpacked, &error)) {
+      std::fprintf(stderr, "FAIL: atlas reload: %s\n", error.c_str());
+      return 1;
+    }
+    atlas_load_s = Seconds(t0);
+    if (pass == 1 && !(unpacked.records == t.records)) {
+      std::fprintf(stderr, "FAIL: atlas round trip not bit-identical\n");
+      return 1;
+    }
+  }
+  std::remove(legacy_path.c_str());
+  std::remove(atlas_path.c_str());
+  const double cold_load_speedup = legacy_load_s / atlas_load_s;
+  std::printf("container: legacy %zu B, atlas %zu B  (%.2fx smaller)\n",
+              legacy_bytes.size(), atlas_bytes.size(), pack_ratio);
+  std::printf("cold load: legacy %.3f ms, atlas %.3f ms  (%.2fx)\n",
+              legacy_load_s * 1e3, atlas_load_s * 1e3, cold_load_speedup);
+
+  std::vector<Seed> seeds;
+  seeds.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    seeds.push_back(analysis::FixedTraceRunSeed(kMasterSeed, i));
+  }
+
+  // --- serial leg (context) --------------------------------------------
+  sim::Platform platform(config, kMasterSeed);
+  (void)platform.Run(t, seeds[0]);  // warmup
+  unsigned long long serial_checksum = 0;
+  double serial_s = 0.0;
+  {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < runs; ++i) {
+      const auto result = platform.Run(t, seeds[i]);
+      if (i < 60) serial_checksum += result.cycles;
+    }
+    serial_s = Seconds(t0);
+  }
+
+  // --- batched leg (the baseline) --------------------------------------
+  const std::size_t lanes = analysis::kDefaultBatchLanes;
+  unsigned long long batched_checksum = 0;
+  double batched_s = 0.0;
+  {
+    const auto t0 = Clock::now();
+    const auto prepared = sim::batch::PrepareTrace(t, config);
+    sim::batch::BatchPlatform batch(config, lanes);
+    for (std::size_t base = 0; base < runs; base += lanes) {
+      const std::size_t n = std::min(lanes, runs - base);
+      const auto results =
+          batch.RunBatch(prepared, std::span<const Seed>(&seeds[base], n));
+      for (std::size_t l = 0; l < n; ++l) {
+        if (base + l < 60) batched_checksum += results[l].cycles;
+      }
+    }
+    batched_s = Seconds(t0);
+  }
+
+  // --- memoized leg -----------------------------------------------------
+  // Mining and the kernel store live INSIDE the measured window: a real
+  // campaign pays both.
+  unsigned long long memo_checksum = 0;
+  double memo_s = 0.0;
+  analysis::AtlasCampaignStats memo_stats;
+  {
+    const auto t0 = Clock::now();
+    const auto samples = analysis::RunFixedTraceCampaignMemoized(
+        config, t, runs, kMasterSeed, /*jobs=*/1, &memo_stats);
+    memo_s = Seconds(t0);
+    for (std::size_t i = 0; i < samples.size() && i < 60; ++i) {
+      memo_checksum += samples[i].detail.cycles;
+    }
+  }
+  const double hit_rate = memo_stats.memo.HitRate();
+
+  const double serial_rps = static_cast<double>(runs) / serial_s;
+  const double batched_rps = static_cast<double>(runs) / batched_s;
+  const double memo_rps = static_cast<double>(runs) / memo_s;
+  const double speedup_vs_batched = memo_rps / batched_rps;
+  // The frozen batched baseline (TVCA frame(42), BENCH_sim_batch.json) for
+  // cross-bench context; this workload is smaller per run, so the figure
+  // is a reference, not a gate.
+  constexpr double kFrozenBatchedBaseline = 587.0;
+
+  std::printf("\nserial              : %10.2f runs/sec\n", serial_rps);
+  std::printf("batched (baseline)  : %10.2f runs/sec  (%zu lanes)\n",
+              batched_rps, lanes);
+  std::printf("memoized (--atlas)  : %10.2f runs/sec\n", memo_rps);
+  std::printf("speedup vs batched  : %.2fx  (acceptance: >= %.1fx at >= %zu "
+              "runs)\n",
+              speedup_vs_batched, kSpeedupBar, kGateMinRuns);
+  std::printf("kernel store        : %.1f%% hit rate  (%llu hits, %llu "
+              "misses, %llu bypasses, %llu records fast-forwarded)\n",
+              hit_rate * 100.0,
+              static_cast<unsigned long long>(memo_stats.memo.hits),
+              static_cast<unsigned long long>(memo_stats.memo.misses),
+              static_cast<unsigned long long>(memo_stats.memo.bypasses),
+              static_cast<unsigned long long>(
+                  memo_stats.memo.fast_forwarded_records));
+
+  bool failed = false;
+  const bool bits_ok = serial_checksum == batched_checksum &&
+                       batched_checksum == memo_checksum;
+  std::printf("bit-identity        : serial %llu batched %llu memoized %llu"
+              "  %s\n",
+              serial_checksum, batched_checksum, memo_checksum,
+              bits_ok ? "OK" : "MISMATCH");
+  failed = failed || !bits_ok;
+  if (pack_ratio < 3.0) {
+    std::printf("FAIL: pack ratio %.2fx below the 3x acceptance bar\n",
+                pack_ratio);
+    failed = true;
+  }
+  if (runs >= kGateMinRuns) {
+    if (hit_rate < kHitRateBar) {
+      std::printf("FAIL: hit rate %.1f%% below the %.0f%% acceptance bar\n",
+                  hit_rate * 100.0, kHitRateBar * 100.0);
+      failed = true;
+    }
+    if (speedup_vs_batched < kSpeedupBar) {
+      std::printf("FAIL: memoized throughput below the %.1fx acceptance "
+                  "bar\n",
+                  kSpeedupBar);
+      failed = true;
+    }
+  }
+
+  bench::JsonReport report("trace_atlas", runs);
+  report.Set("trace_records", static_cast<double>(t.records.size()));
+  report.Set("kernel_count", static_cast<double>(mined.kernels.size()));
+  report.Set("legacy_bytes", static_cast<double>(legacy_bytes.size()));
+  report.Set("atlas_bytes", static_cast<double>(atlas_bytes.size()));
+  report.Set("pack_ratio", pack_ratio);
+  report.Set("cold_load_legacy_ms", legacy_load_s * 1e3);
+  report.Set("cold_load_atlas_ms", atlas_load_s * 1e3);
+  report.Set("cold_load_speedup", cold_load_speedup);
+  report.Set("serial_runs_per_sec", serial_rps);
+  report.Set("batched_runs_per_sec", batched_rps);
+  report.Set("memoized_runs_per_sec", memo_rps);
+  report.Set("speedup_vs_batched", speedup_vs_batched);
+  report.Set("baseline_runs_per_sec", kFrozenBatchedBaseline);
+  report.Set("hit_rate", hit_rate);
+  report.Set("checksum_match", bits_ok ? 1.0 : 0.0);
+  if (report.Write().empty()) failed = true;
+
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,250 @@
+#include "analysis/atlas_campaign.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "atlas/state_digest.hpp"
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/atlas_counters.hpp"
+#include "obs/trace.hpp"
+#include "sim/platform.hpp"
+
+namespace spta::analysis {
+namespace {
+
+/// Per-worker arenas: one reusable Platform and one KernelStore per pool
+/// worker. The platform arena is bit-identity-safe for the same reason as
+/// in parallel_campaign.cpp (full per-run reset protocol); the kernel
+/// store is safe because entry-state digests embed per-run seeds, so a
+/// stale entry can never match a different run's state — sharing the
+/// store across runs only adds hits, never wrong ones.
+class AtlasArenas {
+ public:
+  AtlasArenas(const sim::PlatformConfig& config, std::size_t workers)
+      : config_(config),
+        platforms_(workers),
+        stores_(workers),
+        memo_stats_(workers) {}
+
+  sim::Platform& Platform() {
+    const std::size_t w = WorkerIndex();
+    if (platforms_[w] == nullptr) {
+      platforms_[w] = std::make_unique<sim::Platform>(config_, 0);
+    }
+    return *platforms_[w];
+  }
+
+  atlas::KernelStore& Store() {
+    const std::size_t w = WorkerIndex();
+    if (stores_[w] == nullptr) {
+      stores_[w] = std::make_unique<atlas::KernelStore>();
+    }
+    return *stores_[w];
+  }
+
+  atlas::MemoRunStats& MemoStats() { return memo_stats_[WorkerIndex()]; }
+
+  /// Folds every worker's counters into `out` (and the obs globals).
+  /// Call after the pool has quiesced.
+  void Aggregate(AtlasCampaignStats* out) {
+    AtlasCampaignStats total;
+    for (std::size_t w = 0; w < memo_stats_.size(); ++w) {
+      total.memo.Accumulate(memo_stats_[w]);
+      if (stores_[w] != nullptr) {
+        const atlas::KernelStore::Stats s = stores_[w]->stats();
+        total.store_inserts += s.inserts;
+        total.store_clears += s.clears;
+        total.store_collisions += s.collisions;
+      }
+    }
+    obs::AddAtlasMemoCounters(total.memo.hits, total.memo.misses,
+                              total.memo.bypasses, total.store_inserts,
+                              total.memo.fast_forwarded_records);
+    if (out != nullptr) *out = total;
+  }
+
+ private:
+  std::size_t WorkerIndex() const {
+    const std::size_t w = ThreadPool::CurrentWorkerIndex();
+    SPTA_CHECK_MSG(w != ThreadPool::kNotAWorker && w < platforms_.size(),
+                   "campaign body must run on a pool worker");
+    return w;
+  }
+
+  const sim::PlatformConfig& config_;
+  std::vector<std::unique_ptr<sim::Platform>> platforms_;
+  std::vector<std::unique_ptr<atlas::KernelStore>> stores_;
+  std::vector<atlas::MemoRunStats> memo_stats_;
+};
+
+}  // namespace
+
+std::vector<RunSample> RunFixedTraceCampaignMemoized(
+    const sim::PlatformConfig& platform_config, const trace::Trace& t,
+    std::size_t runs, std::uint64_t master_seed, std::size_t jobs,
+    AtlasCampaignStats* stats) {
+  SPTA_REQUIRE(runs >= 1);
+  std::vector<RunSample> samples(runs);
+  const atlas::Segmentation segmentation = atlas::MineKernels(t);
+  const DualHash config_digest = atlas::ConfigDigest(platform_config);
+
+  ThreadPool pool(jobs);
+  AtlasArenas arenas(platform_config, pool.size());
+  SPTA_OBS_SPAN_ARG("campaign", "fixed_trace_campaign_memoized", "runs",
+                    runs);
+  ParallelFor(pool, runs, [&](std::size_t r) {
+    SPTA_OBS_SPAN_ARG("campaign", "run", "run", r);
+    RunSample s;
+    s.detail = atlas::RunMemoized(arenas.Platform(), t, segmentation,
+                                  FixedTraceRunSeed(master_seed, r),
+                                  config_digest, &arenas.Store(),
+                                  &arenas.MemoStats());
+    s.cycles = static_cast<double>(s.detail.cycles);
+    s.path_id = static_cast<std::uint32_t>(t.path_signature);
+    samples[r] = s;
+  });
+  arenas.Aggregate(stats);
+  return samples;
+}
+
+std::vector<RunSample> RunTvcaCampaignMemoized(
+    const sim::PlatformConfig& platform_config, const apps::TvcaApp& app,
+    const CampaignConfig& config, std::size_t jobs,
+    AtlasCampaignStats* stats) {
+  SPTA_REQUIRE(config.runs >= 1);
+  std::vector<RunSample> samples(config.runs);
+  const DualHash config_digest = atlas::ConfigDigest(platform_config);
+
+  // Fixed scenario suite: build AND mine each distinct frame once.
+  std::vector<apps::TvcaFrame> suite;
+  std::vector<atlas::Segmentation> suite_segments;
+  if (config.distinct_scenarios > 0) {
+    suite.reserve(config.distinct_scenarios);
+    suite_segments.reserve(config.distinct_scenarios);
+    for (std::size_t i = 0; i < config.distinct_scenarios; ++i) {
+      suite.push_back(app.BuildFrame(TvcaScenarioSeed(config, i)));
+      suite_segments.push_back(atlas::MineKernels(suite.back().trace));
+    }
+  }
+
+  ThreadPool pool(jobs);
+  AtlasArenas arenas(platform_config, pool.size());
+  SPTA_OBS_SPAN_ARG("campaign", "tvca_campaign_memoized", "runs",
+                    config.runs);
+  ParallelFor(pool, config.runs, [&](std::size_t r) {
+    SPTA_OBS_SPAN_ARG("campaign", "run", "run", r);
+    const Seed run_seed = TvcaRunSeed(config, r);
+    RunSample s;
+    if (!suite.empty()) {
+      const std::size_t scenario = r % config.distinct_scenarios;
+      s.detail = atlas::RunMemoized(
+          arenas.Platform(), suite[scenario].trace,
+          suite_segments[scenario], run_seed, config_digest,
+          &arenas.Store(), &arenas.MemoStats());
+      s.path_id = suite[scenario].path_id;
+    } else {
+      const apps::TvcaFrame frame =
+          app.BuildFrame(TvcaScenarioSeed(config, r));
+      const atlas::Segmentation segmentation =
+          atlas::MineKernels(frame.trace);
+      s.detail = atlas::RunMemoized(arenas.Platform(), frame.trace,
+                                    segmentation, run_seed, config_digest,
+                                    &arenas.Store(), &arenas.MemoStats());
+      s.path_id = frame.path_id;
+    }
+    s.cycles = static_cast<double>(s.detail.cycles);
+    samples[r] = s;
+  });
+  arenas.Aggregate(stats);
+  return samples;
+}
+
+bool RunFixedTraceCampaignMemoizedCheckpointed(
+    const sim::PlatformConfig& platform_config, const trace::Trace& t,
+    std::size_t runs, std::uint64_t master_seed, std::size_t jobs,
+    const CheckpointOptions& options, CheckpointedCampaignResult* out,
+    std::string* error, AtlasCampaignStats* stats) {
+  SPTA_REQUIRE(runs >= 1);
+  CheckpointHeader header;
+  header.campaign_seed = master_seed;
+  header.runs = runs;
+  header.distinct_scenarios = 0;
+  header.workload_digest = FixedTraceWorkloadDigest(t);
+
+  const atlas::Segmentation segmentation = atlas::MineKernels(t);
+  const DualHash config_digest = atlas::ConfigDigest(platform_config);
+  ThreadPool pool(jobs);
+  AtlasArenas arenas(platform_config, pool.size());
+  auto measure = [&](std::size_t r) {
+    RunSample s;
+    s.detail = atlas::RunMemoized(arenas.Platform(), t, segmentation,
+                                  FixedTraceRunSeed(master_seed, r),
+                                  config_digest, &arenas.Store(),
+                                  &arenas.MemoStats());
+    s.cycles = static_cast<double>(s.detail.cycles);
+    s.path_id = static_cast<std::uint32_t>(t.path_signature);
+    return s;
+  };
+  const bool ok =
+      RunCheckpointedCampaign(header, pool, options, measure, out, error);
+  arenas.Aggregate(stats);
+  return ok;
+}
+
+bool RunTvcaCampaignMemoizedCheckpointed(
+    const sim::PlatformConfig& platform_config, const apps::TvcaApp& app,
+    const CampaignConfig& config, std::size_t jobs,
+    const CheckpointOptions& options, CheckpointedCampaignResult* out,
+    std::string* error, AtlasCampaignStats* stats) {
+  SPTA_REQUIRE(config.runs >= 1);
+  CheckpointHeader header;
+  header.campaign_seed = config.master_seed;
+  header.runs = config.runs;
+  header.distinct_scenarios = config.distinct_scenarios;
+  header.workload_digest = TvcaWorkloadDigest();
+
+  const DualHash config_digest = atlas::ConfigDigest(platform_config);
+  std::vector<apps::TvcaFrame> suite;
+  std::vector<atlas::Segmentation> suite_segments;
+  if (config.distinct_scenarios > 0) {
+    suite.reserve(config.distinct_scenarios);
+    suite_segments.reserve(config.distinct_scenarios);
+    for (std::size_t i = 0; i < config.distinct_scenarios; ++i) {
+      suite.push_back(app.BuildFrame(TvcaScenarioSeed(config, i)));
+      suite_segments.push_back(atlas::MineKernels(suite.back().trace));
+    }
+  }
+
+  ThreadPool pool(jobs);
+  AtlasArenas arenas(platform_config, pool.size());
+  auto measure = [&](std::size_t r) {
+    const Seed run_seed = TvcaRunSeed(config, r);
+    RunSample s;
+    if (!suite.empty()) {
+      const std::size_t scenario = r % config.distinct_scenarios;
+      s.detail = atlas::RunMemoized(
+          arenas.Platform(), suite[scenario].trace,
+          suite_segments[scenario], run_seed, config_digest,
+          &arenas.Store(), &arenas.MemoStats());
+      s.path_id = suite[scenario].path_id;
+    } else {
+      const apps::TvcaFrame frame =
+          app.BuildFrame(TvcaScenarioSeed(config, r));
+      const atlas::Segmentation segmentation =
+          atlas::MineKernels(frame.trace);
+      s.detail = atlas::RunMemoized(arenas.Platform(), frame.trace,
+                                    segmentation, run_seed, config_digest,
+                                    &arenas.Store(), &arenas.MemoStats());
+      s.path_id = frame.path_id;
+    }
+    s.cycles = static_cast<double>(s.detail.cycles);
+    return s;
+  };
+  const bool ok =
+      RunCheckpointedCampaign(header, pool, options, measure, out, error);
+  arenas.Aggregate(stats);
+  return ok;
+}
+
+}  // namespace spta::analysis

@@ -1,0 +1,72 @@
+// Atlas-memoized measurement campaigns.
+//
+// These runners are drop-in replacements for the serial / parallel /
+// checkpointed campaign runners that execute each run through the atlas
+// memoized path (atlas/memo_runner.hpp): the workload trace is mined into
+// a segmented prologue . kernel x N . epilogue view once per distinct
+// trace, and every worker carries a content-addressed KernelStore that
+// fast-forwards kernel iterations whose entry micro-architectural state
+// it has already timed.
+//
+// Determinism contract: identical samples — bit for bit, including every
+// RunResult counter — to the corresponding non-memoized runner for any
+// job count, because (a) the seed-derivation contract makes each run a
+// pure function of (config, run index) and (b) RunMemoized is
+// bit-identical to Platform::Run per run. The checkpointed variants write
+// and resume the exact same journal format as the legacy runners, so a
+// campaign can even be started legacy and resumed memoized (or vice
+// versa) without perturbing a single sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/campaign.hpp"
+#include "analysis/checkpoint.hpp"
+#include "apps/tvca.hpp"
+#include "atlas/memo_runner.hpp"
+#include "sim/config.hpp"
+#include "trace/record.hpp"
+
+namespace spta::analysis {
+
+/// Aggregated memoization behavior of one campaign (all workers).
+struct AtlasCampaignStats {
+  atlas::MemoRunStats memo;
+  std::uint64_t store_inserts = 0;
+  std::uint64_t store_clears = 0;
+  std::uint64_t store_collisions = 0;
+};
+
+/// Memoized equivalent of RunFixedTraceCampaignParallel (jobs = 0 picks
+/// DefaultJobs(); 1 runs serially). `stats` (optional) receives the
+/// aggregated hit/miss/bypass counters; the totals are also folded into
+/// the process-wide obs atlas counters.
+std::vector<RunSample> RunFixedTraceCampaignMemoized(
+    const sim::PlatformConfig& platform_config, const trace::Trace& t,
+    std::size_t runs, std::uint64_t master_seed, std::size_t jobs = 1,
+    AtlasCampaignStats* stats = nullptr);
+
+/// Memoized equivalent of RunTvcaCampaignParallel. Frames of a fixed
+/// scenario suite are built and mined once up front; fresh-input
+/// campaigns mine per run (memoization then only pays within a run).
+std::vector<RunSample> RunTvcaCampaignMemoized(
+    const sim::PlatformConfig& platform_config, const apps::TvcaApp& app,
+    const CampaignConfig& config, std::size_t jobs = 1,
+    AtlasCampaignStats* stats = nullptr);
+
+/// Checkpointed variants: journal format, header identity and sample
+/// values all match the legacy checkpointed runners exactly.
+bool RunFixedTraceCampaignMemoizedCheckpointed(
+    const sim::PlatformConfig& platform_config, const trace::Trace& t,
+    std::size_t runs, std::uint64_t master_seed, std::size_t jobs,
+    const CheckpointOptions& options, CheckpointedCampaignResult* out,
+    std::string* error, AtlasCampaignStats* stats = nullptr);
+
+bool RunTvcaCampaignMemoizedCheckpointed(
+    const sim::PlatformConfig& platform_config, const apps::TvcaApp& app,
+    const CampaignConfig& config, std::size_t jobs,
+    const CheckpointOptions& options, CheckpointedCampaignResult* out,
+    std::string* error, AtlasCampaignStats* stats = nullptr);
+
+}  // namespace spta::analysis

@@ -299,10 +299,9 @@ std::uint64_t FixedTraceWorkloadDigest(const trace::Trace& t) {
                      HashCombine(t.path_signature, t.records.size()));
 }
 
-namespace {
-
 /// Shared runner skeleton: the per-run measurement differs (TVCA frame vs
-/// fixed trace), the journaling/resume discipline doesn't.
+/// fixed trace vs atlas-memoized), the journaling/resume discipline
+/// doesn't. Exported so the atlas campaign runners reuse it verbatim.
 bool RunCheckpointedCampaign(
     const CheckpointHeader& header, ThreadPool& pool,
     const CheckpointOptions& options,
@@ -390,8 +389,6 @@ bool RunCheckpointedCampaign(
   }
   return true;
 }
-
-}  // namespace
 
 bool RunTvcaCampaignCheckpointed(const sim::PlatformConfig& platform_config,
                                  const apps::TvcaApp& app,

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,10 @@
 #include "apps/tvca.hpp"
 #include "sim/config.hpp"
 #include "trace/record.hpp"
+
+namespace spta {
+class ThreadPool;
+}
 
 namespace spta::analysis {
 
@@ -116,6 +121,18 @@ struct CheckpointedCampaignResult {
   std::size_t resumed_runs = 0;
   std::size_t torn_lines = 0;
 };
+
+/// Generic journaling skeleton shared by every checkpointed runner
+/// (TVCA, fixed-trace, and the atlas memoized variants). `measure(r)`
+/// must be a pure function of the run index (the seed-derivation
+/// contract) and run on a worker of `pool`; completed runs are appended
+/// to the journal under a mutex, resume restores them instead of
+/// re-measuring.
+bool RunCheckpointedCampaign(
+    const CheckpointHeader& header, ThreadPool& pool,
+    const CheckpointOptions& options,
+    const std::function<RunSample(std::size_t)>& measure,
+    CheckpointedCampaignResult* out, std::string* error);
 
 /// RunTvcaCampaignParallel with journaling. Bit-identical samples to the
 /// plain runner for any jobs / interruption pattern (seed contract).

@@ -1,0 +1,642 @@
+#include "atlas/format.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "trace/trace_io.hpp"
+
+namespace spta::atlas {
+namespace {
+
+using trace::OpClass;
+using trace::TraceRecord;
+
+// 48-byte fixed part + two 8-byte digest words per column.
+constexpr std::size_t kHeaderBytes = 48 + 16 * kColumnCount;
+constexpr std::size_t kIndexEntryBytes = 16;
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t GetU32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const unsigned char* data, std::size_t size, std::size_t* pos,
+               std::uint64_t* v) {
+  std::uint64_t result = 0;
+  for (unsigned shift = 0; *pos < size && shift < 64; shift += 7) {
+    const unsigned char b = data[(*pos)++];
+    result |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+// PackBits-style RLE. Control byte c < 0x80: copy the next c+1 literal
+// bytes; c >= 0x80: repeat the next byte c-0x80+2 times. Repeats are only
+// emitted for runs of >= 3, so literals never pay for short runs.
+void RleEncode(const std::string& in, std::string* out) {
+  const std::size_t n = in.size();
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t run = 1;
+    while (i + run < n && in[i + run] == in[i] && run < 129) ++run;
+    if (run >= 3) {
+      out->push_back(static_cast<char>(0x80 + run - 2));
+      out->push_back(in[i]);
+      i += run;
+      continue;
+    }
+    std::size_t lit = i;
+    while (lit < n && lit - i < 128) {
+      std::size_t r = 1;
+      while (lit + r < n && in[lit + r] == in[lit] && r < 3) ++r;
+      if (r >= 3) break;
+      lit += r;
+    }
+    std::size_t len = lit - i;
+    if (len > 128) len = 128;
+    out->push_back(static_cast<char>(len - 1));
+    out->append(in, i, len);
+    i += len;
+  }
+}
+
+bool RleDecode(const unsigned char* data, std::size_t size,
+               std::size_t max_out, std::string* out) {
+  out->clear();
+  std::size_t i = 0;
+  while (i < size) {
+    const unsigned char c = data[i++];
+    if (c < 0x80) {
+      const std::size_t len = static_cast<std::size_t>(c) + 1;
+      if (len > size - i || out->size() + len > max_out) return false;
+      out->append(reinterpret_cast<const char*>(data + i), len);
+      i += len;
+    } else {
+      const std::size_t len = static_cast<std::size_t>(c - 0x80) + 2;
+      if (i >= size || out->size() + len > max_out) return false;
+      out->append(len, static_cast<char>(data[i++]));
+    }
+  }
+  return true;
+}
+
+bool IsMemOp(OpClass op) {
+  return op == OpClass::kLoad || op == OpClass::kStore;
+}
+
+/// Builds the raw (pre-RLE) column byte streams of one block.
+void BuildRawColumns(const TraceRecord* recs, std::size_t count,
+                     std::string raw[kColumnCount]) {
+  std::uint64_t prev_pc = 0;
+  std::uint64_t prev_mem = 0;
+  std::string exc;
+  std::uint64_t exc_count = 0;
+  std::uint64_t last_exc_index = 0;
+  raw[kBranch].assign((count + 7) / 8, '\0');
+  for (std::size_t i = 0; i < count; ++i) {
+    const TraceRecord& r = recs[i];
+    raw[kOp].push_back(static_cast<char>(r.op));
+    PutVarint(&raw[kPc], ZigZag(static_cast<std::int64_t>(r.pc) -
+                                static_cast<std::int64_t>(prev_pc)));
+    prev_pc = r.pc;
+    if (IsMemOp(r.op)) {
+      PutVarint(&raw[kMem], ZigZag(static_cast<std::int64_t>(r.mem_addr) -
+                                   static_cast<std::int64_t>(prev_mem)));
+      prev_mem = r.mem_addr;
+    } else if (r.mem_addr != 0) {
+      PutVarint(&exc, i - last_exc_index);
+      PutVarint(&exc, r.mem_addr);
+      last_exc_index = i;
+      ++exc_count;
+    }
+    raw[kFpuClass].push_back(static_cast<char>(r.fpu_operand_class));
+    if (r.branch_taken) {
+      raw[kBranch][i >> 3] |= static_cast<char>(1 << (i & 7));
+    }
+    raw[kDst].push_back(static_cast<char>(r.dst_reg));
+    raw[kSrc1].push_back(static_cast<char>(r.src1_reg));
+    raw[kSrc2].push_back(static_cast<char>(r.src2_reg));
+  }
+  PutVarint(&raw[kMemExc], exc_count);
+  raw[kMemExc] += exc;
+}
+
+std::string EncodeBlock(const TraceRecord* recs, std::size_t count) {
+  std::string raw[kColumnCount];
+  BuildRawColumns(recs, count, raw);
+  std::string block;
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    std::string encoded;
+    RleEncode(raw[c], &encoded);
+    SPTA_CHECK(encoded.size() <= 0xffffffffu);
+    PutU32(&block, static_cast<std::uint32_t>(encoded.size()));
+    block += encoded;
+  }
+  return block;
+}
+
+void ColumnDigests(const trace::Trace& t, DualHash digests[kColumnCount]) {
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    const TraceRecord& r = t.records[i];
+    digests[kOp].Mix(static_cast<std::uint8_t>(r.op));
+    digests[kPc].Mix(r.pc);
+    if (IsMemOp(r.op)) {
+      digests[kMem].Mix(r.mem_addr);
+    } else if (r.mem_addr != 0) {
+      digests[kMemExc].Mix(i);
+      digests[kMemExc].Mix(r.mem_addr);
+    }
+    digests[kFpuClass].Mix(r.fpu_operand_class);
+    digests[kBranch].Mix(r.branch_taken ? 1 : 0);
+    digests[kDst].Mix(r.dst_reg);
+    digests[kSrc1].Mix(r.src1_reg);
+    digests[kSrc2].Mix(r.src2_reg);
+  }
+}
+
+}  // namespace
+
+const char* ColumnName(Column c) {
+  switch (c) {
+    case kOp: return "op";
+    case kPc: return "pc";
+    case kMem: return "mem";
+    case kMemExc: return "mem-exc";
+    case kFpuClass: return "fpu-class";
+    case kBranch: return "branch";
+    case kDst: return "dst";
+    case kSrc1: return "src1";
+    case kSrc2: return "src2";
+    case kColumnCount: break;
+  }
+  return "?";
+}
+
+const char* ToString(TraceFormat format) {
+  return format == TraceFormat::kAtlas ? "atlas" : "legacy";
+}
+
+DualHash TraceContentDigest(const trace::Trace& t) {
+  DualHash h;
+  h.Mix(t.path_signature);
+  h.Mix(t.records.size());
+  for (const TraceRecord& r : t.records) {
+    h.Mix(r.pc);
+    h.Mix(static_cast<std::uint8_t>(r.op));
+    h.Mix(r.mem_addr);
+    h.Mix(r.fpu_operand_class);
+    h.Mix(r.branch_taken ? 1 : 0);
+    h.Mix(r.dst_reg);
+    h.Mix(r.src1_reg);
+    h.Mix(r.src2_reg);
+  }
+  return h;
+}
+
+void WriteAtlas(std::ostream& out, const trace::Trace& t,
+                std::uint32_t block_records) {
+  SPTA_REQUIRE(block_records >= 1);
+  const std::size_t n = t.records.size();
+  SPTA_REQUIRE_MSG(n <= (1ULL << 32), "implausible record count");
+  const std::uint32_t block_count = static_cast<std::uint32_t>(
+      (n + block_records - 1) / block_records);
+
+  std::vector<std::string> blocks;
+  blocks.reserve(block_count);
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    const std::size_t begin = static_cast<std::size_t>(b) * block_records;
+    const std::size_t count = std::min<std::size_t>(block_records, n - begin);
+    blocks.push_back(EncodeBlock(t.records.data() + begin, count));
+  }
+
+  const DualHash content = TraceContentDigest(t);
+  DualHash columns[kColumnCount];
+  ColumnDigests(t, columns);
+
+  std::string header;
+  header.reserve(kHeaderBytes);
+  PutU32(&header, kAtlasMagic);
+  PutU32(&header, kAtlasVersion);
+  PutU64(&header, t.path_signature);
+  PutU64(&header, n);
+  PutU32(&header, block_records);
+  PutU32(&header, block_count);
+  PutU64(&header, content.lo);
+  PutU64(&header, content.hi);
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    PutU64(&header, columns[c].lo);
+    PutU64(&header, columns[c].hi);
+  }
+  SPTA_CHECK(header.size() == kHeaderBytes);
+
+  std::string index;
+  index.reserve(block_count * kIndexEntryBytes);
+  std::uint64_t offset = kHeaderBytes + static_cast<std::uint64_t>(
+                                            block_count) * kIndexEntryBytes;
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    const std::size_t begin = static_cast<std::size_t>(b) * block_records;
+    const std::size_t count = std::min<std::size_t>(block_records, n - begin);
+    PutU64(&index, offset);
+    PutU32(&index, static_cast<std::uint32_t>(blocks[b].size()));
+    PutU32(&index, static_cast<std::uint32_t>(count));
+    offset += blocks[b].size();
+  }
+
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(index.data(), static_cast<std::streamsize>(index.size()));
+  for (const std::string& block : blocks) {
+    out.write(block.data(), static_cast<std::streamsize>(block.size()));
+  }
+  SPTA_CHECK_MSG(out.good(), "atlas write failed");
+}
+
+bool AtlasReader::TryParse(std::string bytes, AtlasReader* out,
+                           std::string* error) {
+  out->bytes_ = std::move(bytes);
+  out->blocks_.clear();
+  out->info_ = AtlasInfo{};
+  const unsigned char* data =
+      reinterpret_cast<const unsigned char*>(out->bytes_.data());
+  const std::size_t size = out->bytes_.size();
+  if (size < 8) {
+    *error = "truncated atlas header";
+    return false;
+  }
+  if (GetU32(data) != kAtlasMagic) {
+    *error = "not an atlas trace (bad magic)";
+    return false;
+  }
+  const std::uint32_t version = GetU32(data + 4);
+  if (version != kAtlasVersion) {
+    *error = "unsupported atlas version " + std::to_string(version);
+    return false;
+  }
+  if (size < kHeaderBytes) {
+    *error = "truncated atlas header";
+    return false;
+  }
+  AtlasInfo& info = out->info_;
+  info.path_signature = GetU64(data + 8);
+  info.record_count = GetU64(data + 16);
+  info.block_records = GetU32(data + 24);
+  info.block_count = GetU32(data + 28);
+  info.content_digest.lo = GetU64(data + 32);
+  info.content_digest.hi = GetU64(data + 40);
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    info.column_digests[c].lo = GetU64(data + 48 + 16 * c);
+    info.column_digests[c].hi = GetU64(data + 56 + 16 * c);
+  }
+  if (info.record_count > (1ULL << 32)) {
+    *error = "implausible record count " +
+             std::to_string(info.record_count);
+    return false;
+  }
+  if (info.block_records == 0) {
+    *error = "corrupt atlas header: zero block size";
+    return false;
+  }
+  const std::uint64_t expected_blocks =
+      (info.record_count + info.block_records - 1) / info.block_records;
+  if (info.block_count != expected_blocks) {
+    *error = "corrupt atlas header: block count " +
+             std::to_string(info.block_count) + " does not cover " +
+             std::to_string(info.record_count) + " records";
+    return false;
+  }
+  const std::uint64_t index_end =
+      kHeaderBytes +
+      static_cast<std::uint64_t>(info.block_count) * kIndexEntryBytes;
+  if (size < index_end) {
+    *error = "truncated atlas block index";
+    return false;
+  }
+  out->blocks_.reserve(info.block_count);
+  std::uint64_t remaining = info.record_count;
+  for (std::uint32_t b = 0; b < info.block_count; ++b) {
+    const unsigned char* entry = data + kHeaderBytes + b * kIndexEntryBytes;
+    BlockEntry block;
+    block.offset = GetU64(entry);
+    block.encoded_bytes = GetU32(entry + 8);
+    block.records = GetU32(entry + 12);
+    const std::uint64_t expected_records =
+        std::min<std::uint64_t>(info.block_records, remaining);
+    if (block.records != expected_records) {
+      *error = "corrupt atlas index: block " + std::to_string(b) +
+               " claims " + std::to_string(block.records) + " records";
+      return false;
+    }
+    remaining -= expected_records;
+    if (block.offset < index_end || block.offset > size ||
+        block.encoded_bytes > size - block.offset) {
+      *error = "corrupt atlas index: block " + std::to_string(b) +
+               " extends past end of file";
+      return false;
+    }
+    out->blocks_.push_back(block);
+  }
+  return true;
+}
+
+bool AtlasReader::DecodeBlock(std::uint32_t index,
+                              std::vector<trace::TraceRecord>* out,
+                              std::string* error) const {
+  SPTA_REQUIRE(index < blocks_.size());
+  const BlockEntry& block = blocks_[index];
+  const unsigned char* data =
+      reinterpret_cast<const unsigned char*>(bytes_.data()) + block.offset;
+  const std::size_t size = block.encoded_bytes;
+  const std::size_t count = block.records;
+  const auto fail = [&](const std::string& what) {
+    *error = "atlas block " + std::to_string(index) + ": " + what;
+    return false;
+  };
+
+  // Split the block into its column streams.
+  const unsigned char* col[kColumnCount];
+  std::size_t col_size[kColumnCount];
+  std::size_t pos = 0;
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    if (size - pos < 4) return fail("truncated column table");
+    const std::uint32_t len = GetU32(data + pos);
+    pos += 4;
+    if (len > size - pos) {
+      return fail(std::string("column ") +
+                  ColumnName(static_cast<Column>(c)) + " overruns block");
+    }
+    col[c] = data + pos;
+    col_size[c] = len;
+    pos += len;
+  }
+  if (pos != size) return fail("trailing bytes after columns");
+
+  // Expand the RLE layers. Fixed-width columns must decode to exactly
+  // their expected size; varint columns are bounded by the worst-case
+  // encoding (10 bytes per value) and validated by exact consumption.
+  const std::size_t varint_cap = count * 11 + 16;
+  std::string raw[kColumnCount];
+  const std::size_t expected[kColumnCount] = {
+      count, varint_cap, varint_cap, varint_cap,
+      count, (count + 7) / 8, count, count, count,
+  };
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    if (!RleDecode(col[c], col_size[c], expected[c], &raw[c])) {
+      return fail(std::string("corrupt RLE in column ") +
+                  ColumnName(static_cast<Column>(c)));
+    }
+  }
+  for (const std::uint32_t c : {kOp, kFpuClass, kBranch, kDst, kSrc1,
+                                kSrc2}) {
+    if (raw[c].size() != expected[c]) {
+      return fail(std::string("column ") +
+                  ColumnName(static_cast<Column>(c)) + " has " +
+                  std::to_string(raw[c].size()) + " bytes, expected " +
+                  std::to_string(expected[c]));
+    }
+  }
+  // The writer zeroes the unused padding bits in the branch bitmap's last
+  // byte; enforce that on read so every encoded byte is load-bearing (a
+  // flipped padding bit must not round-trip silently).
+  if (count % 8 != 0 &&
+      (static_cast<unsigned char>(raw[kBranch][count / 8]) >>
+       (count % 8)) != 0) {
+    return fail("nonzero padding bits in branch column");
+  }
+
+  const std::size_t base = out->size();
+  out->resize(base + count);
+  const unsigned char* pc_data =
+      reinterpret_cast<const unsigned char*>(raw[kPc].data());
+  const unsigned char* mem_data =
+      reinterpret_cast<const unsigned char*>(raw[kMem].data());
+  std::size_t pc_pos = 0;
+  std::size_t mem_pos = 0;
+  std::uint64_t prev_pc = 0;
+  std::uint64_t prev_mem = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    TraceRecord& r = (*out)[base + i];
+    const unsigned char op = static_cast<unsigned char>(raw[kOp][i]);
+    if (op > static_cast<unsigned char>(OpClass::kNop)) {
+      return fail("corrupt op class " + std::to_string(op) + " at record " +
+                  std::to_string(i));
+    }
+    r.op = static_cast<OpClass>(op);
+    std::uint64_t zz = 0;
+    if (!GetVarint(pc_data, raw[kPc].size(), &pc_pos, &zz)) {
+      return fail("truncated pc column");
+    }
+    prev_pc = static_cast<std::uint64_t>(static_cast<std::int64_t>(prev_pc) +
+                                         UnZigZag(zz));
+    r.pc = prev_pc;
+    if (IsMemOp(r.op)) {
+      if (!GetVarint(mem_data, raw[kMem].size(), &mem_pos, &zz)) {
+        return fail("truncated mem column");
+      }
+      prev_mem = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(prev_mem) + UnZigZag(zz));
+      r.mem_addr = prev_mem;
+    } else {
+      r.mem_addr = 0;
+    }
+    const unsigned char fpu = static_cast<unsigned char>(raw[kFpuClass][i]);
+    if (fpu >= trace::kFpuOperandClasses) {
+      return fail("corrupt FPU operand class " + std::to_string(fpu) +
+                  " at record " + std::to_string(i));
+    }
+    r.fpu_operand_class = fpu;
+    r.branch_taken =
+        (static_cast<unsigned char>(raw[kBranch][i >> 3]) >> (i & 7)) & 1;
+    r.dst_reg = static_cast<std::uint8_t>(raw[kDst][i]);
+    r.src1_reg = static_cast<std::uint8_t>(raw[kSrc1][i]);
+    r.src2_reg = static_cast<std::uint8_t>(raw[kSrc2][i]);
+  }
+  if (pc_pos != raw[kPc].size()) return fail("trailing bytes in pc column");
+  if (mem_pos != raw[kMem].size()) {
+    return fail("trailing bytes in mem column");
+  }
+
+  // Exceptions: effective addresses carried by non-memory records.
+  const unsigned char* exc_data =
+      reinterpret_cast<const unsigned char*>(raw[kMemExc].data());
+  std::size_t exc_pos = 0;
+  std::uint64_t exc_count = 0;
+  if (!GetVarint(exc_data, raw[kMemExc].size(), &exc_pos, &exc_count)) {
+    return fail("truncated mem exception column");
+  }
+  if (exc_count > count) {
+    return fail("implausible mem exception count " +
+                std::to_string(exc_count));
+  }
+  std::uint64_t exc_index = 0;
+  for (std::uint64_t e = 0; e < exc_count; ++e) {
+    std::uint64_t delta = 0;
+    std::uint64_t value = 0;
+    if (!GetVarint(exc_data, raw[kMemExc].size(), &exc_pos, &delta) ||
+        !GetVarint(exc_data, raw[kMemExc].size(), &exc_pos, &value)) {
+      return fail("truncated mem exception column");
+    }
+    exc_index = (e == 0) ? delta : exc_index + delta;
+    if (exc_index >= count) {
+      return fail("mem exception index " + std::to_string(exc_index) +
+                  " out of range");
+    }
+    TraceRecord& r = (*out)[base + exc_index];
+    if (IsMemOp(r.op) || value == 0) {
+      return fail("invalid mem exception at record " +
+                  std::to_string(exc_index));
+    }
+    r.mem_addr = value;
+  }
+  if (exc_pos != raw[kMemExc].size()) {
+    return fail("trailing bytes in mem exception column");
+  }
+  return true;
+}
+
+bool AtlasReader::ReadAll(trace::Trace* out, std::string* error) const {
+  out->records.clear();
+  // Bounded reserve: the header count is validated for plausibility but a
+  // hostile file could still claim 2^32 records backed by nothing. Growth
+  // past the bound tracks blocks that actually decode.
+  out->records.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(info_.record_count, 1ULL << 20)));
+  out->path_signature = info_.path_signature;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (!DecodeBlock(b, &out->records, error)) return false;
+  }
+  DualHash columns[kColumnCount];
+  ColumnDigests(*out, columns);
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    if (columns[c] != info_.column_digests[c]) {
+      *error = std::string("atlas column digest mismatch in column ") +
+               ColumnName(static_cast<Column>(c)) +
+               " (bit damage not caught by structural checks)";
+      return false;
+    }
+  }
+  if (TraceContentDigest(*out) != info_.content_digest) {
+    *error = "atlas content digest mismatch";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool ReadStream(std::istream& in, std::string* out) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  *out = std::move(buffer).str();
+  return true;
+}
+
+}  // namespace
+
+bool TryReadAtlas(std::istream& in, trace::Trace* out, std::string* error) {
+  std::string bytes;
+  if (!ReadStream(in, &bytes)) {
+    *error = "atlas read failed";
+    return false;
+  }
+  AtlasReader reader;
+  if (!AtlasReader::TryParse(std::move(bytes), &reader, error)) return false;
+  return reader.ReadAll(out, error);
+}
+
+void SaveAtlasFile(const std::string& path, const trace::Trace& t) {
+  std::ofstream out(path, std::ios::binary);
+  SPTA_REQUIRE_MSG(out.good(), "cannot open '" << path << "' for writing");
+  WriteAtlas(out, t);
+}
+
+bool TryLoadAtlasFile(const std::string& path, trace::Trace* out,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    *error = "cannot open '" + path + "'";
+    return false;
+  }
+  if (!TryReadAtlas(in, out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+bool TryReadAnyTrace(std::istream& in, trace::Trace* out,
+                     TraceFormat* format, std::string* error) {
+  std::string bytes;
+  if (!ReadStream(in, &bytes)) {
+    *error = "trace read failed";
+    return false;
+  }
+  if (bytes.size() >= 4 &&
+      GetU32(reinterpret_cast<const unsigned char*>(bytes.data())) ==
+          kAtlasMagic) {
+    if (format != nullptr) *format = TraceFormat::kAtlas;
+    AtlasReader reader;
+    if (!AtlasReader::TryParse(std::move(bytes), &reader, error)) {
+      return false;
+    }
+    return reader.ReadAll(out, error);
+  }
+  if (format != nullptr) *format = TraceFormat::kLegacy;
+  std::istringstream legacy(bytes);
+  return trace::TryReadTrace(legacy, out, error);
+}
+
+bool TryLoadAnyTraceFile(const std::string& path, trace::Trace* out,
+                         TraceFormat* format, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    *error = "cannot open '" + path + "'";
+    return false;
+  }
+  if (!TryReadAnyTrace(in, out, format, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace spta::atlas

@@ -1,0 +1,155 @@
+// spta-atlas v1: columnar compressed trace container.
+//
+// The legacy trace format (trace/trace_io.hpp) stores 24 bytes per record
+// row-wise. Campaign traces are extremely regular — sequential pc deltas,
+// strided effective addresses, tiny op/register alphabets — so storing each
+// field as its own column and encoding columns with delta + varint +
+// run-length coding shrinks frozen traces well past the 3x target while
+// staying dependency-free.
+//
+// Layout (all scalars little-endian):
+//
+//   header   magic "ATLS" | version | path_signature | record_count
+//            | block_records | block_count | content digest (lo, hi)
+//            | per-column digests (kColumnCount x (lo, hi))
+//   index    block_count x { u64 offset, u32 encoded_bytes, u32 records }
+//   blocks   each: kColumnCount x { u32 encoded_bytes, bytes }
+//
+// The block index makes the container streamable: a reader seeks straight
+// to any block and decodes it in isolation (every delta chain restarts at
+// each block boundary), so consumers can iterate records without ever
+// materializing the whole vector. Offsets are relative to the file start,
+// so the index works equally over an mmap'd buffer or a loaded one.
+//
+// Column encodings (per block, `n` = records in the block):
+//   kOp        n op-class bytes, RLE
+//   kPc        zigzag varint of pc delta vs previous record (prev=0 at
+//              block start), RLE over the varint bytes
+//   kMem       zigzag varint of mem_addr delta vs previous load/store
+//              (prev=0 at block start), loads/stores only, RLE
+//   kMemExc    exception list for non-memory records with mem_addr != 0:
+//              varint count, then (varint record-index delta, varint value)
+//              pairs — keeps arbitrary records round-trippable
+//   kFpuClass  n operand-class bytes, RLE
+//   kBranch    ceil(n/8) bytes of branch_taken bits (LSB-first), RLE
+//   kDst/kSrc1/kSrc2  n register bytes each, RLE
+//
+// RLE is PackBits-style: control byte c < 128 copies the next c+1 literal
+// bytes; c >= 128 repeats the next byte c-128+2 times. Worst-case overhead
+// is 1 byte per 128 (incompressible data stays within ~1%).
+//
+// Integrity: the header carries a DualHash content digest over the decoded
+// record stream plus one DualHash per column. Full reads recompute and
+// verify the content digest, so any surviving bit damage that slips past
+// structural validation is still rejected.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "trace/record.hpp"
+
+namespace spta::atlas {
+
+inline constexpr std::uint32_t kAtlasMagic = 0x534c5441;  // "ATLS"
+inline constexpr std::uint32_t kAtlasVersion = 1;
+/// Records per block; bounds peak decode memory for streaming readers.
+inline constexpr std::uint32_t kDefaultBlockRecords = 4096;
+
+/// Column identities (order is the on-disk stream order within a block).
+enum Column : std::uint32_t {
+  kOp = 0,
+  kPc,
+  kMem,
+  kMemExc,
+  kFpuClass,
+  kBranch,
+  kDst,
+  kSrc1,
+  kSrc2,
+  kColumnCount,
+};
+
+/// Short column name ("op", "pc", ...), for `spta_cli trace info`.
+const char* ColumnName(Column c);
+
+/// Header summary of an atlas container.
+struct AtlasInfo {
+  std::uint64_t path_signature = 0;
+  std::uint64_t record_count = 0;
+  std::uint32_t block_records = 0;
+  std::uint32_t block_count = 0;
+  DualHash content_digest;
+  DualHash column_digests[kColumnCount];
+};
+
+/// Content identity of a trace, independent of container format: a
+/// DualHash over the path signature, record count and every record field
+/// in order. Equal traces have equal digests whether they came from the
+/// legacy or the atlas container — the pack/unpack round-trip check.
+DualHash TraceContentDigest(const trace::Trace& t);
+
+/// Encodes `t` into the atlas container on `out` (binary-clean stream).
+void WriteAtlas(std::ostream& out, const trace::Trace& t,
+                std::uint32_t block_records = kDefaultBlockRecords);
+
+/// Streaming reader over a fully loaded (or mapped) atlas image. Parsing
+/// validates the header and index only; record columns are decoded block
+/// by block on demand.
+class AtlasReader {
+ public:
+  /// Parses the container structure of `bytes` (which the reader takes
+  /// ownership of). Returns false + `error` on any malformation.
+  static bool TryParse(std::string bytes, AtlasReader* out,
+                       std::string* error);
+
+  const AtlasInfo& info() const { return info_; }
+
+  /// Decodes block `index` into `out` (appended). Returns false + `error`
+  /// on damaged column data; `out` may then hold a partial block.
+  bool DecodeBlock(std::uint32_t index,
+                   std::vector<trace::TraceRecord>* out,
+                   std::string* error) const;
+
+  /// Decodes every block and verifies the recomputed content digest
+  /// against the header. Returns false + `error` on damage.
+  bool ReadAll(trace::Trace* out, std::string* error) const;
+
+ private:
+  struct BlockEntry {
+    std::uint64_t offset = 0;
+    std::uint32_t encoded_bytes = 0;
+    std::uint32_t records = 0;
+  };
+
+  AtlasInfo info_;
+  std::vector<BlockEntry> blocks_;
+  std::string bytes_;
+};
+
+/// Whole-stream decode with content-digest verification (typed errors,
+/// never aborts on hostile input).
+bool TryReadAtlas(std::istream& in, trace::Trace* out, std::string* error);
+
+/// File wrappers. SaveAtlasFile aborts on I/O failure (trusted output
+/// path); TryLoadAtlasFile returns typed errors.
+void SaveAtlasFile(const std::string& path, const trace::Trace& t);
+bool TryLoadAtlasFile(const std::string& path, trace::Trace* out,
+                      std::string* error);
+
+/// Container format of a trace stream, sniffed from the magic.
+enum class TraceFormat { kLegacy, kAtlas };
+const char* ToString(TraceFormat format);
+
+/// Reads a trace in either container format (sniffs the leading magic).
+/// `format` (optional) receives the detected container. Typed errors.
+bool TryReadAnyTrace(std::istream& in, trace::Trace* out,
+                     TraceFormat* format, std::string* error);
+bool TryLoadAnyTraceFile(const std::string& path, trace::Trace* out,
+                         TraceFormat* format, std::string* error);
+
+}  // namespace spta::atlas

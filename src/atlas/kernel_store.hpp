@@ -1,0 +1,87 @@
+// Content-addressed store of memoized per-kernel iteration timings.
+//
+// An entry is keyed by a DualHash over (platform config digest, kernel
+// body digest, entry micro-architectural state digest) and records the
+// exact ReplayDelta one simulated iteration produced from that entry
+// state, plus the exit-state digest. The `fixed_point` flag marks entries
+// whose exit digest equals their entry digest: only those may be replayed
+// by Core::ApplyReplay (the state provably does not change, so skipping
+// the simulation is bit-identical by construction); non-fixed-point
+// entries still let the runner reuse the recorded exit digest after
+// re-simulating, skipping one full state-digest pass.
+//
+// Collision discipline follows the service result cache: the map is
+// bucketed by the key's `lo` word and every probe verifies the `hi` word;
+// a lo-collision with a different hi reads as a miss (never a wrong
+// replay). Entry-state digests include per-run placement seeds and PRNG
+// registers, so entries can never match across runs — the store is safely
+// shared across the runs of one worker.
+//
+// The store is single-threaded (one per campaign worker) and bounded:
+// when `capacity` entries are reached it is cleared wholesale, which
+// keeps memory flat and costs at most one warm-up miss per live kernel.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "sim/core.hpp"
+
+namespace spta::atlas {
+
+class KernelStore {
+ public:
+  struct Entry {
+    sim::ReplayDelta delta;
+    DualHash exit;
+    bool fixed_point = false;
+  };
+
+  struct Stats {
+    std::uint64_t inserts = 0;
+    std::uint64_t clears = 0;       ///< Capacity overflow wipes.
+    std::uint64_t collisions = 0;   ///< lo matched, hi did not.
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+
+  explicit KernelStore(std::size_t capacity = 1 << 16)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the entry for `key`, or nullptr (miss or verifier mismatch).
+  const Entry* Lookup(const DualHash& key) {
+    const auto it = entries_.find(key.lo);
+    if (it == entries_.end()) return nullptr;
+    if (it->second.first != key.hi) {
+      ++stats_.collisions;
+      return nullptr;
+    }
+    return &it->second.second;
+  }
+
+  void Insert(const DualHash& key, Entry entry) {
+    if (entries_.size() >= capacity_) {
+      entries_.clear();
+      ++stats_.clears;
+    }
+    entries_.insert_or_assign(key.lo, std::make_pair(key.hi,
+                                                     std::move(entry)));
+    ++stats_.inserts;
+  }
+
+  Stats stats() const {
+    Stats s = stats_;
+    s.size = entries_.size();
+    s.capacity = capacity_;
+    return s;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, Entry>>
+      entries_;
+  Stats stats_;
+};
+
+}  // namespace spta::atlas

@@ -1,0 +1,181 @@
+#include "atlas/memo_runner.hpp"
+
+#include "common/assert.hpp"
+
+namespace spta::atlas {
+namespace {
+
+using sim::Core;
+using sim::ReplayDelta;
+
+/// Counter snapshot of everything a ReplayDelta covers.
+struct Snapshot {
+  Cycles now = 0;
+  sim::CacheStats il1;
+  sim::CacheStats dl1;
+  sim::TlbStats itlb;
+  sim::TlbStats dtlb;
+  sim::FpuStats fpu;
+  sim::StoreBufferStats store_buffer;
+  sim::BusStats bus;
+  sim::DramStats dram;
+  sim::CacheStats l2;
+  prng::DrawStats draws[ReplayDelta::kStreamCount];
+};
+
+Snapshot Take(Core& core) {
+  Snapshot s;
+  s.now = core.now();
+  s.il1 = core.il1().stats();
+  s.dl1 = core.dl1().stats();
+  s.itlb = core.itlb().stats();
+  s.dtlb = core.dtlb().stats();
+  s.fpu = core.fpu().stats();
+  s.store_buffer = core.store_buffer().stats();
+  s.bus = core.memory().bus().stats();
+  s.dram = core.memory().dram().stats();
+  s.draws[ReplayDelta::kIl1] = core.il1().draw_stats();
+  s.draws[ReplayDelta::kDl1] = core.dl1().draw_stats();
+  s.draws[ReplayDelta::kItlb] = core.itlb().draw_stats();
+  s.draws[ReplayDelta::kDtlb] = core.dtlb().draw_stats();
+  if (const sim::Cache* l2 = core.memory().l2()) {
+    s.l2 = l2->stats();
+    s.draws[ReplayDelta::kL2] = l2->draw_stats();
+  }
+  return s;
+}
+
+ReplayDelta Diff(const Snapshot& before, const Snapshot& after,
+                 std::uint64_t instructions) {
+  ReplayDelta d;
+  d.cycles = after.now - before.now;
+  d.instructions = instructions;
+  d.il1 = {after.il1.accesses - before.il1.accesses,
+           after.il1.misses - before.il1.misses};
+  d.dl1 = {after.dl1.accesses - before.dl1.accesses,
+           after.dl1.misses - before.dl1.misses};
+  d.itlb = {after.itlb.accesses - before.itlb.accesses,
+            after.itlb.misses - before.itlb.misses};
+  d.dtlb = {after.dtlb.accesses - before.dtlb.accesses,
+            after.dtlb.misses - before.dtlb.misses};
+  d.fpu = {after.fpu.operations - before.fpu.operations,
+           after.fpu.total_cycles - before.fpu.total_cycles};
+  d.store_buffer.stores =
+      after.store_buffer.stores - before.store_buffer.stores;
+  d.store_buffer.full_stalls =
+      after.store_buffer.full_stalls - before.store_buffer.full_stalls;
+  d.store_buffer.stall_cycles =
+      after.store_buffer.stall_cycles - before.store_buffer.stall_cycles;
+  // The high-water mark is not a sum: within one monotone run the value
+  // at replay time already dominates the recorded one, so carrying the
+  // recorded absolute and applying it as a max is exact (see
+  // StoreBuffer::ApplyStatsDelta).
+  d.store_buffer.high_water = after.store_buffer.high_water;
+  d.bus = {after.bus.transactions - before.bus.transactions,
+           after.bus.busy_cycles - before.bus.busy_cycles,
+           after.bus.wait_cycles - before.bus.wait_cycles};
+  d.dram = {after.dram.accesses - before.dram.accesses,
+            after.dram.row_hits - before.dram.row_hits,
+            after.dram.refresh_stall_cycles -
+                before.dram.refresh_stall_cycles};
+  d.l2 = {after.l2.accesses - before.l2.accesses,
+          after.l2.misses - before.l2.misses};
+  for (int i = 0; i < ReplayDelta::kStreamCount; ++i) {
+    d.rng_words[i] = after.draws[i].words - before.draws[i].words;
+    d.rng_rejections[i] =
+        after.draws[i].rejections - before.draws[i].rejections;
+  }
+  return d;
+}
+
+DualHash StateDigest(const Core& core) {
+  DualHash h;
+  core.AppendStateDigest(h);
+  return h;
+}
+
+}  // namespace
+
+sim::RunResult RunMemoized(sim::Platform& platform, const trace::Trace& t,
+                           const Segmentation& segmentation, Seed run_seed,
+                           const DualHash& config_digest, KernelStore* store,
+                           MemoRunStats* stats) {
+  SPTA_REQUIRE(store != nullptr);
+  SPTA_REQUIRE_MSG(segmentation.total_records == t.records.size(),
+                   "segmentation does not match the trace");
+  platform.BeginRun(run_seed);
+  Core& core = platform.core(0);
+  const trace::TraceRecord* recs = t.records.data();
+  MemoRunStats local;
+
+  for (const Segment& seg : segmentation.segments) {
+    if (seg.kernel == kNoKernel || seg.iterations < 2) {
+      core.RetireSpan(recs + seg.begin, seg.records_covered());
+      continue;
+    }
+    const trace::TraceRecord* body = recs + seg.begin;
+    const DualHash& kernel_digest =
+        segmentation.kernels[seg.kernel].digest;
+    // Key prefix shared by every iteration: config + kernel identity.
+    DualHash prefix = config_digest;
+    prefix.Mix(kernel_digest.lo);
+    prefix.Mix(kernel_digest.hi);
+
+    local.kernel_iterations += seg.iterations;
+    DualHash entry;
+    bool entry_valid = false;
+    std::size_t consecutive_simulated = 0;
+    for (std::size_t iter = 0; iter < seg.iterations; ++iter) {
+      if (consecutive_simulated >= kBypassAfterMisses) {
+        // Not converging — stop paying the digest tax for this segment.
+        const std::size_t remaining = seg.iterations - iter;
+        core.RetireSpan(recs + seg.begin + iter * seg.length,
+                        seg.length * remaining);
+        local.bypasses += remaining;
+        break;
+      }
+      if (!entry_valid) {
+        entry = StateDigest(core);
+        entry_valid = true;
+      }
+      DualHash key = prefix;
+      key.Mix(entry.lo);
+      key.Mix(entry.hi);
+      const KernelStore::Entry* hit = store->Lookup(key);
+      if (hit != nullptr && hit->fixed_point) {
+        core.ApplyReplay(hit->delta);
+        ++local.hits;
+        local.fast_forwarded_records += seg.length;
+        consecutive_simulated = 0;
+        // Fixed point: the state (digest) is unchanged; `entry` stays
+        // valid for the next iteration at zero cost.
+        continue;
+      }
+      const Snapshot before = Take(core);
+      core.RetireSpan(body, seg.length);
+      DualHash exit;
+      if (hit != nullptr) {
+        // Same entry state as a recorded simulation: determinism makes
+        // the exit state identical, so reuse the recorded exit digest.
+        exit = hit->exit;
+      } else {
+        const Snapshot after = Take(core);
+        exit = StateDigest(core);
+        KernelStore::Entry entry_record;
+        entry_record.delta = Diff(before, after, seg.length);
+        entry_record.exit = exit;
+        entry_record.fixed_point = (exit == entry);
+        store->Insert(key, std::move(entry_record));
+      }
+      ++local.misses;
+      ++consecutive_simulated;
+      entry = exit;
+      entry_valid = true;
+    }
+  }
+
+  if (stats != nullptr) stats->Accumulate(local);
+  return core.FinishResult();
+}
+
+}  // namespace spta::atlas

@@ -1,0 +1,84 @@
+// Memoized segment-at-a-time execution of a mined trace.
+//
+// RunMemoized replays a trace through the normal Platform/Core timing
+// machinery, but drives it segment by segment (mine.hpp) instead of
+// record by record. For every iteration of a kernel segment it digests
+// the core's complete micro-architectural state (Core::AppendStateDigest)
+// and consults the KernelStore:
+//
+//   hit, fixed-point  — the exact same entry state was simulated before
+//                       and provably exits in the same state, so the
+//                       iteration fast-forwards: cycles and counters are
+//                       applied wholesale, PRNG streams skip exactly the
+//                       recorded draw words (Core::ApplyReplay). Because
+//                       the state (PRNG registers included) does not
+//                       change, the next iteration hits without even
+//                       re-digesting — steady-state cost is O(1) per
+//                       iteration.
+//   hit, non-fixed    — the iteration must be simulated (the state is
+//                       still converging), but the recorded exit digest
+//                       is reused, saving a digest pass.
+//   miss              — the iteration is simulated, its deltas recorded
+//                       and inserted.
+//
+// A kernel whose state never converges (e.g. refresh-phase-dependent
+// timing) would pay the digest overhead forever; after
+// kBypassAfterMisses consecutive non-converging iterations the segment
+// falls back to plain simulation and the remaining iterations are
+// counted as bypasses.
+//
+// Determinism contract: RunMemoized(platform, t, seg, seed) returns a
+// RunResult bit-identical to Platform::Run(t, seed) for every trace,
+// segmentation and seed — fast-forwards only ever replace simulation
+// steps whose entire observable effect is proven (by 128-bit state-digest
+// equality) to be the recorded delta. docs/TRACES.md spells out the
+// argument.
+#pragma once
+
+#include <cstdint>
+
+#include "atlas/kernel_store.hpp"
+#include "atlas/mine.hpp"
+#include "sim/platform.hpp"
+#include "trace/record.hpp"
+
+namespace spta::atlas {
+
+/// Consecutive simulated (non-fixed-point) iterations of one kernel
+/// segment before memoization is bypassed for its remainder.
+inline constexpr std::size_t kBypassAfterMisses = 8;
+
+struct MemoRunStats {
+  std::uint64_t kernel_iterations = 0;  ///< Iterations in kernel segments.
+  std::uint64_t hits = 0;               ///< Fast-forwarded iterations.
+  std::uint64_t misses = 0;             ///< Simulated + recorded.
+  std::uint64_t bypasses = 0;           ///< Simulated without memoization.
+  std::uint64_t fast_forwarded_records = 0;
+
+  void Accumulate(const MemoRunStats& other) {
+    kernel_iterations += other.kernel_iterations;
+    hits += other.hits;
+    misses += other.misses;
+    bypasses += other.bypasses;
+    fast_forwarded_records += other.fast_forwarded_records;
+  }
+
+  double HitRate() const {
+    return kernel_iterations == 0
+               ? 0.0
+               : static_cast<double>(hits) /
+                     static_cast<double>(kernel_iterations);
+  }
+};
+
+/// One measurement run of `t` on core 0 under the full per-run reset
+/// protocol with `run_seed`, fast-forwarding memoized kernel iterations.
+/// `config_digest` must be ConfigDigest(platform.config())
+/// (state_digest.hpp) — hoisted out so campaigns compute it once.
+/// `stats` (optional) accumulates hit/miss/bypass counters.
+sim::RunResult RunMemoized(sim::Platform& platform, const trace::Trace& t,
+                           const Segmentation& segmentation, Seed run_seed,
+                           const DualHash& config_digest, KernelStore* store,
+                           MemoRunStats* stats = nullptr);
+
+}  // namespace spta::atlas

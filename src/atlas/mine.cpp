@@ -1,0 +1,112 @@
+#include "atlas/mine.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace spta::atlas {
+namespace {
+
+using trace::TraceRecord;
+
+bool SpansEqual(const TraceRecord* a, const TraceRecord* b,
+                std::size_t length) {
+  for (std::size_t i = 0; i < length; ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DualHash KernelDigest(const TraceRecord* body, std::size_t length) {
+  DualHash h;
+  h.Mix(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const TraceRecord& r = body[i];
+    h.Mix(r.pc);
+    h.Mix(static_cast<std::uint8_t>(r.op));
+    h.Mix(r.mem_addr);
+    h.Mix(r.fpu_operand_class);
+    h.Mix(r.branch_taken ? 1 : 0);
+    h.Mix(r.dst_reg);
+    h.Mix(r.src1_reg);
+    h.Mix(r.src2_reg);
+  }
+  return h;
+}
+
+Segmentation MineKernels(const trace::Trace& t, const MineOptions& options) {
+  const TraceRecord* recs = t.records.data();
+  const std::size_t n = t.records.size();
+  Segmentation result;
+  result.total_records = n;
+
+  // Kernel digests seen so far, deduplicated across segments.
+  std::unordered_map<std::uint64_t, std::uint32_t> kernel_by_digest;
+  // pc -> most recent index; a recurrence at distance <= max_period is a
+  // loop-back-edge candidate.
+  std::unordered_map<std::uint64_t, std::size_t> last_seen;
+
+  std::size_t span_start = 0;
+  const auto emit_span = [&](std::size_t end) {
+    if (end > span_start) {
+      result.segments.push_back(
+          Segment{span_start, end - span_start, 1, kNoKernel});
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    const auto it = last_seen.find(recs[i].pc);
+    const std::size_t j = (it != last_seen.end()) ? it->second : n;
+    last_seen[recs[i].pc] = i;
+    if (j >= i) {
+      ++i;
+      continue;
+    }
+    const std::size_t period = i - j;
+    if (period > options.max_period || i + period > n ||
+        !SpansEqual(recs + j, recs + i, period)) {
+      ++i;
+      continue;
+    }
+    // Two verified iterations at j; extend to the maximal run.
+    std::size_t iterations = 2;
+    while (j + (iterations + 1) * period <= n &&
+           SpansEqual(recs + j, recs + j + iterations * period, period)) {
+      ++iterations;
+    }
+    if (iterations < options.min_iterations) {
+      ++i;
+      continue;
+    }
+    emit_span(j);
+    const DualHash digest = KernelDigest(recs + j, period);
+    std::uint32_t kernel_index;
+    const auto found = kernel_by_digest.find(digest.lo);
+    if (found != kernel_by_digest.end() &&
+        result.kernels[found->second].digest == digest) {
+      kernel_index = found->second;
+    } else {
+      kernel_index = static_cast<std::uint32_t>(result.kernels.size());
+      result.kernels.push_back(KernelInfo{digest, j, period, 0});
+      kernel_by_digest.emplace(digest.lo, kernel_index);
+    }
+    result.kernels[kernel_index].iterations += iterations;
+    result.segments.push_back(Segment{j, period, iterations, kernel_index});
+    i = j + iterations * period;
+    span_start = i;
+    // Stale indices from inside the consumed kernel must not seed
+    // candidates that straddle the segment boundary.
+    last_seen.clear();
+  }
+  emit_span(n);
+
+  std::size_t covered = 0;
+  for (const Segment& s : result.segments) covered += s.records_covered();
+  SPTA_CHECK_MSG(covered == n, "segmentation does not cover the trace");
+  return result;
+}
+
+}  // namespace spta::atlas

@@ -1,0 +1,61 @@
+#include "atlas/state_digest.hpp"
+
+namespace spta::atlas {
+namespace {
+
+void MixCache(DualHash& h, const sim::CacheConfig& c) {
+  h.Mix(c.size_bytes);
+  h.Mix(c.line_bytes);
+  h.Mix(c.ways);
+  h.Mix(static_cast<std::uint8_t>(c.placement));
+  h.Mix(static_cast<std::uint8_t>(c.replacement));
+}
+
+void MixTlb(DualHash& h, const sim::TlbConfig& c) {
+  h.Mix(c.entries);
+  h.Mix(c.page_bytes);
+  h.Mix(static_cast<std::uint8_t>(c.replacement));
+  h.Mix(c.miss_penalty);
+}
+
+}  // namespace
+
+void AppendConfigDigest(DualHash& h, const sim::PlatformConfig& config) {
+  h.Mix(config.cores);
+  MixCache(h, config.il1);
+  MixCache(h, config.dl1);
+  MixTlb(h, config.itlb);
+  MixTlb(h, config.dtlb);
+  h.Mix(static_cast<std::uint8_t>(config.fpu.mode));
+  h.Mix(config.fpu.add_latency);
+  h.Mix(config.fpu.mul_latency);
+  h.Mix(config.fpu.div_base);
+  h.Mix(config.fpu.div_step);
+  h.Mix(config.fpu.sqrt_base);
+  h.Mix(config.fpu.sqrt_step);
+  h.Mix(config.bus.line_transfer_cycles);
+  h.Mix(config.bus.store_transfer_cycles);
+  h.Mix(config.dram.banks);
+  h.Mix(config.dram.row_bytes);
+  h.Mix(config.dram.row_hit_latency);
+  h.Mix(config.dram.row_miss_latency);
+  h.Mix(config.dram.refresh_interval);
+  h.Mix(config.dram.refresh_duration);
+  h.Mix(config.l2.enabled ? 1 : 0);
+  MixCache(h, config.l2.cache);
+  h.Mix(config.l2.hit_latency);
+  h.Mix(config.pipeline.int_alu);
+  h.Mix(config.pipeline.int_mul);
+  h.Mix(config.pipeline.int_div);
+  h.Mix(config.pipeline.taken_branch_penalty);
+  h.Mix(config.pipeline.load_use_stall);
+  h.Mix(config.store_buffer.depth);
+}
+
+DualHash ConfigDigest(const sim::PlatformConfig& config) {
+  DualHash h;
+  AppendConfigDigest(h, config);
+  return h;
+}
+
+}  // namespace spta::atlas

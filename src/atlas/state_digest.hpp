@@ -1,0 +1,27 @@
+// Platform timing-configuration digest for kernel-store keys.
+//
+// A memoized kernel timing is only replayable on a platform whose timing
+// behavior is identical, so kernel-store keys mix in a digest of every
+// PlatformConfig field that can influence cycle accounting or PRNG
+// consumption. This is deliberately broader than batch::TimingDigest
+// (sim/batch), which covers only the fields the lockstep batch kernel
+// reads — here the whole machine replays, so the whole config counts.
+//
+// Per-run state (placement seeds, replacement-stream registers) is NOT
+// part of this digest; it lives in the entry-state digest that
+// Core::AppendStateDigest computes, which keys every store entry to its
+// exact micro-architectural context.
+#pragma once
+
+#include "common/hash.hpp"
+#include "sim/config.hpp"
+
+namespace spta::atlas {
+
+/// Mixes every timing-relevant PlatformConfig field into `h`.
+void AppendConfigDigest(DualHash& h, const sim::PlatformConfig& config);
+
+/// Convenience: a fresh digest of `config`.
+DualHash ConfigDigest(const sim::PlatformConfig& config);
+
+}  // namespace spta::atlas

@@ -26,4 +26,26 @@ std::uint64_t DeriveSeed(std::uint64_t master, std::uint64_t index);
 /// Derives a sub-seed from a master seed and a component name tag.
 std::uint64_t DeriveSeed(std::uint64_t master, const char* tag);
 
+/// Two independently constructed 64-bit running hashes over one value
+/// stream. Single 64-bit digests over arbitrarily long inputs are not
+/// injective; consumers that must never act on a colliding digest (the
+/// service result cache, the atlas kernel store) mix every value into two
+/// decorrelated accumulators and require BOTH to match. The second stream
+/// pre-whitens each value with an odd multiplier so the two hashes never
+/// see the same input sequence.
+struct DualHash {
+  std::uint64_t lo = 0x243f6a8885a308d3ULL;  // pi fractional bits
+  std::uint64_t hi = 0x13198a2e03707344ULL;
+
+  void Mix(std::uint64_t value) {
+    lo = HashCombine(lo, value);
+    hi = HashCombine(hi, value * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL);
+  }
+
+  bool operator==(const DualHash& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+  bool operator!=(const DualHash& other) const { return !(*this == other); }
+};
+
 }  // namespace spta

@@ -11,7 +11,8 @@ constexpr std::string_view kMagic = "spta1";
 
 const char* const kKindNames[] = {"PING",    "OPEN",         "APPEND",
                                   "STATUS",  "ANALYZE",      "CLOSE",
-                                  "METRICS", "METRICS_PROM", "SHUTDOWN"};
+                                  "METRICS", "METRICS_PROM", "SHUTDOWN",
+                                  "INGEST"};
 static_assert(static_cast<int>(std::size(kKindNames)) == kRequestKindCount,
               "wire names must cover every RequestKind");
 

@@ -11,8 +11,10 @@
 // (no spaces inside keys or values); everything after the first newline is
 // free-form bulk payload (sample chunks on requests, report text on
 // responses). Requests carry a verb TYPE (PING, OPEN, APPEND, STATUS,
-// ANALYZE, CLOSE, METRICS, METRICS_PROM, SHUTDOWN); responses carry OK
-// or ERR.
+// ANALYZE, CLOSE, METRICS, METRICS_PROM, SHUTDOWN, INGEST); responses
+// carry OK or ERR. INGEST is the one verb with a BINARY payload (a trace
+// container in either format) — the length-prefixed framing is 8-bit
+// clean, so no escaping is needed.
 //
 // This is untrusted-input territory: readers never abort the process on
 // malformed frames — they return kMalformed with a diagnostic and let the
@@ -39,10 +41,11 @@ enum class RequestKind {
   kMetrics,
   kMetricsProm,  ///< Prometheus text-format metrics scrape.
   kShutdown,
+  kIngest,  ///< Binary trace upload: validate, mine kernels, cache table.
 };
 
 /// Number of RequestKind values (per-verb counter array size).
-inline constexpr int kRequestKindCount = 9;
+inline constexpr int kRequestKindCount = 10;
 
 /// Wire name of a request kind ("PING", "OPEN", ...).
 const char* RequestKindName(RequestKind kind);

@@ -136,6 +136,11 @@ class Server {
   Response HandleClose(const Request& request);
   Response HandleMetrics();
   Response HandleMetricsProm();
+  /// INGEST: validates a binary trace payload (either container format),
+  /// mines its kernel table and caches the rendered table in the result
+  /// cache keyed by the trace's content digest — re-ingesting the same
+  /// trace (in either container) is a cache hit.
+  Response HandleIngest(const Request& request);
   /// Runs on a worker. `observations` was snapshotted at accept time.
   Response RunAnalysis(const Request& request,
                        std::vector<mbpta::PathObservation> observations,

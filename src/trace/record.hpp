@@ -62,6 +62,10 @@ struct TraceRecord {
   bool Reads(std::uint8_t reg) const {
     return reg != kNoReg && (src1_reg == reg || src2_reg == reg);
   }
+
+  /// Field-wise equality (kernel mining verifies candidate repetitions by
+  /// comparing record sequences).
+  bool operator==(const TraceRecord& other) const = default;
 };
 
 /// Number of distinct FPU operand-difficulty classes the timing model knows.

@@ -18,16 +18,25 @@ void Put(std::ostream& out, T value) {
   out.write(reinterpret_cast<const char*>(buf), sizeof(T));
 }
 
+// Non-aborting read: false on a short stream (typed-error path).
 template <typename T>
-T Get(std::istream& in) {
+bool TryGet(std::istream& in, T* value) {
   unsigned char buf[sizeof(T)];
   in.read(reinterpret_cast<char*>(buf), sizeof(T));
-  SPTA_REQUIRE_MSG(in.good(), "truncated trace stream");
+  if (!in.good()) return false;
   std::uint64_t v = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
     v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
   }
-  return static_cast<T>(v);
+  *value = static_cast<T>(v);
+  return true;
+}
+
+template <typename T>
+T Get(std::istream& in) {
+  T value{};
+  SPTA_REQUIRE_MSG(TryGet(in, &value), "truncated trace stream");
+  return value;
 }
 
 }  // namespace
@@ -50,32 +59,77 @@ void WriteTrace(std::ostream& out, const Trace& t) {
   SPTA_CHECK_MSG(out.good(), "trace write failed");
 }
 
-Trace ReadTrace(std::istream& in) {
-  SPTA_REQUIRE_MSG(Get<std::uint32_t>(in) == kTraceMagic,
-                   "not a SpacePTA trace (bad magic)");
-  SPTA_REQUIRE_MSG(Get<std::uint32_t>(in) == kTraceVersion,
-                   "unsupported trace version");
-  Trace t;
-  t.path_signature = Get<std::uint64_t>(in);
-  const std::uint64_t count = Get<std::uint64_t>(in);
-  SPTA_REQUIRE_MSG(count <= (1ULL << 32), "implausible record count");
-  t.records.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    TraceRecord r;
-    r.pc = Get<std::uint64_t>(in);
-    r.mem_addr = Get<std::uint64_t>(in);
-    const auto op = Get<std::uint8_t>(in);
-    SPTA_REQUIRE_MSG(op <= static_cast<std::uint8_t>(OpClass::kNop),
-                     "corrupt op class " << static_cast<int>(op));
-    r.op = static_cast<OpClass>(op);
-    r.fpu_operand_class = Get<std::uint8_t>(in);
-    SPTA_REQUIRE(r.fpu_operand_class < kFpuOperandClasses);
-    r.branch_taken = Get<std::uint8_t>(in) != 0;
-    r.dst_reg = Get<std::uint8_t>(in);
-    r.src1_reg = Get<std::uint8_t>(in);
-    r.src2_reg = Get<std::uint8_t>(in);
-    t.records.push_back(r);
+bool TryReadTrace(std::istream& in, Trace* out, std::string* error) {
+  out->records.clear();
+  out->path_signature = 0;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!TryGet(in, &magic)) {
+    *error = "truncated trace stream (missing header)";
+    return false;
   }
+  if (magic != kTraceMagic) {
+    *error = "not a SpacePTA trace (bad magic)";
+    return false;
+  }
+  if (!TryGet(in, &version)) {
+    *error = "truncated trace stream (missing version)";
+    return false;
+  }
+  if (version != kTraceVersion) {
+    *error = "unsupported trace version " + std::to_string(version);
+    return false;
+  }
+  std::uint64_t count = 0;
+  if (!TryGet(in, &out->path_signature) || !TryGet(in, &count)) {
+    *error = "truncated trace stream (missing header)";
+    return false;
+  }
+  if (count > (1ULL << 32)) {
+    *error = "implausible record count " + std::to_string(count);
+    return false;
+  }
+  // Never trust `count` with an up-front allocation: a corrupt header
+  // within the plausibility bound could still demand gigabytes. Reserve a
+  // bounded amount and let growth track the records that actually arrive —
+  // a lying count is then caught as truncation, not bad_alloc.
+  out->records.reserve(static_cast<std::size_t>(
+      count < (1ULL << 20) ? count : (1ULL << 20)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    unsigned char buf[6];
+    TraceRecord r;
+    if (!TryGet(in, &r.pc) || !TryGet(in, &r.mem_addr) ||
+        !in.read(reinterpret_cast<char*>(buf), sizeof(buf)).good()) {
+      *error = "truncated trace stream at record " + std::to_string(i) +
+               " of " + std::to_string(count);
+      return false;
+    }
+    if (buf[0] > static_cast<std::uint8_t>(OpClass::kNop)) {
+      *error = "record " + std::to_string(i) + ": corrupt op class " +
+               std::to_string(static_cast<int>(buf[0]));
+      return false;
+    }
+    r.op = static_cast<OpClass>(buf[0]);
+    if (buf[1] >= kFpuOperandClasses) {
+      *error = "record " + std::to_string(i) +
+               ": corrupt FPU operand class " +
+               std::to_string(static_cast<int>(buf[1]));
+      return false;
+    }
+    r.fpu_operand_class = buf[1];
+    r.branch_taken = buf[2] != 0;
+    r.dst_reg = buf[3];
+    r.src1_reg = buf[4];
+    r.src2_reg = buf[5];
+    out->records.push_back(r);
+  }
+  return true;
+}
+
+Trace ReadTrace(std::istream& in) {
+  Trace t;
+  std::string error;
+  SPTA_REQUIRE_MSG(TryReadTrace(in, &t, &error), error);
   return t;
 }
 
@@ -89,6 +143,20 @@ Trace LoadTraceFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   SPTA_REQUIRE_MSG(in.good(), "cannot open '" << path << "'");
   return ReadTrace(in);
+}
+
+bool TryLoadTraceFile(const std::string& path, Trace* out,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    *error = "cannot open '" + path + "'";
+    return false;
+  }
+  if (!TryReadTrace(in, out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace spta::trace

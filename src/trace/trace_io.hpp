@@ -22,12 +22,26 @@ inline constexpr std::uint32_t kTraceVersion = 1;
 /// Writes `t` to `out`. The stream must be binary-clean.
 void WriteTrace(std::ostream& out, const Trace& t);
 
+/// Non-aborting reader for untrusted input (the spta_serve ingestion path
+/// and CLI-facing file loads; mirrors analysis::TryReadSamplesCsv):
+/// returns false and describes the defect in `error` — bad magic,
+/// unsupported version, implausible record count, out-of-range field or
+/// truncation — instead of taking the process down. On failure `out` is
+/// left in an unspecified (but valid) state.
+bool TryReadTrace(std::istream& in, Trace* out, std::string* error);
+
 /// Reads a trace written by WriteTrace. Aborts (precondition) on a bad
-/// magic/version or a truncated stream.
+/// magic/version or a truncated stream; trusted-input wrapper around
+/// TryReadTrace.
 Trace ReadTrace(std::istream& in);
 
 /// Convenience file wrappers; abort on I/O failure.
 void SaveTraceFile(const std::string& path, const Trace& t);
 Trace LoadTraceFile(const std::string& path);
+
+/// Non-aborting file load: open failures and format defects become
+/// false + `error`.
+bool TryLoadTraceFile(const std::string& path, Trace* out,
+                      std::string* error);
 
 }  // namespace spta::trace

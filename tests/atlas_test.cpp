@@ -1,0 +1,709 @@
+// src/atlas battery: columnar container, kernel mining, memoized replay.
+//
+// Four property families:
+//   * container: round-trips (frozen + fuzzed traces), golden encodings,
+//     hostile-input rejection (truncations, bit flips, alien bytes) with
+//     typed errors — never a crash;
+//   * mining: segments partition the trace and reconstruct it exactly;
+//   * memoization: RunMemoized is bit-identical to Platform::Run across
+//     platform configs, seeds and workloads, and actually fast-forwards
+//     (>= 90% hit rate on a kernel-dominated trace);
+//   * integration: memoized campaigns equal the legacy runners sample for
+//     sample (any job count, checkpoint journals interoperable), and the
+//     service INGEST verb validates, mines and caches kernel tables.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/atlas_campaign.hpp"
+#include "analysis/campaign.hpp"
+#include "analysis/checkpoint.hpp"
+#include "analysis/parallel_campaign.hpp"
+#include "apps/tvca.hpp"
+#include "apps/kernels.hpp"
+#include "atlas/format.hpp"
+#include "atlas/kernel_store.hpp"
+#include "atlas/memo_runner.hpp"
+#include "atlas/mine.hpp"
+#include "atlas/state_digest.hpp"
+#include "obs/atlas_counters.hpp"
+#include "prng/xoshiro.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "sim/platform.hpp"
+#include "trace/interpreter.hpp"
+#include "trace/trace_io.hpp"
+
+namespace spta {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Workload builders (the frozen traces of golden_regression_test plus a
+// synthetic kernel-loop trace for memoization-specific properties).
+
+apps::TvcaConfig ReducedTvcaConfig() {
+  apps::TvcaConfig tc;
+  tc.sensor_channels = 4;
+  tc.samples_per_frame = 8;
+  tc.fir_taps = 6;
+  tc.state_dim = 8;
+  tc.integrator_steps = 6;
+  tc.control_iterations = 1;
+  tc.straightline_instructions = 200;
+  tc.dispatch_overhead = 32;
+  return tc;
+}
+
+trace::Trace ReducedTvcaTrace() {
+  const apps::TvcaApp app(ReducedTvcaConfig());
+  return app.BuildFrame(42).trace;
+}
+
+trace::Trace MatmulTrace() {
+  const trace::Program program = apps::MakeMatMulProgram(10);
+  trace::Interpreter interp(program);
+  prng::Xoshiro128pp rng(77);
+  for (int i = 0; i < 100; ++i) {
+    interp.WriteFp(0, static_cast<std::size_t>(i), rng.UniformUnit());
+    interp.WriteFp(1, static_cast<std::size_t>(i), rng.UniformUnit());
+  }
+  return interp.Run();
+}
+
+trace::Trace FirTrace() {
+  const trace::Program program = apps::MakeFirProgram(8, 64);
+  trace::Interpreter interp(program);
+  prng::Xoshiro128pp rng(78);
+  for (int i = 0; i < 8; ++i) {
+    interp.WriteFp(0, static_cast<std::size_t>(i), 0.125);
+  }
+  for (int i = 0; i < 72; ++i) {
+    interp.WriteFp(1, static_cast<std::size_t>(i), rng.Normal());
+  }
+  return interp.Run();
+}
+
+/// Synthetic loop trace: prologue . body x `iterations` . epilogue, with
+/// the body touching the same addresses every iteration (so the warmed
+/// micro-architectural state reaches a fixed point and memoization can
+/// fast-forward). The single store per iteration drains (~31 cycles on
+/// the LEON3 presets) well within one iteration (~50 cycles), so the
+/// store-buffer backlog — genuine state — does not creep between
+/// iterations and the entry digest converges after the warm-up laps.
+trace::Trace KernelLoopTrace(std::size_t iterations,
+                             std::size_t body_records = 48) {
+  trace::Trace t;
+  t.path_signature = 0xA71A5;
+  auto push = [&](Address pc, trace::OpClass op, Address mem = 0,
+                  bool taken = false) {
+    trace::TraceRecord r;
+    r.pc = pc;
+    r.op = op;
+    r.mem_addr = mem;
+    r.branch_taken = taken;
+    t.records.push_back(r);
+  };
+  for (std::size_t i = 0; i < 40; ++i) {
+    push(0x1000 + 4 * i,
+         i % 5 == 0 ? trace::OpClass::kLoad : trace::OpClass::kIntAlu,
+         i % 5 == 0 ? 0x9000 + 64 * i : 0);
+  }
+  for (std::size_t k = 0; k < iterations; ++k) {
+    for (std::size_t j = 0; j + 1 < body_records; ++j) {
+      if (j % 4 == 1) {
+        push(0x2000 + 4 * j, trace::OpClass::kLoad, 0x8000 + 32 * j);
+      } else if (j == 18) {
+        push(0x2000 + 4 * j, trace::OpClass::kStore, 0x8800 + 32 * j);
+      } else {
+        push(0x2000 + 4 * j, trace::OpClass::kIntAlu);
+      }
+    }
+    push(0x2000 + 4 * (body_records - 1), trace::OpClass::kBranch, 0, true);
+  }
+  for (std::size_t i = 0; i < 30; ++i) {
+    push(0x3000 + 4 * i, trace::OpClass::kIntAlu);
+  }
+  return t;
+}
+
+/// Fully random trace (fuzz input). Field values cover the whole legal
+/// range including the oddballs (mem_addr on non-memory ops is legal in
+/// the in-memory model and must survive the container round trip).
+trace::Trace RandomTrace(std::uint64_t seed, std::size_t n) {
+  prng::Xoshiro128pp rng(seed);
+  trace::Trace t;
+  t.path_signature = rng.Next();
+  t.records.resize(n);
+  for (auto& r : t.records) {
+    r.pc = rng.Next() & 0xffffffffffull;
+    r.op = static_cast<trace::OpClass>(
+        rng.UniformBelow(static_cast<std::uint32_t>(trace::OpClass::kNop) + 1));
+    const bool is_mem = r.op == trace::OpClass::kLoad ||
+                        r.op == trace::OpClass::kStore;
+    if (is_mem || rng.UniformBelow(8) == 0) {
+      r.mem_addr = rng.Next() & 0xffffffffull;
+    }
+    r.fpu_operand_class =
+        static_cast<std::uint8_t>(rng.UniformBelow(trace::kFpuOperandClasses));
+    r.branch_taken = rng.UniformBelow(2) == 1;
+    r.dst_reg = static_cast<std::uint8_t>(rng.UniformBelow(64));
+    r.src1_reg = static_cast<std::uint8_t>(rng.Next() & 0xff);
+    r.src2_reg = rng.UniformBelow(3) == 0 ? trace::kNoReg
+                                          : static_cast<std::uint8_t>(
+                                                rng.UniformBelow(64));
+    if (r.src1_reg != trace::kNoReg) r.src1_reg &= 0x7f;
+  }
+  return t;
+}
+
+std::string AtlasBytes(const trace::Trace& t,
+                       std::uint32_t block_records = atlas::kDefaultBlockRecords) {
+  std::ostringstream out;
+  atlas::WriteAtlas(out, t, block_records);
+  return out.str();
+}
+
+std::string LegacyBytes(const trace::Trace& t) {
+  std::ostringstream out;
+  trace::WriteTrace(out, t);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Container round-trips.
+
+TEST(AtlasFormatTest, FrozenTracesRoundTripAndHitPackTarget) {
+  const struct {
+    const char* name;
+    trace::Trace t;
+  } workloads[] = {{"tvca-reduced", ReducedTvcaTrace()},
+                   {"matmul", MatmulTrace()},
+                   {"fir", FirTrace()}};
+  for (const auto& w : workloads) {
+    const std::string packed = AtlasBytes(w.t);
+    const std::string legacy = LegacyBytes(w.t);
+    std::istringstream in(packed);
+    trace::Trace round;
+    std::string error;
+    ASSERT_TRUE(atlas::TryReadAtlas(in, &round, &error)) << w.name << ": "
+                                                         << error;
+    EXPECT_EQ(round.records, w.t.records) << w.name;
+    EXPECT_EQ(round.path_signature, w.t.path_signature) << w.name;
+    EXPECT_TRUE(atlas::TraceContentDigest(round) ==
+                atlas::TraceContentDigest(w.t))
+        << w.name;
+    // The acceptance target: >= 3x smaller than the legacy container.
+    EXPECT_GE(static_cast<double>(legacy.size()) /
+                  static_cast<double>(packed.size()),
+              3.0)
+        << w.name << " packed to " << packed.size() << " of "
+        << legacy.size();
+  }
+}
+
+TEST(AtlasFormatTest, EncodingIsDeterministic) {
+  const trace::Trace t = ReducedTvcaTrace();
+  EXPECT_EQ(AtlasBytes(t), AtlasBytes(t));
+  EXPECT_EQ(AtlasBytes(t, 512), AtlasBytes(t, 512));
+  EXPECT_NE(AtlasBytes(t, 512), AtlasBytes(t, 1024));
+}
+
+// Golden encodings of the frozen workloads: the exact container size and
+// content digest are pinned so the on-disk format cannot drift silently.
+// Re-baseline these constants only alongside a deliberate format change
+// (and bump kAtlasVersion when the layout itself moves).
+TEST(AtlasFormatTest, GoldenEncodings) {
+  struct Golden {
+    const char* name;
+    trace::Trace t;
+    std::size_t atlas_bytes;
+    std::uint64_t digest_lo;
+    std::uint64_t digest_hi;
+  };
+  const Golden goldens[] = {
+      {"tvca-reduced", ReducedTvcaTrace(), 44216, 0xb77f77b646f7cda2ull,
+       0x92705fe1015b8c8eull},
+      {"matmul", MatmulTrace(), 64673, 0x3dbb0efb46a1e69dull,
+       0xdba6142b06ab1be9ull},
+      {"fir", FirTrace(), 26648, 0x54a1fd5945233d52ull,
+       0xaf1da47dab6f321cull},
+  };
+  for (const auto& g : goldens) {
+    const std::string packed = AtlasBytes(g.t);
+    const DualHash digest = atlas::TraceContentDigest(g.t);
+    EXPECT_EQ(packed.size(), g.atlas_bytes) << g.name;
+    EXPECT_EQ(digest.lo, g.digest_lo) << g.name;
+    EXPECT_EQ(digest.hi, g.digest_hi) << g.name;
+  }
+}
+
+TEST(AtlasFormatTest, SeededFuzzRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    // Sizes sweep block boundaries: empty, single record, one block,
+    // block +/- 1, several blocks (block_records = 64 below).
+    const std::size_t sizes[] = {0, 1, 63, 64, 65, 500, 1337};
+    const std::size_t n = sizes[seed % std::size(sizes)];
+    const trace::Trace t = RandomTrace(seed, n);
+    const std::string packed = AtlasBytes(t, 64);
+    std::istringstream in(packed);
+    trace::Trace round;
+    std::string error;
+    ASSERT_TRUE(atlas::TryReadAtlas(in, &round, &error))
+        << "seed " << seed << ": " << error;
+    ASSERT_EQ(round.records, t.records) << "seed " << seed;
+    EXPECT_EQ(round.path_signature, t.path_signature) << "seed " << seed;
+  }
+}
+
+TEST(AtlasFormatTest, FileRoundTripAndAnySniffing) {
+  const trace::Trace t = FirTrace();
+  const std::string atlas_path =
+      ::testing::TempDir() + "spta_atlas_test_fir.atls";
+  const std::string legacy_path =
+      ::testing::TempDir() + "spta_atlas_test_fir.trc";
+  atlas::SaveAtlasFile(atlas_path, t);
+  trace::SaveTraceFile(legacy_path, t);
+
+  trace::Trace from_atlas, from_legacy;
+  atlas::TraceFormat f1 = atlas::TraceFormat::kLegacy;
+  atlas::TraceFormat f2 = atlas::TraceFormat::kAtlas;
+  std::string error;
+  ASSERT_TRUE(atlas::TryLoadAnyTraceFile(atlas_path, &from_atlas, &f1, &error))
+      << error;
+  ASSERT_TRUE(
+      atlas::TryLoadAnyTraceFile(legacy_path, &from_legacy, &f2, &error))
+      << error;
+  EXPECT_EQ(f1, atlas::TraceFormat::kAtlas);
+  EXPECT_EQ(f2, atlas::TraceFormat::kLegacy);
+  EXPECT_EQ(from_atlas.records, t.records);
+  EXPECT_EQ(from_legacy.records, t.records);
+
+  trace::Trace ignored;
+  atlas::TraceFormat ignored_format = atlas::TraceFormat::kLegacy;
+  EXPECT_FALSE(atlas::TryLoadAnyTraceFile(
+      ::testing::TempDir() + "spta_atlas_no_such_file", &ignored,
+      &ignored_format, &error));
+  EXPECT_FALSE(error.empty());
+  std::remove(atlas_path.c_str());
+  std::remove(legacy_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input: every truncation and every single-bit flip of a valid
+// container must be rejected with a typed error — no abort, no silent
+// wrong decode. (The content digest backstops whatever slips past the
+// structural checks.)
+
+TEST(AtlasFormatTest, EveryTruncationRejected) {
+  const trace::Trace t = RandomTrace(9, 300);
+  const std::string packed = AtlasBytes(t, 64);
+  ASSERT_LT(packed.size(), 20000u);
+  for (std::size_t len = 0; len < packed.size(); ++len) {
+    std::istringstream in(packed.substr(0, len));
+    trace::Trace out;
+    std::string error;
+    ASSERT_FALSE(atlas::TryReadAtlas(in, &out, &error)) << "len " << len;
+    ASSERT_FALSE(error.empty()) << "len " << len;
+  }
+}
+
+TEST(AtlasFormatTest, EveryByteFlipRejected) {
+  const trace::Trace t = RandomTrace(10, 300);
+  const std::string packed = AtlasBytes(t, 64);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    std::string damaged = packed;
+    damaged[i] = static_cast<char>(damaged[i] ^ (1u << (i % 8)));
+    std::istringstream in(damaged);
+    trace::Trace out;
+    std::string error;
+    ASSERT_FALSE(atlas::TryReadAtlas(in, &out, &error)) << "byte " << i;
+  }
+}
+
+TEST(AtlasFormatTest, AlienBytesRejectedBySniffer) {
+  for (const std::string& bytes :
+       {std::string(), std::string("ATL"), std::string("garbage input"),
+        std::string(200, '\0'), std::string("ATLS then junk............")}) {
+    std::istringstream in(bytes);
+    trace::Trace out;
+    atlas::TraceFormat format = atlas::TraceFormat::kLegacy;
+    std::string error;
+    EXPECT_FALSE(atlas::TryReadAnyTrace(in, &out, &format, &error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mining.
+
+TEST(AtlasMineTest, FindsSyntheticKernel) {
+  const std::size_t kIterations = 150;
+  const trace::Trace t = KernelLoopTrace(kIterations);
+  const atlas::Segmentation seg = atlas::MineKernels(t);
+
+  ASSERT_EQ(seg.kernels.size(), 1u);
+  EXPECT_EQ(seg.kernels[0].length, 48u);
+  EXPECT_GE(seg.kernels[0].iterations, kIterations - 1);
+  EXPECT_EQ(seg.total_records, t.records.size());
+  EXPECT_GE(static_cast<double>(seg.KernelRecords()) /
+                static_cast<double>(t.records.size()),
+            0.9);
+}
+
+TEST(AtlasMineTest, SegmentsPartitionAndReconstructExactly) {
+  const trace::Trace traces[] = {KernelLoopTrace(50), RandomTrace(3, 777),
+                                 FirTrace(), trace::Trace{}};
+  for (const auto& t : traces) {
+    const atlas::Segmentation seg = atlas::MineKernels(t);
+    std::vector<trace::TraceRecord> rebuilt;
+    std::size_t cursor = 0;
+    for (const atlas::Segment& s : seg.segments) {
+      ASSERT_EQ(s.begin, cursor);
+      for (std::size_t it = 0; it < s.iterations; ++it) {
+        for (std::size_t j = 0; j < s.length; ++j) {
+          rebuilt.push_back(t.records[s.begin + it * s.length + j]);
+        }
+      }
+      cursor += s.records_covered();
+    }
+    ASSERT_EQ(cursor, t.records.size());
+    EXPECT_EQ(rebuilt, t.records);
+  }
+}
+
+TEST(AtlasMineTest, KernelIterationsAreFieldwiseEqualToBody) {
+  const trace::Trace t = KernelLoopTrace(30);
+  const atlas::Segmentation seg = atlas::MineKernels(t);
+  for (const atlas::Segment& s : seg.segments) {
+    if (s.kernel == atlas::kNoKernel) continue;
+    for (std::size_t it = 1; it < s.iterations; ++it) {
+      for (std::size_t j = 0; j < s.length; ++j) {
+        ASSERT_EQ(t.records[s.begin + j],
+                  t.records[s.begin + it * s.length + j]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel store.
+
+TEST(AtlasKernelStoreTest, CollisionDetectedAndCapacityBounded) {
+  atlas::KernelStore store(/*capacity=*/2);
+  DualHash a;
+  a.Mix(1);
+  DualHash colliding = a;
+  colliding.hi ^= 0xdeadbeef;  // same lo bucket, different verifier
+
+  atlas::KernelStore::Entry e;
+  e.fixed_point = true;
+  store.Insert(a, e);
+  EXPECT_NE(store.Lookup(a), nullptr);
+  EXPECT_EQ(store.Lookup(colliding), nullptr);  // collision, not a hit
+  EXPECT_EQ(store.stats().collisions, 1u);
+
+  DualHash b, c;
+  b.Mix(2);
+  c.Mix(3);
+  store.Insert(b, e);
+  store.Insert(c, e);  // capacity 2 exceeded -> wholesale clear
+  EXPECT_EQ(store.stats().clears, 1u);
+  EXPECT_EQ(store.Lookup(a), nullptr);
+  EXPECT_NE(store.Lookup(c), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Memoized replay: bit-identity with Platform::Run.
+
+void ExpectSameResult(const sim::RunResult& memo, const sim::RunResult& ref,
+                      const char* label) {
+  EXPECT_EQ(memo.cycles, ref.cycles) << label;
+  EXPECT_EQ(memo.instructions, ref.instructions) << label;
+  EXPECT_EQ(memo.il1.accesses, ref.il1.accesses) << label;
+  EXPECT_EQ(memo.il1.misses, ref.il1.misses) << label;
+  EXPECT_EQ(memo.dl1.accesses, ref.dl1.accesses) << label;
+  EXPECT_EQ(memo.dl1.misses, ref.dl1.misses) << label;
+  EXPECT_EQ(memo.itlb.accesses, ref.itlb.accesses) << label;
+  EXPECT_EQ(memo.itlb.misses, ref.itlb.misses) << label;
+  EXPECT_EQ(memo.dtlb.accesses, ref.dtlb.accesses) << label;
+  EXPECT_EQ(memo.dtlb.misses, ref.dtlb.misses) << label;
+  EXPECT_EQ(memo.fpu.operations, ref.fpu.operations) << label;
+  EXPECT_EQ(memo.fpu.total_cycles, ref.fpu.total_cycles) << label;
+  EXPECT_EQ(memo.store_buffer.stores, ref.store_buffer.stores) << label;
+  EXPECT_EQ(memo.store_buffer.full_stalls, ref.store_buffer.full_stalls)
+      << label;
+  EXPECT_EQ(memo.store_buffer.stall_cycles, ref.store_buffer.stall_cycles)
+      << label;
+  EXPECT_EQ(memo.store_buffer.high_water, ref.store_buffer.high_water)
+      << label;
+  EXPECT_EQ(memo.prng.words, ref.prng.words) << label;
+  EXPECT_EQ(memo.prng.rejections, ref.prng.rejections) << label;
+  EXPECT_EQ(memo.bus.transactions, ref.bus.transactions) << label;
+  EXPECT_EQ(memo.bus.busy_cycles, ref.bus.busy_cycles) << label;
+  EXPECT_EQ(memo.bus.wait_cycles, ref.bus.wait_cycles) << label;
+  EXPECT_EQ(memo.dram.accesses, ref.dram.accesses) << label;
+  EXPECT_EQ(memo.dram.row_hits, ref.dram.row_hits) << label;
+  EXPECT_EQ(memo.dram.refresh_stall_cycles, ref.dram.refresh_stall_cycles)
+      << label;
+}
+
+sim::PlatformConfig L2RefreshConfig() {
+  sim::PlatformConfig config = sim::RandLeon3Config();
+  config.name = "rand+l2+refresh";
+  config.l2.enabled = true;
+  config.dram.refresh_interval = 7810;
+  return config;
+}
+
+TEST(AtlasMemoTest, BitIdenticalToPlainRunAcrossConfigsAndSeeds) {
+  const struct {
+    const char* name;
+    trace::Trace t;
+  } workloads[] = {{"kernel-loop", KernelLoopTrace(120)},
+                   {"tvca-reduced", ReducedTvcaTrace()},
+                   {"matmul", MatmulTrace()},
+                   {"fir", FirTrace()}};
+  const sim::PlatformConfig configs[] = {
+      sim::DetLeon3Config(), sim::RandLeon3Config(),
+      sim::RandLeon3OperationConfig(), L2RefreshConfig()};
+  for (const auto& config : configs) {
+    const DualHash config_digest = atlas::ConfigDigest(config);
+    sim::Platform reference(config, 1);
+    sim::Platform memoized(config, 1);
+    for (const auto& w : workloads) {
+      const atlas::Segmentation seg = atlas::MineKernels(w.t);
+      atlas::KernelStore store;
+      for (Seed seed = 1; seed <= 5; ++seed) {
+        const std::string label = std::string(config.name) + "/" + w.name +
+                                  "/seed" + std::to_string(seed);
+        const sim::RunResult ref = reference.Run(w.t, seed);
+        const sim::RunResult memo = atlas::RunMemoized(
+            memoized, w.t, seg, seed, config_digest, &store);
+        ExpectSameResult(memo, ref, label.c_str());
+      }
+    }
+  }
+}
+
+TEST(AtlasMemoTest, HitRateOnKernelDominatedTrace) {
+  const trace::Trace t = KernelLoopTrace(150);
+  const atlas::Segmentation seg = atlas::MineKernels(t);
+  ASSERT_GE(seg.KernelRecords(), t.records.size() * 9 / 10);
+
+  const sim::PlatformConfig config = sim::RandLeon3Config();
+  const DualHash config_digest = atlas::ConfigDigest(config);
+  sim::Platform platform(config, 1);
+  atlas::KernelStore store;
+  atlas::MemoRunStats stats;
+  const sim::RunResult memo =
+      atlas::RunMemoized(platform, t, seg, 7, config_digest, &store, &stats);
+
+  sim::Platform reference(config, 1);
+  ExpectSameResult(memo, reference.Run(t, 7), "hit-rate run");
+
+  // Acceptance: >= 90% of kernel iterations fast-forwarded on a trace
+  // with >= 100 identical iterations.
+  EXPECT_GE(stats.kernel_iterations, 100u);
+  EXPECT_GE(stats.HitRate(), 0.9) << stats.hits << "/"
+                                  << stats.kernel_iterations;
+  EXPECT_GT(stats.fast_forwarded_records, 0u);
+
+  // Re-running the same seed on a warm store hits from iteration one's
+  // converged state onward (same per-run seeds -> same entry digests).
+  atlas::MemoRunStats warm;
+  atlas::RunMemoized(platform, t, seg, 7, config_digest, &store, &warm);
+  EXPECT_GE(warm.HitRate(), stats.HitRate());
+}
+
+TEST(AtlasMemoTest, StoreSharedAcrossRunsStaysBitIdentical) {
+  const trace::Trace t = KernelLoopTrace(60);
+  const atlas::Segmentation seg = atlas::MineKernels(t);
+  const sim::PlatformConfig config = sim::RandLeon3Config();
+  const DualHash config_digest = atlas::ConfigDigest(config);
+  sim::Platform reference(config, 1);
+  sim::Platform memoized(config, 1);
+  atlas::KernelStore store;  // ONE store across every seed
+  for (Seed seed = 1; seed <= 10; ++seed) {
+    ExpectSameResult(
+        atlas::RunMemoized(memoized, t, seg, seed, config_digest, &store),
+        reference.Run(t, seed), "shared-store");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign integration.
+
+TEST(AtlasCampaignTest, FixedTraceMemoizedMatchesParallel) {
+  const trace::Trace t = KernelLoopTrace(80);
+  const sim::PlatformConfig config = sim::RandLeon3Config();
+  const auto reference =
+      analysis::RunFixedTraceCampaignParallel(config, t, 40, 99, 2);
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{3}}) {
+    analysis::AtlasCampaignStats stats;
+    const auto memo = analysis::RunFixedTraceCampaignMemoized(
+        config, t, 40, 99, jobs, &stats);
+    ASSERT_EQ(memo.size(), reference.size());
+    for (std::size_t r = 0; r < memo.size(); ++r) {
+      EXPECT_EQ(memo[r].cycles, reference[r].cycles) << "run " << r;
+      EXPECT_EQ(memo[r].path_id, reference[r].path_id) << "run " << r;
+      ExpectSameResult(memo[r].detail, reference[r].detail, "campaign");
+    }
+    EXPECT_GT(stats.memo.hits, 0u) << "memoization never engaged";
+  }
+}
+
+TEST(AtlasCampaignTest, TvcaMemoizedMatchesParallel) {
+  const apps::TvcaApp app(ReducedTvcaConfig());
+  const sim::PlatformConfig config = sim::RandLeon3Config();
+  for (const std::size_t scenarios : {std::size_t{0}, std::size_t{4}}) {
+    analysis::CampaignConfig cc;
+    cc.runs = 24;
+    cc.master_seed = 5;
+    cc.distinct_scenarios = scenarios;
+    const auto reference =
+        analysis::RunTvcaCampaignParallel(config, app, cc, 2);
+    const auto memo = analysis::RunTvcaCampaignMemoized(config, app, cc, 2);
+    ASSERT_EQ(memo.size(), reference.size());
+    for (std::size_t r = 0; r < memo.size(); ++r) {
+      EXPECT_EQ(memo[r].cycles, reference[r].cycles)
+          << "scenarios " << scenarios << " run " << r;
+      EXPECT_EQ(memo[r].path_id, reference[r].path_id);
+    }
+  }
+}
+
+TEST(AtlasCampaignTest, CheckpointJournalsInteroperateWithLegacy) {
+  const trace::Trace t = KernelLoopTrace(80);
+  const sim::PlatformConfig config = sim::RandLeon3Config();
+  const std::string journal =
+      ::testing::TempDir() + "spta_atlas_interop.ckpt";
+  std::remove(journal.c_str());
+
+  // Phase 1: LEGACY checkpointed runner, crashed after 10 appends.
+  analysis::CheckpointOptions copts;
+  copts.journal_path = journal;
+  copts.abort_after_appends = 10;
+  analysis::CheckpointedCampaignResult partial;
+  std::string error;
+  ASSERT_TRUE(analysis::RunFixedTraceCampaignCheckpointed(
+      config, t, 30, 77, 2, copts, &partial, &error))
+      << error;
+  ASSERT_FALSE(partial.completed);
+
+  // Phase 2: resume the SAME journal through the MEMOIZED runner.
+  copts.abort_after_appends = 0;
+  copts.resume = true;
+  analysis::CheckpointedCampaignResult resumed;
+  analysis::AtlasCampaignStats stats;
+  ASSERT_TRUE(analysis::RunFixedTraceCampaignMemoizedCheckpointed(
+      config, t, 30, 77, 2, copts, &resumed, &error, &stats))
+      << error;
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.resumed_runs, 10u);
+
+  // The merged sample equals an uninterrupted legacy campaign bit for bit.
+  const auto reference =
+      analysis::RunFixedTraceCampaignParallel(config, t, 30, 77, 2);
+  ASSERT_EQ(resumed.samples.size(), reference.size());
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    EXPECT_EQ(resumed.samples[r].cycles, reference[r].cycles) << r;
+    EXPECT_EQ(resumed.samples[r].path_id, reference[r].path_id) << r;
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(AtlasCampaignTest, CountersReachObsSurface) {
+  obs::ResetAtlasCountersForTest();
+  const trace::Trace t = KernelLoopTrace(80);
+  analysis::AtlasCampaignStats stats;
+  analysis::RunFixedTraceCampaignMemoized(sim::RandLeon3Config(), t, 10, 1,
+                                          2, &stats);
+  const obs::AtlasCountersSnapshot snap = obs::AtlasCounters();
+  EXPECT_EQ(snap.kernel_hits, stats.memo.hits);
+  EXPECT_EQ(snap.kernel_misses, stats.memo.misses);
+  EXPECT_EQ(snap.kernel_bypasses, stats.memo.bypasses);
+  EXPECT_EQ(snap.fast_forwarded_records, stats.memo.fast_forwarded_records);
+  EXPECT_GT(snap.kernel_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service INGEST.
+
+service::Response Roundtrip(service::Server& server,
+                            const service::Request& request) {
+  std::stringstream in, out;
+  service::WriteRequest(in, request);
+  server.ServeStream(in, out);
+  service::Response response;
+  std::string error;
+  EXPECT_EQ(service::ReadResponse(out, &response, &error),
+            service::ReadStatus::kOk)
+      << error;
+  return response;
+}
+
+TEST(AtlasServiceTest, IngestValidatesMinesAndCaches) {
+  service::Server server;
+  const trace::Trace t = KernelLoopTrace(100);
+
+  service::Request ingest;
+  ingest.kind = service::RequestKind::kIngest;
+  ingest.payload = AtlasBytes(t);
+  const service::Response first = Roundtrip(server, ingest);
+  ASSERT_TRUE(first.ok) << first.payload;
+  EXPECT_EQ(first.args.GetString("format"), "atlas");
+  EXPECT_EQ(first.args.GetUint("records", 0), t.records.size());
+  EXPECT_EQ(first.args.GetUint("kernels", 0), 1u);
+  EXPECT_EQ(first.args.GetString("cache"), "miss");
+  EXPECT_FALSE(first.args.GetString("digest").empty());
+
+  // Same trace in the LEGACY container: same content digest -> cache hit
+  // with the identical kernel table.
+  service::Request again;
+  again.kind = service::RequestKind::kIngest;
+  again.payload = LegacyBytes(t);
+  const service::Response second = Roundtrip(server, again);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.args.GetString("format"), "legacy");
+  EXPECT_EQ(second.args.GetString("cache"), "hit");
+  EXPECT_EQ(second.args.GetString("digest"), first.args.GetString("digest"));
+  EXPECT_EQ(second.args.GetUint("kernels", 0), 1u);
+  EXPECT_EQ(second.payload, first.payload);
+}
+
+TEST(AtlasServiceTest, IngestRejectsHostilePayloadsWithoutDying) {
+  service::Server server;
+  const std::string valid = AtlasBytes(KernelLoopTrace(20));
+  const std::string payloads[] = {
+      std::string("not a trace at all"), valid.substr(0, valid.size() / 2),
+      [&] {
+        std::string damaged = valid;
+        damaged[damaged.size() / 2] ^= 0x40;
+        return damaged;
+      }(),
+      std::string()};
+  for (const auto& payload : payloads) {
+    service::Request ingest;
+    ingest.kind = service::RequestKind::kIngest;
+    ingest.payload = payload;
+    const service::Response response = Roundtrip(server, ingest);
+    EXPECT_FALSE(response.ok);
+  }
+  // The server is still alive and serving.
+  service::Request ping;
+  ping.kind = service::RequestKind::kPing;
+  EXPECT_TRUE(Roundtrip(server, ping).ok);
+}
+
+TEST(AtlasServiceTest, PromExportsAtlasCounters) {
+  service::Server server;
+  const std::string prom = server.RenderPromText();
+  EXPECT_NE(prom.find("spta_atlas_kernel_hits_total"), std::string::npos);
+  EXPECT_NE(prom.find("spta_atlas_traces_packed_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spta

@@ -45,12 +45,31 @@
 //
 //   spta_cli simulate  --trace in.trc --platform rand|det|rand-op
 //                      --runs N [--seed S] [--jobs J] [--batch-lanes L]
-//                      [--output samples.csv]
+//                      [--atlas] [--output samples.csv]
 //                      [--checkpoint J.ckpt [--resume] [--fsync-interval N]]
 //                      [--seu-rate R] [--reseed-dropout P] [--fault-seed S]
 //       Replays a recorded trace N times (fresh platform seed per run)
 //       and writes the execution times as CSV. --batch-lanes L as above
-//       (a fixed trace always batches).
+//       (a fixed trace always batches). The input trace may be in either
+//       container format (legacy or spta-atlas, sniffed from the magic).
+//
+//   spta_cli trace pack <in> <out>      repack into the spta-atlas
+//                                       columnar container (docs/TRACES.md)
+//   spta_cli trace unpack <in> <out>    repack into the legacy container
+//   spta_cli trace info <file>          header, footprint, digests and
+//                                       kernel summary (either format)
+//   spta_cli trace mine <file>          full mined kernel table
+//       All four accept both container formats and verify content digests
+//       on every conversion; damaged or alien files are rejected with a
+//       diagnostic (exit 2), never a crash.
+//
+// --atlas (campaign/simulate) replays runs through the kernel-memoized
+// path (docs/TRACES.md): repeated kernel iterations whose entry state was
+// already timed are fast-forwarded from a per-worker kernel store. The
+// samples are bit-identical to the non-memoized runners for any --jobs;
+// composes with --checkpoint (same journal format). With --batch-lanes
+// the lockstep SIMD kernel already amortizes per-run costs, so batching
+// takes precedence and memoization is bypassed.
 //
 // File outputs are crash-safe: the CSV is staged in a tmp file, fsync'd
 // and renamed into place, so a crash mid-export never publishes a
@@ -61,11 +80,16 @@
 // producer of the CSV format.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "analysis/atlas_campaign.hpp"
 #include "analysis/batch_campaign.hpp"
+#include "atlas/format.hpp"
+#include "atlas/mine.hpp"
+#include "obs/atlas_counters.hpp"
 #include "analysis/campaign.hpp"
 #include "analysis/checkpoint.hpp"
 #include "sim/batch/batch_platform.hpp"
@@ -93,10 +117,11 @@ using namespace spta;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: spta_cli <campaign|analyze|convergence|record|simulate> [flags]\n"
+               "usage: spta_cli "
+               "<campaign|analyze|convergence|record|simulate|trace> [flags]\n"
                "  campaign    --platform rand|det|rand-op --runs N "
                "[--seed S] [--scenarios K] [--jobs J] [--batch-lanes L] "
-               "[--output FILE]\n"
+               "[--atlas] [--output FILE]\n"
                "              [--checkpoint FILE [--resume] "
                "[--fsync-interval N]] [--seu-rate R] [--reseed-dropout P] "
                "[--fault-seed S] [--annotate]\n"
@@ -108,10 +133,11 @@ int Usage() {
                "  record      --trace FILE [--scenario S]\n"
                "  simulate    --trace FILE --platform rand|det|rand-op "
                "--runs N [--seed S] [--jobs J] [--batch-lanes L] "
-               "[--output FILE] "
+               "[--atlas] [--output FILE] "
                "[--checkpoint FILE [--resume]] [--seu-rate R] "
                "[--reseed-dropout P] [--fault-seed S] "
-               "[--trace-out FILE] [--counters-out FILE]\n");
+               "[--trace-out FILE] [--counters-out FILE]\n"
+               "  trace       pack|unpack <in> <out> | info|mine <file>\n");
   return 2;
 }
 
@@ -333,6 +359,183 @@ int FinishCheckpointed(const Flags& flags,
   return WriteCampaignOutput(flags, result.samples, /*faults=*/0);
 }
 
+/// Loads a trace in either container format; exit 2 on any damage.
+trace::Trace LoadAnyTraceOrDie(const std::string& path,
+                               atlas::TraceFormat* format) {
+  trace::Trace t;
+  std::string error;
+  if (!atlas::TryLoadAnyTraceFile(path, &t, format, &error)) {
+    std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return t;
+}
+
+std::uint64_t FileSizeOrZero(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+/// Reports the memoization behavior of a finished --atlas campaign.
+void ReportAtlasStats(const analysis::AtlasCampaignStats& stats) {
+  std::fprintf(
+      stderr,
+      "spta_cli: atlas memo: %llu hits, %llu misses, %llu bypasses "
+      "(hit rate %.1f%%); %llu records fast-forwarded, "
+      "%llu store inserts\n",
+      static_cast<unsigned long long>(stats.memo.hits),
+      static_cast<unsigned long long>(stats.memo.misses),
+      static_cast<unsigned long long>(stats.memo.bypasses),
+      stats.memo.HitRate() * 100.0,
+      static_cast<unsigned long long>(stats.memo.fast_forwarded_records),
+      static_cast<unsigned long long>(stats.store_inserts));
+}
+
+int RunTraceInfo(const std::string& path, bool full_table) {
+  atlas::TraceFormat format = atlas::TraceFormat::kLegacy;
+  const trace::Trace t = LoadAnyTraceOrDie(path, &format);
+  const DualHash digest = atlas::TraceContentDigest(t);
+  const std::uint64_t on_disk = FileSizeOrZero(path);
+
+  // Footprint in BOTH containers, whichever one the file uses.
+  std::ostringstream atlas_bytes;
+  atlas::WriteAtlas(atlas_bytes, t);
+  std::ostringstream legacy_bytes;
+  trace::WriteTrace(legacy_bytes, t);
+  const std::uint64_t atlas_size = atlas_bytes.str().size();
+  const std::uint64_t legacy_size = legacy_bytes.str().size();
+
+  std::printf("file:            %s\n", path.c_str());
+  std::printf("container:       %s (%llu bytes on disk)\n",
+              atlas::ToString(format),
+              static_cast<unsigned long long>(on_disk));
+  std::printf("records:         %zu\n", t.records.size());
+  std::printf("path signature:  %llu\n",
+              static_cast<unsigned long long>(t.path_signature));
+  std::printf("content digest:  %016llx%016llx\n",
+              static_cast<unsigned long long>(digest.lo),
+              static_cast<unsigned long long>(digest.hi));
+  std::printf("legacy size:     %llu bytes (%.2f B/record)\n",
+              static_cast<unsigned long long>(legacy_size),
+              t.records.empty()
+                  ? 0.0
+                  : static_cast<double>(legacy_size) /
+                        static_cast<double>(t.records.size()));
+  std::printf("atlas size:      %llu bytes (%.2f B/record, %.2fx)\n",
+              static_cast<unsigned long long>(atlas_size),
+              t.records.empty()
+                  ? 0.0
+                  : static_cast<double>(atlas_size) /
+                        static_cast<double>(t.records.size()),
+              atlas_size == 0 ? 0.0
+                              : static_cast<double>(legacy_size) /
+                                    static_cast<double>(atlas_size));
+
+  const atlas::Segmentation seg = atlas::MineKernels(t);
+  std::printf("kernels:         %zu (%llu of %llu records in kernels)\n",
+              seg.kernels.size(),
+              static_cast<unsigned long long>(seg.KernelRecords()),
+              static_cast<unsigned long long>(t.records.size()));
+  if (full_table) {
+    for (const atlas::KernelInfo& k : seg.kernels) {
+      std::printf(
+          "kernel %016llx%016llx  begin=%llu length=%llu iterations=%llu\n",
+          static_cast<unsigned long long>(k.digest.lo),
+          static_cast<unsigned long long>(k.digest.hi),
+          static_cast<unsigned long long>(k.body_begin),
+          static_cast<unsigned long long>(k.length),
+          static_cast<unsigned long long>(k.iterations));
+    }
+    std::printf("segments:\n");
+    for (const atlas::Segment& s : seg.segments) {
+      if (s.kernel == atlas::kNoKernel) {
+        std::printf("  span    begin=%llu records=%llu\n",
+                    static_cast<unsigned long long>(s.begin),
+                    static_cast<unsigned long long>(s.records_covered()));
+      } else {
+        std::printf("  kernel#%u begin=%llu length=%llu iterations=%llu\n",
+                    s.kernel, static_cast<unsigned long long>(s.begin),
+                    static_cast<unsigned long long>(s.length),
+                    static_cast<unsigned long long>(s.iterations));
+      }
+    }
+  }
+  return 0;
+}
+
+int RunTraceConvert(const std::string& in_path, const std::string& out_path,
+                    bool to_atlas) {
+  atlas::TraceFormat format = atlas::TraceFormat::kLegacy;
+  const trace::Trace t = LoadAnyTraceOrDie(in_path, &format);
+  const DualHash digest = atlas::TraceContentDigest(t);
+  if (to_atlas) {
+    atlas::SaveAtlasFile(out_path, t);
+    obs::CountAtlasPack();
+  } else {
+    trace::SaveTraceFile(out_path, t);
+    obs::CountAtlasUnpack();
+  }
+  // Round-trip verification: reload what we just wrote and require the
+  // content digest to survive the conversion bit-exactly.
+  trace::Trace reloaded;
+  atlas::TraceFormat out_format = atlas::TraceFormat::kLegacy;
+  std::string error;
+  if (!atlas::TryLoadAnyTraceFile(out_path, &reloaded, &out_format, &error)) {
+    std::fprintf(stderr, "spta_cli: round-trip reload failed: %s\n",
+                 error.c_str());
+    return 2;
+  }
+  if (!(atlas::TraceContentDigest(reloaded) == digest)) {
+    std::fprintf(stderr,
+                 "spta_cli: round-trip digest mismatch writing %s\n",
+                 out_path.c_str());
+    return 2;
+  }
+  const std::uint64_t in_size = FileSizeOrZero(in_path);
+  const std::uint64_t out_size = FileSizeOrZero(out_path);
+  std::fprintf(stderr,
+               "spta_cli: %s %zu records %s -> %s (%llu -> %llu bytes, "
+               "%.2fx), digest verified\n",
+               to_atlas ? "packed" : "unpacked", t.records.size(),
+               in_path.c_str(), out_path.c_str(),
+               static_cast<unsigned long long>(in_size),
+               static_cast<unsigned long long>(out_size),
+               out_size == 0 ? 0.0
+                             : static_cast<double>(in_size) /
+                                   static_cast<double>(out_size));
+  return 0;
+}
+
+int RunTrace(const Flags& flags) {
+  const auto& pos = flags.positional();
+  if (pos.empty()) {
+    std::fprintf(stderr,
+                 "spta_cli: trace needs a subcommand "
+                 "(pack|unpack|info|mine)\n");
+    return 2;
+  }
+  const std::string& sub = pos[0];
+  if (sub == "pack" || sub == "unpack") {
+    if (pos.size() != 3) {
+      std::fprintf(stderr, "spta_cli: trace %s needs <in> <out>\n",
+                   sub.c_str());
+      return 2;
+    }
+    return RunTraceConvert(pos[1], pos[2], sub == "pack");
+  }
+  if (sub == "info" || sub == "mine") {
+    if (pos.size() != 2) {
+      std::fprintf(stderr, "spta_cli: trace %s needs <file>\n", sub.c_str());
+      return 2;
+    }
+    return RunTraceInfo(pos[1], /*full_table=*/sub == "mine");
+  }
+  std::fprintf(stderr, "spta_cli: unknown trace subcommand '%s'\n",
+               sub.c_str());
+  return 2;
+}
+
 int RunCampaign(const Flags& flags) {
   bool platform_ok = false;
   const sim::PlatformConfig config = PlatformFromFlags(flags, &platform_ok);
@@ -348,12 +551,19 @@ int RunCampaign(const Flags& flags) {
 
   const std::size_t jobs = JobsFlag(flags);
   const std::size_t batch_lanes = BatchLanesFlag(flags);
+  const bool use_atlas = flags.GetBool("atlas");
   const apps::TvcaApp app;
   const fault::FaultCampaignConfig fc = FaultPlanFromFlags(flags, cc);
   const bool faulty = fc.seu.Enabled() || fc.reseed_dropout > 0.0;
   if (faulty && batch_lanes > 0) {
     std::fprintf(stderr,
                  "spta_cli: --batch-lanes runs clean campaigns only "
+                 "(drop the fault flags)\n");
+    return 2;
+  }
+  if (faulty && use_atlas) {
+    std::fprintf(stderr,
+                 "spta_cli: --atlas runs clean campaigns only "
                  "(drop the fault flags)\n");
     return 2;
   }
@@ -372,16 +582,23 @@ int RunCampaign(const Flags& flags) {
                  "spta_cli: %zu runs on %s (%zu jobs, journal %s)...\n",
                  cc.runs, config.name.c_str(), jobs,
                  copts.journal_path.c_str());
-    const bool ok =
-        batch_lanes > 0
-            ? analysis::RunTvcaCampaignBatchedCheckpointed(
-                  config, app, cc, batch_lanes, jobs, copts, &result, &error)
-            : analysis::RunTvcaCampaignCheckpointed(config, app, cc, jobs,
-                                                    copts, &result, &error);
+    analysis::AtlasCampaignStats atlas_stats;
+    bool ok;
+    if (batch_lanes > 0) {
+      ok = analysis::RunTvcaCampaignBatchedCheckpointed(
+          config, app, cc, batch_lanes, jobs, copts, &result, &error);
+    } else if (use_atlas) {
+      ok = analysis::RunTvcaCampaignMemoizedCheckpointed(
+          config, app, cc, jobs, copts, &result, &error, &atlas_stats);
+    } else {
+      ok = analysis::RunTvcaCampaignCheckpointed(config, app, cc, jobs,
+                                                 copts, &result, &error);
+    }
     if (!ok) {
       std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
       return 2;
     }
+    if (use_atlas && batch_lanes == 0) ReportAtlasStats(atlas_stats);
     return FinishCheckpointed(flags, result);
   }
 
@@ -398,11 +615,18 @@ int RunCampaign(const Flags& flags) {
         flags, result.samples,
         result.faults_injected + result.reseeds_dropped);
   }
-  const auto samples =
-      batch_lanes > 0
-          ? analysis::RunTvcaCampaignBatched(config, app, cc, batch_lanes,
-                                             jobs)
-          : analysis::RunTvcaCampaignParallel(config, app, cc, jobs);
+  std::vector<analysis::RunSample> samples;
+  if (batch_lanes > 0) {
+    samples =
+        analysis::RunTvcaCampaignBatched(config, app, cc, batch_lanes, jobs);
+  } else if (use_atlas) {
+    analysis::AtlasCampaignStats atlas_stats;
+    samples =
+        analysis::RunTvcaCampaignMemoized(config, app, cc, jobs, &atlas_stats);
+    ReportAtlasStats(atlas_stats);
+  } else {
+    samples = analysis::RunTvcaCampaignParallel(config, app, cc, jobs);
+  }
   return WriteCampaignOutput(flags, samples, /*faults=*/0);
 }
 
@@ -515,7 +739,8 @@ int RunSimulate(const Flags& flags) {
   const sim::PlatformConfig config = PlatformFromFlags(flags, &platform_ok);
   if (!platform_ok) return 2;
   MaybeEnableTracer(flags);
-  const trace::Trace t = trace::LoadTraceFile(path);
+  atlas::TraceFormat trace_format = atlas::TraceFormat::kLegacy;
+  const trace::Trace t = LoadAnyTraceOrDie(path, &trace_format);
   const auto runs = static_cast<std::size_t>(flags.GetInt("runs", 1000));
   const auto seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 20170327));
@@ -525,11 +750,18 @@ int RunSimulate(const Flags& flags) {
   cc.runs = runs;
   cc.master_seed = seed;
   const std::size_t batch_lanes = BatchLanesFlag(flags);
+  const bool use_atlas = flags.GetBool("atlas");
   const fault::FaultCampaignConfig fc = FaultPlanFromFlags(flags, cc);
   const bool faulty = fc.seu.Enabled() || fc.reseed_dropout > 0.0;
   if (faulty && batch_lanes > 0) {
     std::fprintf(stderr,
                  "spta_cli: --batch-lanes runs clean campaigns only "
+                 "(drop the fault flags)\n");
+    return 2;
+  }
+  if (faulty && use_atlas) {
+    std::fprintf(stderr,
+                 "spta_cli: --atlas runs clean campaigns only "
                  "(drop the fault flags)\n");
     return 2;
   }
@@ -544,17 +776,23 @@ int RunSimulate(const Flags& flags) {
     const analysis::CheckpointOptions copts = CheckpointFromFlags(flags);
     analysis::CheckpointedCampaignResult result;
     std::string error;
-    const bool ok =
-        batch_lanes > 0
-            ? analysis::RunFixedTraceCampaignBatchedCheckpointed(
-                  config, t, runs, seed, batch_lanes, jobs, copts, &result,
-                  &error)
-            : analysis::RunFixedTraceCampaignCheckpointed(
-                  config, t, runs, seed, jobs, copts, &result, &error);
+    analysis::AtlasCampaignStats atlas_stats;
+    bool ok;
+    if (batch_lanes > 0) {
+      ok = analysis::RunFixedTraceCampaignBatchedCheckpointed(
+          config, t, runs, seed, batch_lanes, jobs, copts, &result, &error);
+    } else if (use_atlas) {
+      ok = analysis::RunFixedTraceCampaignMemoizedCheckpointed(
+          config, t, runs, seed, jobs, copts, &result, &error, &atlas_stats);
+    } else {
+      ok = analysis::RunFixedTraceCampaignCheckpointed(
+          config, t, runs, seed, jobs, copts, &result, &error);
+    }
     if (!ok) {
       std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
       return 2;
     }
+    if (use_atlas && batch_lanes == 0) ReportAtlasStats(atlas_stats);
     return FinishCheckpointed(flags, result);
   }
 
@@ -570,12 +808,19 @@ int RunSimulate(const Flags& flags) {
         flags, result.samples,
         result.faults_injected + result.reseeds_dropped);
   }
-  const auto samples =
-      batch_lanes > 0
-          ? analysis::RunFixedTraceCampaignBatched(config, t, runs, seed,
-                                                   batch_lanes, jobs)
-          : analysis::RunFixedTraceCampaignParallel(config, t, runs, seed,
-                                                    jobs);
+  std::vector<analysis::RunSample> samples;
+  if (batch_lanes > 0) {
+    samples = analysis::RunFixedTraceCampaignBatched(config, t, runs, seed,
+                                                     batch_lanes, jobs);
+  } else if (use_atlas) {
+    analysis::AtlasCampaignStats atlas_stats;
+    samples = analysis::RunFixedTraceCampaignMemoized(config, t, runs, seed,
+                                                      jobs, &atlas_stats);
+    ReportAtlasStats(atlas_stats);
+  } else {
+    samples = analysis::RunFixedTraceCampaignParallel(config, t, runs, seed,
+                                                      jobs);
+  }
   return WriteCampaignOutput(flags, samples, /*faults=*/0);
 }
 
@@ -591,6 +836,7 @@ int main(int argc, char** argv) {
   if (command == "convergence") return RunConvergence(flags);
   if (command == "record") return RunRecord(flags);
   if (command == "simulate") return RunSimulate(flags);
+  if (command == "trace") return RunTrace(flags);
   std::fprintf(stderr, "spta_cli: unknown command '%s'\n", command.c_str());
   return Usage();
 }
