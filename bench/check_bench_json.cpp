@@ -22,6 +22,17 @@
 // NaN/inf — fail the check). This keeps the perf-trajectory artifacts
 // trustworthy without making tier-1 runtime depend on perf acceptance bars.
 //
+// When given a fourth binary (micro_service_loadgen), it also runs the
+// service load generator at SPTA_BENCH_RUNS=50 (scales the warm request
+// streams; the analysis stays at the full 3,000 samples) and validates
+// BENCH_service_loadgen.json plus BENCH_service_fleet.json — requiring
+// checksum_match=1 (fleet responses bit-identical to the classic
+// server's) and warm_start_hit=1 (a restarted fleet served its first
+// repeat from the persistent cache). The >= 10x fleet-vs-classic warm
+// throughput bar arms itself inside the bench at >= 150 runs; here the
+// checker verifies the gate fields are present and, whenever the report
+// says the gate was armed, that it passed.
+//
 // Usage: check_bench_json <path-to-micro_sim_hotpath>
 //                         [<path-to-micro_sim_batch>]
 #include <unistd.h>
@@ -180,11 +191,12 @@ double Number(const std::map<std::string, std::string>& numbers,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 4) {
+  if (argc < 2 || argc > 5) {
     std::fprintf(stderr,
                  "usage: %s <path-to-micro_sim_hotpath> "
                  "[<path-to-micro_sim_batch>] "
-                 "[<path-to-micro_trace_atlas>]\n",
+                 "[<path-to-micro_trace_atlas>] "
+                 "[<path-to-micro_service_loadgen>]\n",
                  argv[0]);
     return 2;
   }
@@ -267,7 +279,7 @@ int main(int argc, char** argv) {
   // Batch-kernel artifact: run the bench twice — auto ISA and the forced
   // scalar fallback — so the 64-run batched-vs-serial bit-identity smoke
   // covers both dispatch paths on any host.
-  if (argc == 3) {
+  if (argc >= 3) {
     const std::string batch_json = dir + "/BENCH_sim_batch.json";
     ::setenv("SPTA_BENCH_RUNS", "64", /*overwrite=*/1);
     for (const bool force_scalar : {false, true}) {
@@ -314,7 +326,7 @@ int main(int argc, char** argv) {
   // acceptance bars live in the bench binary (campaign scale only); here
   // the 64-run smoke still requires a >= 3x pack ratio, a >= 90% hit rate
   // and exact bit-identity — behavioral guards that hold at any size.
-  if (argc == 4) {
+  if (argc >= 4) {
     const std::string atlas_json = dir + "/BENCH_trace_atlas.json";
     ::setenv("SPTA_BENCH_RUNS", "64", /*overwrite=*/1);
     const std::string atlas_cmd = std::string("\"") + argv[3] + "\"";
@@ -348,10 +360,62 @@ int main(int argc, char** argv) {
     std::remove(atlas_json.c_str());
   }
 
+  // Service-fleet artifacts: the load generator emits the classic report
+  // and the fleet A/B report. 50 runs keeps the warm streams short while
+  // the bench's fixed 3,000-sample analyses keep the cold legs honest;
+  // the >= 10x fleet gate self-disarms below 150 runs, but the
+  // bit-identity checksum and the persistent warm-start hit are
+  // behavioral guarantees that must hold at any scale.
+  if (argc >= 5) {
+    const std::string loadgen_json = dir + "/BENCH_service_loadgen.json";
+    const std::string fleet_json = dir + "/BENCH_service_fleet.json";
+    ::setenv("SPTA_BENCH_RUNS", "50", /*overwrite=*/1);
+    const std::string loadgen_cmd = std::string("\"") + argv[4] + "\"";
+    if (std::system(loadgen_cmd.c_str()) != 0) {
+      Fail("micro_service_loadgen exited with nonzero status");
+    }
+    std::map<std::string, std::string> loadgen_numbers;
+    ValidateReport(loadgen_json, "service_loadgen",
+                   {"cold_analyze_ms", "warm_analyze_ms", "warm_speedup",
+                    "warm_hits", "warm_requests_per_sec", "drain_seconds",
+                    "drain_answered", "drain_burst", "acceptance_pass"},
+                   &loadgen_numbers);
+    std::map<std::string, std::string> fleet_numbers;
+    ValidateReport(fleet_json, "service_fleet",
+                   {"classic_warm_rps", "fleet_warm_rps",
+                    "fleet_warm_speedup", "tcp_warm_rps", "cold_rps_1shard",
+                    "cold_rps_nshard", "shard_scaling", "shards_n",
+                    "cold_start_ms", "warm_start_ms", "warm_start_hit",
+                    "checksum_match", "warm_frame_checksum", "gate_armed",
+                    "gate_min_speedup", "acceptance_pass"},
+                   &fleet_numbers);
+    if (fleet_numbers.count("checksum_match") &&
+        Number(fleet_numbers, "checksum_match", 0.0) != 1.0) {
+      Fail("service_fleet: fleet responses were not bit-identical to the "
+           "classic server's");
+    }
+    if (fleet_numbers.count("warm_start_hit") &&
+        Number(fleet_numbers, "warm_start_hit", 0.0) != 1.0) {
+      Fail("service_fleet: restarted fleet did not serve a disk-warmed hit");
+    }
+    if (fleet_numbers.count("fleet_warm_rps") &&
+        !(Number(fleet_numbers, "fleet_warm_rps", 0.0) > 0.0)) {
+      Fail("service_fleet: fleet_warm_rps not positive");
+    }
+    if (Number(fleet_numbers, "gate_armed", 0.0) == 1.0 &&
+        Number(fleet_numbers, "fleet_warm_speedup", 0.0) <
+            Number(fleet_numbers, "gate_min_speedup", 10.0)) {
+      Fail("service_fleet: armed >= 10x warm gate failed");
+    }
+    std::remove(loadgen_json.c_str());
+    std::remove(fleet_json.c_str());
+  }
+
   ::rmdir(dir.c_str());
   if (g_failures == 0) {
     std::printf("bench JSON schema check passed (%s)\n",
-                argc == 4   ? "all artifacts incl. sim_batch + trace_atlas"
+                argc >= 5   ? "all artifacts incl. service fleet"
+                : argc == 4 ? "all artifacts incl. sim_batch + trace_atlas"
                 : argc == 3 ? "all artifacts incl. sim_batch"
                             : "all three artifacts");
     return 0;

@@ -1,4 +1,4 @@
-// spta_serve load generator: amortization and drain guarantees.
+// spta_serve load generator: amortization, drain and fleet guarantees.
 //
 // Drives a resident Server in pipe mode (the same ServeStream entry the
 // daemon and tests use) with scripted request streams and reports:
@@ -9,12 +9,29 @@
 //   2. warm-path throughput: cache-hit requests served per second.
 //   3. drain-on-shutdown: a burst of analyses followed by SHUTDOWN must
 //      produce exactly one response per accepted request — zero loss.
+//   4. fleet A/B (BENCH_service_fleet.json): the sharded fleet
+//      (sharded_server.hpp) against the classic server —
+//        * warm throughput: fleet memo path vs classic warm path over the
+//          same session-ANALYZE stream. Acceptance (armed at >= 150
+//          requests): fleet >= 10x the classic warm rate, bit-identical
+//          responses (analyze_us aside) — the ROADMAP item-1 headline;
+//        * TCP leg: the same warm stream through the real epoll loop;
+//        * cold shard scaling: distinct analyses pipelined over TCP,
+//          1 shard vs N shards (reported, not gated — machine-dependent);
+//        * warm start: a fleet restarted over a persistent cache
+//          directory must serve its first repeat as a disk-warmed hit.
 //
-// Exit code is nonzero when either acceptance criterion fails, so the
+// Analysis sample size is fixed at 3,000 (the paper's campaign size);
+// SPTA_BENCH_RUNS scales the warm request streams, so smoke runs stay
+// fast without making the cold pipeline trivially cheap.
+//
+// Exit code is nonzero when any armed acceptance criterion fails, so the
 // bench doubles as a regression guard.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -23,6 +40,7 @@
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "service/sharded_server.hpp"
 
 namespace {
 
@@ -86,6 +104,80 @@ std::pair<std::vector<service::Response>, double> Run(
   return {responses, elapsed};
 }
 
+std::string EncodeScript(const std::vector<service::Request>& script) {
+  std::string wire;
+  for (const auto& request : script) {
+    service::AppendRequestFrame(request, &wire);
+  }
+  return wire;
+}
+
+std::vector<service::Response> DecodeResponses(const std::string& bytes) {
+  std::stringstream stream(bytes);
+  std::vector<service::Response> responses;
+  service::Response response;
+  std::string error;
+  while (service::ReadResponse(stream, &response, &error) ==
+         service::ReadStatus::kOk) {
+    responses.push_back(response);
+  }
+  return responses;
+}
+
+/// The wire frame with the volatile timing field stripped: the unit of
+/// the bit-identity checksum.
+std::string NormalizedFrame(service::Response response) {
+  response.args.Erase("analyze_us");
+  std::string frame;
+  service::AppendResponseFrame(response, &frame);
+  return frame;
+}
+
+/// The session-warming preamble every warm leg replays: OPEN + APPEND +
+/// one cold ANALYZE (executes + populates cache/memo), all untimed.
+std::vector<service::Request> WarmupScript(
+    const std::vector<mbpta::PathObservation>& obs) {
+  std::vector<service::Request> script;
+  service::Request open;
+  open.kind = service::RequestKind::kOpen;
+  open.args.Set("session", "bench");
+  script.push_back(open);
+  service::Request append;
+  append.kind = service::RequestKind::kAppend;
+  append.args.Set("session", "bench");
+  append.payload = service::EncodeSamplePayload(obs);
+  script.push_back(append);
+  script.push_back(SessionAnalyzeRequest("bench"));
+  return script;
+}
+
+/// Pipelines `wire` over one TCP connection to a started fleet and reads
+/// exactly `expected` responses back; returns (responses, seconds) where
+/// the clock covers first write to last response.
+std::pair<std::vector<service::Response>, double> RunTcp(
+    service::ShardedServer& fleet, const std::string& wire,
+    std::size_t expected) {
+  std::string error;
+  auto connection = service::TcpConnection::Connect(
+      "127.0.0.1", fleet.bound_port(), &error, 60000.0);
+  std::vector<service::Response> responses;
+  if (!connection) {
+    std::printf("FAIL: fleet TCP connect: %s\n", error.c_str());
+    return {responses, 0.0};
+  }
+  const auto t0 = Clock::now();
+  connection->out().write(wire.data(),
+                          static_cast<std::streamsize>(wire.size()));
+  connection->out().flush();
+  service::Response response;
+  while (responses.size() < expected &&
+         service::ReadResponse(connection->in(), &response, &error) ==
+             service::ReadStatus::kOk) {
+    responses.push_back(response);
+  }
+  return {responses, Seconds(t0, Clock::now())};
+}
+
 }  // namespace
 
 int main() {
@@ -96,7 +188,11 @@ int main() {
       "faster than a cold EVT run, and graceful shutdown must answer every "
       "accepted request");
 
-  const std::size_t sample_size = bench::RunCount(3000);
+  // Analysis size is fixed (cold EVT work must stay real even in smoke
+  // runs); the env knob scales the warm request streams instead.
+  constexpr std::size_t kSampleSize = 3000;
+  const std::size_t sample_size = kSampleSize;
+  const std::size_t warm_runs = bench::RunCount(3000);
   const auto obs = SyntheticSample(sample_size, 1);
   bool failed = false;
 
@@ -182,6 +278,246 @@ int main() {
               drain_server.metrics()
                   .Render(drain_server.engine().cache().stats())
                   .c_str());
+
+  // --- 4. fleet A/B -------------------------------------------------------
+  const bool gate_armed = warm_runs >= 150;
+  constexpr double kFleetGate = 10.0;  // fleet warm >= 10x classic warm
+
+  // One identical warm session-ANALYZE stream for every warm leg.
+  const std::string warm_wire = EncodeScript(std::vector<service::Request>(
+      warm_runs, SessionAnalyzeRequest("bench")));
+  const std::string warmup_wire = EncodeScript(WarmupScript(obs));
+
+  // Leg A: classic warm throughput at the same request count (the 50-run
+  // burst above is too short to compare against; re-measure at scale).
+  double classic_warm_rps = 0.0;
+  std::string classic_warm_frame;
+  {
+    const auto [responses, elapsed] = Run(
+        server, std::vector<service::Request>(
+                    warm_runs, SessionAnalyzeRequest("bench")));
+    std::size_t hits = 0;
+    for (const auto& response : responses) {
+      hits += response.ok && response.args.GetString("cache") == "hit";
+    }
+    if (hits != warm_runs) {
+      std::printf("FAIL: classic warm leg: %zu/%zu hits\n", hits, warm_runs);
+      failed = true;
+    }
+    if (!responses.empty()) {
+      classic_warm_frame = NormalizedFrame(responses.front());
+    }
+    classic_warm_rps =
+        elapsed > 0.0 ? static_cast<double>(warm_runs) / elapsed : 0.0;
+  }
+
+  // Leg B: fleet warm throughput, script mode (the memo fast path; this
+  // is the gated >= 10x leg — same verbs, same bytes, no socket noise on
+  // either side of the A/B).
+  double fleet_warm_rps = 0.0;
+  bool fleet_bits_match = true;
+  {
+    service::ShardedServerOptions fleet_options;
+    fleet_options.shards = 1;
+    service::ShardedServer fleet(fleet_options);
+    std::string out;
+    fleet.ServeScript(warmup_wire, &out);
+    const auto setup = DecodeResponses(out);
+    if (setup.size() != 3 || !setup[2].ok) {
+      std::printf("FAIL: fleet session warmup failed\n");
+      failed = true;
+    }
+    std::string warm_out;
+    warm_out.reserve(warm_runs * 1024);
+    const auto t0 = Clock::now();
+    fleet.ServeScript(warm_wire, &warm_out);
+    const double elapsed = Seconds(t0, Clock::now());
+    const auto responses = DecodeResponses(warm_out);
+    std::size_t hits = 0;
+    for (const auto& response : responses) {
+      hits += response.ok && response.args.GetString("cache") == "hit";
+      if (fleet_bits_match && NormalizedFrame(response) != classic_warm_frame) {
+        fleet_bits_match = false;
+      }
+    }
+    if (hits != warm_runs || responses.size() != warm_runs) {
+      std::printf("FAIL: fleet warm leg: %zu responses, %zu hits\n",
+                  responses.size(), hits);
+      failed = true;
+    }
+    fleet_warm_rps =
+        elapsed > 0.0 ? static_cast<double>(warm_runs) / elapsed : 0.0;
+  }
+  const double fleet_warm_speedup =
+      classic_warm_rps > 0.0 ? fleet_warm_rps / classic_warm_rps : 0.0;
+
+  // Leg C: the same warm stream through the real epoll/TCP path.
+  double tcp_warm_rps = 0.0;
+  {
+    service::ShardedServerOptions fleet_options;
+    fleet_options.shards = 2;
+    service::ShardedServer fleet(fleet_options);
+    std::string out;
+    fleet.ServeScript(warmup_wire, &out);
+    if (fleet.ListenTcp("127.0.0.1", 0) == 0 && fleet.Start() == 0) {
+      const auto [responses, elapsed] = RunTcp(fleet, warm_wire, warm_runs);
+      std::size_t hits = 0;
+      for (const auto& response : responses) {
+        hits += response.ok && response.args.GetString("cache") == "hit";
+        if (fleet_bits_match &&
+            NormalizedFrame(response) != classic_warm_frame) {
+          fleet_bits_match = false;
+        }
+      }
+      if (hits != warm_runs) {
+        std::printf("FAIL: TCP warm leg: %zu/%zu hits\n", hits, warm_runs);
+        failed = true;
+      }
+      tcp_warm_rps =
+          elapsed > 0.0 ? static_cast<double>(warm_runs) / elapsed : 0.0;
+      fleet.TriggerShutdown();
+      fleet.Wait();
+    } else {
+      std::printf("FAIL: fleet TCP listen/start\n");
+      failed = true;
+    }
+  }
+
+  // Leg D: cold shard scaling — distinct analyses pipelined over TCP,
+  // 1 shard vs N shards. Reported, not gated (machine-dependent).
+  const std::size_t shards_n = 4;
+  constexpr std::size_t kColdBurst = 32;
+  std::string cold_wire;
+  {
+    std::vector<service::Request> cold_script;
+    for (std::size_t i = 0; i < kColdBurst; ++i) {
+      // Big enough that the EVT pipeline dominates the per-request cost
+      // (tiny samples would just benchmark the event loop again).
+      cold_script.push_back(AnalyzeRequest(SyntheticSample(2000, 5000 + i)));
+    }
+    cold_wire = EncodeScript(cold_script);
+  }
+  double cold_rps[2] = {0.0, 0.0};
+  for (int leg = 0; leg < 2; ++leg) {
+    service::ShardedServerOptions fleet_options;
+    fleet_options.shards = leg == 0 ? 1 : shards_n;
+    service::ShardedServer fleet(fleet_options);
+    if (fleet.ListenTcp("127.0.0.1", 0) != 0 || fleet.Start() != 0) {
+      std::printf("FAIL: cold-leg fleet start\n");
+      failed = true;
+      continue;
+    }
+    const auto [responses, elapsed] = RunTcp(fleet, cold_wire, kColdBurst);
+    std::size_t ok_count = 0;
+    for (const auto& response : responses) ok_count += response.ok;
+    if (ok_count != kColdBurst) {
+      std::printf("FAIL: cold leg %d: %zu/%zu ok\n", leg, ok_count,
+                  kColdBurst);
+      failed = true;
+    }
+    cold_rps[leg] =
+        elapsed > 0.0 ? static_cast<double>(kColdBurst) / elapsed : 0.0;
+    fleet.TriggerShutdown();
+    fleet.Wait();
+  }
+  const double shard_scaling =
+      cold_rps[0] > 0.0 ? cold_rps[1] / cold_rps[0] : 0.0;
+
+  // Leg E: persistent warm start — a fresh fleet over the directory a
+  // previous fleet populated must serve its first repeat from disk.
+  double cold_start_ms = 0.0;
+  double warm_start_ms = 0.0;
+  bool warm_start_hit = false;
+  {
+    char scratch[] = "/tmp/spta_fleet_bench_XXXXXX";
+    if (::mkdtemp(scratch) != nullptr) {
+      const std::string inline_wire =
+          EncodeScript({AnalyzeRequest(SyntheticSample(kSampleSize, 99))});
+      std::string first_frame;
+      {
+        service::ShardedServerOptions fleet_options;
+        fleet_options.server.cache_dir = scratch;
+        service::ShardedServer fleet(fleet_options);
+        std::string out;
+        const auto t0 = Clock::now();
+        fleet.ServeScript(inline_wire, &out);
+        cold_start_ms = Seconds(t0, Clock::now()) * 1e3;
+        const auto responses = DecodeResponses(out);
+        if (!responses.empty()) first_frame = NormalizedFrame(responses[0]);
+      }
+      {
+        service::ShardedServerOptions fleet_options;
+        fleet_options.server.cache_dir = scratch;
+        service::ShardedServer fleet(fleet_options);
+        std::string out;
+        const auto t0 = Clock::now();
+        fleet.ServeScript(inline_wire, &out);
+        warm_start_ms = Seconds(t0, Clock::now()) * 1e3;
+        const auto responses = DecodeResponses(out);
+        if (responses.size() == 1 && responses[0].ok) {
+          service::Response warm = responses[0];
+          const bool hit = warm.args.GetString("cache") == "hit";
+          // Identical bytes modulo the hit/miss disposition + timing.
+          warm.args.Set("cache", "miss");
+          warm_start_hit = hit && NormalizedFrame(warm) == first_frame;
+        }
+      }
+      const std::string cleanup = std::string("rm -rf '") + scratch + "'";
+      [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+    } else {
+      std::printf("FAIL: mkdtemp for warm-start leg\n");
+      failed = true;
+    }
+  }
+  if (!warm_start_hit) {
+    std::printf("FAIL: restarted fleet did not serve a disk-warmed hit\n");
+    failed = true;
+  }
+  if (!fleet_bits_match) {
+    std::printf("FAIL: fleet warm responses diverged from classic bytes\n");
+    failed = true;
+  }
+  if (gate_armed && fleet_warm_speedup < kFleetGate) failed = true;
+
+  std::printf("\nfleet A/B (%zu warm requests%s):\n", warm_runs,
+              gate_armed ? "" : "; gate disarmed, < 150 runs");
+  std::printf("classic warm     : %12.0f req/s\n", classic_warm_rps);
+  std::printf("fleet warm       : %12.0f req/s  (%5.1fx, acceptance: >= "
+              "%.0fx)  %s\n",
+              fleet_warm_rps, fleet_warm_speedup, kFleetGate,
+              !gate_armed              ? "n/a"
+              : fleet_warm_speedup >= kFleetGate ? "OK"
+                                                 : "FAIL");
+  std::printf("fleet warm (TCP) : %12.0f req/s\n", tcp_warm_rps);
+  std::printf("cold 1 shard     : %12.0f req/s\n", cold_rps[0]);
+  std::printf("cold %zu shards    : %12.0f req/s  (%.2fx scaling)\n",
+              shards_n, cold_rps[1], shard_scaling);
+  std::printf("warm start       : cold %.3f ms -> restart %.3f ms (%s)\n",
+              cold_start_ms, warm_start_ms,
+              warm_start_hit ? "disk hit" : "MISS");
+  std::printf("bit identity     : %s\n",
+              fleet_bits_match ? "OK (classic == fleet == TCP)" : "FAIL");
+
+  bench::JsonReport fleet_report("service_fleet", warm_runs);
+  fleet_report.Set("classic_warm_rps", classic_warm_rps);
+  fleet_report.Set("fleet_warm_rps", fleet_warm_rps);
+  fleet_report.Set("fleet_warm_speedup", fleet_warm_speedup);
+  fleet_report.Set("tcp_warm_rps", tcp_warm_rps);
+  fleet_report.Set("cold_rps_1shard", cold_rps[0]);
+  fleet_report.Set("cold_rps_nshard", cold_rps[1]);
+  fleet_report.Set("shard_scaling", shard_scaling);
+  fleet_report.Set("shards_n", static_cast<double>(shards_n));
+  fleet_report.Set("cold_start_ms", cold_start_ms);
+  fleet_report.Set("warm_start_ms", warm_start_ms);
+  fleet_report.Set("warm_start_hit", warm_start_hit ? 1.0 : 0.0);
+  fleet_report.Set("checksum_match", fleet_bits_match ? 1.0 : 0.0);
+  fleet_report.Set(
+      "warm_frame_checksum",
+      static_cast<double>(spta::HashBytes(classic_warm_frame).lo >> 32));
+  fleet_report.Set("gate_armed", gate_armed ? 1.0 : 0.0);
+  fleet_report.Set("gate_min_speedup", kFleetGate);
+  fleet_report.Set("acceptance_pass", failed ? 0.0 : 1.0);
+  fleet_report.Write();
 
   bench::JsonReport report("service_loadgen", sample_size);
   report.Set("cold_analyze_ms", cold_s * 1e3);

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <string_view>
 
 namespace spta {
 
@@ -47,5 +49,29 @@ struct DualHash {
   }
   bool operator!=(const DualHash& other) const { return !(*this == other); }
 };
+
+/// DualHash over raw bytes: length first, then 8-byte little-endian words,
+/// then the zero-padded tail. Deterministic across platforms (byte order
+/// of the words does not matter for collision resistance, and we only ever
+/// compare digests produced by this same function). Used wherever bytes —
+/// not structured values — are the content being addressed: the service's
+/// request-routing digest, the memoized warm path, and the persistent
+/// result-cache entry checksum.
+inline DualHash HashBytes(std::string_view bytes) {
+  DualHash digest;
+  digest.Mix(bytes.size());
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, bytes.data() + i, 8);
+    digest.Mix(word);
+  }
+  if (i < bytes.size()) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, bytes.data() + i, bytes.size() - i);
+    digest.Mix(tail);
+  }
+  return digest;
+}
 
 }  // namespace spta

@@ -1,5 +1,8 @@
 #include "service/client.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -120,6 +123,72 @@ Response Client::Shutdown() {
   return Call(request);
 }
 
+namespace {
+
+/// Installs SO_RCVTIMEO/SO_SNDTIMEO when io_timeout_ms > 0. False + errno
+/// message on failure.
+bool InstallIoTimeout(int fd, double io_timeout_ms, std::string* error) {
+  if (io_timeout_ms <= 0.0) return true;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(io_timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (io_timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;  // min 1ms
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    *error = std::string("setsockopt(timeout): ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(int fd)
+    : fd_(fd),
+      in_buf_(std::make_unique<FdStreambuf>(fd)),
+      out_buf_(std::make_unique<FdStreambuf>(fd)),
+      in_(std::make_unique<std::istream>(in_buf_.get())),
+      out_(std::make_unique<std::ostream>(out_buf_.get())) {}
+
+TcpConnection::~TcpConnection() {
+  out_->flush();
+  ::close(fd_);
+}
+
+std::unique_ptr<TcpConnection> TcpConnection::Connect(const std::string& host,
+                                                      std::uint16_t port,
+                                                      std::string* error,
+                                                      double io_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket(): ") + std::strerror(errno);
+    return nullptr;
+  }
+  if (!InstallIoTimeout(fd, io_timeout_ms, error)) {
+    ::close(fd);
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad IPv4 address: " + host;
+    ::close(fd);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = "connect('" + host + ":" + std::to_string(port) +
+             "'): " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpConnection>(new TcpConnection(fd));
+}
+
 UnixSocketConnection::UnixSocketConnection(int fd)
     : fd_(fd),
       in_buf_(std::make_unique<FdStreambuf>(fd)),
@@ -143,18 +212,9 @@ std::unique_ptr<UnixSocketConnection> UnixSocketConnection::Connect(
     *error = std::string("socket(): ") + std::strerror(errno);
     return nullptr;
   }
-  if (io_timeout_ms > 0.0) {
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(io_timeout_ms / 1000.0);
-    tv.tv_usec = static_cast<suseconds_t>(
-        (io_timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
-    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;  // min 1ms
-    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
-        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
-      *error = std::string("setsockopt(timeout): ") + std::strerror(errno);
-      ::close(fd);
-      return nullptr;
-    }
+  if (!InstallIoTimeout(fd, io_timeout_ms, error)) {
+    ::close(fd);
+    return nullptr;
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;

@@ -68,6 +68,36 @@ class Client {
   std::ostream& out_;
 };
 
+/// A TCP connection to a sharded fleet listener, owning its fd and stream
+/// adapters. Same shape as UnixSocketConnection; TCP_NODELAY is set so the
+/// request/response ping-pong of the synchronous Client API is not held
+/// hostage by Nagle.
+class TcpConnection {
+ public:
+  /// Connects to host:port (IPv4 dotted quad); nullptr + `error` on
+  /// failure. `io_timeout_ms` as in UnixSocketConnection::Connect.
+  static std::unique_ptr<TcpConnection> Connect(const std::string& host,
+                                                std::uint16_t port,
+                                                std::string* error,
+                                                double io_timeout_ms = 0.0);
+
+  ~TcpConnection();
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  std::istream& in() { return *in_; }
+  std::ostream& out() { return *out_; }
+
+ private:
+  explicit TcpConnection(int fd);
+
+  int fd_;
+  std::unique_ptr<FdStreambuf> in_buf_;
+  std::unique_ptr<FdStreambuf> out_buf_;
+  std::unique_ptr<std::istream> in_;
+  std::unique_ptr<std::ostream> out_;
+};
+
 /// An AF_UNIX stream connection owning its fd and stream adapters.
 class UnixSocketConnection {
  public:

@@ -104,6 +104,12 @@ std::uint64_t AnalysisVerifier(
 AnalysisEngine::AnalysisEngine(std::size_t cache_capacity)
     : cache_(cache_capacity) {}
 
+void AnalysisEngine::InsertCached(std::uint64_t key, std::uint64_t verifier,
+                                  std::string body) {
+  if (store_ != nullptr) store_->Put(key, verifier, body);
+  cache_.Insert(key, verifier, std::move(body));
+}
+
 bool AnalysisEngine::TryServeCached(
     std::span<const mbpta::PathObservation> observations,
     const AnalysisConfig& config, AnalysisOutcome* outcome) {
@@ -234,7 +240,7 @@ bool AnalysisEngine::Analyze(
     report += mbpta::RenderReport(per_path);
   }
 
-  cache_.Insert(outcome->key, verifier, EncodeBody(fields, report));
+  InsertCached(outcome->key, verifier, EncodeBody(fields, report));
   outcome->result = std::move(fields);
   outcome->report = std::move(report);
   return true;

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "mbpta/per_path.hpp"
+#include "service/persistent_cache.hpp"
 #include "service/protocol.hpp"
 #include "service/result_cache.hpp"
 
@@ -88,8 +89,22 @@ class AnalysisEngine {
   ResultCache& cache() { return cache_; }
   const ResultCache& cache() const { return cache_; }
 
+  /// Attaches a disk store: every entry inserted from now on (fresh
+  /// analyses, INGEST kernel tables via InsertCached) is also persisted,
+  /// so a restart warm-starts from it. The store must outlive the engine.
+  /// Pass nullptr to detach. Not a write-back cache — the in-memory LRU
+  /// stays authoritative for lookups.
+  void AttachStore(PersistentResultCache* store) { store_ = store; }
+  PersistentResultCache* store() { return store_; }
+
+  /// Insert that writes through to the attached store (if any). All cache
+  /// fills that should survive a restart go through here.
+  void InsertCached(std::uint64_t key, std::uint64_t verifier,
+                    std::string body);
+
  private:
   ResultCache cache_;
+  PersistentResultCache* store_ = nullptr;
 };
 
 }  // namespace spta::service

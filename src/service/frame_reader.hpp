@@ -1,0 +1,83 @@
+// Incremental spta1 frame reassembly for non-blocking transports.
+//
+// The blocking readers in protocol.hpp pull bytes from an istream and may
+// park a thread mid-frame — acceptable for thread-per-connection, fatal
+// for an epoll event loop where one stalled read would freeze every
+// connection on the shard. FrameReassembler is the event loop's answer:
+// Feed() banks whatever slice the socket produced (a partial header, a
+// split length prefix, three frames glued together) and Next() yields
+// complete frames as they materialize, never blocking and never copying a
+// body more than once.
+//
+// Semantics are pinned to the blocking reader's, byte for byte: the same
+// headers are accepted, the same diagnostics are produced, and the
+// split-point equivalence battery in tests/protocol_robustness_test.cpp
+// feeds every golden frame through both readers at every byte boundary to
+// prove it. The one deliberate addition is a bound on the header line
+// (the blocking reader's getline would buffer an endless headerless
+// stream; an event loop must cut such a connection off).
+//
+// A malformed frame poisons the reassembler: framing is lost, so every
+// later call reports the same error and the connection must be dropped —
+// exactly the "answer once, then stop reading" discipline ServeStream
+// applies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/protocol.hpp"
+
+namespace spta::service {
+
+class FrameReassembler {
+ public:
+  enum class Result {
+    kNeedMore,   ///< No complete frame banked yet (or clean EOF in Finish).
+    kFrame,      ///< `type` and `body` hold the next frame.
+    kMalformed,  ///< Framing lost; `error` diagnoses. Sticky.
+  };
+
+  struct Limits {
+    /// Bytes a header line may span before the connection is cut off.
+    std::size_t max_header_bytes = 4096;
+  };
+
+  FrameReassembler() = default;
+  explicit FrameReassembler(Limits limits) : limits_(limits) {}
+
+  /// Banks one received slice. Cheap (amortized one copy into the bank).
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next complete frame. Call until kNeedMore after every
+  /// Feed — several frames may have arrived in one slice.
+  Result Next(std::string* type, std::string* body, std::string* error);
+
+  /// EOF edge: the peer closed its write half. Applies the blocking
+  /// reader's end-of-stream semantics to whatever is still banked — a
+  /// final header line needs no newline (getline treats EOF as a line
+  /// terminator), a zero-length body completes, anything else is a
+  /// truncated frame. kNeedMore here means a clean EOF between frames.
+  Result Finish(std::string* type, std::string* body, std::string* error);
+
+  /// True after any kMalformed: framing is unrecoverable on this stream.
+  bool poisoned() const { return poisoned_; }
+
+  /// Bytes banked but not yet consumed by a returned frame.
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  Result Poison(std::string* error, std::string message);
+  /// Reclaims consumed prefix bytes once they dominate the bank.
+  void Compact();
+
+  Limits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+  std::string poison_error_;
+};
+
+}  // namespace spta::service

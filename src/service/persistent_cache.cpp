@@ -1,0 +1,179 @@
+#include "service/persistent_cache.hpp"
+
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+
+namespace spta::service {
+namespace {
+
+constexpr std::string_view kEntryMagic = "sptac1";
+constexpr std::string_view kEntrySuffix = ".sptac";
+
+std::string Hex16(std::uint64_t value) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+bool ParseHex16(std::string_view s, std::uint64_t* out) {
+  if (s.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDecimal(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+DualHash PersistentResultCache::BodyDigest(std::string_view body) {
+  return HashBytes(body);
+}
+
+std::string PersistentResultCache::EntryFileName(std::uint64_t key) {
+  return Hex16(key) + std::string(kEntrySuffix);
+}
+
+std::string PersistentResultCache::EncodeEntry(std::uint64_t key,
+                                               std::uint64_t verifier,
+                                               std::string_view body) {
+  const DualHash digest = BodyDigest(body);
+  std::string out;
+  out.reserve(body.size() + 96);
+  out.append(kEntryMagic);
+  out.push_back(' ');
+  out += Hex16(key);
+  out.push_back(' ');
+  out += Hex16(verifier);
+  out.push_back(' ');
+  out += std::to_string(body.size());
+  out.push_back(' ');
+  out += Hex16(digest.lo);
+  out.push_back(' ');
+  out += Hex16(digest.hi);
+  out.push_back('\n');
+  out.append(body);
+  return out;
+}
+
+bool PersistentResultCache::DecodeEntry(std::string_view contents,
+                                        std::uint64_t* key,
+                                        std::uint64_t* verifier,
+                                        std::string* body) {
+  const std::size_t nl = contents.find('\n');
+  if (nl == std::string_view::npos) return false;
+  const std::string_view header = contents.substr(0, nl);
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < header.size()) {
+    const std::size_t end = header.find(' ', pos);
+    tokens.push_back(header.substr(
+        pos, (end == std::string_view::npos ? header.size() : end) - pos));
+    if (end == std::string_view::npos) break;
+    pos = end + 1;
+  }
+  if (tokens.size() != 6 || tokens[0] != kEntryMagic) return false;
+  std::uint64_t nbytes = 0;
+  DualHash recorded;
+  if (!ParseHex16(tokens[1], key) || !ParseHex16(tokens[2], verifier) ||
+      !ParseDecimal(tokens[3], &nbytes) ||
+      !ParseHex16(tokens[4], &recorded.lo) ||
+      !ParseHex16(tokens[5], &recorded.hi)) {
+    return false;
+  }
+  const std::string_view raw = contents.substr(nl + 1);
+  // Exact-length check: a truncated OR padded file is equally invalid.
+  if (raw.size() != nbytes) return false;
+  if (BodyDigest(raw) != recorded) return false;
+  body->assign(raw);
+  return true;
+}
+
+bool PersistentResultCache::Put(std::uint64_t key, std::uint64_t verifier,
+                                std::string_view body) {
+  const std::string path = dir_ + "/" + EntryFileName(key);
+  const std::string contents = EncodeEntry(key, verifier, body);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string error;
+  if (!AtomicWriteFile(path, contents, &error)) {
+    ++stats_.store_failures;
+    return false;
+  }
+  ++stats_.stored;
+  return true;
+}
+
+std::size_t PersistentResultCache::LoadAll(
+    const std::function<void(std::uint64_t, std::uint64_t, std::string)>&
+        sink) {
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(dir_.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string_view name = entry->d_name;
+      if (name.size() > kEntrySuffix.size() &&
+          name.substr(name.size() - kEntrySuffix.size()) == kEntrySuffix) {
+        names.emplace_back(name);
+      }
+    }
+    ::closedir(dir);
+  }
+  std::size_t fed = 0;
+  for (const std::string& name : names) {
+    std::ifstream in(dir_ + "/" + name, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    std::uint64_t key = 0;
+    std::uint64_t verifier = 0;
+    std::string body;
+    if (!in || !DecodeEntry(contents.str(), &key, &verifier, &body)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.rejected;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.loaded;
+    }
+    // Sink runs unlocked: it may itself store (re-encode) entries.
+    sink(key, verifier, std::move(body));
+    ++fed;
+  }
+  return fed;
+}
+
+PersistentResultCache::Stats PersistentResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace spta::service

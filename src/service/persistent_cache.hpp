@@ -1,0 +1,84 @@
+// Disk-backed layer under the in-memory result cache: warm restarts.
+//
+// Every finished analysis (and every mined INGEST kernel table) already
+// lives in the ResultCache as (key, verifier, rendered body). This store
+// writes each such entry to its own file under a cache directory and
+// reads them all back at startup, so a restarted daemon serves its first
+// repeat request from cache instead of re-running the EVT pipeline — the
+// fleet's warm-start story.
+//
+// File-per-entry, named by the key digest, written through
+// common::AtomicWriteFile (tmp + fsync + rename): a crash mid-write
+// leaves either the complete old entry or the complete new one, never a
+// hybrid, and concurrent daemons sharing one directory (SO_REUSEPORT
+// fleet members) cannot tear each other's files because the tmp names
+// are pid-qualified. Loading trusts nothing: each file re-derives the
+// body digest recorded in its header and a mismatched, truncated or
+// otherwise mangled entry is rejected and counted — a corrupt file is
+// recomputed on demand, never served.
+//
+// Entry format (one header line, then the raw body bytes):
+//
+//   sptac1 <key:16hex> <verifier:16hex> <nbytes> <digest_lo:16hex> <digest_hi:16hex>\n
+//   <nbytes bytes of body>
+//
+// where digest_lo/hi are the common::DualHash of the body bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/hash.hpp"
+
+namespace spta::service {
+
+class PersistentResultCache {
+ public:
+  struct Stats {
+    std::uint64_t loaded = 0;    ///< Entries restored by LoadAll.
+    std::uint64_t rejected = 0;  ///< Corrupt/truncated files refused.
+    std::uint64_t stored = 0;    ///< Entries written this process.
+    std::uint64_t store_failures = 0;
+  };
+
+  /// The directory must already exist (callers own directory policy).
+  explicit PersistentResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Persists one cache entry; false (and a counted failure) when the
+  /// filesystem refuses. Thread-safe.
+  bool Put(std::uint64_t key, std::uint64_t verifier, std::string_view body);
+
+  /// Scans the directory and feeds every VALIDATED entry to `sink`;
+  /// returns how many were fed. Invalid files are counted, skipped and
+  /// left in place (an operator may want the evidence); they are
+  /// overwritten whenever their key is recomputed.
+  std::size_t LoadAll(
+      const std::function<void(std::uint64_t key, std::uint64_t verifier,
+                               std::string body)>& sink);
+
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+
+  /// Filename an entry lands under (inside dir): "<key:16hex>.sptac".
+  static std::string EntryFileName(std::uint64_t key);
+
+  /// Serialization, exposed so tests can forge corrupt entries.
+  static std::string EncodeEntry(std::uint64_t key, std::uint64_t verifier,
+                                 std::string_view body);
+  /// Strict inverse; false on any header/length/digest mismatch.
+  static bool DecodeEntry(std::string_view contents, std::uint64_t* key,
+                          std::uint64_t* verifier, std::string* body);
+
+  /// The integrity digest over an entry's body bytes.
+  static DualHash BodyDigest(std::string_view body);
+
+ private:
+  std::string dir_;
+  mutable std::mutex mutex_;
+  Stats stats_;
+};
+
+}  // namespace spta::service

@@ -53,21 +53,8 @@ ReadStatus ReadFrame(std::istream& in, std::string* type, Args* args,
                      std::string* payload, std::string* error) {
   std::string header;
   if (!GetLine(in, &header)) return ReadStatus::kEof;
-  // Header: "spta1 TYPE nbytes"
-  std::istringstream hs(header);
-  std::string magic, verb, len_token;
-  if (!(hs >> magic >> verb >> len_token) || magic != kMagic) {
-    *error = "bad frame header '" + header + "'";
-    return ReadStatus::kMalformed;
-  }
   std::uint64_t nbytes = 0;
-  if (!ParseUint(len_token, &nbytes)) {
-    *error = "bad frame length '" + len_token + "'";
-    return ReadStatus::kMalformed;
-  }
-  constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;  // 64 MiB
-  if (nbytes > kMaxFrameBytes) {
-    *error = "frame length " + std::to_string(nbytes) + " exceeds limit";
+  if (!ParseFrameHeaderLine(header, type, &nbytes, error)) {
     return ReadStatus::kMalformed;
   }
   std::string body(static_cast<std::size_t>(nbytes), '\0');
@@ -77,19 +64,95 @@ ReadStatus ReadFrame(std::istream& in, std::string* type, Args* args,
              " bytes, got " + std::to_string(in.gcount()) + ")";
     return ReadStatus::kMalformed;
   }
-  *type = verb;
-  const auto nl = body.find('\n');
-  if (nl == std::string::npos) {
-    *args = Args::Parse(body);
-    payload->clear();
-  } else {
-    *args = Args::Parse(std::string_view(body).substr(0, nl));
-    *payload = body.substr(nl + 1);
-  }
+  SplitFrameBody(body, args, payload);
   return ReadStatus::kOk;
 }
 
 }  // namespace
+
+bool ParseFrameHeaderLine(std::string_view header, std::string* type,
+                          std::uint64_t* nbytes, std::string* error) {
+  // Tokenization mirrors istream extraction: any whitespace separates,
+  // tokens past the third are ignored. (A trailing '\r' from a CRLF client
+  // therefore separates cleanly instead of corrupting the length token.)
+  constexpr std::string_view kWs = " \t\n\v\f\r";
+  std::string_view tokens[3];
+  std::size_t found = 0;
+  std::size_t pos = 0;
+  while (found < 3 && pos < header.size()) {
+    pos = header.find_first_not_of(kWs, pos);
+    if (pos == std::string_view::npos) break;
+    const std::size_t end = header.find_first_of(kWs, pos);
+    tokens[found++] = header.substr(
+        pos, (end == std::string_view::npos ? header.size() : end) - pos);
+    pos = end;
+  }
+  if (found < 3 || tokens[0] != kMagic) {
+    *error = "bad frame header '" + std::string(header) + "'";
+    return false;
+  }
+  if (!ParseUint(tokens[2], nbytes)) {
+    *error = "bad frame length '" + std::string(tokens[2]) + "'";
+    return false;
+  }
+  if (*nbytes > kMaxFrameBytes) {
+    *error = "frame length " + std::to_string(*nbytes) + " exceeds limit";
+    return false;
+  }
+  *type = std::string(tokens[1]);
+  return true;
+}
+
+void SplitFrameBody(std::string_view body, Args* args, std::string* payload) {
+  const auto nl = body.find('\n');
+  if (nl == std::string_view::npos) {
+    *args = Args::Parse(body);
+    payload->clear();
+  } else {
+    *args = Args::Parse(body.substr(0, nl));
+    payload->assign(body.substr(nl + 1));
+  }
+}
+
+bool BuildRequest(std::string_view type, std::string_view body,
+                  Request* request, std::string* error) {
+  const auto kind = ParseRequestKind(type);
+  if (!kind.has_value()) {
+    *error = "unknown request verb '" + std::string(type) + "'";
+    return false;
+  }
+  request->kind = *kind;
+  SplitFrameBody(body, &request->args, &request->payload);
+  return true;
+}
+
+namespace {
+
+void AppendFrame(std::string_view type, const Args& args,
+                 const std::string& payload, std::string* out) {
+  std::string body = args.Encode();
+  body.push_back('\n');
+  body += payload;
+  out->append(kMagic);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back(' ');
+  out->append(std::to_string(body.size()));
+  out->push_back('\n');
+  out->append(body);
+}
+
+}  // namespace
+
+void AppendRequestFrame(const Request& request, std::string* out) {
+  AppendFrame(RequestKindName(request.kind), request.args, request.payload,
+              out);
+}
+
+void AppendResponseFrame(const Response& response, std::string* out) {
+  AppendFrame(response.ok ? "OK" : "ERR", response.args, response.payload,
+              out);
+}
 
 const char* RequestKindName(RequestKind kind) {
   return kKindNames[static_cast<int>(kind)];
@@ -131,6 +194,8 @@ void Args::SetUint(const std::string& key, std::uint64_t value) {
 void Args::SetDouble(const std::string& key, double value) {
   values_[key] = EncodeDouble(value);
 }
+
+void Args::Erase(const std::string& key) { values_.erase(key); }
 
 bool Args::Has(const std::string& key) const { return values_.count(key) > 0; }
 

@@ -47,6 +47,11 @@ enum class RequestKind {
 /// Number of RequestKind values (per-verb counter array size).
 inline constexpr int kRequestKindCount = 10;
 
+/// Hard cap on a frame's body length. Enforced BEFORE the body buffer is
+/// allocated, by the blocking readers and the incremental reassembler
+/// alike — a hostile length prefix never costs more than this.
+inline constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;  // 64 MiB
+
 /// Wire name of a request kind ("PING", "OPEN", ...).
 const char* RequestKindName(RequestKind kind);
 
@@ -67,6 +72,8 @@ class Args {
   void SetUint(const std::string& key, std::uint64_t value);
   /// Full-precision round-trip encoding (%.17g).
   void SetDouble(const std::string& key, double value);
+  /// Drops `key` if present (no-op otherwise).
+  void Erase(const std::string& key);
 
   bool Has(const std::string& key) const;
   std::string GetString(const std::string& key,
@@ -125,5 +132,30 @@ ReadStatus ReadResponse(std::istream& in, Response* response,
 /// Used for sample values on the wire: the golden guarantee that a served
 /// analysis equals the batch analysis bit-for-bit depends on it.
 std::string EncodeDouble(double value);
+
+// --- Buffer-level frame helpers (shared by the blocking istream readers
+// --- above and the incremental FrameReassembler in frame_reader.hpp).
+
+/// Parses one header line (WITHOUT its trailing newline): the first three
+/// whitespace-separated tokens must be the magic, the TYPE and the decimal
+/// body length; extra tokens are ignored, matching the historical
+/// stream-extraction semantics the robustness battery pins. Enforces
+/// kMaxFrameBytes. False → `error` holds the diagnostic.
+bool ParseFrameHeaderLine(std::string_view header, std::string* type,
+                          std::uint64_t* nbytes, std::string* error);
+
+/// Splits a frame body into its first-line Args and the payload remainder.
+void SplitFrameBody(std::string_view body, Args* args, std::string* payload);
+
+/// Assembles a Request from a reassembled frame (verb token + raw body
+/// bytes). False on an unknown verb, with the same diagnostic the blocking
+/// reader produces.
+bool BuildRequest(std::string_view type, std::string_view body,
+                  Request* request, std::string* error);
+
+/// Append the wire encoding of a frame to `out` (no stream round trip —
+/// the event loop's write path builds contiguous output buffers).
+void AppendRequestFrame(const Request& request, std::string* out);
+void AppendResponseFrame(const Response& response, std::string* out);
 
 }  // namespace spta::service

@@ -74,7 +74,18 @@ Server::Server(ServerOptions options)
     : options_(options),
       sessions_(options.convergence, options.session_limits),
       engine_(options.cache_capacity),
-      pool_(options.workers) {}
+      pool_(options.workers) {
+  if (!options_.cache_dir.empty()) {
+    store_ = std::make_unique<PersistentResultCache>(options_.cache_dir);
+    // Warm-start: preload before attaching, so the preload itself does
+    // not rewrite every file it just read.
+    store_->LoadAll([this](std::uint64_t key, std::uint64_t verifier,
+                           std::string body) {
+      engine_.cache().Insert(key, verifier, std::move(body));
+    });
+    engine_.AttachStore(store_.get());
+  }
+}
 
 bool Server::TryAcquireAnalyzeSlot() {
   std::lock_guard<std::mutex> lock(slots_mutex_);
@@ -232,7 +243,7 @@ Response Server::HandleIngest(const Request& request) {
          << " begin=" << info.body_begin << " length=" << info.length
          << " iterations=" << info.iterations << '\n';
   }
-  engine_.cache().Insert(digest.lo, digest.hi, body.str());
+  engine_.InsertCached(digest.lo, digest.hi, body.str());
   args.SetUint("kernels", segmentation.kernels.size());
   args.SetUint("kernel_records", segmentation.KernelRecords());
   args.Set("cache", "miss");
@@ -279,6 +290,44 @@ Response Server::HandleInline(const Request& request) {
     default:
       return ErrResponse("internal", "verb not handled inline");
   }
+}
+
+Response Server::Execute(const Request& request) {
+  if (request.kind == RequestKind::kShutdown) {
+    metrics_.CountRequest(request.kind, false);
+    return ErrResponse("internal", "SHUTDOWN is handled by the transport");
+  }
+  if (request.kind == RequestKind::kAnalyze) {
+    std::vector<mbpta::PathObservation> observations;
+    std::string collect_error;
+    if (!CollectObservations(request, &observations, &collect_error)) {
+      metrics_.CountRequest(request.kind, false);
+      return ErrResponse("samples", collect_error);
+    }
+    const double deadline_ms =
+        request.args.GetDouble("deadline_ms", options_.default_deadline_ms);
+    const bool has_deadline = deadline_ms > 0.0;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               has_deadline ? deadline_ms : 0.0));
+    // Same exception discipline as the pooled path: a shard thread must
+    // never die on untrusted input.
+    Response response;
+    try {
+      response =
+          RunAnalysis(request, std::move(observations), deadline, has_deadline);
+    } catch (const std::exception& e) {
+      response = ErrResponse("internal", e.what());
+    } catch (...) {
+      response = ErrResponse("internal", "unknown analysis failure");
+    }
+    metrics_.CountRequest(request.kind, response.ok);
+    return response;
+  }
+  Response response = HandleInline(request);
+  metrics_.CountRequest(request.kind, response.ok);
+  return response;
 }
 
 bool Server::ServeStream(std::istream& in, std::ostream& out) {
@@ -454,7 +503,7 @@ int Server::ServeUnixSocket(const std::string& path) {
   ::unlink(path.c_str());
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
-      ::listen(listen_fd, 16) != 0) {
+      ::listen(listen_fd, options_.listen_backlog) != 0) {
     const int err = errno;
     ::close(listen_fd);
     return err;

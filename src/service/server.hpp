@@ -34,6 +34,7 @@
 #include <functional>
 #include <istream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -58,6 +59,17 @@ struct ServerOptions {
   /// Default ANALYZE deadline in ms; 0 = none. A request can override via
   /// its own deadline_ms argument.
   double default_deadline_ms = 0.0;
+  /// listen(2) backlog for the accepting socket. The historical hard-coded
+  /// 16 drops connections under a burst: a storm of simultaneous connects
+  /// overflows the SYN/accept queue before the accept loop runs (pinned by
+  /// the burst-accept regression in service_fleet_test).
+  int listen_backlog = 128;
+  /// Directory for the disk-backed result cache; empty = no persistence.
+  /// When set, the directory (which must exist) is scanned at construction
+  /// and every validated entry pre-warms the in-memory cache, and every
+  /// fresh analysis / mined INGEST table is written through to it — so a
+  /// restarted daemon answers repeat requests from cache immediately.
+  std::string cache_dir;
   mbpta::ConvergenceOptions convergence;
   SessionLimits session_limits;
   /// Honors the debug_sleep_ms ANALYZE argument (tests/bench only: lets a
@@ -88,10 +100,19 @@ class Server {
   /// Returns 0 on clean shutdown, nonzero errno-style on setup failure.
   int ServeUnixSocket(const std::string& path);
 
+  /// Executes one request synchronously on the caller's thread and counts
+  /// it into the metrics, with the same semantics ServeStream gives it —
+  /// except SHUTDOWN, which belongs to the transport (answered ERR here).
+  /// This is the entry point the sharded fleet's worker shards drive: the
+  /// event loop owns framing and ordering, the shard owns execution.
+  Response Execute(const Request& request);
+
   SessionManager& sessions() { return sessions_; }
   AnalysisEngine& engine() { return engine_; }
   ServiceMetrics& metrics() { return metrics_; }
   const ServerOptions& options() const { return options_; }
+  /// Non-null iff options.cache_dir was set.
+  PersistentResultCache* persistent_cache() { return store_.get(); }
 
   /// The Prometheus text rendering served for METRICS_PROM — also what
   /// spta_serve's --prom-out periodic exporter writes to disk.
@@ -162,6 +183,7 @@ class Server {
   ServerOptions options_;
   SessionManager sessions_;
   AnalysisEngine engine_;
+  std::unique_ptr<PersistentResultCache> store_;
   ServiceMetrics metrics_;
   ThreadPool pool_;
 

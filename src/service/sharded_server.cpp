@@ -1,0 +1,1021 @@
+#include "service/sharded_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <map>
+#include <sstream>
+
+namespace spta::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Response DrainedResponse() {
+  Args args;
+  args.Set("drained", "1");
+  return OkResponse(std::move(args));
+}
+
+}  // namespace
+
+/// One TCP connection, owned by the event loop. The loop thread is the
+/// sole reader and the sole writer of the fd; shard workers only touch
+/// the mutex-guarded completion state and then wake the loop.
+struct ShardedServer::Conn {
+  int fd = -1;
+
+  // Loop-thread-only state.
+  FrameReassembler reassembler;
+  std::uint64_t next_id = 0;  ///< Arrival-order request ids.
+  bool read_closed = false;   ///< No more frames will be accepted.
+  bool peer_eof = false;
+  bool writable = true;  ///< Cleared on EAGAIN, re-armed by EPOLLOUT.
+
+  // Cross-thread completion state (under mutex).
+  std::mutex mutex;
+  /// Out-of-order completions parked until the head of line arrives.
+  std::map<std::uint64_t, std::string> ready;
+  std::string out;  ///< Contiguous, in-order bytes awaiting the socket.
+  std::size_t out_off = 0;
+  std::uint64_t next_write = 0;
+  std::uint64_t accepted = 0;  ///< Frames parsed into requests.
+  std::uint64_t answered = 0;  ///< Responses appended to `out`.
+  bool closed = false;
+};
+
+/// One shared-nothing worker shard: a full classic Server plus its FIFO
+/// queue, its warm-response memo and its liveness state.
+struct ShardedServer::ShardRuntime {
+  std::unique_ptr<Server> server;
+  std::size_t index = 0;
+
+  std::mutex qmutex;
+  std::condition_variable qcv;
+  std::deque<Item> queue;  ///< Under qmutex.
+  bool dead = false;       ///< Under qmutex (authoritative for the queue).
+  std::atomic<bool> alive{true};  ///< Lock-free view for routing.
+  /// Queued + executing requests. The warm memo path only fires at 0:
+  /// with the shard quiescent, no session this shard owns can mutate
+  /// concurrently, so a generation check on the loop thread is stable.
+  std::atomic<std::uint64_t> pending{0};
+  std::atomic<std::uint64_t> routed{0};
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::thread thread;
+
+  /// Rendered hit-response bytes, split around the analyze_us value so a
+  /// hit re-renders only the fresh timing digits.
+  struct MemoEntry {
+    std::uint64_t verify = 0;
+    SessionGeneration generation;  ///< Null → inline sample, immortal.
+    std::uint64_t generation_value = 0;
+    std::string before;
+    std::string after;
+  };
+  std::mutex memo_mutex;
+  std::unordered_map<std::uint64_t, MemoEntry> memo;  ///< Under memo_mutex.
+  std::deque<std::uint64_t> memo_fifo;                ///< Insertion order.
+};
+
+ShardedServer::ShardedServer(ShardedServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.shards == 0) options_.shards = 1;
+  ServerOptions per_shard = options_.server;
+  // One store for the whole fleet (single in-process writer lock): the
+  // shards get their caches pre-warmed here instead of each scanning and
+  // re-writing the directory.
+  if (!per_shard.cache_dir.empty()) {
+    store_ = std::make_unique<PersistentResultCache>(per_shard.cache_dir);
+  }
+  per_shard.cache_dir.clear();
+  per_shard.workers = 1;  // Shard threads execute inline; no nested pool.
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<ShardRuntime>();
+    shard->server = std::make_unique<Server>(per_shard);
+    shard->index = i;
+    shards_.push_back(std::move(shard));
+  }
+  if (store_) {
+    // Routing hashes frame bytes, cache keys hash sample bits — there is
+    // no mapping from a stored key back to "its" shard, so every shard
+    // pre-warms with every entry.
+    store_->LoadAll([this](std::uint64_t key, std::uint64_t verifier,
+                           std::string body) {
+      for (auto& shard : shards_) {
+        shard->server->engine().cache().Insert(key, verifier, body);
+      }
+    });
+    for (auto& shard : shards_) {
+      shard->server->engine().AttachStore(store_.get());
+    }
+  }
+}
+
+ShardedServer::~ShardedServer() {
+  if (loop_thread_.joinable()) {
+    TriggerShutdown();
+    Wait();
+  } else {
+    stop_workers_.store(true);
+    for (auto& shard : shards_) shard->qcv.notify_all();
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Server& ShardedServer::shard(std::size_t index) {
+  return *shards_[index]->server;
+}
+
+bool ShardedServer::shard_alive(std::size_t index) const {
+  return shards_[index]->alive.load(std::memory_order_acquire);
+}
+
+std::uint64_t ShardedServer::shard_routed_total(std::size_t index) const {
+  return shards_[index]->routed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedServer::shard_memo_hits(std::size_t index) const {
+  return shards_[index]->memo_hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedServer::RouteDigest(const Request& request,
+                                         std::string_view body) {
+  const std::string session = request.args.GetString("session");
+  if (!session.empty()) return HashBytes(session).lo;
+  return HashBytes(body).lo;
+}
+
+std::size_t ShardedServer::ShardFor(std::uint64_t route_digest) const {
+  const std::size_t primary = route_digest % shards_.size();
+  if (shards_[primary]->alive.load(std::memory_order_acquire)) {
+    return primary;
+  }
+  // Deterministic rehash over the survivors: every client computing this
+  // lands a given digest on the same fallback shard.
+  std::vector<std::size_t> alive;
+  alive.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->alive.load(std::memory_order_acquire)) {
+      alive.push_back(i);
+    }
+  }
+  if (alive.empty()) return SIZE_MAX;
+  return alive[route_digest % alive.size()];
+}
+
+void ShardedServer::KillShardForTest(std::size_t index) {
+  ShardRuntime& shard = *shards_[index];
+  shard.alive.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(shard.qmutex);
+    shard.dead = true;
+  }
+  shard.qcv.notify_all();
+}
+
+// --- Warm memo path -------------------------------------------------------
+
+bool ShardedServer::TryServeWarm(ShardRuntime& shard, const Request& request,
+                                 const DualHash& digest, std::string* frame) {
+  (void)request;
+  // Ordering gate: only an idle shard can be served past. A queued APPEND
+  // for the same session must invalidate before a later ANALYZE is
+  // answered — with pending != 0 we cannot know, so we decline.
+  if (shard.pending.load(std::memory_order_acquire) != 0) return false;
+  const auto start = Clock::now();
+  std::string body;
+  {
+    std::lock_guard<std::mutex> lock(shard.memo_mutex);
+    const auto it = shard.memo.find(digest.lo);
+    if (it == shard.memo.end() || it->second.verify != digest.hi) {
+      return false;
+    }
+    ShardRuntime::MemoEntry& entry = it->second;
+    if (entry.generation != nullptr &&
+        entry.generation->load(std::memory_order_acquire) !=
+            entry.generation_value) {
+      shard.memo.erase(it);  // The session moved on; the entry is dead.
+      return false;
+    }
+    const double micros =
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    const std::string value = EncodeDouble(micros);
+    body.reserve(entry.before.size() + value.size() + entry.after.size());
+    body += entry.before;
+    body += value;
+    body += entry.after;
+    shard.server->metrics().RecordAnalyzeLatency(micros, /*cache_hit=*/true);
+  }
+  shard.server->metrics().CountRequest(RequestKind::kAnalyze, true);
+  shard.memo_hits.fetch_add(1, std::memory_order_relaxed);
+  shard.routed.fetch_add(1, std::memory_order_relaxed);
+  frame->reserve(frame->size() + body.size() + 16);
+  frame->append("spta1 OK ");
+  frame->append(std::to_string(body.size()));
+  frame->push_back('\n');
+  frame->append(body);
+  return true;
+}
+
+void ShardedServer::Memoize(ShardRuntime& shard, const DualHash& digest,
+                            const Response& response,
+                            SessionGeneration generation,
+                            std::uint64_t generation_value) {
+  if (!response.ok || !response.args.Has("analyze_us")) return;
+  // Build the HIT-version response body with a placeholder where the
+  // volatile analyze_us digits go; args values never contain control
+  // bytes, so the placeholder's position is unambiguous.
+  Args args = response.args;
+  args.Set("cache", "hit");
+  args.Set("analyze_us", "\x01");
+  std::string body = args.Encode();
+  body.push_back('\n');
+  body += response.payload;
+  const std::size_t split = body.find('\x01');
+  if (split == std::string::npos) return;
+  ShardRuntime::MemoEntry entry;
+  entry.verify = digest.hi;
+  entry.generation = std::move(generation);
+  entry.generation_value = generation_value;
+  entry.before = body.substr(0, split);
+  entry.after = body.substr(split + 1);
+  std::lock_guard<std::mutex> lock(shard.memo_mutex);
+  const auto [it, inserted] = shard.memo.try_emplace(digest.lo);
+  it->second = std::move(entry);
+  if (inserted) shard.memo_fifo.push_back(digest.lo);
+  while (shard.memo.size() > options_.warm_memo_capacity &&
+         !shard.memo_fifo.empty()) {
+    shard.memo.erase(shard.memo_fifo.front());
+    shard.memo_fifo.pop_front();
+  }
+}
+
+Response ShardedServer::ExecuteOnShard(ShardRuntime& shard,
+                                       const Request& request,
+                                       const DualHash& digest) {
+  const bool analyze = request.kind == RequestKind::kAnalyze;
+  const std::string session =
+      analyze ? request.args.GetString("session") : std::string();
+  SessionGeneration generation;
+  std::uint64_t generation_value = 0;
+  if (analyze && !session.empty()) {
+    generation = shard.server->sessions().Generation(session);
+    if (generation != nullptr) {
+      generation_value = generation->load(std::memory_order_acquire);
+    }
+  }
+  Response response = shard.server->Execute(request);
+  shard.routed.fetch_add(1, std::memory_order_relaxed);
+  if (analyze && response.ok) {
+    if (session.empty()) {
+      Memoize(shard, digest, response, nullptr, 0);
+    } else if (generation != nullptr &&
+               generation->load(std::memory_order_acquire) ==
+                   generation_value) {
+      // Stamp unchanged across the analysis → the memo entry describes
+      // the live session. (A concurrent mutation — only possible during
+      // failover cross-execution — skips memoization instead.)
+      Memoize(shard, digest, response, std::move(generation),
+              generation_value);
+    }
+  }
+  return response;
+}
+
+// --- Synchronous scripted mode --------------------------------------------
+
+bool ShardedServer::ServeScript(std::string_view in, std::string* out) {
+  FrameReassembler reassembler;
+  reassembler.Feed(in);
+  bool shutdown = false;
+  for (;;) {
+    std::string type;
+    std::string body;
+    std::string error;
+    FrameReassembler::Result result = reassembler.Next(&type, &body, &error);
+    if (result == FrameReassembler::Result::kNeedMore) {
+      result = reassembler.Finish(&type, &body, &error);
+      if (result == FrameReassembler::Result::kNeedMore) break;  // clean end
+    }
+    if (result == FrameReassembler::Result::kMalformed) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      AppendResponseFrame(ErrResponse("malformed", error), out);
+      break;
+    }
+    Request request;
+    if (!BuildRequest(type, body, &request, &error)) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      AppendResponseFrame(ErrResponse("malformed", error), out);
+      break;
+    }
+    if (request.kind == RequestKind::kShutdown) {
+      fleet_requests_.fetch_add(1, std::memory_order_relaxed);
+      shutdown_.store(true);
+      shutdown = true;
+      // Synchronous mode: nothing can be in flight, so the drain is
+      // trivially complete when the ack is appended.
+      AppendResponseFrame(DrainedResponse(), out);
+      break;
+    }
+    if (request.kind == RequestKind::kMetrics) {
+      fleet_requests_.fetch_add(1, std::memory_order_relaxed);
+      AppendResponseFrame(FleetMetricsResponse(), out);
+      continue;
+    }
+    if (request.kind == RequestKind::kMetricsProm) {
+      fleet_requests_.fetch_add(1, std::memory_order_relaxed);
+      Args args;
+      args.Set("format", "prometheus-0.0.4");
+      AppendResponseFrame(OkResponse(std::move(args), RenderFleetProm()),
+                          out);
+      continue;
+    }
+    const DualHash digest = HashBytes(body);
+    const std::string session = request.args.GetString("session");
+    const std::uint64_t route =
+        session.empty() ? digest.lo : HashBytes(session).lo;
+    const std::size_t target = ShardFor(route);
+    if (target == SIZE_MAX) {
+      AppendResponseFrame(ErrResponse("unavailable", "no live shard"), out);
+      continue;
+    }
+    ShardRuntime& shard = *shards_[target];
+    if (request.kind == RequestKind::kAnalyze &&
+        TryServeWarm(shard, request, digest, out)) {
+      continue;
+    }
+    AppendResponseFrame(ExecuteOnShard(shard, request, digest), out);
+  }
+  return shutdown;
+}
+
+// --- TCP fleet mode -------------------------------------------------------
+
+int ShardedServer::ListenTcp(const std::string& host, std::uint16_t port) {
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return errno;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options_.reuseport) {
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return EINVAL;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.listen_backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return err;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  return 0;
+}
+
+int ShardedServer::Start() {
+  if (listen_fd_ < 0) return EINVAL;
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return errno;
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    const int err = errno;
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return err;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // Level-triggered: accept/wake loops drain fully.
+  ev.data.ptr = nullptr;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return errno;
+  }
+  ev.data.ptr = reinterpret_cast<void*>(1);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return errno;
+  }
+  stop_workers_.store(false);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread(&ShardedServer::ShardWorker, this, i);
+  }
+  loop_thread_ = std::thread(&ShardedServer::EventLoop, this);
+  return 0;
+}
+
+int ShardedServer::Wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+  stop_workers_.store(true);
+  for (auto& shard : shards_) shard->qcv.notify_all();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  return 0;
+}
+
+void ShardedServer::TriggerShutdown() {
+  shutdown_.store(true);
+  WakeLoop();
+}
+
+void ShardedServer::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; the value is irrelevant.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void ShardedServer::AcceptReady() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: burst drained.
+    }
+    if (draining_) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.ptr = conn.get();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void ShardedServer::CompleteItem(const std::shared_ptr<Conn>& conn,
+                                 std::uint64_t id, std::string frame,
+                                 bool on_loop_thread) {
+  if (conn == nullptr) return;
+  bool flushable = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->ready.emplace(id, std::move(frame));
+    while (!conn->ready.empty() &&
+           conn->ready.begin()->first == conn->next_write) {
+      conn->out += conn->ready.begin()->second;
+      conn->ready.erase(conn->ready.begin());
+      ++conn->next_write;
+      ++conn->answered;
+    }
+    flushable = conn->out.size() > conn->out_off && !conn->closed;
+  }
+  if (on_loop_thread) {
+    if (flushable) FlushConn(conn);
+  } else {
+    WakeLoop();  // The loop flushes; only it may touch the fd.
+  }
+}
+
+void ShardedServer::FlushConn(const std::shared_ptr<Conn>& conn) {
+  if (!conn->writable) return;
+  std::lock_guard<std::mutex> lock(conn->mutex);
+  if (conn->closed) return;
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_off,
+               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      conn->writable = false;  // EPOLLOUT edge re-arms.
+      return;
+    }
+    // Peer is gone; responses to it are undeliverable. Drop them so the
+    // drain accounting still converges.
+    conn->out_off = conn->out.size();
+    conn->peer_eof = true;
+    conn->read_closed = true;
+    return;
+  }
+  if (conn->out_off == conn->out.size() && conn->out_off >= 1 << 16) {
+    conn->out.clear();
+    conn->out_off = 0;
+  }
+}
+
+void ShardedServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+}
+
+bool ShardedServer::HandleFrame(const std::shared_ptr<Conn>& conn,
+                                std::string type, std::string body) {
+  const std::uint64_t id = conn->next_id++;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    ++conn->accepted;
+  }
+  Request request;
+  std::string error;
+  if (!BuildRequest(type, body, &request, &error)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::string frame;
+    AppendResponseFrame(ErrResponse("malformed", error), &frame);
+    CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+    conn->read_closed = true;  // Framing intact, but contract says stop.
+    return false;
+  }
+  if (request.kind == RequestKind::kShutdown) {
+    fleet_requests_.fetch_add(1, std::memory_order_relaxed);
+    BeginDrain(conn, id);
+    return false;
+  }
+  if (request.kind == RequestKind::kMetrics ||
+      request.kind == RequestKind::kMetricsProm) {
+    fleet_requests_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    if (request.kind == RequestKind::kMetrics) {
+      response = FleetMetricsResponse();
+    } else {
+      Args args;
+      args.Set("format", "prometheus-0.0.4");
+      response = OkResponse(std::move(args), RenderFleetProm());
+    }
+    std::string frame;
+    AppendResponseFrame(response, &frame);
+    CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+    return true;
+  }
+  const DualHash digest = HashBytes(body);
+  const std::string session = request.args.GetString("session");
+  const std::uint64_t route =
+      session.empty() ? digest.lo : HashBytes(session).lo;
+  std::size_t target = ShardFor(route);
+  if (target == SIZE_MAX) {
+    std::string frame;
+    AppendResponseFrame(ErrResponse("unavailable", "no live shard"), &frame);
+    CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+    return true;
+  }
+  if (request.kind == RequestKind::kAnalyze) {
+    std::string frame;
+    if (TryServeWarm(*shards_[target], request, digest, &frame)) {
+      CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+      return true;
+    }
+  }
+  const RequestKind kind = request.kind;
+  Item item;
+  item.conn = conn;
+  item.id = id;
+  item.request = std::move(request);
+  item.body_digest = digest;
+  item.route = route;
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!PushToShard(target, std::move(item))) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    shards_[target]->server->metrics().CountBusyRejection();
+    shards_[target]->server->metrics().CountRequest(kind, false);
+    std::string frame;
+    AppendResponseFrame(
+        ErrResponse("busy", "shard queue full, retry later"), &frame);
+    CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+  }
+  return true;
+}
+
+bool ShardedServer::PushToShard(std::size_t index, Item item) {
+  // The target may die between routing and locking its queue; chase the
+  // deterministic reroute, bounded by the shard count.
+  for (std::size_t hop = 0; hop <= shards_.size(); ++hop) {
+    ShardRuntime& shard = *shards_[index];
+    {
+      std::unique_lock<std::mutex> lock(shard.qmutex);
+      if (!shard.dead) {
+        if (shard.queue.size() >= options_.shard_queue_capacity) {
+          return false;  // Busy-rejection: answered, never buffered.
+        }
+        shard.pending.fetch_add(1, std::memory_order_acq_rel);
+        shard.queue.push_back(std::move(item));
+        lock.unlock();
+        shard.qcv.notify_one();
+        return true;
+      }
+    }
+    const std::size_t next = ShardFor(item.route);
+    if (next == SIZE_MAX || next == index) break;
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    index = next;
+  }
+  const std::shared_ptr<Conn> conn = item.conn;
+  const std::uint64_t id = item.id;
+  std::string frame;
+  AppendResponseFrame(ErrResponse("unavailable", "no live shard"), &frame);
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+  return true;  // Answered — not a busy rejection.
+}
+
+void ShardedServer::ReadConn(const std::shared_ptr<Conn>& conn) {
+  if (conn->read_closed) return;
+  char buffer[65536];
+  for (;;) {
+    if (draining_) {
+      conn->read_closed = true;  // Intake stopped fleet-wide.
+      return;
+    }
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->reassembler.Feed(
+          std::string_view(buffer, static_cast<std::size_t>(n)));
+      std::string type;
+      std::string body;
+      std::string error;
+      for (;;) {
+        const FrameReassembler::Result result =
+            conn->reassembler.Next(&type, &body, &error);
+        if (result == FrameReassembler::Result::kNeedMore) break;
+        if (result == FrameReassembler::Result::kMalformed) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t id = conn->next_id++;
+          {
+            std::lock_guard<std::mutex> lock(conn->mutex);
+            ++conn->accepted;
+          }
+          std::string frame;
+          AppendResponseFrame(ErrResponse("malformed", error), &frame);
+          CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+          conn->read_closed = true;
+          return;
+        }
+        if (!HandleFrame(conn, std::move(type), std::move(body))) return;
+      }
+      continue;  // Edge-triggered: read until EAGAIN.
+    }
+    if (n == 0) {
+      conn->peer_eof = true;
+      conn->read_closed = true;
+      // EOF flush: trailing bytes may still complete frames under the
+      // blocking reader's end-of-stream rules.
+      std::string type;
+      std::string body;
+      std::string error;
+      for (;;) {
+        const FrameReassembler::Result result =
+            conn->reassembler.Finish(&type, &body, &error);
+        if (result == FrameReassembler::Result::kNeedMore) break;
+        if (result == FrameReassembler::Result::kMalformed) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t id = conn->next_id++;
+          {
+            std::lock_guard<std::mutex> lock(conn->mutex);
+            ++conn->accepted;
+          }
+          std::string frame;
+          AppendResponseFrame(ErrResponse("malformed", error), &frame);
+          CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+          break;
+        }
+        if (!HandleFrame(conn, std::move(type), std::move(body))) break;
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    conn->peer_eof = true;  // Hard error: treat as peer death.
+    conn->read_closed = true;
+    return;
+  }
+}
+
+void ShardedServer::BeginDrain(const std::shared_ptr<Conn>& conn,
+                               std::uint64_t id) {
+  if (draining_) {
+    // A second SHUTDOWN during the drain: ack it right away.
+    if (conn != nullptr) {
+      std::string frame;
+      AppendResponseFrame(DrainedResponse(), &frame);
+      CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+    }
+    return;
+  }
+  draining_ = true;
+  shutdown_.store(true);
+  drain_ack_conn_ = conn;
+  drain_ack_id_ = id;
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ShardedServer::CheckDrain() {
+  if (!draining_ || drain_acked_) return;
+  if (inflight_.load(std::memory_order_acquire) != 0) return;
+  // Every accepted request has been answered into its connection's
+  // buffers; the SHUTDOWN ack may now go out (strictly after them, via
+  // the per-connection ordering).
+  drain_acked_ = true;
+  if (drain_ack_conn_ != nullptr) {
+    std::string frame;
+    AppendResponseFrame(DrainedResponse(), &frame);
+    CompleteItem(drain_ack_conn_, drain_ack_id_, std::move(frame),
+                 /*on_loop_thread=*/true);
+    drain_ack_conn_.reset();
+  }
+}
+
+void ShardedServer::EventLoop() {
+  std::vector<epoll_event> events(64);
+  Clock::time_point flush_deadline{};
+  for (;;) {
+    const int timeout_ms = draining_ ? 20 : 200;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      void* tag = events[i].data.ptr;
+      if (tag == nullptr) {
+        if (listen_fd_ >= 0) AcceptReady();
+        continue;
+      }
+      if (tag == reinterpret_cast<void*>(1)) {
+        std::uint64_t junk = 0;
+        while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;  // Flush + drain checks run below for every wake.
+      }
+      Conn* raw = static_cast<Conn*>(tag);
+      const auto it = conns_.find(raw->fd);
+      if (it == conns_.end()) continue;  // Already closed this pass.
+      const std::shared_ptr<Conn> conn = it->second;
+      if ((events[i].events & EPOLLOUT) != 0) conn->writable = true;
+      if ((events[i].events &
+           (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0) {
+        ReadConn(conn);
+      }
+    }
+    if (shutdown_.load(std::memory_order_acquire) && !draining_) {
+      BeginDrain(nullptr, 0);
+    }
+    CheckDrain();
+    // Flush-and-reap pass over every connection (completions arrive from
+    // shard threads at any time; the conn set stays small enough that a
+    // full sweep beats bookkeeping a dirty list).
+    std::vector<std::shared_ptr<Conn>> sweep;
+    sweep.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) sweep.push_back(conn);
+    for (const std::shared_ptr<Conn>& conn : sweep) {
+      FlushConn(conn);
+      bool done = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        done = conn->read_closed && conn->accepted == conn->answered &&
+               conn->ready.empty() && conn->out_off == conn->out.size();
+      }
+      if (done && (conn->peer_eof || conn->read_closed) &&
+          (!draining_ || drain_acked_)) {
+        // During the drain, responses already banked must still go out
+        // before teardown — only reap once the ack has been ordered in.
+        if (conn->peer_eof || drain_acked_) CloseConn(conn);
+      }
+    }
+    if (drain_acked_) {
+      if (flush_deadline == Clock::time_point{}) {
+        flush_deadline = Clock::now() + std::chrono::seconds(5);
+      }
+      bool unflushed = false;
+      for (const auto& [fd, conn] : conns_) {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (conn->out_off < conn->out.size() || !conn->ready.empty() ||
+            conn->accepted != conn->answered) {
+          unflushed = true;
+          break;
+        }
+      }
+      if (!unflushed || Clock::now() > flush_deadline) break;
+    }
+  }
+  // Teardown: every answered byte either left or timed out; close what
+  // remains so clients observe EOF.
+  std::vector<std::shared_ptr<Conn>> leftover;
+  leftover.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) leftover.push_back(conn);
+  for (const std::shared_ptr<Conn>& conn : leftover) CloseConn(conn);
+}
+
+void ShardedServer::ShardWorker(std::size_t index) {
+  ShardRuntime& shard = *shards_[index];
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(shard.qmutex);
+      shard.qcv.wait(lock, [&] {
+        return shard.dead || stop_workers_.load(std::memory_order_acquire) ||
+               !shard.queue.empty();
+      });
+      if (shard.dead) break;
+      if (shard.queue.empty()) {
+        if (stop_workers_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      item = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    const Response response =
+        ExecuteOnShard(shard, item.request, item.body_digest);
+    std::string frame;
+    AppendResponseFrame(response, &frame);
+    CompleteItem(item.conn, item.id, std::move(frame),
+                 /*on_loop_thread=*/false);
+    // Release order matters: the response (and any memo entry) must be
+    // visible before the pending gate reopens the warm path.
+    shard.pending.fetch_sub(1, std::memory_order_release);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    WakeLoop();
+  }
+  FailoverQueue(shard);
+}
+
+void ShardedServer::FailoverQueue(ShardRuntime& shard) {
+  std::deque<Item> orphans;
+  {
+    std::lock_guard<std::mutex> lock(shard.qmutex);
+    orphans.swap(shard.queue);
+  }
+  for (Item& item : orphans) {
+    shard.pending.fetch_sub(1, std::memory_order_release);
+    const std::size_t next = ShardFor(item.route);
+    bool moved = false;
+    if (next != SIZE_MAX && next != shard.index) {
+      ShardRuntime& target = *shards_[next];
+      std::unique_lock<std::mutex> lock(target.qmutex);
+      if (!target.dead &&
+          target.queue.size() < options_.shard_queue_capacity) {
+        target.pending.fetch_add(1, std::memory_order_acq_rel);
+        target.queue.push_back(std::move(item));
+        lock.unlock();
+        target.qcv.notify_one();
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        moved = true;
+      }
+    }
+    if (!moved) {
+      std::string frame;
+      AppendResponseFrame(ErrResponse("unavailable", "shard down"), &frame);
+      CompleteItem(item.conn, item.id, std::move(frame),
+                   /*on_loop_thread=*/false);
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      WakeLoop();
+    }
+  }
+}
+
+// --- Fleet metrics surface ------------------------------------------------
+
+Response ShardedServer::FleetMetricsResponse() {
+  std::map<std::string, std::uint64_t> sums;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::string payload;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Server& server = *shards_[i]->server;
+    const ResultCache::Stats cache = server.engine().cache().stats();
+    const Args snapshot = server.metrics().Snapshot(cache);
+    for (const auto& [key, value] : snapshot.values()) {
+      if (key == "cache_hit_ratio") continue;  // Recomputed fleet-wide.
+      sums[key] += snapshot.GetUint(key, 0);
+    }
+    hits += cache.hits;
+    misses += cache.misses;
+    payload += "== shard " + std::to_string(i) + " ==\n";
+    payload += server.metrics().Render(cache);
+    payload.push_back('\n');
+  }
+  Args args;
+  for (const auto& [key, value] : sums) args.SetUint(key, value);
+  args.SetDouble("cache_hit_ratio",
+                 hits + misses > 0
+                     ? static_cast<double>(hits) /
+                           static_cast<double>(hits + misses)
+                     : 0.0);
+  std::uint64_t alive = 0;
+  std::uint64_t memo = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shard_alive(i)) ++alive;
+    memo += shard_memo_hits(i);
+  }
+  args.SetUint("fleet_shards", shards_.size());
+  args.SetUint("fleet_alive", alive);
+  args.SetUint("fleet_memo_hits", memo);
+  args.SetUint("fleet_failovers",
+               failovers_.load(std::memory_order_relaxed));
+  args.SetUint("fleet_protocol_errors",
+               protocol_errors_.load(std::memory_order_relaxed));
+  args.SetUint("fleet_connections",
+               connections_total_.load(std::memory_order_relaxed));
+  return OkResponse(std::move(args), std::move(payload));
+}
+
+std::string ShardedServer::RenderFleetProm() {
+  std::ostringstream out;
+  const auto counter = [&out](const char* name, const char* help,
+                              std::uint64_t value) {
+    out << "# HELP " << name << ' ' << help << "\n# TYPE " << name
+        << " counter\n"
+        << name << ' ' << value << '\n';
+  };
+  out << "# HELP spta_fleet_shards Worker shard count.\n"
+         "# TYPE spta_fleet_shards gauge\n"
+         "spta_fleet_shards "
+      << shards_.size() << '\n';
+  out << "# HELP spta_fleet_shard_alive Shard liveness (1 = serving).\n"
+         "# TYPE spta_fleet_shard_alive gauge\n";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    out << "spta_fleet_shard_alive{shard=\"" << i << "\"} "
+        << (shard_alive(i) ? 1 : 0) << '\n';
+  }
+  out << "# HELP spta_fleet_routed_total Requests routed to each shard.\n"
+         "# TYPE spta_fleet_routed_total counter\n";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    out << "spta_fleet_routed_total{shard=\"" << i << "\"} "
+        << shard_routed_total(i) << '\n';
+  }
+  out << "# HELP spta_fleet_memo_hits_total ANALYZE requests answered from "
+         "the warm response memo.\n"
+         "# TYPE spta_fleet_memo_hits_total counter\n";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    out << "spta_fleet_memo_hits_total{shard=\"" << i << "\"} "
+        << shard_memo_hits(i) << '\n';
+  }
+  out << "# HELP spta_fleet_requests_total Requests finished per shard.\n"
+         "# TYPE spta_fleet_requests_total counter\n";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    out << "spta_fleet_requests_total{shard=\"" << i << "\"} "
+        << shards_[i]->server->metrics().requests_total() << '\n';
+  }
+  counter("spta_fleet_failovers_total",
+          "Requests rerouted off a dead shard.",
+          failovers_.load(std::memory_order_relaxed));
+  counter("spta_fleet_protocol_errors_total",
+          "Malformed frames cut off by the event loop.",
+          protocol_errors_.load(std::memory_order_relaxed));
+  counter("spta_fleet_connections_total",
+          "TCP connections accepted by the event loop.",
+          connections_total_.load(std::memory_order_relaxed));
+  counter("spta_fleet_loop_requests_total",
+          "Verbs handled on the event loop (METRICS/SHUTDOWN).",
+          fleet_requests_.load(std::memory_order_relaxed));
+  if (store_ != nullptr) {
+    const PersistentResultCache::Stats stats = store_->stats();
+    counter("spta_fleet_persistent_loaded_total",
+            "Persistent cache entries restored at startup.", stats.loaded);
+    counter("spta_fleet_persistent_rejected_total",
+            "Persistent cache files rejected as corrupt.", stats.rejected);
+    counter("spta_fleet_persistent_stored_total",
+            "Persistent cache entries written.", stats.stored);
+    counter("spta_fleet_persistent_store_failures_total",
+            "Persistent cache writes that failed.", stats.store_failures);
+  }
+  return out.str();
+}
+
+}  // namespace spta::service

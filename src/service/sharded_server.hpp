@@ -1,0 +1,226 @@
+// The sharded async fleet core: epoll event loop + digest-routed shards.
+//
+// Where the classic Server (server.hpp) is thread-per-connection over
+// blocking streams, ShardedServer is the production shape ROADMAP item 1
+// asks for:
+//
+//   * one edge-triggered epoll event loop owns every TCP connection:
+//     non-blocking accepts, non-blocking reads banked into an incremental
+//     FrameReassembler (frame_reader.hpp — a slow or hostile client can
+//     stall only its own connection, never a shard), and non-blocking
+//     ordered writes (per-connection reorder buffer, loop thread is the
+//     sole writer of any fd);
+//   * N shared-nothing worker shards, each a full classic Server (own
+//     SessionManager, AnalysisEngine + result cache, ServiceMetrics),
+//     fed over bounded FIFO queues. Requests route by content digest:
+//     session-bound verbs hash the session name — one session's whole
+//     life happens on one shard, in order — and stateless requests hash
+//     their raw body bytes, so identical ANALYZE requests always land on
+//     the shard whose cache already holds their result;
+//   * a memoized warm path on the loop thread: a repeated ANALYZE whose
+//     shard is idle is answered from a per-shard memo of rendered
+//     response bytes without ever crossing a thread — same bytes the
+//     classic warm path produces (only the volatile analyze_us timing
+//     field is re-rendered per request), which is what makes ≥10× the
+//     single-socket warm throughput reachable on one core. Session memo
+//     entries carry the session's generation stamp (session.hpp) and die
+//     the moment the session mutates;
+//   * zero-loss drain: SHUTDOWN (in-band or TriggerShutdown) stops
+//     intake, waits for every accepted request to complete and flush,
+//     acks, then exits — the classic guarantee, kept;
+//   * chaos hooks: KillShardForTest stops a shard mid-campaign; its
+//     queued stateless requests fail over to surviving shards (counted),
+//     its session-bound ones are answered ERR unavailable — every
+//     accepted request is still answered.
+//
+// ServeScript() drives the identical routing/memo/execute pipeline
+// synchronously over an in-memory byte string — the equivalence tests and
+// the load generator use it to compare fleet behavior against the classic
+// server without socket noise.
+//
+// Persistence: when ServerOptions::cache_dir is set, the fleet owns ONE
+// PersistentResultCache shared by every shard (a single writer lock per
+// process; entries are preloaded into every shard's in-memory cache at
+// construction), so restarts warm-start no matter how routing maps keys
+// to shards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "service/frame_reader.hpp"
+#include "service/persistent_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace spta::service {
+
+struct ShardedServerOptions {
+  /// Worker shard count (>= 1).
+  std::size_t shards = 1;
+  /// Per-shard template. cache_dir is lifted out and shared fleet-wide;
+  /// workers is forced to 1 (shard threads execute inline — the fleet's
+  /// parallelism is the shard count, not a nested pool).
+  ServerOptions server;
+  /// Queued requests per shard before busy-rejection (ERR busy).
+  std::size_t shard_queue_capacity = 256;
+  /// Memoized warm responses retained per shard (FIFO bound).
+  std::size_t warm_memo_capacity = 4096;
+  /// listen(2) backlog for the TCP listener.
+  int listen_backlog = 128;
+  /// SO_REUSEPORT on the listener: lets several fleet processes (spawned
+  /// by the spta_fleet supervisor) share one port.
+  bool reuseport = false;
+};
+
+class ShardedServer {
+ public:
+  explicit ShardedServer(ShardedServerOptions options = {});
+  ~ShardedServer();
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  // --- Routing (deterministic; exposed for the routing tests) ---
+
+  /// The content digest a frame routes by: the session name's byte hash
+  /// for session-bound requests (one session, one shard, in order), the
+  /// raw body bytes' hash otherwise.
+  static std::uint64_t RouteDigest(const Request& request,
+                                   std::string_view body);
+  /// digest % shards, rehashed deterministically over the survivors when
+  /// the primary shard is dead. SIZE_MAX when no shard is alive.
+  std::size_t ShardFor(std::uint64_t route_digest) const;
+
+  // --- Synchronous scripted mode (tests + load generator) ---
+
+  /// Feeds a byte string of frames through the full routing/memo/execute
+  /// pipeline on the calling thread, appending response frames to `out`.
+  /// Returns true iff a SHUTDOWN frame was processed. Not concurrency-
+  /// safe against the TCP mode (drive one or the other).
+  bool ServeScript(std::string_view in, std::string* out);
+
+  // --- TCP fleet mode ---
+
+  /// Binds and listens on host:port (IPv4 dotted quad; port 0 = pick an
+  /// ephemeral port, see bound_port()). Returns 0 or an errno.
+  int ListenTcp(const std::string& host, std::uint16_t port);
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  /// Spawns the shard workers and the event loop thread. Requires a
+  /// successful ListenTcp. Returns 0 or an errno.
+  int Start();
+
+  /// Blocks until the loop exits (drain complete), then stops and joins
+  /// every shard. Returns 0 on a clean drain.
+  int Wait();
+
+  /// Initiates the zero-loss drain from outside a request stream (signal
+  /// watcher, supervisor). Idempotent, thread-safe, async-signal-UNSAFE.
+  void TriggerShutdown();
+
+  bool shutdown_requested() const { return shutdown_.load(); }
+
+  // --- Chaos / introspection ---
+
+  /// Marks shard `index` dead: its queue fails over to survivors, new
+  /// requests reroute deterministically. The shard's in-flight request
+  /// still completes — no accepted request is ever dropped.
+  void KillShardForTest(std::size_t index);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  Server& shard(std::size_t index);
+  bool shard_alive(std::size_t index) const;
+  /// Requests this shard executed or answered from its warm memo.
+  std::uint64_t shard_routed_total(std::size_t index) const;
+  std::uint64_t shard_memo_hits(std::size_t index) const;
+  std::uint64_t failovers_total() const { return failovers_.load(); }
+  std::uint64_t protocol_errors_total() const {
+    return protocol_errors_.load();
+  }
+  PersistentResultCache* persistent_cache() { return store_.get(); }
+
+  /// Fleet-level METRICS response: counters summed across shards (the
+  /// documented Snapshot key surface, cache_hit_ratio recomputed from the
+  /// summed hit/miss counts) plus fleet_* keys; the payload concatenates
+  /// each shard's rendered table under a "== shard N ==" heading.
+  Response FleetMetricsResponse();
+
+  /// Prometheus text exposition of the fleet surface: spta_fleet_*
+  /// families only (per-shard series labeled shard="N"), disjoint from
+  /// the per-server families in ServiceMetrics::RenderProm so a scrape
+  /// of both never sees a duplicated family.
+  std::string RenderFleetProm();
+
+ private:
+  struct Conn;
+  struct ShardRuntime;
+  struct Item {
+    std::shared_ptr<Conn> conn;  ///< Null in ServeScript mode.
+    std::uint64_t id = 0;
+    Request request;
+    DualHash body_digest;
+    std::uint64_t route = 0;
+  };
+
+  // Shared pipeline (both modes).
+  bool TryServeWarm(ShardRuntime& shard, const Request& request,
+                    const DualHash& digest, std::string* frame);
+  Response ExecuteOnShard(ShardRuntime& shard, const Request& request,
+                          const DualHash& digest);
+  void Memoize(ShardRuntime& shard, const DualHash& digest,
+               const Response& response, SessionGeneration generation,
+               std::uint64_t generation_value);
+
+  // TCP mode internals (defined in sharded_server.cpp).
+  void EventLoop();
+  void ShardWorker(std::size_t index);
+  void FailoverQueue(ShardRuntime& shard);
+  bool PushToShard(std::size_t index, Item item);
+  void CompleteItem(const std::shared_ptr<Conn>& conn, std::uint64_t id,
+                    std::string frame, bool on_loop_thread);
+  void AcceptReady();
+  void ReadConn(const std::shared_ptr<Conn>& conn);
+  bool HandleFrame(const std::shared_ptr<Conn>& conn, std::string type,
+                   std::string body);
+  void FlushConn(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void BeginDrain(const std::shared_ptr<Conn>& conn, std::uint64_t id);
+  void CheckDrain();
+  void WakeLoop();
+
+  ShardedServerOptions options_;
+  std::vector<std::unique_ptr<ShardRuntime>> shards_;
+  std::unique_ptr<PersistentResultCache> store_;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> fleet_requests_{0};  ///< Loop-handled verbs.
+
+  // TCP mode state.
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: cross-thread completion/shutdown wake.
+  std::uint16_t bound_port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<std::uint64_t> inflight_{0};  ///< Shard-queued, unanswered.
+  bool draining_ = false;                   ///< Loop thread only.
+  std::shared_ptr<Conn> drain_ack_conn_;    ///< Loop thread only.
+  std::uint64_t drain_ack_id_ = 0;          ///< Loop thread only.
+  bool drain_acked_ = false;                ///< Loop thread only.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  ///< Loop only.
+  std::atomic<bool> stop_workers_{false};
+};
+
+}  // namespace spta::service

@@ -9,13 +9,23 @@
 // bytes, embedded NULs and a seeded random fuzz loop at both readers; it
 // runs under the repo's sanitizer configs (-DSPTA_SANITIZE=address) where
 // any out-of-bounds read in the parsing path becomes a hard failure.
+//
+// The second half of the battery targets the incremental FrameReassembler
+// (frame_reader.hpp) that the epoll event loop uses instead of blocking
+// istream reads: every golden frame is split at every byte boundary and
+// re-delivered across simulated wakeups, slow-loris connections trickle
+// one byte at a time while other connections make progress, and a seeded
+// chunked fuzz re-checks reader equivalence (same frames, same
+// accept/reject outcome as the blocking reader) over hostile streams.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "prng/xoshiro.hpp"
+#include "service/frame_reader.hpp"
 #include "service/protocol.hpp"
 
 namespace spta::service {
@@ -212,6 +222,303 @@ TEST(ProtocolRobustnessTest, SeededFuzzNeverCrashes) {
     }
     error.clear();
     (void)ResponseStatus(wire, &error);
+  }
+}
+
+// --- Incremental reassembly: split delivery, slow loris, fuzz ------------
+
+/// What a reader extracted from a stream: the re-encoded frames it
+/// accepted, and whether the stream ended cleanly or malformed. Error
+/// TEXT is deliberately not part of the comparison (the reassembler's
+/// header cap is allowed to diagnose differently).
+struct StreamOutcome {
+  std::vector<std::string> frames;  ///< AppendRequestFrame re-encodings.
+  bool malformed = false;
+
+  bool operator==(const StreamOutcome& other) const {
+    return frames == other.frames && malformed == other.malformed;
+  }
+};
+
+StreamOutcome BlockingOutcome(const std::string& wire) {
+  StreamOutcome outcome;
+  std::istringstream in(wire);
+  for (;;) {
+    Request request;
+    std::string error;
+    const ReadStatus status = ReadRequest(in, &request, &error);
+    if (status == ReadStatus::kOk) {
+      std::string frame;
+      AppendRequestFrame(request, &frame);
+      outcome.frames.push_back(std::move(frame));
+      continue;
+    }
+    outcome.malformed = (status == ReadStatus::kMalformed);
+    return outcome;
+  }
+}
+
+/// Runs the reassembler over `wire` delivered in the given chunks (sizes
+/// need not cover the wire; the tail is delivered as one final slice),
+/// then applies EOF via Finish — exactly the event loop's read pattern.
+StreamOutcome IncrementalOutcome(const std::string& wire,
+                                 const std::vector<std::size_t>& chunks) {
+  StreamOutcome outcome;
+  FrameReassembler reassembler;
+  std::size_t offset = 0;
+  auto drain = [&](bool finishing) {
+    for (;;) {
+      std::string type;
+      std::string body;
+      std::string error;
+      const FrameReassembler::Result result =
+          finishing ? reassembler.Finish(&type, &body, &error)
+                    : reassembler.Next(&type, &body, &error);
+      if (result == FrameReassembler::Result::kNeedMore) return;
+      if (result == FrameReassembler::Result::kMalformed) {
+        outcome.malformed = true;
+        return;
+      }
+      Request request;
+      if (!BuildRequest(type, body, &request, &error)) {
+        outcome.malformed = true;
+        return;
+      }
+      std::string frame;
+      AppendRequestFrame(request, &frame);
+      outcome.frames.push_back(std::move(frame));
+      if (finishing) return;  // at most one EOF-completed frame
+    }
+  };
+  for (const std::size_t chunk : chunks) {
+    if (outcome.malformed || offset >= wire.size()) break;
+    const std::size_t take = std::min(chunk, wire.size() - offset);
+    reassembler.Feed(std::string_view(wire).substr(offset, take));
+    offset += take;
+    drain(false);
+  }
+  if (!outcome.malformed && offset < wire.size()) {
+    reassembler.Feed(std::string_view(wire).substr(offset));
+    drain(false);
+  }
+  if (!outcome.malformed) drain(true);
+  return outcome;
+}
+
+/// One golden frame per verb (session verbs with args, ANALYZE with an
+/// args line + payload, INGEST with a binary-ish payload).
+std::vector<std::string> GoldenFrames() {
+  std::vector<std::string> frames;
+  auto add = [&](RequestKind kind, std::vector<std::pair<std::string,
+                                                         std::string>> args,
+                 std::string payload) {
+    Request request;
+    request.kind = kind;
+    for (auto& [k, v] : args) request.args.Set(k, v);
+    request.payload = std::move(payload);
+    std::string frame;
+    AppendRequestFrame(request, &frame);
+    frames.push_back(std::move(frame));
+  };
+  add(RequestKind::kPing, {}, "");
+  add(RequestKind::kOpen, {{"session", "golden"}}, "");
+  add(RequestKind::kAppend, {{"session", "golden"}}, "1000\n2000\n3000\n");
+  add(RequestKind::kStatus, {{"session", "golden"}}, "");
+  add(RequestKind::kAnalyze, {{"session", "golden"}, {"require_iid", "0"}},
+      "");
+  add(RequestKind::kAnalyze, {{"prob", "1e-12"}}, "1000\n2000\n3000\n4000\n");
+  add(RequestKind::kIngest, {{"kernel", "k1"}},
+      std::string("BIN\x00\x01\x7f\xff payload\n", 17));
+  add(RequestKind::kClose, {{"session", "golden"}}, "");
+  add(RequestKind::kMetrics, {}, "");
+  add(RequestKind::kMetricsProm, {}, "");
+  add(RequestKind::kShutdown, {}, "");
+  return frames;
+}
+
+TEST(FrameReassemblerTest, EveryVerbSplitAtEveryByteBoundary) {
+  // TCP hands the event loop arbitrary prefixes: every golden frame,
+  // split at every byte boundary across two "wakeups", must reassemble
+  // to exactly what the blocking reader parses from the whole wire.
+  for (const std::string& wire : GoldenFrames()) {
+    const StreamOutcome expected = BlockingOutcome(wire);
+    ASSERT_EQ(expected.frames.size(), 1u);
+    ASSERT_FALSE(expected.malformed);
+    for (std::size_t split = 0; split <= wire.size(); ++split) {
+      const StreamOutcome got = IncrementalOutcome(wire, {split});
+      EXPECT_EQ(got, expected)
+          << "frame " << wire.substr(0, wire.find('\n')) << " split at "
+          << split;
+    }
+  }
+}
+
+TEST(FrameReassemblerTest, GluedStreamSplitAtEveryByteBoundary) {
+  // All golden frames glued into one stream, delivered as two slices cut
+  // at every boundary: same frame sequence out, regardless of the cut.
+  std::string wire;
+  for (const std::string& frame : GoldenFrames()) wire += frame;
+  const StreamOutcome expected = BlockingOutcome(wire);
+  ASSERT_EQ(expected.frames.size(), GoldenFrames().size());
+  ASSERT_FALSE(expected.malformed);
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    const StreamOutcome got = IncrementalOutcome(wire, {split});
+    EXPECT_EQ(got, expected) << "glued stream split at " << split;
+  }
+}
+
+TEST(FrameReassemblerTest, SlowLorisInterleavedConnectionsAllComplete) {
+  // Sixteen connections each trickling one byte per wakeup, round-robin —
+  // the slow-loris shape. Each reassembler must make independent
+  // progress: every connection completes its own frame, none blocks or
+  // corrupts a neighbor's stream.
+  const auto goldens = GoldenFrames();
+  constexpr std::size_t kConns = 16;
+  std::vector<FrameReassembler> conns(kConns);
+  std::vector<std::string> wires(kConns);
+  std::vector<std::vector<std::string>> got(kConns);
+  for (std::size_t c = 0; c < kConns; ++c) {
+    wires[c] = goldens[c % goldens.size()];
+  }
+  std::vector<std::size_t> offsets(kConns, 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t c = 0; c < kConns; ++c) {
+      if (offsets[c] >= wires[c].size()) continue;
+      progress = true;
+      conns[c].Feed(std::string_view(&wires[c][offsets[c]], 1));
+      ++offsets[c];
+      std::string type;
+      std::string body;
+      std::string error;
+      const auto result = conns[c].Next(&type, &body, &error);
+      ASSERT_NE(result, FrameReassembler::Result::kMalformed)
+          << "conn " << c << ": " << error;
+      if (result == FrameReassembler::Result::kFrame) {
+        Request request;
+        ASSERT_TRUE(BuildRequest(type, body, &request, &error)) << error;
+        std::string frame;
+        AppendRequestFrame(request, &frame);
+        got[c].push_back(std::move(frame));
+      }
+    }
+  }
+  for (std::size_t c = 0; c < kConns; ++c) {
+    ASSERT_EQ(got[c].size(), 1u) << "conn " << c;
+    EXPECT_EQ(got[c][0], wires[c]) << "conn " << c;
+    EXPECT_EQ(conns[c].buffered_bytes(), 0u) << "conn " << c;
+  }
+}
+
+TEST(FrameReassemblerTest, HeaderCapCutsOffHeaderlessStream) {
+  // The one deliberate divergence from the blocking reader: a stream that
+  // never produces a newline must be cut off at max_header_bytes instead
+  // of buffering forever.
+  FrameReassembler::Limits limits;
+  limits.max_header_bytes = 64;
+  FrameReassembler reassembler(limits);
+  std::string type;
+  std::string body;
+  std::string error;
+  reassembler.Feed(std::string(63, 'a'));
+  EXPECT_EQ(reassembler.Next(&type, &body, &error),
+            FrameReassembler::Result::kNeedMore);
+  reassembler.Feed(std::string(64, 'a'));
+  EXPECT_EQ(reassembler.Next(&type, &body, &error),
+            FrameReassembler::Result::kMalformed);
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(reassembler.poisoned());
+  // Sticky: the connection is dead even if a valid frame arrives later.
+  reassembler.Feed("spta1 PING 0\n");
+  EXPECT_EQ(reassembler.Next(&type, &body, &error),
+            FrameReassembler::Result::kMalformed);
+}
+
+TEST(FrameReassemblerTest, FinishAppliesBlockingEofSemantics) {
+  std::string type;
+  std::string body;
+  std::string error;
+  {
+    // A final zero-length-body header with no trailing newline: getline
+    // treats EOF as the terminator, so Finish completes the frame.
+    FrameReassembler reassembler;
+    reassembler.Feed("spta1 PING 0");
+    EXPECT_EQ(reassembler.Next(&type, &body, &error),
+              FrameReassembler::Result::kNeedMore);
+    EXPECT_EQ(reassembler.Finish(&type, &body, &error),
+              FrameReassembler::Result::kFrame);
+    EXPECT_EQ(type, "PING");
+    EXPECT_TRUE(body.empty());
+  }
+  {
+    // Clean EOF between frames: kNeedMore, not an error.
+    FrameReassembler reassembler;
+    EXPECT_EQ(reassembler.Finish(&type, &body, &error),
+              FrameReassembler::Result::kNeedMore);
+  }
+  {
+    // EOF mid-body: truncated frame, malformed — same as the blocking
+    // reader's announced-N-got-fewer rejection.
+    FrameReassembler reassembler;
+    reassembler.Feed("spta1 APPEND 10\nabc");
+    EXPECT_EQ(reassembler.Next(&type, &body, &error),
+              FrameReassembler::Result::kNeedMore);
+    EXPECT_EQ(reassembler.Finish(&type, &body, &error),
+              FrameReassembler::Result::kMalformed);
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(FrameReassemblerTest, SeededChunkedFuzzMatchesBlockingReader) {
+  // Hostile streams (mutated golden frames, garbage, splices) delivered
+  // in random chunk sizes: the incremental reader must extract the SAME
+  // frames and reach the SAME accept/reject outcome as the blocking
+  // reader fed the whole wire — under the sanitizer builds this is also
+  // the memory-safety fuzz for the reassembly path.
+  const auto goldens = GoldenFrames();
+  prng::Xoshiro128pp rng(20260809);
+  for (int iter = 0; iter < 1500; ++iter) {
+    // Compose a stream of 1-3 golden frames...
+    std::string wire;
+    const std::uint32_t count = 1 + rng.UniformBelow(3);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      wire += goldens[rng.UniformBelow(
+          static_cast<std::uint32_t>(goldens.size()))];
+    }
+    // ...then mutate it half the time (flip/truncate/insert).
+    if (rng.UniformBelow(2) == 0) {
+      const std::uint32_t mutations = 1 + rng.UniformBelow(4);
+      for (std::uint32_t m = 0; m < mutations && !wire.empty(); ++m) {
+        switch (rng.UniformBelow(3)) {
+          case 0:
+            wire[rng.UniformBelow(static_cast<std::uint32_t>(wire.size()))] =
+                static_cast<char>(rng.Next() & 0xff);
+            break;
+          case 1:
+            wire.resize(rng.UniformBelow(
+                static_cast<std::uint32_t>(wire.size() + 1)));
+            break;
+          default:
+            wire.insert(
+                wire.begin() + rng.UniformBelow(static_cast<std::uint32_t>(
+                                   wire.size() + 1)),
+                static_cast<char>(rng.Next() & 0xff));
+            break;
+        }
+      }
+    }
+    // Random chunking: 1..17-byte slices simulate arbitrary wakeups.
+    std::vector<std::size_t> chunks;
+    std::size_t covered = 0;
+    while (covered < wire.size()) {
+      const std::size_t chunk = 1 + rng.UniformBelow(17);
+      chunks.push_back(chunk);
+      covered += chunk;
+    }
+    const StreamOutcome expected = BlockingOutcome(wire);
+    const StreamOutcome got = IncrementalOutcome(wire, chunks);
+    EXPECT_EQ(got, expected) << "iter " << iter;
   }
 }
 

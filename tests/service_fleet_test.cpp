@@ -1,0 +1,722 @@
+// The sharded-fleet battery (ISSUE 8): service-equivalence and chaos tests
+// pinning the epoll TCP event loop, digest routing, the persistent
+// warm-start cache and the zero-loss drain.
+//
+//   * Served-vs-classic bit-identity: every verb's response through the
+//     fleet (ServeScript AND the real epoll/TCP path) equals the classic
+//     thread-per-connection ServeStream response byte for byte, after
+//     stripping only the volatile analyze_us timing field. The fleet
+//     surfaces for METRICS/METRICS_PROM are intentionally wider (fleet_*
+//     aggregation) and are pinned separately.
+//   * Routing determinism: same digest → same shard → same bytes, fixed
+//     rehash on shard death.
+//   * Chaos: kill a shard mid-campaign; every accepted request is still
+//     answered (zero loss), survivors keep serving.
+//   * Warm-start goldens: a restarted fleet serves bit-identical bytes
+//     from the persistent cache; corrupted/truncated entry files are
+//     rejected and recomputed, never served.
+//   * Burst accept: the historical hard-coded listen backlog of 16 drops
+//     connections under a connection storm; the (now flagged) default of
+//     128 does not.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "mbpta/mbpta.hpp"
+#include "service/client.hpp"
+#include "service/frame_reader.hpp"
+#include "service/persistent_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/sharded_server.hpp"
+
+namespace spta {
+namespace {
+
+// Same synthetic-sample shape as service_test: uniform-ish jitter the EVT
+// pipeline accepts.
+std::vector<mbpta::PathObservation> SyntheticSample(std::size_t n,
+                                                    std::uint64_t seed,
+                                                    double base = 10000.0,
+                                                    double spread = 500.0) {
+  std::vector<mbpta::PathObservation> obs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = Mix64(HashCombine(seed, i));
+    obs[i].time =
+        base + spread * (static_cast<double>(bits >> 11) * 0x1.0p-53);
+    obs[i].path_id = 0;
+  }
+  return obs;
+}
+
+service::Request MakeRequest(service::RequestKind kind) {
+  service::Request request;
+  request.kind = kind;
+  return request;
+}
+
+service::Request AnalyzeInlineRequest(
+    const std::vector<mbpta::PathObservation>& obs,
+    service::Args args = {}) {
+  service::Request request;
+  request.kind = service::RequestKind::kAnalyze;
+  request.args = std::move(args);
+  request.payload = service::EncodeSamplePayload(obs);
+  return request;
+}
+
+std::string EncodeScript(const std::vector<service::Request>& script) {
+  std::string bytes;
+  for (const auto& request : script) {
+    service::AppendRequestFrame(request, &bytes);
+  }
+  return bytes;
+}
+
+std::vector<service::Response> DecodeResponses(const std::string& bytes) {
+  std::stringstream stream(bytes);
+  std::vector<service::Response> responses;
+  service::Response response;
+  std::string error;
+  while (service::ReadResponse(stream, &response, &error) ==
+         service::ReadStatus::kOk) {
+    responses.push_back(response);
+  }
+  return responses;
+}
+
+std::vector<service::Response> RunClassic(
+    service::Server& server, const std::vector<service::Request>& script) {
+  std::stringstream in(EncodeScript(script));
+  std::stringstream out;
+  server.ServeStream(in, out);
+  return DecodeResponses(out.str());
+}
+
+std::vector<service::Response> RunFleetScript(
+    service::ShardedServer& fleet,
+    const std::vector<service::Request>& script) {
+  std::string out;
+  fleet.ServeScript(EncodeScript(script), &out);
+  return DecodeResponses(out);
+}
+
+/// Pipelines the whole script over one real TCP connection against a
+/// started fleet and reaps the ordered responses.
+std::vector<service::Response> RunFleetTcp(
+    service::ShardedServer& fleet,
+    const std::vector<service::Request>& script) {
+  std::string error;
+  auto connection = service::TcpConnection::Connect(
+      "127.0.0.1", fleet.bound_port(), &error, 20000.0);
+  EXPECT_NE(connection, nullptr) << error;
+  if (!connection) return {};
+  connection->out().write(EncodeScript(script).data(),
+                          static_cast<std::streamsize>(
+                              EncodeScript(script).size()));
+  connection->out().flush();
+  std::vector<service::Response> responses;
+  service::Response response;
+  while (responses.size() < script.size() &&
+         service::ReadResponse(connection->in(), &response, &error) ==
+             service::ReadStatus::kOk) {
+    responses.push_back(response);
+  }
+  return responses;
+}
+
+/// Strips the only legitimately volatile field (wall-clock timing) so the
+/// rest of the response can be compared bit for bit.
+std::string NormalizedFrame(service::Response response) {
+  response.args.Erase("analyze_us");
+  std::string frame;
+  service::AppendResponseFrame(response, &frame);
+  return frame;
+}
+
+/// The all-verb equivalence script: PING, OPEN, APPEND, STATUS, session
+/// ANALYZE (miss), repeat session ANALYZE (hit), inline ANALYZE, bad verb
+/// args (ERR equivalence), CLOSE, post-CLOSE STATUS (ERR), SHUTDOWN.
+std::vector<service::Request> EquivalenceScript() {
+  const auto sample = SyntheticSample(400, 11);
+  std::vector<service::Request> script;
+  script.push_back(MakeRequest(service::RequestKind::kPing));
+  service::Request open = MakeRequest(service::RequestKind::kOpen);
+  open.args.Set("session", "equiv");
+  script.push_back(open);
+  service::Request append = MakeRequest(service::RequestKind::kAppend);
+  append.args.Set("session", "equiv");
+  append.payload = service::EncodeSamplePayload(sample);
+  script.push_back(append);
+  service::Request status = MakeRequest(service::RequestKind::kStatus);
+  status.args.Set("session", "equiv");
+  script.push_back(status);
+  service::Request analyze = MakeRequest(service::RequestKind::kAnalyze);
+  analyze.args.Set("session", "equiv");
+  script.push_back(analyze);
+  script.push_back(analyze);  // warm repeat: cache/memo hit on both sides
+  script.push_back(AnalyzeInlineRequest(SyntheticSample(300, 23)));
+  service::Request bad_status = MakeRequest(service::RequestKind::kStatus);
+  bad_status.args.Set("session", "never-opened");
+  script.push_back(bad_status);  // ERR equivalence
+  service::Request close = MakeRequest(service::RequestKind::kClose);
+  close.args.Set("session", "equiv");
+  script.push_back(close);
+  script.push_back(status);  // ERR: session is gone
+  script.push_back(MakeRequest(service::RequestKind::kShutdown));
+  return script;
+}
+
+// --- Served-vs-classic bit-identity ---------------------------------------
+
+TEST(FleetEquivalenceTest, ScriptModeMatchesClassicServerBitForBit) {
+  const auto script = EquivalenceScript();
+  service::Server classic;
+  const auto expected = RunClassic(classic, script);
+  ASSERT_EQ(expected.size(), script.size());
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    service::ShardedServerOptions options;
+    options.shards = shards;
+    service::ShardedServer fleet(options);
+    const auto got = RunFleetScript(fleet, script);
+    ASSERT_EQ(got.size(), script.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      EXPECT_EQ(NormalizedFrame(got[i]), NormalizedFrame(expected[i]))
+          << "shards=" << shards << " response " << i;
+    }
+  }
+}
+
+TEST(FleetEquivalenceTest, TcpPathMatchesClassicServerBitForBit) {
+  const auto script = EquivalenceScript();
+  service::Server classic;
+  const auto expected = RunClassic(classic, script);
+  ASSERT_EQ(expected.size(), script.size());
+
+  service::ShardedServerOptions options;
+  options.shards = 2;
+  service::ShardedServer fleet(options);
+  ASSERT_EQ(fleet.ListenTcp("127.0.0.1", 0), 0);
+  ASSERT_EQ(fleet.Start(), 0);
+  const auto got = RunFleetTcp(fleet, script);
+  EXPECT_EQ(fleet.Wait(), 0);
+  ASSERT_EQ(got.size(), script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    EXPECT_EQ(NormalizedFrame(got[i]), NormalizedFrame(expected[i]))
+        << "response " << i;
+  }
+  EXPECT_TRUE(fleet.shutdown_requested());
+}
+
+// The warm repeat must ALSO be identical in its cache disposition: both
+// sides serve the second session ANALYZE as a hit, and the served pwcet
+// equals the batch pipeline's bit for bit.
+TEST(FleetEquivalenceTest, WarmHitMatchesBatchQuantileBitForBit) {
+  const auto sample = SyntheticSample(500, 31);
+  std::vector<double> times;
+  for (const auto& o : sample) times.push_back(o.time);
+  const auto batch = mbpta::AnalyzeSample(times, mbpta::MbptaOptions{});
+  ASSERT_TRUE(batch.curve.has_value());
+  const double batch_pwcet = batch.curve->QuantileForExceedance(1e-12);
+
+  service::ShardedServerOptions options;
+  options.shards = 2;
+  service::ShardedServer fleet(options);
+  std::vector<service::Request> script;
+  service::Request open = MakeRequest(service::RequestKind::kOpen);
+  open.args.Set("session", "batch");
+  script.push_back(open);
+  service::Request append = MakeRequest(service::RequestKind::kAppend);
+  append.args.Set("session", "batch");
+  append.payload = service::EncodeSamplePayload(sample);
+  script.push_back(append);
+  service::Request analyze = MakeRequest(service::RequestKind::kAnalyze);
+  analyze.args.Set("session", "batch");
+  script.push_back(analyze);
+  script.push_back(analyze);
+  const auto responses = RunFleetScript(fleet, script);
+  ASSERT_EQ(responses.size(), 4u);
+  ASSERT_TRUE(responses[2].ok) << responses[2].payload;
+  ASSERT_TRUE(responses[3].ok) << responses[3].payload;
+  EXPECT_EQ(responses[2].args.GetString("cache"), "miss");
+  EXPECT_EQ(responses[3].args.GetString("cache"), "hit");
+  for (const std::size_t i : {std::size_t{2}, std::size_t{3}}) {
+    const double served =
+        std::strtod(responses[i].args.GetString("pwcet").c_str(), nullptr);
+    EXPECT_EQ(served, batch_pwcet) << "response " << i;  // bit-for-bit
+  }
+  // The hit came from the loop-side memo (shard counters prove the path).
+  std::uint64_t memo_hits = 0;
+  for (std::size_t i = 0; i < fleet.shard_count(); ++i) {
+    memo_hits += fleet.shard_memo_hits(i);
+  }
+  EXPECT_EQ(memo_hits, 1u);
+}
+
+// The fleet METRICS surface: classic per-server counters summed across
+// shards plus the fleet_* keys, payload sectioned per shard.
+TEST(FleetEquivalenceTest, FleetMetricsAggregateAcrossShards) {
+  service::ShardedServerOptions options;
+  options.shards = 2;
+  service::ShardedServer fleet(options);
+  std::vector<service::Request> script;
+  for (int i = 0; i < 6; ++i) {
+    script.push_back(AnalyzeInlineRequest(SyntheticSample(300, 100 + i)));
+  }
+  script.push_back(MakeRequest(service::RequestKind::kMetrics));
+  script.push_back(MakeRequest(service::RequestKind::kMetricsProm));
+  const auto responses = RunFleetScript(fleet, script);
+  ASSERT_EQ(responses.size(), script.size());
+  const auto& metrics = responses[6];
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.args.GetUint("fleet_shards", 0), 2u);
+  EXPECT_EQ(metrics.args.GetUint("fleet_alive", 0), 2u);
+  EXPECT_EQ(metrics.args.GetUint("requests_total", 0), 6u);
+  EXPECT_EQ(metrics.args.GetUint("analyses_total", 0), 6u);
+  EXPECT_NE(metrics.payload.find("== shard 0 =="), std::string::npos);
+  EXPECT_NE(metrics.payload.find("== shard 1 =="), std::string::npos);
+  const auto& prom = responses[7];
+  ASSERT_TRUE(prom.ok);
+  EXPECT_EQ(prom.args.GetString("format"), "prometheus-0.0.4");
+  EXPECT_NE(prom.payload.find("spta_fleet_shards 2"), std::string::npos);
+  EXPECT_NE(prom.payload.find("spta_fleet_routed_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.payload.find("spta_fleet_shard_alive{shard=\"1\"} 1"),
+            std::string::npos);
+}
+
+// --- Routing determinism --------------------------------------------------
+
+TEST(FleetRoutingTest, SameDigestSameShardSameBytes) {
+  service::ShardedServerOptions options;
+  options.shards = 4;
+  service::ShardedServer fleet(options);
+
+  const auto request = AnalyzeInlineRequest(SyntheticSample(300, 5));
+  std::string body;
+  {
+    std::string frame;
+    service::AppendRequestFrame(request, &frame);
+    // Body = everything after the header line.
+    body = frame.substr(frame.find('\n') + 1);
+  }
+  const std::uint64_t route =
+      service::ShardedServer::RouteDigest(request, body);
+  const std::size_t expected_shard = fleet.ShardFor(route);
+  ASSERT_LT(expected_shard, fleet.shard_count());
+  // ShardFor is pure: the same digest maps to the same shard every time.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(fleet.ShardFor(route), expected_shard);
+  }
+
+  // Serve the identical request repeatedly: every execution lands on that
+  // one shard and every response is byte-identical (the first run is the
+  // cache miss, later ones the cached hit — content must not differ
+  // beyond that disposition flag).
+  std::vector<std::string> frames;
+  for (int i = 0; i < 4; ++i) {
+    auto responses = RunFleetScript(fleet, {request});
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].args.GetString("cache"), i == 0 ? "miss" : "hit");
+    responses[0].args.Erase("cache");
+    frames.push_back(NormalizedFrame(responses[0]));
+  }
+  for (const auto& frame : frames) EXPECT_EQ(frame, frames[0]);
+  EXPECT_EQ(fleet.shard_routed_total(expected_shard), 4u);
+  for (std::size_t i = 0; i < fleet.shard_count(); ++i) {
+    if (i != expected_shard) {
+      EXPECT_EQ(fleet.shard_routed_total(i), 0u);
+    }
+  }
+}
+
+TEST(FleetRoutingTest, SessionsStickToOneShardAndSpreadAcrossFleet) {
+  service::ShardedServerOptions options;
+  options.shards = 3;
+  service::ShardedServer fleet(options);
+  const auto sample = SyntheticSample(300, 9);
+  // 12 sessions: each one's whole life must execute on one shard, and
+  // with this many distinct names every shard must see traffic.
+  for (int s = 0; s < 12; ++s) {
+    const std::string name = "route-" + std::to_string(s);
+    std::vector<service::Request> script;
+    service::Request open = MakeRequest(service::RequestKind::kOpen);
+    open.args.Set("session", name);
+    script.push_back(open);
+    service::Request append = MakeRequest(service::RequestKind::kAppend);
+    append.args.Set("session", name);
+    append.payload = service::EncodeSamplePayload(sample);
+    script.push_back(append);
+    service::Request close = MakeRequest(service::RequestKind::kClose);
+    close.args.Set("session", name);
+    script.push_back(close);
+    const std::size_t shard = fleet.ShardFor(HashBytes(name).lo);
+    const std::uint64_t before = fleet.shard_routed_total(shard);
+    const auto responses = RunFleetScript(fleet, script);
+    ASSERT_EQ(responses.size(), 3u);
+    for (const auto& r : responses) EXPECT_TRUE(r.ok) << r.payload;
+    EXPECT_EQ(fleet.shard_routed_total(shard), before + 3)
+        << "session " << name << " leaked off shard " << shard;
+  }
+  for (std::size_t i = 0; i < fleet.shard_count(); ++i) {
+    EXPECT_GT(fleet.shard_routed_total(i), 0u) << "shard " << i << " idle";
+  }
+}
+
+TEST(FleetRoutingTest, DeadShardRehashIsDeterministicOverSurvivors) {
+  service::ShardedServerOptions options;
+  options.shards = 4;
+  service::ShardedServer fleet(options);
+  const std::uint64_t route = HashBytes(std::string("victim-key")).lo;
+  const std::size_t primary = fleet.ShardFor(route);
+  fleet.KillShardForTest(primary);
+  const std::size_t fallback = fleet.ShardFor(route);
+  ASSERT_NE(fallback, primary);
+  ASSERT_LT(fallback, fleet.shard_count());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(fleet.ShardFor(route), fallback);
+  // Kill everything: no shard can be chosen.
+  for (std::size_t i = 0; i < fleet.shard_count(); ++i) {
+    fleet.KillShardForTest(i);
+  }
+  EXPECT_EQ(fleet.ShardFor(route), SIZE_MAX);
+}
+
+// --- Chaos: shard death mid-campaign --------------------------------------
+
+// Pipelines a campaign over TCP, kills a shard while requests are in
+// flight, and verifies ZERO accepted-request loss: every frame written
+// gets exactly one response (OK from a survivor or ERR unavailable), in
+// order, and the drain still acks.
+TEST(FleetChaosTest, KillShardMidCampaignLosesNothing) {
+  service::ShardedServerOptions options;
+  options.shards = 3;
+  options.server.enable_debug_hooks = true;  // debug_sleep_ms
+  service::ShardedServer fleet(options);
+  ASSERT_EQ(fleet.ListenTcp("127.0.0.1", 0), 0);
+  ASSERT_EQ(fleet.Start(), 0);
+
+  std::string error;
+  auto connection = service::TcpConnection::Connect(
+      "127.0.0.1", fleet.bound_port(), &error, 30000.0);
+  ASSERT_NE(connection, nullptr) << error;
+
+  // 30 distinct slow analyses (debug_sleep_ms keeps shards busy so the
+  // kill lands mid-campaign), pipelined without reading.
+  std::vector<service::Request> script;
+  for (int i = 0; i < 30; ++i) {
+    service::Args slow;
+    slow.SetDouble("debug_sleep_ms", 5.0);
+    script.push_back(
+        AnalyzeInlineRequest(SyntheticSample(260, 1000 + i), slow));
+  }
+  script.push_back(MakeRequest(service::RequestKind::kShutdown));
+  const std::string bytes = EncodeScript(script);
+  connection->out().write(bytes.data(),
+                          static_cast<std::streamsize>(bytes.size()));
+  connection->out().flush();
+
+  // Kill a shard while the campaign is in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fleet.KillShardForTest(1);
+
+  std::vector<service::Response> responses;
+  service::Response response;
+  while (responses.size() < script.size() &&
+         service::ReadResponse(connection->in(), &response, &error) ==
+             service::ReadStatus::kOk) {
+    responses.push_back(response);
+  }
+  EXPECT_EQ(fleet.Wait(), 0);
+
+  // Zero loss: every request (including SHUTDOWN) got its response.
+  ASSERT_EQ(responses.size(), script.size());
+  int ok_count = 0;
+  int unavailable = 0;
+  for (std::size_t i = 0; i + 1 < responses.size(); ++i) {
+    if (responses[i].ok) {
+      ++ok_count;
+      EXPECT_TRUE(responses[i].args.Has("pwcet")) << i;
+    } else {
+      EXPECT_EQ(responses[i].args.GetString("code"), "unavailable") << i;
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(ok_count + unavailable, 30);
+  EXPECT_GT(ok_count, 0);  // survivors kept serving
+  const auto& ack = responses.back();
+  EXPECT_TRUE(ack.ok);
+  EXPECT_EQ(ack.args.GetUint("drained", 0), 1u);
+  EXPECT_FALSE(fleet.shard_alive(1));
+}
+
+// After a kill, NEW traffic for the dead shard's digests is answered by
+// the deterministic fallback shard — the fleet stays fully available.
+TEST(FleetChaosTest, SurvivorsServeDeadShardsTraffic) {
+  service::ShardedServerOptions options;
+  options.shards = 2;
+  service::ShardedServer fleet(options);
+  const auto request = AnalyzeInlineRequest(SyntheticSample(280, 77));
+  std::string frame;
+  service::AppendRequestFrame(request, &frame);
+  const std::string body = frame.substr(frame.find('\n') + 1);
+  const std::size_t primary =
+      fleet.ShardFor(service::ShardedServer::RouteDigest(request, body));
+  fleet.KillShardForTest(primary);
+  const auto responses = RunFleetScript(fleet, {request});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].ok) << responses[0].payload;
+  EXPECT_TRUE(responses[0].args.Has("pwcet"));
+  EXPECT_EQ(fleet.shard_routed_total(1 - primary), 1u);
+}
+
+// --- Persistent warm-start cache ------------------------------------------
+
+class TempDir {
+ public:
+  TempDir() {
+    char templ[] = "/tmp/spta_fleet_cache_XXXXXX";
+    dir_ = ::mkdtemp(templ);
+  }
+  ~TempDir() {
+    if (dir_.empty()) return;
+    // Best-effort cleanup of entry files then the directory.
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+TEST(FleetWarmStartTest, RestartServesIdenticalBytesFromDisk) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto request = AnalyzeInlineRequest(SyntheticSample(350, 41));
+
+  std::string cold_frame;
+  {
+    service::ShardedServerOptions options;
+    options.shards = 2;
+    options.server.cache_dir = dir.path();
+    service::ShardedServer fleet(options);
+    const auto responses = RunFleetScript(fleet, {request});
+    ASSERT_EQ(responses.size(), 1u);
+    ASSERT_TRUE(responses[0].ok) << responses[0].payload;
+    EXPECT_EQ(responses[0].args.GetString("cache"), "miss");
+    cold_frame = NormalizedFrame(responses[0]);
+    ASSERT_NE(fleet.persistent_cache(), nullptr);
+    EXPECT_EQ(fleet.persistent_cache()->stats().stored, 1u);
+  }
+
+  // "Restart": a brand-new fleet over the same directory must serve the
+  // same request as a cache HIT with byte-identical content.
+  service::ShardedServerOptions options;
+  options.shards = 2;
+  options.server.cache_dir = dir.path();
+  service::ShardedServer fleet(options);
+  ASSERT_NE(fleet.persistent_cache(), nullptr);
+  EXPECT_EQ(fleet.persistent_cache()->stats().loaded, 1u);
+  EXPECT_EQ(fleet.persistent_cache()->stats().rejected, 0u);
+  const auto responses = RunFleetScript(fleet, {request});
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_TRUE(responses[0].ok) << responses[0].payload;
+  EXPECT_EQ(responses[0].args.GetString("cache"), "hit");
+  // Identical bytes modulo the cache disposition + timing fields.
+  service::Response cold;
+  {
+    std::stringstream stream(cold_frame);
+    std::string error;
+    ASSERT_EQ(service::ReadResponse(stream, &cold, &error),
+              service::ReadStatus::kOk);
+  }
+  service::Response warm = responses[0];
+  cold.args.Erase("cache");
+  warm.args.Erase("cache");
+  EXPECT_EQ(NormalizedFrame(warm), NormalizedFrame(cold));
+}
+
+TEST(FleetWarmStartTest, CorruptedEntriesRejectedAndRecomputedNeverServed) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const auto request = AnalyzeInlineRequest(SyntheticSample(320, 43));
+  std::string genuine_frame;
+  std::string entry_path;
+  {
+    service::ShardedServerOptions options;
+    options.server.cache_dir = dir.path();
+    service::ShardedServer fleet(options);
+    const auto responses = RunFleetScript(fleet, {request});
+    ASSERT_EQ(responses.size(), 1u);
+    ASSERT_TRUE(responses[0].ok);
+    genuine_frame = NormalizedFrame(responses[0]);
+  }
+
+  // Corrupt the stored entry four different ways; each must be rejected
+  // at load, recomputed on request, and the poisoned bytes never served.
+  struct Corruption {
+    const char* name;
+    void (*mutate)(std::string*);
+  } corruptions[] = {
+      {"body-flip", [](std::string* c) { (*c)[c->size() - 3] ^= 0x40; }},
+      {"truncated", [](std::string* c) { c->resize(c->size() / 2); }},
+      {"padded", [](std::string* c) { c->append("extra"); }},
+      {"garbage", [](std::string* c) { c->assign("sptacX nonsense\n"); }},
+  };
+  // Locate the single entry file.
+  std::string entry_name;
+  {
+    service::PersistentResultCache probe(dir.path());
+    probe.LoadAll([&](std::uint64_t key, std::uint64_t, std::string) {
+      entry_name = service::PersistentResultCache::EntryFileName(key);
+    });
+  }
+  ASSERT_FALSE(entry_name.empty());
+  entry_path = dir.path() + "/" + entry_name;
+  std::string pristine;
+  {
+    std::ifstream in(entry_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    pristine = buf.str();
+  }
+  ASSERT_FALSE(pristine.empty());
+
+  for (const auto& corruption : corruptions) {
+    std::string damaged = pristine;
+    corruption.mutate(&damaged);
+    {
+      std::ofstream out(entry_path, std::ios::binary | std::ios::trunc);
+      out.write(damaged.data(),
+                static_cast<std::streamsize>(damaged.size()));
+    }
+    service::ShardedServerOptions options;
+    options.server.cache_dir = dir.path();
+    service::ShardedServer fleet(options);
+    ASSERT_NE(fleet.persistent_cache(), nullptr);
+    EXPECT_EQ(fleet.persistent_cache()->stats().loaded, 0u)
+        << corruption.name;
+    EXPECT_EQ(fleet.persistent_cache()->stats().rejected, 1u)
+        << corruption.name;
+    const auto responses = RunFleetScript(fleet, {request});
+    ASSERT_EQ(responses.size(), 1u) << corruption.name;
+    ASSERT_TRUE(responses[0].ok) << corruption.name;
+    // Recomputed (the rejected entry never warms the cache) and correct.
+    EXPECT_EQ(responses[0].args.GetString("cache"), "miss")
+        << corruption.name;
+    EXPECT_EQ(NormalizedFrame(responses[0]), genuine_frame)
+        << corruption.name;
+  }
+}
+
+TEST(FleetWarmStartTest, EntryEncodingRoundTripsAndChecksums) {
+  const std::string body = "usable=1 pwcet=123.5\nreport text\n";
+  const std::string encoded =
+      service::PersistentResultCache::EncodeEntry(7, 11, body);
+  std::uint64_t key = 0;
+  std::uint64_t verifier = 0;
+  std::string decoded;
+  ASSERT_TRUE(service::PersistentResultCache::DecodeEntry(
+      encoded, &key, &verifier, &decoded));
+  EXPECT_EQ(key, 7u);
+  EXPECT_EQ(verifier, 11u);
+  EXPECT_EQ(decoded, body);
+  // Any single-byte flip in the body must be caught by the digest.
+  std::string flipped = encoded;
+  flipped[flipped.size() - 2] ^= 1;
+  EXPECT_FALSE(service::PersistentResultCache::DecodeEntry(
+      flipped, &key, &verifier, &decoded));
+}
+
+// --- Burst accept (the backlog-16 regression) -----------------------------
+
+// Fires `kStorm` non-blocking connects at a listener whose accept loop is
+// NOT running, so completion depends purely on the kernel accept queue:
+// the historical hard-coded backlog of 16 strands most of the storm in
+// SYN_SENT, the flagged default of 128 completes every one.
+std::size_t CompletedConnects(std::uint16_t port, int storm_size) {
+  std::vector<int> fds;
+  std::vector<pollfd> polls;
+  for (int i = 0; i < storm_size; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) continue;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    fds.push_back(fd);
+    polls.push_back({fd, POLLOUT, 0});
+  }
+  // Give the kernel a beat; completed handshakes report writable with no
+  // pending error.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ::poll(polls.data(), polls.size(), 0);
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if ((polls[i].revents & POLLOUT) != 0) {
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      ::getsockopt(fds[i], SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr == 0) ++completed;
+    }
+    ::close(fds[i]);
+  }
+  return completed;
+}
+
+TEST(FleetBurstAcceptTest, DefaultBacklogSurvivesConnectionStorm) {
+  constexpr int kStorm = 64;
+  service::ShardedServerOptions options;
+  options.listen_backlog = 128;
+  service::ShardedServer fleet(options);
+  ASSERT_EQ(fleet.ListenTcp("127.0.0.1", 0), 0);
+  // Deliberately NOT started: nothing accepts, the queue takes the hit.
+  EXPECT_EQ(CompletedConnects(fleet.bound_port(), kStorm),
+            static_cast<std::size_t>(kStorm));
+}
+
+TEST(FleetBurstAcceptTest, HistoricalBacklog16DropsStormConnections) {
+  constexpr int kStorm = 64;
+  service::ShardedServerOptions options;
+  options.listen_backlog = 16;  // the old hard-coded value
+  service::ShardedServer fleet(options);
+  ASSERT_EQ(fleet.ListenTcp("127.0.0.1", 0), 0);
+  const std::size_t completed =
+      CompletedConnects(fleet.bound_port(), kStorm);
+  // The kernel queues ~backlog+1 handshakes; the rest of the storm is
+  // left stranded. Leave slack for kernel rounding, but the loss must be
+  // unambiguous — this is the regression that motivated the flag.
+  EXPECT_LT(completed, static_cast<std::size_t>(kStorm));
+  EXPECT_LE(completed, 32u);
+}
+
+// The flag reaches the classic server too (it was server.cpp's listen()
+// call that was hard-coded).
+TEST(FleetBurstAcceptTest, ServerOptionsCarryTheBacklogFlag) {
+  service::ServerOptions options;
+  EXPECT_EQ(options.listen_backlog, 128);  // new default, not 16
+  options.listen_backlog = 7;
+  service::Server server(options);
+  EXPECT_EQ(server.options().listen_backlog, 7);
+}
+
+}  // namespace
+}  // namespace spta

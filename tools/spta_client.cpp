@@ -1,5 +1,9 @@
 // spta_client — command-line client for a running spta_serve daemon.
 //
+// Every command targets the daemon with exactly one of:
+//   --socket PATH       AF_UNIX socket of a classic daemon
+//   --tcp HOST:PORT     TCP listener of a sharded fleet (spta_serve --tcp)
+//
 //   spta_client ping     --socket PATH
 //   spta_client analyze  --socket PATH --input samples.csv
 //                        [--prob P] [--per-path] [--block-size B]
@@ -40,8 +44,10 @@
 // the request itself is fine).
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -60,7 +66,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: spta_client <ping|analyze|session|metrics|shutdown> "
-      "--socket PATH [flags]\n"
+      "(--socket PATH | --tcp HOST:PORT) [flags]\n"
       "  analyze  --input FILE [--prob P] [--per-path] [--block-size B] "
       "[--deadline-ms D]\n"
       "  session  --input FILE [--name NAME] [--chunk N] [--prob P] "
@@ -199,7 +205,27 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Flags flags(argc - 1, argv + 1);
   const std::string socket_path = flags.GetString("socket");
-  if (socket_path.empty()) return Usage();
+  const std::string tcp_target = flags.GetString("tcp");
+  if (socket_path.empty() == tcp_target.empty()) return Usage();
+  std::string tcp_host;
+  std::uint16_t tcp_port = 0;
+  if (!tcp_target.empty()) {
+    const std::size_t colon = tcp_target.rfind(':');
+    long long port = -1;
+    if (colon != std::string::npos) {
+      char* end = nullptr;
+      port = std::strtoll(tcp_target.c_str() + colon + 1, &end, 10);
+      if (end == tcp_target.c_str() + colon + 1 || *end != '\0') port = -1;
+    }
+    if (colon == std::string::npos || colon == 0 || port < 1 ||
+        port > 65535) {
+      std::fprintf(stderr, "spta_client: --tcp expects HOST:PORT, got '%s'\n",
+                   tcp_target.c_str());
+      return 2;
+    }
+    tcp_host = tcp_target.substr(0, colon);
+    tcp_port = static_cast<std::uint16_t>(port);
+  }
   if (command != "ping" && command != "analyze" && command != "session" &&
       command != "metrics" && command != "shutdown") {
     std::fprintf(stderr, "spta_client: unknown command '%s'\n",
@@ -225,12 +251,29 @@ int main(int argc, char** argv) {
     // state is unusable.
     std::string error;
     service::Response response;
-    const auto connection = service::UnixSocketConnection::Connect(
-        socket_path, &error, timeout_ms);
-    if (!connection) {
+    std::unique_ptr<service::UnixSocketConnection> unix_connection;
+    std::unique_ptr<service::TcpConnection> tcp_connection;
+    std::istream* in = nullptr;
+    std::ostream* out = nullptr;
+    if (!tcp_target.empty()) {
+      tcp_connection = service::TcpConnection::Connect(tcp_host, tcp_port,
+                                                       &error, timeout_ms);
+      if (tcp_connection) {
+        in = &tcp_connection->in();
+        out = &tcp_connection->out();
+      }
+    } else {
+      unix_connection = service::UnixSocketConnection::Connect(
+          socket_path, &error, timeout_ms);
+      if (unix_connection) {
+        in = &unix_connection->in();
+        out = &unix_connection->out();
+      }
+    }
+    if (in == nullptr) {
       response = service::ErrResponse("transport", error);
     } else {
-      service::Client client(connection->in(), connection->out());
+      service::Client client(*in, *out);
       if (command == "ping") {
         response = client.Ping();
       } else if (command == "analyze") {

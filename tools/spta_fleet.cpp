@@ -1,0 +1,228 @@
+// spta_fleet — process supervisor for a multi-process spta_serve fleet.
+//
+//   spta_fleet --tcp PORT [--host A.B.C.D] [--procs N] [--shards M]
+//              [--cache-dir DIR] [--serve-bin PATH] [--backlog N]
+//              [--respawn-limit K] [-- extra spta_serve flags...]
+//
+// Spawns N `spta_serve --tcp PORT --reuseport` children sharing one TCP
+// port via SO_REUSEPORT (the kernel load-balances connections across the
+// listeners), each child running M internal shards — the fleet's total
+// parallelism is N*M shard threads. The supervisor then babysits:
+//
+//   * a child that dies (crash, OOM kill) is respawned, up to
+//     --respawn-limit times per child (default 5) — a child that keeps
+//     dying marks the fleet degraded but never busy-loops fork();
+//   * SIGTERM/SIGINT are forwarded to every child and the supervisor
+//     waits for their graceful drains — in-flight requests still get
+//     their responses (zero-loss drain, per child);
+//   * a child that exits cleanly (in-band SHUTDOWN) is NOT respawned;
+//     when the last child is gone the supervisor exits.
+//
+// NOTE on --cache-dir: children of one fleet may share a cache directory —
+// entry writes are atomic (tmp+rename with pid-qualified tmp names), and
+// every child warm-starts from the shared pool at spawn.
+//
+// Exit code: 0 when every child exited cleanly, 1 otherwise.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+
+namespace {
+
+using namespace spta;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: spta_fleet --tcp PORT [--host A.B.C.D] [--procs N] "
+               "[--shards M] [--cache-dir DIR] [--serve-bin PATH] "
+               "[--backlog N] [--respawn-limit K]\n");
+  return 2;
+}
+
+/// The supervisor's wake-up set. SIGTERM/SIGINT/SIGCHLD stay *blocked* for
+/// the supervisor's lifetime and are consumed synchronously with
+/// sigwaitinfo(2) in the main loop. A handler + blocking waitpid() does not
+/// work here: glibc's signal() installs SA_RESTART, so waitpid() resumes
+/// after the handler instead of failing EINTR and a SIGTERM would not be
+/// forwarded until some child happened to die on its own. Blocking the
+/// signals makes delivery a queue the loop drains — nothing can be lost
+/// between "check the flag" and "block in wait".
+sigset_t SupervisorSigset() {
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGCHLD);
+  return mask;
+}
+
+/// Resolves the spta_serve binary next to this executable (the build tree
+/// and install layouts both put them side by side).
+std::string DefaultServeBin() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return "spta_serve";
+  buffer[n] = '\0';
+  std::string path(buffer);
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "spta_serve";
+  return path.substr(0, slash + 1) + "spta_serve";
+}
+
+struct Child {
+  pid_t pid = -1;
+  int respawns = 0;
+  bool clean_exit = false;  ///< Exited 0 — drained, do not respawn.
+  bool gave_up = false;     ///< Respawn limit hit.
+};
+
+pid_t SpawnChild(const std::string& serve_bin,
+                 const std::vector<std::string>& args) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: the supervisor runs with SIGTERM/SIGINT/SIGCHLD blocked and the
+  // mask survives execv — unblock everything or the spta_serve child would
+  // never see the forwarded SIGTERM it is supposed to drain on.
+  sigset_t empty;
+  sigemptyset(&empty);
+  ::sigprocmask(SIG_SETMASK, &empty, nullptr);
+  // Build argv and exec. On failure exit 127 so the supervisor counts it
+  // as a dirty exit rather than silently running supervisor code twice.
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(serve_bin.c_str()));
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(serve_bin.c_str(), argv.data());
+  std::fprintf(stderr, "spta_fleet: execv('%s') failed: %s\n",
+               serve_bin.c_str(), std::strerror(errno));
+  ::_exit(127);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (!flags.Has("tcp")) return Usage();
+  const int port = static_cast<int>(flags.GetInt("tcp", 0));
+  if (port < 1 || port > 65535) {
+    // The fleet cannot use an ephemeral port: every child must bind the
+    // SAME port for SO_REUSEPORT balancing.
+    std::fprintf(stderr, "spta_fleet: --tcp needs an explicit port >= 1\n");
+    return 2;
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int procs = static_cast<int>(flags.GetInt("procs", 2));
+  const int shards = static_cast<int>(flags.GetInt("shards", 1));
+  const int respawn_limit =
+      static_cast<int>(flags.GetInt("respawn-limit", 5));
+  if (procs < 1 || shards < 1 || respawn_limit < 0) return Usage();
+  const std::string serve_bin =
+      flags.GetString("serve-bin", DefaultServeBin());
+  const std::string cache_dir = flags.GetString("cache-dir");
+  const int backlog = static_cast<int>(flags.GetInt("backlog", 128));
+
+  std::vector<std::string> child_args = {
+      "--tcp",     std::to_string(port),
+      "--host",    host,
+      "--shards",  std::to_string(shards),
+      "--backlog", std::to_string(backlog),
+      "--reuseport"};
+  if (!cache_dir.empty()) {
+    child_args.push_back("--cache-dir");
+    child_args.push_back(cache_dir);
+  }
+
+  sigset_t mask = SupervisorSigset();
+  ::sigprocmask(SIG_BLOCK, &mask, nullptr);
+
+  std::vector<Child> children(static_cast<std::size_t>(procs));
+  for (Child& child : children) {
+    child.pid = SpawnChild(serve_bin, child_args);
+    if (child.pid < 0) {
+      std::fprintf(stderr, "spta_fleet: fork failed: %s\n",
+                   std::strerror(errno));
+      child.gave_up = true;
+    }
+  }
+  std::fprintf(stderr, "spta_fleet: %d procs x %d shards on %s:%d\n", procs,
+               shards, host.c_str(), port);
+
+  bool terminate = false;
+  bool forwarded = false;
+  bool any_dirty = false;
+  for (;;) {
+    // Reap everything that has exited. SIGCHLD coalesces, so one wake-up
+    // may cover several deaths — drain with WNOHANG until empty.
+    for (;;) {
+      int status = 0;
+      const pid_t done = ::waitpid(-1, &status, WNOHANG);
+      if (done <= 0) break;
+      for (Child& child : children) {
+        if (child.pid != done) continue;
+        const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (clean || forwarded) {
+          child.clean_exit = true;
+          if (!clean) any_dirty = true;
+          std::fprintf(stderr, "spta_fleet: pid %d exited (%s)\n",
+                       static_cast<int>(done), clean ? "clean" : "dirty");
+          break;
+        }
+        any_dirty = true;
+        if (child.respawns >= respawn_limit) {
+          child.gave_up = true;
+          std::fprintf(stderr,
+                       "spta_fleet: pid %d died, respawn limit (%d) hit — "
+                       "fleet degraded\n",
+                       static_cast<int>(done), respawn_limit);
+          break;
+        }
+        ++child.respawns;
+        child.pid = SpawnChild(serve_bin, child_args);
+        std::fprintf(stderr, "spta_fleet: pid %d died, respawned as %d "
+                             "(%d/%d)\n",
+                     static_cast<int>(done), static_cast<int>(child.pid),
+                     child.respawns, respawn_limit);
+        break;
+      }
+    }
+
+    if (terminate && !forwarded) {
+      forwarded = true;
+      std::fprintf(stderr, "spta_fleet: forwarding SIGTERM; draining...\n");
+      for (const Child& child : children) {
+        if (child.pid > 0 && !child.clean_exit && !child.gave_up) {
+          ::kill(child.pid, SIGTERM);
+        }
+      }
+    }
+
+    bool anyone_running = false;
+    for (const Child& child : children) {
+      if (child.pid > 0 && !child.clean_exit && !child.gave_up) {
+        anyone_running = true;
+      }
+    }
+    if (!anyone_running) break;
+
+    // Blocks until a blocked signal is pending. A child that exited before
+    // this point left SIGCHLD pending (the set stays blocked), so the wait
+    // returns immediately — no lost-wakeup window exists.
+    int sig = 0;
+    do {
+      sig = ::sigwaitinfo(&mask, nullptr);
+    } while (sig < 0 && errno == EINTR);
+    if (sig == SIGTERM || sig == SIGINT) terminate = true;
+  }
+  return any_dirty ? 1 : 0;
+}

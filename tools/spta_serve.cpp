@@ -1,8 +1,8 @@
 // spta_serve — resident pWCET analysis daemon.
 //
 //   spta_serve --socket /tmp/spta.sock [--workers N] [--queue N]
-//              [--cache N] [--deadline-ms D]
-//              [--prom-out FILE [--prom-interval-ms N]]
+//              [--cache N] [--deadline-ms D] [--cache-dir DIR]
+//              [--backlog N] [--prom-out FILE [--prom-interval-ms N]]
 //       Listens on an AF_UNIX stream socket; serves concurrent clients
 //       until one sends SHUTDOWN. Dumps the metrics surface to stderr on
 //       exit.
@@ -10,6 +10,16 @@
 //   spta_serve --pipe [same tuning flags]
 //       Serves a single framed request stream on stdin/stdout (inetd
 //       style; also what the tests and scripted clients use).
+//
+//   spta_serve --tcp PORT [--host A.B.C.D] [--shards N] [--reuseport]
+//              [same tuning flags]
+//       Sharded fleet mode: an epoll event loop accepts TCP connections
+//       and routes frames to N shared-nothing worker shards by content
+//       digest (service/sharded_server.hpp). --cache-dir enables the
+//       disk-backed warm-start cache; --reuseport lets several fleet
+//       processes (the spta_fleet supervisor's children) share the port.
+//       PORT 0 picks an ephemeral port, printed on stderr as
+//       "listening on HOST:PORT".
 //
 // --prom-out periodically exports the same Prometheus text body that the
 // METRICS_PROM verb serves (atomic tmp+rename, so a scraper using the
@@ -36,6 +46,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -45,6 +56,7 @@
 #include "common/atomic_file.hpp"
 #include "common/flags.hpp"
 #include "service/server.hpp"
+#include "service/sharded_server.hpp"
 
 namespace {
 
@@ -52,19 +64,22 @@ using namespace spta;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: spta_serve (--socket PATH | --pipe) [--workers N] "
-               "[--queue N] [--cache N] [--deadline-ms D] "
-               "[--prom-out FILE [--prom-interval-ms N]]\n");
+               "usage: spta_serve (--socket PATH | --pipe | --tcp PORT) "
+               "[--host A.B.C.D] [--shards N] [--reuseport] [--workers N] "
+               "[--queue N] [--cache N] [--deadline-ms D] [--cache-dir DIR] "
+               "[--backlog N] [--prom-out FILE [--prom-interval-ms N]]\n");
   return 2;
 }
 
 /// Periodic Prometheus textfile exporter (--prom-out). Writes the same
-/// body METRICS_PROM serves; the destructor stops the ticker and writes
-/// one final export so the shutdown-state counters always land on disk.
+/// body METRICS_PROM serves (classic mode) or the fleet exposition (TCP
+/// mode); the destructor stops the ticker and writes one final export so
+/// the shutdown-state counters always land on disk.
 class PromExporter {
  public:
-  PromExporter(service::Server* server, std::string path, double interval_ms)
-      : server_(server), path_(std::move(path)) {
+  PromExporter(std::function<std::string()> render, std::string path,
+               double interval_ms)
+      : render_(std::move(render)), path_(std::move(path)) {
     if (interval_ms > 0.0) {
       interval_ = std::chrono::duration<double, std::milli>(interval_ms);
       thread_ = std::thread([this] { Loop(); });
@@ -96,13 +111,13 @@ class PromExporter {
 
   void WriteOnce() {
     std::string error;
-    if (!AtomicWriteFile(path_, server_->RenderPromText(), &error)) {
+    if (!AtomicWriteFile(path_, render_(), &error)) {
       std::fprintf(stderr, "spta_serve: prom export failed: %s\n",
                    error.c_str());
     }
   }
 
-  service::Server* server_;
+  std::function<std::string()> render_;
   std::string path_;
   std::chrono::duration<double, std::milli> interval_{0};
   std::mutex mutex_;
@@ -123,16 +138,17 @@ extern "C" void OnTerminationSignal(int) {
 }
 
 /// Blocks until the handler pings the self-pipe (or it closes), then runs
-/// the graceful shutdown. In pipe mode there is no listener to unblock, so
-/// stdin is closed as well — the stream reader sees EOF and winds down.
-void WatchSignals(service::Server* server, bool pipe_mode) {
+/// the graceful shutdown (`trigger` is Server::TriggerShutdown or the
+/// fleet's). In pipe mode there is no listener to unblock, so stdin is
+/// closed as well — the stream reader sees EOF and winds down.
+void WatchSignals(std::function<void()> trigger, bool pipe_mode) {
   ssize_t n;
   char byte;
   while ((n = ::read(g_signal_pipe[0], &byte, 1)) < 0 && errno == EINTR) {
   }
   if (n <= 0) return;  // write end closed: normal exit, nothing to do
   std::fprintf(stderr, "spta_serve: termination signal; draining...\n");
-  server->TriggerShutdown();
+  trigger();
   if (pipe_mode) ::close(STDIN_FILENO);
 }
 
@@ -142,7 +158,11 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::string socket_path = flags.GetString("socket");
   const bool pipe_mode = flags.GetBool("pipe");
-  if (socket_path.empty() == !pipe_mode) return Usage();  // exactly one mode
+  const bool tcp_mode = flags.Has("tcp");
+  const int mode_count = static_cast<int>(!socket_path.empty()) +
+                         static_cast<int>(pipe_mode) +
+                         static_cast<int>(tcp_mode);
+  if (mode_count != 1) return Usage();  // exactly one mode
 
   service::ServerOptions options;
   options.workers = static_cast<std::size_t>(flags.GetInt("workers", 0));
@@ -151,12 +171,16 @@ int main(int argc, char** argv) {
   options.cache_capacity =
       static_cast<std::size_t>(flags.GetInt("cache", 128));
   options.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  options.listen_backlog = static_cast<int>(flags.GetInt("backlog", 128));
+  options.cache_dir = flags.GetString("cache-dir");
   if (options.queue_capacity == 0 || options.cache_capacity == 0) {
     std::fprintf(stderr, "spta_serve: --queue and --cache must be >= 1\n");
     return 2;
   }
-
-  service::Server server(options);
+  if (options.listen_backlog < 1) {
+    std::fprintf(stderr, "spta_serve: --backlog must be >= 1\n");
+    return 2;
+  }
 
   const std::string prom_out = flags.GetString("prom-out");
   const double prom_interval_ms =
@@ -165,17 +189,83 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "spta_serve: --prom-interval-ms must be >= 0\n");
     return 2;
   }
-  std::unique_ptr<PromExporter> prom_exporter;
-  if (!prom_out.empty()) {
-    prom_exporter =
-        std::make_unique<PromExporter>(&server, prom_out, prom_interval_ms);
-  }
 
   // A dead peer is an ERR on its own connection, never a daemon death.
   std::signal(SIGPIPE, SIG_IGN);
+
+  if (tcp_mode) {
+    service::ShardedServerOptions fleet_options;
+    fleet_options.server = options;
+    fleet_options.shards =
+        static_cast<std::size_t>(flags.GetInt("shards", 1));
+    fleet_options.listen_backlog = options.listen_backlog;
+    fleet_options.reuseport = flags.GetBool("reuseport");
+    if (fleet_options.shards == 0) {
+      std::fprintf(stderr, "spta_serve: --shards must be >= 1\n");
+      return 2;
+    }
+    service::ShardedServer fleet(fleet_options);
+    const std::string host = flags.GetString("host", "127.0.0.1");
+    const int port = static_cast<int>(flags.GetInt("tcp", 0));
+    if (port < 0 || port > 65535) return Usage();
+    int err = fleet.ListenTcp(host, static_cast<std::uint16_t>(port));
+    if (err != 0) {
+      std::fprintf(stderr, "spta_serve: tcp bind failed (errno %d)\n", err);
+      return 1;
+    }
+    std::unique_ptr<PromExporter> prom_exporter;
+    if (!prom_out.empty()) {
+      prom_exporter = std::make_unique<PromExporter>(
+          [&fleet] { return fleet.RenderFleetProm(); }, prom_out,
+          prom_interval_ms);
+    }
+    std::thread watcher;
+    if (::pipe(g_signal_pipe) == 0) {
+      watcher = std::thread(
+          WatchSignals, [&fleet] { fleet.TriggerShutdown(); }, false);
+      std::signal(SIGTERM, OnTerminationSignal);
+      std::signal(SIGINT, OnTerminationSignal);
+    }
+    std::fprintf(stderr, "spta_serve: listening on %s:%u (%zu shards)\n",
+                 host.c_str(), fleet.bound_port(), fleet.shard_count());
+    err = fleet.Start();
+    int exit_code = 0;
+    if (err != 0) {
+      std::fprintf(stderr, "spta_serve: fleet start failed (errno %d)\n",
+                   err);
+      exit_code = 1;
+    } else {
+      fleet.Wait();
+    }
+    if (watcher.joinable()) {
+      // SIG_IGN, not SIG_DFL: the drain is already done, and a second
+      // SIGTERM racing this exit path must not turn a clean drain into a
+      // killed-by-signal exit (the fleet supervisor counts those as dirty).
+      std::signal(SIGTERM, SIG_IGN);
+      std::signal(SIGINT, SIG_IGN);
+      ::close(g_signal_pipe[1]);
+      watcher.join();
+      ::close(g_signal_pipe[0]);
+    }
+    prom_exporter.reset();
+    std::fprintf(stderr, "spta_serve: exiting; fleet exposition:\n%s",
+                 fleet.RenderFleetProm().c_str());
+    return exit_code;
+  }
+
+  service::Server server(options);
+
+  std::unique_ptr<PromExporter> prom_exporter;
+  if (!prom_out.empty()) {
+    prom_exporter = std::make_unique<PromExporter>(
+        [&server] { return server.RenderPromText(); }, prom_out,
+        prom_interval_ms);
+  }
+
   std::thread watcher;
   if (::pipe(g_signal_pipe) == 0) {
-    watcher = std::thread(WatchSignals, &server, pipe_mode);
+    watcher = std::thread(
+        WatchSignals, [&server] { server.TriggerShutdown(); }, pipe_mode);
     std::signal(SIGTERM, OnTerminationSignal);
     std::signal(SIGINT, OnTerminationSignal);
   } else {
@@ -199,9 +289,11 @@ int main(int argc, char** argv) {
 
   if (watcher.joinable()) {
     // Serving is over (in-band SHUTDOWN or signal). Unblock the watcher by
-    // closing the write end, then reap it.
-    std::signal(SIGTERM, SIG_DFL);
-    std::signal(SIGINT, SIG_DFL);
+    // closing the write end, then reap it. SIG_IGN so a second signal
+    // racing the exit path cannot turn the finished drain into a
+    // killed-by-signal exit.
+    std::signal(SIGTERM, SIG_IGN);
+    std::signal(SIGINT, SIG_IGN);
     ::close(g_signal_pipe[1]);
     watcher.join();
     ::close(g_signal_pipe[0]);
