@@ -369,6 +369,7 @@ int main(int argc, char** argv) {
   if (argc >= 5) {
     const std::string loadgen_json = dir + "/BENCH_service_loadgen.json";
     const std::string fleet_json = dir + "/BENCH_service_fleet.json";
+    const std::string resilience_json = dir + "/BENCH_resilience.json";
     ::setenv("SPTA_BENCH_RUNS", "50", /*overwrite=*/1);
     const std::string loadgen_cmd = std::string("\"") + argv[4] + "\"";
     if (std::system(loadgen_cmd.c_str()) != 0) {
@@ -407,8 +408,31 @@ int main(int argc, char** argv) {
             Number(fleet_numbers, "gate_min_speedup", 10.0)) {
       Fail("service_fleet: armed >= 10x warm gate failed");
     }
+    // The resilience artifact: chaos-on vs chaos-off throughput plus the
+    // two hard invariants — zero lost requests and bit-identical answers
+    // across seeded shard kills. Recovery percentiles are reported, not
+    // gated (machine-dependent).
+    std::map<std::string, std::string> resilience_numbers;
+    ValidateReport(resilience_json, "resilience",
+                   {"chaos_off_rps", "chaos_on_rps", "kills",
+                    "recovery_p50_ms", "recovery_p99_ms", "lost_requests",
+                    "checksum_match", "acceptance_pass"},
+                   &resilience_numbers);
+    if (resilience_numbers.count("lost_requests") &&
+        Number(resilience_numbers, "lost_requests", 1.0) != 0.0) {
+      Fail("resilience: chaos leg lost acked requests");
+    }
+    if (resilience_numbers.count("checksum_match") &&
+        Number(resilience_numbers, "checksum_match", 0.0) != 1.0) {
+      Fail("resilience: chaos-leg responses were not bit-identical");
+    }
+    if (resilience_numbers.count("kills") &&
+        !(Number(resilience_numbers, "kills", 0.0) > 0.0)) {
+      Fail("resilience: the chaos schedule fired no kills");
+    }
     std::remove(loadgen_json.c_str());
     std::remove(fleet_json.c_str());
+    std::remove(resilience_json.c_str());
   }
 
   ::rmdir(dir.c_str());

@@ -27,6 +27,7 @@
 //
 // Exit code is nonzero when any armed acceptance criterion fails, so the
 // bench doubles as a regression guard.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +37,7 @@
 
 #include "common/hash.hpp"
 #include "bench_util.hpp"
+#include "fault/io_plan.hpp"
 #include "mbpta/per_path.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
@@ -469,6 +471,154 @@ int main() {
       failed = true;
     }
   }
+  // Leg F: resilience A/B (BENCH_resilience.json) — the same warm stream
+  // with and without seeded chaos. The FleetChaosPlan decides each kill;
+  // the victim is the busiest live shard (the one the stream routes to),
+  // so every kill forces a real failover + re-analysis. Gated invariants:
+  // zero lost requests and bit-identical answers (the cache disposition
+  // and timing aside — a failover re-executes, it must not change bytes).
+  double chaos_off_rps = 0.0;
+  double chaos_on_rps = 0.0;
+  std::size_t resilience_kills = 0;
+  std::uint64_t lost_requests = 0;
+  bool resilience_checksum = true;
+  double recovery_p50_ms = 0.0;
+  double recovery_p99_ms = 0.0;
+  {
+    const auto resilience_frame = [](service::Response response) {
+      response.args.Erase("analyze_us");
+      response.args.Erase("cache");
+      std::string frame;
+      service::AppendResponseFrame(response, &frame);
+      return frame;
+    };
+    std::string expected_frame;
+
+    // Chaos-off reference pass.
+    {
+      service::ShardedServerOptions fleet_options;
+      fleet_options.shards = 4;
+      service::ShardedServer fleet(fleet_options);
+      std::string out;
+      fleet.ServeScript(warmup_wire, &out);
+      if (fleet.ListenTcp("127.0.0.1", 0) == 0 && fleet.Start() == 0) {
+        const auto [responses, elapsed] = RunTcp(fleet, warm_wire, warm_runs);
+        if (responses.size() != warm_runs) {
+          std::printf("FAIL: chaos-off leg: %zu/%zu responses\n",
+                      responses.size(), warm_runs);
+          failed = true;
+        } else {
+          expected_frame = resilience_frame(responses.front());
+        }
+        chaos_off_rps =
+            elapsed > 0.0 ? static_cast<double>(warm_runs) / elapsed : 0.0;
+        fleet.TriggerShutdown();
+        fleet.Wait();
+      } else {
+        std::printf("FAIL: chaos-off fleet start\n");
+        failed = true;
+      }
+    }
+
+    // Chaos-on pass: plan-driven kills at quarter points of the stream.
+    {
+      service::ShardedServerOptions fleet_options;
+      fleet_options.shards = 4;
+      service::ShardedServer fleet(fleet_options);
+      std::string out;
+      fleet.ServeScript(warmup_wire, &out);
+      if (fleet.ListenTcp("127.0.0.1", 0) == 0 && fleet.Start() == 0) {
+        fault::FleetChaosConfig chaos;
+        chaos.kill_rate = 1.0;
+        fault::FleetChaosPlan plan(chaos, /*campaign_seed=*/20260809);
+        const std::size_t kill_steps[3] = {warm_runs / 4, warm_runs / 2,
+                                           (3 * warm_runs) / 4};
+        std::size_t next_kill = 0;
+        std::string error;
+        auto connection = service::TcpConnection::Connect(
+            "127.0.0.1", fleet.bound_port(), &error, 60000.0);
+        if (connection) {
+          const auto t0 = Clock::now();
+          connection->out().write(
+              warm_wire.data(),
+              static_cast<std::streamsize>(warm_wire.size()));
+          connection->out().flush();
+          std::vector<double> recovery_ms;
+          bool kill_pending = false;
+          Clock::time_point kill_time{};
+          std::size_t got = 0;
+          std::size_t ok_count = 0;
+          service::Response response;
+          while (got < warm_runs &&
+                 service::ReadResponse(connection->in(), &response,
+                                       &error) == service::ReadStatus::kOk) {
+            ++got;
+            if (kill_pending) {
+              recovery_ms.push_back(Seconds(kill_time, Clock::now()) * 1e3);
+              kill_pending = false;
+            }
+            ok_count += response.ok;
+            if (resilience_checksum &&
+                resilience_frame(response) != expected_frame) {
+              resilience_checksum = false;
+            }
+            if (next_kill < 3 && got == kill_steps[next_kill]) {
+              ++next_kill;
+              std::size_t alive = 0;
+              for (std::size_t i = 0; i < 4; ++i) {
+                alive += fleet.shard_alive(i);
+              }
+              if (alive > 1 && plan.Next(alive).action !=
+                                   fault::FleetChaosAction::kNone) {
+                // The busiest live shard is the stream's digest home.
+                std::size_t victim = 0;
+                std::uint64_t best = 0;
+                for (std::size_t i = 0; i < 4; ++i) {
+                  if (!fleet.shard_alive(i)) continue;
+                  if (fleet.shard_memo_hits(i) >= best) {
+                    best = fleet.shard_memo_hits(i);
+                    victim = i;
+                  }
+                }
+                fleet.KillShardForTest(victim);
+                ++resilience_kills;
+                kill_time = Clock::now();
+                kill_pending = true;
+              }
+            }
+          }
+          const double elapsed = Seconds(t0, Clock::now());
+          chaos_on_rps =
+              elapsed > 0.0 ? static_cast<double>(got) / elapsed : 0.0;
+          lost_requests = static_cast<std::uint64_t>(warm_runs - ok_count);
+          if (!recovery_ms.empty()) {
+            std::sort(recovery_ms.begin(), recovery_ms.end());
+            recovery_p50_ms = recovery_ms[recovery_ms.size() / 2];
+            recovery_p99_ms = recovery_ms[std::min(
+                recovery_ms.size() - 1,
+                static_cast<std::size_t>(
+                    static_cast<double>(recovery_ms.size()) * 0.99))];
+          }
+        } else {
+          std::printf("FAIL: chaos-on connect: %s\n", error.c_str());
+          failed = true;
+        }
+        fleet.TriggerShutdown();
+        fleet.Wait();
+      } else {
+        std::printf("FAIL: chaos-on fleet start\n");
+        failed = true;
+      }
+    }
+  }
+  const bool resilience_pass = lost_requests == 0 && resilience_checksum;
+  if (!resilience_pass) {
+    std::printf("FAIL: chaos leg lost %llu request(s), checksum %s\n",
+                static_cast<unsigned long long>(lost_requests),
+                resilience_checksum ? "ok" : "MISMATCH");
+    failed = true;
+  }
+
   if (!warm_start_hit) {
     std::printf("FAIL: restarted fleet did not serve a disk-warmed hit\n");
     failed = true;
@@ -497,6 +647,12 @@ int main() {
               warm_start_hit ? "disk hit" : "MISS");
   std::printf("bit identity     : %s\n",
               fleet_bits_match ? "OK (classic == fleet == TCP)" : "FAIL");
+  std::printf(
+      "resilience       : %12.0f req/s chaos-off, %12.0f req/s with %zu "
+      "kills; recovery p50 %.2f ms p99 %.2f ms; %llu lost  %s\n",
+      chaos_off_rps, chaos_on_rps, resilience_kills, recovery_p50_ms,
+      recovery_p99_ms, static_cast<unsigned long long>(lost_requests),
+      resilience_pass ? "OK" : "FAIL");
 
   bench::JsonReport fleet_report("service_fleet", warm_runs);
   fleet_report.Set("classic_warm_rps", classic_warm_rps);
@@ -518,6 +674,17 @@ int main() {
   fleet_report.Set("gate_min_speedup", kFleetGate);
   fleet_report.Set("acceptance_pass", failed ? 0.0 : 1.0);
   fleet_report.Write();
+
+  bench::JsonReport resilience_report("resilience", warm_runs);
+  resilience_report.Set("chaos_off_rps", chaos_off_rps);
+  resilience_report.Set("chaos_on_rps", chaos_on_rps);
+  resilience_report.Set("kills", static_cast<double>(resilience_kills));
+  resilience_report.Set("recovery_p50_ms", recovery_p50_ms);
+  resilience_report.Set("recovery_p99_ms", recovery_p99_ms);
+  resilience_report.Set("lost_requests", static_cast<double>(lost_requests));
+  resilience_report.Set("checksum_match", resilience_checksum ? 1.0 : 0.0);
+  resilience_report.Set("acceptance_pass", resilience_pass ? 1.0 : 0.0);
+  resilience_report.Write();
 
   bench::JsonReport report("service_loadgen", sample_size);
   report.Set("cold_analyze_ms", cold_s * 1e3);

@@ -9,6 +9,25 @@
 
 namespace spta::fault {
 
+FleetChaosPlan::Decision FleetChaosPlan::Next(std::size_t targets) {
+  Decision decision;
+  if (!config_.Enabled() || targets == 0) return decision;
+  Roll roll(campaign_seed_, "fleet",
+            ordinal_.fetch_add(1, std::memory_order_relaxed));
+  if (roll.Chance(config_.kill_rate)) {
+    decision.action = FleetChaosAction::kKillChild;
+  } else if (roll.Chance(config_.wedge_rate)) {
+    decision.action = FleetChaosAction::kWedgeChild;
+  } else if (roll.Chance(config_.disk_full_rate)) {
+    decision.action = FleetChaosAction::kDiskFull;
+  }
+  if (decision.action != FleetChaosAction::kNone) {
+    decision.target = roll.Below(targets);
+    faults_fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
 service::IoFault IoFaultPlan::Next(service::IoOp op, std::size_t requested) {
   service::IoFault fault;
   if (!config_.Enabled()) return fault;

@@ -34,6 +34,56 @@ struct IoFaultConfig {
   }
 };
 
+/// One step of the fleet-level chaos schedule (tests/fleet_chaos_test and
+/// the resilience bench leg).
+enum class FleetChaosAction {
+  kNone = 0,
+  kKillChild,   ///< SIGKILL a child process (crash injection).
+  kWedgeChild,  ///< SIGSTOP a child: alive but unresponsive (watchdog bait).
+  kDiskFull,    ///< Drive the persistent cache into (simulated) ENOSPC.
+};
+
+struct FleetChaosConfig {
+  /// Per-step probabilities; evaluated in this order, first hit wins.
+  double kill_rate = 0.0;
+  double wedge_rate = 0.0;
+  double disk_full_rate = 0.0;
+
+  bool Enabled() const {
+    return kill_rate > 0.0 || wedge_rate > 0.0 || disk_full_rate > 0.0;
+  }
+};
+
+/// Seeded process-level chaos: where IoFaultPlan perturbs one connection's
+/// syscalls, this decides which CHILD of a fleet gets killed, wedged, or
+/// starved of disk at each step of a soak. Decisions are a pure function
+/// of (campaign_seed, "fleet", ordinal), so a failing soak replays from
+/// the seed alone.
+class FleetChaosPlan {
+ public:
+  struct Decision {
+    FleetChaosAction action = FleetChaosAction::kNone;
+    std::size_t target = 0;  ///< Child index for kill/wedge; else unused.
+  };
+
+  FleetChaosPlan(const FleetChaosConfig& config, Seed campaign_seed)
+      : config_(config), campaign_seed_(campaign_seed) {}
+
+  /// The decision for the next soak step (advances the ordinal).
+  /// `targets` is how many children are eligible; 0 forces kNone.
+  Decision Next(std::size_t targets);
+
+  std::uint64_t faults_fired() const {
+    return faults_fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FleetChaosConfig config_;
+  Seed campaign_seed_;
+  std::atomic<std::uint64_t> ordinal_{0};
+  std::atomic<std::uint64_t> faults_fired_{0};
+};
+
 /// A deterministic per-connection fault schedule: create one IoFaultPlan
 /// per connection; the syscall ordinal is the per-plan counter. Thread-safe
 /// within a connection (the reader thread and response-flushing workers

@@ -117,6 +117,12 @@ Response Client::MetricsProm() {
   return Call(request);
 }
 
+Response Client::Health() {
+  Request request;
+  request.kind = RequestKind::kHealth;
+  return Call(request);
+}
+
 Response Client::Shutdown() {
   Request request;
   request.kind = RequestKind::kShutdown;

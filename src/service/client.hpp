@@ -61,6 +61,8 @@ class Client {
   Response Metrics();
   /// Prometheus text exposition (payload carries the scrape body).
   Response MetricsProm();
+  /// Liveness/readiness probe (answered on the fleet's event loop).
+  Response Health();
   Response Shutdown();
 
  private:

@@ -1,7 +1,11 @@
 #include "service/persistent_cache.hpp"
 
 #include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -119,16 +123,82 @@ bool PersistentResultCache::DecodeEntry(std::string_view contents,
   return true;
 }
 
+void PersistentResultCache::ForgetLocked(std::uint64_t key) {
+  const auto it = sizes_.find(key);
+  if (it == sizes_.end()) return;
+  total_bytes_ -= std::min(total_bytes_, it->second.bytes);
+  lru_.erase(it->second.where);
+  sizes_.erase(it);
+}
+
+void PersistentResultCache::RememberLocked(std::uint64_t key,
+                                           std::uint64_t bytes) {
+  ForgetLocked(key);
+  lru_.push_back(key);
+  sizes_[key] = IndexEntry{std::prev(lru_.end()), bytes};
+  total_bytes_ += bytes;
+}
+
+bool PersistentResultCache::EvictOneLocked() {
+  if (lru_.empty()) return false;
+  const std::uint64_t victim = lru_.front();
+  const std::uint64_t bytes = sizes_.at(victim).bytes;
+  // A single unlink is the whole eviction: atomic, crash-safe, and a
+  // racing reader that already opened the file keeps its (valid) copy.
+  const std::string path = dir_ + "/" + EntryFileName(victim);
+  ::unlink(path.c_str());
+  ForgetLocked(victim);
+  ++stats_.evicted;
+  stats_.evicted_bytes += bytes;
+  return true;
+}
+
 bool PersistentResultCache::Put(std::uint64_t key, std::uint64_t verifier,
                                 std::string_view body) {
-  const std::string path = dir_ + "/" + EntryFileName(key);
   const std::string contents = EncodeEntry(key, verifier, body);
+  const std::string path = dir_ + "/" + EntryFileName(key);
+  const std::uint64_t entry_bytes = contents.size();
   std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.degraded != 0) return false;  // Sticky memory-only mode.
+  // Overwriting an existing key frees its old footprint first, so the
+  // budget math below sees the true post-write total.
+  ForgetLocked(key);
+  if (limits_.max_bytes > 0) {
+    while (total_bytes_ + entry_bytes > limits_.max_bytes &&
+           EvictOneLocked()) {
+    }
+  }
+  bool simulated_enospc =
+      limits_.quota_bytes > 0 &&
+      total_bytes_ + entry_bytes > limits_.quota_bytes;
   std::string error;
-  if (!AtomicWriteFile(path, contents, &error)) {
+  errno = 0;
+  bool ok = !simulated_enospc && AtomicWriteFile(path, contents, &error);
+  int saved_errno = simulated_enospc ? ENOSPC : errno;
+  if (!ok && (saved_errno == ENOSPC || saved_errno == EDQUOT)) {
+    // Full device: reclaim the oldest entry and retry exactly once. More
+    // aggressive reclamation is pointless — if one eviction doesn't make
+    // room for one entry, the device is full of someone else's data.
+    if (EvictOneLocked()) {
+      simulated_enospc = limits_.quota_bytes > 0 &&
+                         total_bytes_ + entry_bytes > limits_.quota_bytes;
+      errno = 0;
+      ok = !simulated_enospc && AtomicWriteFile(path, contents, &error);
+      saved_errno = simulated_enospc ? ENOSPC : errno;
+    }
+  }
+  if (!ok) {
     ++stats_.store_failures;
+    if (saved_errno == ENOSPC || saved_errno == EDQUOT) {
+      ++stats_.enospc_failures;
+      stats_.degraded = 1;
+    } else if (saved_errno == EIO) {
+      ++stats_.eio_failures;
+      stats_.degraded = 1;
+    }
     return false;
   }
+  RememberLocked(key, entry_bytes);
   ++stats_.stored;
   return true;
 }
@@ -147,9 +217,34 @@ std::size_t PersistentResultCache::LoadAll(
     }
     ::closedir(dir);
   }
+  // readdir order is filesystem-dependent; sort so which entries survive
+  // the load_max_entries cap is deterministic across runs and machines.
+  std::sort(names.begin(), names.end());
   std::size_t fed = 0;
+  std::uint64_t considered = 0;
   for (const std::string& name : names) {
-    std::ifstream in(dir_ + "/" + name, std::ios::binary);
+    const std::string path = dir_ + "/" + name;
+    // Size gate by stat() BEFORE reading: an oversized (possibly
+    // adversarial) file must not be pulled into memory at all.
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.rejected;
+      continue;
+    }
+    if (static_cast<std::uint64_t>(st.st_size) >
+        limits_.load_max_entry_bytes) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.load_skipped_oversize;
+      continue;
+    }
+    if (considered >= limits_.load_max_entries) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.load_skipped_overflow;
+      continue;
+    }
+    ++considered;
+    std::ifstream in(path, std::ios::binary);
     std::ostringstream contents;
     contents << in.rdbuf();
     std::uint64_t key = 0;
@@ -163,12 +258,20 @@ std::size_t PersistentResultCache::LoadAll(
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.loaded;
+      // Seed the eviction index so a warm-started store knows its
+      // footprint; load order stands in for write order.
+      RememberLocked(key, static_cast<std::uint64_t>(st.st_size));
     }
     // Sink runs unlocked: it may itself store (re-encode) entries.
     sink(key, verifier, std::move(body));
     ++fed;
   }
   return fed;
+}
+
+bool PersistentResultCache::degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.degraded != 0;
 }
 
 PersistentResultCache::Stats PersistentResultCache::stats() const {

@@ -11,8 +11,8 @@
 // (no spaces inside keys or values); everything after the first newline is
 // free-form bulk payload (sample chunks on requests, report text on
 // responses). Requests carry a verb TYPE (PING, OPEN, APPEND, STATUS,
-// ANALYZE, CLOSE, METRICS, METRICS_PROM, SHUTDOWN, INGEST); responses
-// carry OK or ERR. INGEST is the one verb with a BINARY payload (a trace
+// ANALYZE, CLOSE, METRICS, METRICS_PROM, SHUTDOWN, INGEST, HEALTH);
+// responses carry OK or ERR. INGEST is the one verb with a BINARY payload (a trace
 // container in either format) — the length-prefixed framing is 8-bit
 // clean, so no escaping is needed.
 //
@@ -42,10 +42,16 @@ enum class RequestKind {
   kMetricsProm,  ///< Prometheus text-format metrics scrape.
   kShutdown,
   kIngest,  ///< Binary trace upload: validate, mine kernels, cache table.
+  /// Liveness + readiness probe. Answered inline by the classic server
+  /// (never queued) and on the event-loop thread by the sharded fleet —
+  /// a HEALTH response proves the serving loop itself is alive even when
+  /// every shard is wedged; its args/payload carry per-shard readiness
+  /// (queue depth, inflight, last-completion age, breaker state).
+  kHealth,
 };
 
 /// Number of RequestKind values (per-verb counter array size).
-inline constexpr int kRequestKindCount = 10;
+inline constexpr int kRequestKindCount = 11;
 
 /// Hard cap on a frame's body length. Enforced BEFORE the body buffer is
 /// allocated, by the blocking readers and the incremental reassembler

@@ -76,7 +76,11 @@ Server::Server(ServerOptions options)
       engine_(options.cache_capacity),
       pool_(options.workers) {
   if (!options_.cache_dir.empty()) {
-    store_ = std::make_unique<PersistentResultCache>(options_.cache_dir);
+    PersistentResultCache::Limits limits;
+    limits.max_bytes = options_.cache_max_bytes;
+    limits.quota_bytes = options_.cache_quota_bytes;
+    store_ = std::make_unique<PersistentResultCache>(options_.cache_dir,
+                                                    limits);
     // Warm-start: preload before attaching, so the preload itself does
     // not rewrite every file it just read.
     store_->LoadAll([this](std::uint64_t key, std::uint64_t verifier,
@@ -287,9 +291,31 @@ Response Server::HandleInline(const Request& request) {
       return HandleMetricsProm();
     case RequestKind::kIngest:
       return HandleIngest(request);
+    case RequestKind::kHealth:
+      return HandleHealth();
     default:
       return ErrResponse("internal", "verb not handled inline");
   }
+}
+
+Response Server::HandleHealth() {
+  Args args;
+  std::size_t inflight = 0;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    inflight = analyses_in_flight_;
+  }
+  const bool draining = shutdown_.load(std::memory_order_acquire);
+  // Saturation or a drain is "degraded", not an error: the probe still
+  // answers OK (liveness), the status arg carries the readiness verdict.
+  const bool ready = !draining && inflight < options_.queue_capacity;
+  args.Set("status", ready ? "ok" : "degraded");
+  args.Set("role", "server");
+  args.SetUint("inflight", inflight);
+  args.SetUint("queue_capacity", options_.queue_capacity);
+  args.SetUint("sessions", sessions_.open_count());
+  args.SetUint("draining", draining ? 1 : 0);
+  return OkResponse(std::move(args));
 }
 
 Response Server::Execute(const Request& request) {

@@ -70,6 +70,12 @@ struct ServerOptions {
   /// fresh analysis / mined INGEST table is written through to it — so a
   /// restarted daemon answers repeat requests from cache immediately.
   std::string cache_dir;
+  /// On-disk budget for the persistent cache; overshoot evicts the
+  /// least-recently-written entries. 0 = unbounded.
+  std::uint64_t cache_max_bytes = 0;
+  /// Simulated device capacity for the persistent cache (fault injection:
+  /// Puts past this behave like ENOSPC). 0 = no simulation.
+  std::uint64_t cache_quota_bytes = 0;
   mbpta::ConvergenceOptions convergence;
   SessionLimits session_limits;
   /// Honors the debug_sleep_ms ANALYZE argument (tests/bench only: lets a
@@ -157,6 +163,11 @@ class Server {
   Response HandleClose(const Request& request);
   Response HandleMetrics();
   Response HandleMetricsProm();
+  /// HEALTH: liveness + readiness of this server. Always OK when it can
+  /// be answered at all (the probe proves the serving thread is alive);
+  /// readiness is carried in the args — analyses in flight vs queue
+  /// capacity, open sessions, and whether a drain is underway.
+  Response HandleHealth();
   /// INGEST: validates a binary trace payload (either container format),
   /// mines its kernel table and caches the rendered table in the result
   /// cache keyed by the trace's content digest — re-ingesting the same

@@ -8,8 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <fcntl.h>
 #include <map>
 #include <sstream>
 
@@ -22,6 +24,24 @@ Response DrainedResponse() {
   Args args;
   args.Set("drained", "1");
   return OkResponse(std::move(args));
+}
+
+/// Monotonic nanoseconds (EWMA timestamps, breaker cooldowns, stall ages).
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+const char* BreakerName(int state) {
+  switch (state) {
+    case 1:
+      return "open";
+    case 2:
+      return "half_open";
+    default:
+      return "closed";
+  }
 }
 
 }  // namespace
@@ -70,6 +90,23 @@ struct ShardedServer::ShardRuntime {
   std::atomic<std::uint64_t> memo_hits{0};
   std::thread thread;
 
+  /// EWMA of per-request occupancy cost (queue wait + service time) in
+  /// microseconds; 0 = no completions yet (admission control stands
+  /// down until it has data). Clamped to >= 1 once fed.
+  std::atomic<std::uint64_t> ewma_cost_us{0};
+  /// Monotonic ns stamp of the last completed execution — the HEALTH
+  /// stall detector's progress signal. Seeded at construction.
+  std::atomic<std::int64_t> last_completion_ns{0};
+
+  // Circuit breaker (docs/SERVICE.md, "Failure modes"): consecutive
+  // ERR internal / ERR deadline executions flip the shard open; after
+  // the cooldown one half-open probe decides readmission.
+  std::atomic<int> breaker_state{0};  ///< 0 closed, 1 open, 2 half-open.
+  std::atomic<int> consecutive_failures{0};
+  std::atomic<std::int64_t> breaker_open_until_ns{0};
+  std::atomic<std::uint64_t> breaker_opens{0};
+  std::atomic<int> half_open_probes{0};  ///< Probes admitted (0 or 1).
+
   /// Rendered hit-response bytes, split around the analyze_us value so a
   /// hit re-renders only the fresh timing digits.
   struct MemoEntry {
@@ -92,7 +129,11 @@ ShardedServer::ShardedServer(ShardedServerOptions options)
   // shards get their caches pre-warmed here instead of each scanning and
   // re-writing the directory.
   if (!per_shard.cache_dir.empty()) {
-    store_ = std::make_unique<PersistentResultCache>(per_shard.cache_dir);
+    PersistentResultCache::Limits limits;
+    limits.max_bytes = per_shard.cache_max_bytes;
+    limits.quota_bytes = per_shard.cache_quota_bytes;
+    store_ = std::make_unique<PersistentResultCache>(per_shard.cache_dir,
+                                                    limits);
   }
   per_shard.cache_dir.clear();
   per_shard.workers = 1;  // Shard threads execute inline; no nested pool.
@@ -100,6 +141,8 @@ ShardedServer::ShardedServer(ShardedServerOptions options)
     auto shard = std::make_unique<ShardRuntime>();
     shard->server = std::make_unique<Server>(per_shard);
     shard->index = i;
+    // "No completion yet" must not read as an infinite stall age.
+    shard->last_completion_ns.store(NowNs(), std::memory_order_relaxed);
     shards_.push_back(std::move(shard));
   }
   if (store_) {
@@ -157,9 +200,33 @@ std::uint64_t ShardedServer::RouteDigest(const Request& request,
   return HashBytes(body).lo;
 }
 
+bool ShardedServer::ShardRoutable(std::size_t index) const {
+  ShardRuntime& shard = *shards_[index];
+  if (!shard.alive.load(std::memory_order_acquire)) return false;
+  if (options_.breaker_failure_threshold <= 0) return true;
+  const int state = shard.breaker_state.load(std::memory_order_acquire);
+  if (state == 0) return true;
+  if (state == 1) {
+    if (NowNs() < shard.breaker_open_until_ns.load(std::memory_order_relaxed)) {
+      return false;  // Open: fail fast, reroute via the rehash.
+    }
+    // Cooldown elapsed: transition to half-open (one winner; a racing
+    // worker may have already closed or re-opened it — re-read below).
+    int expected = 1;
+    shard.breaker_state.compare_exchange_strong(expected, 2,
+                                                std::memory_order_acq_rel);
+    if (shard.breaker_state.load(std::memory_order_acquire) != 2) {
+      return shard.breaker_state.load(std::memory_order_acquire) == 0;
+    }
+  }
+  // Half-open: admit a single probe; everything else keeps rerouting
+  // until that probe's outcome closes or re-opens the breaker.
+  return shard.half_open_probes.load(std::memory_order_acquire) == 0;
+}
+
 std::size_t ShardedServer::ShardFor(std::uint64_t route_digest) const {
   const std::size_t primary = route_digest % shards_.size();
-  if (shards_[primary]->alive.load(std::memory_order_acquire)) {
+  if (ShardRoutable(primary)) {
     return primary;
   }
   // Deterministic rehash over the survivors: every client computing this
@@ -167,12 +234,89 @@ std::size_t ShardedServer::ShardFor(std::uint64_t route_digest) const {
   std::vector<std::size_t> alive;
   alive.reserve(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i]->alive.load(std::memory_order_acquire)) {
+    if (ShardRoutable(i)) {
       alive.push_back(i);
     }
   }
   if (alive.empty()) return SIZE_MAX;
   return alive[route_digest % alive.size()];
+}
+
+void ShardedServer::NoteShardResult(ShardRuntime& shard,
+                                    const Response& response) {
+  if (options_.breaker_failure_threshold <= 0) return;
+  // Only execution-level failures trip the breaker: ERR internal (the
+  // shard's engine is misbehaving) and ERR deadline (it cannot keep up).
+  // Client-caused errors (malformed params, unknown sessions) say nothing
+  // about the shard's health and must never open it.
+  const std::string code =
+      response.ok ? std::string() : response.args.GetString("code");
+  const bool failure = code == "internal" || code == "deadline";
+  const int state = shard.breaker_state.load(std::memory_order_acquire);
+  if (!failure) {
+    shard.consecutive_failures.store(0, std::memory_order_relaxed);
+    if (state != 0) {
+      // Half-open probe succeeded (or traffic raced a transition):
+      // readmit the shard.
+      shard.breaker_state.store(0, std::memory_order_release);
+      shard.half_open_probes.store(0, std::memory_order_relaxed);
+    }
+    return;
+  }
+  const int fails =
+      shard.consecutive_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (state == 2 || fails >= options_.breaker_failure_threshold) {
+    const std::int64_t cooldown_ns = static_cast<std::int64_t>(
+        options_.breaker_cooldown_ms * 1'000'000.0);
+    shard.breaker_open_until_ns.store(NowNs() + cooldown_ns,
+                                      std::memory_order_relaxed);
+    if (shard.breaker_state.exchange(1, std::memory_order_acq_rel) != 1) {
+      shard.breaker_opens.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.consecutive_failures.store(0, std::memory_order_relaxed);
+    shard.half_open_probes.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t ShardedServer::DeadlineShedHint(const ShardRuntime& shard,
+                                              const Request& request) const {
+  if (request.kind != RequestKind::kAnalyze) return 0;
+  const double deadline_ms = request.args.GetDouble(
+      "deadline_ms", options_.server.default_deadline_ms);
+  if (deadline_ms <= 0.0) return 0;
+  const std::uint64_t ewma_us =
+      shard.ewma_cost_us.load(std::memory_order_relaxed);
+  if (ewma_us == 0) return 0;  // No data yet: admit, learn from it.
+  const double backlog = static_cast<double>(
+      shard.pending.load(std::memory_order_acquire) + 1);
+  const double est_us = backlog * static_cast<double>(ewma_us);
+  if (est_us <= deadline_ms * 1000.0) return 0;
+  // The hint is how far past the deadline the backlog estimate runs —
+  // roughly when a resubmission stops being futile.
+  const double over_ms = (est_us - deadline_ms * 1000.0) / 1000.0 + 1.0;
+  return static_cast<std::uint64_t>(std::min(over_ms, 60'000.0));
+}
+
+std::uint64_t ShardedServer::BusyRetryHint(const ShardRuntime& shard) const {
+  const std::uint64_t ewma_us =
+      shard.ewma_cost_us.load(std::memory_order_relaxed);
+  if (ewma_us == 0) return 0;
+  const double backlog = static_cast<double>(
+      shard.pending.load(std::memory_order_acquire));
+  const double est_ms = backlog * static_cast<double>(ewma_us) / 1000.0 + 1.0;
+  return static_cast<std::uint64_t>(std::min(est_ms, 60'000.0));
+}
+
+int ShardedServer::shard_breaker_state(std::size_t index) const {
+  return shards_[index]->breaker_state.load(std::memory_order_acquire);
+}
+
+std::uint64_t ShardedServer::breaker_opens_total() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->breaker_opens.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void ShardedServer::KillShardForTest(std::size_t index) {
@@ -265,7 +409,8 @@ void ShardedServer::Memoize(ShardRuntime& shard, const DualHash& digest,
 
 Response ShardedServer::ExecuteOnShard(ShardRuntime& shard,
                                        const Request& request,
-                                       const DualHash& digest) {
+                                       const DualHash& digest,
+                                       std::int64_t enqueue_ns) {
   const bool analyze = request.kind == RequestKind::kAnalyze;
   const std::string session =
       analyze ? request.args.GetString("session") : std::string();
@@ -277,8 +422,44 @@ Response ShardedServer::ExecuteOnShard(ShardRuntime& shard,
       generation_value = generation->load(std::memory_order_acquire);
     }
   }
-  Response response = shard.server->Execute(request);
+  const std::int64_t start_ns = NowNs();
+  // The fleet measures deadline_ms from ADMISSION, not execution: a
+  // request that spent its whole budget waiting in the shard queue is
+  // already dead, and executing it would only delay the live requests
+  // behind it. (Server::Execute restarts the deadline clock, so queued
+  // expiry must be enforced here.) This is also the breaker's signal
+  // that the shard cannot keep up.
+  Response response;
+  const double deadline_ms = request.args.GetDouble(
+      "deadline_ms", options_.server.default_deadline_ms);
+  if (enqueue_ns > 0 && deadline_ms > 0.0 &&
+      static_cast<double>(start_ns - enqueue_ns) > deadline_ms * 1e6) {
+    shard.server->metrics().CountDeadlineMiss();
+    response = ErrResponse("deadline", "deadline expired in shard queue");
+  } else {
+    response = shard.server->Execute(request);
+  }
+  const std::int64_t end_ns = NowNs();
   shard.routed.fetch_add(1, std::memory_order_relaxed);
+  // Admission-cost EWMA: queue wait + service time of this completion
+  // (queued items carry their admission stamp; synchronous callers pay
+  // service time only). Clamped >= 1 so "fed" is distinguishable from
+  // the no-data sentinel 0.
+  const std::int64_t base_ns = enqueue_ns > 0 ? enqueue_ns : start_ns;
+  const std::uint64_t cost_us = static_cast<std::uint64_t>(
+      std::max<std::int64_t>((end_ns - base_ns) / 1000, 1));
+  const std::uint64_t prev =
+      shard.ewma_cost_us.load(std::memory_order_relaxed);
+  const double alpha = options_.admission_ewma_alpha;
+  const std::uint64_t next =
+      prev == 0 ? cost_us
+                : static_cast<std::uint64_t>(
+                      (1.0 - alpha) * static_cast<double>(prev) +
+                      alpha * static_cast<double>(cost_us));
+  shard.ewma_cost_us.store(std::max<std::uint64_t>(next, 1),
+                           std::memory_order_relaxed);
+  shard.last_completion_ns.store(end_ns, std::memory_order_relaxed);
+  NoteShardResult(shard, response);
   if (analyze && response.ok) {
     if (session.empty()) {
       Memoize(shard, digest, response, nullptr, 0);
@@ -343,6 +524,11 @@ bool ShardedServer::ServeScript(std::string_view in, std::string* out) {
                           out);
       continue;
     }
+    if (request.kind == RequestKind::kHealth) {
+      fleet_requests_.fetch_add(1, std::memory_order_relaxed);
+      AppendResponseFrame(FleetHealthResponse(), out);
+      continue;
+    }
     const DualHash digest = HashBytes(body);
     const std::string session = request.args.GetString("session");
     const std::uint64_t route =
@@ -355,6 +541,15 @@ bool ShardedServer::ServeScript(std::string_view in, std::string* out) {
     ShardRuntime& shard = *shards_[target];
     if (request.kind == RequestKind::kAnalyze &&
         TryServeWarm(shard, request, digest, out)) {
+      continue;
+    }
+    if (const std::uint64_t hint = DeadlineShedHint(shard, request)) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      Response shed = ErrResponse(
+          "busy", "deadline unmeetable at admission, retry later");
+      shed.args.SetUint("retry_after_ms", hint);
+      shed.args.Set("shed", "deadline");
+      AppendResponseFrame(shed, out);
       continue;
     }
     AppendResponseFrame(ExecuteOnShard(shard, request, digest), out);
@@ -418,6 +613,24 @@ int ShardedServer::Start() {
   ev.data.ptr = reinterpret_cast<void*>(1);
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
     return errno;
+  }
+  if (options_.adopt_fd >= 0) {
+    // The supervisor's health-probe socketpair: served exactly like an
+    // accepted TCP connection (same Conn, same epoll registration), so a
+    // watchdog HEALTH probe exercises the real event loop. Registered
+    // before the loop thread starts — conns_ is loop-owned after that.
+    const int fd = options_.adopt_fd;
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    epoll_event cev{};
+    cev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    cev.data.ptr = conn.get();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &cev) == 0) {
+      connections_total_.fetch_add(1, std::memory_order_relaxed);
+      conns_.emplace(fd, std::move(conn));
+    }
   }
   stop_workers_.store(false);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -565,15 +778,20 @@ bool ShardedServer::HandleFrame(const std::shared_ptr<Conn>& conn,
     return false;
   }
   if (request.kind == RequestKind::kMetrics ||
-      request.kind == RequestKind::kMetricsProm) {
+      request.kind == RequestKind::kMetricsProm ||
+      request.kind == RequestKind::kHealth) {
+    // Loop-answered verbs: HEALTH among them is the liveness contract —
+    // it must answer even when every shard queue is wedged solid.
     fleet_requests_.fetch_add(1, std::memory_order_relaxed);
     Response response;
     if (request.kind == RequestKind::kMetrics) {
       response = FleetMetricsResponse();
-    } else {
+    } else if (request.kind == RequestKind::kMetricsProm) {
       Args args;
       args.Set("format", "prometheus-0.0.4");
       response = OkResponse(std::move(args), RenderFleetProm());
+    } else {
+      response = FleetHealthResponse();
     }
     std::string frame;
     AppendResponseFrame(response, &frame);
@@ -598,6 +816,20 @@ bool ShardedServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       return true;
     }
   }
+  if (const std::uint64_t hint = DeadlineShedHint(*shards_[target], request)) {
+    // Admission control: queueing this request would only make it miss
+    // its deadline at execution. Shed it now — counted as a shed, not a
+    // failure (the request itself is fine; the timing isn't).
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    Response shed = ErrResponse(
+        "busy", "deadline unmeetable at admission, retry later");
+    shed.args.SetUint("retry_after_ms", hint);
+    shed.args.Set("shed", "deadline");
+    std::string frame;
+    AppendResponseFrame(shed, &frame);
+    CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
+    return true;
+  }
   const RequestKind kind = request.kind;
   Item item;
   item.conn = conn;
@@ -605,14 +837,18 @@ bool ShardedServer::HandleFrame(const std::shared_ptr<Conn>& conn,
   item.request = std::move(request);
   item.body_digest = digest;
   item.route = route;
+  item.enqueue_ns = NowNs();
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   if (!PushToShard(target, std::move(item))) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
     shards_[target]->server->metrics().CountBusyRejection();
     shards_[target]->server->metrics().CountRequest(kind, false);
+    Response busy = ErrResponse("busy", "shard queue full, retry later");
+    if (const std::uint64_t hint = BusyRetryHint(*shards_[target])) {
+      busy.args.SetUint("retry_after_ms", hint);
+    }
     std::string frame;
-    AppendResponseFrame(
-        ErrResponse("busy", "shard queue full, retry later"), &frame);
+    AppendResponseFrame(busy, &frame);
     CompleteItem(conn, id, std::move(frame), /*on_loop_thread=*/true);
   }
   return true;
@@ -631,6 +867,11 @@ bool ShardedServer::PushToShard(std::size_t index, Item item) {
         }
         shard.pending.fetch_add(1, std::memory_order_acq_rel);
         shard.queue.push_back(std::move(item));
+        // A half-open breaker admits exactly this one probe; the probe's
+        // outcome (NoteShardResult) closes or re-opens it.
+        if (shard.breaker_state.load(std::memory_order_acquire) == 2) {
+          shard.half_open_probes.fetch_add(1, std::memory_order_acq_rel);
+        }
         lock.unlock();
         shard.qcv.notify_one();
         return true;
@@ -861,7 +1102,8 @@ void ShardedServer::ShardWorker(std::size_t index) {
       shard.queue.pop_front();
     }
     const Response response =
-        ExecuteOnShard(shard, item.request, item.body_digest);
+        ExecuteOnShard(shard, item.request, item.body_digest,
+                       item.enqueue_ns);
     std::string frame;
     AppendResponseFrame(response, &frame);
     CompleteItem(item.conn, item.id, std::move(frame),
@@ -952,6 +1194,75 @@ Response ShardedServer::FleetMetricsResponse() {
                protocol_errors_.load(std::memory_order_relaxed));
   args.SetUint("fleet_connections",
                connections_total_.load(std::memory_order_relaxed));
+  std::uint64_t breakers_open = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shard_breaker_state(i) == 1) ++breakers_open;
+  }
+  args.SetUint("fleet_breaker_open", breakers_open);
+  args.SetUint("fleet_breaker_opens", breaker_opens_total());
+  args.SetUint("fleet_shed_deadline",
+               shed_deadline_.load(std::memory_order_relaxed));
+  return OkResponse(std::move(args), std::move(payload));
+}
+
+Response ShardedServer::FleetHealthResponse() {
+  const std::int64_t now = NowNs();
+  std::string payload;
+  std::size_t alive_count = 0;
+  std::size_t breakers_open = 0;
+  std::size_t stalled_count = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardRuntime& shard = *shards_[i];
+    const bool alive = shard.alive.load(std::memory_order_acquire);
+    const int breaker = shard.breaker_state.load(std::memory_order_acquire);
+    const std::uint64_t pending =
+        shard.pending.load(std::memory_order_acquire);
+    std::size_t queue_depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.qmutex);
+      queue_depth = shard.queue.size();
+    }
+    const std::int64_t age_ns =
+        now - shard.last_completion_ns.load(std::memory_order_relaxed);
+    const std::uint64_t age_ms = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(age_ns, 0) / 1'000'000);
+    // Stalled = has work but is making no progress: exactly the wedged
+    // shard the watchdog/readiness story exists to surface. A busy shard
+    // still completing requests keeps its age fresh and stays ready.
+    const bool stalled =
+        alive && pending > 0 &&
+        static_cast<double>(age_ms) > options_.health_stall_after_ms;
+    if (alive) ++alive_count;
+    if (breaker == 1) ++breakers_open;
+    if (stalled) ++stalled_count;
+    payload += "== shard " + std::to_string(i) + " ==\n";
+    payload += "alive=" + std::to_string(alive ? 1 : 0);
+    payload += " breaker=";
+    payload += BreakerName(breaker);
+    payload += " queue_depth=" + std::to_string(queue_depth);
+    payload += " inflight=" + std::to_string(pending);
+    payload += " ewma_cost_us=" +
+               std::to_string(shard.ewma_cost_us.load(
+                   std::memory_order_relaxed));
+    payload += " last_completion_age_ms=" + std::to_string(age_ms);
+    payload += " stalled=" + std::to_string(stalled ? 1 : 0);
+    payload.push_back('\n');
+  }
+  const bool draining = shutdown_.load(std::memory_order_acquire);
+  const bool degraded = draining || alive_count < shards_.size() ||
+                        breakers_open > 0 || stalled_count > 0;
+  Args args;
+  args.Set("status", degraded ? "degraded" : "ok");
+  args.Set("role", "fleet");
+  args.SetUint("fleet_shards", shards_.size());
+  args.SetUint("fleet_alive", alive_count);
+  args.SetUint("fleet_breaker_open", breakers_open);
+  args.SetUint("fleet_stalled", stalled_count);
+  args.SetUint("fleet_inflight",
+               inflight_.load(std::memory_order_acquire));
+  args.SetUint("fleet_shed_deadline",
+               shed_deadline_.load(std::memory_order_relaxed));
+  args.SetUint("draining", draining ? 1 : 0);
   return OkResponse(std::move(args), std::move(payload));
 }
 
@@ -992,6 +1303,19 @@ std::string ShardedServer::RenderFleetProm() {
     out << "spta_fleet_requests_total{shard=\"" << i << "\"} "
         << shards_[i]->server->metrics().requests_total() << '\n';
   }
+  out << "# HELP spta_fleet_breaker_state Circuit-breaker state per shard "
+         "(0 closed, 1 open, 2 half-open).\n"
+         "# TYPE spta_fleet_breaker_state gauge\n";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    out << "spta_fleet_breaker_state{shard=\"" << i << "\"} "
+        << shard_breaker_state(i) << '\n';
+  }
+  counter("spta_fleet_breaker_opens_total",
+          "Closed-to-open circuit breaker transitions.",
+          breaker_opens_total());
+  counter("spta_fleet_shed_deadline_total",
+          "Requests shed at admission (unmeetable deadline_ms).",
+          shed_deadline_.load(std::memory_order_relaxed));
   counter("spta_fleet_failovers_total",
           "Requests rerouted off a dead shard.",
           failovers_.load(std::memory_order_relaxed));
@@ -1014,6 +1338,22 @@ std::string ShardedServer::RenderFleetProm() {
             "Persistent cache entries written.", stats.stored);
     counter("spta_fleet_persistent_store_failures_total",
             "Persistent cache writes that failed.", stats.store_failures);
+    counter("spta_fleet_persistent_evicted_total",
+            "Persistent cache entries unlinked to stay in budget.",
+            stats.evicted);
+    counter("spta_fleet_persistent_evicted_bytes_total",
+            "Bytes reclaimed by persistent cache eviction.",
+            stats.evicted_bytes);
+    counter("spta_fleet_persistent_enospc_total",
+            "Persistent cache writes failed with ENOSPC/EDQUOT.",
+            stats.enospc_failures);
+    counter("spta_fleet_persistent_eio_total",
+            "Persistent cache writes failed with EIO.", stats.eio_failures);
+    out << "# HELP spta_fleet_persistent_degraded Sticky flag: persistent "
+           "cache gave up and runs memory-only.\n"
+           "# TYPE spta_fleet_persistent_degraded gauge\n"
+           "spta_fleet_persistent_degraded "
+        << stats.degraded << '\n';
   }
   return out.str();
 }

@@ -31,7 +31,14 @@
 //   * chaos hooks: KillShardForTest stops a shard mid-campaign; its
 //     queued stateless requests fail over to surviving shards (counted),
 //     its session-bound ones are answered ERR unavailable — every
-//     accepted request is still answered.
+//     accepted request is still answered;
+//   * self-protection: a request whose deadline_ms the target shard's
+//     EWMA backlog estimate cannot meet is shed at admission (ERR busy
+//     with a retry_after_ms hint, counted as shed — never queued to miss
+//     its deadline at execution), and per-shard circuit breakers turn a
+//     consecutively-failing shard into a fail-fast reroute (open) until
+//     a half-open probe readmits it; the HEALTH verb reports loop
+//     liveness plus per-shard readiness without ever crossing a queue.
 //
 // ServeScript() drives the identical routing/memo/execute pipeline
 // synchronously over an in-memory byte string — the equivalence tests and
@@ -81,6 +88,26 @@ struct ShardedServerOptions {
   /// SO_REUSEPORT on the listener: lets several fleet processes (spawned
   /// by the spta_fleet supervisor) share one port.
   bool reuseport = false;
+  /// Consecutive execution failures (ERR internal / ERR deadline) that
+  /// flip a shard's circuit breaker open — routed traffic fails over to
+  /// the survivors via the deterministic rehash until a half-open probe
+  /// succeeds. 0 disables breakers.
+  int breaker_failure_threshold = 8;
+  /// How long an open breaker fails fast before admitting the half-open
+  /// probe that decides readmission.
+  double breaker_cooldown_ms = 1000.0;
+  /// EWMA smoothing factor for the per-shard admission cost estimate
+  /// (queue wait + service time per completed request).
+  double admission_ewma_alpha = 0.2;
+  /// HEALTH readiness: a shard with queued work whose last completion is
+  /// older than this is reported stalled=1 (fleet status=degraded).
+  double health_stall_after_ms = 5000.0;
+  /// An already-connected stream fd adopted as a served connection at
+  /// Start() — the spta_fleet supervisor's health-probe socketpair, so a
+  /// watchdog HEALTH probe reaches the event loop without competing for
+  /// the SO_REUSEPORT listener (which load-balances across processes).
+  /// -1 = none.
+  int adopt_fd = -1;
 };
 
 class ShardedServer {
@@ -143,11 +170,25 @@ class ShardedServer {
   /// Requests this shard executed or answered from its warm memo.
   std::uint64_t shard_routed_total(std::size_t index) const;
   std::uint64_t shard_memo_hits(std::size_t index) const;
+  /// Circuit-breaker state: 0 closed, 1 open, 2 half-open.
+  int shard_breaker_state(std::size_t index) const;
+  /// Closed→open breaker transitions, fleet-wide.
+  std::uint64_t breaker_opens_total() const;
+  /// ANALYZE requests shed at admission (unmeetable deadline_ms).
+  std::uint64_t shed_deadline_total() const {
+    return shed_deadline_.load(std::memory_order_relaxed);
+  }
   std::uint64_t failovers_total() const { return failovers_.load(); }
   std::uint64_t protocol_errors_total() const {
     return protocol_errors_.load();
   }
   PersistentResultCache* persistent_cache() { return store_.get(); }
+
+  /// Fleet-level HEALTH response, answered on the event loop (liveness)
+  /// and never queued: args carry the fleet readiness verdict, the
+  /// payload one "== shard N ==" readiness section per shard (queue
+  /// depth, inflight, last-completion age, breaker state, stalled flag).
+  Response FleetHealthResponse();
 
   /// Fleet-level METRICS response: counters summed across shards (the
   /// documented Snapshot key surface, cache_hit_ratio recomputed from the
@@ -170,13 +211,28 @@ class ShardedServer {
     Request request;
     DualHash body_digest;
     std::uint64_t route = 0;
+    std::int64_t enqueue_ns = 0;  ///< Admission time (EWMA cost input).
   };
 
   // Shared pipeline (both modes).
   bool TryServeWarm(ShardRuntime& shard, const Request& request,
                     const DualHash& digest, std::string* frame);
   Response ExecuteOnShard(ShardRuntime& shard, const Request& request,
-                          const DualHash& digest);
+                          const DualHash& digest,
+                          std::int64_t enqueue_ns = 0);
+  /// Routing admission: alive AND the circuit breaker admits traffic
+  /// (closed, or half-open with no probe outstanding). Transitions
+  /// open→half-open when the cooldown has elapsed.
+  bool ShardRoutable(std::size_t index) const;
+  /// Feeds one completed response into the shard's breaker bookkeeping.
+  void NoteShardResult(ShardRuntime& shard, const Response& response);
+  /// 0 = admissible; otherwise the retry_after_ms hint for a request
+  /// whose deadline_ms the shard's EWMA backlog estimate cannot meet.
+  std::uint64_t DeadlineShedHint(const ShardRuntime& shard,
+                                 const Request& request) const;
+  /// retry_after_ms hint for a plain queue-full busy rejection (0 = no
+  /// estimate available, hint omitted).
+  std::uint64_t BusyRetryHint(const ShardRuntime& shard) const;
   void Memoize(ShardRuntime& shard, const DualHash& digest,
                const Response& response, SessionGeneration generation,
                std::uint64_t generation_value);
@@ -203,6 +259,7 @@ class ShardedServer {
   std::unique_ptr<PersistentResultCache> store_;
 
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> shed_deadline_{0};  ///< Admission sheds.
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> connections_total_{0};

@@ -29,6 +29,7 @@
 
 #include <arpa/inet.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -716,6 +717,365 @@ TEST(FleetBurstAcceptTest, ServerOptionsCarryTheBacklogFlag) {
   options.listen_backlog = 7;
   service::Server server(options);
   EXPECT_EQ(server.options().listen_backlog, 7);
+}
+
+// --- HEALTH (fleet liveness/readiness) ------------------------------------
+
+TEST(FleetHealthTest, ScriptHealthReportsFleetAndEveryShard) {
+  service::ShardedServerOptions options;
+  options.shards = 3;
+  service::ShardedServer fleet(options);
+  const auto responses =
+      RunFleetScript(fleet, {MakeRequest(service::RequestKind::kHealth)});
+  ASSERT_EQ(responses.size(), 1u);
+  const auto& health = responses[0];
+  ASSERT_TRUE(health.ok) << health.payload;
+  EXPECT_EQ(health.args.GetString("status"), "ok");
+  EXPECT_EQ(health.args.GetString("role"), "fleet");
+  EXPECT_EQ(health.args.GetUint("fleet_shards", 0), 3u);
+  EXPECT_EQ(health.args.GetUint("fleet_alive", 0), 3u);
+  EXPECT_EQ(health.args.GetUint("fleet_breaker_open", 99), 0u);
+  EXPECT_EQ(health.args.GetUint("fleet_stalled", 99), 0u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NE(
+        health.payload.find("== shard " + std::to_string(i) + " =="),
+        std::string::npos)
+        << health.payload;
+  }
+  EXPECT_NE(health.payload.find("alive=1 breaker=closed"),
+            std::string::npos)
+      << health.payload;
+}
+
+TEST(FleetHealthTest, TcpHealthAnsweredOnEventLoop) {
+  service::ShardedServerOptions options;
+  options.shards = 2;
+  service::ShardedServer fleet(options);
+  ASSERT_EQ(fleet.ListenTcp("127.0.0.1", 0), 0);
+  ASSERT_EQ(fleet.Start(), 0);
+  const auto responses =
+      RunFleetTcp(fleet, {MakeRequest(service::RequestKind::kHealth),
+                          MakeRequest(service::RequestKind::kShutdown)});
+  EXPECT_EQ(fleet.Wait(), 0);
+  ASSERT_EQ(responses.size(), 2u);
+  ASSERT_TRUE(responses[0].ok) << responses[0].payload;
+  EXPECT_EQ(responses[0].args.GetString("role"), "fleet");
+  EXPECT_EQ(responses[0].args.GetString("status"), "ok");
+}
+
+// The readiness golden of the whole watchdog story: a shard that HAS work
+// and is making NO progress reports stalled=1 and degrades fleet HEALTH —
+// while the event loop keeps answering (liveness and readiness split).
+TEST(FleetHealthTest, WedgedShardReportsDegradedAndStalled) {
+  service::ShardedServerOptions options;
+  options.shards = 1;
+  options.server.enable_debug_hooks = true;
+  options.health_stall_after_ms = 50.0;
+  service::ShardedServer fleet(options);
+  ASSERT_EQ(fleet.ListenTcp("127.0.0.1", 0), 0);
+  ASSERT_EQ(fleet.Start(), 0);
+
+  // Wedge the only shard: one long ANALYZE executing, one queued behind.
+  std::string error;
+  auto busy = service::TcpConnection::Connect(
+      "127.0.0.1", fleet.bound_port(), &error, 30000.0);
+  ASSERT_NE(busy, nullptr) << error;
+  service::Args slow;
+  slow.SetDouble("debug_sleep_ms", 600.0);
+  std::vector<service::Request> wedge;
+  wedge.push_back(AnalyzeInlineRequest(SyntheticSample(260, 601), slow));
+  wedge.push_back(AnalyzeInlineRequest(SyntheticSample(260, 602)));
+  const std::string bytes = EncodeScript(wedge);
+  busy->out().write(bytes.data(),
+                    static_cast<std::streamsize>(bytes.size()));
+  busy->out().flush();
+
+  // Past the stall threshold (no completion yet), probe on a SECOND
+  // connection: the loop must answer even though the shard is buried.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto probe = service::TcpConnection::Connect(
+      "127.0.0.1", fleet.bound_port(), &error, 30000.0);
+  ASSERT_NE(probe, nullptr) << error;
+  service::Client prober(probe->in(), probe->out());
+  const auto health = prober.Health();
+  ASSERT_TRUE(health.ok) << health.payload;
+  EXPECT_EQ(health.args.GetString("status"), "degraded");
+  EXPECT_EQ(health.args.GetUint("fleet_stalled", 0), 1u);
+  EXPECT_NE(health.payload.find("stalled=1"), std::string::npos)
+      << health.payload;
+
+  // Reap the wedged work, then verify readiness recovers.
+  service::Response response;
+  for (std::size_t i = 0; i < wedge.size(); ++i) {
+    ASSERT_EQ(service::ReadResponse(busy->in(), &response, &error),
+              service::ReadStatus::kOk);
+    EXPECT_TRUE(response.ok) << response.payload;
+  }
+  const auto recovered = prober.Health();
+  ASSERT_TRUE(recovered.ok) << recovered.payload;
+  EXPECT_EQ(recovered.args.GetString("status"), "ok");
+  EXPECT_TRUE(prober.Shutdown().ok);
+  EXPECT_EQ(fleet.Wait(), 0);
+}
+
+// --- Admission control (deadline-aware load shedding) ---------------------
+
+TEST(FleetAdmissionTest, UnmeetableDeadlineIsShedWithRetryHint) {
+  service::ShardedServerOptions options;
+  options.shards = 1;
+  options.server.enable_debug_hooks = true;
+  service::ShardedServer fleet(options);
+
+  // Feed the cost model: one ~30ms analysis teaches the shard's EWMA.
+  service::Args slow;
+  slow.SetDouble("debug_sleep_ms", 30.0);
+  auto teach = RunFleetScript(
+      fleet, {AnalyzeInlineRequest(SyntheticSample(260, 701), slow)});
+  ASSERT_EQ(teach.size(), 1u);
+  ASSERT_TRUE(teach[0].ok) << teach[0].payload;
+
+  // A 1ms deadline cannot be met when the estimated cost is ~30ms: the
+  // request must be SHED at admission (ERR busy + retry_after_ms), not
+  // executed into a doomed ERR deadline.
+  service::Args tight;
+  tight.SetDouble("deadline_ms", 1.0);
+  const auto shed = RunFleetScript(
+      fleet, {AnalyzeInlineRequest(SyntheticSample(260, 702), tight)});
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_FALSE(shed[0].ok);
+  EXPECT_EQ(shed[0].args.GetString("code"), "busy");
+  EXPECT_EQ(shed[0].args.GetString("shed"), "deadline");
+  EXPECT_GE(shed[0].args.GetUint("retry_after_ms", 0), 1u);
+  EXPECT_EQ(fleet.shed_deadline_total(), 1u);
+
+  // Shed requests are back-pressure, not failures: the ANALYZE failure
+  // counters must not move (the teach request is the only ANALYZE seen).
+  const auto metrics =
+      RunFleetScript(fleet, {MakeRequest(service::RequestKind::kMetrics)});
+  ASSERT_EQ(metrics.size(), 1u);
+  ASSERT_TRUE(metrics[0].ok);
+  EXPECT_EQ(metrics[0].args.GetUint("fleet_shed_deadline", 0), 1u);
+  EXPECT_EQ(metrics[0].args.GetUint("errors_total", 99), 0u);
+  EXPECT_EQ(metrics[0].args.GetUint("deadline_misses", 99), 0u);
+}
+
+TEST(FleetAdmissionTest, NoCostModelMeansAdmit) {
+  // With no completed work the EWMA is empty — the fleet must admit (and
+  // learn), never guess-shed.
+  service::ShardedServerOptions options;
+  options.shards = 1;
+  options.server.enable_debug_hooks = true;
+  service::ShardedServer fleet(options);
+  service::Args tight;
+  tight.SetDouble("deadline_ms", 10000.0);
+  const auto responses = RunFleetScript(
+      fleet, {AnalyzeInlineRequest(SyntheticSample(260, 703), tight)});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].ok) << responses[0].payload;
+  EXPECT_EQ(fleet.shed_deadline_total(), 0u);
+}
+
+// --- Circuit breakers ------------------------------------------------------
+
+TEST(FleetBreakerTest, OpensOnConsecutiveDeadlineFailuresThenRecovers) {
+  service::ShardedServerOptions options;
+  options.shards = 1;
+  options.server.enable_debug_hooks = true;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_ms = 500.0;
+  service::ShardedServer fleet(options);
+  ASSERT_EQ(fleet.ListenTcp("127.0.0.1", 0), 0);
+  ASSERT_EQ(fleet.Start(), 0);
+
+  std::string error;
+  auto connection = service::TcpConnection::Connect(
+      "127.0.0.1", fleet.bound_port(), &error, 30000.0);
+  ASSERT_NE(connection, nullptr) << error;
+
+  // One slow request, two doomed ones queued behind it: their 1ms
+  // deadlines expire in the queue, so the shard returns ERR deadline
+  // twice in a row — that is the breaker's failure signal.
+  service::Args slow;
+  slow.SetDouble("debug_sleep_ms", 100.0);
+  service::Args doomed;
+  doomed.SetDouble("deadline_ms", 1.0);
+  std::vector<service::Request> script;
+  script.push_back(AnalyzeInlineRequest(SyntheticSample(260, 801), slow));
+  script.push_back(AnalyzeInlineRequest(SyntheticSample(260, 802), doomed));
+  script.push_back(AnalyzeInlineRequest(SyntheticSample(260, 803), doomed));
+  const std::string bytes = EncodeScript(script);
+  connection->out().write(bytes.data(),
+                          static_cast<std::streamsize>(bytes.size()));
+  connection->out().flush();
+  service::Response response;
+  ASSERT_EQ(service::ReadResponse(connection->in(), &response, &error),
+            service::ReadStatus::kOk);
+  EXPECT_TRUE(response.ok) << response.payload;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(service::ReadResponse(connection->in(), &response, &error),
+              service::ReadStatus::kOk);
+    EXPECT_FALSE(response.ok);
+    EXPECT_EQ(response.args.GetString("code"), "deadline") << i;
+  }
+  EXPECT_EQ(fleet.shard_breaker_state(0), 1);  // open
+  EXPECT_EQ(fleet.breaker_opens_total(), 1u);
+
+  // While open (cooldown not elapsed), the only shard is unroutable:
+  // fail-fast ERR unavailable, no queueing behind a sick shard.
+  std::vector<service::Request> rejected;
+  rejected.push_back(AnalyzeInlineRequest(SyntheticSample(260, 804)));
+  const std::string rejected_bytes = EncodeScript(rejected);
+  connection->out().write(
+      rejected_bytes.data(),
+      static_cast<std::streamsize>(rejected_bytes.size()));
+  connection->out().flush();
+  ASSERT_EQ(service::ReadResponse(connection->in(), &response, &error),
+            service::ReadStatus::kOk);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.args.GetString("code"), "unavailable");
+
+  // After the cooldown, the next request is the half-open probe; its
+  // success must close the breaker and readmit the shard.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  std::vector<service::Request> probe;
+  probe.push_back(AnalyzeInlineRequest(SyntheticSample(260, 805)));
+  probe.push_back(MakeRequest(service::RequestKind::kShutdown));
+  const std::string probe_bytes = EncodeScript(probe);
+  connection->out().write(
+      probe_bytes.data(),
+      static_cast<std::streamsize>(probe_bytes.size()));
+  connection->out().flush();
+  ASSERT_EQ(service::ReadResponse(connection->in(), &response, &error),
+            service::ReadStatus::kOk);
+  EXPECT_TRUE(response.ok) << response.payload;
+  ASSERT_EQ(service::ReadResponse(connection->in(), &response, &error),
+            service::ReadStatus::kOk);
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(fleet.Wait(), 0);
+  EXPECT_EQ(fleet.shard_breaker_state(0), 0);  // closed again
+  EXPECT_EQ(fleet.breaker_opens_total(), 1u);
+}
+
+TEST(FleetBreakerTest, ClientErrorsNeverOpenTheBreaker) {
+  service::ShardedServerOptions options;
+  options.shards = 1;
+  options.breaker_failure_threshold = 2;
+  service::ShardedServer fleet(options);
+  // A storm of client-caused errors (unknown session): shard health is
+  // fine, the breaker must stay closed.
+  std::vector<service::Request> script;
+  for (int i = 0; i < 10; ++i) {
+    service::Request status = MakeRequest(service::RequestKind::kStatus);
+    status.args.Set("session", "no-such-session");
+    script.push_back(status);
+  }
+  const auto responses = RunFleetScript(fleet, script);
+  ASSERT_EQ(responses.size(), script.size());
+  for (const auto& response : responses) EXPECT_FALSE(response.ok);
+  EXPECT_EQ(fleet.shard_breaker_state(0), 0);
+  EXPECT_EQ(fleet.breaker_opens_total(), 0u);
+}
+
+// --- Bounded persistent cache ---------------------------------------------
+
+TEST(PersistentCacheBoundsTest, MaxBytesEvictsOldestEntriesByUnlink) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const std::string body(100, 'x');
+  const std::uint64_t entry_bytes =
+      service::PersistentResultCache::EncodeEntry(1, 1, body).size();
+  service::PersistentResultCache::Limits limits;
+  limits.max_bytes = 2 * entry_bytes;  // room for exactly two entries
+  service::PersistentResultCache cache(dir.path(), limits);
+  EXPECT_TRUE(cache.Put(1, 11, body));
+  EXPECT_TRUE(cache.Put(2, 22, body));
+  EXPECT_TRUE(cache.Put(3, 33, body));  // evicts key 1 (oldest write)
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.stored, 3u);
+  EXPECT_EQ(stats.evicted, 1u);
+  EXPECT_EQ(stats.evicted_bytes, entry_bytes);
+  EXPECT_EQ(stats.degraded, 0u);
+  struct stat st{};
+  const std::string oldest =
+      dir.path() + "/" + service::PersistentResultCache::EntryFileName(1);
+  EXPECT_NE(::stat(oldest.c_str(), &st), 0);  // unlinked
+  const std::string newest =
+      dir.path() + "/" + service::PersistentResultCache::EntryFileName(3);
+  EXPECT_EQ(::stat(newest.c_str(), &st), 0);  // still there
+}
+
+TEST(PersistentCacheBoundsTest, SimulatedEnospcDegradesToMemoryOnly) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const std::string body(100, 'y');
+  const std::uint64_t entry_bytes =
+      service::PersistentResultCache::EncodeEntry(1, 1, body).size();
+  service::PersistentResultCache::Limits limits;
+  limits.quota_bytes = entry_bytes;  // device fits exactly one entry
+  service::PersistentResultCache cache(dir.path(), limits);
+  EXPECT_TRUE(cache.Put(1, 11, body));
+  // Second entry: quota exceeded → evict-one-retry frees entry 1 and the
+  // write lands. The device is full but the cache self-heals by LRU.
+  EXPECT_TRUE(cache.Put(2, 22, body));
+  EXPECT_EQ(cache.stats().evicted, 1u);
+  EXPECT_FALSE(cache.degraded());
+  // An entry LARGER than the whole device cannot be made to fit: typed
+  // ENOSPC failure, sticky memory-only degrade, no abort, no corruption.
+  const std::string huge(3 * body.size(), 'z');
+  EXPECT_FALSE(cache.Put(3, 33, huge));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.enospc_failures, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_TRUE(cache.degraded());
+  // Degraded is sticky: later writes fail fast without touching disk.
+  EXPECT_FALSE(cache.Put(4, 44, body));
+  EXPECT_EQ(cache.stats().enospc_failures, 1u);  // no second syscall storm
+}
+
+TEST(PersistentCacheBoundsTest, LoadAllSkipsOversizedEntriesUnread) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  service::PersistentResultCache writer(dir.path());
+  EXPECT_TRUE(writer.Put(1, 11, "small"));
+  EXPECT_TRUE(writer.Put(2, 22, std::string(4096, 'b')));  // over the cap
+  service::PersistentResultCache::Limits limits;
+  limits.load_max_entry_bytes = 1024;
+  service::PersistentResultCache reader(dir.path(), limits);
+  std::size_t fed = 0;
+  reader.LoadAll([&](std::uint64_t, std::uint64_t, std::string) { ++fed; });
+  EXPECT_EQ(fed, 1u);
+  const auto stats = reader.stats();
+  EXPECT_EQ(stats.loaded, 1u);
+  EXPECT_EQ(stats.load_skipped_oversize, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(PersistentCacheBoundsTest, LoadAllCapsEntryCountOnHugeDirs) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  service::PersistentResultCache writer(dir.path());
+  constexpr std::uint64_t kEntries = 3000;
+  for (std::uint64_t key = 0; key < kEntries; ++key) {
+    ASSERT_TRUE(writer.Put(key, key, "e"));
+  }
+  service::PersistentResultCache::Limits limits;
+  limits.load_max_entries = 1000;
+  service::PersistentResultCache reader(dir.path(), limits);
+  std::size_t fed = 0;
+  reader.LoadAll([&](std::uint64_t, std::uint64_t, std::string) { ++fed; });
+  EXPECT_EQ(fed, 1000u);
+  const auto stats = reader.stats();
+  EXPECT_EQ(stats.loaded, 1000u);
+  EXPECT_EQ(stats.load_skipped_overflow, kEntries - 1000);
+  // Deterministic which entries survive: the cap applies in sorted
+  // filename order, so a second load feeds the identical subset.
+  std::vector<std::uint64_t> first_keys;
+  service::PersistentResultCache reader2(dir.path(), limits);
+  reader2.LoadAll([&](std::uint64_t key, std::uint64_t, std::string) {
+    first_keys.push_back(key);
+  });
+  EXPECT_EQ(first_keys.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(first_keys.begin(), first_keys.end()));
 }
 
 }  // namespace

@@ -719,6 +719,43 @@ TEST(ServedVsBatchGoldenTest, ServedQuantileEqualsBatchBitForBit) {
   EXPECT_EQ(served.args.GetUint("sample_size", 0), obs.size());
 }
 
+// --- HEALTH (liveness/readiness) ------------------------------------------
+
+TEST(HealthTest, ClassicServerReportsReadiness) {
+  service::Server server;
+  std::vector<service::Request> script;
+  script.push_back(MakeRequest(service::RequestKind::kHealth));
+  script.push_back(MakeRequest(service::RequestKind::kShutdown));
+  const auto responses = RunScript(server, script);
+  ASSERT_EQ(responses.size(), 2u);
+  const auto& health = responses[0];
+  ASSERT_TRUE(health.ok) << health.payload;
+  EXPECT_EQ(health.args.GetString("status"), "ok");
+  EXPECT_EQ(health.args.GetString("role"), "server");
+  EXPECT_EQ(health.args.GetUint("inflight", 99), 0u);
+  EXPECT_EQ(health.args.GetUint("queue_capacity", 0), 64u);
+  EXPECT_EQ(health.args.GetUint("sessions", 99), 0u);
+  EXPECT_EQ(health.args.GetUint("draining", 99), 0u);
+}
+
+TEST(HealthTest, SessionsAndCapacityAreReported) {
+  service::ServerOptions options;
+  options.queue_capacity = 7;
+  service::Server server(options);
+  std::vector<service::Request> script;
+  service::Request open = MakeRequest(service::RequestKind::kOpen);
+  open.args.Set("session", "h");
+  script.push_back(open);
+  script.push_back(MakeRequest(service::RequestKind::kHealth));
+  script.push_back(MakeRequest(service::RequestKind::kShutdown));
+  const auto responses = RunScript(server, script);
+  ASSERT_EQ(responses.size(), 3u);
+  const auto& health = responses[1];
+  ASSERT_TRUE(health.ok) << health.payload;
+  EXPECT_EQ(health.args.GetUint("queue_capacity", 0), 7u);
+  EXPECT_EQ(health.args.GetUint("sessions", 0), 1u);
+}
+
 TEST(UnixSocketTest, ClientServerEndToEndOverSocket) {
   const std::string path =
       "/tmp/spta_service_test_" + std::to_string(::getpid()) + ".sock";
@@ -740,6 +777,12 @@ TEST(UnixSocketTest, ClientServerEndToEndOverSocket) {
 
   service::Client client(connection->in(), connection->out());
   EXPECT_TRUE(client.Ping().ok);
+
+  // HEALTH over the real blocking-socket path: an idle daemon is ready.
+  const auto health = client.Health();
+  ASSERT_TRUE(health.ok) << health.payload;
+  EXPECT_EQ(health.args.GetString("status"), "ok");
+  EXPECT_EQ(health.args.GetString("role"), "server");
 
   const auto obs = SyntheticSample(240, 21);
   service::Args no_iid;

@@ -22,6 +22,10 @@
 //       Prometheus text exposition instead (METRICS_PROM verb) and prints
 //       the raw scrape body, so a cron job piping to a textfile collector
 //       needs no custom speaker of the spta1 protocol.
+//   spta_client health   --socket PATH
+//       Readiness probe (HEALTH verb): status=ok|degraded plus fleet
+//       args and per-shard readiness lines — answered off the event
+//       loop, so it stays honest while the worker pool is saturated.
 //   spta_client shutdown --socket PATH
 //       Graceful drain: the daemon answers every accepted request, then
 //       exits.
@@ -38,11 +42,21 @@
 // — are reattempted on a fresh connection after a decorrelated-jitter
 // sleep (docs/FAULTS.md). Everything else fails immediately.
 //
+// When an ERR busy carries a retry_after_ms hint (admission-control shed
+// or queue-full backpressure from a sharded fleet), the sleep is
+// max(hint, jitter) clamped to --retry-cap-ms: the server's estimate can
+// only lengthen the wait, the seeded jitter stream still advances
+// identically (replayability), and the cap keeps a confused server from
+// parking the client. Hinted and blind waits are counted separately and
+// summarized on stderr at exit.
+//
 // Exit code: 0 on OK (for analyze: also requires usable=1), 1 on an
 // unusable analysis, 2 on transport/usage/permanent errors, 3 when the
 // daemon was still ERR-busy after all retries (back off and rerun later —
 // the request itself is fine).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -62,16 +76,49 @@ using namespace spta;
 
 constexpr int kExitBusy = 3;
 
+/// Backoff bookkeeping: how many sleeps were sized by a server
+/// retry_after_ms hint versus blind jitter. Summarized at exit.
+std::uint64_t g_hint_waits = 0;
+std::uint64_t g_blind_waits = 0;
+
+/// The sleep before the next attempt. The jitter schedule ALWAYS advances
+/// (same seed → same schedule, hints present or not); a server hint can
+/// only lengthen the result, and the policy cap bounds both.
+std::chrono::milliseconds NextBackoff(const service::Response& response,
+                                      service::RetrySchedule* schedule,
+                                      const service::RetryPolicy& policy) {
+  const std::chrono::milliseconds blind = schedule->NextDelay();
+  const std::uint64_t hint = response.args.GetUint("retry_after_ms", 0);
+  if (hint == 0) {
+    ++g_blind_waits;
+    return blind;
+  }
+  ++g_hint_waits;
+  const auto hinted = std::chrono::milliseconds(
+      static_cast<std::chrono::milliseconds::rep>(hint));
+  return std::min(policy.cap, std::max(hinted, blind));
+}
+
+void PrintBackoffSummary() {
+  if (g_hint_waits + g_blind_waits == 0) return;
+  std::fprintf(stderr,
+               "spta_client: backoff waits: %llu hinted (retry_after_ms), "
+               "%llu blind\n",
+               static_cast<unsigned long long>(g_hint_waits),
+               static_cast<unsigned long long>(g_blind_waits));
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: spta_client <ping|analyze|session|metrics|shutdown> "
+      "usage: spta_client <ping|analyze|session|metrics|health|shutdown> "
       "(--socket PATH | --tcp HOST:PORT) [flags]\n"
       "  analyze  --input FILE [--prob P] [--per-path] [--block-size B] "
       "[--deadline-ms D]\n"
       "  session  --input FILE [--name NAME] [--chunk N] [--prob P] "
       "[--per-path]\n"
       "  metrics  [--metrics-prom]  (Prometheus text format)\n"
+      "  health   (readiness: status=ok|degraded + per-shard lines)\n"
       "  common   [--retries N] [--retry-base-ms B] [--retry-cap-ms C] "
       "[--retry-seed S] [--timeout-ms T]\n");
   return 2;
@@ -150,7 +197,9 @@ int Report(const service::Response& response) {
 
 int RunSession(service::Client& client, const Flags& flags,
                const std::vector<mbpta::PathObservation>& observations,
-               service::RetrySchedule* schedule, int max_attempts) {
+               service::RetrySchedule* schedule,
+               const service::RetryPolicy& policy) {
+  const int max_attempts = policy.max_attempts;
   const std::string name = flags.GetString("name", "cli");
   const std::size_t chunk =
       static_cast<std::size_t>(flags.GetInt("chunk", 250));
@@ -185,7 +234,7 @@ int RunSession(service::Client& client, const Flags& flags,
         attempt >= max_attempts) {
       break;
     }
-    const auto delay = schedule->NextDelay();
+    const auto delay = NextBackoff(response, schedule, policy);
     std::fprintf(stderr,
                  "spta_client: daemon busy, retrying analyze in %lld ms "
                  "(attempt %d/%d)\n",
@@ -227,7 +276,7 @@ int main(int argc, char** argv) {
     tcp_port = static_cast<std::uint16_t>(port);
   }
   if (command != "ping" && command != "analyze" && command != "session" &&
-      command != "metrics" && command != "shutdown") {
+      command != "metrics" && command != "health" && command != "shutdown") {
     std::fprintf(stderr, "spta_client: unknown command '%s'\n",
                  command.c_str());
     return Usage();
@@ -283,7 +332,8 @@ int main(int argc, char** argv) {
         // lives server-side); only connect/transport failures reach the
         // outer loop via the returned code.
         exit_code = RunSession(client, flags, observations, &schedule,
-                               policy.max_attempts);
+                               policy);
+        PrintBackoffSummary();
         return exit_code;
       } else if (command == "metrics") {
         if (flags.GetBool("metrics-prom")) {
@@ -297,6 +347,8 @@ int main(int argc, char** argv) {
         } else {
           response = client.Metrics();
         }
+      } else if (command == "health") {
+        response = client.Health();
       } else {  // shutdown
         response = client.Shutdown();
       }
@@ -309,7 +361,7 @@ int main(int argc, char** argv) {
       exit_code = Report(response);
       break;
     }
-    const auto delay = schedule.NextDelay();
+    const auto delay = NextBackoff(response, &schedule, policy);
     std::fprintf(stderr,
                  "spta_client: attempt %d/%d failed (ERR %s), retrying in "
                  "%lld ms\n",
@@ -317,5 +369,6 @@ int main(int argc, char** argv) {
                  static_cast<long long>(delay.count()));
     std::this_thread::sleep_for(delay);
   }
+  PrintBackoffSummary();
   return exit_code;
 }

@@ -1,8 +1,12 @@
-// spta_fleet — process supervisor for a multi-process spta_serve fleet.
+// spta_fleet — self-healing process supervisor for a spta_serve fleet.
 //
 //   spta_fleet --tcp PORT [--host A.B.C.D] [--procs N] [--shards M]
-//              [--cache-dir DIR] [--serve-bin PATH] [--backlog N]
-//              [--respawn-limit K] [-- extra spta_serve flags...]
+//              [--cache-dir DIR] [--cache-max-bytes N]
+//              [--cache-quota-bytes N] [--serve-bin PATH] [--backlog N]
+//              [--respawn-limit K] [--min-uptime-ms N]
+//              [--respawn-base-ms N] [--respawn-cap-ms N] [--backoff-seed S]
+//              [--watchdog-interval-ms N] [--watchdog-timeout-ms N]
+//              [--watchdog-seed S]
 //
 // Spawns N `spta_serve --tcp PORT --reuseport` children sharing one TCP
 // port via SO_REUSEPORT (the kernel load-balances connections across the
@@ -10,11 +14,24 @@
 // parallelism is N*M shard threads. The supervisor then babysits:
 //
 //   * a child that dies (crash, OOM kill) is respawned, up to
-//     --respawn-limit times per child (default 5) — a child that keeps
-//     dying marks the fleet degraded but never busy-loops fork();
-//   * SIGTERM/SIGINT are forwarded to every child and the supervisor
-//     waits for their graceful drains — in-flight requests still get
-//     their responses (zero-loss drain, per child);
+//     --respawn-limit times per child (default 5). A child that dies
+//     within --min-uptime-ms of its spawn is crash-looping: its respawn
+//     is delayed by a seeded decorrelated-jitter backoff
+//     (--respawn-base-ms growing toward --respawn-cap-ms), so a broken
+//     binary burns wall-clock, not fork() and its respawn budget. A
+//     child that survived past --min-uptime-ms respawns immediately and
+//     resets its backoff schedule;
+//   * a WATCHDOG probes each child over a private socketpair (the child
+//     serves it via `spta_serve --health-fd`): every
+//     --watchdog-interval-ms (seeded jitter spreads the probes) the
+//     supervisor writes a HEALTH frame; a child that produces no reply
+//     bytes within --watchdog-timeout-ms is alive-but-unresponsive
+//     (wedged) and is SIGKILLed, which routes it through the normal
+//     respawn path. --watchdog-interval-ms 0 disables probing;
+//   * SIGTERM/SIGINT are forwarded to every child (plus SIGCONT, so a
+//     stopped child can still drain) and the supervisor waits for their
+//     graceful drains — in-flight requests still get their responses
+//     (zero-loss drain, per child);
 //   * a child that exits cleanly (in-band SHUTDOWN) is NOT respawned;
 //     when the last child is gone the supervisor exits.
 //
@@ -22,40 +39,57 @@
 // entry writes are atomic (tmp+rename with pid-qualified tmp names), and
 // every child warm-starts from the shared pool at spawn.
 //
-// Exit code: 0 when every child exited cleanly, 1 otherwise.
+// Exit code: 0 when the fleet wound down in control — every child either
+// drained cleanly or was respawned within budget (a chaos-killed child
+// that came back does NOT poison the exit code). 1 when a child hit its
+// respawn limit (fleet degraded) or died dirty AFTER the drain was
+// requested.
 
+#include <fcntl.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.hpp"
+#include "common/hash.hpp"
+#include "service/protocol.hpp"
+#include "service/retry.hpp"
 
 namespace {
 
 using namespace spta;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: spta_fleet --tcp PORT [--host A.B.C.D] [--procs N] "
-               "[--shards M] [--cache-dir DIR] [--serve-bin PATH] "
-               "[--backlog N] [--respawn-limit K]\n");
+  std::fprintf(
+      stderr,
+      "usage: spta_fleet --tcp PORT [--host A.B.C.D] [--procs N] "
+      "[--shards M] [--cache-dir DIR] [--cache-max-bytes N] "
+      "[--cache-quota-bytes N] [--serve-bin PATH] [--backlog N] "
+      "[--respawn-limit K] [--min-uptime-ms N] [--respawn-base-ms N] "
+      "[--respawn-cap-ms N] [--backoff-seed S] [--watchdog-interval-ms N] "
+      "[--watchdog-timeout-ms N] [--watchdog-seed S]\n");
   return 2;
 }
 
 /// The supervisor's wake-up set. SIGTERM/SIGINT/SIGCHLD stay *blocked* for
 /// the supervisor's lifetime and are consumed synchronously with
-/// sigwaitinfo(2) in the main loop. A handler + blocking waitpid() does not
-/// work here: glibc's signal() installs SA_RESTART, so waitpid() resumes
-/// after the handler instead of failing EINTR and a SIGTERM would not be
-/// forwarded until some child happened to die on its own. Blocking the
-/// signals makes delivery a queue the loop drains — nothing can be lost
-/// between "check the flag" and "block in wait".
+/// sigtimedwait(2) in the main loop. A handler + blocking waitpid() does
+/// not work here: glibc's signal() installs SA_RESTART, so waitpid()
+/// resumes after the handler instead of failing EINTR and a SIGTERM would
+/// not be forwarded until some child happened to die on its own. Blocking
+/// the signals makes delivery a queue the loop drains — nothing can be
+/// lost between "check the flag" and "block in wait"; the timeout is what
+/// drives the watchdog and backoff clocks.
 sigset_t SupervisorSigset() {
   sigset_t mask;
   sigemptyset(&mask);
@@ -78,35 +112,111 @@ std::string DefaultServeBin() {
   return path.substr(0, slash + 1) + "spta_serve";
 }
 
+/// CLOCK_MONOTONIC in ms — the supervisor's only clock (wall time jumps
+/// must not fire the watchdog or stretch a backoff).
+std::int64_t NowMs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 +
+         ts.tv_nsec / 1000000;
+}
+
+/// Seeded-jitter probe spacing in [interval/2, interval]: deterministic
+/// per (seed, counter), but de-phased across children so N probes do not
+/// land on the same tick.
+std::int64_t ProbeDelayMs(std::uint64_t seed, std::uint64_t counter,
+                          std::int64_t interval_ms) {
+  const std::int64_t half = interval_ms / 2;
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(interval_ms - half) + 1;
+  return half + static_cast<std::int64_t>(Mix64(HashCombine(seed, counter)) %
+                                          span);
+}
+
+/// The wire bytes of one HEALTH probe (constant — build once).
+std::string HealthFrame() {
+  service::Request request;
+  request.kind = service::RequestKind::kHealth;
+  std::string out;
+  service::AppendRequestFrame(request, &out);
+  return out;
+}
+
 struct Child {
   pid_t pid = -1;
   int respawns = 0;
   bool clean_exit = false;  ///< Exited 0 — drained, do not respawn.
-  bool gave_up = false;     ///< Respawn limit hit.
+  bool gave_up = false;     ///< Respawn limit hit (fleet degraded).
+  /// Parent end of the health socketpair; -1 when the child is down or
+  /// the pair could not be made (the child then just goes unprobed).
+  int health_fd = -1;
+  std::int64_t spawned_ms = 0;
+  /// When a pending (backed-off) respawn is due; 0 = none pending.
+  std::int64_t respawn_due_ms = 0;
+  /// Watchdog: when to send the next probe / when the in-flight probe
+  /// times out (0 = no probe in flight).
+  std::int64_t next_probe_ms = 0;
+  std::int64_t probe_deadline_ms = 0;
+  std::uint64_t probe_counter = 0;
+  /// Decorrelated-jitter respawn schedule; allocated on the first
+  /// crash-loop death, reset by a run that survived past min-uptime.
+  std::unique_ptr<service::RetrySchedule> backoff;
 };
 
-pid_t SpawnChild(const std::string& serve_bin,
-                 const std::vector<std::string>& args) {
-  const pid_t pid = ::fork();
-  if (pid != 0) return pid;
-  // Child: the supervisor runs with SIGTERM/SIGINT/SIGCHLD blocked and the
-  // mask survives execv — unblock everything or the spta_serve child would
-  // never see the forwarded SIGTERM it is supposed to drain on.
-  sigset_t empty;
-  sigemptyset(&empty);
-  ::sigprocmask(SIG_SETMASK, &empty, nullptr);
-  // Build argv and exec. On failure exit 127 so the supervisor counts it
-  // as a dirty exit rather than silently running supervisor code twice.
-  std::vector<char*> argv;
-  argv.push_back(const_cast<char*>(serve_bin.c_str()));
-  for (const std::string& arg : args) {
-    argv.push_back(const_cast<char*>(arg.c_str()));
+struct SpawnResult {
+  pid_t pid = -1;
+  int health_fd = -1;
+};
+
+SpawnResult SpawnChild(const std::string& serve_bin,
+                       const std::vector<std::string>& base_args) {
+  int sv[2] = {-1, -1};
+  const bool have_pair = ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0;
+  if (have_pair) {
+    // Parent end must not leak into this (or any later) child; the child
+    // end rides through execv as `--health-fd N`.
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+    const int fl = ::fcntl(sv[0], F_GETFL, 0);
+    if (fl >= 0) ::fcntl(sv[0], F_SETFL, fl | O_NONBLOCK);
   }
-  argv.push_back(nullptr);
-  ::execv(serve_bin.c_str(), argv.data());
-  std::fprintf(stderr, "spta_fleet: execv('%s') failed: %s\n",
-               serve_bin.c_str(), std::strerror(errno));
-  ::_exit(127);
+  std::vector<std::string> args = base_args;
+  if (have_pair) {
+    args.push_back("--health-fd");
+    args.push_back(std::to_string(sv[1]));
+  }
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: the supervisor runs with SIGTERM/SIGINT/SIGCHLD blocked and
+    // the mask survives execv — unblock everything or the spta_serve
+    // child would never see the forwarded SIGTERM it drains on.
+    sigset_t empty;
+    sigemptyset(&empty);
+    ::sigprocmask(SIG_SETMASK, &empty, nullptr);
+    // Build argv and exec. On failure exit 127 so the supervisor counts
+    // it as a dirty exit rather than silently running supervisor code
+    // twice.
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(serve_bin.c_str()));
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(serve_bin.c_str(), argv.data());
+    std::fprintf(stderr, "spta_fleet: execv('%s') failed: %s\n",
+                 serve_bin.c_str(), std::strerror(errno));
+    ::_exit(127);
+  }
+  if (have_pair) ::close(sv[1]);
+  if (pid < 0) {
+    if (have_pair) ::close(sv[0]);
+    std::fprintf(stderr, "spta_fleet: fork failed: %s\n",
+                 std::strerror(errno));
+    return {};
+  }
+  // Parseable by tests (and by an operator grepping for churn).
+  std::fprintf(stderr, "spta_fleet: spawned pid %d\n",
+               static_cast<int>(pid));
+  return {pid, have_pair ? sv[0] : -1};
 }
 
 }  // namespace
@@ -131,6 +241,21 @@ int main(int argc, char** argv) {
       flags.GetString("serve-bin", DefaultServeBin());
   const std::string cache_dir = flags.GetString("cache-dir");
   const int backlog = static_cast<int>(flags.GetInt("backlog", 128));
+  // Crash-loop detection + backoff knobs.
+  const std::int64_t min_uptime_ms = flags.GetInt("min-uptime-ms", 1000);
+  const std::int64_t respawn_base_ms =
+      std::max<std::int64_t>(1, flags.GetInt("respawn-base-ms", 100));
+  const std::int64_t respawn_cap_ms = std::max(
+      respawn_base_ms, flags.GetInt("respawn-cap-ms", 5000));
+  const std::uint64_t backoff_seed =
+      static_cast<std::uint64_t>(flags.GetInt("backoff-seed", 1));
+  // Watchdog knobs; interval 0 disables probing entirely.
+  const std::int64_t watchdog_interval_ms =
+      std::max<std::int64_t>(0, flags.GetInt("watchdog-interval-ms", 500));
+  const std::int64_t watchdog_timeout_ms =
+      std::max<std::int64_t>(1, flags.GetInt("watchdog-timeout-ms", 2000));
+  const std::uint64_t watchdog_seed =
+      static_cast<std::uint64_t>(flags.GetInt("watchdog-seed", 1));
 
   std::vector<std::string> child_args = {
       "--tcp",     std::to_string(port),
@@ -142,17 +267,40 @@ int main(int argc, char** argv) {
     child_args.push_back("--cache-dir");
     child_args.push_back(cache_dir);
   }
+  // Cache bounds ride along to every child: the LRU byte budget and the
+  // ENOSPC simulation quota are fleet-wide policy, not per-process tuning.
+  for (const char* bound : {"cache-max-bytes", "cache-quota-bytes"}) {
+    if (flags.Has(bound)) {
+      child_args.push_back(std::string("--") + bound);
+      child_args.push_back(std::to_string(flags.GetInt(bound, 0)));
+    }
+  }
+  for (const std::string& extra : flags.positional()) {
+    child_args.push_back(extra);
+  }
 
   sigset_t mask = SupervisorSigset();
   ::sigprocmask(SIG_BLOCK, &mask, nullptr);
 
+  const std::string health_frame = HealthFrame();
+  const std::int64_t start_ms = NowMs();
+
   std::vector<Child> children(static_cast<std::size_t>(procs));
-  for (Child& child : children) {
-    child.pid = SpawnChild(serve_bin, child_args);
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    Child& child = children[i];
+    const SpawnResult spawned = SpawnChild(serve_bin, child_args);
+    child.pid = spawned.pid;
+    child.health_fd = spawned.health_fd;
+    child.spawned_ms = NowMs();
     if (child.pid < 0) {
-      std::fprintf(stderr, "spta_fleet: fork failed: %s\n",
-                   std::strerror(errno));
       child.gave_up = true;
+      continue;
+    }
+    if (watchdog_interval_ms > 0) {
+      child.next_probe_ms =
+          child.spawned_ms +
+          ProbeDelayMs(HashCombine(watchdog_seed, i), ++child.probe_counter,
+                       watchdog_interval_ms);
     }
   }
   std::fprintf(stderr, "spta_fleet: %d procs x %d shards on %s:%d\n", procs,
@@ -160,25 +308,33 @@ int main(int argc, char** argv) {
 
   bool terminate = false;
   bool forwarded = false;
-  bool any_dirty = false;
+  bool dirty_after_drain = false;
   for (;;) {
+    const std::int64_t now = NowMs();
+
     // Reap everything that has exited. SIGCHLD coalesces, so one wake-up
     // may cover several deaths — drain with WNOHANG until empty.
     for (;;) {
       int status = 0;
       const pid_t done = ::waitpid(-1, &status, WNOHANG);
       if (done <= 0) break;
-      for (Child& child : children) {
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        Child& child = children[i];
         if (child.pid != done) continue;
+        if (child.health_fd >= 0) {
+          ::close(child.health_fd);
+          child.health_fd = -1;
+        }
+        child.probe_deadline_ms = 0;
+        child.pid = -1;
         const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
         if (clean || forwarded) {
           child.clean_exit = true;
-          if (!clean) any_dirty = true;
+          if (!clean) dirty_after_drain = true;
           std::fprintf(stderr, "spta_fleet: pid %d exited (%s)\n",
                        static_cast<int>(done), clean ? "clean" : "dirty");
           break;
         }
-        any_dirty = true;
         if (child.respawns >= respawn_limit) {
           child.gave_up = true;
           std::fprintf(stderr,
@@ -188,11 +344,37 @@ int main(int argc, char** argv) {
           break;
         }
         ++child.respawns;
-        child.pid = SpawnChild(serve_bin, child_args);
-        std::fprintf(stderr, "spta_fleet: pid %d died, respawned as %d "
-                             "(%d/%d)\n",
-                     static_cast<int>(done), static_cast<int>(child.pid),
-                     child.respawns, respawn_limit);
+        const std::int64_t uptime = now - child.spawned_ms;
+        if (uptime < min_uptime_ms) {
+          // Crash loop: delay the respawn so a broken child burns
+          // wall-clock, not its whole budget. The schedule is per-child,
+          // seeded, and survives across its deaths.
+          if (!child.backoff) {
+            service::RetryPolicy policy;
+            policy.base = std::chrono::milliseconds(respawn_base_ms);
+            policy.cap = std::chrono::milliseconds(respawn_cap_ms);
+            policy.seed = HashCombine(backoff_seed, i);
+            child.backoff =
+                std::make_unique<service::RetrySchedule>(policy);
+          }
+          const std::int64_t delay = child.backoff->NextDelay().count();
+          child.respawn_due_ms = now + delay;
+          std::fprintf(stderr,
+                       "spta_fleet: pid %d died after %lld ms (crash "
+                       "loop), respawn %d/%d in %lld ms\n",
+                       static_cast<int>(done),
+                       static_cast<long long>(uptime), child.respawns,
+                       respawn_limit, static_cast<long long>(delay));
+        } else {
+          // A run that held steady earns an immediate respawn and a
+          // fresh backoff schedule.
+          child.backoff.reset();
+          child.respawn_due_ms = now;
+          std::fprintf(stderr,
+                       "spta_fleet: pid %d died, respawning (%d/%d)\n",
+                       static_cast<int>(done), child.respawns,
+                       respawn_limit);
+        }
         break;
       }
     }
@@ -200,29 +382,136 @@ int main(int argc, char** argv) {
     if (terminate && !forwarded) {
       forwarded = true;
       std::fprintf(stderr, "spta_fleet: forwarding SIGTERM; draining...\n");
-      for (const Child& child : children) {
+      for (Child& child : children) {
+        child.respawn_due_ms = 0;  // Draining: no more respawns.
         if (child.pid > 0 && !child.clean_exit && !child.gave_up) {
           ::kill(child.pid, SIGTERM);
+          // A SIGSTOPped (chaos-wedged) child cannot process SIGTERM;
+          // SIGCONT lets the drain reach it.
+          ::kill(child.pid, SIGCONT);
         }
       }
     }
 
-    bool anyone_running = false;
-    for (const Child& child : children) {
-      if (child.pid > 0 && !child.clean_exit && !child.gave_up) {
-        anyone_running = true;
+    // Fire respawns whose backoff has elapsed.
+    if (!forwarded) {
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        Child& child = children[i];
+        if (child.respawn_due_ms == 0 || now < child.respawn_due_ms) {
+          continue;
+        }
+        child.respawn_due_ms = 0;
+        const SpawnResult spawned = SpawnChild(serve_bin, child_args);
+        child.pid = spawned.pid;
+        child.health_fd = spawned.health_fd;
+        child.spawned_ms = now;
+        child.probe_deadline_ms = 0;
+        if (child.pid < 0) {
+          child.gave_up = true;
+          continue;
+        }
+        if (watchdog_interval_ms > 0) {
+          child.next_probe_ms =
+              now + ProbeDelayMs(HashCombine(watchdog_seed, i),
+                                 ++child.probe_counter,
+                                 watchdog_interval_ms);
+        }
       }
     }
-    if (!anyone_running) break;
 
-    // Blocks until a blocked signal is pending. A child that exited before
-    // this point left SIGCHLD pending (the set stays blocked), so the wait
-    // returns immediately — no lost-wakeup window exists.
-    int sig = 0;
-    do {
-      sig = ::sigwaitinfo(&mask, nullptr);
-    } while (sig < 0 && errno == EINTR);
+    // Watchdog pass: drain replies, kill the wedged, launch due probes.
+    // Idle during drain — a child busy finishing its backlog is not
+    // wedged, and SIGKILL would turn a clean drain dirty.
+    if (watchdog_interval_ms > 0 && !forwarded) {
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        Child& child = children[i];
+        if (child.pid <= 0 || child.health_fd < 0 || child.clean_exit ||
+            child.gave_up) {
+          continue;
+        }
+        char buffer[512];
+        ssize_t n = 0;
+        bool got_reply = false;
+        while ((n = ::read(child.health_fd, buffer, sizeof(buffer))) > 0) {
+          got_reply = true;  // Any reply bytes prove the loop is alive.
+        }
+        if (n == 0) {
+          // EOF: the child closed its end (it is exiting); the reaper
+          // owns what happens next.
+          ::close(child.health_fd);
+          child.health_fd = -1;
+          continue;
+        }
+        if (got_reply && child.probe_deadline_ms > 0) {
+          child.probe_deadline_ms = 0;
+          child.next_probe_ms =
+              now + ProbeDelayMs(HashCombine(watchdog_seed, i),
+                                 ++child.probe_counter,
+                                 watchdog_interval_ms);
+        }
+        if (child.probe_deadline_ms > 0 &&
+            now >= child.probe_deadline_ms) {
+          // Alive but unresponsive (wedged): SIGKILL works even on a
+          // stopped process; the reaper routes it through respawn.
+          std::fprintf(stderr,
+                       "spta_fleet: pid %d unresponsive for %lld ms — "
+                       "killing\n",
+                       static_cast<int>(child.pid),
+                       static_cast<long long>(watchdog_timeout_ms));
+          ::kill(child.pid, SIGKILL);
+          child.probe_deadline_ms = 0;
+          child.next_probe_ms = now + watchdog_timeout_ms;
+        } else if (child.probe_deadline_ms == 0 &&
+                   now >= child.next_probe_ms) {
+          // Fire one probe. A short/failed write is itself a wedge
+          // symptom (the socketpair buffer only fills when the child
+          // stops reading) — the probe simply times out.
+          [[maybe_unused]] const ssize_t written = ::write(
+              child.health_fd, health_frame.data(), health_frame.size());
+          child.probe_deadline_ms = now + watchdog_timeout_ms;
+        }
+      }
+    }
+
+    bool anyone_pending = false;
+    for (const Child& child : children) {
+      if (child.clean_exit || child.gave_up) continue;
+      if (child.pid > 0 || child.respawn_due_ms > 0) anyone_pending = true;
+    }
+    if (!anyone_pending) break;
+
+    // Sleep until the next timed event (probe, probe deadline, respawn)
+    // or a blocked signal. A child that exited before this point left
+    // SIGCHLD pending (the set stays blocked), so the wait returns
+    // immediately — no lost-wakeup window exists.
+    std::int64_t wake = now + 1000;
+    for (const Child& child : children) {
+      if (child.clean_exit || child.gave_up) continue;
+      if (child.respawn_due_ms > 0) {
+        wake = std::min(wake, child.respawn_due_ms);
+      }
+      if (watchdog_interval_ms > 0 && !forwarded && child.pid > 0 &&
+          child.health_fd >= 0) {
+        wake = std::min(wake, child.probe_deadline_ms > 0
+                                  ? child.probe_deadline_ms
+                                  : child.next_probe_ms);
+      }
+    }
+    const std::int64_t sleep_ms = std::max<std::int64_t>(
+        0, std::min<std::int64_t>(wake - now, 1000));
+    timespec timeout{};
+    timeout.tv_sec = sleep_ms / 1000;
+    timeout.tv_nsec = (sleep_ms % 1000) * 1000000;
+    const int sig = ::sigtimedwait(&mask, nullptr, &timeout);
     if (sig == SIGTERM || sig == SIGINT) terminate = true;
   }
-  return any_dirty ? 1 : 0;
+
+  bool any_gave_up = false;
+  for (const Child& child : children) {
+    if (child.gave_up) any_gave_up = true;
+  }
+  std::fprintf(stderr, "spta_fleet: done after %lld ms (%s)\n",
+               static_cast<long long>(NowMs() - start_ms),
+               (any_gave_up || dirty_after_drain) ? "degraded" : "ok");
+  return (any_gave_up || dirty_after_drain) ? 1 : 0;
 }

@@ -19,7 +19,11 @@
 //       disk-backed warm-start cache; --reuseport lets several fleet
 //       processes (the spta_fleet supervisor's children) share the port.
 //       PORT 0 picks an ephemeral port, printed on stderr as
-//       "listening on HOST:PORT".
+//       "listening on HOST:PORT". --health-fd adopts an inherited fd
+//       (the spta_fleet watchdog's socketpair end) as one more served
+//       connection, so the supervisor can HEALTH-probe this specific
+//       child. --cache-max-bytes bounds the persistent cache (LRU
+//       eviction); --cache-quota-bytes simulates a full device (chaos).
 //
 // --prom-out periodically exports the same Prometheus text body that the
 // METRICS_PROM verb serves (atomic tmp+rename, so a scraper using the
@@ -67,7 +71,9 @@ int Usage() {
                "usage: spta_serve (--socket PATH | --pipe | --tcp PORT) "
                "[--host A.B.C.D] [--shards N] [--reuseport] [--workers N] "
                "[--queue N] [--cache N] [--deadline-ms D] [--cache-dir DIR] "
-               "[--backlog N] [--prom-out FILE [--prom-interval-ms N]]\n");
+               "[--cache-max-bytes N] [--cache-quota-bytes N] "
+               "[--backlog N] [--health-fd FD] "
+               "[--prom-out FILE [--prom-interval-ms N]]\n");
   return 2;
 }
 
@@ -173,6 +179,14 @@ int main(int argc, char** argv) {
   options.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
   options.listen_backlog = static_cast<int>(flags.GetInt("backlog", 128));
   options.cache_dir = flags.GetString("cache-dir");
+  // On-disk budget / simulated-capacity for the persistent cache
+  // (docs/SERVICE.md "Failure modes"): eviction keeps the footprint under
+  // --cache-max-bytes; --cache-quota-bytes makes Puts past it behave like
+  // ENOSPC (the chaos harness's disk-full lever).
+  options.cache_max_bytes =
+      static_cast<std::uint64_t>(flags.GetInt("cache-max-bytes", 0));
+  options.cache_quota_bytes =
+      static_cast<std::uint64_t>(flags.GetInt("cache-quota-bytes", 0));
   if (options.queue_capacity == 0 || options.cache_capacity == 0) {
     std::fprintf(stderr, "spta_serve: --queue and --cache must be >= 1\n");
     return 2;
@@ -200,6 +214,12 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.GetInt("shards", 1));
     fleet_options.listen_backlog = options.listen_backlog;
     fleet_options.reuseport = flags.GetBool("reuseport");
+    // --health-fd: an inherited fd (the spta_fleet watchdog's socketpair
+    // end) served exactly like an accepted connection, so supervisor
+    // HEALTH probes reach this child directly — SO_REUSEPORT gives the
+    // supervisor no way to address a specific child through the port.
+    fleet_options.adopt_fd =
+        static_cast<int>(flags.GetInt("health-fd", -1));
     if (fleet_options.shards == 0) {
       std::fprintf(stderr, "spta_serve: --shards must be >= 1\n");
       return 2;
