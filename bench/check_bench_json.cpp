@@ -409,14 +409,17 @@ int main(int argc, char** argv) {
       Fail("service_fleet: armed >= 10x warm gate failed");
     }
     // The resilience artifact: chaos-on vs chaos-off throughput plus the
-    // two hard invariants — zero lost requests and bit-identical answers
-    // across seeded shard kills. Recovery percentiles are reported, not
-    // gated (machine-dependent).
+    // two hard invariants — zero silently lost requests and bit-identical
+    // OK answers across seeded shard kills. Fail-fast `unavailable`
+    // answers for requests a kill caught in-queue are legitimate
+    // back-pressure and only counted. Recovery percentiles are reported,
+    // not gated (machine-dependent).
     std::map<std::string, std::string> resilience_numbers;
     ValidateReport(resilience_json, "resilience",
                    {"chaos_off_rps", "chaos_on_rps", "kills",
                     "recovery_p50_ms", "recovery_p99_ms", "lost_requests",
-                    "checksum_match", "acceptance_pass"},
+                    "unavailable_responses", "checksum_match",
+                    "acceptance_pass"},
                    &resilience_numbers);
     if (resilience_numbers.count("lost_requests") &&
         Number(resilience_numbers, "lost_requests", 1.0) != 0.0) {
@@ -430,9 +433,34 @@ int main(int argc, char** argv) {
         !(Number(resilience_numbers, "kills", 0.0) > 0.0)) {
       Fail("resilience: the chaos schedule fired no kills");
     }
+    // The distributed-tracing artifact: the three-way A/B (untraced wire /
+    // trace token parsed with the tracer off / tracer on). Bit-identity
+    // across all legs and a non-empty enabled-leg span count are behavioral
+    // guarantees; the 10% overhead gate arms inside the bench at scale.
+    const std::string obs_trace_json = dir + "/BENCH_obs_trace.json";
+    std::map<std::string, std::string> obs_trace_numbers;
+    ValidateReport(obs_trace_json, "obs_trace",
+                   {"disabled_ns_per_req", "disabled_traced_ns_per_req",
+                    "enabled_ns_per_req", "disabled_overhead_pct",
+                    "enabled_overhead_pct", "analysis_disabled_ns_per_req",
+                    "analysis_traced_ns_per_req", "analysis_overhead_pct",
+                    "trace_events_recorded", "checksum_match", "gate_armed",
+                    "gate_token_pct", "gate_enabled_pct",
+                    "gate_analysis_pct", "acceptance_pass"},
+                   &obs_trace_numbers);
+    if (obs_trace_numbers.count("checksum_match") &&
+        Number(obs_trace_numbers, "checksum_match", 0.0) != 1.0) {
+      Fail("obs_trace: traced legs were not bit-identical to the untraced "
+           "leg");
+    }
+    if (obs_trace_numbers.count("trace_events_recorded") &&
+        !(Number(obs_trace_numbers, "trace_events_recorded", 0.0) > 0.0)) {
+      Fail("obs_trace: enabled leg recorded no spans");
+    }
     std::remove(loadgen_json.c_str());
     std::remove(fleet_json.c_str());
     std::remove(resilience_json.c_str());
+    std::remove(obs_trace_json.c_str());
   }
 
   ::rmdir(dir.c_str());

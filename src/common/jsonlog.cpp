@@ -1,0 +1,75 @@
+#include "common/jsonlog.hpp"
+
+#include <chrono>
+#include <cinttypes>
+
+#include <unistd.h>
+
+namespace spta {
+
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char raw : value) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (c == '"') {
+      out->append("\\\"");
+    } else if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+JsonLogLine::JsonLogLine(std::string_view component, std::string_view event) {
+  const std::int64_t ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  char head[64];
+  std::snprintf(head, sizeof head, "{\"ts_ms\":%" PRId64 ",\"pid\":%ld",
+                ts_ms, static_cast<long>(::getpid()));
+  line_.append(head);
+  line_.append(",\"component\":");
+  AppendEscaped(&line_, component);
+  line_.append(",\"event\":");
+  AppendEscaped(&line_, event);
+}
+
+JsonLogLine& JsonLogLine::Int(std::string_view key, std::int64_t value) {
+  line_.append(",");
+  AppendEscaped(&line_, key);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ":%" PRId64, value);
+  line_.append(buf);
+  return *this;
+}
+
+JsonLogLine& JsonLogLine::Str(std::string_view key, std::string_view value) {
+  line_.append(",");
+  AppendEscaped(&line_, key);
+  line_.push_back(':');
+  AppendEscaped(&line_, value);
+  return *this;
+}
+
+std::string JsonLogLine::Finish() const { return line_ + "}"; }
+
+void JsonLogLine::Emit(std::FILE* out) const {
+  const std::string line = Finish();
+  std::fprintf(out, "%s\n", line.c_str());
+  std::fflush(out);
+}
+
+}  // namespace spta

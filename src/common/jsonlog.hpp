@@ -1,0 +1,49 @@
+// Structured one-line-JSON logging for long-running supervisors.
+//
+// The fleet supervisor's stderr is a machine-parsed surface: the chaos
+// test follows child lifecycles through it, and operators grep it next
+// to the flight-recorder dumps. Prose lines made that contract brittle
+// (every wording tweak broke a sscanf), so supervisor events are one
+// JSON object per line with a stable shape:
+//
+//   {"ts_ms":1754700000123,"pid":4242,"component":"spta_fleet",
+//    "event":"spawned","child_pid":4250,"slot":1}
+//
+// `ts_ms` (wall-clock Unix milliseconds), `pid` (the logging process)
+// and `component` are stamped automatically; `event` names what
+// happened; everything else is typed key/value fields added by the call
+// site. Keys are emitted in insertion order, values are either JSON
+// numbers (Int) or escaped strings (Str) — parsers may rely on
+// `"key":value` substrings without a full JSON parser.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace spta {
+
+class JsonLogLine {
+ public:
+  /// Starts a line for `event`; `component` names the logging program.
+  JsonLogLine(std::string_view component, std::string_view event);
+
+  /// Adds an integer field.
+  JsonLogLine& Int(std::string_view key, std::int64_t value);
+
+  /// Adds a string field (JSON-escaped).
+  JsonLogLine& Str(std::string_view key, std::string_view value);
+
+  /// The completed line, without the trailing newline.
+  std::string Finish() const;
+
+  /// Writes the line + '\n' to `out` and flushes (supervisor logs must
+  /// survive an abrupt exit).
+  void Emit(std::FILE* out = stderr) const;
+
+ private:
+  std::string line_;
+};
+
+}  // namespace spta

@@ -1,5 +1,6 @@
 #include "obs/prometheus.hpp"
 
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 
@@ -108,6 +109,16 @@ void PromText::HistogramSeries(std::string_view name,
   }
   out_ += ' ';
   AppendNumber(sum);
+  out_ += '\n';
+}
+
+void PromText::Exemplar(std::uint64_t trace_id, double value) {
+  if (trace_id == 0) return;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "# {trace_id=\"%016" PRIx64 "\"} ",
+                trace_id);
+  out_ += buf;
+  AppendNumber(value);
   out_ += '\n';
 }
 

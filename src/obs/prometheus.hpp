@@ -41,6 +41,15 @@ class PromText {
   void HistogramSeries(std::string_view name, std::string_view labels,
                        const Histogram& h, double scale, double sum);
 
+  /// Emits a trace-linked exemplar comment line:
+  ///   # {trace_id="<16hex>"} value
+  /// Classic text-format scrapers treat `#` lines as comments, so the
+  /// exemplar is invisible to them; trace-aware consumers can join the
+  /// preceding histogram to the distributed trace that produced its most
+  /// recent observation. No-op when trace_id is 0 (no traced request has
+  /// hit the series yet).
+  void Exemplar(std::uint64_t trace_id, double value);
+
   const std::string& str() const { return out_; }
 
  private:

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/atomic_file.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace spta::obs {
 
@@ -20,12 +21,13 @@ Tracer& Tracer::Instance() {
 }
 
 std::uint64_t Tracer::NowNs() {
-  // Process-wide epoch fixed at first use so every span shares one origin;
-  // steady_clock so suspend/adjtime never move recorded timestamps.
-  static const auto epoch = std::chrono::steady_clock::now();
+  // Raw CLOCK_MONOTONIC, shared by every process on the host, so traces
+  // from the client, supervisor, and shards land on one timeline when
+  // merged; steady_clock so suspend/adjtime never move recorded
+  // timestamps.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - epoch)
+          std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
 
@@ -59,6 +61,17 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
 void Tracer::RecordComplete(const char* category, const char* name,
                             std::uint64_t start_ns, std::uint64_t end_ns,
                             const char* arg_name, std::uint64_t arg_value) {
+  const TraceContext ctx = CurrentTraceContext();
+  RecordCompleteIds(category, name, start_ns, end_ns, arg_name, arg_value,
+                    ctx.trace_id, ctx.valid() ? MintSpanId() : 0,
+                    ctx.span_id);
+}
+
+void Tracer::RecordCompleteIds(const char* category, const char* name,
+                               std::uint64_t start_ns, std::uint64_t end_ns,
+                               const char* arg_name, std::uint64_t arg_value,
+                               std::uint64_t trace_id, std::uint64_t span_id,
+                               std::uint64_t parent_id) {
   TraceEvent e;
   e.category = category;
   e.name = name;
@@ -66,12 +79,18 @@ void Tracer::RecordComplete(const char* category, const char* name,
   e.arg_value = arg_value;
   e.ts_ns = start_ns;
   e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  e.trace_id = trace_id;
+  e.span_id = span_id;
+  e.parent_id = parent_id;
   e.phase = 'X';
-  LocalBuffer()->Push(e);
+  ThreadBuffer* buffer = LocalBuffer();
+  buffer->Push(e);
+  FlightRecordEvent(e, buffer->tid);
 }
 
 void Tracer::RecordInstant(const char* category, const char* name,
                            const char* arg_name, std::uint64_t arg_value) {
+  const TraceContext ctx = CurrentTraceContext();
   TraceEvent e;
   e.category = category;
   e.name = name;
@@ -79,8 +98,13 @@ void Tracer::RecordInstant(const char* category, const char* name,
   e.arg_value = arg_value;
   e.ts_ns = NowNs();
   e.dur_ns = 0;
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.valid() ? MintSpanId() : 0;
+  e.parent_id = ctx.span_id;
   e.phase = 'i';
-  LocalBuffer()->Push(e);
+  ThreadBuffer* buffer = LocalBuffer();
+  buffer->Push(e);
+  FlightRecordEvent(e, buffer->tid);
 }
 
 Tracer::Stats Tracer::GetStats() const {
@@ -137,6 +161,15 @@ void WriteMicros(std::ostream& out, std::uint64_t ns) {
   out << buf;
 }
 
+/// `,"key":"0123456789abcdef"` — ids render as 16-hex strings, matching
+/// the wire token and the Prometheus exemplar format.
+void WriteHexIdField(std::ostream& out, const char* key,
+                     std::uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ",\"%s\":\"%016" PRIx64 "\"", key, value);
+  out << buf;
+}
+
 }  // namespace
 
 bool Tracer::WriteChromeTrace(std::ostream& out) const {
@@ -174,7 +207,23 @@ bool Tracer::WriteChromeTrace(std::ostream& out) const {
       if (e.arg_name != nullptr) {
         out << ",\"args\":{";
         WriteJsonString(out, e.arg_name);
-        out << ":" << e.arg_value << "}";
+        out << ":" << e.arg_value;
+        // Untraced events keep the exact one-key args object older
+        // tooling (and tests) pin; traced events append their ids.
+        if (e.trace_id != 0) {
+          WriteHexIdField(out, "trace_id", e.trace_id);
+          WriteHexIdField(out, "span_id", e.span_id);
+          WriteHexIdField(out, "parent_span_id", e.parent_id);
+        }
+        out << "}";
+      } else if (e.trace_id != 0) {
+        out << ",\"args\":{\"trace_id\":\"";
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%016" PRIx64, e.trace_id);
+        out << buf << "\"";
+        WriteHexIdField(out, "span_id", e.span_id);
+        WriteHexIdField(out, "parent_span_id", e.parent_id);
+        out << "}";
       }
       out << "}";
     }

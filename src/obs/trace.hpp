@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_context.hpp"
+
 // Compile-time gate: building with -DSPTA_OBS_TRACING=0 (CMake option
 // SPTA_OBS_TRACING=OFF) removes every span macro from the binary.
 #ifndef SPTA_OBS_TRACING
@@ -48,6 +50,9 @@ struct TraceEvent {
   std::uint64_t arg_value = 0;
   std::uint64_t ts_ns = 0;   ///< Start, nanoseconds since the tracer epoch.
   std::uint64_t dur_ns = 0;  ///< 0 for instants.
+  std::uint64_t trace_id = 0;   ///< Distributed trace id; 0 = untraced.
+  std::uint64_t span_id = 0;    ///< This span's id (0 when untraced).
+  std::uint64_t parent_id = 0;  ///< Parent span id; 0 = trace root.
   char phase = 'X';          ///< 'X' complete span, 'i' instant.
 };
 
@@ -73,17 +78,31 @@ class Tracer {
   /// be missed, never torn.
   static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Monotonic nanoseconds since the process-wide tracer epoch.
+  /// Monotonic nanoseconds (CLOCK_MONOTONIC epoch, not process start), so
+  /// traces recorded by different processes on one host share a timeline
+  /// and merge into a single causally-ordered view.
   static std::uint64_t NowNs();
 
   /// Records a completed span with explicit endpoints — for spans whose
   /// start and end live on different threads (e.g. service queue wait).
+  /// If the calling thread carries a trace context, the event becomes a
+  /// leaf of it: a fresh span id is minted, parent = the context's span.
   void RecordComplete(const char* category, const char* name,
                       std::uint64_t start_ns, std::uint64_t end_ns,
                       const char* arg_name = nullptr,
                       std::uint64_t arg_value = 0);
 
-  /// Records a zero-duration instant event.
+  /// RecordComplete with explicit trace/span/parent ids — used by
+  /// ScopedSpan, which must pre-mint its id so nested children can link
+  /// to it while it is still open. Pass trace_id 0 for untraced.
+  void RecordCompleteIds(const char* category, const char* name,
+                         std::uint64_t start_ns, std::uint64_t end_ns,
+                         const char* arg_name, std::uint64_t arg_value,
+                         std::uint64_t trace_id, std::uint64_t span_id,
+                         std::uint64_t parent_id);
+
+  /// Records a zero-duration instant event (leaf of the current trace
+  /// context, like RecordComplete).
   void RecordInstant(const char* category, const char* name,
                      const char* arg_name = nullptr,
                      std::uint64_t arg_value = 0);
@@ -149,6 +168,12 @@ class Tracer {
 /// and records a complete event at destruction. The enabled check is taken
 /// once, at construction — a span straddling Disable() still records (into
 /// a buffer that remains exportable), one straddling Enable() does not.
+///
+/// If the constructing thread carries a trace context, the span joins the
+/// distributed tree: it mints its own span id, records the context's span
+/// as its parent, and installs itself as the thread's current context for
+/// its lifetime — so nested spans (and leaf RecordComplete/RecordInstant
+/// calls) link to it automatically.
 class ScopedSpan {
  public:
   ScopedSpan(const char* category, const char* name,
@@ -158,18 +183,35 @@ class ScopedSpan {
         arg_name_(arg_name),
         arg_value_(arg_value),
         active_(Tracer::Enabled()),
-        start_ns_(active_ ? Tracer::NowNs() : 0) {}
+        start_ns_(active_ ? Tracer::NowNs() : 0) {
+    if (active_) {
+      const TraceContext current = CurrentTraceContext();
+      if (current.valid()) {
+        parent_id_ = current.span_id;
+        ctx_.trace_id = current.trace_id;
+        ctx_.span_id = MintSpanId();
+        prev_ = ExchangeTraceContext(ctx_);
+        pushed_ = true;
+      }
+    }
+  }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   ~ScopedSpan() {
     if (active_) {
-      Tracer::Instance().RecordComplete(category_, name_, start_ns_,
-                                        Tracer::NowNs(), arg_name_,
-                                        arg_value_);
+      Tracer::Instance().RecordCompleteIds(category_, name_, start_ns_,
+                                           Tracer::NowNs(), arg_name_,
+                                           arg_value_, ctx_.trace_id,
+                                           ctx_.span_id, parent_id_);
+      if (pushed_) ExchangeTraceContext(prev_);
     }
   }
+
+  /// The span's own id (0 when untraced) — lets call sites stamp the id
+  /// into exemplars or outgoing wire contexts while the span is open.
+  std::uint64_t span_id() const { return ctx_.span_id; }
 
  private:
   const char* category_;
@@ -178,6 +220,10 @@ class ScopedSpan {
   std::uint64_t arg_value_;
   bool active_;
   std::uint64_t start_ns_;
+  TraceContext ctx_;   ///< trace_id/span_id of this span when traced.
+  TraceContext prev_;  ///< context to restore when pushed_.
+  std::uint64_t parent_id_ = 0;
+  bool pushed_ = false;
 };
 
 }  // namespace spta::obs

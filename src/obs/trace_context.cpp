@@ -1,0 +1,105 @@
+#include "obs/trace_context.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include <unistd.h>
+
+#include "common/hash.hpp"
+
+namespace spta::obs {
+namespace {
+
+thread_local TraceContext t_current;
+
+std::uint64_t MintId() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  std::uint64_t id = 0;
+  // Loop so a pathological Mix64 collision with 0 cannot mint the
+  // reserved "absent" id.
+  while (id == 0) {
+    std::uint64_t seed = HashCombine(
+        static_cast<std::uint64_t>(::getpid()),
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now).count()));
+    id = Mix64(HashCombine(seed, counter.fetch_add(1, std::memory_order_relaxed) + 1));
+  }
+  return id;
+}
+
+bool ParseHex16(std::string_view text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;  // uppercase and everything else: lenient reject
+    }
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+void AppendHex16(std::uint64_t value, std::string* out) {
+  static const char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kDigits[(value >> shift) & 0xF]);
+  }
+}
+
+}  // namespace
+
+std::string EncodeTraceContext(const TraceContext& ctx) {
+  if (!ctx.valid()) return std::string();
+  std::string out;
+  out.reserve(33);
+  AppendHex16(ctx.trace_id, &out);
+  out.push_back('-');
+  AppendHex16(ctx.span_id, &out);
+  return out;
+}
+
+TraceContext ParseTraceContext(std::string_view value) {
+  TraceContext ctx;
+  if (value.size() != 33 || value[16] != '-') return ctx;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  if (!ParseHex16(value.substr(0, 16), &trace_id)) return ctx;
+  if (!ParseHex16(value.substr(17, 16), &span_id)) return ctx;
+  if (trace_id == 0) return ctx;  // zero trace id is "absent" by definition
+  ctx.trace_id = trace_id;
+  ctx.span_id = span_id;
+  return ctx;
+}
+
+TraceContext MintTraceContext() {
+  TraceContext ctx;
+  ctx.trace_id = MintId();
+  ctx.span_id = 0;
+  return ctx;
+}
+
+std::uint64_t MintSpanId() { return MintId(); }
+
+TraceContext CurrentTraceContext() { return t_current; }
+
+TraceContext ExchangeTraceContext(const TraceContext& ctx) {
+  TraceContext prev = t_current;
+  t_current = ctx;
+  return prev;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : prev_(t_current) {
+  t_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current = prev_; }
+
+}  // namespace spta::obs

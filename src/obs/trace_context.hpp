@@ -1,0 +1,80 @@
+// Cross-process trace-context propagation.
+//
+// A TraceContext is a (trace_id, span_id) pair: trace_id names one
+// causally-linked request tree across every process it touches, span_id
+// names the node that is currently "the parent" — a child span records
+// span_id as its parent and substitutes its own id for nested work.
+//
+// The context travels two ways:
+//
+//  * **on the wire** as an optional fourth token of the spta1 frame
+//    header (`trace=<16hex>-<16hex>`). Absent ⇒ the frame is
+//    byte-identical to the pre-tracing format, so old clients and
+//    servers interoperate; malformed values are treated as absent,
+//    never as a protocol error (fuzzed by protocol_robustness_test).
+//  * **in-process** via a thread-local current context that
+//    `ScopedTraceContext` installs and `obs::ScopedSpan` consults, so
+//    span trees link up without threading ids through every call site.
+//    Cross-thread hops (event loop → shard worker, reader → pool
+//    worker) carry the context explicitly and re-install it.
+//
+// Ids are minted from the common Mix64 hash over process entropy
+// (pid, monotonic time, a per-process counter) — unique enough to
+// correlate traces, with zero reserved as "absent".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace spta::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no context.
+  std::uint64_t span_id = 0;   ///< parent for spans recorded under this
+                               ///< context; 0 = root of the trace.
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Renders `ctx` as the wire token value `<16hex>-<16hex>`
+/// (trace_id-span_id, lowercase, zero-padded). Returns "" for an
+/// invalid context.
+std::string EncodeTraceContext(const TraceContext& ctx);
+
+/// Parses a wire token value produced by EncodeTraceContext. Lenient by
+/// contract: any deviation — wrong length, bad separator, non-hex
+/// digits, trailing garbage, a zero trace id — yields an invalid
+/// (absent) context. Never throws, never signals an error.
+TraceContext ParseTraceContext(std::string_view value);
+
+/// Mints a fresh root context: a new trace id with span_id = 0 (the
+/// first span recorded under it becomes the root of the tree).
+TraceContext MintTraceContext();
+
+/// Mints a fresh span id (never 0).
+std::uint64_t MintSpanId();
+
+/// The calling thread's current context ({} when none installed).
+TraceContext CurrentTraceContext();
+
+/// Installs `ctx` as the thread's current context and returns the
+/// previous one. Prefer ScopedTraceContext; this raw form exists for
+/// ScopedSpan, which must interleave the swap with event recording.
+TraceContext ExchangeTraceContext(const TraceContext& ctx);
+
+/// RAII install/restore of the thread-local current context. Install an
+/// invalid context to explicitly clear it for a scope.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace spta::obs

@@ -1,0 +1,94 @@
+#include "obs/trace_merge.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hpp"
+
+namespace spta::obs {
+
+namespace {
+
+bool IsJsonWs(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
+std::string ExtractTraceEvents(const std::string& doc) {
+  const std::size_t key = doc.find("\"traceEvents\"");
+  if (key == std::string::npos) return "";
+  const std::size_t open = doc.find('[', key);
+  if (open == std::string::npos) return "";
+  // The array body ends at the bracket matching `open`. Events contain no
+  // nested arrays (the exporters emit flat objects), but a string value
+  // could in principle hold a ']' — track string state so a pathological
+  // name cannot truncate the splice.
+  std::size_t depth = 1;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t close = std::string::npos;
+  for (std::size_t i = open + 1; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      if (--depth == 0) {
+        close = i;
+        break;
+      }
+    }
+  }
+  if (close == std::string::npos) return "";
+  std::size_t begin = open + 1;
+  std::size_t end = close;
+  while (begin < end && IsJsonWs(doc[begin])) ++begin;
+  while (end > begin && IsJsonWs(doc[end - 1])) --end;
+  return doc.substr(begin, end - begin);
+}
+
+std::string MergeChromeTraces(const std::vector<std::string>& docs) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const std::string& doc : docs) {
+    const std::string events = ExtractTraceEvents(doc);
+    if (events.empty()) continue;
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    out.append(events);
+  }
+  out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+bool MergeChromeTraceFiles(const std::vector<std::string>& paths,
+                           const std::string& out_path, std::size_t* merged,
+                           std::string* error) {
+  std::vector<std::string> docs;
+  std::size_t contributed = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string doc = buffer.str();
+    if (!ExtractTraceEvents(doc).empty()) ++contributed;
+    docs.push_back(std::move(doc));
+  }
+  if (merged != nullptr) *merged = contributed;
+  return AtomicWriteFile(out_path, MergeChromeTraces(docs), error);
+}
+
+}  // namespace spta::obs

@@ -1,0 +1,43 @@
+// Merging Chrome trace-event JSON documents into one loadable trace.
+//
+// Every per-process export in this repo — Tracer::WriteChromeTrace
+// (spta_serve --trace-dir, spta_client --trace-out, the TRACE verb) and
+// FlightRecorder::HarvestToChromeJson (spta_fleet --flight-dir) — is a
+// JSON object whose traceEvents array carries the events. Because the
+// distributed trace/span ids travel inside each event's args and the
+// timestamps share one absolute CLOCK_MONOTONIC timeline per host,
+// stitching a fleet-wide trace is pure concatenation: splice every
+// document's traceEvents elements into one array. No JSON parser needed
+// — the splice is textual (substring between the array brackets), which
+// also keeps the merger safe to run on a harvest dump from a crashed
+// writer.
+//
+// Consumers: spta_fleet --trace-dir (supervisor merges the children's
+// exports at exit) and spta_cli trace-view --merge (offline stitching).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spta::obs {
+
+/// Returns the comma-joined traceEvents array body of `doc` ("" when the
+/// document has no traceEvents array or it is empty). Tolerates
+/// arbitrary garbage input — worst case is an empty result.
+std::string ExtractTraceEvents(const std::string& doc);
+
+/// Splices the traceEvents of every document into one Chrome trace JSON
+/// object (always well-formed, even for zero documents).
+std::string MergeChromeTraces(const std::vector<std::string>& docs);
+
+/// Reads every path, merges, and writes the result atomically to
+/// `out_path`. Unreadable or event-less inputs are skipped (merging a
+/// fleet's trace dir must survive a child that died before exporting);
+/// `merged` (may be null) reports how many inputs contributed events.
+/// False + `error` only on a write failure.
+bool MergeChromeTraceFiles(const std::vector<std::string>& paths,
+                           const std::string& out_path, std::size_t* merged,
+                           std::string* error);
+
+}  // namespace spta::obs

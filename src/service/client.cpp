@@ -29,6 +29,14 @@ std::string EncodeSamplePayload(
 }
 
 bool Client::Send(const Request& request) {
+  if (!request.trace.valid()) {
+    const obs::TraceContext current = obs::CurrentTraceContext();
+    if (current.valid()) {
+      Request traced = request;
+      traced.trace = current;
+      return WriteRequest(out_, traced);
+    }
+  }
   return WriteRequest(out_, request);
 }
 
@@ -120,6 +128,12 @@ Response Client::MetricsProm() {
 Response Client::Health() {
   Request request;
   request.kind = RequestKind::kHealth;
+  return Call(request);
+}
+
+Response Client::Trace() {
+  Request request;
+  request.kind = RequestKind::kTrace;
   return Call(request);
 }
 

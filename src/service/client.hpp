@@ -35,6 +35,10 @@ class Client {
   Client(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
 
   /// Fire one request without waiting (pipelining). False on write error.
+  /// When the request carries no trace context and the calling thread
+  /// does (obs::CurrentTraceContext), the thread's context is stamped on
+  /// the outgoing frame header — so any code running under a ScopedSpan
+  /// propagates its distributed trace to the server transparently.
   bool Send(const Request& request);
 
   /// Reap the next response in order. False on EOF/framing error, with a
@@ -63,6 +67,9 @@ class Client {
   Response MetricsProm();
   /// Liveness/readiness probe (answered on the fleet's event loop).
   Response Health();
+  /// Chrome trace-event JSON export of the server's in-process tracer
+  /// (payload carries the JSON body; args carry events/dropped/enabled).
+  Response Trace();
   Response Shutdown();
 
  private:

@@ -40,14 +40,16 @@ FrameReassembler::Result FrameReassembler::Next(std::string* type,
   // bounded line, so that costs nothing next to the socket reads.
   std::uint64_t nbytes = 0;
   std::string parse_error;
+  obs::TraceContext trace;
   if (!ParseFrameHeaderLine(bank.substr(0, nl), type, &nbytes,
-                            &parse_error)) {
+                            &parse_error, &trace)) {
     return Poison(error, std::move(parse_error));
   }
   const std::string_view rest = bank.substr(nl + 1);
   if (rest.size() < nbytes) return Result::kNeedMore;
   body->assign(rest.substr(0, static_cast<std::size_t>(nbytes)));
   consumed_ += nl + 1 + static_cast<std::size_t>(nbytes);
+  last_trace_ = trace;
   return Result::kFrame;
 }
 
@@ -65,12 +67,14 @@ FrameReassembler::Result FrameReassembler::Finish(std::string* type,
   if (nl == std::string_view::npos) {
     // EOF terminates the header line, as getline's does for the blocking
     // reader; a declared-empty body then completes a whole frame.
-    if (!ParseFrameHeaderLine(bank, type, &nbytes, &parse_error)) {
+    obs::TraceContext trace;
+    if (!ParseFrameHeaderLine(bank, type, &nbytes, &parse_error, &trace)) {
       return Poison(error, std::move(parse_error));
     }
     if (nbytes == 0) {
       body->clear();
       consumed_ = buffer_.size();
+      last_trace_ = trace;
       return Result::kFrame;
     }
     return Poison(error, "truncated frame body (wanted " +

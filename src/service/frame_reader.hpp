@@ -65,6 +65,12 @@ class FrameReassembler {
   /// True after any kMalformed: framing is unrecoverable on this stream.
   bool poisoned() const { return poisoned_; }
 
+  /// Trace context of the most recent kFrame (invalid when its header
+  /// carried no — or a malformed — `trace=` token). Matches what the
+  /// blocking ReadRequest would have put on Request::trace for the same
+  /// bytes; the split-point equivalence battery pins that too.
+  const obs::TraceContext& last_trace() const { return last_trace_; }
+
   /// Bytes banked but not yet consumed by a returned frame.
   std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
 
@@ -78,6 +84,7 @@ class FrameReassembler {
   std::size_t consumed_ = 0;
   bool poisoned_ = false;
   std::string poison_error_;
+  obs::TraceContext last_trace_;
 };
 
 }  // namespace spta::service

@@ -49,18 +49,24 @@ void ServiceMetrics::CountDegradedSession() {
 }
 
 void ServiceMetrics::RecordAnalyzeLatency(double micros, bool cache_hit) {
+  const std::uint64_t trace_id = obs::CurrentTraceContext().trace_id;
   std::lock_guard<std::mutex> lock(mutex_);
   ++analyses_;
   analyze_micros_total_ += micros;
   (cache_hit ? hit_micros_total_ : miss_micros_total_) += micros;
   (cache_hit ? hit_latency_ : miss_latency_).Add(micros);
+  if (trace_id != 0) {
+    (cache_hit ? hit_exemplar_ : miss_exemplar_) = {trace_id, micros};
+  }
 }
 
 void ServiceMetrics::RecordQueueWait(double micros) {
+  const std::uint64_t trace_id = obs::CurrentTraceContext().trace_id;
   std::lock_guard<std::mutex> lock(mutex_);
   ++queue_waits_;
   queue_wait_micros_total_ += micros;
   queue_wait_.Add(micros);
+  if (trace_id != 0) queue_exemplar_ = {trace_id, micros};
 }
 
 std::uint64_t ServiceMetrics::requests_total() const {
@@ -205,12 +211,15 @@ std::string ServiceMetrics::RenderProm(
                "ANALYZE service time, split by result-cache outcome.");
   prom.HistogramSeries("spta_analyze_latency_seconds", "cache=\"hit\"",
                        hit_latency_, 1e-6, hit_micros_total_ * 1e-6);
+  prom.Exemplar(hit_exemplar_.trace_id, hit_exemplar_.micros * 1e-6);
   prom.HistogramSeries("spta_analyze_latency_seconds", "cache=\"miss\"",
                        miss_latency_, 1e-6, miss_micros_total_ * 1e-6);
+  prom.Exemplar(miss_exemplar_.trace_id, miss_exemplar_.micros * 1e-6);
   prom.Declare("spta_queue_wait_seconds", "histogram",
                "ANALYZE time spent queued before a worker picked it up.");
   prom.HistogramSeries("spta_queue_wait_seconds", "", queue_wait_, 1e-6,
                        queue_wait_micros_total_ * 1e-6);
+  prom.Exemplar(queue_exemplar_.trace_id, queue_exemplar_.micros * 1e-6);
 
   // Atlas (columnar traces + kernel memoization) counters: process-wide
   // atomics fed by campaigns and the trace pack/unpack paths (INGEST, CLI).

@@ -46,11 +46,15 @@ class ServiceMetrics {
   /// stream terminated without a clean SHUTDOWN handshake.
   void CountDegradedSession();
 
-  /// Records the wall-clock service time of one ANALYZE.
+  /// Records the wall-clock service time of one ANALYZE. When the calling
+  /// thread carries a distributed trace context, the observation becomes
+  /// the histogram's current exemplar (`# {trace_id="..."} value` in the
+  /// Prometheus rendering) — last traced observation wins.
   void RecordAnalyzeLatency(double micros, bool cache_hit);
 
   /// Records the time one ANALYZE spent queued before a worker picked it
   /// up (0 for the inline cache-hit fast path, which never queues).
+  /// Captures a trace exemplar like RecordAnalyzeLatency.
   void RecordQueueWait(double micros);
 
   std::uint64_t requests_total() const;
@@ -114,6 +118,15 @@ class ServiceMetrics {
   Histogram hit_latency_;   ///< Cache-hit ANALYZE latency (us).
   Histogram miss_latency_;  ///< Cold ANALYZE latency (us).
   Histogram queue_wait_;    ///< ANALYZE queue wait (us).
+
+  /// Last traced observation per histogram: the Prometheus exemplar.
+  struct LatencyExemplar {
+    std::uint64_t trace_id = 0;  ///< 0 = no traced observation yet.
+    double micros = 0.0;
+  };
+  LatencyExemplar hit_exemplar_;
+  LatencyExemplar miss_exemplar_;
+  LatencyExemplar queue_exemplar_;
 };
 
 }  // namespace spta::service

@@ -12,7 +12,7 @@ constexpr std::string_view kMagic = "spta1";
 const char* const kKindNames[] = {"PING",    "OPEN",         "APPEND",
                                   "STATUS",  "ANALYZE",      "CLOSE",
                                   "METRICS", "METRICS_PROM", "SHUTDOWN",
-                                  "INGEST",  "HEALTH"};
+                                  "INGEST",  "HEALTH",       "TRACE"};
 static_assert(static_cast<int>(std::size(kKindNames)) == kRequestKindCount,
               "wire names must cover every RequestKind");
 
@@ -35,13 +35,18 @@ bool ParseUint(std::string_view s, std::uint64_t* out) {
   return true;
 }
 
-/// Common frame writer: TYPE is the verb or OK/ERR.
+/// Common frame writer: TYPE is the verb or OK/ERR. A valid `trace`
+/// context rides as the optional fourth header token; an invalid one
+/// leaves the header byte-identical to the pre-tracing format.
 bool WriteFrame(std::ostream& out, std::string_view type, const Args& args,
-                const std::string& payload) {
+                const std::string& payload,
+                const obs::TraceContext& trace = {}) {
   std::string body = args.Encode();
   body.push_back('\n');
   body += payload;
-  out << kMagic << ' ' << type << ' ' << body.size() << '\n';
+  out << kMagic << ' ' << type << ' ' << body.size();
+  if (trace.valid()) out << " trace=" << obs::EncodeTraceContext(trace);
+  out << '\n';
   out.write(body.data(), static_cast<std::streamsize>(body.size()));
   out.flush();
   return static_cast<bool>(out);
@@ -50,11 +55,12 @@ bool WriteFrame(std::ostream& out, std::string_view type, const Args& args,
 /// Common frame reader: yields the TYPE token and splits the body into the
 /// args line and the payload remainder.
 ReadStatus ReadFrame(std::istream& in, std::string* type, Args* args,
-                     std::string* payload, std::string* error) {
+                     std::string* payload, std::string* error,
+                     obs::TraceContext* trace = nullptr) {
   std::string header;
   if (!GetLine(in, &header)) return ReadStatus::kEof;
   std::uint64_t nbytes = 0;
-  if (!ParseFrameHeaderLine(header, type, &nbytes, error)) {
+  if (!ParseFrameHeaderLine(header, type, &nbytes, error, trace)) {
     return ReadStatus::kMalformed;
   }
   std::string body(static_cast<std::size_t>(nbytes), '\0');
@@ -71,21 +77,43 @@ ReadStatus ReadFrame(std::istream& in, std::string* type, Args* args,
 }  // namespace
 
 bool ParseFrameHeaderLine(std::string_view header, std::string* type,
-                          std::uint64_t* nbytes, std::string* error) {
+                          std::uint64_t* nbytes, std::string* error,
+                          obs::TraceContext* trace) {
   // Tokenization mirrors istream extraction: any whitespace separates,
   // tokens past the third are ignored. (A trailing '\r' from a CRLF client
   // therefore separates cleanly instead of corrupting the length token.)
-  constexpr std::string_view kWs = " \t\n\v\f\r";
+  // Manual scan rather than find_first_of: the header is parsed on every
+  // frame, and the character-set search costs ~5x a direct class check on
+  // trace-token-bearing headers.
+  const auto is_ws = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+           c == '\r';
+  };
+  if (trace != nullptr) *trace = obs::TraceContext();
   std::string_view tokens[3];
   std::size_t found = 0;
   std::size_t pos = 0;
-  while (found < 3 && pos < header.size()) {
-    pos = header.find_first_not_of(kWs, pos);
-    if (pos == std::string_view::npos) break;
-    const std::size_t end = header.find_first_of(kWs, pos);
-    tokens[found++] = header.substr(
-        pos, (end == std::string_view::npos ? header.size() : end) - pos);
-    pos = end;
+  for (;;) {
+    while (pos < header.size() && is_ws(header[pos])) ++pos;
+    if (pos >= header.size()) break;
+    const std::size_t begin = pos;
+    while (pos < header.size() && !is_ws(header[pos])) ++pos;
+    const std::string_view token = header.substr(begin, pos - begin);
+    if (found < 3) {
+      tokens[found++] = token;
+      continue;
+    }
+    // Extra tokens stay ignored for framing purposes, but the first
+    // `trace=` one (if any) is offered to the lenient context parser.
+    // Scanning continues even when an earlier trace token parsed invalid:
+    // leniency means junk is skipped, not that it shadows a good copy.
+    if (trace == nullptr) break;
+    if (trace->valid()) break;
+    constexpr std::string_view kTracePrefix = "trace=";
+    if (token.size() > kTracePrefix.size() &&
+        token.substr(0, kTracePrefix.size()) == kTracePrefix) {
+      *trace = obs::ParseTraceContext(token.substr(kTracePrefix.size()));
+    }
   }
   if (found < 3 || tokens[0] != kMagic) {
     *error = "bad frame header '" + std::string(header) + "'";
@@ -129,7 +157,8 @@ bool BuildRequest(std::string_view type, std::string_view body,
 namespace {
 
 void AppendFrame(std::string_view type, const Args& args,
-                 const std::string& payload, std::string* out) {
+                 const std::string& payload, std::string* out,
+                 const obs::TraceContext& trace = {}) {
   std::string body = args.Encode();
   body.push_back('\n');
   body += payload;
@@ -138,6 +167,10 @@ void AppendFrame(std::string_view type, const Args& args,
   out->append(type);
   out->push_back(' ');
   out->append(std::to_string(body.size()));
+  if (trace.valid()) {
+    out->append(" trace=");
+    out->append(obs::EncodeTraceContext(trace));
+  }
   out->push_back('\n');
   out->append(body);
 }
@@ -147,6 +180,11 @@ void AppendFrame(std::string_view type, const Args& args,
 void AppendRequestFrame(const Request& request, std::string* out) {
   AppendFrame(RequestKindName(request.kind), request.args, request.payload,
               out);
+}
+
+void AppendRequestFrameWithTrace(const Request& request, std::string* out) {
+  AppendFrame(RequestKindName(request.kind), request.args, request.payload,
+              out, request.trace);
 }
 
 void AppendResponseFrame(const Response& response, std::string* out) {
@@ -256,7 +294,7 @@ Response ErrResponse(const std::string& code, const std::string& message) {
 
 bool WriteRequest(std::ostream& out, const Request& request) {
   return WriteFrame(out, RequestKindName(request.kind), request.args,
-                    request.payload);
+                    request.payload, request.trace);
 }
 
 bool WriteResponse(std::ostream& out, const Response& response) {
@@ -267,8 +305,9 @@ bool WriteResponse(std::ostream& out, const Response& response) {
 ReadStatus ReadRequest(std::istream& in, Request* request,
                        std::string* error) {
   std::string verb;
-  const ReadStatus status =
-      ReadFrame(in, &verb, &request->args, &request->payload, error);
+  const ReadStatus status = ReadFrame(in, &verb, &request->args,
+                                      &request->payload, error,
+                                      &request->trace);
   if (status != ReadStatus::kOk) return status;
   const auto kind = ParseRequestKind(verb);
   if (!kind.has_value()) {

@@ -29,6 +29,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace_context.hpp"
+
 namespace spta::service {
 
 enum class RequestKind {
@@ -48,10 +50,16 @@ enum class RequestKind {
   /// every shard is wedged; its args/payload carry per-shard readiness
   /// (queue depth, inflight, last-completion age, breaker state).
   kHealth,
+  /// Trace export: answers with the process's recorded spans as Chrome
+  /// trace_event JSON (format=chrome-trace). Answered inline / on the
+  /// event-loop thread, like METRICS — it reads the tracer, never the
+  /// analysis queue. `spta_fleet --trace-dir` and `spta_cli trace-view
+  /// --merge` stitch these per-process exports into one trace.
+  kTrace,
 };
 
 /// Number of RequestKind values (per-verb counter array size).
-inline constexpr int kRequestKindCount = 11;
+inline constexpr int kRequestKindCount = 12;
 
 /// Hard cap on a frame's body length. Enforced BEFORE the body buffer is
 /// allocated, by the blocking readers and the incremental reassembler
@@ -105,6 +113,13 @@ struct Request {
   Args args;
   /// Bulk payload lines (after the args line), e.g. `cycles[,path]` rows.
   std::string payload;
+  /// Distributed trace context, carried OUT-OF-BAND of the body as an
+  /// optional `trace=<16hex>-<16hex>` header token. Deliberately not
+  /// part of the body: routing digests and warm-memo keys hash body
+  /// bytes, so an id that varies per request must never perturb them.
+  /// Invalid (the default) = untraced; AppendRequestFrame ignores it
+  /// (use AppendRequestFrameWithTrace / WriteRequest to emit it).
+  obs::TraceContext trace;
 };
 
 struct Response {
@@ -147,8 +162,15 @@ std::string EncodeDouble(double value);
 /// body length; extra tokens are ignored, matching the historical
 /// stream-extraction semantics the robustness battery pins. Enforces
 /// kMaxFrameBytes. False → `error` holds the diagnostic.
+///
+/// When `trace` is non-null, the first extra token of the form
+/// `trace=<value>` is parsed leniently into it (anything malformed —
+/// truncated, oversized, garbage hex, duplicated with a junk first copy —
+/// yields an invalid context, NEVER a header error; untraced peers and
+/// fuzzed headers must parse exactly as before).
 bool ParseFrameHeaderLine(std::string_view header, std::string* type,
-                          std::uint64_t* nbytes, std::string* error);
+                          std::uint64_t* nbytes, std::string* error,
+                          obs::TraceContext* trace = nullptr);
 
 /// Splits a frame body into its first-line Args and the payload remainder.
 void SplitFrameBody(std::string_view body, Args* args, std::string* payload);
@@ -161,7 +183,13 @@ bool BuildRequest(std::string_view type, std::string_view body,
 
 /// Append the wire encoding of a frame to `out` (no stream round trip —
 /// the event loop's write path builds contiguous output buffers).
+/// AppendRequestFrame never emits the trace header token — re-encoding a
+/// parsed request is byte-stable regardless of how it arrived.
 void AppendRequestFrame(const Request& request, std::string* out);
+/// Like AppendRequestFrame, plus the `trace=` header token when
+/// `request.trace` is valid (byte-identical to AppendRequestFrame when
+/// it is not).
+void AppendRequestFrameWithTrace(const Request& request, std::string* out);
 void AppendResponseFrame(const Response& response, std::string* out);
 
 }  // namespace spta::service

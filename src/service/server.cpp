@@ -270,6 +270,20 @@ Response Server::HandleMetricsProm() {
   return OkResponse(std::move(args), RenderPromText());
 }
 
+Response Server::HandleTrace() {
+  std::ostringstream trace_json;
+  if (!obs::Tracer::Instance().WriteChromeTrace(trace_json)) {
+    return ErrResponse("trace", "trace serialization failed");
+  }
+  const obs::Tracer::Stats stats = obs::Tracer::Instance().GetStats();
+  Args args;
+  args.Set("format", "chrome-trace");
+  args.SetUint("events", stats.recorded);
+  args.SetUint("dropped", stats.dropped);
+  args.SetUint("enabled", obs::Tracer::Enabled() ? 1 : 0);
+  return OkResponse(std::move(args), trace_json.str());
+}
+
 Response Server::HandleInline(const Request& request) {
   switch (request.kind) {
     case RequestKind::kPing: {
@@ -293,6 +307,8 @@ Response Server::HandleInline(const Request& request) {
       return HandleIngest(request);
     case RequestKind::kHealth:
       return HandleHealth();
+    case RequestKind::kTrace:
+      return HandleTrace();
     default:
       return ErrResponse("internal", "verb not handled inline");
   }
@@ -319,6 +335,11 @@ Response Server::HandleHealth() {
 }
 
 Response Server::Execute(const Request& request) {
+  // Shard entry point: the event loop parsed the wire context into the
+  // request; installing it here links every span below (verb, analyze,
+  // engine stages) into the client's tree.
+  obs::ScopedTraceContext trace_scope(request.trace);
+  SPTA_OBS_SPAN("service", RequestKindName(request.kind));
   if (request.kind == RequestKind::kShutdown) {
     metrics_.CountRequest(request.kind, false);
     return ErrResponse("internal", "SHUTDOWN is handled by the transport");
@@ -378,6 +399,10 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
     }
     const std::uint64_t id = next_id++;
     writer.Expect(id);
+    // Adopt the request's wire context for everything this iteration
+    // records (an untraced request installs the invalid context, which
+    // leaves spans exactly as before).
+    obs::ScopedTraceContext trace_scope(request.trace);
     if (status == ReadStatus::kMalformed) {
       // Framing is lost — answer once, then stop reading this stream.
       metrics_.CountProtocolError();
@@ -452,6 +477,9 @@ bool Server::ServeStream(std::istream& in, std::ostream& out) {
       pool_.Submit([this, id, &writer, request = std::move(request),
                     observations = std::move(observations), deadline,
                     has_deadline, enqueued, enqueued_ns]() mutable {
+        // Cross-thread hop: re-install the request's context on the
+        // worker so queue_wait and the analysis spans stay in its tree.
+        obs::ScopedTraceContext trace_scope(request.trace);
         metrics_.RecordQueueWait(
             std::chrono::duration<double, std::micro>(Clock::now() -
                                                       enqueued)

@@ -163,6 +163,9 @@ class Server {
   Response HandleClose(const Request& request);
   Response HandleMetrics();
   Response HandleMetricsProm();
+  /// TRACE: exports this process's recorded spans as Chrome trace_event
+  /// JSON (args format=chrome-trace, plus the tracer's accounting).
+  Response HandleTrace();
   /// HEALTH: liveness + readiness of this server. Always OK when it can
   /// be answered at all (the probe proves the serving thread is alive);
   /// readiness is carried in the args — analyses in flight vs queue

@@ -15,6 +15,9 @@
 #include <map>
 #include <sstream>
 
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+
 namespace spta::service {
 namespace {
 
@@ -502,6 +505,11 @@ bool ShardedServer::ServeScript(std::string_view in, std::string* out) {
       AppendResponseFrame(ErrResponse("malformed", error), out);
       break;
     }
+    // The reassembler parsed the optional trace token off the header;
+    // adopt it for routing-side spans (and hand it on via the request).
+    request.trace = reassembler.last_trace();
+    obs::ScopedTraceContext trace_scope(request.trace);
+    SPTA_OBS_SPAN("fleet", "route");
     if (request.kind == RequestKind::kShutdown) {
       fleet_requests_.fetch_add(1, std::memory_order_relaxed);
       shutdown_.store(true);
@@ -527,6 +535,11 @@ bool ShardedServer::ServeScript(std::string_view in, std::string* out) {
     if (request.kind == RequestKind::kHealth) {
       fleet_requests_.fetch_add(1, std::memory_order_relaxed);
       AppendResponseFrame(FleetHealthResponse(), out);
+      continue;
+    }
+    if (request.kind == RequestKind::kTrace) {
+      fleet_requests_.fetch_add(1, std::memory_order_relaxed);
+      AppendResponseFrame(FleetTraceResponse(), out);
       continue;
     }
     const DualHash digest = HashBytes(body);
@@ -772,6 +785,12 @@ bool ShardedServer::HandleFrame(const std::shared_ptr<Conn>& conn,
     conn->read_closed = true;  // Framing intact, but contract says stop.
     return false;
   }
+  // Wire trace context (parsed off the header by this connection's
+  // reassembler) scopes the loop-side routing work and rides the Item
+  // into the shard worker.
+  request.trace = conn->reassembler.last_trace();
+  obs::ScopedTraceContext trace_scope(request.trace);
+  SPTA_OBS_SPAN_ARG("fleet", "route", "id", id);
   if (request.kind == RequestKind::kShutdown) {
     fleet_requests_.fetch_add(1, std::memory_order_relaxed);
     BeginDrain(conn, id);
@@ -779,7 +798,8 @@ bool ShardedServer::HandleFrame(const std::shared_ptr<Conn>& conn,
   }
   if (request.kind == RequestKind::kMetrics ||
       request.kind == RequestKind::kMetricsProm ||
-      request.kind == RequestKind::kHealth) {
+      request.kind == RequestKind::kHealth ||
+      request.kind == RequestKind::kTrace) {
     // Loop-answered verbs: HEALTH among them is the liveness contract —
     // it must answer even when every shard queue is wedged solid.
     fleet_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -790,6 +810,8 @@ bool ShardedServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       Args args;
       args.Set("format", "prometheus-0.0.4");
       response = OkResponse(std::move(args), RenderFleetProm());
+    } else if (request.kind == RequestKind::kTrace) {
+      response = FleetTraceResponse();
     } else {
       response = FleetHealthResponse();
     }
@@ -1101,6 +1123,17 @@ void ShardedServer::ShardWorker(std::size_t index) {
       item = std::move(shard.queue.front());
       shard.queue.pop_front();
     }
+    // The request's wire trace context crossed the queue inside the Item;
+    // re-install it on this worker thread so the shard's spans (and any
+    // metric exemplars) link into the same distributed trace, and record
+    // the cross-thread queue-wait span from the admission timestamp
+    // (enqueue_ns and Tracer::NowNs share the absolute monotonic clock).
+    obs::ScopedTraceContext trace_scope(item.request.trace);
+    if (obs::Tracer::Enabled() && item.enqueue_ns > 0) {
+      obs::Tracer::Instance().RecordComplete(
+          "fleet", "queue_wait", static_cast<std::uint64_t>(item.enqueue_ns),
+          obs::Tracer::NowNs(), "id", item.id);
+    }
     const Response response =
         ExecuteOnShard(shard, item.request, item.body_digest,
                        item.enqueue_ns);
@@ -1203,6 +1236,23 @@ Response ShardedServer::FleetMetricsResponse() {
   args.SetUint("fleet_shed_deadline",
                shed_deadline_.load(std::memory_order_relaxed));
   return OkResponse(std::move(args), std::move(payload));
+}
+
+Response ShardedServer::FleetTraceResponse() {
+  // The Tracer is process-global: its thread rings already cover the event
+  // loop and every shard worker, so the fleet's TRACE reply is the same
+  // export the classic server produces.
+  std::ostringstream trace_json;
+  if (!obs::Tracer::Instance().WriteChromeTrace(trace_json)) {
+    return ErrResponse("trace", "trace serialization failed");
+  }
+  const obs::Tracer::Stats stats = obs::Tracer::Instance().GetStats();
+  Args args;
+  args.Set("format", "chrome-trace");
+  args.SetUint("events", stats.recorded);
+  args.SetUint("dropped", stats.dropped);
+  args.SetUint("enabled", obs::Tracer::Enabled() ? 1 : 0);
+  return OkResponse(std::move(args), trace_json.str());
 }
 
 Response ShardedServer::FleetHealthResponse() {

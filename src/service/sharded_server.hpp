@@ -196,6 +196,12 @@ class ShardedServer {
   /// each shard's rendered table under a "== shard N ==" heading.
   Response FleetMetricsResponse();
 
+  /// Fleet-level TRACE response, answered on the event loop: the Chrome
+  /// trace-event JSON export of the process-wide tracer (loop + shard
+  /// threads share one Tracer), args carrying format/events/dropped/
+  /// enabled exactly like the classic server's TRACE reply.
+  Response FleetTraceResponse();
+
   /// Prometheus text exposition of the fleet surface: spta_fleet_*
   /// families only (per-shard series labeled shard="N"), disjoint from
   /// the per-server families in ServiceMetrics::RenderProm so a scrape

@@ -121,10 +121,27 @@ class TempDir {
   std::string path_;
 };
 
-/// The spta_fleet process under test, with its stderr on a pipe. The log
-/// is the supervisor's observable behavior: `spawned pid N` / `pid N
-/// died` lines track the live children, `unresponsive` lines prove the
-/// watchdog fired. Pump() drains the pipe; the parsers below are
+/// Extracts the integer value of a `"key":N` field from a one-line JSON
+/// log record. Returns false when the key is absent.
+bool JsonInt(const std::string& line, const std::string& key, long* value) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *value = std::strtol(line.c_str() + at + needle.size(), nullptr, 10);
+  return true;
+}
+
+bool JsonEventIs(const std::string& line, const char* event) {
+  return line.find(std::string("\"event\":\"") + event + "\"") !=
+         std::string::npos;
+}
+
+/// The spta_fleet process under test, with its stderr on a pipe. The
+/// supervisor's structured one-line-JSON log is its observable behavior:
+/// `"event":"spawned"` / `"event":"exited"` records track the live
+/// children, `"event":"unresponsive"` proves the watchdog fired, and
+/// `"event":"flight_harvest"` proves a dead child's flight ring was
+/// recovered. Pump() drains the pipe; the parsers below are
 /// line-oriented and tolerate partial reads (the tail is kept).
 class FleetProcess {
  public:
@@ -184,6 +201,8 @@ class FleetProcess {
 
   std::size_t spawned_total() const { return spawned_total_; }
   std::size_t unresponsive_total() const { return unresponsive_total_; }
+  std::size_t flight_harvests() const { return flight_harvests_; }
+  std::size_t flight_harvests_valid() const { return flight_harvests_valid_; }
   const std::string& log() const { return log_; }
   pid_t pid() const { return pid_; }
 
@@ -205,18 +224,32 @@ class FleetProcess {
 
  private:
   void ParseLine(const std::string& line) {
-    pid_t parsed = 0;
-    if (std::sscanf(line.c_str(), "spta_fleet: spawned pid %d", &parsed) ==
-        1) {
+    long child = 0;
+    if (!JsonInt(line, "child_pid", &child)) return;
+    const pid_t parsed = static_cast<pid_t>(child);
+    if (JsonEventIs(line, "spawned")) {
       ++spawned_total_;
       alive_.push_back(parsed);
       return;
     }
-    if (std::sscanf(line.c_str(), "spta_fleet: pid %d", &parsed) == 1) {
-      if (line.find("unresponsive") != std::string::npos) {
-        ++unresponsive_total_;
-        return;  // Still alive until the reaper logs the death.
+    if (JsonEventIs(line, "unresponsive")) {
+      ++unresponsive_total_;
+      return;  // Still alive until the reaper logs the exit.
+    }
+    if (JsonEventIs(line, "flight_harvest")) {
+      ++flight_harvests_;
+      long valid = 0;
+      if (JsonInt(line, "valid", &valid) && valid == 1) {
+        ++flight_harvests_valid_;
       }
+      return;
+    }
+    // Death notices: a drained/given-up child logs `exited` /
+    // `respawn_limit`; a chaos casualty that will be replaced logs
+    // `respawn` / `crash_loop_respawn`. All four mean the pid is gone.
+    if (JsonEventIs(line, "exited") || JsonEventIs(line, "respawn") ||
+        JsonEventIs(line, "crash_loop_respawn") ||
+        JsonEventIs(line, "respawn_limit")) {
       for (std::size_t i = 0; i < alive_.size(); ++i) {
         if (alive_[i] == parsed) {
           alive_.erase(alive_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -233,6 +266,8 @@ class FleetProcess {
   std::vector<pid_t> alive_;
   std::size_t spawned_total_ = 0;
   std::size_t unresponsive_total_ = 0;
+  std::size_t flight_harvests_ = 0;
+  std::size_t flight_harvests_valid_ = 0;
 };
 
 /// Issues requests against the fleet port, reconnecting and RESENDING on
@@ -293,6 +328,22 @@ class ResilientDriver {
   std::uint64_t acked_ = 0;
 };
 
+/// Counts `flight-*.json` dumps harvested into `dir`.
+std::size_t CountFlightDumps(const std::string& dir) {
+  std::size_t count = 0;
+  if (DIR* handle = ::opendir(dir.c_str())) {
+    while (dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name.rfind("flight-", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        ++count;
+      }
+    }
+    ::closedir(handle);
+  }
+  return count;
+}
+
 service::Request InlineAnalyze(const std::vector<mbpta::PathObservation>&
                                    sample) {
   service::Request request;
@@ -340,6 +391,8 @@ TEST(FleetChaosTest, SoakLosesNoAckedRequestsAndMatchesBatch) {
   ASSERT_GT(port, 0);
   TempDir cache_dir;
   ASSERT_FALSE(cache_dir.path().empty());
+  TempDir flight_dir;
+  ASSERT_FALSE(flight_dir.path().empty());
 
   // Aggressive healing knobs so the whole soak (chaos + recoveries +
   // drain) fits a test budget: 100 ms probe spacing, 300 ms wedge
@@ -350,6 +403,7 @@ TEST(FleetChaosTest, SoakLosesNoAckedRequestsAndMatchesBatch) {
   ASSERT_TRUE(fleet.Start({
       "--tcp", std::to_string(port), "--procs", "2", "--shards", "1",
       "--cache-dir", cache_dir.path(), "--cache-quota-bytes", "4096",
+      "--flight-dir", flight_dir.path(),
       "--respawn-limit", "100", "--min-uptime-ms", "50",
       "--respawn-base-ms", "20", "--respawn-cap-ms", "200",
       "--watchdog-interval-ms", "100", "--watchdog-timeout-ms", "300",
@@ -490,6 +544,20 @@ TEST(FleetChaosTest, SoakLosesNoAckedRequestsAndMatchesBatch) {
   EXPECT_GE(fleet.spawned_total(), 2u + kills + wedges)
       << "every chaos casualty must have been respawned\n"
       << fleet.log();
+
+  // Flight-recorder contract: every reaped child — SIGKILLed mid-soak,
+  // watchdog-killed while wedged, or drained at SIGTERM — left a
+  // harvested Chrome-trace dump behind, and the harvests parsed as valid
+  // rings (a torn in-flight record is tolerated; a corrupt ring is not).
+  EXPECT_GE(fleet.flight_harvests(), 2u + kills + wedges)
+      << "every reaped child must be harvested\n"
+      << fleet.log();
+  EXPECT_EQ(fleet.flight_harvests_valid(), fleet.flight_harvests())
+      << "every harvested ring must carry the valid magic/layout\n"
+      << fleet.log();
+  EXPECT_GE(CountFlightDumps(flight_dir.path()), 2u + kills)
+      << "flight dumps missing from " << flight_dir.path() << "\n"
+      << fleet.log();
 }
 
 TEST(FleetChaosTest, CrashLoopBackoffHoldsBudget) {
@@ -522,8 +590,10 @@ TEST(FleetChaosTest, CrashLoopBackoffHoldsBudget) {
   EXPECT_EQ(fleet.spawned_total(), 5u) << fleet.log();
   EXPECT_GE(elapsed, 300) << "respawn budget was burned without backoff\n"
                           << fleet.log();
-  EXPECT_NE(fleet.log().find("crash loop"), std::string::npos);
-  EXPECT_NE(fleet.log().find("respawn limit"), std::string::npos);
+  EXPECT_NE(fleet.log().find("\"event\":\"crash_loop_respawn\""),
+            std::string::npos);
+  EXPECT_NE(fleet.log().find("\"event\":\"respawn_limit\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -225,6 +225,122 @@ TEST(ProtocolRobustnessTest, SeededFuzzNeverCrashes) {
   }
 }
 
+// --- Optional trace= header token ----------------------------------------
+
+/// Parses `wire` and returns the request (asserting kOk) so trace-token
+/// tests can inspect what the lenient parser extracted.
+Request ParsedRequest(const std::string& wire) {
+  std::istringstream in(wire);
+  Request request;
+  std::string error;
+  EXPECT_EQ(ReadRequest(in, &request, &error), ReadStatus::kOk) << error;
+  return request;
+}
+
+TEST(ProtocolRobustnessTest, ValidTraceTokenParsesAndRoundTrips) {
+  Request request;
+  request.kind = RequestKind::kPing;
+  request.trace.trace_id = 0x0123456789abcdefULL;
+  request.trace.span_id = 0x00000000000000aaULL;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteRequest(out, request));
+  const std::string wire = out.str();
+  // The token is the documented optional fourth header field.
+  EXPECT_NE(wire.find(" trace=0123456789abcdef-00000000000000aa\n"),
+            std::string::npos);
+  const Request parsed = ParsedRequest(wire);
+  EXPECT_EQ(parsed.trace.trace_id, request.trace.trace_id);
+  EXPECT_EQ(parsed.trace.span_id, request.trace.span_id);
+}
+
+TEST(ProtocolRobustnessTest, UntracedRequestsStayByteIdentical) {
+  // The absent-token wire format is the pre-tracing format, byte for
+  // byte — old servers and clients interoperate, checksums/digests over
+  // frames are unchanged.
+  Request request;
+  request.kind = RequestKind::kPing;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteRequest(out, request));
+  EXPECT_EQ(out.str(), "spta1 PING 1\n\n");
+  // AppendRequestFrame (the digest/memo path) never emits the token,
+  // even for a traced request.
+  request.trace.trace_id = 0xdead;
+  std::string frame;
+  AppendRequestFrame(request, &frame);
+  EXPECT_EQ(frame, "spta1 PING 1\n\n");
+}
+
+TEST(ProtocolRobustnessTest, MalformedTraceTokensNeverRejectTheFrame) {
+  // Lenient by contract: junk in the optional field parses as absent —
+  // the frame is still accepted with identical verb/args/payload.
+  const char* kJunkTokens[] = {
+      "trace=",
+      "trace=zzz",
+      "trace=0123456789abcdef",                     // missing span half
+      "trace=0123456789abcdef-",                    // empty span half
+      "trace=0123456789abcdef_00000000000000aa",    // wrong separator
+      "trace=0123456789abcdeg-00000000000000aa",    // non-hex
+      "trace=0123456789abcdef-00000000000000aag",   // trailing garbage
+      "trace=0000000000000000-00000000000000aa",    // zero trace id
+      "trace=0123456789abcdef-00000000000000aa-ff", // extra segment
+      "trace",                                      // bare word
+      "tracer=0123456789abcdef-00000000000000aa",   // near-miss key
+      "trace=0123456789abcdef-00000000000000aa" // oversized (x4 below)
+      "0123456789abcdef0123456789abcdef0123456789abcdef",
+  };
+  for (const char* junk : kJunkTokens) {
+    const std::string wire = std::string("spta1 PING 1 ") + junk + "\n\n";
+    const Request parsed = ParsedRequest(wire);
+    EXPECT_FALSE(parsed.trace.valid()) << junk;
+    EXPECT_EQ(parsed.kind, RequestKind::kPing) << junk;
+  }
+}
+
+TEST(ProtocolRobustnessTest, FirstValidTraceTokenWinsOverJunk) {
+  // Junk tokens are skipped, not allowed to shadow a good copy; once a
+  // valid token parsed, later ones are ignored.
+  const Request parsed = ParsedRequest(
+      "spta1 PING 1 trace=bogus "
+      "trace=0123456789abcdef-00000000000000aa "
+      "trace=ffffffffffffffff-ffffffffffffffff\n\n");
+  EXPECT_EQ(parsed.trace.trace_id, 0x0123456789abcdefULL);
+  EXPECT_EQ(parsed.trace.span_id, 0x00000000000000aaULL);
+}
+
+TEST(ProtocolRobustnessTest, SeededTraceTokenFuzzNeverCrashes) {
+  // Mutations concentrated on the trace token region: the lenient parser
+  // must never crash, and whenever the frame still parses, a mangled
+  // token must yield either absent or *some* context — never an error.
+  const std::string valid =
+      "spta1 ANALYZE 26 trace=0123456789abcdef-00000000000000aa\n"
+      "require_iid=0\n1000\n2000\n";
+  prng::Xoshiro128pp rng(20260809);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string wire = valid;
+    const std::size_t token_at = wire.find("trace=");
+    const std::uint32_t mutations = 1 + rng.UniformBelow(4);
+    for (std::uint32_t m = 0; m < mutations; ++m) {
+      const std::uint32_t span = 40;  // token + a little slack
+      const std::size_t at =
+          token_at + rng.UniformBelow(span) % (wire.size() - token_at);
+      switch (rng.UniformBelow(3)) {
+        case 0:
+          wire[at] = static_cast<char>(rng.Next() & 0xff);
+          break;
+        case 1:
+          wire.erase(at, 1 + rng.UniformBelow(4));
+          break;
+        default:
+          wire.insert(at, 1 + rng.UniformBelow(4),
+                      static_cast<char>(rng.Next() & 0x7f));
+          break;
+      }
+    }
+    std::string error;
+    (void)RequestStatus(wire, &error);  // must return, never crash
+  }
+}
+
 // --- Incremental reassembly: split delivery, slow loris, fuzz ------------
 
 /// What a reader extracted from a stream: the re-encoded frames it
@@ -351,6 +467,49 @@ TEST(FrameReassemblerTest, EveryVerbSplitAtEveryByteBoundary) {
           << split;
     }
   }
+}
+
+TEST(FrameReassemblerTest, TraceTokenSurvivesEverySplitBoundary) {
+  // The optional trace= token must reassemble identically no matter
+  // where TCP cuts the header — including mid-token.
+  Request request;
+  request.kind = RequestKind::kAnalyze;
+  request.args.Set("require_iid", "0");
+  request.payload = "1000\n2000\n";
+  request.trace.trace_id = 0x0123456789abcdefULL;
+  request.trace.span_id = 0x00000000000000aaULL;
+  std::string wire;
+  AppendRequestFrameWithTrace(request, &wire);
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    FrameReassembler reassembler;
+    reassembler.Feed(std::string_view(wire).substr(0, split));
+    std::string type, body, error;
+    FrameReassembler::Result result = reassembler.Next(&type, &body, &error);
+    if (split < wire.size()) {
+      reassembler.Feed(std::string_view(wire).substr(split));
+      result = reassembler.Next(&type, &body, &error);
+    }
+    ASSERT_EQ(result, FrameReassembler::Result::kFrame)
+        << "split " << split << ": " << error;
+    EXPECT_EQ(reassembler.last_trace().trace_id, request.trace.trace_id)
+        << "split " << split;
+    EXPECT_EQ(reassembler.last_trace().span_id, request.trace.span_id)
+        << "split " << split;
+  }
+  // An untraced frame following a traced one resets last_trace: contexts
+  // never leak across frames on a reused connection.
+  FrameReassembler reassembler;
+  std::string untraced;
+  AppendRequestFrame(request, &untraced);
+  reassembler.Feed(wire);
+  reassembler.Feed(untraced);
+  std::string type, body, error;
+  ASSERT_EQ(reassembler.Next(&type, &body, &error),
+            FrameReassembler::Result::kFrame);
+  EXPECT_TRUE(reassembler.last_trace().valid());
+  ASSERT_EQ(reassembler.Next(&type, &body, &error),
+            FrameReassembler::Result::kFrame);
+  EXPECT_FALSE(reassembler.last_trace().valid());
 }
 
 TEST(FrameReassemblerTest, GluedStreamSplitAtEveryByteBoundary) {

@@ -33,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -40,6 +41,8 @@
 
 #include "common/hash.hpp"
 #include "mbpta/mbpta.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "service/client.hpp"
 #include "service/frame_reader.hpp"
 #include "service/persistent_cache.hpp"
@@ -1076,6 +1079,199 @@ TEST(PersistentCacheBoundsTest, LoadAllCapsEntryCountOnHugeDirs) {
   });
   EXPECT_EQ(first_keys.size(), 1000u);
   EXPECT_TRUE(std::is_sorted(first_keys.begin(), first_keys.end()));
+}
+
+// --- Distributed tracing: one connected span tree per request campaign ----
+
+struct SpanRecord {
+  std::string name;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+};
+
+/// Pulls every traced span (one event per line in the Chrome export) with
+/// its name and the three propagation ids.
+std::vector<SpanRecord> ParseTracedSpans(const std::string& chrome_json) {
+  const auto hex_field = [](const std::string& line,
+                            const char* key) -> std::uint64_t {
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) return 0;
+    return std::strtoull(line.c_str() + at + needle.size(), nullptr, 16);
+  };
+  std::vector<SpanRecord> spans;
+  std::istringstream in(chrome_json);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"trace_id\":\"") == std::string::npos) continue;
+    const std::size_t name_at = line.find("\"name\":\"");
+    if (name_at == std::string::npos) continue;
+    const std::size_t begin = name_at + 8;
+    const std::size_t end = line.find('"', begin);
+    if (end == std::string::npos) continue;
+    SpanRecord span;
+    span.name = line.substr(begin, end - begin);
+    span.trace_id = hex_field(line, "trace_id");
+    span.span_id = hex_field(line, "span_id");
+    span.parent_id = hex_field(line, "parent_span_id");
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+/// The tracer is process-wide; scope it to one test so the rest of the
+/// battery keeps running (and asserting) untraced behavior.
+class ScopedTracer {
+ public:
+  ScopedTracer() {
+    obs::Tracer::Instance().Clear();
+    obs::Tracer::Instance().Enable();
+  }
+  ~ScopedTracer() {
+    obs::Tracer::Instance().Disable();
+    obs::Tracer::Instance().Clear();
+  }
+};
+
+// The end-to-end tracing golden: every verb of a campaign sent under one
+// client-side span must surface in the export as a single connected tree —
+// client root → fleet route → shard queue_wait/verb → engine internals —
+// all sharing the client's trace id, every parent chain terminating at the
+// client span. This is the in-process twin of the spta_client → spta_fleet
+// smoke (client.cpp stamps the thread context on each outgoing frame; the
+// loop and shard re-install it on their side of the wire).
+TEST(FleetTracingTest, EveryVerbJoinsOneConnectedTreeRootedAtTheClient) {
+  ScopedTracer tracing;
+  service::ShardedServerOptions options;
+  options.shards = 2;
+  service::ShardedServer fleet(options);
+  ASSERT_EQ(fleet.ListenTcp("127.0.0.1", 0), 0);
+  ASSERT_EQ(fleet.Start(), 0);
+
+  std::string error;
+  auto connection = service::TcpConnection::Connect(
+      "127.0.0.1", fleet.bound_port(), &error, 30000.0);
+  ASSERT_NE(connection, nullptr) << error;
+  service::Client client(connection->in(), connection->out());
+
+  const obs::TraceContext wire = obs::MintTraceContext();
+  std::size_t requests_sent = 0;
+  {
+    obs::ScopedTraceContext install(wire);
+    obs::ScopedSpan campaign("client", "campaign");
+    const auto sample = SyntheticSample(320, 57);
+    EXPECT_TRUE(client.Ping().ok);
+    EXPECT_TRUE(client.Open("traced").ok);
+    EXPECT_TRUE(client.Append("traced", sample).ok);
+    EXPECT_TRUE(client.Status("traced").ok);
+    EXPECT_TRUE(client.AnalyzeSession("traced").ok);
+    EXPECT_TRUE(client.Close("traced").ok);
+    EXPECT_TRUE(client.Health().ok);
+    EXPECT_TRUE(client.Metrics().ok);
+    // The TRACE verb itself rides the same distributed trace; its payload
+    // is the fleet's live export and must already carry this trace id.
+    const auto served = client.Trace();
+    ASSERT_TRUE(served.ok) << served.payload;
+    EXPECT_EQ(served.args.GetString("format"), "chrome-trace");
+    EXPECT_EQ(served.args.GetUint("enabled", 0), 1u);
+    bool served_carries_trace = false;
+    for (const auto& span : ParseTracedSpans(served.payload)) {
+      if (span.trace_id == wire.trace_id) served_carries_trace = true;
+    }
+    EXPECT_TRUE(served_carries_trace);
+    EXPECT_TRUE(client.Shutdown().ok);
+    requests_sent = 10;
+  }
+  EXPECT_EQ(fleet.Wait(), 0);
+
+  std::ostringstream exported;
+  ASSERT_TRUE(obs::Tracer::Instance().WriteChromeTrace(exported));
+  const auto spans = ParseTracedSpans(exported.str());
+  ASSERT_FALSE(spans.empty());
+
+  // One trace id everywhere, ids minted for every span.
+  std::map<std::uint64_t, std::uint64_t> parent_of;
+  std::uint64_t root_span = 0;
+  std::size_t roots = 0;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.trace_id, wire.trace_id) << span.name;
+    EXPECT_NE(span.span_id, 0u) << span.name;
+    parent_of[span.span_id] = span.parent_id;
+    if (span.parent_id == 0) {
+      ++roots;
+      root_span = span.span_id;
+      EXPECT_EQ(span.name, "campaign");
+    }
+  }
+  // Exactly one root: the client-side campaign span.
+  EXPECT_EQ(roots, 1u);
+
+  // Connectivity: every span's parent chain reaches the client root with
+  // no dangling parent ids (a broken chain means a hop dropped the
+  // context when crossing loop → queue → shard worker).
+  for (const auto& span : spans) {
+    std::uint64_t cursor = span.span_id;
+    std::size_t hops = 0;
+    while (cursor != root_span && hops < 64) {
+      const auto parent = parent_of.find(cursor);
+      ASSERT_NE(parent, parent_of.end())
+          << span.name << ": chain breaks at " << std::hex << cursor;
+      cursor = parent->second;
+      ++hops;
+    }
+    EXPECT_EQ(cursor, root_span) << span.name;
+  }
+
+  // Per-verb coverage: the loop routes every request; the shard executes
+  // the session verbs; ANALYZE descends into the engine.
+  std::map<std::string, std::size_t> by_name;
+  for (const auto& span : spans) ++by_name[span.name];
+  EXPECT_EQ(by_name["route"], requests_sent);
+  EXPECT_GE(by_name["queue_wait"], 1u);
+  for (const char* verb :
+       {"PING", "OPEN", "APPEND", "STATUS", "ANALYZE", "CLOSE"}) {
+    EXPECT_GE(by_name[verb], 1u) << verb;
+  }
+  EXPECT_GE(by_name["analyze"], 1u);
+}
+
+// The TRACE verb on the classic thread-per-connection server: same verb,
+// same export format, served without a fleet in front.
+TEST(FleetTracingTest, ClassicServerServesTraceExport) {
+  ScopedTracer tracing;
+  service::Server classic;
+  std::vector<service::Request> script;
+  script.push_back(MakeRequest(service::RequestKind::kPing));
+  script.push_back(MakeRequest(service::RequestKind::kTrace));
+  const auto responses = RunClassic(classic, script);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_TRUE(responses[0].ok);
+  const auto& trace = responses[1];
+  ASSERT_TRUE(trace.ok) << trace.payload;
+  EXPECT_EQ(trace.args.GetString("format"), "chrome-trace");
+  EXPECT_GE(trace.args.GetUint("events", 0), 1u);
+  EXPECT_NE(trace.payload.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.payload.find("\"name\":\"PING\""), std::string::npos);
+}
+
+// Tracing disabled is the default, and it must stay invisible: no spans
+// recorded, no ids on the wire (the request frame the fleet sees is the
+// pre-tracing byte format), TRACE still answers with an empty export.
+TEST(FleetTracingTest, DisabledTracerLeavesNoSpansAndTraceStillAnswers) {
+  ASSERT_FALSE(obs::Tracer::Enabled());
+  service::ShardedServerOptions options;
+  options.shards = 1;
+  service::ShardedServer fleet(options);
+  std::vector<service::Request> script;
+  script.push_back(MakeRequest(service::RequestKind::kPing));
+  script.push_back(MakeRequest(service::RequestKind::kTrace));
+  const auto responses = RunFleetScript(fleet, script);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_TRUE(responses[0].ok);
+  ASSERT_TRUE(responses[1].ok);
+  EXPECT_EQ(responses[1].args.GetUint("enabled", 99), 0u);
+  EXPECT_TRUE(ParseTracedSpans(responses[1].payload).empty());
 }
 
 }  // namespace

@@ -63,6 +63,14 @@
 //       on every conversion; damaged or alien files are rejected with a
 //       diagnostic (exit 2), never a crash.
 //
+//   spta_cli trace-view [--merge OUT] FILE...
+//       Summarizes Chrome trace-event JSON exports (spta_serve
+//       --trace-dir, spta_client --trace-out, flight-recorder dumps):
+//       event counts and the distributed trace ids each file carries.
+//       --merge OUT splices every file's traceEvents into one
+//       Perfetto-loadable document — offline stitching of a distributed
+//       trace when no spta_fleet supervisor did it (docs/OBSERVABILITY.md).
+//
 // --atlas (campaign/simulate) replays runs through the kernel-memoized
 // path (docs/TRACES.md): repeated kernel iterations whose entry state was
 // already timed are fast-forwarded from a per-worker kernel store. The
@@ -83,6 +91,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 
 #include "analysis/atlas_campaign.hpp"
@@ -103,6 +112,7 @@
 #include "fault/campaign.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "mbpta/convergence.hpp"
 #include "mbpta/mbpta.hpp"
 #include "mbpta/path_coverage.hpp"
@@ -137,7 +147,9 @@ int Usage() {
                "[--checkpoint FILE [--resume]] [--seu-rate R] "
                "[--reseed-dropout P] [--fault-seed S] "
                "[--trace-out FILE] [--counters-out FILE]\n"
-               "  trace       pack|unpack <in> <out> | info|mine <file>\n");
+               "  trace       pack|unpack <in> <out> | info|mine <file>\n"
+               "  trace-view  [--merge OUT] FILE...   (Chrome trace JSON "
+               "summary / fleet-wide merge)\n");
   return 2;
 }
 
@@ -536,6 +548,70 @@ int RunTrace(const Flags& flags) {
   return 2;
 }
 
+/// `trace-view [--merge OUT] FILE...`: summarize Chrome trace JSON
+/// exports and optionally splice them into one loadable document. Works
+/// on anything the repo's exporters produce — live TRACE replies, client
+/// --trace-out files, per-process --trace-dir exports, flight-recorder
+/// harvest dumps — because they all share the traceEvents schema.
+int RunTraceView(const Flags& flags) {
+  const auto& files = flags.positional();
+  if (files.empty()) {
+    std::fprintf(stderr, "spta_cli: trace-view needs FILE...\n");
+    return 2;
+  }
+  bool any_unreadable = false;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "spta_cli: cannot open '%s'\n", path.c_str());
+      any_unreadable = true;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string events = obs::ExtractTraceEvents(buffer.str());
+    // Every exporter emits exactly one "ph" field per event, so counting
+    // the key counts events without a JSON parser.
+    std::size_t count = 0;
+    for (std::size_t pos = 0;
+         (pos = events.find("\"ph\":", pos)) != std::string::npos;
+         pos += 5) {
+      ++count;
+    }
+    // Distinct distributed traces: the 16-hex trace_id values the events
+    // carry in their args.
+    std::set<std::string> trace_ids;
+    for (std::size_t pos = 0;
+         (pos = events.find("\"trace_id\":\"", pos)) != std::string::npos;) {
+      pos += 12;
+      if (pos + 16 <= events.size()) trace_ids.insert(events.substr(pos, 16));
+    }
+    std::printf("%s: %zu events, %zu distributed trace(s)", path.c_str(),
+                count, trace_ids.size());
+    std::size_t shown = 0;
+    for (const std::string& id : trace_ids) {
+      std::printf("%s%s", shown == 0 ? " [" : " ", id.c_str());
+      if (++shown == 4) break;
+    }
+    if (shown > 0) {
+      std::printf("%s]", trace_ids.size() > shown ? " ..." : "");
+    }
+    std::printf("\n");
+  }
+  const std::string merge_out = flags.GetString("merge");
+  if (!merge_out.empty()) {
+    std::size_t merged = 0;
+    std::string error;
+    if (!obs::MergeChromeTraceFiles(files, merge_out, &merged, &error)) {
+      std::fprintf(stderr, "spta_cli: %s\n", error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "spta_cli: merged %zu/%zu files into %s\n", merged,
+                 files.size(), merge_out.c_str());
+  }
+  return any_unreadable ? 2 : 0;
+}
+
 int RunCampaign(const Flags& flags) {
   bool platform_ok = false;
   const sim::PlatformConfig config = PlatformFromFlags(flags, &platform_ok);
@@ -837,6 +913,7 @@ int main(int argc, char** argv) {
   if (command == "record") return RunRecord(flags);
   if (command == "simulate") return RunSimulate(flags);
   if (command == "trace") return RunTrace(flags);
+  if (command == "trace-view") return RunTraceView(flags);
   std::fprintf(stderr, "spta_cli: unknown command '%s'\n", command.c_str());
   return Usage();
 }

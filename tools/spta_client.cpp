@@ -26,9 +26,19 @@
 //       Readiness probe (HEALTH verb): status=ok|degraded plus fleet
 //       args and per-shard readiness lines — answered off the event
 //       loop, so it stays honest while the worker pool is saturated.
+//   spta_client trace    --socket PATH
+//       Prints the daemon's live Chrome trace JSON export (TRACE verb)
+//       on stdout — load it in chrome://tracing or Perfetto, or merge
+//       with other exports via spta_cli trace-view --merge.
 //   spta_client shutdown --socket PATH
 //       Graceful drain: the daemon answers every accepted request, then
 //       exits.
+//
+// Distributed tracing (docs/OBSERVABILITY.md): --trace-out FILE mints a
+// root trace context for the invocation, stamps it on every request
+// frame (the server's spans link under it), records the client's own
+// spans — connect, per-attempt round trips, backoff waits — and exports
+// them as Chrome trace JSON to FILE at exit.
 //
 // Resilience flags (all commands):
 //   --retries N        total attempts incl. the first (default 4; 1 = off)
@@ -62,11 +72,14 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "analysis/sample_io.hpp"
 #include "common/flags.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "service/client.hpp"
 #include "service/retry.hpp"
 
@@ -75,6 +88,43 @@ namespace {
 using namespace spta;
 
 constexpr int kExitBusy = 3;
+
+/// --trace-out: client-side distributed tracing for one invocation.
+/// Enables the tracer, mints the root trace context (every frame the
+/// Client sends carries it, so server spans link under this client), and
+/// exports the client's own spans — connect, per-attempt round trips,
+/// backoff waits — as Chrome trace JSON at exit. Inert when `path` is
+/// empty: spans compile to enabled-flag checks that stay false.
+class ClientTraceSession {
+ public:
+  ClientTraceSession(std::string path, const std::string& command)
+      : path_(std::move(path)) {
+    if (path_.empty()) return;
+    obs::Tracer::Instance().Enable();
+    scope_.emplace(obs::MintTraceContext());
+    root_.emplace("client", command == "analyze"  ? "analyze"
+                            : command == "session" ? "session"
+                                                   : "request");
+  }
+
+  ~ClientTraceSession() {
+    root_.reset();  // Close the root span before exporting.
+    if (path_.empty()) return;
+    std::string error;
+    if (!obs::Tracer::Instance().WriteChromeTraceFile(path_, &error)) {
+      std::fprintf(stderr, "spta_client: trace export failed: %s\n",
+                   error.c_str());
+    }
+  }
+
+  ClientTraceSession(const ClientTraceSession&) = delete;
+  ClientTraceSession& operator=(const ClientTraceSession&) = delete;
+
+ private:
+  std::string path_;
+  std::optional<obs::ScopedTraceContext> scope_;
+  std::optional<obs::ScopedSpan> root_;
+};
 
 /// Backoff bookkeeping: how many sleeps were sized by a server
 /// retry_after_ms hint versus blind jitter. Summarized at exit.
@@ -111,7 +161,8 @@ void PrintBackoffSummary() {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: spta_client <ping|analyze|session|metrics|health|shutdown> "
+      "usage: spta_client "
+      "<ping|analyze|session|metrics|health|trace|shutdown> "
       "(--socket PATH | --tcp HOST:PORT) [flags]\n"
       "  analyze  --input FILE [--prob P] [--per-path] [--block-size B] "
       "[--deadline-ms D]\n"
@@ -119,8 +170,9 @@ int Usage() {
       "[--per-path]\n"
       "  metrics  [--metrics-prom]  (Prometheus text format)\n"
       "  health   (readiness: status=ok|degraded + per-shard lines)\n"
+      "  trace    (server's Chrome trace JSON export on stdout)\n"
       "  common   [--retries N] [--retry-base-ms B] [--retry-cap-ms C] "
-      "[--retry-seed S] [--timeout-ms T]\n");
+      "[--retry-seed S] [--timeout-ms T] [--trace-out FILE]\n");
   return 2;
 }
 
@@ -240,7 +292,12 @@ int RunSession(service::Client& client, const Flags& flags,
                  "(attempt %d/%d)\n",
                  static_cast<long long>(delay.count()), attempt,
                  max_attempts);
-    std::this_thread::sleep_for(delay);
+    {
+      obs::ScopedSpan backoff_span(
+          "client", "backoff", "delay_ms",
+          static_cast<std::uint64_t>(delay.count()));
+      std::this_thread::sleep_for(delay);
+    }
   }
   const int code = Report(response);
   client.Close(name);
@@ -276,7 +333,8 @@ int main(int argc, char** argv) {
     tcp_port = static_cast<std::uint16_t>(port);
   }
   if (command != "ping" && command != "analyze" && command != "session" &&
-      command != "metrics" && command != "health" && command != "shutdown") {
+      command != "metrics" && command != "health" && command != "trace" &&
+      command != "shutdown") {
     std::fprintf(stderr, "spta_client: unknown command '%s'\n",
                  command.c_str());
     return Usage();
@@ -293,8 +351,16 @@ int main(int argc, char** argv) {
   service::RetrySchedule schedule(policy);
   const double timeout_ms = flags.GetDouble("timeout-ms", 0.0);
 
+  // --trace-out roots the distributed trace here: every request frame
+  // below carries the minted trace id, and the client's own spans land in
+  // the export for spta_cli trace-view --merge to stitch with the
+  // server side.
+  ClientTraceSession trace_session(flags.GetString("trace-out"), command);
+
   int exit_code = 2;
   for (int attempt = 1;; ++attempt) {
+    obs::ScopedSpan attempt_span("client", "attempt", "attempt",
+                                 static_cast<std::uint64_t>(attempt));
     // Fresh connection per attempt: after a transport fault (short write,
     // mid-frame disconnect, injected or real) the old stream's framing
     // state is unusable.
@@ -304,19 +370,22 @@ int main(int argc, char** argv) {
     std::unique_ptr<service::TcpConnection> tcp_connection;
     std::istream* in = nullptr;
     std::ostream* out = nullptr;
-    if (!tcp_target.empty()) {
-      tcp_connection = service::TcpConnection::Connect(tcp_host, tcp_port,
-                                                       &error, timeout_ms);
-      if (tcp_connection) {
-        in = &tcp_connection->in();
-        out = &tcp_connection->out();
-      }
-    } else {
-      unix_connection = service::UnixSocketConnection::Connect(
-          socket_path, &error, timeout_ms);
-      if (unix_connection) {
-        in = &unix_connection->in();
-        out = &unix_connection->out();
+    {
+      obs::ScopedSpan connect_span("client", "connect");
+      if (!tcp_target.empty()) {
+        tcp_connection = service::TcpConnection::Connect(tcp_host, tcp_port,
+                                                         &error, timeout_ms);
+        if (tcp_connection) {
+          in = &tcp_connection->in();
+          out = &tcp_connection->out();
+        }
+      } else {
+        unix_connection = service::UnixSocketConnection::Connect(
+            socket_path, &error, timeout_ms);
+        if (unix_connection) {
+          in = &unix_connection->in();
+          out = &unix_connection->out();
+        }
       }
     }
     if (in == nullptr) {
@@ -349,6 +418,14 @@ int main(int argc, char** argv) {
         }
       } else if (command == "health") {
         response = client.Health();
+      } else if (command == "trace") {
+        response = client.Trace();
+        if (response.ok) {
+          // Raw JSON body only (like --metrics-prom): args would corrupt
+          // the document for a piping consumer.
+          std::fputs(response.payload.c_str(), stdout);
+          return 0;
+        }
       } else {  // shutdown
         response = client.Shutdown();
       }
@@ -367,7 +444,12 @@ int main(int argc, char** argv) {
                  "%lld ms\n",
                  attempt, policy.max_attempts, code.c_str(),
                  static_cast<long long>(delay.count()));
-    std::this_thread::sleep_for(delay);
+    {
+      obs::ScopedSpan backoff_span(
+          "client", "backoff", "delay_ms",
+          static_cast<std::uint64_t>(delay.count()));
+      std::this_thread::sleep_for(delay);
+    }
   }
   PrintBackoffSummary();
   return exit_code;

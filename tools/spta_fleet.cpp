@@ -6,7 +6,8 @@
 //              [--respawn-limit K] [--min-uptime-ms N]
 //              [--respawn-base-ms N] [--respawn-cap-ms N] [--backoff-seed S]
 //              [--watchdog-interval-ms N] [--watchdog-timeout-ms N]
-//              [--watchdog-seed S]
+//              [--watchdog-seed S] [--flight-dir DIR] [--flight-slots N]
+//              [--trace-dir DIR]
 //
 // Spawns N `spta_serve --tcp PORT --reuseport` children sharing one TCP
 // port via SO_REUSEPORT (the kernel load-balances connections across the
@@ -39,6 +40,24 @@
 // entry writes are atomic (tmp+rename with pid-qualified tmp names), and
 // every child warm-starts from the shared pool at spawn.
 //
+// Observability (docs/OBSERVABILITY.md):
+//   * stderr is structured: one JSON object per line (common/jsonlog),
+//     e.g. {"ts_ms":...,"pid":...,"component":"spta_fleet",
+//     "event":"spawned","child_pid":...,"slot":...}. The chaos test and
+//     operator tooling parse these lines; the event vocabulary is the
+//     stable contract, the prose is gone.
+//   * --flight-dir DIR arms the crash-surviving flight recorder: every
+//     child gets a fresh shared-memory ring (memfd, --flight-slots
+//     records) passed as `--flight-fd N`; when the child dies — clean
+//     exit, crash, or watchdog SIGKILL — the supervisor harvests the
+//     ring post-mortem and dumps it as DIR/flight-<pid>.json (Chrome
+//     trace JSON). Torn records from a mid-write death are skipped and
+//     counted, never fatal.
+//   * --trace-dir DIR rides along to every child (spta_serve --trace-dir
+//     exports trace-<pid>.json at exit); at supervisor exit all exports
+//     in DIR are merged into DIR/trace-merged.json — one Perfetto-
+//     loadable trace for the whole fleet run.
+//
 // Exit code: 0 when the fleet wound down in control — every child either
 // drained cleanly or was respawned within budget (a chaos-killed child
 // that came back does NOT poison the exit code). 1 when a child hit its
@@ -56,12 +75,17 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/flags.hpp"
 #include "common/hash.hpp"
+#include "common/jsonlog.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_merge.hpp"
 #include "service/protocol.hpp"
 #include "service/retry.hpp"
 
@@ -77,7 +101,8 @@ int Usage() {
       "[--cache-quota-bytes N] [--serve-bin PATH] [--backlog N] "
       "[--respawn-limit K] [--min-uptime-ms N] [--respawn-base-ms N] "
       "[--respawn-cap-ms N] [--backoff-seed S] [--watchdog-interval-ms N] "
-      "[--watchdog-timeout-ms N] [--watchdog-seed S]\n");
+      "[--watchdog-timeout-ms N] [--watchdog-seed S] [--flight-dir DIR] "
+      "[--flight-slots N] [--trace-dir DIR]\n");
   return 2;
 }
 
@@ -150,6 +175,9 @@ struct Child {
   /// Parent end of the health socketpair; -1 when the child is down or
   /// the pair could not be made (the child then just goes unprobed).
   int health_fd = -1;
+  /// This incarnation's flight-recorder ring (-1 = flight recording off
+  /// or the ring could not be made). Harvested post-mortem at reap time.
+  int flight_fd = -1;
   std::int64_t spawned_ms = 0;
   /// When a pending (backed-off) respawn is due; 0 = none pending.
   std::int64_t respawn_due_ms = 0;
@@ -166,10 +194,12 @@ struct Child {
 struct SpawnResult {
   pid_t pid = -1;
   int health_fd = -1;
+  int flight_fd = -1;
 };
 
 SpawnResult SpawnChild(const std::string& serve_bin,
-                       const std::vector<std::string>& base_args) {
+                       const std::vector<std::string>& base_args,
+                       std::size_t slot, std::size_t flight_slots) {
   int sv[2] = {-1, -1};
   const bool have_pair = ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0;
   if (have_pair) {
@@ -179,10 +209,30 @@ SpawnResult SpawnChild(const std::string& serve_bin,
     const int fl = ::fcntl(sv[0], F_GETFL, 0);
     if (fl >= 0) ::fcntl(sv[0], F_SETFL, fl | O_NONBLOCK);
   }
+  // Fresh ring per incarnation: the old incarnation's telemetry lives in
+  // its own memfd until harvested, the new child starts clean. The fd is
+  // created without CLOEXEC (it must ride through execv); the parent's
+  // copy gets CLOEXEC after the fork so later siblings do not inherit it.
+  int flight_fd = -1;
+  if (flight_slots > 0) {
+    std::string flight_error;
+    flight_fd = obs::FlightRecorder::CreateRingFd(flight_slots,
+                                                  &flight_error);
+    if (flight_fd < 0) {
+      JsonLogLine("spta_fleet", "flight_ring_failed")
+          .Int("slot", static_cast<std::int64_t>(slot))
+          .Str("error", flight_error)
+          .Emit();
+    }
+  }
   std::vector<std::string> args = base_args;
   if (have_pair) {
     args.push_back("--health-fd");
     args.push_back(std::to_string(sv[1]));
+  }
+  if (flight_fd >= 0) {
+    args.push_back("--flight-fd");
+    args.push_back(std::to_string(flight_fd));
   }
   const pid_t pid = ::fork();
   if (pid == 0) {
@@ -202,21 +252,61 @@ SpawnResult SpawnChild(const std::string& serve_bin,
     }
     argv.push_back(nullptr);
     ::execv(serve_bin.c_str(), argv.data());
-    std::fprintf(stderr, "spta_fleet: execv('%s') failed: %s\n",
-                 serve_bin.c_str(), std::strerror(errno));
+    JsonLogLine("spta_fleet", "exec_failed")
+        .Str("bin", serve_bin)
+        .Str("error", std::strerror(errno))
+        .Emit();
     ::_exit(127);
   }
   if (have_pair) ::close(sv[1]);
   if (pid < 0) {
     if (have_pair) ::close(sv[0]);
-    std::fprintf(stderr, "spta_fleet: fork failed: %s\n",
-                 std::strerror(errno));
+    if (flight_fd >= 0) ::close(flight_fd);
+    JsonLogLine("spta_fleet", "fork_failed")
+        .Int("slot", static_cast<std::int64_t>(slot))
+        .Str("error", std::strerror(errno))
+        .Emit();
     return {};
   }
-  // Parseable by tests (and by an operator grepping for churn).
-  std::fprintf(stderr, "spta_fleet: spawned pid %d\n",
-               static_cast<int>(pid));
-  return {pid, have_pair ? sv[0] : -1};
+  // The child inherited the ring fd at fork; keep the parent's copy for
+  // the post-mortem harvest but stop later children from inheriting it.
+  if (flight_fd >= 0) ::fcntl(flight_fd, F_SETFD, FD_CLOEXEC);
+  // Parseable by the chaos test (and by an operator watching for churn).
+  JsonLogLine("spta_fleet", "spawned")
+      .Int("child_pid", pid)
+      .Int("slot", static_cast<std::int64_t>(slot))
+      .Emit();
+  return {pid, have_pair ? sv[0] : -1, flight_fd};
+}
+
+/// Post-mortem flight harvest: reads the dead incarnation's ring, dumps
+/// it as Chrome JSON (flight-<pid>.json), logs the recovery counts, and
+/// closes the fd. Tolerates everything a crash can leave behind — an
+/// invalid ring still dumps (valid=0), torn records are skipped and
+/// counted — because losing the supervisor to a dead child's garbage
+/// would defeat the whole flight-recorder design.
+void HarvestFlight(Child* child, pid_t pid, const std::string& flight_dir) {
+  if (child->flight_fd < 0) return;
+  const int fd = child->flight_fd;
+  child->flight_fd = -1;
+  if (!flight_dir.empty()) {
+    const obs::FlightRecorder::Harvest harvest =
+        obs::FlightRecorder::HarvestFd(fd);
+    const std::string path =
+        flight_dir + "/flight-" + std::to_string(pid) + ".json";
+    std::string error;
+    const bool wrote = AtomicWriteFile(
+        path, obs::FlightRecorder::HarvestToChromeJson(harvest), &error);
+    JsonLogLine log("spta_fleet", "flight_harvest");
+    log.Int("child_pid", pid)
+        .Str("path", path)
+        .Int("valid", harvest.valid ? 1 : 0)
+        .Int("records", static_cast<std::int64_t>(harvest.records.size()))
+        .Int("torn", static_cast<std::int64_t>(harvest.torn));
+    if (!wrote) log.Str("write_error", error);
+    log.Emit();
+  }
+  ::close(fd);
 }
 
 }  // namespace
@@ -256,6 +346,16 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(1, flags.GetInt("watchdog-timeout-ms", 2000));
   const std::uint64_t watchdog_seed =
       static_cast<std::uint64_t>(flags.GetInt("watchdog-seed", 1));
+  // Flight recorder: --flight-dir arms it (one ring per child
+  // incarnation, harvested post-mortem); --flight-slots sizes the ring.
+  const std::string flight_dir = flags.GetString("flight-dir");
+  const std::size_t flight_slots =
+      flight_dir.empty()
+          ? 0
+          : static_cast<std::size_t>(std::max<std::int64_t>(
+                1, flags.GetInt("flight-slots",
+                                obs::FlightRecorder::kDefaultSlots)));
+  const std::string trace_dir = flags.GetString("trace-dir");
 
   std::vector<std::string> child_args = {
       "--tcp",     std::to_string(port),
@@ -266,6 +366,12 @@ int main(int argc, char** argv) {
   if (!cache_dir.empty()) {
     child_args.push_back("--cache-dir");
     child_args.push_back(cache_dir);
+  }
+  if (!trace_dir.empty()) {
+    // Each child exports trace-<pid>.json there at exit; the supervisor
+    // merges the directory into trace-merged.json when the fleet is done.
+    child_args.push_back("--trace-dir");
+    child_args.push_back(trace_dir);
   }
   // Cache bounds ride along to every child: the LRU byte budget and the
   // ENOSPC simulation quota are fleet-wide policy, not per-process tuning.
@@ -288,9 +394,11 @@ int main(int argc, char** argv) {
   std::vector<Child> children(static_cast<std::size_t>(procs));
   for (std::size_t i = 0; i < children.size(); ++i) {
     Child& child = children[i];
-    const SpawnResult spawned = SpawnChild(serve_bin, child_args);
+    const SpawnResult spawned =
+        SpawnChild(serve_bin, child_args, i, flight_slots);
     child.pid = spawned.pid;
     child.health_fd = spawned.health_fd;
+    child.flight_fd = spawned.flight_fd;
     child.spawned_ms = NowMs();
     if (child.pid < 0) {
       child.gave_up = true;
@@ -303,8 +411,12 @@ int main(int argc, char** argv) {
                        watchdog_interval_ms);
     }
   }
-  std::fprintf(stderr, "spta_fleet: %d procs x %d shards on %s:%d\n", procs,
-               shards, host.c_str(), port);
+  JsonLogLine("spta_fleet", "start")
+      .Int("procs", procs)
+      .Int("shards", shards)
+      .Str("host", host)
+      .Int("port", port)
+      .Emit();
 
   bool terminate = false;
   bool forwarded = false;
@@ -325,22 +437,28 @@ int main(int argc, char** argv) {
           ::close(child.health_fd);
           child.health_fd = -1;
         }
+        // The incarnation is fully dead (waitpid returned it), so its
+        // ring holds the final bytes it ever wrote — harvest now, before
+        // a respawn replaces the fd with a fresh ring.
+        HarvestFlight(&child, done, flight_dir);
         child.probe_deadline_ms = 0;
         child.pid = -1;
         const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
         if (clean || forwarded) {
           child.clean_exit = true;
           if (!clean) dirty_after_drain = true;
-          std::fprintf(stderr, "spta_fleet: pid %d exited (%s)\n",
-                       static_cast<int>(done), clean ? "clean" : "dirty");
+          JsonLogLine("spta_fleet", "exited")
+              .Int("child_pid", done)
+              .Str("outcome", clean ? "clean" : "dirty")
+              .Emit();
           break;
         }
         if (child.respawns >= respawn_limit) {
           child.gave_up = true;
-          std::fprintf(stderr,
-                       "spta_fleet: pid %d died, respawn limit (%d) hit — "
-                       "fleet degraded\n",
-                       static_cast<int>(done), respawn_limit);
+          JsonLogLine("spta_fleet", "respawn_limit")
+              .Int("child_pid", done)
+              .Int("limit", respawn_limit)
+              .Emit();
           break;
         }
         ++child.respawns;
@@ -359,21 +477,23 @@ int main(int argc, char** argv) {
           }
           const std::int64_t delay = child.backoff->NextDelay().count();
           child.respawn_due_ms = now + delay;
-          std::fprintf(stderr,
-                       "spta_fleet: pid %d died after %lld ms (crash "
-                       "loop), respawn %d/%d in %lld ms\n",
-                       static_cast<int>(done),
-                       static_cast<long long>(uptime), child.respawns,
-                       respawn_limit, static_cast<long long>(delay));
+          JsonLogLine("spta_fleet", "crash_loop_respawn")
+              .Int("child_pid", done)
+              .Int("uptime_ms", uptime)
+              .Int("respawn", child.respawns)
+              .Int("limit", respawn_limit)
+              .Int("delay_ms", delay)
+              .Emit();
         } else {
           // A run that held steady earns an immediate respawn and a
           // fresh backoff schedule.
           child.backoff.reset();
           child.respawn_due_ms = now;
-          std::fprintf(stderr,
-                       "spta_fleet: pid %d died, respawning (%d/%d)\n",
-                       static_cast<int>(done), child.respawns,
-                       respawn_limit);
+          JsonLogLine("spta_fleet", "respawn")
+              .Int("child_pid", done)
+              .Int("respawn", child.respawns)
+              .Int("limit", respawn_limit)
+              .Emit();
         }
         break;
       }
@@ -381,7 +501,7 @@ int main(int argc, char** argv) {
 
     if (terminate && !forwarded) {
       forwarded = true;
-      std::fprintf(stderr, "spta_fleet: forwarding SIGTERM; draining...\n");
+      JsonLogLine("spta_fleet", "forwarding_sigterm").Emit();
       for (Child& child : children) {
         child.respawn_due_ms = 0;  // Draining: no more respawns.
         if (child.pid > 0 && !child.clean_exit && !child.gave_up) {
@@ -401,9 +521,11 @@ int main(int argc, char** argv) {
           continue;
         }
         child.respawn_due_ms = 0;
-        const SpawnResult spawned = SpawnChild(serve_bin, child_args);
+        const SpawnResult spawned =
+            SpawnChild(serve_bin, child_args, i, flight_slots);
         child.pid = spawned.pid;
         child.health_fd = spawned.health_fd;
+        child.flight_fd = spawned.flight_fd;
         child.spawned_ms = now;
         child.probe_deadline_ms = 0;
         if (child.pid < 0) {
@@ -452,12 +574,13 @@ int main(int argc, char** argv) {
         if (child.probe_deadline_ms > 0 &&
             now >= child.probe_deadline_ms) {
           // Alive but unresponsive (wedged): SIGKILL works even on a
-          // stopped process; the reaper routes it through respawn.
-          std::fprintf(stderr,
-                       "spta_fleet: pid %d unresponsive for %lld ms — "
-                       "killing\n",
-                       static_cast<int>(child.pid),
-                       static_cast<long long>(watchdog_timeout_ms));
+          // stopped process; the reaper routes it through respawn — and
+          // harvests the flight ring, so the spans leading up to the
+          // wedge survive the kill.
+          JsonLogLine("spta_fleet", "unresponsive")
+              .Int("child_pid", child.pid)
+              .Int("timeout_ms", watchdog_timeout_ms)
+              .Emit();
           ::kill(child.pid, SIGKILL);
           child.probe_deadline_ms = 0;
           child.next_probe_ms = now + watchdog_timeout_ms;
@@ -506,12 +629,54 @@ int main(int argc, char** argv) {
     if (sig == SIGTERM || sig == SIGINT) terminate = true;
   }
 
+  // Rings whose child never got reaped (fork failed after creation, or a
+  // give-up path) still need closing; nothing to harvest from a child
+  // that never ran.
+  for (Child& child : children) {
+    if (child.flight_fd >= 0) {
+      ::close(child.flight_fd);
+      child.flight_fd = -1;
+    }
+  }
+
+  // One Perfetto-loadable trace for the whole run: splice every child's
+  // trace-<pid>.json (they all exported on their way out) into
+  // trace-merged.json. Exports land via atomic rename, so a file that
+  // exists is complete.
+  if (!trace_dir.empty()) {
+    std::vector<std::string> exports;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(trace_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("trace-", 0) == 0 && name != "trace-merged.json" &&
+          name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+        exports.push_back(entry.path().string());
+      }
+    }
+    std::sort(exports.begin(), exports.end());
+    const std::string merged_path = trace_dir + "/trace-merged.json";
+    std::size_t merged = 0;
+    std::string error;
+    JsonLogLine log("spta_fleet", "trace_merged");
+    if (obs::MergeChromeTraceFiles(exports, merged_path, &merged, &error)) {
+      log.Str("path", merged_path)
+          .Int("inputs", static_cast<std::int64_t>(exports.size()))
+          .Int("merged", static_cast<std::int64_t>(merged));
+    } else {
+      log.Str("path", merged_path).Str("write_error", error);
+    }
+    log.Emit();
+  }
+
   bool any_gave_up = false;
   for (const Child& child : children) {
     if (child.gave_up) any_gave_up = true;
   }
-  std::fprintf(stderr, "spta_fleet: done after %lld ms (%s)\n",
-               static_cast<long long>(NowMs() - start_ms),
-               (any_gave_up || dirty_after_drain) ? "degraded" : "ok");
+  JsonLogLine("spta_fleet", "done")
+      .Int("elapsed_ms", NowMs() - start_ms)
+      .Str("outcome",
+           (any_gave_up || dirty_after_drain) ? "degraded" : "ok")
+      .Emit();
   return (any_gave_up || dirty_after_drain) ? 1 : 0;
 }

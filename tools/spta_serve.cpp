@@ -25,6 +25,15 @@
 //       child. --cache-max-bytes bounds the persistent cache (LRU
 //       eviction); --cache-quota-bytes simulates a full device (chaos).
 //
+// Observability (docs/OBSERVABILITY.md):
+//   --trace-dir DIR enables the in-process tracer and exports its Chrome
+//   trace JSON as DIR/trace-<pid>.json at exit (merged fleet-wide by
+//   spta_fleet --trace-dir or spta_cli trace-view --merge).
+//   --flight-fd N adopts an inherited shared-memory flight-recorder ring
+//   (created by spta_fleet --flight-dir) and mirrors every trace event
+//   into it, so the supervisor can harvest the last spans post-mortem —
+//   even after SIGKILL. The TRACE verb serves the live export in-band.
+//
 // --prom-out periodically exports the same Prometheus text body that the
 // METRICS_PROM verb serves (atomic tmp+rename, so a scraper using the
 // node-exporter textfile pattern never reads a torn file), every
@@ -59,6 +68,8 @@
 
 #include "common/atomic_file.hpp"
 #include "common/flags.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "service/sharded_server.hpp"
 
@@ -73,9 +84,52 @@ int Usage() {
                "[--queue N] [--cache N] [--deadline-ms D] [--cache-dir DIR] "
                "[--cache-max-bytes N] [--cache-quota-bytes N] "
                "[--backlog N] [--health-fd FD] "
+               "[--flight-fd FD] [--trace-dir DIR] "
                "[--prom-out FILE [--prom-interval-ms N]]\n");
   return 2;
 }
+
+/// Observability session for --flight-fd / --trace-dir: enables the
+/// process tracer, attaches the inherited flight-recorder ring (so the
+/// supervisor can harvest the last spans even after SIGKILL), and on
+/// destruction exports the Chrome trace JSON as DIR/trace-<pid>.json for
+/// the supervisor (or spta_cli trace-view --merge) to stitch.
+class ObsSession {
+ public:
+  ObsSession(int flight_fd, std::string trace_dir)
+      : trace_dir_(std::move(trace_dir)) {
+    if (flight_fd < 0 && trace_dir_.empty()) return;
+    obs::Tracer::Instance().Enable();
+    if (flight_fd >= 0) {
+      std::string error;
+      if (recorder_.AttachWriter(flight_fd, &error)) {
+        obs::SetGlobalFlightRecorder(&recorder_);
+      } else {
+        std::fprintf(stderr, "spta_serve: flight ring attach failed: %s\n",
+                     error.c_str());
+      }
+    }
+  }
+
+  ~ObsSession() {
+    if (recorder_.attached()) obs::SetGlobalFlightRecorder(nullptr);
+    if (trace_dir_.empty()) return;
+    const std::string path =
+        trace_dir_ + "/trace-" + std::to_string(::getpid()) + ".json";
+    std::string error;
+    if (!obs::Tracer::Instance().WriteChromeTraceFile(path, &error)) {
+      std::fprintf(stderr, "spta_serve: trace export failed: %s\n",
+                   error.c_str());
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  obs::FlightRecorder recorder_;
+  std::string trace_dir_;
+};
 
 /// Periodic Prometheus textfile exporter (--prom-out). Writes the same
 /// body METRICS_PROM serves (classic mode) or the fleet exposition (TCP
@@ -203,6 +257,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "spta_serve: --prom-interval-ms must be >= 0\n");
     return 2;
   }
+
+  // --flight-fd / --trace-dir turn on tracing for the process lifetime.
+  // Declared before the server objects so the ring and the trace export
+  // outlive every thread that records into them.
+  ObsSession obs_session(static_cast<int>(flags.GetInt("flight-fd", -1)),
+                         flags.GetString("trace-dir"));
 
   // A dead peer is an ERR on its own connection, never a daemon death.
   std::signal(SIGPIPE, SIG_IGN);
